@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the cache policies under Zipf-shaped churn.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spacecdn_content::cache::{Cache, FifoCache, LfuCache, LruCache};
+use spacecdn_content::catalog::ContentId;
+use spacecdn_content::popularity::ZipfSampler;
+use spacecdn_geo::DetRng;
+
+fn churn(cache: &mut dyn Cache, ops: &[(ContentId, u64, bool)]) {
+    for &(id, size, is_insert) in ops {
+        if is_insert {
+            cache.insert(id, size);
+        } else {
+            cache.get(id);
+        }
+    }
+}
+
+fn bench_caches(c: &mut Criterion) {
+    // Pre-generate a deterministic Zipf-ish op mix.
+    let zipf = ZipfSampler::new(10_000, 0.9);
+    let mut rng = DetRng::new(7, "cache-bench");
+    let ops: Vec<(ContentId, u64, bool)> = (0..10_000)
+        .map(|_| {
+            let id = ContentId(zipf.sample(&mut rng) as u64);
+            (id, 50_000 + rng.index(500_000) as u64, rng.chance(0.4))
+        })
+        .collect();
+
+    c.bench_function("lru_10k_ops_zipf", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(200_000_000);
+            churn(black_box(&mut cache), &ops);
+            cache.len()
+        })
+    });
+
+    c.bench_function("lfu_10k_ops_zipf", |b| {
+        b.iter(|| {
+            let mut cache = LfuCache::new(200_000_000);
+            churn(black_box(&mut cache), &ops);
+            cache.len()
+        })
+    });
+
+    c.bench_function("fifo_10k_ops_zipf", |b| {
+        b.iter(|| {
+            let mut cache = FifoCache::new(200_000_000);
+            churn(black_box(&mut cache), &ops);
+            cache.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_caches);
+criterion_main!(benches);

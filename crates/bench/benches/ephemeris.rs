@@ -1,0 +1,32 @@
+//! Micro-benchmarks of orbital propagation and visibility queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spacecdn_geo::{Geodetic, SimTime};
+use spacecdn_orbit::shell::shells;
+use spacecdn_orbit::visibility::{best_visible, VisibilityMask};
+use spacecdn_orbit::{Constellation, SatIndex};
+
+fn bench_ephemeris(c: &mut Criterion) {
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let t = SimTime::from_secs(1234);
+    let city = Geodetic::ground(48.14, 11.58);
+
+    c.bench_function("position_single_satellite", |b| {
+        b.iter(|| constellation.position_ecef(black_box(SatIndex(777)), t))
+    });
+
+    c.bench_function("snapshot_all_1584", |b| {
+        b.iter(|| constellation.snapshot_ecef(black_box(t)))
+    });
+
+    c.bench_function("nearest_satellite", |b| {
+        b.iter(|| constellation.nearest_satellite(black_box(city), t))
+    });
+
+    c.bench_function("best_visible_masked", |b| {
+        b.iter(|| best_visible(&constellation, black_box(city), t, VisibilityMask::STARLINK))
+    });
+}
+
+criterion_group!(benches, bench_ephemeris);
+criterion_main!(benches);

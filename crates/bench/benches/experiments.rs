@@ -1,0 +1,99 @@
+//! End-to-end experiment benchmarks: how long one reduced-size run of each
+//! paper artefact takes. These both track regressions in the simulation
+//! pipeline and regenerate miniature versions of the paper's figures
+//! (the full versions live in the `spacecdn-bench` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spacecdn_geo::{DetRng, Latency, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_measure::aim::{AimCampaign, AimConfig};
+use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+use spacecdn_measure::web::{browse_campaign, PageModel, WebConfig};
+
+fn tiny_aim() -> AimConfig {
+    AimConfig {
+        epochs: 1,
+        tests_per_epoch: 1,
+        probes_per_test: 3,
+        ..AimConfig::default()
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("aim_campaign_table1_countries", |b| {
+        b.iter(|| {
+            AimCampaign::run_for(&tiny_aim(), &["ES", "MZ", "KE", "GT"])
+                .records()
+                .len()
+        })
+    });
+
+    group.bench_function("web_campaign_de", |b| {
+        let page = PageModel::typical_landing_page();
+        let cfg = WebConfig {
+            epochs: 1,
+            fetches_per_epoch: 2,
+            ..WebConfig::default()
+        };
+        b.iter(|| browse_campaign(&["DE"], &page, &cfg).len())
+    });
+
+    group.bench_function("fig7_hop_bound_small", |b| {
+        b.iter(|| hop_bound_experiment(&[5], 30, 1, 1).len())
+    });
+
+    group.bench_function("fig8_duty_cycle_small", |b| {
+        b.iter(|| duty_cycle_experiment(&[0.5], 30, 1, 1).len())
+    });
+
+    group.bench_function("linkload_route_100_flows", |b| {
+        use spacecdn_lsn::{FaultPlan, IslGraph, LinkLoad};
+        use spacecdn_orbit::shell::shells;
+        use spacecdn_orbit::Constellation;
+        let c = Constellation::new(shells::starlink_shell1());
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        b.iter(|| {
+            let mut load = LinkLoad::new();
+            for i in 0..100i64 {
+                load.route(&g, c.sat_at(i % 72, i % 22), c.sat_at((i + 17) % 72, (i + 9) % 22), 1.0);
+            }
+            load.total_link_work()
+        })
+    });
+
+    group.bench_function("workload_one_minute", |b| {
+        use spacecdn_core::network::LsnNetwork;
+        use spacecdn_core::simulation::{run_workload, WorkloadConfig};
+        let net = LsnNetwork::starlink();
+        let cfg = WorkloadConfig {
+            duration: spacecdn_geo::SimDuration::from_mins(1),
+            mean_interarrival: spacecdn_geo::SimDuration::from_millis(1000),
+            ..WorkloadConfig::default()
+        };
+        b.iter(|| run_workload(&net, &cfg).requests)
+    });
+
+    group.bench_function("retrieval_single_fetch", |b| {
+        use spacecdn_core::network::LsnNetwork;
+        use spacecdn_core::placement::PlacementStrategy;
+        use spacecdn_core::retrieval::{retrieve, RetrievalConfig};
+        let net = LsnNetwork::starlink();
+        let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+        let mut rng = DetRng::new(1, "bench-retrieval");
+        let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+        let cfg = RetrievalConfig {
+            max_isl_hops: 10,
+            ground_fallback_rtt: Latency::from_ms(150.0),
+        };
+        let user = spacecdn_geo::Geodetic::ground(-25.97, 32.57);
+        b.iter(|| retrieve(snap.graph(), net.access(), user, &caches, &cfg, None))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

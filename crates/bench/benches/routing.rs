@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the ISL routing substrate: snapshot construction,
+//! Dijkstra, hop-bounded BFS — the inner loops of every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spacecdn_geo::SimTime;
+use spacecdn_lsn::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph};
+use spacecdn_orbit::shell::shells;
+use spacecdn_orbit::{Constellation, SatIndex};
+
+fn bench_routing(c: &mut Criterion) {
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let graph = IslGraph::build(&constellation, SimTime::EPOCH, &FaultPlan::none());
+    let src = constellation.sat_at(10, 5);
+    let dst = constellation.sat_at(46, 16);
+
+    c.bench_function("isl_graph_build_shell1", |b| {
+        b.iter(|| {
+            IslGraph::build(
+                black_box(&constellation),
+                SimTime::from_secs(137),
+                &FaultPlan::none(),
+            )
+        })
+    });
+
+    c.bench_function("dijkstra_point_to_point", |b| {
+        b.iter(|| dijkstra(black_box(&graph), src, dst))
+    });
+
+    c.bench_function("dijkstra_single_source_all", |b| {
+        b.iter(|| dijkstra_distances(black_box(&graph), src))
+    });
+
+    c.bench_function("bfs_hop_distances_all", |b| {
+        b.iter(|| hop_distances(black_box(&graph), src))
+    });
+
+    c.bench_function("bfs_nearest_within_10", |b| {
+        b.iter(|| bfs_nearest(black_box(&graph), src, 10, |s| s == dst || s == SatIndex(3)))
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

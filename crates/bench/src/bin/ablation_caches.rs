@@ -1,0 +1,93 @@
+//! Ablation: cache eviction policies on a regional Zipf workload — which
+//! policy should fly?
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_content::cache::{Cache, FifoCache, LfuCache, LruCache};
+use spacecdn_content::catalog::{Catalog, ContentId, RegionTag};
+use spacecdn_content::popularity::RegionalPopularity;
+use spacecdn_geo::DetRng;
+use spacecdn_measure::report::{format_table, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    cache_mb: u64,
+    hit_ratio: f64,
+    evictions: u64,
+}
+
+fn run_policy(
+    cache: &mut dyn Cache,
+    catalog: &Catalog,
+    pop: &RegionalPopularity,
+    trials: usize,
+    seed: u64,
+) -> (f64, u64) {
+    let mut rng = DetRng::new(seed, "cache-ablation");
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        let id: ContentId = pop.sample(RegionTag(0), &mut rng);
+        if cache.get(id) {
+            hits += 1;
+        } else if let Some(obj) = catalog.get(id) {
+            cache.insert(id, obj.size_bytes);
+        }
+    }
+    (hits as f64 / trials as f64, cache.stats().evictions)
+}
+
+fn main() {
+    banner(
+        "Ablation — eviction policies under regional Zipf demand",
+        "pull-through caches on power-limited satellites: which policy \
+         earns its metadata updates?",
+    );
+    let mut rng = DetRng::new(31, "cache-ablation-setup");
+    let catalog = Catalog::generate(5000, &[RegionTag(0)], 0.5, &mut rng);
+    let pop = RegionalPopularity::build(&catalog, 1, 1.0, 6.0, &mut rng);
+    let trials = scaled(40_000);
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for cache_mb in [100u64, 400, 1600] {
+        let cap = cache_mb * 1_000_000;
+        let results: Vec<(String, f64, u64)> = vec![
+            {
+                let mut c = LruCache::new(cap);
+                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
+                ("LRU".into(), h, e)
+            },
+            {
+                let mut c = LfuCache::new(cap);
+                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
+                ("LFU".into(), h, e)
+            },
+            {
+                let mut c = FifoCache::new(cap);
+                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
+                ("FIFO".into(), h, e)
+            },
+        ];
+        for (policy, hit, evictions) in results {
+            rows.push(vec![
+                policy.clone(),
+                format!("{cache_mb} MB"),
+                format!("{:.1}%", hit * 100.0),
+                evictions.to_string(),
+            ]);
+            rows_json.push(Row {
+                policy,
+                cache_mb,
+                hit_ratio: hit,
+                evictions,
+            });
+        }
+    }
+    println!(
+        "{}",
+        format_table(&["policy", "cache", "hit ratio", "evictions"], &rows)
+    );
+    write_json(&results_dir().join("ablation_caches.json"), &rows_json).expect("write json");
+    println!("json: results/ablation_caches.json");
+}

@@ -1,0 +1,131 @@
+//! Ablation: cache-placement strategies. The paper argues ~4 copies per
+//! plane reach any user within 5 hops; this sweep compares per-plane,
+//! random, and covering-radius placements at equal copy budgets.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{DetRng, Latency, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_terra::city::cities;
+use spacecdn_terra::starlink::covered_countries;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    copies: usize,
+    median_ms: f64,
+    p90_ms: f64,
+    ground_fallback_pct: f64,
+    mean_hops: f64,
+}
+
+fn main() {
+    banner(
+        "Ablation — placement strategies at matched copy budgets",
+        "§4: '~4 copies within each plane ⇒ reachable within 5 hops'",
+    );
+    let net = LsnNetwork::starlink();
+    let covered = covered_countries();
+    let pool: Vec<_> = cities().iter().filter(|c| covered.contains(&c.cc)).collect();
+    let trials = scaled(800);
+
+    let strategies: Vec<(String, PlacementStrategy)> = vec![
+        ("per-plane k=1".into(), PlacementStrategy::PerPlane { k: 1 }),
+        ("per-plane k=2".into(), PlacementStrategy::PerPlane { k: 2 }),
+        ("per-plane k=4".into(), PlacementStrategy::PerPlane { k: 4 }),
+        (
+            "random 288".into(),
+            PlacementStrategy::RandomCount { count: 288 },
+        ),
+        (
+            "cover r=3".into(),
+            PlacementStrategy::CoverRadius { hops: 3 },
+        ),
+        (
+            "cover r=5".into(),
+            PlacementStrategy::CoverRadius { hops: 5 },
+        ),
+    ];
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for (name, strat) in strategies {
+        let mut lat = Percentiles::new();
+        let mut ground = 0usize;
+        let mut hops_sum = 0u64;
+        let mut hops_n = 0u64;
+        for epoch in 0..4u64 {
+            let snap = net.snapshot(SimTime::from_secs(epoch * 157), &FaultPlan::none());
+            let mut rng = DetRng::new(99, &format!("placement/{name}/{epoch}"));
+            let cfg = RetrievalConfig {
+                max_isl_hops: 10,
+                ground_fallback_rtt: Latency::from_ms(150.0),
+            };
+            for _ in 0..trials / 4 {
+                let city = *rng.choose(&pool).expect("pool");
+                let caches = strat.place(net.constellation(), &mut rng);
+                let out = retrieve(
+                    snap.graph(),
+                    net.access(),
+                    city.position(),
+                    &caches,
+                    &cfg,
+                    Some(&mut rng),
+                )
+                .expect("alive");
+                match out.source {
+                    RetrievalSource::Ground => ground += 1,
+                    RetrievalSource::Overhead => {
+                        lat.add(out.rtt.ms());
+                        hops_n += 1;
+                    }
+                    RetrievalSource::Isl { hops } => {
+                        lat.add(out.rtt.ms());
+                        hops_sum += hops as u64;
+                        hops_n += 1;
+                    }
+                }
+            }
+        }
+        let copies = strat.copy_count(net.constellation());
+        let median = lat.median().unwrap_or(f64::NAN);
+        let p90 = lat.quantile(0.9).unwrap_or(f64::NAN);
+        let gpct = 100.0 * ground as f64 / trials as f64;
+        let mean_hops = if hops_n > 0 {
+            hops_sum as f64 / hops_n as f64
+        } else {
+            f64::NAN
+        };
+        rows.push(vec![
+            name.clone(),
+            copies.to_string(),
+            format!("{median:.1}"),
+            format!("{p90:.1}"),
+            format!("{gpct:.1}%"),
+            format!("{mean_hops:.1}"),
+        ]);
+        rows_json.push(Row {
+            strategy: name,
+            copies,
+            median_ms: median,
+            p90_ms: p90,
+            ground_fallback_pct: gpct,
+            mean_hops,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["strategy", "copies", "median ms", "p90 ms", "ground", "mean hops"],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("ablation_placement.json"), &rows_json)
+        .expect("write json");
+    println!("json: results/ablation_placement.json");
+}

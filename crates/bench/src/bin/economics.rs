@@ -1,0 +1,74 @@
+//! §5 arithmetic: power/thermal feasibility of satellite caches and
+//! constellation storage economics.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir};
+use spacecdn_core::power::{PowerModel, StorageEconomics};
+use spacecdn_measure::report::{format_table, write_json};
+
+#[derive(Serialize)]
+struct Out {
+    thermal_duty_bound: f64,
+    hours_to_thermal_limit: f64,
+    duty_feasibility: Vec<(f64, bool)>,
+    total_storage_pb: f64,
+    two_hour_video_gb: f64,
+    video_capacity_millions: f64,
+}
+
+fn main() {
+    banner(
+        "§5 — operational overheads and storage economics",
+        "a server fits the power budget; thermals cap continuous serving \
+         (hours); 6 000 × 150 TB ⇒ >900 PB ⇒ >300 M 2-hour 1080p videos",
+    );
+    let power = PowerModel::default();
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "thermal duty bound".to_string(),
+        format!("{:.0}%", power.thermal_duty_bound() * 100.0),
+    ]);
+    rows.push(vec![
+        "continuous serving until thermal limit".to_string(),
+        format!("{:.1} h", power.hours_to_thermal_limit()),
+    ]);
+    let mut duty_rows = Vec::new();
+    for duty in [0.3, 0.5, 0.6, 0.8, 1.0] {
+        duty_rows.push((duty, power.duty_feasible(duty)));
+        rows.push(vec![
+            format!("duty {:.0}% feasible", duty * 100.0),
+            if power.duty_feasible(duty) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    let econ = StorageEconomics::paper_2024();
+    let video_gb = StorageEconomics::two_hour_video_gb(3.0);
+    let videos = econ.video_capacity(video_gb);
+    rows.push(vec![
+        "constellation storage".to_string(),
+        format!("{:.0} PB", econ.total_pb()),
+    ]);
+    rows.push(vec![
+        "2-hour 1080p30 video".to_string(),
+        format!("{video_gb:.2} GB"),
+    ]);
+    rows.push(vec![
+        "video capacity".to_string(),
+        format!("{:.0} M unique videos", videos / 1e6),
+    ]);
+    println!("{}", format_table(&["quantity", "value"], &rows));
+
+    write_json(
+        &results_dir().join("economics.json"),
+        &Out {
+            thermal_duty_bound: power.thermal_duty_bound(),
+            hours_to_thermal_limit: power.hours_to_thermal_limit(),
+            duty_feasibility: duty_rows,
+            total_storage_pb: econ.total_pb(),
+            two_hour_video_gb: video_gb,
+            video_capacity_millions: videos / 1e6,
+        },
+    )
+    .expect("write json");
+    println!("json: results/economics.json");
+}

@@ -1,0 +1,197 @@
+//! `explore` — a command-line lens on the simulated world.
+//!
+//! ```text
+//! explore cities [CC]         list the embedded city dataset
+//! explore pops                the 22 Starlink PoPs and their service areas
+//! explore city <name>         everything about one city's connectivity
+//! explore pair <a> <b>        route dynamics between two cities
+//! explore constellation       Shell 1 at a glance
+//! ```
+
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_geo::{SimDuration, SimTime};
+use spacecdn_lsn::{churn_report, route_samples, FaultPlan};
+use spacecdn_measure::report::format_table;
+use spacecdn_terra::cdn::{cdn_sites, rank_sites};
+use spacecdn_terra::city::{cities, city_by_name};
+use spacecdn_terra::starlink::{covered_countries, home_pop, starlink_pops};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore <command>\n\
+         \n\
+         commands:\n\
+         \x20 cities [CC]        list cities (optionally one country)\n\
+         \x20 pops               list Starlink PoPs and homing examples\n\
+         \x20 city <name>        one city's CDN + Starlink connectivity\n\
+         \x20 pair <a> <b>       ISL route dynamics between two cities\n\
+         \x20 constellation      Shell 1 at a glance"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_cities(cc: Option<&str>) {
+    let rows: Vec<Vec<String>> = cities()
+        .iter()
+        .filter(|c| cc.is_none_or(|cc| c.cc == cc))
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.cc.to_string(),
+                format!("{:.2}", c.lat_deg),
+                format!("{:.2}", c.lon_deg),
+                format!("{}k", c.population_k),
+                if c.has_cdn { "yes" } else { "" }.to_string(),
+                if covered_countries().contains(&c.cc) {
+                    "yes"
+                } else {
+                    ""
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["city", "cc", "lat", "lon", "pop", "cdn", "starlink"], &rows)
+    );
+}
+
+fn cmd_pops() {
+    let rows: Vec<Vec<String>> = starlink_pops()
+        .iter()
+        .map(|p| {
+            vec![
+                p.city.name.to_string(),
+                p.city.cc.to_string(),
+                format!("{:.1}", p.city.lat_deg),
+                format!("{:.1}", p.city.lon_deg),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&["PoP", "cc", "lat", "lon"], &rows));
+    println!("examples of country homing:");
+    for (cc, city) in [("MZ", "Maputo"), ("KE", "Nairobi"), ("LT", "Vilnius"), ("BR", "Sao Paulo")] {
+        let c = city_by_name(city).expect("city");
+        let pop = home_pop(cc, c.position());
+        println!(
+            "  {cc} → {} ({:.0} km)",
+            pop.city.name,
+            c.position().great_circle_distance(pop.position()).0
+        );
+    }
+}
+
+fn cmd_city(name: &str) {
+    let Some(city) = city_by_name(name) else {
+        eprintln!("unknown city {name:?} — try `explore cities`");
+        std::process::exit(1);
+    };
+    let net = LsnNetwork::starlink();
+    let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+    println!(
+        "{} ({}, {}) at ({:.2}, {:.2}), population {}k",
+        city.name, city.country, city.cc, city.lat_deg, city.lon_deg, city.population_k
+    );
+
+    let sites = cdn_sites();
+    let terr = rank_sites(city.position(), city.region, &sites, net.fiber());
+    println!("\nnearest CDN sites (terrestrial egress):");
+    for (site, rtt) in terr.iter().take(5) {
+        println!("  {:<16} {:>6.1} ms", site.city.name, rtt.ms());
+    }
+
+    if covered_countries().contains(&city.cc) {
+        let pop = snap.home_pop(city.cc, city.position());
+        if let Some(path) = snap.starlink_rtt_to_pop(city.position(), &pop, None) {
+            println!(
+                "\nStarlink: homes to {} ({:.0} km), RTT {:.1} ms over {} ISL hops, \
+                 landing at the {} gateway{}",
+                pop.city.name,
+                city.position().great_circle_distance(pop.position()).0,
+                path.rtt.ms(),
+                path.isl_hops,
+                path.landing_gateway,
+                if path.via_gateway_relay {
+                    " (gateway relay)"
+                } else {
+                    ""
+                }
+            );
+            let star = rank_sites(pop.position(), pop.city.region, &sites, net.fiber());
+            println!(
+                "  anycast from the PoP picks: {} (+{:.1} ms)",
+                star[0].0.city.name,
+                star[0].1.ms()
+            );
+        }
+    } else {
+        println!("\nStarlink: no modelled coverage in {}", city.cc);
+    }
+}
+
+fn cmd_pair(a: &str, b: &str) {
+    let (Some(ca), Some(cb)) = (city_by_name(a), city_by_name(b)) else {
+        eprintln!("unknown city — try `explore cities`");
+        std::process::exit(1);
+    };
+    let net = LsnNetwork::starlink();
+    let samples = route_samples(
+        net.constellation(),
+        ca.position(),
+        cb.position(),
+        SimTime::EPOCH,
+        SimDuration::from_mins(15),
+        SimDuration::from_secs(30),
+    );
+    println!(
+        "ISL route {} → {} over 15 minutes ({} samples):",
+        ca.name,
+        cb.name,
+        samples.len()
+    );
+    for s in samples.iter().step_by(4) {
+        println!(
+            "  t={:>4.0}s  {} sats, one-way {:.1} ms",
+            s.t.as_secs_f64(),
+            s.sats.len(),
+            s.propagation_ms
+        );
+    }
+    if let Some(report) = churn_report(&samples, SimDuration::from_secs(30)) {
+        println!(
+            "route changes: {} (mean lifetime {:.0}s, max reroute jump {:.1} ms)",
+            report.route_changes, report.mean_route_lifetime_s, report.max_reroute_jump_ms
+        );
+    }
+}
+
+fn cmd_constellation() {
+    let net = LsnNetwork::starlink();
+    let c = net.constellation();
+    let cfg = c.config();
+    let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+    println!("Starlink Shell 1 (as simulated):");
+    println!("  satellites: {} ({} planes × {})", c.len(), cfg.plane_count, cfg.sats_per_plane);
+    println!("  altitude {} km, inclination {}°", cfg.altitude_km, cfg.inclination_deg);
+    println!("  orbital period {:.1} min, speed {:.2} km/s", cfg.period_s() / 60.0, cfg.orbital_speed_km_s());
+    println!("  ISLs: {} directed links (+Grid)", snap.graph().edge_count());
+    println!("  intra-plane spacing {:.0} km", cfg.intra_plane_spacing_km());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cities") => cmd_cities(args.get(1).map(String::as_str)),
+        Some("pops") => cmd_pops(),
+        Some("city") => cmd_city(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("pair") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            cmd_pair(a, b);
+        }
+        Some("constellation") => cmd_constellation(),
+        _ => usage(),
+    }
+}

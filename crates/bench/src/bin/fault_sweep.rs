@@ -1,0 +1,99 @@
+//! Extension experiment: availability under satellite failures — how the
+//! SpaceCDN degrades as the fleet loses 0–40 % of its satellites.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{DetRng, Latency, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_terra::city::cities;
+use spacecdn_terra::starlink::covered_countries;
+
+#[derive(Serialize)]
+struct Row {
+    failed_fraction: f64,
+    space_hit_pct: f64,
+    median_ms: f64,
+    p90_ms: f64,
+}
+
+fn main() {
+    banner(
+        "Fault sweep — SpaceCDN under fleet degradation",
+        "copies die with their satellites and routes detour around holes; \
+         the ground fallback bounds the damage",
+    );
+    let net = LsnNetwork::starlink();
+    let covered = covered_countries();
+    let pool: Vec<_> = cities().iter().filter(|c| covered.contains(&c.cc)).collect();
+    let trials = scaled(600);
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for failed in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let mut lat = Percentiles::new();
+        let mut space_hits = 0usize;
+        let mut total = 0usize;
+        for epoch in 0..3u64 {
+            let mut frng = DetRng::new(17, &format!("sweep/{failed}/{epoch}"));
+            let mut faults = FaultPlan::none();
+            faults.fail_random_sats(net.constellation().len(), failed, &mut frng);
+            let snap = net.snapshot(SimTime::from_secs(epoch * 157), &faults);
+            let mut rng = DetRng::new(19, &format!("sweep-req/{failed}/{epoch}"));
+            // Copies are placed on the *intended* fleet; failures silently
+            // remove them — exactly what an operator experiences.
+            let caches =
+                PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+            let cfg = RetrievalConfig {
+                max_isl_hops: 8,
+                ground_fallback_rtt: Latency::from_ms(160.0),
+            };
+            for _ in 0..trials / 3 {
+                let city = *rng.choose(&pool).expect("pool");
+                let Some(out) = retrieve(
+                    snap.graph(),
+                    net.access(),
+                    city.position(),
+                    &caches,
+                    &cfg,
+                    Some(&mut rng),
+                ) else {
+                    continue;
+                };
+                total += 1;
+                lat.add(out.rtt.ms());
+                if out.source != RetrievalSource::Ground {
+                    space_hits += 1;
+                }
+            }
+        }
+        let hit_pct = 100.0 * space_hits as f64 / total.max(1) as f64;
+        let median = lat.median().unwrap_or(f64::NAN);
+        let p90 = lat.quantile(0.9).unwrap_or(f64::NAN);
+        rows.push(vec![
+            format!("{:.0}%", failed * 100.0),
+            format!("{hit_pct:.1}%"),
+            format!("{median:.1}"),
+            format!("{p90:.1}"),
+        ]);
+        rows_json.push(Row {
+            failed_fraction: failed,
+            space_hit_pct: hit_pct,
+            median_ms: median,
+            p90_ms: p90,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["failed satellites", "served from space", "median ms", "p90 ms"],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("fault_sweep.json"), &rows_json).expect("write json");
+    println!("json: results/fault_sweep.json");
+}

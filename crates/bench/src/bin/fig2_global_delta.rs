@@ -1,0 +1,71 @@
+//! Figure 2: per-country Δ median min-RTT (Starlink − terrestrial) to the
+//! optimal CDN site, plus the 22 PoP locations drawn on the paper's map.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::aim::{AimCampaign, AimConfig};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_terra::starlink::starlink_pops;
+
+#[derive(Serialize)]
+struct Out {
+    deltas: Vec<(String, f64)>,
+    pops: Vec<(String, f64, f64)>,
+}
+
+fn main() {
+    banner(
+        "Figure 2 — Δ median RTT (Starlink − terrestrial) per country",
+        "terrestrial faster nearly everywhere, typically ~50 ms; \
+         120-150 ms gaps across ISL-dependent Africa",
+    );
+    let config = AimConfig {
+        epochs: scaled(6).min(8),
+        tests_per_epoch: scaled(4).min(6),
+        ..AimConfig::default()
+    };
+    let campaign = AimCampaign::run(&config);
+    let deltas = campaign.delta_by_country();
+
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|(cc, d)| {
+            let marker = if *d > 100.0 {
+                "█ severe"
+            } else if *d > 40.0 {
+                "▆ high"
+            } else if *d > 0.0 {
+                "▂ moderate"
+            } else {
+                "· starlink faster"
+            };
+            vec![cc.to_string(), format!("{d:+.1}"), marker.to_string()]
+        })
+        .collect();
+    println!("{}", format_table(&["country", "Δ ms", "band"], &rows));
+
+    let positive = deltas.iter().filter(|(_, d)| *d > 0.0).count();
+    println!(
+        "terrestrial faster in {positive}/{} countries; worst: {} ({:+.1} ms)",
+        deltas.len(),
+        deltas[0].0,
+        deltas[0].1
+    );
+
+    println!("\n22 operational PoPs:");
+    let pops: Vec<(String, f64, f64)> = starlink_pops()
+        .iter()
+        .map(|p| (p.city.name.to_string(), p.city.lat_deg, p.city.lon_deg))
+        .collect();
+    for chunk in pops.chunks(4) {
+        let line: Vec<String> = chunk.iter().map(|(n, _, _)| n.clone()).collect();
+        println!("  {}", line.join(", "));
+    }
+
+    let out = Out {
+        deltas: deltas.iter().map(|(c, d)| (c.to_string(), *d)).collect(),
+        pops,
+    };
+    write_json(&results_dir().join("fig2.json"), &out).expect("write json");
+    println!("\njson: results/fig2.json");
+}

@@ -1,0 +1,62 @@
+//! Figure 4: CDF of the paired HTTP-response-time difference
+//! (Starlink − terrestrial) for NG, KE, DE, US, CA, GB.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_measure::web::{browse_campaign, hrt_difference, PageModel, WebConfig};
+
+const COUNTRIES: [&str; 6] = ["NG", "KE", "DE", "US", "CA", "GB"];
+
+#[derive(Serialize)]
+struct Series {
+    cc: String,
+    cdf: Vec<(f64, f64)>,
+    median: f64,
+    frac_starlink_faster: f64,
+}
+
+fn main() {
+    banner(
+        "Figure 4 — HRT difference CDF (Starlink − terrestrial)",
+        "terrestrial faster by ~20-50 ms (up to 100 ms); Nigeria is the \
+         outlier where Starlink wins",
+    );
+    let page = PageModel::typical_landing_page();
+    let config = WebConfig {
+        epochs: scaled(6).min(8),
+        fetches_per_epoch: scaled(10).min(12),
+        ..WebConfig::default()
+    };
+    let records = browse_campaign(&COUNTRIES, &page, &config);
+
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for cc in COUNTRIES {
+        let mut diff = hrt_difference(&records, cc);
+        let median = diff.median().expect("samples");
+        let faster = diff.fraction_at_or_below(0.0);
+        rows.push(vec![
+            cc.to_string(),
+            format!("{:+.1}", diff.quantile(0.1).unwrap()),
+            format!("{median:+.1}"),
+            format!("{:+.1}", diff.quantile(0.9).unwrap()),
+            format!("{:.0}%", faster * 100.0),
+        ]);
+        series.push(Series {
+            cc: cc.to_string(),
+            cdf: diff.cdf(40).points,
+            median,
+            frac_starlink_faster: faster,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["country", "p10 Δms", "median Δms", "p90 Δms", "starlink faster"],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("fig4.json"), &series).expect("write json");
+    println!("json: results/fig4.json");
+}

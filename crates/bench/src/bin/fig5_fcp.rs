@@ -1,0 +1,82 @@
+//! Figure 5: first-contentful-paint box statistics for Starlink and
+//! terrestrial access in Germany and the United Kingdom.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::aim::IspKind;
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_measure::web::{browse_campaign, fcp_distribution, PageModel, WebConfig};
+
+#[derive(Serialize)]
+struct BoxRow {
+    cc: String,
+    isp: String,
+    min_ms: f64,
+    q1_ms: f64,
+    median_ms: f64,
+    q3_ms: f64,
+    max_ms: f64,
+}
+
+fn main() {
+    banner(
+        "Figure 5 — FCP boxes, DE and GB",
+        "median FCP ~200 ms higher on Starlink even with local PoPs",
+    );
+    let page = PageModel::typical_landing_page();
+    let config = WebConfig {
+        epochs: scaled(8).min(10),
+        fetches_per_epoch: scaled(12).min(16),
+        ..WebConfig::default()
+    };
+    let records = browse_campaign(&["DE", "GB"], &page, &config);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for cc in ["DE", "GB"] {
+        for (isp, label) in [(IspKind::Starlink, "Starlink"), (IspKind::Terrestrial, "Terrestrial")]
+        {
+            let mut dist = fcp_distribution(&records, cc, isp);
+            let f = dist.five_number().expect("samples");
+            rows.push(vec![
+                cc.to_string(),
+                label.to_string(),
+                format!("{:.0}", f.min),
+                format!("{:.0}", f.q1),
+                format!("{:.0}", f.median),
+                format!("{:.0}", f.q3),
+                format!("{:.0}", f.max),
+            ]);
+            out.push(BoxRow {
+                cc: cc.to_string(),
+                isp: label.to_string(),
+                min_ms: f.min,
+                q1_ms: f.q1,
+                median_ms: f.median,
+                q3_ms: f.q3,
+                max_ms: f.max,
+            });
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["country", "isp", "min", "q1", "median", "q3", "max"],
+            &rows,
+        )
+    );
+    for cc in ["DE", "GB"] {
+        let med = |isp: &str| {
+            out.iter()
+                .find(|r| r.cc == cc && r.isp == isp)
+                .map(|r| r.median_ms)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{cc}: Starlink median FCP is {:+.0} ms vs terrestrial",
+            med("Starlink") - med("Terrestrial")
+        );
+    }
+    write_json(&results_dir().join("fig5.json"), &out).expect("write json");
+    println!("json: results/fig5.json");
+}

@@ -1,0 +1,94 @@
+//! Figure 8: SpaceCDN fetch latencies with 30 %/50 %/80 % of satellites
+//! duty-cycling as caches, against the terrestrial median line.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::aim::{AimCampaign, AimConfig, IspKind};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_measure::spacecdn::duty_cycle_experiment;
+
+#[derive(Serialize)]
+struct BoxRow {
+    fraction: f64,
+    min_ms: f64,
+    q1_ms: f64,
+    median_ms: f64,
+    q3_ms: f64,
+    max_ms: f64,
+}
+
+fn main() {
+    banner(
+        "Figure 8 — duty-cycled cache latencies (30/50/80 % active)",
+        "≥50 % of satellites caching keeps SpaceCDN competitive with the \
+         terrestrial-ISP-to-CDN median",
+    );
+    let aim_config = AimConfig {
+        epochs: scaled(4).min(6),
+        tests_per_epoch: scaled(3).min(4),
+        ..AimConfig::default()
+    };
+    let campaign = AimCampaign::run(&aim_config);
+    let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
+    let terr_median = terr.median().expect("samples");
+
+    let results = duty_cycle_experiment(&[0.8, 0.5, 0.3], scaled(1500), scaled(6).min(8), 42);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for mut r in results {
+        let f = r.latencies.five_number().expect("samples");
+        rows.push(vec![
+            format!("{:.0}%", r.fraction * 100.0),
+            format!("{:.1}", f.min),
+            format!("{:.1}", f.q1),
+            format!("{:.1}", f.median),
+            format!("{:.1}", f.q3),
+            format!("{:.1}", f.max),
+            if f.median <= terr_median {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+        out.push(BoxRow {
+            fraction: r.fraction,
+            min_ms: f.min,
+            q1_ms: f.q1,
+            median_ms: f.median,
+            q3_ms: f.q3,
+            max_ms: f.max,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "active caches",
+                "min",
+                "q1",
+                "median",
+                "q3",
+                "max",
+                "≤ terrestrial median",
+            ],
+            &rows,
+        )
+    );
+    println!("terrestrial-ISP-to-CDN median: {terr_median:.1} ms");
+
+    #[derive(Serialize)]
+    struct Out {
+        terrestrial_median_ms: f64,
+        boxes: Vec<BoxRow>,
+    }
+    write_json(
+        &results_dir().join("fig8.json"),
+        &Out {
+            terrestrial_median_ms: terr_median,
+            boxes: out,
+        },
+    )
+    .expect("write json");
+    println!("json: results/fig8.json");
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: laser-backbone load with and without SpaceCDN.
+//!
+//! Every bent-pipe content fetch from a far-homed country drags its bytes
+//! across dozens of ISLs twice (request path and response path share the
+//! chain). Serving content from nearby satellite caches shrinks the chain
+//! to a few hops — the backbone relief is a benefit of SpaceCDN the paper
+//! does not quantify.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_geo::{DetRng, SimTime};
+use spacecdn_lsn::{bfs_nearest, FaultPlan, LinkLoad};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_terra::city::cities;
+use spacecdn_terra::starlink::{covered_countries, gateways, home_pop};
+
+#[derive(Serialize)]
+struct Out {
+    scenario: String,
+    mean_isl_hops: f64,
+    max_link_load: f64,
+    p95_link_load: f64,
+    loaded_links: usize,
+}
+
+fn main() {
+    banner(
+        "ISL backbone load — bent pipe vs SpaceCDN",
+        "local cache hits keep content traffic off the laser backbone; the \
+         bent pipe drags every byte to the PoP's gateway corridor",
+    );
+    let net = LsnNetwork::starlink();
+    let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+    let graph = snap.graph();
+    let covered = covered_countries();
+    let gws = gateways();
+    let mut rng = DetRng::new(2, "isl-load");
+    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+
+    // Demand: each covered city offers traffic ∝ population (arbitrary
+    // units; only relative loads matter).
+    let mut bent = LinkLoad::new();
+    let mut space = LinkLoad::new();
+    for city in cities().iter().filter(|c| covered.contains(&c.cc)) {
+        let demand = (city.population_k as f64 / 1000.0).max(0.2);
+        let Some((up_sat, _)) = snap.overhead_sat(city.position()) else {
+            continue;
+        };
+
+        // Bent pipe: route to the satellite over the gateway nearest the
+        // home PoP (the dominant corridor for this country's traffic).
+        let pop = home_pop(city.cc, city.position());
+        let gw = gws
+            .iter()
+            .min_by(|a, b| {
+                let da = pop.position().great_circle_distance(a.position()).0;
+                let db = pop.position().great_circle_distance(b.position()).0;
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("gateways");
+        if let Some((down_sat, _)) = graph.nearest_alive(gw.position()) {
+            bent.route(graph, up_sat, down_sat, demand);
+        }
+
+        // SpaceCDN: route to the nearest cache copy (k=4 per plane).
+        if let Some(path) = bfs_nearest(graph, up_sat, 10, |s| caches.contains(&s)) {
+            let serving = *path.sats.last().expect("non-empty");
+            space.route(graph, up_sat, serving, demand);
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, load) in [("bent pipe to PoP", &bent), ("SpaceCDN (k=4/plane)", &space)] {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", load.mean_hops()),
+            format!("{:.1}", load.max_link().map(|(_, l)| l).unwrap_or(0.0)),
+            format!("{:.1}", load.quantile(0.95).unwrap_or(0.0)),
+            load.loaded_links().to_string(),
+        ]);
+        out.push(Out {
+            scenario: name.to_string(),
+            mean_isl_hops: load.mean_hops(),
+            max_link_load: load.max_link().map(|(_, l)| l).unwrap_or(0.0),
+            p95_link_load: load.quantile(0.95).unwrap_or(0.0),
+            loaded_links: load.loaded_links(),
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &["scenario", "mean ISL hops", "max link load", "p95 link load", "loaded links"],
+            &rows,
+        )
+    );
+    println!(
+        "backbone work ratio (bent / spacecdn): {:.1}×",
+        bent.total_link_work() / space.total_link_work().max(1e-9)
+    );
+    write_json(&results_dir().join("isl_load.json"), &out).expect("write json");
+    println!("json: results/isl_load.json");
+}

@@ -1,0 +1,57 @@
+//! Extension experiment: coverage and SpaceCDN availability by latitude,
+//! Shell 1 alone versus the full 2024 multi-shell fleet.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir};
+use spacecdn_geo::Geodetic;
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_orbit::multishell::MultiConstellation;
+use spacecdn_orbit::visibility::VisibilityMask;
+
+#[derive(Serialize)]
+struct Row {
+    latitude_deg: f64,
+    shell1_coverage: f64,
+    fleet_coverage: f64,
+}
+
+fn main() {
+    banner(
+        "Multi-shell coverage — why the 70°/97.6° shells exist",
+        "a 53° shell leaves high latitudes dark; the full fleet serves them \
+         (extension beyond the paper's Shell-1 simulation)",
+    );
+    let fleet = MultiConstellation::starlink_2024();
+    let shell1 = MultiConstellation::new(&[*fleet.shell(0).config()]);
+    let mask = VisibilityMask::STARLINK;
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for lat in [0.0, 25.0, 45.0, 53.0, 60.0, 70.0, 80.0, 85.0] {
+        let point = Geodetic::ground(lat, 15.0);
+        let s1 = shell1.coverage_fraction(point, mask, 24, 300);
+        let full = fleet.coverage_fraction(point, mask, 24, 300);
+        rows.push(vec![
+            format!("{lat:.0}°"),
+            format!("{:.0}%", s1 * 100.0),
+            format!("{:.0}%", full * 100.0),
+        ]);
+        rows_json.push(Row {
+            latitude_deg: lat,
+            shell1_coverage: s1,
+            fleet_coverage: full,
+        });
+    }
+    println!(
+        "{}",
+        format_table(&["latitude", "shell 1 only", "full fleet"], &rows)
+    );
+    println!(
+        "total satellites: shell 1 = {}, fleet = {}",
+        shell1.total_sats(),
+        fleet.total_sats()
+    );
+    write_json(&results_dir().join("multishell_coverage.json"), &rows_json)
+        .expect("write json");
+    println!("json: results/multishell_coverage.json");
+}

@@ -1,0 +1,65 @@
+//! Run every experiment binary in sequence (quick mode by default) —
+//! the one-command reproduction of the paper's evaluation.
+
+use std::process::Command;
+
+const BINS: [&str; 21] = [
+    "table1",
+    "fig2_global_delta",
+    "fig3_maputo",
+    "fig4_hrt",
+    "fig5_fcp",
+    "fig7_spacecdn_cdf",
+    "fig8_duty_cycle",
+    "economics",
+    "geoblocking",
+    "ablation_striping",
+    "ablation_bubbles",
+    "ablation_placement",
+    "ablation_caches",
+    "streaming_qoe",
+    "rtt_trace",
+    "spacevm_handoff",
+    "wormhole_capacity",
+    "workload_dashboard",
+    "multishell_coverage",
+    "isl_load",
+    "fault_sweep",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n### running {bin} ###\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!(
+                    "{bin} failed to launch ({e}); build all binaries first: \
+                     cargo build --release -p spacecdn-bench --bins"
+                );
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; JSON in results/");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

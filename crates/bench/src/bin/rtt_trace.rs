@@ -1,0 +1,71 @@
+//! Extension experiment: bent-pipe RTT traces and handover statistics for
+//! representative vantage points.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, quick_mode};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_geo::{SimDuration, SimTime};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_measure::trace::{rtt_trace, trace_stats, TracePoint};
+use spacecdn_terra::city::city_by_name;
+
+#[derive(Serialize)]
+struct Out {
+    city: String,
+    stats: spacecdn_measure::trace::TraceStats,
+    trace: Vec<TracePoint>,
+}
+
+fn main() {
+    banner(
+        "RTT traces — the bent-pipe sawtooth",
+        "serving satellites change within minutes; far-homed paths ride \
+         higher with bigger handover jumps",
+    );
+    let net = LsnNetwork::starlink();
+    let minutes = if quick_mode() { 10 } else { 30 };
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for name in ["Madrid", "London", "Nairobi", "Maputo"] {
+        let city = city_by_name(name).expect("city");
+        let trace = rtt_trace(
+            &net,
+            city.position(),
+            city.cc,
+            SimTime::EPOCH,
+            SimDuration::from_mins(minutes),
+            SimDuration::from_secs(15),
+        );
+        let stats = trace_stats(&trace).expect("stats");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", stats.median_rtt_ms),
+            format!("{:.1}", stats.rtt_spread_ms),
+            stats.handovers.to_string(),
+            format!("{:.0}", stats.mean_time_between_handovers_s),
+            format!("{:.1}", stats.max_jump_ms),
+        ]);
+        out.push(Out {
+            city: name.to_string(),
+            stats,
+            trace,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "city",
+                "median rtt ms",
+                "p95-p5 spread",
+                "handovers",
+                "s between handovers",
+                "max jump ms",
+            ],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("rtt_trace.json"), &out).expect("write json");
+    println!("json: results/rtt_trace.json");
+}

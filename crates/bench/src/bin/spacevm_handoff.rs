@@ -1,0 +1,69 @@
+//! Extension experiment (§5 Space VMs): hand-off seamlessness of
+//! replicated in-orbit services across state sizes and link rates.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir};
+use spacecdn_core::spacevm::{plan_vm_service, VmServiceConfig};
+use spacecdn_geo::{Geodetic, SimDuration, SimTime};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_orbit::shell::shells;
+use spacecdn_orbit::visibility::VisibilityMask;
+use spacecdn_orbit::Constellation;
+
+#[derive(Serialize)]
+struct Row {
+    delta_mb: u64,
+    isl_gbps: f64,
+    seamless_fraction: f64,
+    worst_sync_s: f64,
+    handoffs: usize,
+}
+
+fn main() {
+    banner(
+        "Space VMs — state migration across successive satellites",
+        "§5: sync <100 MB deltas to the next overhead satellite; with laser \
+         ISLs the copy takes well under a second",
+    );
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let area = Geodetic::ground(40.7, -74.0); // a metro service area
+    let mask = VisibilityMask::STARLINK;
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for delta_mb in [25u64, 100, 1000, 10_000] {
+        for isl_gbps in [1.0, 2.5, 10.0] {
+            let config = VmServiceConfig {
+                delta_bytes: delta_mb * 1_000_000,
+                isl_gbps,
+                window: SimDuration::from_mins(3),
+                margin: SimDuration::from_secs(15),
+            };
+            let plan = plan_vm_service(&constellation, area, mask, &config, SimTime::EPOCH, 16);
+            let worst = plan.worst_sync().map(|d| d.as_secs_f64()).unwrap_or(0.0);
+            rows.push(vec![
+                format!("{delta_mb} MB"),
+                format!("{isl_gbps}"),
+                format!("{:.0}%", plan.seamless_fraction() * 100.0),
+                format!("{worst:.2}"),
+                plan.handoffs.len().to_string(),
+            ]);
+            rows_json.push(Row {
+                delta_mb,
+                isl_gbps,
+                seamless_fraction: plan.seamless_fraction(),
+                worst_sync_s: worst,
+                handoffs: plan.handoffs.len(),
+            });
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["state delta", "ISL Gbit/s", "seamless", "worst sync s", "handoffs"],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("spacevm_handoff.json"), &rows_json).expect("write json");
+    println!("json: results/spacevm_handoff.json");
+}

@@ -1,0 +1,96 @@
+//! Table 1: average distance to the best CDN site and median min-RTT per
+//! country, Starlink vs terrestrial.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::aim::{AimCampaign, AimConfig, IspKind};
+use spacecdn_measure::report::{format_table, write_json};
+
+/// The paper's Table 1 reference values: (cc, terr km, terr ms, star km, star ms).
+const PAPER: [(&str, f64, f64, f64, f64); 11] = [
+    ("GT", 6.9, 7.0, 1220.9, 44.2),
+    ("MZ", 5.0, 7.2, 8776.5, 138.7),
+    ("CY", 34.7, 7.45, 2595.3, 55.35),
+    ("SZ", 301.8, 12.8, 4731.6, 122.7),
+    ("HT", 6.1, 1.5, 2063.2, 50.0),
+    ("KE", 197.5, 16.0, 6310.8, 110.9),
+    ("ZM", 1202.64, 44.0, 7545.9, 143.5),
+    ("RW", 9.25, 5.0, 3762.8, 87.5),
+    ("LT", 168.6, 12.4, 1243.2, 40.0),
+    ("ES", 375.3, 14.3, 13.4, 33.0),
+    ("JP", 253.0, 9.0, 57.0, 34.0),
+];
+
+#[derive(Serialize)]
+struct Row {
+    cc: &'static str,
+    country: &'static str,
+    terr_distance_km: f64,
+    terr_min_rtt_ms: f64,
+    star_distance_km: f64,
+    star_min_rtt_ms: f64,
+    paper_terr_ms: f64,
+    paper_star_ms: f64,
+}
+
+fn main() {
+    banner(
+        "Table 1 — distance to best CDN + median min-RTT per country",
+        "terrestrial: km-scale distances / 1.5-44 ms; Starlink: Mm-scale \
+         distances / 33-144 ms, worst in southern Africa",
+    );
+    let config = AimConfig {
+        epochs: scaled(8).min(12),
+        tests_per_epoch: scaled(6).min(8),
+        ..AimConfig::default()
+    };
+    let ccs: Vec<&str> = PAPER.iter().map(|p| p.0).collect();
+    let campaign = AimCampaign::run_for(&config, &ccs);
+
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for (cc, _, p_terr_ms, _, p_star_ms) in PAPER {
+        let terr = campaign
+            .country_stats_for(cc, IspKind::Terrestrial)
+            .expect("terrestrial stats");
+        let star = campaign
+            .country_stats_for(cc, IspKind::Starlink)
+            .expect("starlink stats");
+        rows.push(vec![
+            terr.country.to_string(),
+            format!("{:.1}", terr.mean_cdn_distance_km),
+            format!("{:.1}", terr.median_min_rtt_ms),
+            format!("{:.1}", star.mean_cdn_distance_km),
+            format!("{:.1}", star.median_min_rtt_ms),
+            format!("{p_terr_ms:.1}"),
+            format!("{p_star_ms:.1}"),
+        ]);
+        rows_json.push(Row {
+            cc,
+            country: terr.country,
+            terr_distance_km: terr.mean_cdn_distance_km,
+            terr_min_rtt_ms: terr.median_min_rtt_ms,
+            star_distance_km: star.mean_cdn_distance_km,
+            star_min_rtt_ms: star.median_min_rtt_ms,
+            paper_terr_ms: p_terr_ms,
+            paper_star_ms: p_star_ms,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "country",
+                "terr km",
+                "terr ms",
+                "star km",
+                "star ms",
+                "paper terr ms",
+                "paper star ms",
+            ],
+            &rows,
+        )
+    );
+    write_json(&results_dir().join("table1.json"), &rows_json).expect("write json");
+    println!("json: results/table1.json");
+}

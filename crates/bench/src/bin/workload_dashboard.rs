@@ -1,0 +1,95 @@
+//! Extension experiment: the closed-loop SpaceCDN workload — what an
+//! operator's dashboard would show over a 20-minute global demand run.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, quick_mode, results_dir};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::simulation::{run_workload, WorkloadConfig};
+use spacecdn_geo::SimDuration;
+use spacecdn_measure::report::{format_table, write_json};
+
+#[derive(Serialize)]
+struct Out {
+    requests: u64,
+    overhead_hits: u64,
+    isl_hits: u64,
+    ground_fetches: u64,
+    space_hit_ratio: f64,
+    median_latency_ms: f64,
+    p90_latency_ms: f64,
+    timeline: Vec<(u64, f64)>,
+}
+
+fn main() {
+    banner(
+        "Closed-loop workload — global demand against orbiting caches",
+        "pull-through + bubble prefetch keep most fetches in space while \
+         the constellation rotates beneath the demand",
+    );
+    let net = LsnNetwork::starlink();
+    let config = WorkloadConfig {
+        duration: if quick_mode() {
+            SimDuration::from_mins(8)
+        } else {
+            SimDuration::from_mins(20)
+        },
+        ..WorkloadConfig::default()
+    };
+    let mut report = run_workload(&net, &config);
+
+    let rows = vec![
+        vec!["requests".to_string(), report.requests.to_string()],
+        vec![
+            "overhead hits".to_string(),
+            format!(
+                "{} ({:.1}%)",
+                report.overhead_hits,
+                100.0 * report.overhead_hits as f64 / report.requests as f64
+            ),
+        ],
+        vec![
+            "ISL hits".to_string(),
+            format!(
+                "{} ({:.1}%)",
+                report.isl_hits,
+                100.0 * report.isl_hits as f64 / report.requests as f64
+            ),
+        ],
+        vec![
+            "ground fetches".to_string(),
+            format!(
+                "{} ({:.1}%)",
+                report.ground_fetches,
+                100.0 * report.ground_fetches as f64 / report.requests as f64
+            ),
+        ],
+        vec![
+            "median latency".to_string(),
+            format!("{:.1} ms", report.latency.median().unwrap_or(f64::NAN)),
+        ],
+        vec![
+            "p90 latency".to_string(),
+            format!("{:.1} ms", report.latency.quantile(0.9).unwrap_or(f64::NAN)),
+        ],
+    ];
+    println!("{}", format_table(&["metric", "value"], &rows));
+
+    println!("in-space hit ratio per minute:");
+    for (minute, ratio) in &report.hit_ratio_timeline {
+        let bar = "█".repeat((ratio * 40.0) as usize);
+        println!("  min {minute:>2} {bar} {:.0}%", ratio * 100.0);
+    }
+
+    let out = Out {
+        requests: report.requests,
+        overhead_hits: report.overhead_hits,
+        isl_hits: report.isl_hits,
+        ground_fetches: report.ground_fetches,
+        space_hit_ratio: report.space_hit_ratio(),
+        median_latency_ms: report.latency.median().unwrap_or(f64::NAN),
+        p90_latency_ms: report.latency.quantile(0.9).unwrap_or(f64::NAN),
+        timeline: report.hit_ratio_timeline.clone(),
+    };
+    write_json(&results_dir().join("workload_dashboard.json"), &out).expect("write json");
+    println!("json: results/workload_dashboard.json");
+}

@@ -1,0 +1,79 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it:
+//!
+//! | Paper artefact | Binary |
+//! |---|---|
+//! | Table 1 | `table1` |
+//! | Figure 2 | `fig2_global_delta` |
+//! | Figure 3 | `fig3_maputo` |
+//! | Figure 4 | `fig4_hrt` |
+//! | Figure 5 | `fig5_fcp` |
+//! | Figure 7 | `fig7_spacecdn_cdf` |
+//! | Figure 8 | `fig8_duty_cycle` |
+//! | §5 arithmetic | `economics` |
+//! | Ablations | `ablation_striping`, `ablation_bubbles`, `ablation_placement` |
+//! | Everything | `repro_all` |
+//!
+//! Binaries print aligned tables to stdout and drop JSON next to the
+//! workspace under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Directory experiment JSON lands in (`<workspace>/results`), created on
+/// first use.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Print a standard experiment banner with the paper's claim for easy
+/// visual comparison.
+pub fn banner(id: &str, paper_claim: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{id}");
+    println!("paper: {paper_claim}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Scale factors for experiment sizes: `--quick` on the command line (or
+/// `SPACECDN_QUICK=1` in the environment) shrinks trial counts ~8× for CI.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("SPACECDN_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Trials helper honouring quick mode.
+pub fn scaled(full: usize) -> usize {
+    if quick_mode() {
+        (full / 8).max(20)
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn scaled_floors() {
+        // Not in quick mode under `cargo test` (no --quick arg), so scaled
+        // is identity... unless the env var is set; accept both.
+        let v = scaled(800);
+        assert!(v == 800 || v == 100);
+    }
+}

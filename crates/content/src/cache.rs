@@ -1,0 +1,820 @@
+//! Cache policies behind one trait.
+//!
+//! Capacity is tracked in bytes (objects have real sizes), admission rejects
+//! objects larger than the whole cache, and every policy keeps hit/miss
+//! counters so experiments can report hit ratios without wrapping.
+
+use crate::catalog::ContentId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Hit/miss counters shared by all policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the object.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Objects evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-capacity cache of content objects.
+pub trait Cache {
+    /// Look up an object, updating recency/frequency metadata and counters.
+    fn get(&mut self, id: ContentId) -> bool;
+
+    /// Check for an object without touching metadata or counters.
+    fn contains(&self, id: ContentId) -> bool;
+
+    /// Insert an object of the given size, evicting as needed. Returns
+    /// false (and caches nothing) when the object exceeds total capacity.
+    /// Re-inserting an existing object refreshes its metadata but keeps the
+    /// originally stored size: CDN objects are immutable (a new version is
+    /// a new `ContentId`).
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool;
+
+    /// Remove an object if present; returns whether it was there.
+    fn remove(&mut self, id: ContentId) -> bool;
+
+    /// Bytes currently stored.
+    fn used_bytes(&self) -> u64;
+
+    /// Total capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Number of stored objects.
+    fn len(&self) -> usize;
+
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+
+    /// Drop everything (counters are preserved).
+    fn clear(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+/// Least-recently-used eviction. O(log n) per operation via a recency-ordered
+/// BTreeMap keyed by a monotonic touch counter.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    /// id → (last-touch tick, size)
+    entries: HashMap<ContentId, (u64, u64)>,
+    /// last-touch tick → id (unique because ticks are monotonic)
+    order: BTreeMap<u64, ContentId>,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// A new LRU cache with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LruCache {
+            capacity: capacity_bytes,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, id: ContentId) {
+        if let Some(&(old_tick, size)) = self.entries.get(&id) {
+            self.order.remove(&old_tick);
+            self.tick += 1;
+            self.order.insert(self.tick, id);
+            self.entries.insert(id, (self.tick, size));
+        }
+    }
+
+    fn evict_one(&mut self) {
+        if let Some((&oldest, &victim)) = self.order.iter().next() {
+            self.order.remove(&oldest);
+            if let Some((_, size)) = self.entries.remove(&victim) {
+                self.used -= size;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+impl Cache for LruCache {
+    fn get(&mut self, id: ContentId) -> bool {
+        if self.entries.contains_key(&id) {
+            self.touch(id);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn contains(&self, id: ContentId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool {
+        if size_bytes > self.capacity {
+            return false;
+        }
+        if self.entries.contains_key(&id) {
+            self.touch(id);
+            return true;
+        }
+        while self.used + size_bytes > self.capacity {
+            self.evict_one();
+        }
+        self.tick += 1;
+        self.entries.insert(id, (self.tick, size_bytes));
+        self.order.insert(self.tick, id);
+        self.used += size_bytes;
+        true
+    }
+
+    fn remove(&mut self, id: ContentId) -> bool {
+        if let Some((tick, size)) = self.entries.remove(&id) {
+            self.order.remove(&tick);
+            self.used -= size;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------------------
+
+/// Least-frequently-used eviction with LRU tie-breaking, O(log n) via a
+/// (frequency, tick)-ordered BTreeMap.
+#[derive(Debug, Clone)]
+pub struct LfuCache {
+    capacity: u64,
+    used: u64,
+    tick: u64,
+    /// id → (frequency, last tick, size)
+    entries: HashMap<ContentId, (u64, u64, u64)>,
+    /// (frequency, last tick) → id
+    order: BTreeMap<(u64, u64), ContentId>,
+    stats: CacheStats,
+}
+
+impl LfuCache {
+    /// A new LFU cache with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        LfuCache {
+            capacity: capacity_bytes,
+            used: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn bump(&mut self, id: ContentId) {
+        if let Some(&(freq, tick, size)) = self.entries.get(&id) {
+            self.order.remove(&(freq, tick));
+            self.tick += 1;
+            let next = (freq + 1, self.tick);
+            self.order.insert(next, id);
+            self.entries.insert(id, (freq + 1, self.tick, size));
+        }
+    }
+
+    fn evict_one(&mut self) {
+        if let Some((&key, &victim)) = self.order.iter().next() {
+            self.order.remove(&key);
+            if let Some((_, _, size)) = self.entries.remove(&victim) {
+                self.used -= size;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+impl Cache for LfuCache {
+    fn get(&mut self, id: ContentId) -> bool {
+        if self.entries.contains_key(&id) {
+            self.bump(id);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn contains(&self, id: ContentId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool {
+        if size_bytes > self.capacity {
+            return false;
+        }
+        if self.entries.contains_key(&id) {
+            self.bump(id);
+            return true;
+        }
+        while self.used + size_bytes > self.capacity {
+            self.evict_one();
+        }
+        self.tick += 1;
+        self.entries.insert(id, (1, self.tick, size_bytes));
+        self.order.insert((1, self.tick), id);
+        self.used += size_bytes;
+        true
+    }
+
+    fn remove(&mut self, id: ContentId) -> bool {
+        if let Some((freq, tick, size)) = self.entries.remove(&id) {
+            self.order.remove(&(freq, tick));
+            self.used -= size;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+/// First-in-first-out eviction — the baseline policy (and a reasonable model
+/// for flash-crowd-filled satellite caches where metadata updates cost
+/// power).
+#[derive(Debug, Clone)]
+pub struct FifoCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<ContentId, u64>,
+    queue: VecDeque<ContentId>,
+    stats: CacheStats,
+}
+
+impl FifoCache {
+    /// A new FIFO cache with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        FifoCache {
+            capacity: capacity_bytes,
+            used: 0,
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn evict_one(&mut self) {
+        while let Some(victim) = self.queue.pop_front() {
+            if let Some(size) = self.entries.remove(&victim) {
+                self.used -= size;
+                self.stats.evictions += 1;
+                return;
+            }
+            // Stale queue entry for an object already removed: skip.
+        }
+    }
+}
+
+impl Cache for FifoCache {
+    fn get(&mut self, id: ContentId) -> bool {
+        if self.entries.contains_key(&id) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn contains(&self, id: ContentId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool {
+        if size_bytes > self.capacity {
+            return false;
+        }
+        if self.entries.contains_key(&id) {
+            return true; // FIFO: re-insert does not change position
+        }
+        while self.used + size_bytes > self.capacity {
+            self.evict_one();
+        }
+        self.entries.insert(id, size_bytes);
+        self.queue.push_back(id);
+        self.used += size_bytes;
+        true
+    }
+
+    fn remove(&mut self, id: ContentId) -> bool {
+        if let Some(size) = self.entries.remove(&id) {
+            self.used -= size;
+            true // stale queue entry cleaned lazily by evict_one
+        } else {
+            false
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.queue.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ContentId {
+        ContentId(n)
+    }
+
+    fn exercise_common(cache: &mut dyn Cache) {
+        assert!(cache.is_empty());
+        assert!(cache.insert(id(1), 100));
+        assert!(cache.insert(id(2), 200));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.used_bytes(), 300);
+        assert!(cache.get(id(1)));
+        assert!(!cache.get(id(99)));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.remove(id(1)));
+        assert!(!cache.remove(id(1)));
+        assert_eq!(cache.used_bytes(), 200);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        // Counters survive clear.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn common_behaviour_all_policies() {
+        exercise_common(&mut LruCache::new(1000));
+        exercise_common(&mut LfuCache::new(1000));
+        exercise_common(&mut FifoCache::new(1000));
+    }
+
+    #[test]
+    fn oversized_object_rejected_everywhere() {
+        for cache in [
+            &mut LruCache::new(100) as &mut dyn Cache,
+            &mut LfuCache::new(100),
+            &mut FifoCache::new(100),
+        ] {
+            assert!(!cache.insert(id(1), 101));
+            assert!(cache.is_empty());
+            assert!(cache.insert(id(2), 100));
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(300);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.insert(id(3), 100);
+        assert!(c.get(id(1))); // 1 becomes most recent; 2 is now LRU
+        c.insert(id(4), 100);
+        assert!(!c.contains(id(2)), "2 should be evicted");
+        assert!(c.contains(id(1)) && c.contains(id(3)) && c.contains(id(4)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_multi_eviction_for_large_insert() {
+        let mut c = LruCache::new(300);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.insert(id(3), 100);
+        c.insert(id(4), 250); // must evict 1 and 2 and 3
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(id(4)));
+        assert_eq!(c.stats().evictions, 3);
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes() {
+        let mut c = LruCache::new(200);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.insert(id(1), 100); // refresh 1; LRU is now 2
+        c.insert(id(3), 100);
+        assert!(!c.contains(id(2)));
+        assert!(c.contains(id(1)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = LfuCache::new(300);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.insert(id(3), 100);
+        c.get(id(1));
+        c.get(id(1));
+        c.get(id(3));
+        c.insert(id(4), 100); // 2 has lowest frequency
+        assert!(!c.contains(id(2)));
+        assert!(c.contains(id(1)) && c.contains(id(3)) && c.contains(id(4)));
+    }
+
+    #[test]
+    fn lfu_ties_break_by_recency() {
+        let mut c = LfuCache::new(200);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        // Both frequency 1; id 1 is older.
+        c.insert(id(3), 100);
+        assert!(!c.contains(id(1)), "older of the tied pair evicts first");
+        assert!(c.contains(id(2)));
+    }
+
+    #[test]
+    fn fifo_evicts_in_arrival_order_regardless_of_use() {
+        let mut c = FifoCache::new(300);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.insert(id(3), 100);
+        c.get(id(1)); // heavy use does not save it
+        c.get(id(1));
+        c.insert(id(4), 100);
+        assert!(!c.contains(id(1)));
+        assert!(c.contains(id(2)));
+    }
+
+    #[test]
+    fn fifo_remove_then_fill_handles_stale_queue() {
+        let mut c = FifoCache::new(300);
+        c.insert(id(1), 100);
+        c.insert(id(2), 100);
+        c.remove(id(1));
+        c.insert(id(3), 100);
+        c.insert(id(4), 100);
+        // Capacity 300 holds 2,3,4; the stale queue entry for 1 must not
+        // break eviction accounting.
+        c.insert(id(5), 100);
+        assert!(!c.contains(id(2)));
+        assert_eq!(c.used_bytes(), 300);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_churn() {
+        let mut rng = spacecdn_geo::DetRng::new(11, "churn");
+        for cache in [
+            &mut LruCache::new(5_000) as &mut dyn Cache,
+            &mut LfuCache::new(5_000),
+            &mut FifoCache::new(5_000),
+        ] {
+            for _ in 0..2000 {
+                let oid = id(rng.index(200) as u64);
+                if rng.chance(0.5) {
+                    cache.insert(oid, 100 + rng.index(900) as u64);
+                } else {
+                    cache.get(oid);
+                }
+                assert!(cache.used_bytes() <= cache.capacity_bytes());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented LRU
+// ---------------------------------------------------------------------------
+
+/// Segmented LRU: a probation segment absorbs one-hit wonders, a protected
+/// segment keeps proven-popular objects.
+///
+/// New objects enter *probation*; a hit promotes them to *protected*
+/// (demoting that segment's LRU victim back to probation when full). Scan
+/// traffic — each object touched once — churns only the probation segment,
+/// which is exactly the protection a satellite cache wants against
+/// pull-through pollution (cf. the bubble experiments).
+#[derive(Debug, Clone)]
+pub struct SlruCache {
+    probation: LruCache,
+    protected: LruCache,
+    stats: CacheStats,
+}
+
+impl SlruCache {
+    /// Build with a total byte capacity, split `protected_fraction` /
+    /// remainder between the segments.
+    ///
+    /// # Panics
+    /// Panics unless `0 < protected_fraction < 1`.
+    pub fn new(capacity_bytes: u64, protected_fraction: f64) -> Self {
+        assert!(
+            protected_fraction > 0.0 && protected_fraction < 1.0,
+            "protected fraction must be in (0, 1)"
+        );
+        let protected = (capacity_bytes as f64 * protected_fraction) as u64;
+        SlruCache {
+            probation: LruCache::new(capacity_bytes - protected),
+            protected: LruCache::new(protected),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Byte size of the protected segment.
+    pub fn protected_bytes(&self) -> u64 {
+        self.protected.capacity_bytes()
+    }
+
+    fn promote(&mut self, id: ContentId) {
+        // Move from probation to protected; overflow falls back to
+        // probation as fresh entries (second chance).
+        let Some(size) = self.probation.size_of(id) else {
+            return;
+        };
+        self.probation.remove(id);
+        // Capture protected victims before they are evicted for good.
+        while self.protected.used_bytes() + size > self.protected.capacity_bytes() {
+            let Some((victim, vsize)) = self.protected.lru_entry() else {
+                break;
+            };
+            self.protected.remove(victim);
+            self.probation.insert(victim, vsize);
+        }
+        if !self.protected.insert(id, size) {
+            // Larger than the whole protected segment: keep it in probation.
+            self.probation.insert(id, size);
+        }
+    }
+}
+
+impl LruCache {
+    /// Size of a stored object, if present (support for segment promotion).
+    pub fn size_of(&self, id: ContentId) -> Option<u64> {
+        self.entries.get(&id).map(|&(_, size)| size)
+    }
+
+    /// The least-recently-used entry, if any.
+    pub fn lru_entry(&self) -> Option<(ContentId, u64)> {
+        self.order
+            .iter()
+            .next()
+            .map(|(_, &id)| (id, self.entries[&id].1))
+    }
+}
+
+impl Cache for SlruCache {
+    fn get(&mut self, id: ContentId) -> bool {
+        if self.protected.contains(id) {
+            self.protected.get(id);
+            self.stats.hits += 1;
+            true
+        } else if self.probation.contains(id) {
+            self.stats.hits += 1;
+            self.promote(id);
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn contains(&self, id: ContentId) -> bool {
+        self.probation.contains(id) || self.protected.contains(id)
+    }
+
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool {
+        if self.contains(id) {
+            return true;
+        }
+        if size_bytes > self.probation.capacity_bytes() {
+            // Admission through probation only; oversized objects are
+            // rejected like any over-capacity insert.
+            return false;
+        }
+        self.probation.insert(id, size_bytes)
+    }
+
+    fn remove(&mut self, id: ContentId) -> bool {
+        self.probation.remove(id) || self.protected.remove(id)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.probation.used_bytes() + self.protected.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.probation.capacity_bytes() + self.protected.capacity_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        // Evictions happen inside the segments; aggregate all counters.
+        CacheStats {
+            hits: self.stats.hits,
+            misses: self.stats.misses,
+            evictions: self.probation.stats().evictions + self.protected.stats().evictions,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.probation.clear();
+        self.protected.clear();
+    }
+}
+
+#[cfg(test)]
+mod slru_tests {
+    use super::*;
+
+    fn id(n: u64) -> ContentId {
+        ContentId(n)
+    }
+
+    #[test]
+    fn one_hit_wonders_stay_in_probation() {
+        let mut c = SlruCache::new(1000, 0.5);
+        c.insert(id(1), 100);
+        assert!(c.contains(id(1)));
+        // Never read again: a scan of new objects evicts it from probation
+        // without touching anything protected.
+        c.insert(id(2), 100);
+        c.get(id(2)); // promote 2
+        for n in 10..20 {
+            c.insert(id(n), 100);
+        }
+        assert!(!c.contains(id(1)), "one-hit wonder should be gone");
+        assert!(c.contains(id(2)), "promoted object survives the scan");
+    }
+
+    #[test]
+    fn promotion_on_hit() {
+        let mut c = SlruCache::new(1000, 0.5);
+        c.insert(id(1), 100);
+        assert!(c.get(id(1)));
+        // Now in protected: fill probation and it must survive.
+        for n in 2..10 {
+            c.insert(id(n), 100);
+        }
+        assert!(c.contains(id(1)));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn protected_overflow_demotes_not_drops() {
+        let mut c = SlruCache::new(600, 0.5); // 300 protected
+        for n in 1..=3 {
+            c.insert(id(n), 100);
+            c.get(id(n)); // all promoted; protected now full
+        }
+        // Promote a fourth: protected LRU (1) must demote to probation,
+        // not vanish.
+        c.insert(id(4), 100);
+        c.get(id(4));
+        assert!(c.contains(id(1)), "demoted, not dropped");
+        assert!(c.contains(id(4)));
+    }
+
+    #[test]
+    fn scan_resistance_beats_plain_lru() {
+        // Hot set of 3 objects + a long scan: SLRU keeps the hot set, LRU
+        // loses it.
+        let hot: Vec<ContentId> = (0..3).map(id).collect();
+        let mut slru = SlruCache::new(1000, 0.5);
+        let mut lru = LruCache::new(1000);
+        for &h in &hot {
+            slru.insert(h, 150);
+            slru.get(h);
+            lru.insert(h, 150);
+            lru.get(h);
+        }
+        for n in 100..112 {
+            slru.insert(id(n), 150);
+            lru.insert(id(n), 150);
+        }
+        let slru_kept = hot.iter().filter(|&&h| slru.contains(h)).count();
+        let lru_kept = hot.iter().filter(|&&h| lru.contains(h)).count();
+        assert!(slru_kept > lru_kept, "slru {slru_kept} vs lru {lru_kept}");
+        assert_eq!(slru_kept, 3);
+    }
+
+    #[test]
+    fn common_trait_behaviour() {
+        let mut c = SlruCache::new(1000, 0.3);
+        assert!(c.is_empty());
+        assert!(c.insert(id(1), 100));
+        assert!(c.insert(id(1), 100), "re-insert is a refresh");
+        assert_eq!(c.len(), 1);
+        assert!(c.remove(id(1)));
+        assert!(!c.remove(id(1)));
+        assert!(!c.insert(id(2), 800), "larger than probation segment");
+        c.insert(id(3), 100);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity_bytes(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "protected fraction")]
+    fn bad_fraction_panics() {
+        let _ = SlruCache::new(100, 1.0);
+    }
+}

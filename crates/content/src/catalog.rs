@@ -1,0 +1,200 @@
+//! The content catalog: what exists to be cached.
+
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::DetRng;
+
+/// An opaque region tag attached to regional content.
+///
+/// The content crate stays independent of `spacecdn-terra`, so the tag is a
+/// small integer; `spacecdn-core` maps tags to real world regions. Think of
+/// it as "market id" in a CDN's metadata.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RegionTag(pub u8);
+
+/// A stable identifier for one cacheable object.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ContentId(pub u64);
+
+/// What kind of object this is (drives size distribution and cachability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentKind {
+    /// An HTML page (small, latency-critical).
+    WebPage,
+    /// A static asset: image, script, stylesheet.
+    Asset,
+    /// One DASH video segment (a few seconds of video).
+    VideoSegment,
+}
+
+/// One object in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentObject {
+    /// Identifier.
+    pub id: ContentId,
+    /// Object size in bytes.
+    pub size_bytes: u64,
+    /// Object kind.
+    pub kind: ContentKind,
+    /// Region where this object is culturally "at home" (None = global).
+    pub home_region: Option<RegionTag>,
+}
+
+/// A generated catalog of content objects.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    objects: Vec<ContentObject>,
+}
+
+impl Catalog {
+    /// Generate a catalog of `n` objects with realistic size mixes:
+    /// ~20 % pages (10–200 KB), ~50 % assets (5 KB–2 MB, log-normal),
+    /// ~30 % video segments (1–8 MB). A fraction `regional_fraction` of
+    /// objects is tagged with a home region drawn from `regions`.
+    pub fn generate(
+        n: usize,
+        regions: &[RegionTag],
+        regional_fraction: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut objects = Vec::with_capacity(n);
+        for i in 0..n {
+            let roll = rng.unit();
+            let (kind, size_bytes) = if roll < 0.2 {
+                (
+                    ContentKind::WebPage,
+                    rng.log_normal_median(60_000.0, 0.8).clamp(10_000.0, 200_000.0) as u64,
+                )
+            } else if roll < 0.7 {
+                (
+                    ContentKind::Asset,
+                    rng.log_normal_median(80_000.0, 1.2).clamp(5_000.0, 2_000_000.0) as u64,
+                )
+            } else {
+                (
+                    ContentKind::VideoSegment,
+                    rng.uniform(1_000_000.0, 8_000_000.0) as u64,
+                )
+            };
+            let home_region = if !regions.is_empty() && rng.chance(regional_fraction) {
+                rng.choose(regions).copied()
+            } else {
+                None
+            };
+            objects.push(ContentObject {
+                id: ContentId(i as u64),
+                size_bytes,
+                kind,
+                home_region,
+            });
+        }
+        Catalog { objects }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True for an empty catalog.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Object by id (ids are dense: `0..len`).
+    pub fn get(&self, id: ContentId) -> Option<&ContentObject> {
+        self.objects.get(id.0 as usize)
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> &[ContentObject] {
+        &self.objects
+    }
+
+    /// Total bytes across the catalog.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(1, "catalog")
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let c = Catalog::generate(1000, &[RegionTag(0), RegionTag(1)], 0.5, &mut rng());
+        assert_eq!(c.len(), 1000);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let c = Catalog::generate(100, &[], 0.0, &mut rng());
+        for i in 0..100u64 {
+            assert_eq!(c.get(ContentId(i)).unwrap().id, ContentId(i));
+        }
+        assert!(c.get(ContentId(100)).is_none());
+    }
+
+    #[test]
+    fn sizes_respect_kind_bounds() {
+        let c = Catalog::generate(5000, &[], 0.0, &mut rng());
+        for o in c.objects() {
+            match o.kind {
+                ContentKind::WebPage => {
+                    assert!((10_000..=200_000).contains(&o.size_bytes))
+                }
+                ContentKind::Asset => assert!((5_000..=2_000_000).contains(&o.size_bytes)),
+                ContentKind::VideoSegment => {
+                    assert!((1_000_000..=8_000_000).contains(&o.size_bytes))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_mix_roughly_as_configured() {
+        let c = Catalog::generate(10_000, &[], 0.0, &mut rng());
+        let pages = c.objects().iter().filter(|o| o.kind == ContentKind::WebPage).count();
+        let video = c
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ContentKind::VideoSegment)
+            .count();
+        assert!((1500..2500).contains(&pages), "pages {pages}");
+        assert!((2500..3500).contains(&video), "video {video}");
+    }
+
+    #[test]
+    fn regional_fraction_respected() {
+        let regions = [RegionTag(0), RegionTag(1), RegionTag(2)];
+        let c = Catalog::generate(10_000, &regions, 0.4, &mut rng());
+        let tagged = c.objects().iter().filter(|o| o.home_region.is_some()).count();
+        assert!((3500..4500).contains(&tagged), "tagged {tagged}");
+
+        let none = Catalog::generate(1000, &regions, 0.0, &mut rng());
+        assert!(none.objects().iter().all(|o| o.home_region.is_none()));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Catalog::generate(100, &[RegionTag(0)], 0.5, &mut DetRng::new(7, "c"));
+        let b = Catalog::generate(100, &[RegionTag(0)], 0.5, &mut DetRng::new(7, "c"));
+        assert_eq!(a.objects(), b.objects());
+    }
+
+    #[test]
+    fn total_bytes_sums() {
+        let c = Catalog::generate(10, &[], 0.0, &mut rng());
+        let manual: u64 = c.objects().iter().map(|o| o.size_bytes).sum();
+        assert_eq!(c.total_bytes(), manual);
+    }
+}

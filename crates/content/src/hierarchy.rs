@@ -1,0 +1,256 @@
+//! The classical terrestrial CDN cache hierarchy.
+//!
+//! §2: "a content delivery network is a hierarchy of geo-distributed
+//! servers designed to cache and serve content as close to the end-users as
+//! possible … Most internal CDN operations assume a static tree-like
+//! topology and user request influx from leaves of the hierarchy." This
+//! module is that tree: edge caches over regional caches over an origin,
+//! with per-tier latency costs. It is the ground-side system SpaceCDN
+//! competes with *and* falls back to, and the substrate for cache-miss
+//! WAN-cost accounting (§2: "cache miss rates and content fetches over WANs
+//! are high for these \[LSN\] users").
+
+use crate::cache::{Cache, LruCache};
+use crate::catalog::{Catalog, ContentId};
+use serde::Serialize;
+use spacecdn_geo::Latency;
+
+/// Which tier ultimately served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ServedBy {
+    /// The edge cache closest to the client.
+    Edge,
+    /// The regional parent cache.
+    Regional,
+    /// The origin server (a WAN fetch).
+    Origin,
+}
+
+/// Latency cost of reaching each tier from the client's egress, RTT.
+#[derive(Debug, Clone, Copy)]
+pub struct TierLatencies {
+    /// Client ↔ edge cache.
+    pub to_edge: Latency,
+    /// Edge ↔ regional cache (added on edge miss).
+    pub edge_to_regional: Latency,
+    /// Regional ↔ origin (added on regional miss).
+    pub regional_to_origin: Latency,
+}
+
+impl TierLatencies {
+    /// A typical well-provisioned deployment: edge in the metro, regional
+    /// in-continent, origin across a WAN.
+    pub fn typical() -> Self {
+        TierLatencies {
+            to_edge: Latency::from_ms(8.0),
+            edge_to_regional: Latency::from_ms(25.0),
+            regional_to_origin: Latency::from_ms(90.0),
+        }
+    }
+}
+
+/// One resolved request through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyOutcome {
+    /// The tier that had the object.
+    pub served_by: ServedBy,
+    /// Full fetch RTT including misses on the way up.
+    pub rtt: Latency,
+}
+
+/// A two-level cache tree with an origin: many edges per regional.
+pub struct CacheHierarchy {
+    edges: Vec<LruCache>,
+    regional: LruCache,
+    latencies: TierLatencies,
+    /// Served-by counters: (edge, regional, origin).
+    counters: (u64, u64, u64),
+    /// Bytes fetched over the regional↔origin WAN (the cost §2 worries
+    /// about).
+    wan_bytes: u64,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy with `edge_count` edges of `edge_bytes` each and a
+    /// regional cache of `regional_bytes`.
+    ///
+    /// # Panics
+    /// Panics when `edge_count == 0`: a hierarchy needs leaves.
+    pub fn new(
+        edge_count: usize,
+        edge_bytes: u64,
+        regional_bytes: u64,
+        latencies: TierLatencies,
+    ) -> Self {
+        assert!(edge_count > 0, "hierarchy needs at least one edge");
+        CacheHierarchy {
+            edges: (0..edge_count).map(|_| LruCache::new(edge_bytes)).collect(),
+            regional: LruCache::new(regional_bytes),
+            latencies,
+            counters: (0, 0, 0),
+            wan_bytes: 0,
+        }
+    }
+
+    /// Number of edge caches.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Resolve a request arriving at edge `edge_idx` (mod edge count).
+    /// Misses pull the object down the tree (both regional and edge install
+    /// it — standard pull-through).
+    pub fn request(&mut self, edge_idx: usize, id: ContentId, catalog: &Catalog) -> HierarchyOutcome {
+        let size = catalog.get(id).map(|o| o.size_bytes).unwrap_or(0);
+        let idx = edge_idx % self.edges.len();
+        let l = self.latencies;
+
+        if self.edges[idx].get(id) {
+            self.counters.0 += 1;
+            return HierarchyOutcome {
+                served_by: ServedBy::Edge,
+                rtt: l.to_edge,
+            };
+        }
+        if self.regional.get(id) {
+            self.counters.1 += 1;
+            self.edges[idx].insert(id, size);
+            return HierarchyOutcome {
+                served_by: ServedBy::Regional,
+                rtt: l.to_edge + l.edge_to_regional,
+            };
+        }
+        self.counters.2 += 1;
+        self.wan_bytes += size;
+        self.regional.insert(id, size);
+        self.edges[idx].insert(id, size);
+        HierarchyOutcome {
+            served_by: ServedBy::Origin,
+            rtt: l.to_edge + l.edge_to_regional + l.regional_to_origin,
+        }
+    }
+
+    /// (edge hits, regional hits, origin fetches).
+    pub fn served_counts(&self) -> (u64, u64, u64) {
+        self.counters
+    }
+
+    /// Fraction of requests served without touching the origin.
+    pub fn cdn_hit_ratio(&self) -> f64 {
+        let (e, r, o) = self.counters;
+        let total = e + r + o;
+        if total == 0 {
+            0.0
+        } else {
+            (e + r) as f64 / total as f64
+        }
+    }
+
+    /// Total bytes pulled over the WAN from the origin.
+    pub fn wan_bytes(&self) -> u64 {
+        self.wan_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::ZipfSampler;
+    use spacecdn_geo::DetRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = DetRng::new(1, "hier-cat");
+        Catalog::generate(500, &[], 0.0, &mut rng)
+    }
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(4, 60_000_000, 300_000_000, TierLatencies::typical())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_origin_then_warms() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let id = ContentId(5);
+        let first = h.request(0, id, &cat);
+        assert_eq!(first.served_by, ServedBy::Origin);
+        assert_eq!(first.rtt, Latency::from_ms(123.0));
+
+        let second = h.request(0, id, &cat);
+        assert_eq!(second.served_by, ServedBy::Edge);
+        assert_eq!(second.rtt, Latency::from_ms(8.0));
+    }
+
+    #[test]
+    fn sibling_edge_hits_regional() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let id = ContentId(9);
+        h.request(0, id, &cat); // warms edge 0 and the regional
+        let sibling = h.request(1, id, &cat);
+        assert_eq!(sibling.served_by, ServedBy::Regional);
+        assert_eq!(sibling.rtt, Latency::from_ms(33.0));
+        // And now edge 1 is warm too.
+        assert_eq!(h.request(1, id, &cat).served_by, ServedBy::Edge);
+    }
+
+    #[test]
+    fn edge_index_wraps() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let id = ContentId(3);
+        h.request(2, id, &cat);
+        assert_eq!(h.request(6, id, &cat).served_by, ServedBy::Edge); // 6 % 4 == 2
+    }
+
+    #[test]
+    fn wan_bytes_counted_once_per_origin_fetch() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let id = ContentId(11);
+        let size = cat.get(id).unwrap().size_bytes;
+        h.request(0, id, &cat);
+        h.request(1, id, &cat);
+        h.request(0, id, &cat);
+        assert_eq!(h.wan_bytes(), size);
+        assert_eq!(h.served_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn zipf_workload_mostly_served_by_cdn() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let zipf = ZipfSampler::new(cat.len(), 1.0);
+        let mut rng = DetRng::new(2, "hier-load");
+        for i in 0..5000 {
+            let id = ContentId(zipf.sample(&mut rng) as u64);
+            h.request(i % 4, id, &cat);
+        }
+        let ratio = h.cdn_hit_ratio();
+        assert!(ratio > 0.65, "hit ratio {ratio}");
+        let (e, r, o) = h.served_counts();
+        assert!(e > r, "edges should absorb most load: {e} vs {r}");
+        assert!(o < 2000, "origin fetches {o}");
+    }
+
+    #[test]
+    fn tiny_edges_push_load_to_regional() {
+        let cat = catalog();
+        // Edges hold almost nothing; regional holds everything.
+        let mut h = CacheHierarchy::new(4, 2_000_000, 1_000_000_000, TierLatencies::typical());
+        let zipf = ZipfSampler::new(cat.len(), 0.8);
+        let mut rng = DetRng::new(3, "hier-tiny");
+        for i in 0..5000 {
+            let id = ContentId(zipf.sample(&mut rng) as u64);
+            h.request(i % 4, id, &cat);
+        }
+        let (e, r, _) = h.served_counts();
+        assert!(r > e / 3, "regional should carry real load: edge {e} regional {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn zero_edges_panics() {
+        let _ = CacheHierarchy::new(0, 1, 1, TierLatencies::typical());
+    }
+}

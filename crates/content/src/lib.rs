@@ -1,0 +1,33 @@
+//! Content substrate: catalogs, popularity models and caches.
+//!
+//! A CDN is, mechanically, a set of caches fed by skewed demand. This crate
+//! provides the demand side of the reproduction:
+//!
+//! - a synthetic **catalog** of web objects and video segments
+//!   ([`catalog`]),
+//! - **Zipf** and **region-weighted** popularity ([`popularity`]) — the
+//!   paper's "content bubbles" observation (§5) is that demand skew is
+//!   *geographic*: a Boca Juniors match is hot in Argentina and cold in
+//!   Finland;
+//! - **cache policies** ([`cache`]): LRU, LFU, FIFO and TTL-wrapped
+//!   variants behind one trait, byte-capacity-accurate, with hit/miss
+//!   accounting;
+//! - **video objects** ([`video`]): DASH-style segment groups ("stripes")
+//!   that §4's striping design schedules across successive satellites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod hierarchy;
+pub mod popularity;
+pub mod ttl;
+pub mod video;
+
+pub use cache::{Cache, CacheStats, FifoCache, LfuCache, LruCache, SlruCache};
+pub use catalog::{Catalog, ContentId, ContentKind, ContentObject, RegionTag};
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome, ServedBy, TierLatencies};
+pub use popularity::{RegionalPopularity, ZipfSampler};
+pub use ttl::TtlCache;
+pub use video::{StripePlanInput, VideoObject};

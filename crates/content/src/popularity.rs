@@ -1,0 +1,255 @@
+//! Popularity models: Zipf demand skew and its geographic variant.
+
+use crate::catalog::{Catalog, ContentId, RegionTag};
+use spacecdn_geo::DetRng;
+
+/// A Zipf(α) sampler over ranks `0..n` using the inverse-CDF over
+/// precomputed cumulative weights (exact, O(log n) per sample).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `alpha` (web and video
+    /// demand is typically α ≈ 0.7–1.1).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite/non-negative: a demand
+    /// model with no items is a configuration bug.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction forbids empty samplers).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.unit() * total;
+        self.cumulative.partition_point(|&c| c < target)
+    }
+
+    /// Probability mass of a given rank.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        (self.cumulative[rank] - prev) / total
+    }
+}
+
+/// Region-aware demand: a client's requests follow a global Zipf over the
+/// catalog, but objects whose `home_region` matches the client's region are
+/// boosted by `affinity` (≫ 1), and foreign-region objects are damped by the
+/// same factor. This is the statistical core of "content bubbles" (§5):
+/// most of a region's demand lands on its own regional content.
+#[derive(Debug, Clone)]
+pub struct RegionalPopularity {
+    /// Per-region request ranking: region index → object ids ordered by
+    /// that region's popularity.
+    rankings: Vec<Vec<ContentId>>,
+    zipf: ZipfSampler,
+}
+
+impl RegionalPopularity {
+    /// Build per-region rankings over `catalog` for `region_count` regions.
+    /// `alpha` is the Zipf exponent; `affinity` the home-region boost.
+    pub fn build(
+        catalog: &Catalog,
+        region_count: u8,
+        alpha: f64,
+        affinity: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(affinity >= 1.0, "affinity must be ≥ 1");
+        let n = catalog.len();
+        let zipf = ZipfSampler::new(n, alpha);
+        // A global base order, shuffled once so object id ≠ global rank.
+        let mut base: Vec<ContentId> = catalog.objects().iter().map(|o| o.id).collect();
+        rng.shuffle(&mut base);
+
+        let mut rankings = Vec::with_capacity(region_count as usize);
+        for region in 0..region_count {
+            // Score each object: its base-rank mass × affinity adjustment.
+            let mut scored: Vec<(f64, ContentId)> = base
+                .iter()
+                .enumerate()
+                .map(|(rank, &id)| {
+                    let obj = catalog.get(id).expect("catalog id");
+                    let base_mass = 1.0 / (rank as f64 + 1.0).powf(alpha.max(1e-9));
+                    let adj = match obj.home_region {
+                        Some(RegionTag(r)) if r == region => affinity,
+                        Some(_) => 1.0 / affinity,
+                        None => 1.0,
+                    };
+                    (base_mass * adj, id)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("scores are finite")
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            rankings.push(scored.into_iter().map(|(_, id)| id).collect());
+        }
+        RegionalPopularity { rankings, zipf }
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.rankings.len()
+    }
+
+    /// Sample one request from a client in `region`.
+    pub fn sample(&self, region: RegionTag, rng: &mut DetRng) -> ContentId {
+        let ranking = &self.rankings[region.0 as usize % self.rankings.len()];
+        let rank = self.zipf.sample(rng);
+        ranking[rank.min(ranking.len() - 1)]
+    }
+
+    /// The `k` hottest objects for a region — what a content bubble
+    /// prefetches onto satellites approaching that region.
+    pub fn hot_set(&self, region: RegionTag, k: usize) -> &[ContentId] {
+        let ranking = &self.rankings[region.0 as usize % self.rankings.len()];
+        &ranking[..k.min(ranking.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = DetRng::new(1, "zipf");
+        let n = 50_000;
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should take ~1/H(1000) ≈ 13% of requests.
+        let head = counts[0] as f64 / n as f64;
+        assert!((0.10..0.17).contains(&head), "head mass {head}");
+        // Top-10 should take ~40%.
+        let top10: u32 = counts[..10].iter().sum();
+        let frac = top10 as f64 / n as f64;
+        assert!((0.3..0.5).contains(&frac), "top10 {frac}");
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for rank in 0..10 {
+            assert!((z.probability(rank) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.probability(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(7, 1.2);
+        let mut rng = DetRng::new(2, "range");
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_empty_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    fn setup_regional() -> (Catalog, RegionalPopularity) {
+        let mut rng = DetRng::new(3, "regional");
+        let regions = [RegionTag(0), RegionTag(1), RegionTag(2)];
+        let catalog = Catalog::generate(2000, &regions, 0.6, &mut rng);
+        let pop = RegionalPopularity::build(&catalog, 3, 0.9, 8.0, &mut rng);
+        (catalog, pop)
+    }
+
+    #[test]
+    fn home_region_content_dominates_demand() {
+        let (catalog, pop) = setup_regional();
+        let mut rng = DetRng::new(4, "req");
+        let mut home = 0;
+        let mut foreign = 0;
+        for _ in 0..20_000 {
+            let id = pop.sample(RegionTag(0), &mut rng);
+            match catalog.get(id).unwrap().home_region {
+                Some(RegionTag(0)) => home += 1,
+                Some(_) => foreign += 1,
+                None => {}
+            }
+        }
+        assert!(
+            home > 3 * foreign,
+            "home {home} should dwarf foreign {foreign}"
+        );
+    }
+
+    #[test]
+    fn hot_sets_differ_across_regions() {
+        let (_, pop) = setup_regional();
+        let a: std::collections::HashSet<_> = pop.hot_set(RegionTag(0), 50).iter().collect();
+        let b: std::collections::HashSet<_> = pop.hot_set(RegionTag(1), 50).iter().collect();
+        let overlap = a.intersection(&b).count();
+        assert!(overlap < 30, "regional hot sets too similar ({overlap}/50)");
+    }
+
+    #[test]
+    fn hot_set_prefix_property() {
+        let (_, pop) = setup_regional();
+        let ten = pop.hot_set(RegionTag(1), 10).to_vec();
+        let fifty = pop.hot_set(RegionTag(1), 50);
+        assert_eq!(&fifty[..10], &ten[..]);
+        // Oversized request clamps.
+        assert_eq!(pop.hot_set(RegionTag(1), 10_000).len(), 2000);
+    }
+
+    #[test]
+    fn deterministic_rankings() {
+        let mut r1 = DetRng::new(5, "det");
+        let mut r2 = DetRng::new(5, "det");
+        let regions = [RegionTag(0)];
+        let c1 = Catalog::generate(200, &regions, 0.5, &mut r1);
+        let c2 = Catalog::generate(200, &regions, 0.5, &mut r2);
+        let p1 = RegionalPopularity::build(&c1, 1, 1.0, 5.0, &mut r1);
+        let p2 = RegionalPopularity::build(&c2, 1, 1.0, 5.0, &mut r2);
+        assert_eq!(p1.hot_set(RegionTag(0), 20), p2.hot_set(RegionTag(0), 20));
+    }
+}

@@ -1,0 +1,212 @@
+//! TTL expiry as a wrapper over any cache policy.
+//!
+//! CDN objects carry freshness lifetimes (`Cache-Control: max-age`); a
+//! satellite cache must not serve stale news pages however popular they
+//! are. [`TtlCache`] wraps any [`Cache`] implementation and expires entries
+//! lazily against the simulation clock: an expired entry is treated as
+//! absent (and dropped) on access, so no background sweeper is needed —
+//! important on power-budgeted hardware.
+
+use crate::cache::{Cache, CacheStats};
+use crate::catalog::ContentId;
+use spacecdn_geo::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A freshness-enforcing wrapper over an inner cache policy.
+///
+/// The wrapper owns the clock: callers advance it with [`TtlCache::set_now`]
+/// (typically from the DES scheduler) and all operations evaluate expiry
+/// against that instant.
+pub struct TtlCache<C: Cache> {
+    inner: C,
+    ttl: SimDuration,
+    expires: HashMap<ContentId, SimTime>,
+    now: SimTime,
+}
+
+impl<C: Cache> TtlCache<C> {
+    /// Wrap `inner`, expiring every entry `ttl` after insertion.
+    ///
+    /// # Panics
+    /// Panics on a zero TTL — that cache could never serve anything.
+    pub fn new(inner: C, ttl: SimDuration) -> Self {
+        assert!(ttl > SimDuration::ZERO, "TTL must be positive");
+        TtlCache {
+            inner,
+            ttl,
+            expires: HashMap::new(),
+            now: SimTime::EPOCH,
+        }
+    }
+
+    /// Advance the clock (monotonically; moving backwards is clamped).
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    /// The current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Is the entry present but expired?
+    fn expired(&self, id: ContentId) -> bool {
+        self.expires.get(&id).is_some_and(|&e| self.now >= e)
+    }
+
+    /// Drop an expired entry from both layers.
+    fn purge(&mut self, id: ContentId) {
+        self.inner.remove(id);
+        self.expires.remove(&id);
+    }
+
+    /// Access the wrapped cache (e.g. for policy-specific diagnostics).
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Cache> Cache for TtlCache<C> {
+    fn get(&mut self, id: ContentId) -> bool {
+        if self.expired(id) {
+            self.purge(id);
+            // The inner miss counter didn't see this lookup; forward it so
+            // stats stay truthful.
+            return self.inner.get(id);
+        }
+        self.inner.get(id)
+    }
+
+    fn contains(&self, id: ContentId) -> bool {
+        !self.expired(id) && self.inner.contains(id)
+    }
+
+    fn insert(&mut self, id: ContentId, size_bytes: u64) -> bool {
+        if self.expired(id) {
+            self.purge(id);
+        }
+        if self.inner.insert(id, size_bytes) {
+            self.expires.insert(id, self.now + self.ttl);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, id: ContentId) -> bool {
+        self.expires.remove(&id);
+        self.inner.remove(id)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    fn clear(&mut self) {
+        self.expires.clear();
+        self.inner.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LruCache;
+
+    fn cache() -> TtlCache<LruCache> {
+        TtlCache::new(LruCache::new(10_000), SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn fresh_entries_serve() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        assert!(c.get(ContentId(1)));
+        c.set_now(SimTime::from_secs(59));
+        assert!(c.get(ContentId(1)));
+    }
+
+    #[test]
+    fn entries_expire_at_ttl() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.set_now(SimTime::from_secs(60));
+        assert!(!c.contains(ContentId(1)));
+        assert!(!c.get(ContentId(1)));
+        assert_eq!(c.len(), 0, "expired entry purged");
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_after_expiry_restarts_ttl() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.set_now(SimTime::from_secs(120));
+        assert!(!c.contains(ContentId(1)));
+        assert!(c.insert(ContentId(1), 100));
+        c.set_now(SimTime::from_secs(179));
+        assert!(c.contains(ContentId(1)));
+        c.set_now(SimTime::from_secs(180));
+        assert!(!c.contains(ContentId(1)));
+    }
+
+    #[test]
+    fn refresh_insert_extends_ttl() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.set_now(SimTime::from_secs(30));
+        c.insert(ContentId(1), 100); // revalidated
+        c.set_now(SimTime::from_secs(80)); // 50s after refresh, 80 after first
+        assert!(c.contains(ContentId(1)));
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut c = cache();
+        c.set_now(SimTime::from_secs(100));
+        c.set_now(SimTime::from_secs(50));
+        assert_eq!(c.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn stats_count_expired_lookups_as_misses() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.set_now(SimTime::from_secs(61));
+        assert!(!c.get(ContentId(1)));
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn eviction_and_expiry_compose() {
+        // Small inner cache: LRU eviction still works under the wrapper.
+        let mut c = TtlCache::new(LruCache::new(250), SimDuration::from_secs(60));
+        c.insert(ContentId(1), 100);
+        c.insert(ContentId(2), 100);
+        c.insert(ContentId(3), 100); // evicts 1 (LRU)
+        assert!(!c.contains(ContentId(1)));
+        assert!(c.contains(ContentId(2)) && c.contains(ContentId(3)));
+        c.set_now(SimTime::from_secs(61));
+        assert!(!c.contains(ContentId(2)) && !c.contains(ContentId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ttl_panics() {
+        let _ = TtlCache::new(LruCache::new(100), SimDuration::ZERO);
+    }
+}

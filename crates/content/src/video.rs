@@ -1,0 +1,148 @@
+//! DASH-style video objects and stripes.
+//!
+//! §4: "a video object can be striped (correlating to a collection of DASH
+//! segments) such that the first stripe of n minutes is cached on the first
+//! satellite if it will be visible to the user for the first n minutes of
+//! playback; the next few stripes can be located on the second satellite…"
+//!
+//! A [`VideoObject`] is an ordered list of equal-duration segments; a
+//! *stripe* is the contiguous group of segments covering one satellite's
+//! serving window. The striping *planner* (which satellites get which
+//! stripes) lives in `spacecdn-core`; this module owns the content shape.
+
+use crate::catalog::ContentId;
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::SimDuration;
+
+/// A video as an ordered list of DASH segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoObject {
+    /// Identifier of the video as a whole.
+    pub id: ContentId,
+    /// Segment content ids, playback order.
+    pub segments: Vec<ContentId>,
+    /// Wall-clock playback duration of one segment.
+    pub segment_duration: SimDuration,
+    /// Size of each segment in bytes (constant bitrate assumed).
+    pub segment_bytes: u64,
+}
+
+impl VideoObject {
+    /// Build a video of `total` segments with ids starting at `first_seg`.
+    pub fn new(
+        id: ContentId,
+        first_seg: u64,
+        total: usize,
+        segment_duration: SimDuration,
+        segment_bytes: u64,
+    ) -> Self {
+        VideoObject {
+            id,
+            segments: (0..total as u64).map(|i| ContentId(first_seg + i)).collect(),
+            segment_duration,
+            segment_bytes,
+        }
+    }
+
+    /// Total playback duration.
+    pub fn duration(&self) -> SimDuration {
+        self.segment_duration.mul(self.segments.len() as u64)
+    }
+
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.segment_bytes * self.segments.len() as u64
+    }
+
+    /// Split the segment list into stripes of `stripe_duration` each (the
+    /// last stripe may be shorter). Returns the segment-id slices in order.
+    ///
+    /// # Panics
+    /// Panics if `stripe_duration` is shorter than one segment.
+    pub fn stripes(&self, stripe_duration: SimDuration) -> Vec<&[ContentId]> {
+        assert!(
+            stripe_duration >= self.segment_duration,
+            "stripe must hold at least one segment"
+        );
+        let per_stripe = (stripe_duration.0 / self.segment_duration.0).max(1) as usize;
+        self.segments.chunks(per_stripe).collect()
+    }
+
+    /// The stripe index playing at `elapsed` time into the video.
+    pub fn stripe_at(&self, stripe_duration: SimDuration, elapsed: SimDuration) -> usize {
+        let per_stripe = (stripe_duration.0 / self.segment_duration.0).max(1);
+        let seg = (elapsed.0 / self.segment_duration.0.max(1)) as usize;
+        (seg as u64 / per_stripe) as usize
+    }
+}
+
+/// Inputs to the striping planner in `spacecdn-core` (collected here so the
+/// planner's API is expressible without circular dependencies).
+#[derive(Debug, Clone)]
+pub struct StripePlanInput {
+    /// The video to stripe.
+    pub video: VideoObject,
+    /// Playback start time offset from the simulation epoch, seconds.
+    pub start_secs: u64,
+    /// Serving window per satellite (≈ the visibility window).
+    pub window: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hour_video() -> VideoObject {
+        // 2 h of 4-second segments: 1800 segments. (A 1080p30 stream at
+        // ~5 Mbps is ~2.5 MB per segment — the §5 economics numbers.)
+        VideoObject::new(
+            ContentId(9000),
+            10_000,
+            1800,
+            SimDuration::from_secs(4),
+            2_500_000,
+        )
+    }
+
+    #[test]
+    fn duration_and_size() {
+        let v = two_hour_video();
+        assert_eq!(v.duration(), SimDuration::from_secs(7200));
+        assert_eq!(v.total_bytes(), 1800 * 2_500_000);
+    }
+
+    #[test]
+    fn stripes_cover_all_segments_in_order() {
+        let v = two_hour_video();
+        let stripes = v.stripes(SimDuration::from_mins(5));
+        // 5 min / 4 s = 75 segments per stripe; 1800/75 = 24 stripes.
+        assert_eq!(stripes.len(), 24);
+        let flat: Vec<ContentId> = stripes.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, v.segments);
+    }
+
+    #[test]
+    fn ragged_final_stripe() {
+        let v = VideoObject::new(ContentId(1), 0, 10, SimDuration::from_secs(4), 100);
+        let stripes = v.stripes(SimDuration::from_secs(12)); // 3 segments each
+        assert_eq!(stripes.len(), 4);
+        assert_eq!(stripes[3].len(), 1);
+    }
+
+    #[test]
+    fn stripe_at_maps_playback_position() {
+        let v = two_hour_video();
+        let d = SimDuration::from_mins(5);
+        assert_eq!(v.stripe_at(d, SimDuration::ZERO), 0);
+        assert_eq!(v.stripe_at(d, SimDuration::from_secs(299)), 0);
+        assert_eq!(v.stripe_at(d, SimDuration::from_secs(300)), 1);
+        assert_eq!(v.stripe_at(d, SimDuration::from_mins(61)), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn stripe_shorter_than_segment_panics() {
+        let v = two_hour_video();
+        let _ = v.stripes(SimDuration::from_secs(1));
+    }
+}

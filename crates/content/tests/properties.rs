@@ -1,0 +1,125 @@
+//! Property-based tests for cache-policy invariants.
+
+use proptest::prelude::*;
+use spacecdn_content::cache::{Cache, FifoCache, LfuCache, LruCache};
+use spacecdn_content::catalog::ContentId;
+
+/// One cache operation in a generated trace.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..60, 1u64..5_000).prop_map(|(id, size)| Op::Insert(id, size)),
+        (0u64..60).prop_map(Op::Get),
+        (0u64..60).prop_map(Op::Remove),
+    ]
+}
+
+fn check_invariants(cache: &mut dyn Cache, ops: &[Op]) -> Result<(), TestCaseError> {
+    let capacity = cache.capacity_bytes();
+    for op in ops {
+        match *op {
+            Op::Insert(id, size) => {
+                let admitted = cache.insert(ContentId(id), size);
+                prop_assert_eq!(admitted, size <= capacity);
+                if admitted {
+                    prop_assert!(cache.contains(ContentId(id)), "inserted item present");
+                }
+            }
+            Op::Get(id) => {
+                let hit = cache.get(ContentId(id));
+                prop_assert_eq!(hit, cache.contains(ContentId(id)));
+            }
+            Op::Remove(id) => {
+                let was = cache.contains(ContentId(id));
+                prop_assert_eq!(cache.remove(ContentId(id)), was);
+                prop_assert!(!cache.contains(ContentId(id)));
+            }
+        }
+        prop_assert!(
+            cache.used_bytes() <= capacity,
+            "over capacity: {} > {}",
+            cache.used_bytes(),
+            capacity
+        );
+        let stats = cache.stats();
+        prop_assert!(stats.hits + stats.misses >= stats.hits); // no overflow
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_invariants(ops in prop::collection::vec(arb_op(), 1..300), cap in 1_000u64..40_000) {
+        let mut cache = LruCache::new(cap);
+        check_invariants(&mut cache, &ops)?;
+    }
+
+    #[test]
+    fn lfu_invariants(ops in prop::collection::vec(arb_op(), 1..300), cap in 1_000u64..40_000) {
+        let mut cache = LfuCache::new(cap);
+        check_invariants(&mut cache, &ops)?;
+    }
+
+    #[test]
+    fn fifo_invariants(ops in prop::collection::vec(arb_op(), 1..300), cap in 1_000u64..40_000) {
+        let mut cache = FifoCache::new(cap);
+        check_invariants(&mut cache, &ops)?;
+    }
+
+    #[test]
+    fn used_bytes_equals_sum_of_present(ops in prop::collection::vec(arb_op(), 1..200)) {
+        // Track presence externally with a model map and cross-check sizes.
+        use std::collections::HashMap;
+        let mut cache = LruCache::new(25_000);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(id, size) => {
+                    // Objects are immutable: re-inserting an existing id
+                    // refreshes metadata but keeps the original size.
+                    if cache.insert(ContentId(id), size) {
+                        model.entry(id).or_insert(size);
+                    }
+                }
+                Op::Get(id) => {
+                    cache.get(ContentId(id));
+                }
+                Op::Remove(id) => {
+                    cache.remove(ContentId(id));
+                    model.remove(&id);
+                }
+            }
+            // Evictions remove model entries we can detect by contains().
+            model.retain(|id, _| cache.contains(ContentId(*id)));
+            let model_bytes: u64 = model.values().sum();
+            prop_assert_eq!(cache.used_bytes(), model_bytes);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn clear_resets_contents_not_counters(ops in prop::collection::vec(arb_op(), 1..100)) {
+        let mut cache = LfuCache::new(10_000);
+        for op in &ops {
+            if let Op::Insert(id, size) = *op {
+                cache.insert(ContentId(id), size);
+            } else if let Op::Get(id) = *op {
+                cache.get(ContentId(id));
+            }
+        }
+        let stats_before = cache.stats();
+        cache.clear();
+        prop_assert_eq!(cache.len(), 0);
+        prop_assert_eq!(cache.used_bytes(), 0);
+        prop_assert_eq!(cache.stats().hits, stats_before.hits);
+        prop_assert_eq!(cache.stats().misses, stats_before.misses);
+    }
+}

@@ -1,0 +1,201 @@
+//! Serving economics: what a gigabyte delivered from orbit costs (§5,
+//! "Economics of Space CDNs").
+//!
+//! The paper proposes a MetaCDN-style model: the LSN owns the satellite
+//! caches and rents them to content customers. Whether that clears the
+//! market depends on the amortised cost of an orbital gigabyte versus
+//! terrestrial CDN egress — especially in the under-served regions where
+//! SpaceCDN's latency advantage is largest but terrestrial *competition* is
+//! weakest and WAN transit dearest.
+//!
+//! Every input is a named, documented assumption; the point is checkable
+//! arithmetic, not forecasting.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost assumptions for one cache-carrying satellite.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpaceCdnCostModel {
+    /// Added launch + hardware cost of the cache payload, USD.
+    /// (~$3k/kg Falcon-9-class launch × ~100 kg server + radiation-tolerant
+    /// hardware premium.)
+    pub payload_cost_usd: f64,
+    /// Satellite operational lifetime, years (Starlink v1.5 design life).
+    pub lifetime_years: f64,
+    /// Sustained serving throughput while active, Gbit/s (bounded by the
+    /// user downlink share allocated to CDN traffic).
+    pub serving_gbps: f64,
+    /// Fraction of time the cache is active (the Fig 8 duty cycle).
+    pub duty_cycle: f64,
+    /// Mean utilisation of the serving capacity while active, `[0, 1]`
+    /// (demand under the footprint varies with geography and hour).
+    pub utilization: f64,
+}
+
+impl Default for SpaceCdnCostModel {
+    fn default() -> Self {
+        SpaceCdnCostModel {
+            payload_cost_usd: 450_000.0,
+            lifetime_years: 5.0,
+            serving_gbps: 4.0,
+            duty_cycle: 0.5,
+            utilization: 0.25,
+        }
+    }
+}
+
+impl SpaceCdnCostModel {
+    /// Gigabytes served over the satellite's lifetime.
+    pub fn lifetime_gb(&self) -> f64 {
+        let seconds = self.lifetime_years * 365.25 * 86_400.0;
+        let effective_gbps =
+            self.serving_gbps * self.duty_cycle.clamp(0.0, 1.0) * self.utilization.clamp(0.0, 1.0);
+        effective_gbps * seconds / 8.0
+    }
+
+    /// Amortised cost per gigabyte served, USD.
+    pub fn cost_per_gb(&self) -> f64 {
+        let gb = self.lifetime_gb();
+        if gb <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.payload_cost_usd / gb
+        }
+    }
+
+    /// Utilisation needed to serve at or below `target_usd_per_gb`.
+    /// Returns a value > 1 when the target is unreachable at this duty
+    /// cycle.
+    pub fn break_even_utilization(&self, target_usd_per_gb: f64) -> f64 {
+        if target_usd_per_gb <= 0.0 {
+            return f64::INFINITY;
+        }
+        let seconds = self.lifetime_years * 365.25 * 86_400.0;
+        let gb_at_full = self.serving_gbps * self.duty_cycle.clamp(0.0, 1.0) * seconds / 8.0;
+        if gb_at_full <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.payload_cost_usd / (target_usd_per_gb * gb_at_full)
+    }
+}
+
+/// Terrestrial delivery price points, USD per GB (public CDN list-price
+/// bands, 2024).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TerrestrialCosts {
+    /// CDN egress in well-served markets (NA/EU, committed volume).
+    pub cdn_well_served: f64,
+    /// CDN egress in under-served markets (Africa/South America/Oceania
+    /// price bands are 3-8× NA/EU).
+    pub cdn_under_served: f64,
+    /// Origin WAN transit for a cache miss hauled intercontinentally.
+    pub wan_transit: f64,
+}
+
+impl Default for TerrestrialCosts {
+    fn default() -> Self {
+        TerrestrialCosts {
+            cdn_well_served: 0.02,
+            cdn_under_served: 0.09,
+            wan_transit: 0.05,
+        }
+    }
+}
+
+/// The comparison the §5 discussion calls for.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CostComparison {
+    /// SpaceCDN amortised cost, USD/GB.
+    pub spacecdn_usd_per_gb: f64,
+    /// Competitive in well-served markets?
+    pub beats_well_served: bool,
+    /// Competitive in under-served markets?
+    pub beats_under_served: bool,
+}
+
+/// Compare a SpaceCDN configuration against terrestrial price bands.
+pub fn compare(model: &SpaceCdnCostModel, terrestrial: &TerrestrialCosts) -> CostComparison {
+    let c = model.cost_per_gb();
+    CostComparison {
+        spacecdn_usd_per_gb: c,
+        beats_well_served: c <= terrestrial.cdn_well_served,
+        beats_under_served: c <= terrestrial.cdn_under_served,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_volume_order_of_magnitude() {
+        // 4 Gbit/s × 50% duty × 25% util ≈ 0.5 Gbit/s ≈ 2.0 PB/year.
+        let m = SpaceCdnCostModel::default();
+        let gb_per_year = m.lifetime_gb() / m.lifetime_years;
+        assert!(
+            (1.0e6..4.0e6).contains(&gb_per_year),
+            "got {gb_per_year} GB/yr"
+        );
+    }
+
+    #[test]
+    fn default_cost_lands_in_underserved_band() {
+        // The §5 intuition made quantitative: orbital delivery can't match
+        // NA/EU egress pricing but competes where terrestrial CDNs are
+        // expensive — exactly the regions where its latency advantage is
+        // largest too.
+        let cmp = compare(&SpaceCdnCostModel::default(), &TerrestrialCosts::default());
+        assert!(!cmp.beats_well_served, "{cmp:?}");
+        assert!(cmp.beats_under_served, "{cmp:?}");
+    }
+
+    #[test]
+    fn cost_inversely_proportional_to_utilization() {
+        let lo = SpaceCdnCostModel {
+            utilization: 0.1,
+            ..SpaceCdnCostModel::default()
+        };
+        let hi = SpaceCdnCostModel {
+            utilization: 0.4,
+            ..SpaceCdnCostModel::default()
+        };
+        assert!((lo.cost_per_gb() / hi.cost_per_gb() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_consistent_with_cost() {
+        let m = SpaceCdnCostModel::default();
+        let target = m.cost_per_gb();
+        let u = m.break_even_utilization(target);
+        assert!((u - m.utilization).abs() < 1e-9, "{u}");
+        // Cheaper targets need more utilisation.
+        assert!(m.break_even_utilization(target / 2.0) > u);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let dead = SpaceCdnCostModel {
+            duty_cycle: 0.0,
+            ..SpaceCdnCostModel::default()
+        };
+        assert!(dead.cost_per_gb().is_infinite());
+        assert!(dead.break_even_utilization(0.05).is_infinite());
+        let m = SpaceCdnCostModel::default();
+        assert!(m.break_even_utilization(0.0).is_infinite());
+    }
+
+    #[test]
+    fn duty_cycle_trades_thermal_relief_for_cost() {
+        // Halving the duty cycle doubles cost/GB: the Fig 8 thermal
+        // mitigation has a price, which is why §5 calls for more work.
+        let full = SpaceCdnCostModel {
+            duty_cycle: 1.0,
+            ..SpaceCdnCostModel::default()
+        };
+        let half = SpaceCdnCostModel {
+            duty_cycle: 0.5,
+            ..SpaceCdnCostModel::default()
+        };
+        assert!((half.cost_per_gb() / full.cost_per_gb() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,183 @@
+//! Duty-cycled satellite caches (Figure 8).
+//!
+//! §5: satellites are passively cooled and power-constrained, so running a
+//! cache server continuously risks battery wear and thermal limits. The
+//! paper's "first-cut" mitigation: in each duty-cycle slot only x % of the
+//! fleet serves as caches; the rest relay requests over ISLs to an active
+//! cache. The active set rotates every slot so heat and battery load spread
+//! across the fleet.
+//!
+//! Membership is decided by a deterministic per-(satellite, slot) hash, so
+//! any two components agree on the active set without coordination — and so
+//! experiments are reproducible.
+
+use spacecdn_geo::{SimDuration, SimTime};
+use spacecdn_orbit::{Constellation, SatIndex};
+use std::collections::BTreeSet;
+
+/// Deterministic rotating duty-cycle schedule.
+#[derive(Debug, Clone)]
+pub struct DutyCycler {
+    /// Fraction of the fleet caching at any time, `[0, 1]`.
+    active_fraction: f64,
+    /// Length of one duty-cycle slot.
+    slot: SimDuration,
+    /// Experiment seed, mixed into the membership hash.
+    seed: u64,
+}
+
+impl DutyCycler {
+    /// Create a schedule with the given active fraction and slot length.
+    ///
+    /// # Panics
+    /// Panics on a zero slot length or a non-finite fraction.
+    pub fn new(active_fraction: f64, slot: SimDuration, seed: u64) -> Self {
+        assert!(slot > SimDuration::ZERO, "slot length must be positive");
+        assert!(active_fraction.is_finite(), "fraction must be finite");
+        DutyCycler {
+            active_fraction: active_fraction.clamp(0.0, 1.0),
+            slot,
+            seed,
+        }
+    }
+
+    /// The configured active fraction.
+    pub fn active_fraction(&self) -> f64 {
+        self.active_fraction
+    }
+
+    /// The slot index containing `t`.
+    pub fn slot_index(&self, t: SimTime) -> u64 {
+        t.0 / self.slot.0
+    }
+
+    /// Is `sat` an active cache at time `t`?
+    pub fn is_active(&self, sat: SatIndex, t: SimTime) -> bool {
+        let slot = self.slot_index(t);
+        let h = mix(self.seed, sat.0 as u64, slot);
+        // Map the hash to [0,1) and compare against the fraction.
+        (h as f64 / u64::MAX as f64) < self.active_fraction
+    }
+
+    /// The full active cache set at time `t`.
+    pub fn active_set(&self, constellation: &Constellation, t: SimTime) -> BTreeSet<SatIndex> {
+        constellation
+            .sat_indices()
+            .filter(|&s| self.is_active(s, t))
+            .collect()
+    }
+
+    /// Fraction of slots (out of `slots` consecutive ones starting at the
+    /// epoch) in which `sat` is active — its long-run thermal duty.
+    pub fn duty_of(&self, sat: SatIndex, slots: u64) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        let active = (0..slots)
+            .filter(|&i| self.is_active(sat, SimTime(i * self.slot.0)))
+            .count();
+        active as f64 / slots as f64
+    }
+}
+
+/// SplitMix64-style avalanche over (seed, sat, slot).
+fn mix(seed: u64, sat: u64, slot: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(sat.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(slot.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_orbit::shell::shells;
+
+    fn shell1() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    fn cycler(frac: f64) -> DutyCycler {
+        DutyCycler::new(frac, SimDuration::from_mins(10), 42)
+    }
+
+    #[test]
+    fn active_fraction_approximately_honored() {
+        let c = shell1();
+        for frac in [0.3, 0.5, 0.8] {
+            let set = cycler(frac).active_set(&c, SimTime::EPOCH);
+            let got = set.len() as f64 / c.len() as f64;
+            assert!(
+                (got - frac).abs() < 0.05,
+                "fraction {frac}: got {got} ({} sats)",
+                set.len()
+            );
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let c = shell1();
+        assert!(cycler(0.0).active_set(&c, SimTime::EPOCH).is_empty());
+        assert_eq!(cycler(1.0).active_set(&c, SimTime::EPOCH).len(), 1584);
+        // Out-of-range input clamps rather than panicking.
+        assert_eq!(
+            DutyCycler::new(7.0, SimDuration::from_mins(1), 0).active_fraction(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn membership_stable_within_slot() {
+        let dc = cycler(0.5);
+        let sat = SatIndex(100);
+        let a = dc.is_active(sat, SimTime::from_secs(0));
+        let b = dc.is_active(sat, SimTime::from_secs(599));
+        assert_eq!(a, b, "same slot, same membership");
+    }
+
+    #[test]
+    fn active_set_rotates_between_slots() {
+        let c = shell1();
+        let dc = cycler(0.5);
+        let s0 = dc.active_set(&c, SimTime::from_secs(0));
+        let s1 = dc.active_set(&c, SimTime::from_secs(601));
+        let overlap = s0.intersection(&s1).count();
+        // Independent 50% draws overlap ~25% of the fleet.
+        assert!(overlap < s0.len() * 3 / 4, "rotation too weak: {overlap}");
+        assert!(overlap > s0.len() / 4, "rotation suspiciously total");
+    }
+
+    #[test]
+    fn long_run_duty_matches_fraction() {
+        let dc = cycler(0.3);
+        // Averaged over satellites (law of large numbers over the hash).
+        let mean: f64 = (0..200u32)
+            .map(|i| dc.duty_of(SatIndex(i), 100))
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean - 0.3).abs() < 0.02, "got {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = shell1();
+        let a = DutyCycler::new(0.5, SimDuration::from_mins(10), 7)
+            .active_set(&c, SimTime::from_secs(1234));
+        let b = DutyCycler::new(0.5, SimDuration::from_mins(10), 7)
+            .active_set(&c, SimTime::from_secs(1234));
+        assert_eq!(a, b);
+        let other = DutyCycler::new(0.5, SimDuration::from_mins(10), 8)
+            .active_set(&c, SimTime::from_secs(1234));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slot_panics() {
+        let _ = DutyCycler::new(0.5, SimDuration::ZERO, 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cache copy placement on the constellation.
+//!
+//! §4 argues "with around 4 copies distributed within each plane, an object
+//! can be reachable within 5 hops, even within a single orbital plane;
+//! fewer copies would be needed if east-west ISLs across orbital planes are
+//! also used." Placement strategies decide which satellites hold copies of
+//! an object; the retrieval layer then measures how many hops a request
+//! needs to reach one.
+
+use spacecdn_geo::DetRng;
+use spacecdn_orbit::{Constellation, SatIndex};
+use std::collections::BTreeSet;
+
+/// How cache copies of one object are distributed over the constellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementStrategy {
+    /// `k` copies per orbital plane, evenly spaced within the plane
+    /// (the paper's "4 copies within each plane" scheme).
+    PerPlane {
+        /// Copies per plane.
+        k: u32,
+    },
+    /// A uniformly random fraction of all satellites holds a copy.
+    RandomFraction {
+        /// Fraction of the fleet in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Exactly `count` copies, placed uniformly at random.
+    RandomCount {
+        /// Number of copies.
+        count: u32,
+    },
+    /// Enough random copies that the nearest copy is within `hops` ISL hops
+    /// with high probability: the +Grid ball of radius `h` holds `2h²+2h+1`
+    /// satellites, and `⌈2T / ball(h)⌉` random copies leave a point
+    /// uncovered with probability ≈ e⁻² ≈ 13 %.
+    CoverRadius {
+        /// Target hop radius.
+        hops: u32,
+    },
+}
+
+/// Number of satellites within `h` hops on an (infinite) +Grid.
+pub fn grid_ball_size(h: u32) -> u32 {
+    2 * h * h + 2 * h + 1
+}
+
+/// Popularity-weighted copy allocation: split a global copy budget across a
+/// catalog in proportion to each object's demand mass, with a floor of one
+/// copy per cached object and a per-object cap.
+///
+/// This is how a real SpaceCDN would spend its storage: the Boca-vs-River
+/// final gets hundreds of copies, the long tail gets one (or zero — objects
+/// beyond the budget are left to the ground origin). `masses` need not be
+/// normalised. Returns one copy count per object, preserving order;
+/// objects that receive no copies get 0.
+pub fn popularity_copy_allocation(
+    masses: &[f64],
+    copy_budget: usize,
+    per_object_cap: u32,
+) -> Vec<u32> {
+    let total_mass: f64 = masses.iter().filter(|m| m.is_finite() && **m > 0.0).sum();
+    if total_mass <= 0.0 || copy_budget == 0 {
+        return vec![0; masses.len()];
+    }
+    let cap = per_object_cap.max(1);
+    // Proportional shares, floored; then spend any remainder on the largest
+    // fractional parts (largest-remainder method, deterministic ties by
+    // index).
+    let mut alloc: Vec<u32> = Vec::with_capacity(masses.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(masses.len());
+    let mut spent: usize = 0;
+    for (i, &m) in masses.iter().enumerate() {
+        let share = if m.is_finite() && m > 0.0 {
+            m / total_mass * copy_budget as f64
+        } else {
+            0.0
+        };
+        let floor = (share.floor() as u32).min(cap);
+        alloc.push(floor);
+        spent += floor as usize;
+        if floor < cap {
+            remainders.push((share - share.floor(), i));
+        }
+    }
+    remainders.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite shares")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    for (_, i) in remainders {
+        if spent >= copy_budget {
+            break;
+        }
+        if alloc[i] < cap {
+            alloc[i] += 1;
+            spent += 1;
+        }
+    }
+    alloc
+}
+
+impl PlacementStrategy {
+    /// Select the copy-holding satellites for one object.
+    pub fn place(&self, constellation: &Constellation, rng: &mut DetRng) -> BTreeSet<SatIndex> {
+        let total = constellation.len();
+        let planes = constellation.config().plane_count;
+        let per_plane = constellation.config().sats_per_plane;
+        match *self {
+            PlacementStrategy::PerPlane { k } => {
+                let k = k.min(per_plane).max(1);
+                let mut set = BTreeSet::new();
+                // Random rotation per plane so copies don't align across
+                // planes (aligned copies waste inter-plane reachability).
+                for plane in 0..planes {
+                    let rot = rng.index(per_plane as usize) as i64;
+                    for i in 0..k {
+                        let slot = rot + (i as i64 * per_plane as i64) / k as i64;
+                        set.insert(constellation.sat_at(plane as i64, slot));
+                    }
+                }
+                set
+            }
+            PlacementStrategy::RandomFraction { fraction } => {
+                let count = ((total as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+                rng.sample_indices(total, count)
+                    .into_iter()
+                    .map(|i| SatIndex(i as u32))
+                    .collect()
+            }
+            PlacementStrategy::RandomCount { count } => rng
+                .sample_indices(total, count as usize)
+                .into_iter()
+                .map(|i| SatIndex(i as u32))
+                .collect(),
+            PlacementStrategy::CoverRadius { hops } => {
+                let ball = grid_ball_size(hops) as usize;
+                let count = (2 * total).div_ceil(ball).max(1);
+                rng.sample_indices(total, count)
+                    .into_iter()
+                    .map(|i| SatIndex(i as u32))
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of copies this strategy will produce on the given
+    /// constellation (exactly, before any dedup effects).
+    pub fn copy_count(&self, constellation: &Constellation) -> usize {
+        let total = constellation.len();
+        match *self {
+            PlacementStrategy::PerPlane { k } => {
+                (k.min(constellation.config().sats_per_plane).max(1)
+                    * constellation.config().plane_count) as usize
+            }
+            PlacementStrategy::RandomFraction { fraction } => {
+                ((total as f64) * fraction.clamp(0.0, 1.0)).round() as usize
+            }
+            PlacementStrategy::RandomCount { count } => (count as usize).min(total),
+            PlacementStrategy::CoverRadius { hops } => {
+                (2 * total).div_ceil(grid_ball_size(hops) as usize).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_orbit::shell::shells;
+
+    fn shell1() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    #[test]
+    fn ball_sizes() {
+        assert_eq!(grid_ball_size(0), 1);
+        assert_eq!(grid_ball_size(1), 5);
+        assert_eq!(grid_ball_size(5), 61);
+        assert_eq!(grid_ball_size(10), 221);
+    }
+
+    #[test]
+    fn per_plane_places_k_per_plane() {
+        let c = shell1();
+        let mut rng = DetRng::new(1, "place");
+        let set = PlacementStrategy::PerPlane { k: 4 }.place(&c, &mut rng);
+        assert_eq!(set.len(), 4 * 72);
+        // Exactly 4 in each plane, evenly spread (gaps of 5 or 6 slots).
+        for plane in 0..72u32 {
+            let slots: Vec<u32> = set
+                .iter()
+                .filter(|s| c.plane_of(**s) == plane)
+                .map(|s| c.slot_of(*s))
+                .collect();
+            assert_eq!(slots.len(), 4, "plane {plane}");
+        }
+    }
+
+    #[test]
+    fn per_plane_k_clamps_to_plane_size() {
+        let c = shell1();
+        let mut rng = DetRng::new(2, "place");
+        let set = PlacementStrategy::PerPlane { k: 99 }.place(&c, &mut rng);
+        assert_eq!(set.len(), 22 * 72);
+    }
+
+    #[test]
+    fn random_fraction_count() {
+        let c = shell1();
+        let mut rng = DetRng::new(3, "place");
+        let half = PlacementStrategy::RandomFraction { fraction: 0.5 }.place(&c, &mut rng);
+        assert_eq!(half.len(), 792);
+        let none = PlacementStrategy::RandomFraction { fraction: 0.0 }.place(&c, &mut rng);
+        assert!(none.is_empty());
+        let all = PlacementStrategy::RandomFraction { fraction: 1.0 }.place(&c, &mut rng);
+        assert_eq!(all.len(), 1584);
+    }
+
+    #[test]
+    fn cover_radius_count_matches_formula() {
+        let c = shell1();
+        let mut rng = DetRng::new(4, "place");
+        for hops in [1u32, 3, 5, 10] {
+            let set = PlacementStrategy::CoverRadius { hops }.place(&c, &mut rng);
+            let expected = (2 * 1584usize).div_ceil(grid_ball_size(hops) as usize);
+            assert_eq!(set.len(), expected, "hops {hops}");
+        }
+    }
+
+    #[test]
+    fn copy_count_matches_placement() {
+        let c = shell1();
+        let mut rng = DetRng::new(5, "place");
+        for strat in [
+            PlacementStrategy::PerPlane { k: 4 },
+            PlacementStrategy::RandomFraction { fraction: 0.3 },
+            PlacementStrategy::RandomCount { count: 64 },
+            PlacementStrategy::CoverRadius { hops: 5 },
+        ] {
+            let set = strat.place(&c, &mut rng);
+            assert_eq!(set.len(), strat.copy_count(&c), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn placements_deterministic_per_seed() {
+        let c = shell1();
+        let a = PlacementStrategy::RandomCount { count: 32 }
+            .place(&c, &mut DetRng::new(9, "p"));
+        let b = PlacementStrategy::RandomCount { count: 32 }
+            .place(&c, &mut DetRng::new(9, "p"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn popularity_allocation_spends_budget_proportionally() {
+        // Zipf-ish masses over 5 objects.
+        let masses = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let alloc = popularity_copy_allocation(&masses, 32, 100);
+        assert_eq!(alloc.iter().sum::<u32>(), 32);
+        assert!(alloc[0] > alloc[1] && alloc[1] > alloc[2]);
+        assert_eq!(alloc[0], 16); // 8/16 of the budget
+        assert_eq!(alloc[3], alloc[4]);
+    }
+
+    #[test]
+    fn popularity_allocation_respects_cap() {
+        let masses = [100.0, 1.0, 1.0];
+        let alloc = popularity_copy_allocation(&masses, 30, 10);
+        assert_eq!(alloc[0], 10, "head capped");
+        // Remainder spills to the tail up to their caps.
+        assert!(alloc[1] + alloc[2] > 0);
+        assert!(alloc.iter().sum::<u32>() <= 30);
+    }
+
+    #[test]
+    fn popularity_allocation_degenerate_inputs() {
+        assert_eq!(popularity_copy_allocation(&[], 10, 4), Vec::<u32>::new());
+        assert_eq!(popularity_copy_allocation(&[1.0, 2.0], 0, 4), vec![0, 0]);
+        assert_eq!(
+            popularity_copy_allocation(&[0.0, f64::NAN, -1.0], 10, 4),
+            vec![0, 0, 0]
+        );
+        // A zero-mass object among live ones gets nothing.
+        let alloc = popularity_copy_allocation(&[5.0, 0.0], 4, 10);
+        assert_eq!(alloc[1], 0);
+        assert_eq!(alloc[0], 4);
+    }
+
+    #[test]
+    fn all_placed_sats_valid() {
+        let c = shell1();
+        let mut rng = DetRng::new(6, "place");
+        let set = PlacementStrategy::CoverRadius { hops: 3 }.place(&c, &mut rng);
+        for s in set {
+            assert!((s.as_usize()) < c.len());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Online demand prediction for bubble prefetch (§5).
+//!
+//! "We foresee the potential of machine learning algorithms to predict and
+//! prefetch content on satellites as they approach field-of-view of a
+//! country." Before anyone reaches for a GPU: a per-(region, object)
+//! exponentially-weighted request counter is the classical baseline such
+//! predictors must beat, it runs on a satellite's power budget, and —
+//! because regional popularity is heavy-tailed and slowly drifting — it
+//! already recovers most of the oracle hot set. This module provides that
+//! baseline and the overlap metric to judge anything fancier.
+
+use spacecdn_content::catalog::{ContentId, RegionTag};
+use std::collections::HashMap;
+
+/// An EWMA-per-object demand estimator, one score table per region.
+#[derive(Debug, Clone)]
+pub struct DemandPredictor {
+    /// Decay factor applied to *all* scores at each tick, in (0, 1).
+    decay: f64,
+    /// (region, object) → score.
+    scores: HashMap<(RegionTag, ContentId), f64>,
+}
+
+impl DemandPredictor {
+    /// Create a predictor; `decay` < 1 ages history at every [`Self::tick`]
+    /// (0.9 ≈ a half-life of ~6.6 ticks).
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay < 1`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "decay must be in (0, 1), got {decay}"
+        );
+        DemandPredictor {
+            decay,
+            scores: HashMap::new(),
+        }
+    }
+
+    /// Record one observed request.
+    pub fn observe(&mut self, region: RegionTag, id: ContentId) {
+        *self.scores.entry((region, id)).or_insert(0.0) += 1.0;
+    }
+
+    /// Age all scores (call once per epoch — e.g. per prefetch period).
+    /// Scores below a floor are dropped so the table tracks the working
+    /// set, not the whole catalog.
+    pub fn tick(&mut self) {
+        let decay = self.decay;
+        self.scores.retain(|_, s| {
+            *s *= decay;
+            *s > 1e-3
+        });
+    }
+
+    /// Predicted top-`k` objects for a region, hottest first. Ties break
+    /// by object id for determinism.
+    pub fn predicted_hot_set(&self, region: RegionTag, k: usize) -> Vec<ContentId> {
+        let mut scored: Vec<(f64, ContentId)> = self
+            .scores
+            .iter()
+            .filter(|((r, _), _)| *r == region)
+            .map(|((_, id), s)| (*s, *id))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        scored.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    /// Number of tracked (region, object) entries.
+    pub fn tracked(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+/// Overlap of a predicted set with an oracle set, in `[0, 1]`
+/// (|intersection| / |oracle|). The metric by which §5's "new algorithms"
+/// should be judged.
+pub fn hot_set_overlap(predicted: &[ContentId], oracle: &[ContentId]) -> f64 {
+    if oracle.is_empty() {
+        return 0.0;
+    }
+    let p: std::collections::HashSet<_> = predicted.iter().collect();
+    oracle.iter().filter(|id| p.contains(id)).count() as f64 / oracle.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_content::catalog::Catalog;
+    use spacecdn_content::popularity::RegionalPopularity;
+    use spacecdn_geo::DetRng;
+
+    fn setup() -> (Catalog, RegionalPopularity) {
+        let mut rng = DetRng::new(1, "prefetch");
+        let tags = [RegionTag(0), RegionTag(1)];
+        let catalog = Catalog::generate(2000, &tags, 0.6, &mut rng);
+        let pop = RegionalPopularity::build(&catalog, 2, 1.0, 8.0, &mut rng);
+        (catalog, pop)
+    }
+
+    #[test]
+    fn predictor_recovers_oracle_hot_set() {
+        let (_, pop) = setup();
+        let mut predictor = DemandPredictor::new(0.9);
+        let mut rng = DetRng::new(2, "prefetch-req");
+        for _ in 0..20_000 {
+            predictor.observe(RegionTag(0), pop.sample(RegionTag(0), &mut rng));
+        }
+        let predicted = predictor.predicted_hot_set(RegionTag(0), 100);
+        let oracle = pop.hot_set(RegionTag(0), 100);
+        let overlap = hot_set_overlap(&predicted, oracle);
+        assert!(overlap > 0.7, "overlap {overlap}");
+    }
+
+    #[test]
+    fn regions_kept_separate() {
+        let (_, pop) = setup();
+        let mut predictor = DemandPredictor::new(0.9);
+        let mut rng = DetRng::new(3, "prefetch-sep");
+        for _ in 0..10_000 {
+            predictor.observe(RegionTag(0), pop.sample(RegionTag(0), &mut rng));
+            predictor.observe(RegionTag(1), pop.sample(RegionTag(1), &mut rng));
+        }
+        let p0 = predictor.predicted_hot_set(RegionTag(0), 50);
+        let p1 = predictor.predicted_hot_set(RegionTag(1), 50);
+        let cross = hot_set_overlap(&p0, &p1);
+        assert!(cross < 0.5, "regional predictions too similar: {cross}");
+        // Each matches its own oracle better than the other's.
+        let own = hot_set_overlap(&p0, pop.hot_set(RegionTag(0), 50));
+        let other = hot_set_overlap(&p0, pop.hot_set(RegionTag(1), 50));
+        assert!(own > other, "own {own} vs other {other}");
+    }
+
+    #[test]
+    fn decay_adapts_to_popularity_shift() {
+        // Phase 1: objects 0..50 are hot. Phase 2: objects 1000..1050.
+        let mut predictor = DemandPredictor::new(0.5);
+        for round in 0..20 {
+            for i in 0..50u64 {
+                predictor.observe(RegionTag(0), ContentId(i));
+            }
+            let _ = round;
+            predictor.tick();
+        }
+        for _ in 0..20 {
+            for i in 1000..1050u64 {
+                predictor.observe(RegionTag(0), ContentId(i));
+            }
+            predictor.tick();
+        }
+        let predicted = predictor.predicted_hot_set(RegionTag(0), 50);
+        let new_era: Vec<ContentId> = (1000..1050).map(ContentId).collect();
+        let overlap = hot_set_overlap(&predicted, &new_era);
+        assert!(overlap > 0.9, "should have forgotten the old era: {overlap}");
+    }
+
+    #[test]
+    fn tick_prunes_cold_entries() {
+        let mut predictor = DemandPredictor::new(0.5);
+        predictor.observe(RegionTag(0), ContentId(1));
+        assert_eq!(predictor.tracked(), 1);
+        for _ in 0..20 {
+            predictor.tick();
+        }
+        assert_eq!(predictor.tracked(), 0, "cold entries must be dropped");
+    }
+
+    #[test]
+    fn overlap_metric_edges() {
+        let a = [ContentId(1), ContentId(2)];
+        assert_eq!(hot_set_overlap(&a, &a), 1.0);
+        assert_eq!(hot_set_overlap(&a, &[]), 0.0);
+        assert_eq!(hot_set_overlap(&[], &a), 0.0);
+        assert_eq!(hot_set_overlap(&a, &[ContentId(1), ContentId(9)]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn bad_decay_panics() {
+        let _ = DemandPredictor::new(1.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! The SpaceCDN fetch logic of Figure 6.
+//!
+//! 1. If the overhead satellite caches the object, serve it directly
+//!    (red arrow).
+//! 2. Otherwise route over ISLs to the nearest satellite holding a copy,
+//!    within a hop budget (blue arrow).
+//! 3. If no copy is within budget, fall back to the ground cache behind
+//!    the bent pipe (black arrow).
+
+use spacecdn_geo::propagation::{propagation_delay, Medium};
+use spacecdn_geo::{DetRng, Geodetic, Km, Latency};
+use spacecdn_lsn::{dijkstra_distances, hop_distances, AccessModel, IslGraph};
+use spacecdn_orbit::SatIndex;
+use std::collections::BTreeSet;
+
+/// Where a request was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalSource {
+    /// The satellite directly overhead had the object.
+    Overhead,
+    /// A satellite `hops` ISL hops away had it.
+    Isl {
+        /// Hop distance to the serving satellite.
+        hops: u32,
+    },
+    /// No satellite within budget had it; served from the ground.
+    Ground,
+}
+
+/// One resolved fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalOutcome {
+    /// Serving source.
+    pub source: RetrievalSource,
+    /// Full fetch RTT.
+    pub rtt: Latency,
+    /// The serving satellite (None for ground fallback).
+    pub serving_sat: Option<SatIndex>,
+}
+
+/// Parameters of a fetch.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrievalConfig {
+    /// Maximum ISL hops to search for a cached copy (the paper sweeps
+    /// 1/3/5/10).
+    pub max_isl_hops: u32,
+    /// RTT of the ground fallback (bent pipe to the cache server near the
+    /// ground station / PoP). Computed by the caller from the network model
+    /// so retrieval stays decoupled from PoP homing.
+    pub ground_fallback_rtt: Latency,
+}
+
+/// Resolve one fetch for a user at `user` against the set of satellites
+/// currently caching the object.
+///
+/// Copy selection is **latency-optimal within the hop budget**: among
+/// copies reachable in ≤ `max_isl_hops` ISL hops (BFS metric — the budget
+/// the paper sweeps), the one with the lowest propagation latency wins.
+/// Hop-nearest and latency-nearest differ on the +Grid because intra-plane
+/// hops are ~3× longer than inter-plane ones; a deployed SpaceCDN routes by
+/// latency.
+///
+/// Returns `None` only when no satellite serves the user at all (dead
+/// constellation). When `rng` is given, user-link jitter is sampled.
+pub fn retrieve(
+    graph: &IslGraph,
+    access: &AccessModel,
+    user: Geodetic,
+    caches: &BTreeSet<SatIndex>,
+    config: &RetrievalConfig,
+    mut rng: Option<&mut DetRng>,
+) -> Option<RetrievalOutcome> {
+    let (overhead, up_slant) = graph.nearest_alive(user)?;
+
+    // Fast path: the overhead satellite itself.
+    let overhead_hit = caches.contains(&overhead) && graph.is_alive(overhead);
+
+    // (satellite, space-segment RTT cost, hop distance per BFS)
+    let best = if overhead_hit {
+        Some((overhead, Latency::ZERO, 0u32))
+    } else {
+        let hops = hop_distances(graph, overhead);
+        let km = dijkstra_distances(graph, overhead);
+        let mut best: Option<(SatIndex, Latency, u32)> = None;
+        for &sat in caches {
+            if !graph.is_alive(sat) {
+                continue;
+            }
+            let h = hops[sat.as_usize()];
+            if h == u32::MAX || h > config.max_isl_hops {
+                continue;
+            }
+            let (dist_km, route_hops) = km[sat.as_usize()];
+            if !dist_km.is_finite() {
+                continue;
+            }
+            // Full space-segment cost: propagation plus per-hop switching.
+            // Selecting on kilometres alone would be wrong — a shorter
+            // route through more (cheaper) hops can still lose on total.
+            let cost = propagation_delay(Km(dist_km), Medium::Vacuum).round_trip()
+                + access.isl_processing(route_hops as usize);
+            if best.is_none_or(|(_, b, _)| cost < b) {
+                best = Some((sat, cost, h));
+            }
+        }
+        best
+    };
+
+    if let Some((serving, space_cost, bfs_hops)) = best {
+        let user_link = match rng.as_mut() {
+            Some(r) => access.user_link_rtt_sample(up_slant, r),
+            None => access.user_link_rtt_median(up_slant),
+        };
+        let rtt = user_link + space_cost;
+        // A rational client takes whichever source is cheaper: a copy at
+        // the far edge of a generous hop budget can cost more than the
+        // bent pipe to the ground cache.
+        if rtt <= config.ground_fallback_rtt {
+            // The source reports the BFS hop distance — the "found within
+            // n hops" metric of the paper — even when the latency-optimal
+            // route takes more (shorter) hops.
+            let source = if bfs_hops == 0 {
+                RetrievalSource::Overhead
+            } else {
+                RetrievalSource::Isl { hops: bfs_hops }
+            };
+            return Some(RetrievalOutcome {
+                source,
+                rtt,
+                serving_sat: Some(serving),
+            });
+        }
+    }
+
+    // Ground fallback: the caller-provided bent-pipe RTT (already includes
+    // the user link, so no double counting).
+    Some(RetrievalOutcome {
+        source: RetrievalSource::Ground,
+        rtt: config.ground_fallback_rtt,
+        serving_sat: None,
+    })
+}
+
+/// Multi-shell retrieval: resolve the fetch independently in every shell
+/// (ISLs do not cross shells) and take the cheapest in-space result; fall
+/// back to ground only when every shell misses.
+///
+/// `shells` are per-shell topology snapshots at one instant; `caches[i]`
+/// holds shell *i*'s copies. The per-shell hop budget applies within each
+/// shell.
+pub fn retrieve_multishell(
+    shells: &[IslGraph],
+    access: &AccessModel,
+    user: Geodetic,
+    caches: &[BTreeSet<SatIndex>],
+    config: &RetrievalConfig,
+    mut rng: Option<&mut DetRng>,
+) -> Option<RetrievalOutcome> {
+    assert_eq!(
+        shells.len(),
+        caches.len(),
+        "one cache set per shell required"
+    );
+    let mut best: Option<RetrievalOutcome> = None;
+    let mut any_alive = false;
+    for (graph, shell_caches) in shells.iter().zip(caches) {
+        let Some(out) = retrieve(graph, access, user, shell_caches, config, rng.as_deref_mut())
+        else {
+            continue;
+        };
+        any_alive = true;
+        if out.source == RetrievalSource::Ground {
+            continue; // prefer any in-space hit from another shell
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| b.source == RetrievalSource::Ground || out.rtt < b.rtt)
+        {
+            best = Some(out);
+        }
+    }
+    if best.is_some() {
+        return best;
+    }
+    any_alive.then_some(RetrievalOutcome {
+        source: RetrievalSource::Ground,
+        rtt: config.ground_fallback_rtt,
+        serving_sat: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_geo::SimTime;
+    use spacecdn_lsn::FaultPlan;
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+
+    fn setup() -> (Constellation, IslGraph, AccessModel) {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        (c, g, AccessModel::default())
+    }
+
+    fn cfg(max_hops: u32) -> RetrievalConfig {
+        RetrievalConfig {
+            max_isl_hops: max_hops,
+            ground_fallback_rtt: Latency::from_ms(150.0),
+        }
+    }
+
+    #[test]
+    fn overhead_hit_is_fastest() {
+        let (_, g, access) = setup();
+        let user = Geodetic::ground(40.0, -3.7);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        let caches: BTreeSet<_> = [overhead].into_iter().collect();
+        let out = retrieve(&g, &access, user, &caches, &cfg(5), None).unwrap();
+        assert_eq!(out.source, RetrievalSource::Overhead);
+        assert_eq!(out.serving_sat, Some(overhead));
+        assert!(out.rtt.ms() < 25.0, "got {}", out.rtt);
+    }
+
+    #[test]
+    fn isl_hit_reports_hops_and_costs_more() {
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(-25.97, 32.57);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        // Place the only copy three inter-plane hops east.
+        let target = {
+            let mut cur = overhead;
+            for _ in 0..3 {
+                cur = g
+                    .neighbors(cur)
+                    .iter()
+                    .find(|e| c.plane_of(e.to) == (c.plane_of(cur) + 1) % 72)
+                    .unwrap()
+                    .to;
+            }
+            cur
+        };
+        let caches: BTreeSet<_> = [target].into_iter().collect();
+        let out = retrieve(&g, &access, user, &caches, &cfg(5), None).unwrap();
+        assert_eq!(out.source, RetrievalSource::Isl { hops: 3 });
+        assert_eq!(out.serving_sat, Some(target));
+
+        let direct = retrieve(
+            &g,
+            &access,
+            user,
+            &[overhead].into_iter().collect(),
+            &cfg(5),
+            None,
+        )
+        .unwrap();
+        assert!(out.rtt > direct.rtt);
+    }
+
+    #[test]
+    fn budget_exceeded_falls_back_to_ground() {
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(10.0, 10.0);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        // Copy on the far side of the constellation.
+        let far = c.sat_at(
+            c.plane_of(overhead) as i64 + 36,
+            c.slot_of(overhead) as i64 + 11,
+        );
+        let caches: BTreeSet<_> = [far].into_iter().collect();
+        let out = retrieve(&g, &access, user, &caches, &cfg(3), None).unwrap();
+        assert_eq!(out.source, RetrievalSource::Ground);
+        assert_eq!(out.rtt, Latency::from_ms(150.0));
+        assert_eq!(out.serving_sat, None);
+    }
+
+    #[test]
+    fn empty_cache_set_always_ground() {
+        let (_, g, access) = setup();
+        let out = retrieve(
+            &g,
+            &access,
+            Geodetic::ground(0.0, 0.0),
+            &BTreeSet::new(),
+            &cfg(10),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.source, RetrievalSource::Ground);
+    }
+
+    #[test]
+    fn nearest_copy_wins() {
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(48.1, 11.6);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        let near = g.neighbors(overhead)[0].to;
+        let far = c.sat_at(
+            c.plane_of(overhead) as i64 + 5,
+            c.slot_of(overhead) as i64 + 5,
+        );
+        let caches: BTreeSet<_> = [far, near].into_iter().collect();
+        let out = retrieve(&g, &access, user, &caches, &cfg(20), None).unwrap();
+        assert_eq!(out.serving_sat, Some(near));
+        assert_eq!(out.source, RetrievalSource::Isl { hops: 1 });
+    }
+
+    #[test]
+    fn dead_cache_satellite_skipped() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let user = Geodetic::ground(51.5, -0.13);
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let (overhead, _) = g0.nearest_alive(user).unwrap();
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(overhead);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        // The failed satellite is in the cache set but cannot serve.
+        let caches: BTreeSet<_> = [overhead].into_iter().collect();
+        let access = AccessModel::default();
+        let out = retrieve(&g, &access, user, &caches, &cfg(10), None).unwrap();
+        assert_eq!(out.source, RetrievalSource::Ground);
+    }
+
+    #[test]
+    fn multishell_prefers_cheapest_space_hit() {
+        use spacecdn_orbit::MultiConstellation;
+        let fleet = MultiConstellation::starlink_2024();
+        let user = Geodetic::ground(48.1, 11.6);
+        let graphs: Vec<IslGraph> = fleet
+            .shells()
+            .iter()
+            .map(|s| IslGraph::build(s, SimTime::EPOCH, &FaultPlan::none()))
+            .collect();
+        let access = AccessModel::default();
+
+        // Copy only in shell 1 (index 1), three hops from its overhead sat.
+        let (oh1, _) = graphs[1].nearest_alive(user).unwrap();
+        let target = {
+            let c = fleet.shell(1);
+            c.sat_at(c.plane_of(oh1) as i64 + 2, c.slot_of(oh1) as i64 + 1)
+        };
+        let caches: Vec<BTreeSet<SatIndex>> = vec![
+            BTreeSet::new(),
+            [target].into_iter().collect(),
+            BTreeSet::new(),
+            BTreeSet::new(),
+        ];
+        let out = retrieve_multishell(&graphs, &access, user, &caches, &cfg(10), None).unwrap();
+        assert_ne!(out.source, RetrievalSource::Ground);
+        assert_eq!(out.serving_sat, Some(target));
+
+        // Add an overhead copy in shell 0: it must win.
+        let (oh0, _) = graphs[0].nearest_alive(user).unwrap();
+        let caches2: Vec<BTreeSet<SatIndex>> = vec![
+            [oh0].into_iter().collect(),
+            [target].into_iter().collect(),
+            BTreeSet::new(),
+            BTreeSet::new(),
+        ];
+        let better =
+            retrieve_multishell(&graphs, &access, user, &caches2, &cfg(10), None).unwrap();
+        assert_eq!(better.source, RetrievalSource::Overhead);
+        assert!(better.rtt < out.rtt);
+    }
+
+    #[test]
+    fn multishell_all_miss_is_ground() {
+        use spacecdn_orbit::MultiConstellation;
+        let fleet = MultiConstellation::starlink_2024();
+        let graphs: Vec<IslGraph> = fleet
+            .shells()
+            .iter()
+            .map(|s| IslGraph::build(s, SimTime::EPOCH, &FaultPlan::none()))
+            .collect();
+        let caches = vec![BTreeSet::new(); 4];
+        let out = retrieve_multishell(
+            &graphs,
+            &AccessModel::default(),
+            Geodetic::ground(0.0, 0.0),
+            &caches,
+            &cfg(5),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.source, RetrievalSource::Ground);
+    }
+
+    #[test]
+    fn rtt_monotone_in_hop_distance() {
+        // Copies progressively farther away yield non-decreasing RTT.
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(-1.29, 36.82);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        let mut last = 0.0;
+        for d in 0..6i64 {
+            let sat = c.sat_at(c.plane_of(overhead) as i64 + d, c.slot_of(overhead) as i64);
+            let caches: BTreeSet<_> = [sat].into_iter().collect();
+            let out = retrieve(&g, &access, user, &caches, &cfg(20), None).unwrap();
+            assert!(
+                out.rtt.ms() >= last - 1e-9,
+                "rtt must grow with distance: {} after {last}",
+                out.rtt
+            );
+            last = out.rtt.ms();
+        }
+    }
+}

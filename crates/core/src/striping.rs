@@ -1,0 +1,359 @@
+//! Video striping across successive overhead satellites (§4).
+//!
+//! A satellite serves a user for only a few minutes before leaving view, so
+//! no single satellite can stream a two-hour video. The paper's design:
+//! split the video into stripes of roughly one serving window each, cache
+//! stripe *i* on the satellite that will be overhead during window *i*, and
+//! upload later stripes onto following satellites while earlier ones play —
+//! hiding the bent-pipe latency entirely.
+
+use spacecdn_content::catalog::ContentId;
+use spacecdn_content::video::StripePlanInput;
+use spacecdn_geo::{Geodetic, SimDuration, SimTime};
+use spacecdn_orbit::visibility::{best_visible, VisibilityMask};
+use spacecdn_orbit::{Constellation, SatIndex};
+
+/// One stripe's schedule: which satellite serves which segments when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripeAssignment {
+    /// Stripe index within the video (0-based).
+    pub stripe_index: usize,
+    /// Serving satellite (None when no satellite clears the mask for the
+    /// window — a coverage gap).
+    pub sat: Option<SatIndex>,
+    /// Wall-clock start of this stripe's playback window.
+    pub window_start: SimTime,
+    /// Segments in this stripe, playback order.
+    pub segments: Vec<ContentId>,
+}
+
+/// The serving-satellite chain for `count` consecutive windows over a
+/// ground point: for each window, the satellite with the best elevation at
+/// the window's *midpoint* (the instant that maximises margin on both
+/// edges). Shared by the striping planner and the Space-VM scheduler.
+pub fn plan_stripes_like_windows(
+    constellation: &Constellation,
+    area: Geodetic,
+    mask: VisibilityMask,
+    start: SimTime,
+    window: SimDuration,
+    count: usize,
+) -> Vec<Option<SatIndex>> {
+    (0..count)
+        .map(|i| {
+            let window_start = start + window.mul(i as u64);
+            let midpoint = window_start + SimDuration(window.0 / 2);
+            best_visible(constellation, area, midpoint, mask).map(|(s, _, _)| s)
+        })
+        .collect()
+}
+
+/// Like [`plan_stripes_like_windows`], but pass-aware: each window's
+/// satellite is chosen to maximise the *minimum* elevation over the window
+/// (sampled at start/mid/end), so a satellite about to set is never picked
+/// on the strength of a good midpoint alone. When no single satellite
+/// covers the whole window (windows near the pass-duration limit), the
+/// best-effort choice is the one with the highest worst-case elevation —
+/// the same satellite the midpoint planner would degrade to or better.
+pub fn plan_windows_pass_aware(
+    constellation: &Constellation,
+    area: Geodetic,
+    mask: VisibilityMask,
+    start: SimTime,
+    window: SimDuration,
+    count: usize,
+) -> Vec<Option<SatIndex>> {
+    use spacecdn_orbit::visibility::visible_satellites;
+    (0..count)
+        .map(|i| {
+            let w_start = start + window.mul(i as u64);
+            let w_mid = w_start + SimDuration(window.0 / 2);
+            let w_end = w_start + window;
+            // Candidates: visible at the midpoint (cheap pre-filter).
+            let candidates = visible_satellites(constellation, area, w_mid, mask);
+            candidates
+                .into_iter()
+                .map(|(sat, _, _)| {
+                    let min_elev = [w_start, w_mid, w_end]
+                        .into_iter()
+                        .map(|t| area.elevation_angle_deg(constellation.position(sat, t)))
+                        .fold(f64::INFINITY, f64::min);
+                    (sat, min_elev)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("elevations finite"))
+                .map(|(sat, _)| sat)
+        })
+        .collect()
+}
+
+/// Plan the stripe → satellite schedule for a playback session.
+pub fn plan_stripes(
+    constellation: &Constellation,
+    user: Geodetic,
+    mask: VisibilityMask,
+    input: &StripePlanInput,
+) -> Vec<StripeAssignment> {
+    let stripes = input.video.stripes(input.window);
+    let start = SimTime::from_secs(input.start_secs);
+    let sats = plan_stripes_like_windows(
+        constellation,
+        user,
+        mask,
+        start,
+        input.window,
+        stripes.len(),
+    );
+    stripes
+        .iter()
+        .zip(sats)
+        .enumerate()
+        .map(|(i, (segs, sat))| StripeAssignment {
+            stripe_index: i,
+            sat,
+            window_start: start + input.window.mul(i as u64),
+            segments: segs.to_vec(),
+        })
+        .collect()
+}
+
+/// Measure how well a plan holds up: the fraction of playback time during
+/// which the assigned satellite is *not* visible (a proxy for stalls),
+/// sampling every `step`.
+pub fn playback_stalls(
+    constellation: &Constellation,
+    user: Geodetic,
+    mask: VisibilityMask,
+    plan: &[StripeAssignment],
+    window: SimDuration,
+    step: SimDuration,
+) -> f64 {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let mut samples = 0u64;
+    let mut stalled = 0u64;
+    for a in plan {
+        let mut t = a.window_start;
+        let end = a.window_start + window;
+        while t < end {
+            samples += 1;
+            let ok = a.sat.is_some_and(|s| {
+                mask.is_visible(user, constellation.position(s, t))
+            });
+            if !ok {
+                stalled += 1;
+            }
+            t += step;
+        }
+    }
+    if samples == 0 {
+        0.0
+    } else {
+        stalled as f64 / samples as f64
+    }
+}
+
+/// The naive alternative: pin the whole video to the satellite overhead at
+/// start time. Returns the same stall metric for comparison.
+pub fn single_satellite_stalls(
+    constellation: &Constellation,
+    user: Geodetic,
+    mask: VisibilityMask,
+    input: &StripePlanInput,
+    step: SimDuration,
+) -> f64 {
+    let start = SimTime::from_secs(input.start_secs);
+    let pinned = best_visible(constellation, user, start, mask).map(|(s, _, _)| s);
+    let plan: Vec<StripeAssignment> = input
+        .video
+        .stripes(input.window)
+        .iter()
+        .enumerate()
+        .map(|(i, segs)| StripeAssignment {
+            stripe_index: i,
+            sat: pinned,
+            window_start: start + input.window.mul(i as u64),
+            segments: segs.to_vec(),
+        })
+        .collect();
+    playback_stalls(constellation, user, mask, &plan, input.window, step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_content::video::VideoObject;
+    use spacecdn_orbit::shell::shells;
+
+    fn setup() -> (Constellation, StripePlanInput) {
+        let constellation = Constellation::new(shells::starlink_shell1());
+        // 30 minutes of 4-second segments, striped into 3-minute windows.
+        let video = VideoObject::new(
+            ContentId(1),
+            100,
+            450,
+            SimDuration::from_secs(4),
+            2_500_000,
+        );
+        let input = StripePlanInput {
+            video,
+            start_secs: 60,
+            window: SimDuration::from_mins(3),
+        };
+        (constellation, input)
+    }
+
+    #[test]
+    fn plan_covers_all_segments_in_order() {
+        let (c, input) = setup();
+        let user = Geodetic::ground(48.1, 11.6);
+        let plan = plan_stripes(&c, user, VisibilityMask::STARLINK, &input);
+        assert_eq!(plan.len(), 10); // 30 min / 3 min
+        let flat: Vec<ContentId> = plan.iter().flat_map(|a| a.segments.clone()).collect();
+        assert_eq!(flat, input.video.segments);
+        for (i, a) in plan.iter().enumerate() {
+            assert_eq!(a.stripe_index, i);
+            assert_eq!(
+                a.window_start,
+                SimTime::from_secs(60) + input.window.mul(i as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn midlatitude_plan_fully_assigned() {
+        let (c, input) = setup();
+        let user = Geodetic::ground(-25.97, 32.57); // Maputo
+        let plan = plan_stripes(&c, user, VisibilityMask::STARLINK, &input);
+        assert!(
+            plan.iter().all(|a| a.sat.is_some()),
+            "coverage gap at mid-latitude is a bug"
+        );
+    }
+
+    #[test]
+    fn successive_stripes_use_different_satellites() {
+        // The whole point: the serving satellite changes over the session.
+        let (c, input) = setup();
+        let user = Geodetic::ground(40.7, -74.0);
+        let plan = plan_stripes(&c, user, VisibilityMask::STARLINK, &input);
+        let distinct: std::collections::BTreeSet<_> =
+            plan.iter().filter_map(|a| a.sat).collect();
+        assert!(
+            distinct.len() >= 3,
+            "expected several serving satellites, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn striped_plan_stalls_far_less_than_single_satellite() {
+        let (c, input) = setup();
+        let user = Geodetic::ground(51.5, -0.13);
+        let mask = VisibilityMask::STARLINK;
+        let step = SimDuration::from_secs(10);
+        let plan = plan_stripes(&c, user, mask, &input);
+        let striped = playback_stalls(&c, user, mask, &plan, input.window, step);
+        let single = single_satellite_stalls(&c, user, mask, &input, step);
+        assert!(striped < 0.15, "striped stall fraction {striped}");
+        assert!(
+            single > striped + 0.3,
+            "single-satellite ({single}) must stall far more than striped ({striped})"
+        );
+    }
+
+    #[test]
+    fn pass_aware_planning_stalls_no_more_than_midpoint() {
+        let (c, input) = setup();
+        let mask = VisibilityMask::STARLINK;
+        let step = SimDuration::from_secs(10);
+        for city in [
+            Geodetic::ground(-25.97, 32.57),
+            Geodetic::ground(51.5, -0.13),
+            Geodetic::ground(35.68, 139.69),
+        ] {
+            let start = SimTime::from_secs(input.start_secs);
+            let mid_plan = plan_stripes(&c, city, mask, &input);
+            let aware_sats = plan_windows_pass_aware(
+                &c,
+                city,
+                mask,
+                start,
+                input.window,
+                mid_plan.len(),
+            );
+            let aware_plan: Vec<StripeAssignment> = mid_plan
+                .iter()
+                .zip(aware_sats)
+                .map(|(a, sat)| StripeAssignment {
+                    sat,
+                    ..a.clone()
+                })
+                .collect();
+            let mid = playback_stalls(&c, city, mask, &mid_plan, input.window, step);
+            let aware = playback_stalls(&c, city, mask, &aware_plan, input.window, step);
+            assert!(
+                aware <= mid + 0.02,
+                "pass-aware ({aware}) should not stall more than midpoint ({mid})"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_aware_choice_maximises_worst_case_elevation() {
+        // The pass-aware satellite's worst edge elevation is never lower
+        // than the midpoint planner's choice for the same window.
+        let (c, input) = setup();
+        let mask = VisibilityMask::STARLINK;
+        let start = SimTime::from_secs(input.start_secs);
+        let area = Geodetic::ground(40.7, -74.0);
+        let mid = plan_stripes_like_windows(&c, area, mask, start, input.window, 10);
+        let aware = plan_windows_pass_aware(&c, area, mask, start, input.window, 10);
+        let worst = |sat: SatIndex, i: usize| -> f64 {
+            let w_start = start + input.window.mul(i as u64);
+            [w_start, w_start + SimDuration(input.window.0 / 2), w_start + input.window]
+                .into_iter()
+                .map(|t| area.elevation_angle_deg(c.position(sat, t)))
+                .fold(f64::INFINITY, f64::min)
+        };
+        for i in 0..10 {
+            if let (Some(m), Some(a)) = (mid[i], aware[i]) {
+                assert!(
+                    worst(a, i) >= worst(m, i) - 1e-9,
+                    "window {i}: aware worst {} < midpoint worst {}",
+                    worst(a, i),
+                    worst(m, i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polar_user_has_gaps() {
+        let (c, input) = setup();
+        let user = Geodetic::ground(89.0, 0.0);
+        let plan = plan_stripes(&c, user, VisibilityMask::STARLINK, &input);
+        assert!(plan.iter().all(|a| a.sat.is_none()));
+        let stalls = playback_stalls(
+            &c,
+            user,
+            VisibilityMask::STARLINK,
+            &plan,
+            input.window,
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(stalls, 1.0);
+    }
+
+    #[test]
+    fn empty_plan_no_stalls() {
+        let (c, _) = setup();
+        let stalls = playback_stalls(
+            &c,
+            Geodetic::ground(0.0, 0.0),
+            VisibilityMask::STARLINK,
+            &[],
+            SimDuration::from_mins(3),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(stalls, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Content wormholing: distribution by orbital motion (§5).
+//!
+//! "Content providers can leverage the natural trajectory of satellite
+//! caches to distribute geographically-relevant content without traversing
+//! either WAN or ISL links — opening dimensions for content wormholing."
+//!
+//! A satellite loaded over region A physically carries its cache to region
+//! B; no network resource is spent on the transfer. This module computes
+//! the *carriage capacity* of that channel — when satellites loaded over
+//! one region become visible over another, how long the transit takes, and
+//! the resulting bytes-per-hour "bandwidth" of the constellation as a
+//! freight network.
+
+use spacecdn_geo::{Geodetic, Km, SimDuration, SimTime};
+use spacecdn_orbit::{Constellation, SatIndex};
+
+/// One satellite's transit from a source footprint to a destination
+/// footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transit {
+    /// The carrying satellite.
+    pub sat: SatIndex,
+    /// When it left the source footprint (last sample inside).
+    pub depart: SimTime,
+    /// When it first entered the destination footprint.
+    pub arrive: SimTime,
+}
+
+impl Transit {
+    /// Carriage time from source to destination.
+    pub fn duration(&self) -> SimDuration {
+        self.arrive - self.depart
+    }
+}
+
+/// Is a satellite's sub-point within `radius` of `center`?
+fn over(
+    constellation: &Constellation,
+    sat: SatIndex,
+    t: SimTime,
+    center: Geodetic,
+    radius: Km,
+) -> bool {
+    let p = constellation.position(sat, t);
+    Geodetic::ground(p.lat_deg, p.lon_deg)
+        .great_circle_distance(center)
+        .0
+        <= radius.0
+}
+
+/// Find, for every satellite over `source` at `start`, its first arrival
+/// over `dest` within `horizon`, sampling every `step`.
+pub fn find_transits(
+    constellation: &Constellation,
+    source: Geodetic,
+    dest: Geodetic,
+    radius: Km,
+    start: SimTime,
+    horizon: SimDuration,
+    step: SimDuration,
+) -> Vec<Transit> {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let loaded: Vec<SatIndex> = constellation
+        .sat_indices()
+        .filter(|&s| over(constellation, s, start, source, radius))
+        .collect();
+
+    let mut transits = Vec::new();
+    for sat in loaded {
+        let mut depart = start;
+        let mut t = start + step;
+        let end = start + horizon;
+        let mut inside_source = true;
+        while t <= end {
+            if inside_source {
+                if over(constellation, sat, t, source, radius) {
+                    depart = t;
+                } else {
+                    inside_source = false;
+                }
+            } else if over(constellation, sat, t, dest, radius) {
+                transits.push(Transit {
+                    sat,
+                    depart,
+                    arrive: t,
+                });
+                break;
+            }
+            t += step;
+        }
+    }
+    transits
+}
+
+/// Aggregate freight statistics of a source → destination wormhole.
+#[derive(Debug, Clone, Copy)]
+pub struct WormholeCapacity {
+    /// Satellites that completed the transit within the horizon.
+    pub carriers: usize,
+    /// Mean carriage time.
+    pub mean_transit: SimDuration,
+    /// Bytes deliverable per hour given `payload_bytes` loaded per carrier
+    /// (steady state: carriers per horizon × payload).
+    pub bytes_per_hour: f64,
+}
+
+/// Compute the wormhole's capacity for a per-satellite payload.
+pub fn wormhole_capacity(
+    transits: &[Transit],
+    payload_bytes: u64,
+    horizon: SimDuration,
+) -> WormholeCapacity {
+    let carriers = transits.len();
+    let mean_transit = if carriers == 0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration(
+            (transits.iter().map(|t| t.duration().0 as u128).sum::<u128>() / carriers as u128)
+                as u64,
+        )
+    };
+    let hours = horizon.as_secs_f64() / 3600.0;
+    let bytes_per_hour = if hours > 0.0 {
+        carriers as f64 * payload_bytes as f64 / hours
+    } else {
+        0.0
+    };
+    WormholeCapacity {
+        carriers,
+        mean_transit,
+        bytes_per_hour,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_orbit::shell::shells;
+
+    fn setup() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    fn us_east() -> Geodetic {
+        Geodetic::ground(39.0, -77.0)
+    }
+
+    fn europe() -> Geodetic {
+        Geodetic::ground(50.0, 10.0)
+    }
+
+    #[test]
+    fn transits_exist_us_to_europe() {
+        // §5's example: "a satellite moving from over the US to Europe".
+        let c = setup();
+        let transits = find_transits(
+            &c,
+            us_east(),
+            europe(),
+            Km(1500.0),
+            SimTime::EPOCH,
+            SimDuration::from_mins(120),
+            SimDuration::from_secs(30),
+        );
+        assert!(!transits.is_empty(), "no carriers found");
+        for t in &transits {
+            assert!(t.arrive > t.depart);
+            let mins = t.duration().as_secs_f64() / 60.0;
+            // One orbit is ~95 min; a US→Europe arc is a fraction of it,
+            // possibly a full revisit for unfavourable planes.
+            assert!(
+                (2.0..110.0).contains(&mins),
+                "transit of {mins} min is implausible"
+            );
+        }
+    }
+
+    #[test]
+    fn same_footprint_is_degenerate() {
+        let c = setup();
+        let transits = find_transits(
+            &c,
+            europe(),
+            europe(),
+            Km(1500.0),
+            SimTime::EPOCH,
+            SimDuration::from_mins(30),
+            SimDuration::from_secs(30),
+        );
+        // A satellite "arrives" only after leaving; re-entry within the
+        // horizon is possible but each transit must still be time-ordered.
+        for t in &transits {
+            assert!(t.arrive > t.depart);
+        }
+    }
+
+    #[test]
+    fn capacity_scales_with_payload() {
+        let c = setup();
+        let transits = find_transits(
+            &c,
+            us_east(),
+            europe(),
+            Km(1500.0),
+            SimTime::EPOCH,
+            SimDuration::from_mins(120),
+            SimDuration::from_secs(30),
+        );
+        let horizon = SimDuration::from_mins(120);
+        let one_tb = wormhole_capacity(&transits, 1_000_000_000_000, horizon);
+        let ten_tb = wormhole_capacity(&transits, 10_000_000_000_000, horizon);
+        assert_eq!(one_tb.carriers, ten_tb.carriers);
+        assert!((ten_tb.bytes_per_hour / one_tb.bytes_per_hour - 10.0).abs() < 1e-9);
+        // With ~150 TB per satellite and several carriers per 2 h, the
+        // freight channel moves petabytes per day — far beyond any WAN.
+        let paper_payload = wormhole_capacity(&transits, 150_000_000_000_000, horizon);
+        let pb_per_day = paper_payload.bytes_per_hour * 24.0 / 1e15;
+        assert!(pb_per_day > 1.0, "got {pb_per_day} PB/day");
+    }
+
+    #[test]
+    fn empty_transits_zero_capacity() {
+        let cap = wormhole_capacity(&[], 1_000_000, SimDuration::from_mins(60));
+        assert_eq!(cap.carriers, 0);
+        assert_eq!(cap.bytes_per_hour, 0.0);
+        assert_eq!(cap.mean_transit, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let c = Constellation::new(shells::test_shell());
+        let _ = find_transits(
+            &c,
+            us_east(),
+            europe(),
+            Km(1000.0),
+            SimTime::EPOCH,
+            SimDuration::from_mins(10),
+            SimDuration::ZERO,
+        );
+    }
+}

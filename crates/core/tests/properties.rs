@@ -1,0 +1,129 @@
+//! Property-based tests for SpaceCDN placement, duty cycling, and
+//! retrieval invariants on the full Shell 1 constellation.
+
+use proptest::prelude::*;
+use spacecdn_core::duty_cycle::DutyCycler;
+use spacecdn_core::placement::{grid_ball_size, PlacementStrategy};
+use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
+use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
+use spacecdn_orbit::shell::shells;
+use spacecdn_orbit::Constellation;
+use std::sync::OnceLock;
+
+fn shell1() -> &'static Constellation {
+    static CELL: OnceLock<Constellation> = OnceLock::new();
+    CELL.get_or_init(|| Constellation::new(shells::starlink_shell1()))
+}
+
+fn graph() -> &'static IslGraph {
+    static CELL: OnceLock<IslGraph> = OnceLock::new();
+    CELL.get_or_init(|| IslGraph::build(shell1(), SimTime::EPOCH, &FaultPlan::none()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn placements_always_valid_and_sized(seed in 0u64..500, k in 1u32..8) {
+        let c = shell1();
+        let mut rng = DetRng::new(seed, "prop-place");
+        for strat in [
+            PlacementStrategy::PerPlane { k },
+            PlacementStrategy::RandomCount { count: k * 37 },
+            PlacementStrategy::CoverRadius { hops: k },
+        ] {
+            let set = strat.place(c, &mut rng);
+            prop_assert_eq!(set.len(), strat.copy_count(c));
+            prop_assert!(set.iter().all(|s| s.as_usize() < c.len()));
+        }
+    }
+
+    #[test]
+    fn ball_size_monotone(h in 0u32..40) {
+        prop_assert!(grid_ball_size(h + 1) > grid_ball_size(h));
+    }
+
+    #[test]
+    fn retrieval_never_exceeds_fallback_when_ground(
+        seed in 0u64..500,
+        lat in -55.0f64..55.0,
+        lon in -180.0f64..180.0,
+        budget in 0u32..12,
+    ) {
+        let mut rng = DetRng::new(seed, "prop-retrieve");
+        let caches = PlacementStrategy::RandomCount { count: 8 }.place(shell1(), &mut rng);
+        let fallback = Latency::from_ms(140.0);
+        let cfg = RetrievalConfig {
+            max_isl_hops: budget,
+            ground_fallback_rtt: fallback,
+        };
+        let out = retrieve(
+            graph(),
+            &AccessModel::default(),
+            Geodetic::ground(lat, lon),
+            &caches,
+            &cfg,
+            None,
+        ).expect("constellation alive");
+        match out.source {
+            RetrievalSource::Ground => {
+                prop_assert_eq!(out.rtt, fallback);
+                prop_assert!(out.serving_sat.is_none());
+            }
+            RetrievalSource::Overhead => {
+                prop_assert!(out.serving_sat.is_some());
+                prop_assert!(out.rtt.ms() < 30.0);
+            }
+            RetrievalSource::Isl { hops } => {
+                prop_assert!(hops <= budget);
+                prop_assert!(out.serving_sat.is_some());
+                prop_assert!(caches.contains(&out.serving_sat.unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts(
+        seed in 0u64..300,
+        lat in -55.0f64..55.0,
+        lon in -180.0f64..180.0,
+    ) {
+        let mut rng = DetRng::new(seed, "prop-budget");
+        let caches = PlacementStrategy::RandomCount { count: 16 }.place(shell1(), &mut rng);
+        let user = Geodetic::ground(lat, lon);
+        let fallback = Latency::from_ms(140.0);
+        let mut last = f64::INFINITY;
+        for budget in [0u32, 2, 5, 10, 20] {
+            let cfg = RetrievalConfig {
+                max_isl_hops: budget,
+                ground_fallback_rtt: fallback,
+            };
+            let out = retrieve(graph(), &AccessModel::default(), user, &caches, &cfg, None)
+                .expect("alive");
+            // A larger search radius can only find the same or a better
+            // copy (ground fallback at 140 ms dominates everything else).
+            prop_assert!(out.rtt.ms() <= last + 1e-9,
+                "budget {budget}: {} > previous {last}", out.rtt.ms());
+            last = out.rtt.ms();
+        }
+    }
+
+    #[test]
+    fn duty_cycle_fraction_tracks_target(frac in 0.05f64..0.95, seed in 0u64..200) {
+        let dc = DutyCycler::new(frac, SimDuration::from_mins(10), seed);
+        let active = dc.active_set(shell1(), SimTime::from_secs(1234));
+        let got = active.len() as f64 / shell1().len() as f64;
+        prop_assert!((got - frac).abs() < 0.08, "target {frac} got {got}");
+    }
+
+    #[test]
+    fn duty_cycle_membership_deterministic(frac in 0.1f64..0.9, seed in 0u64..200, t in 0u64..100_000) {
+        let a = DutyCycler::new(frac, SimDuration::from_mins(10), seed);
+        let b = DutyCycler::new(frac, SimDuration::from_mins(10), seed);
+        let t = SimTime::from_secs(t);
+        for sat in shell1().sat_indices().step_by(97) {
+            prop_assert_eq!(a.is_active(sat, t), b.is_active(sat, t));
+        }
+    }
+}

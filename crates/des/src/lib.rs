@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! The xeoverse simulator the paper relies on is, at heart, an event-driven
+//! engine over a time-varying constellation. This crate is our substitute's
+//! foundation: a minimal, deterministic event queue plus the statistics
+//! machinery every experiment shares.
+//!
+//! Design rules (in the spirit of event-driven stacks like smoltcp):
+//!
+//! - **Determinism.** Integer nanosecond timestamps and a monotonically
+//!   increasing sequence number break ties, so runs are bit-identical for a
+//!   given seed regardless of platform or hash-map iteration order.
+//! - **No hidden concurrency.** The simulator is single-threaded; parallelism
+//!   (if any) happens across independent experiment replicas, never inside
+//!   one simulated world.
+//! - **Plain data events.** Events are caller-defined values, not boxed
+//!   closures, which keeps worlds inspectable and the engine allocation-light.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sched;
+pub mod stats;
+
+pub use sched::{run_until, EventId, Scheduler};
+pub use stats::{Cdf, FiveNumber, Histogram, Percentiles, Summary};

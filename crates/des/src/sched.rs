@@ -1,0 +1,317 @@
+//! The event scheduler: a priority queue over (time, sequence) keys.
+
+use spacecdn_geo::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One queued event: fires at `at`, carrying `payload`.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order by (time, seq), inverted so BinaryHeap pops the earliest first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled (FIFO), which removes the classic source of non-determinism in
+/// binary-heap-based simulators. Cancellation is lazy: cancelled entries
+/// stay in the heap and are skipped on pop, the standard trick that keeps
+/// both operations O(log n).
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of entries still live in the heap.
+    pending: std::collections::HashSet<u64>,
+    /// Seqs cancelled but not yet physically removed from the heap.
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler positioned at the epoch.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: SimTime::EPOCH,
+        }
+    }
+
+    /// Current simulation time: the firing time of the most recently popped
+    /// event (or the epoch before any event has fired).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at the absolute instant `at`, returning a handle
+    /// for cancellation.
+    ///
+    /// Scheduling in the past is a logic error in a causal simulation;
+    /// the event is clamped to fire "now" instead of silently reordering
+    /// history, and debug builds assert.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Schedule `payload` after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a pending event. Returns whether it was still pending (an
+    /// already-fired or already-cancelled event returns false). O(1); the
+    /// heap entry is discarded lazily when it surfaces.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next live event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if self.cancelled.remove(&entry.seq) {
+                continue; // lazily discard cancelled entries
+            }
+            self.pending.remove(&entry.seq);
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+    }
+
+    /// Peek at the firing time of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                let e = self.heap.pop().expect("peeked entry pops");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return self.heap.peek().map(|e| e.at);
+        }
+    }
+}
+
+/// Drive a world until the queue drains or the horizon is reached.
+///
+/// The handler receives the world, the scheduler (to enqueue follow-up
+/// events), the firing time and the event. Events scheduled at or before
+/// `horizon` fire; later ones remain queued when the function returns.
+/// Returns the number of events processed.
+pub fn run_until<W, E>(
+    world: &mut W,
+    sched: &mut Scheduler<E>,
+    horizon: SimTime,
+    mut handler: impl FnMut(&mut W, &mut Scheduler<E>, SimTime, E),
+) -> u64 {
+    let mut fired = 0;
+    while let Some(next) = sched.peek_time() {
+        if next > horizon {
+            break;
+        }
+        let (at, ev) = sched.pop().expect("peeked event must pop");
+        handler(world, sched, at, ev);
+        fired += 1;
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(30), "c");
+        s.schedule_at(SimTime::from_millis(10), "a");
+        s.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), ());
+        assert_eq!(s.now(), SimTime::EPOCH);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), 1u8);
+        s.pop();
+        s.schedule_after(SimDuration::from_secs(5), 2u8);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s = Scheduler::new();
+        for sec in [1u64, 2, 3, 4, 5] {
+            s.schedule_at(SimTime::from_secs(sec), sec);
+        }
+        let mut seen = Vec::new();
+        let fired = run_until(&mut seen, &mut s, SimTime::from_secs(3), |w, _, _, e| {
+            w.push(e)
+        });
+        assert_eq!(fired, 3);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        // A self-rescheduling tick: fires every second until the horizon.
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), ());
+        let mut count = 0u32;
+        run_until(&mut count, &mut s, SimTime::from_secs(10), |c, sched, _, ()| {
+            *c += 1;
+            sched.schedule_after(SimDuration::from_secs(1), ());
+        });
+        assert_eq!(count, 10);
+        assert_eq!(s.len(), 1); // the tick queued beyond the horizon
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), "a");
+        s.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(s.len(), 2);
+        assert!(s.cancel(a));
+        assert_eq!(s.len(), 1);
+        let fired: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_fired() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), ());
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "second cancel is a no-op");
+        let b = s.schedule_at(SimTime::from_secs(2), ());
+        s.pop();
+        assert!(!s.cancel(b), "fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), 1u8);
+        s.schedule_at(SimTime::from_secs(5), 2u8);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(s.pop(), Some((SimTime::from_secs(5), 2u8)));
+    }
+
+    #[test]
+    fn run_until_ignores_cancelled(){
+        let mut s = Scheduler::new();
+        let mut ids = Vec::new();
+        for sec in 1..=5u64 {
+            ids.push(s.schedule_at(SimTime::from_secs(sec), sec));
+        }
+        s.cancel(ids[1]); // 2
+        s.cancel(ids[3]); // 4
+        let mut seen = Vec::new();
+        run_until(&mut seen, &mut s, SimTime::from_secs(10), |w, _, _, e| w.push(e));
+        assert_eq!(seen, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_scheduler_reports_empty() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.peek_time(), None);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "late");
+        s.pop();
+        // Release build behaviour: clamp rather than rewind the clock.
+        if cfg!(debug_assertions) {
+            // In debug the assert fires; skip exercising it here.
+            return;
+        }
+        s.schedule_at(SimTime::from_secs(1), "early");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+}

@@ -1,0 +1,284 @@
+//! Earth-centred coordinates and spherical geodesy.
+//!
+//! Two coordinate systems appear throughout the simulation:
+//!
+//! - [`Geodetic`] — latitude/longitude/altitude, the natural frame for
+//!   cities, ground stations, and sub-satellite points;
+//! - [`Ecef`] — Earth-centred Earth-fixed Cartesian kilometres, the natural
+//!   frame for line-of-sight distances (slant ranges, ISL lengths) and
+//!   elevation angles.
+//!
+//! The Earth is modelled as a sphere of radius [`crate::EARTH_RADIUS_KM`];
+//! see the constant's docs for why that is sufficient here.
+
+use crate::units::Km;
+use crate::EARTH_RADIUS_KM;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position expressed as geodetic latitude, longitude and altitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Geodetic {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east, normalised to `(-180, 180]`.
+    pub lon_deg: f64,
+    /// Altitude above the spherical Earth surface, km (0 for ground sites).
+    pub alt_km: f64,
+}
+
+impl Geodetic {
+    /// A ground-level position (altitude 0).
+    pub fn ground(lat_deg: f64, lon_deg: f64) -> Self {
+        Geodetic {
+            lat_deg,
+            lon_deg: normalize_lon_deg(lon_deg),
+            alt_km: 0.0,
+        }
+    }
+
+    /// A position at altitude `alt_km` above the surface.
+    pub fn at_altitude(lat_deg: f64, lon_deg: f64, alt_km: f64) -> Self {
+        Geodetic {
+            lat_deg,
+            lon_deg: normalize_lon_deg(lon_deg),
+            alt_km,
+        }
+    }
+
+    /// Convert to Earth-centred Earth-fixed Cartesian coordinates.
+    pub fn to_ecef(self) -> Ecef {
+        let r = EARTH_RADIUS_KM + self.alt_km;
+        let lat = self.lat_deg.to_radians();
+        let lon = self.lon_deg.to_radians();
+        Ecef {
+            x: r * lat.cos() * lon.cos(),
+            y: r * lat.cos() * lon.sin(),
+            z: r * lat.sin(),
+        }
+    }
+
+    /// Great-circle (surface) distance to another geodetic point, ignoring
+    /// altitude, via the haversine formula.
+    pub fn great_circle_distance(self, other: Geodetic) -> Km {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        // Clamp guards against tiny negatives / >1 from rounding at antipodes.
+        let c = 2.0 * a.sqrt().clamp(0.0, 1.0).asin();
+        Km(EARTH_RADIUS_KM * c)
+    }
+
+    /// Straight-line (through-space) distance to another position,
+    /// respecting both altitudes. This is the slant range used for radio and
+    /// laser links.
+    pub fn slant_range(self, other: Geodetic) -> Km {
+        self.to_ecef().distance(other.to_ecef())
+    }
+
+    /// Elevation angle, in degrees, of `target` as seen from `self`
+    /// (which should be a ground site). Positive values mean the target is
+    /// above the local horizon; satellites are only usable above the
+    /// terminal's elevation mask.
+    pub fn elevation_angle_deg(self, target: Geodetic) -> f64 {
+        let obs = self.to_ecef();
+        let tgt = target.to_ecef();
+        let los = tgt.sub(obs);
+        let range = los.norm();
+        if range.0 < 1e-9 {
+            return 90.0;
+        }
+        // Local "up" is the radial direction at the observer (spherical Earth).
+        let up_norm = obs.norm().0;
+        let cos_zenith = los.dot(obs) / (range.0 * up_norm);
+        let elev_rad = cos_zenith.clamp(-1.0, 1.0).asin();
+        elev_rad.to_degrees()
+    }
+}
+
+impl fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.3}°, {:.3}°, {:.1} km)",
+            self.lat_deg, self.lon_deg, self.alt_km
+        )
+    }
+}
+
+/// Earth-centred Earth-fixed Cartesian position, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Ecef {
+    /// Towards (0°N, 0°E).
+    pub x: f64,
+    /// Towards (0°N, 90°E).
+    pub y: f64,
+    /// Towards the north pole.
+    pub z: f64,
+}
+
+impl Ecef {
+    /// Euclidean distance to another ECEF point.
+    pub fn distance(self, other: Ecef) -> Km {
+        self.sub(other).norm()
+    }
+
+    /// Component-wise difference.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Ecef) -> Ecef {
+        Ecef {
+            x: self.x - other.x,
+            y: self.y - other.y,
+            z: self.z - other.z,
+        }
+    }
+
+    /// Vector magnitude.
+    pub fn norm(self) -> Km {
+        Km((self.x * self.x + self.y * self.y + self.z * self.z).sqrt())
+    }
+
+    /// Dot product (km²).
+    pub fn dot(self, other: Ecef) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Convert back to geodetic coordinates (spherical Earth).
+    pub fn to_geodetic(self) -> Geodetic {
+        let r = self.norm().0;
+        if r < 1e-9 {
+            // Degenerate: the Earth's centre. Report the epicentre of the
+            // sphere at "negative Earth radius" altitude rather than NaN.
+            return Geodetic {
+                lat_deg: 0.0,
+                lon_deg: 0.0,
+                alt_km: -EARTH_RADIUS_KM,
+            };
+        }
+        Geodetic {
+            lat_deg: (self.z / r).clamp(-1.0, 1.0).asin().to_degrees(),
+            lon_deg: self.y.atan2(self.x).to_degrees(),
+            alt_km: r - EARTH_RADIUS_KM,
+        }
+    }
+}
+
+/// Normalise a longitude in degrees to the interval `(-180, 180]`.
+pub fn normalize_lon_deg(lon: f64) -> f64 {
+    if !lon.is_finite() {
+        return 0.0;
+    }
+    let mut l = lon % 360.0;
+    if l <= -180.0 {
+        l += 360.0;
+    } else if l > 180.0 {
+        l -= 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-6;
+
+    #[test]
+    fn lon_normalization() {
+        assert!((normalize_lon_deg(190.0) - -170.0).abs() < EPS);
+        assert!((normalize_lon_deg(-190.0) - 170.0).abs() < EPS);
+        assert!((normalize_lon_deg(360.0) - 0.0).abs() < EPS);
+        assert!((normalize_lon_deg(180.0) - 180.0).abs() < EPS);
+        assert!((normalize_lon_deg(-180.0) - 180.0).abs() < EPS);
+        assert_eq!(normalize_lon_deg(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn ecef_axes() {
+        let origin = Geodetic::ground(0.0, 0.0).to_ecef();
+        assert!((origin.x - EARTH_RADIUS_KM).abs() < EPS);
+        assert!(origin.y.abs() < EPS && origin.z.abs() < EPS);
+
+        let east = Geodetic::ground(0.0, 90.0).to_ecef();
+        assert!((east.y - EARTH_RADIUS_KM).abs() < EPS);
+
+        let pole = Geodetic::ground(90.0, 0.0).to_ecef();
+        assert!((pole.z - EARTH_RADIUS_KM).abs() < EPS);
+    }
+
+    #[test]
+    fn geodetic_ecef_round_trip() {
+        let p = Geodetic::at_altitude(48.137, 11.575, 550.0); // Munich, LEO altitude
+        let q = p.to_ecef().to_geodetic();
+        assert!((p.lat_deg - q.lat_deg).abs() < 1e-9);
+        assert!((p.lon_deg - q.lon_deg).abs() < 1e-9);
+        assert!((p.alt_km - q.alt_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // London <-> New York is ~5570 km on the sphere.
+        let lon = Geodetic::ground(51.5074, -0.1278);
+        let nyc = Geodetic::ground(40.7128, -74.0060);
+        let d = lon.great_circle_distance(nyc).0;
+        assert!((d - 5570.0).abs() < 30.0, "got {d}");
+
+        // Frankfurt <-> Maputo: the paper's headline detour, ~8500-8800 km.
+        let fra = Geodetic::ground(50.1109, 8.6821);
+        let mpm = Geodetic::ground(-25.9692, 32.5732);
+        let d2 = fra.great_circle_distance(mpm).0;
+        assert!((8300.0..9000.0).contains(&d2), "got {d2}");
+    }
+
+    #[test]
+    fn haversine_degenerate_cases() {
+        let p = Geodetic::ground(12.0, 34.0);
+        assert!(p.great_circle_distance(p).0.abs() < EPS);
+
+        // Antipodal points: half the circumference.
+        let a = Geodetic::ground(0.0, 0.0);
+        let b = Geodetic::ground(0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((a.great_circle_distance(b).0 - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn slant_range_overhead_satellite() {
+        // Satellite directly overhead at 550 km: slant range equals altitude.
+        let ground = Geodetic::ground(10.0, 20.0);
+        let sat = Geodetic::at_altitude(10.0, 20.0, 550.0);
+        assert!((ground.slant_range(sat).0 - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elevation_angles() {
+        let ground = Geodetic::ground(0.0, 0.0);
+        // Directly overhead -> 90°.
+        let overhead = Geodetic::at_altitude(0.0, 0.0, 550.0);
+        assert!((ground.elevation_angle_deg(overhead) - 90.0).abs() < 1e-6);
+
+        // A satellite 20° of longitude away at 550 km sits low on the horizon.
+        let low = Geodetic::at_altitude(0.0, 20.0, 550.0);
+        let elev = ground.elevation_angle_deg(low);
+        assert!(elev < 15.0 && elev > -10.0, "got {elev}");
+
+        // A point on the opposite side of the Earth is far below the horizon.
+        let behind = Geodetic::at_altitude(0.0, 180.0, 550.0);
+        assert!(ground.elevation_angle_deg(behind) < -80.0);
+    }
+
+    #[test]
+    fn elevation_monotonic_in_closeness() {
+        let ground = Geodetic::ground(40.0, -3.0);
+        let mut last = -90.0;
+        // Satellites approaching the observer's zenith rise monotonically.
+        for dlon in [40.0, 20.0, 10.0, 5.0, 1.0, 0.0] {
+            let sat = Geodetic::at_altitude(40.0, -3.0 + dlon, 550.0);
+            let e = ground.elevation_angle_deg(sat);
+            assert!(e > last, "elevation should rise: {e} after {last}");
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Geodesy, physical units, and deterministic randomness for the SpaceCDN
+//! reproduction.
+//!
+//! This crate is the bottom of the workspace dependency graph. It provides:
+//!
+//! - strongly-typed physical units ([`units::Km`], [`units::Latency`]),
+//! - simulation time ([`time::SimTime`], [`time::SimDuration`]),
+//! - Earth-centred coordinates and spherical geodesy ([`coords`]),
+//! - signal propagation delay models ([`propagation`]),
+//! - a deterministic, stream-splittable RNG ([`rng::DetRng`]).
+//!
+//! Everything here is pure computation: no I/O, no global state, and every
+//! function is deterministic given its inputs, which is what makes the whole
+//! simulation reproducible bit-for-bit from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coords;
+pub mod propagation;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use coords::{Ecef, Geodetic};
+pub use propagation::{Medium, C_FIBER_KM_PER_S, C_VACUUM_KM_PER_S};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use units::{Km, Latency};
+
+/// Mean Earth radius in kilometres (spherical model).
+///
+/// The simulation uses a spherical Earth: at the fidelity relevant to CDN
+/// latency shapes (milliseconds over thousands of kilometres) the WGS-84
+/// flattening correction is well under 0.5 % and does not change any
+/// conclusion in the paper.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Sidereal day length in seconds, used for Earth rotation in ephemeris.
+pub const SIDEREAL_DAY_S: f64 = 86_164.090_5;
+
+/// Standard gravitational parameter of Earth, km^3/s^2.
+pub const EARTH_MU_KM3_S2: f64 = 398_600.441_8;

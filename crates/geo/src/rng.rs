@@ -1,0 +1,270 @@
+//! Deterministic, stream-splittable randomness.
+//!
+//! Every stochastic component in the simulation (measurement noise, client
+//! placement, cache placement, duty-cycle draws…) pulls from a [`DetRng`].
+//! A `DetRng` is a ChaCha8 PRNG constructed from a 64-bit experiment seed
+//! plus a *stream label*, so that independent subsystems get independent,
+//! reproducible streams — adding a new consumer of randomness never perturbs
+//! the draws seen by existing ones.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random number generator bound to a named stream.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: ChaCha8Rng,
+}
+
+impl DetRng {
+    /// Create the generator for (`seed`, `stream`). The same pair always
+    /// yields the same sequence; different streams are statistically
+    /// independent.
+    pub fn new(seed: u64, stream: &str) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        let h = fnv1a64(stream.as_bytes());
+        key[8..16].copy_from_slice(&h.to_le_bytes());
+        // Spread the hash into the rest of the key so short labels still
+        // produce well-separated ChaCha keys.
+        key[16..24].copy_from_slice(&h.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+        key[24..32].copy_from_slice(&seed.rotate_left(41).wrapping_add(h).to_le_bytes());
+        DetRng {
+            inner: ChaCha8Rng::from_seed(key),
+        }
+    }
+
+    /// Derive a child generator for a sub-stream (e.g. one per country).
+    pub fn derive(&self, sub: &str) -> DetRng {
+        // Children are keyed off the parent's word stream position-independent
+        // identity: combine the parent's seed material via a fresh label.
+        let mut me = self.clone();
+        let salt: u64 = me.inner.gen();
+        DetRng::new(salt, sub)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.max(0.0) * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterised by the *median* and a shape `sigma`
+    /// (the sigma of the underlying normal). Long right tails — exactly the
+    /// shape of real-world latency distributions.
+    pub fn log_normal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        median.max(1e-12) * (sigma.max(0.0) * self.standard_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.unit();
+        -mean.max(0.0) * u.ln()
+    }
+
+    /// Choose one element of a slice uniformly. `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)`. If `k >= n` every index is
+    /// returned (in shuffled order).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k.min(n));
+        idx
+    }
+
+    /// Access the raw `rand` generator for anything not wrapped here.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+/// FNV-1a 64-bit hash; tiny, dependency-free, and stable across releases
+/// (unlike `std`'s `DefaultHasher`, whose output may change between Rust
+/// versions — reproducibility would silently break).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let mut a = DetRng::new(42, "clients");
+        let mut b = DetRng::new(42, "clients");
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = DetRng::new(42, "clients");
+        let mut b = DetRng::new(42, "caches");
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 2, "streams should be independent");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1, "s");
+        let mut b = DetRng::new(2, "s");
+        assert_ne!(a.unit(), b.unit());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = DetRng::new(7, "u");
+        for _ in 0..1000 {
+            let x = r.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&x));
+        }
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+        assert_eq!(r.uniform(5.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn index_handles_zero() {
+        let mut r = DetRng::new(7, "i");
+        assert_eq!(r.index(0), 0);
+        for _ in 0..100 {
+            assert!(r.index(10) < 10);
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut r = DetRng::new(11, "n");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_close() {
+        let mut r = DetRng::new(13, "ln");
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| r.log_normal_median(50.0, 0.3)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = DetRng::new(17, "e");
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(19, "c");
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+        assert!((0..100).all(|_| r.chance(2.0))); // clamped
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(23, "sh");
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = DetRng::new(29, "si");
+        let s = r.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+        // Oversampling returns everything.
+        assert_eq!(r.sample_indices(5, 10).len(), 5);
+    }
+
+    #[test]
+    fn choose_empty_none() {
+        let mut r = DetRng::new(31, "ch");
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let parent1 = DetRng::new(3, "p");
+        let parent2 = DetRng::new(3, "p");
+        let mut c1 = parent1.derive("child");
+        let mut c2 = parent2.derive("child");
+        assert_eq!(c1.unit(), c2.unit());
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulation time.
+//!
+//! The discrete-event core and the orbital ephemeris share one clock:
+//! [`SimTime`], an absolute instant measured in integer nanoseconds since the
+//! simulation epoch. Integer time keeps event ordering exact — two events
+//! scheduled at the same instant compare equal everywhere, with no
+//! floating-point drift across platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation instant (nanoseconds since the simulation epoch).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span between two [`SimTime`] instants (nanoseconds, always non-negative).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Time as fractional seconds since the epoch (for ephemeris math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time as fractional milliseconds since the epoch.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Span since an earlier instant. Saturates to zero if `earlier` is later,
+    /// so callers cannot construct negative durations by accident.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        Self::from_secs(m * 60)
+    }
+
+    /// Construct from fractional seconds. Negative and non-finite inputs
+    /// clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_finite() && s > 0.0 {
+            SimDuration((s * 1e9).round() as u64)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Construct from a (non-negative) latency value.
+    pub fn from_latency(l: crate::units::Latency) -> Self {
+        Self::from_secs_f64(l.secs())
+    }
+
+    /// Span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Span as a latency value (milliseconds).
+    pub fn as_latency(self) -> crate::units::Latency {
+        crate::units::Latency(self.as_millis_f64())
+    }
+
+    /// Integer multiplication of a span.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Latency;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2_000_000_000));
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_millis(250).as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
+        assert_eq!(t.as_secs_f64(), 10.5);
+        let mut u = SimTime::EPOCH;
+        u += SimDuration::from_secs(3);
+        assert_eq!(u, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(late.since(early), SimDuration::from_secs(4));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late - early, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn negative_float_duration_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration(250_000_000));
+    }
+
+    #[test]
+    fn latency_round_trip() {
+        let l = Latency::from_ms(37.5);
+        let d = SimDuration::from_latency(l);
+        assert!((d.as_latency().ms() - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

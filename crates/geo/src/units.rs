@@ -1,0 +1,316 @@
+//! Strongly-typed physical units.
+//!
+//! Two quantities dominate this codebase: distances (kilometres) and one-way
+//! or round-trip delays (milliseconds). Bare `f64`s invite unit mistakes —
+//! mixing a kilometre with a millisecond compiles fine and produces garbage
+//! latency CDFs — so both get a transparent newtype with only the arithmetic
+//! that is physically meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A distance in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Km(pub f64);
+
+impl Km {
+    /// Zero distance.
+    pub const ZERO: Km = Km(0.0);
+
+    /// Construct from metres.
+    pub fn from_meters(m: f64) -> Self {
+        Km(m / 1000.0)
+    }
+
+    /// Distance in metres.
+    pub fn meters(self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// Absolute value (distances built from differences can go negative).
+    pub fn abs(self) -> Km {
+        Km(self.0.abs())
+    }
+
+    /// The smaller of two distances.
+    pub fn min(self, other: Km) -> Km {
+        Km(self.0.min(other.0))
+    }
+
+    /// The larger of two distances.
+    pub fn max(self, other: Km) -> Km {
+        Km(self.0.max(other.0))
+    }
+
+    /// True if the value is a finite, non-negative distance.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for Km {
+    type Output = Km;
+    fn add(self, rhs: Km) -> Km {
+        Km(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Km {
+    fn add_assign(&mut self, rhs: Km) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Km {
+    type Output = Km;
+    fn sub(self, rhs: Km) -> Km {
+        Km(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Km {
+    fn sub_assign(&mut self, rhs: Km) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Km {
+    type Output = Km;
+    fn mul(self, rhs: f64) -> Km {
+        Km(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Km {
+    type Output = Km;
+    fn div(self, rhs: f64) -> Km {
+        Km(self.0 / rhs)
+    }
+}
+
+/// Ratio of two distances (dimensionless).
+impl Div<Km> for Km {
+    type Output = f64;
+    fn div(self, rhs: Km) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Km {
+    fn sum<I: Iterator<Item = Km>>(iter: I) -> Km {
+        Km(iter.map(|k| k.0).sum())
+    }
+}
+
+impl fmt::Display for Km {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} km", self.0)
+    }
+}
+
+/// A network delay in milliseconds.
+///
+/// Used for both one-way delays and round-trip times; which one a value means
+/// is part of the API it came from (functions say `owd` or `rtt` in their
+/// names). Latencies support signed arithmetic because the paper's analysis
+/// is built on *differences* (Starlink minus terrestrial), which are
+/// routinely negative when Starlink wins (Fig 4, Nigeria).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Latency(pub f64);
+
+impl Latency {
+    /// Zero delay.
+    pub const ZERO: Latency = Latency(0.0);
+
+    /// Construct from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        Latency(ms)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Latency(s * 1e3)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Latency(us / 1e3)
+    }
+
+    /// Value in milliseconds.
+    pub fn ms(self) -> f64 {
+        self.0
+    }
+
+    /// Value in seconds.
+    pub fn secs(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The smaller of two latencies.
+    pub fn min(self, other: Latency) -> Latency {
+        Latency(self.0.min(other.0))
+    }
+
+    /// The larger of two latencies.
+    pub fn max(self, other: Latency) -> Latency {
+        Latency(self.0.max(other.0))
+    }
+
+    /// Clamp to be non-negative (useful after subtracting noise terms).
+    pub fn clamp_non_negative(self) -> Latency {
+        Latency(self.0.max(0.0))
+    }
+
+    /// True if the value is finite (possibly negative — see type docs).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Double a one-way delay into a round-trip time.
+    pub fn round_trip(self) -> Latency {
+        Latency(self.0 * 2.0)
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Latency {
+    fn add_assign(&mut self, rhs: Latency) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Latency {
+    type Output = Latency;
+    fn sub(self, rhs: Latency) -> Latency {
+        Latency(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Latency {
+    fn sub_assign(&mut self, rhs: Latency) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Latency {
+    type Output = Latency;
+    fn mul(self, rhs: f64) -> Latency {
+        Latency(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Latency {
+    type Output = Latency;
+    fn div(self, rhs: f64) -> Latency {
+        Latency(self.0 / rhs)
+    }
+}
+
+impl Neg for Latency {
+    type Output = Latency;
+    fn neg(self) -> Latency {
+        Latency(-self.0)
+    }
+}
+
+impl Sum for Latency {
+    fn sum<I: Iterator<Item = Latency>>(iter: I) -> Latency {
+        Latency(iter.map(|l| l.0).sum())
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn km_arithmetic() {
+        let a = Km(3.0) + Km(4.5);
+        assert_eq!(a, Km(7.5));
+        assert_eq!(a - Km(0.5), Km(7.0));
+        assert_eq!(a * 2.0, Km(15.0));
+        assert_eq!(Km(10.0) / 4.0, Km(2.5));
+        assert_eq!(Km(10.0) / Km(2.0), 5.0);
+    }
+
+    #[test]
+    fn km_meters_round_trip() {
+        let k = Km::from_meters(1234.5);
+        assert!((k.0 - 1.2345).abs() < 1e-12);
+        assert!((k.meters() - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn km_validity() {
+        assert!(Km(0.0).is_valid());
+        assert!(Km(5.0).is_valid());
+        assert!(!Km(-1.0).is_valid());
+        assert!(!Km(f64::NAN).is_valid());
+        assert!(!Km(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn km_min_max_abs() {
+        assert_eq!(Km(-3.0).abs(), Km(3.0));
+        assert_eq!(Km(1.0).min(Km(2.0)), Km(1.0));
+        assert_eq!(Km(1.0).max(Km(2.0)), Km(2.0));
+    }
+
+    #[test]
+    fn km_sum() {
+        let total: Km = [Km(1.0), Km(2.0), Km(3.0)].into_iter().sum();
+        assert_eq!(total, Km(6.0));
+    }
+
+    #[test]
+    fn latency_conversions() {
+        assert_eq!(Latency::from_secs(1.5).ms(), 1500.0);
+        assert_eq!(Latency::from_micros(2500.0).ms(), 2.5);
+        assert_eq!(Latency::from_ms(250.0).secs(), 0.25);
+    }
+
+    #[test]
+    fn latency_arithmetic_signed() {
+        let delta = Latency::from_ms(30.0) - Latency::from_ms(50.0);
+        assert_eq!(delta.ms(), -20.0);
+        assert_eq!((-delta).ms(), 20.0);
+        assert_eq!(delta.clamp_non_negative(), Latency::ZERO);
+    }
+
+    #[test]
+    fn latency_round_trip_doubles() {
+        assert_eq!(Latency::from_ms(12.0).round_trip().ms(), 24.0);
+    }
+
+    #[test]
+    fn latency_sum_and_ordering() {
+        let total: Latency = [Latency(1.0), Latency(2.5)].into_iter().sum();
+        assert_eq!(total, Latency(3.5));
+        assert!(Latency(1.0) < Latency(2.0));
+        assert_eq!(Latency(1.0).min(Latency(2.0)), Latency(1.0));
+        assert_eq!(Latency(1.0).max(Latency(2.0)), Latency(2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Km(12.34)), "12.3 km");
+        assert_eq!(format!("{}", Latency(5.678)), "5.68 ms");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the geodesy substrate.
+
+use proptest::prelude::*;
+use spacecdn_geo::coords::normalize_lon_deg;
+use spacecdn_geo::propagation::{propagation_delay, Medium};
+use spacecdn_geo::{Geodetic, Km, EARTH_RADIUS_KM};
+
+fn arb_geodetic() -> impl Strategy<Value = Geodetic> {
+    (-85.0f64..85.0, -180.0f64..180.0, 0.0f64..2000.0)
+        .prop_map(|(lat, lon, alt)| Geodetic::at_altitude(lat, lon, alt))
+}
+
+proptest! {
+    #[test]
+    fn great_circle_is_symmetric(a in arb_geodetic(), b in arb_geodetic()) {
+        let ab = a.great_circle_distance(b).0;
+        let ba = b.great_circle_distance(a).0;
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn great_circle_bounded_by_half_circumference(a in arb_geodetic(), b in arb_geodetic()) {
+        let d = a.great_circle_distance(b).0;
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn great_circle_triangle_inequality(
+        a in arb_geodetic(), b in arb_geodetic(), c in arb_geodetic()
+    ) {
+        let ab = a.great_circle_distance(b).0;
+        let bc = b.great_circle_distance(c).0;
+        let ac = a.great_circle_distance(c).0;
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn slant_range_at_least_altitude_difference(a in arb_geodetic(), b in arb_geodetic()) {
+        let slant = a.slant_range(b).0;
+        prop_assert!(slant >= (a.alt_km - b.alt_km).abs() - 1e-6);
+    }
+
+    #[test]
+    fn slant_range_at_least_chord_lower_bound(a in arb_geodetic(), b in arb_geodetic()) {
+        // The straight line is never longer than surface distance plus both
+        // altitudes (crude but universally valid triangle bound).
+        let slant = a.slant_range(b).0;
+        let surf = a.great_circle_distance(b).0;
+        prop_assert!(slant <= surf + a.alt_km + b.alt_km + 1e-6);
+    }
+
+    #[test]
+    fn ecef_round_trip(p in arb_geodetic()) {
+        let q = p.to_ecef().to_geodetic();
+        prop_assert!((p.lat_deg - q.lat_deg).abs() < 1e-9);
+        prop_assert!((p.lon_deg - q.lon_deg).abs() < 1e-7);
+        prop_assert!((p.alt_km - q.alt_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lon_normalization_idempotent(lon in -1e6f64..1e6) {
+        let once = normalize_lon_deg(lon);
+        let twice = normalize_lon_deg(once);
+        prop_assert!((once - twice).abs() < 1e-9);
+        prop_assert!(once > -180.0 - 1e-9 && once <= 180.0 + 1e-9);
+    }
+
+    #[test]
+    fn propagation_delay_monotone_in_distance(d1 in 0.0f64..50_000.0, d2 in 0.0f64..50_000.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let dl = propagation_delay(Km(lo), Medium::Vacuum);
+        let dh = propagation_delay(Km(hi), Medium::Vacuum);
+        prop_assert!(dl.ms() <= dh.ms() + 1e-12);
+    }
+
+    #[test]
+    fn fiber_always_slower_than_vacuum(d in 1.0f64..50_000.0) {
+        let v = propagation_delay(Km(d), Medium::Vacuum);
+        let f = propagation_delay(Km(d), Medium::Fiber);
+        prop_assert!(f.ms() > v.ms());
+    }
+
+    #[test]
+    fn elevation_in_valid_range(g in arb_geodetic(), s in arb_geodetic()) {
+        let ground = Geodetic::ground(g.lat_deg, g.lon_deg);
+        let e = ground.elevation_angle_deg(s);
+        prop_assert!((-90.0 - 1e-9..=90.0 + 1e-9).contains(&e));
+    }
+}

@@ -1,0 +1,127 @@
+//! Fault injection for satellites and ISLs.
+//!
+//! Real constellations always operate degraded: satellites deorbit, laser
+//! terminals lose lock, and links near the orbital seam churn. Experiments
+//! use a [`FaultPlan`] to knock out satellites or individual links and then
+//! measure how routing and SpaceCDN retrieval degrade — the same style of
+//! fault injection smoltcp builds into its examples.
+
+use spacecdn_geo::DetRng;
+use spacecdn_orbit::SatIndex;
+use std::collections::HashSet;
+
+/// A set of failed satellites and ISLs applied when building a topology
+/// snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    failed_sats: HashSet<SatIndex>,
+    /// Failed links, stored with endpoints ordered (min, max).
+    failed_links: HashSet<(SatIndex, SatIndex)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Mark a satellite as failed (all four of its ISLs and its user/gateway
+    /// links go down).
+    pub fn fail_sat(&mut self, sat: SatIndex) -> &mut Self {
+        self.failed_sats.insert(sat);
+        self
+    }
+
+    /// Mark one ISL as failed (direction-agnostic).
+    pub fn fail_link(&mut self, a: SatIndex, b: SatIndex) -> &mut Self {
+        self.failed_links.insert(Self::key(a, b));
+        self
+    }
+
+    /// Fail a uniformly random fraction of satellites.
+    pub fn fail_random_sats(&mut self, total: usize, fraction: f64, rng: &mut DetRng) -> &mut Self {
+        let k = ((total as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        for idx in rng.sample_indices(total, k) {
+            self.failed_sats.insert(SatIndex(idx as u32));
+        }
+        self
+    }
+
+    /// Is this satellite down?
+    pub fn sat_failed(&self, sat: SatIndex) -> bool {
+        self.failed_sats.contains(&sat)
+    }
+
+    /// Is this link down (either because it failed or an endpoint did)?
+    pub fn link_failed(&self, a: SatIndex, b: SatIndex) -> bool {
+        self.sat_failed(a) || self.sat_failed(b) || self.failed_links.contains(&Self::key(a, b))
+    }
+
+    /// Number of failed satellites.
+    pub fn failed_sat_count(&self) -> usize {
+        self.failed_sats.len()
+    }
+
+    fn key(a: SatIndex, b: SatIndex) -> (SatIndex, SatIndex) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_fails_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.sat_failed(SatIndex(0)));
+        assert!(!p.link_failed(SatIndex(0), SatIndex(1)));
+        assert_eq!(p.failed_sat_count(), 0);
+    }
+
+    #[test]
+    fn sat_failure_takes_links_down() {
+        let mut p = FaultPlan::none();
+        p.fail_sat(SatIndex(3));
+        assert!(p.sat_failed(SatIndex(3)));
+        assert!(p.link_failed(SatIndex(3), SatIndex(4)));
+        assert!(p.link_failed(SatIndex(2), SatIndex(3)));
+        assert!(!p.link_failed(SatIndex(1), SatIndex(2)));
+    }
+
+    #[test]
+    fn link_failure_is_direction_agnostic() {
+        let mut p = FaultPlan::none();
+        p.fail_link(SatIndex(7), SatIndex(2));
+        assert!(p.link_failed(SatIndex(2), SatIndex(7)));
+        assert!(p.link_failed(SatIndex(7), SatIndex(2)));
+        assert!(!p.sat_failed(SatIndex(7)));
+    }
+
+    #[test]
+    fn random_failures_hit_requested_fraction() {
+        let mut rng = DetRng::new(5, "faults");
+        let mut p = FaultPlan::none();
+        p.fail_random_sats(1000, 0.1, &mut rng);
+        assert_eq!(p.failed_sat_count(), 100);
+        // Deterministic for the same seed/stream.
+        let mut rng2 = DetRng::new(5, "faults");
+        let mut p2 = FaultPlan::none();
+        p2.fail_random_sats(1000, 0.1, &mut rng2);
+        for i in 0..1000u32 {
+            assert_eq!(p.sat_failed(SatIndex(i)), p2.sat_failed(SatIndex(i)));
+        }
+    }
+
+    #[test]
+    fn fraction_clamps() {
+        let mut rng = DetRng::new(5, "faults");
+        let mut p = FaultPlan::none();
+        p.fail_random_sats(50, 2.0, &mut rng);
+        assert_eq!(p.failed_sat_count(), 50);
+    }
+}

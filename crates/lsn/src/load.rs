@@ -1,0 +1,198 @@
+//! ISL load accounting: where the laser backbone concentrates traffic.
+//!
+//! Every bent-pipe flow from a far-homed country crosses dozens of ISLs;
+//! aggregate demand therefore concentrates on the links feeding popular
+//! gateway corridors. This module routes a demand matrix over the +Grid
+//! and accumulates per-link load, so experiments can ask the question the
+//! paper's design implicitly raises: *how much backbone capacity does
+//! serving content from orbit free up?*
+
+use crate::routing::dijkstra;
+use crate::topology::IslGraph;
+use spacecdn_orbit::SatIndex;
+use std::collections::HashMap;
+
+/// Undirected link key with canonical endpoint ordering.
+fn key(a: SatIndex, b: SatIndex) -> (SatIndex, SatIndex) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Per-link accumulated load.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoad {
+    /// Load per undirected ISL, in the caller's demand unit (e.g. Gbit/s).
+    loads: HashMap<(SatIndex, SatIndex), f64>,
+    /// Total demand routed.
+    total_demand: f64,
+    /// Demand that could not be routed (disconnected endpoints).
+    unrouted: f64,
+}
+
+impl LinkLoad {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LinkLoad::default()
+    }
+
+    /// Route `demand` units from `src` to `dst` over the cheapest path and
+    /// charge every traversed link.
+    pub fn route(&mut self, graph: &IslGraph, src: SatIndex, dst: SatIndex, demand: f64) {
+        if demand <= 0.0 {
+            return;
+        }
+        self.total_demand += demand;
+        if src == dst {
+            return; // no ISL traversed
+        }
+        match dijkstra(graph, src, dst) {
+            Some(path) => {
+                for w in path.sats.windows(2) {
+                    *self.loads.entry(key(w[0], w[1])).or_insert(0.0) += demand;
+                }
+            }
+            None => self.unrouted += demand,
+        }
+    }
+
+    /// Number of links carrying any load.
+    pub fn loaded_links(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The heaviest link and its load, if any.
+    pub fn max_link(&self) -> Option<((SatIndex, SatIndex), f64)> {
+        self.loads
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(k, v)| (*k, *v))
+    }
+
+    /// Load quantile across loaded links (`q` in `[0, 1]`); `None` when no
+    /// link carries load.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.loads.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.loads.values().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pos = (q.clamp(0.0, 1.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[pos])
+    }
+
+    /// Sum of load × links (total link-traversals, the backbone's work).
+    pub fn total_link_work(&self) -> f64 {
+        self.loads.values().sum()
+    }
+
+    /// Demand that found no path.
+    pub fn unrouted(&self) -> f64 {
+        self.unrouted
+    }
+
+    /// Total demand offered.
+    pub fn total_demand(&self) -> f64 {
+        self.total_demand
+    }
+
+    /// Mean number of ISL hops per unit of demand (link work ÷ demand).
+    pub fn mean_hops(&self) -> f64 {
+        if self.total_demand <= 0.0 {
+            0.0
+        } else {
+            self.total_link_work() / self.total_demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use spacecdn_geo::SimTime;
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+
+    fn setup() -> (Constellation, IslGraph) {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        (c, g)
+    }
+
+    #[test]
+    fn single_flow_charges_every_path_link() {
+        let (c, g) = setup();
+        let src = c.sat_at(0, 0);
+        let dst = c.sat_at(5, 2);
+        let mut load = LinkLoad::new();
+        load.route(&g, src, dst, 2.0);
+        let hops = dijkstra(&g, src, dst).unwrap().hop_count();
+        assert_eq!(load.loaded_links(), hops);
+        assert!((load.total_link_work() - 2.0 * hops as f64).abs() < 1e-9);
+        assert!((load.mean_hops() - hops as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_flows_accumulate() {
+        let (c, g) = setup();
+        let a = c.sat_at(0, 0);
+        let b = c.sat_at(1, 0);
+        let mut load = LinkLoad::new();
+        load.route(&g, a, b, 1.0);
+        load.route(&g, a, b, 3.0);
+        let (_, max) = load.max_link().unwrap();
+        assert!((max - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_endpoint_routes_nothing() {
+        let (_, g) = setup();
+        let mut load = LinkLoad::new();
+        load.route(&g, SatIndex(7), SatIndex(7), 5.0);
+        assert_eq!(load.loaded_links(), 0);
+        assert_eq!(load.total_demand(), 5.0);
+        assert_eq!(load.unrouted(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_negative_demand_ignored() {
+        let (c, g) = setup();
+        let mut load = LinkLoad::new();
+        load.route(&g, c.sat_at(0, 0), c.sat_at(3, 3), 0.0);
+        load.route(&g, c.sat_at(0, 0), c.sat_at(3, 3), -1.0);
+        assert_eq!(load.total_demand(), 0.0);
+        assert_eq!(load.loaded_links(), 0);
+    }
+
+    #[test]
+    fn disconnected_demand_counted_unrouted() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        // Island satellite 10 by failing all four neighbours' links.
+        let sat = SatIndex(10);
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        for e in g0.neighbors(sat) {
+            faults.fail_link(sat, e.to);
+        }
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let mut load = LinkLoad::new();
+        load.route(&g, sat, SatIndex(100), 2.5);
+        assert_eq!(load.unrouted(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let (c, g) = setup();
+        let mut load = LinkLoad::new();
+        for i in 0..20i64 {
+            load.route(&g, c.sat_at(i, 0), c.sat_at(i + 8, 4), 1.0);
+        }
+        let p50 = load.quantile(0.5).unwrap();
+        let p99 = load.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(load.max_link().unwrap().1 >= p99);
+    }
+}

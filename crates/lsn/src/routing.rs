@@ -1,0 +1,410 @@
+//! Routing over the ISL graph.
+//!
+//! Two primitives cover every experiment in the paper:
+//!
+//! - **latency-weighted Dijkstra** for the bent-pipe backhaul (user's
+//!   overhead satellite → satellite over the gateway), and for finding the
+//!   *cheapest* cached copy;
+//! - **hop-bounded BFS** for the §4 question "is a copy within n ISL
+//!   hops?", where hops — not kilometres — are the budget.
+
+use crate::topology::IslGraph;
+use spacecdn_geo::{Km, Latency};
+use spacecdn_orbit::SatIndex;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A routed path through the constellation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslPath {
+    /// Satellites visited, source first, destination last. A single-element
+    /// path means source == destination.
+    pub sats: Vec<SatIndex>,
+    /// Total geometric length of all hops.
+    pub length: Km,
+    /// One-way propagation delay over all hops (no processing).
+    pub propagation: Latency,
+}
+
+impl IslPath {
+    /// Number of ISL hops (satellites minus one).
+    pub fn hop_count(&self) -> usize {
+        self.sats.len().saturating_sub(1)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    sat: SatIndex,
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; tie-break on index for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.sat.0.cmp(&self.sat.0))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Latency-weighted shortest path between two satellites. `None` when the
+/// destination is unreachable (faults can partition the grid).
+pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPath> {
+    if !graph.is_alive(src) || !graph.is_alive(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(IslPath {
+            sats: vec![src],
+            length: Km::ZERO,
+            propagation: Latency::ZERO,
+        });
+    }
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<SatIndex>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.as_usize()] = 0.0;
+    heap.push(HeapItem { cost: 0.0, sat: src });
+
+    while let Some(HeapItem { cost, sat }) = heap.pop() {
+        if cost > dist[sat.as_usize()] {
+            continue;
+        }
+        if sat == dst {
+            break;
+        }
+        for edge in graph.neighbors(sat) {
+            let next = cost + edge.length.0;
+            if next < dist[edge.to.as_usize()] {
+                dist[edge.to.as_usize()] = next;
+                prev[edge.to.as_usize()] = Some(sat);
+                heap.push(HeapItem {
+                    cost: next,
+                    sat: edge.to,
+                });
+            }
+        }
+    }
+
+    if dist[dst.as_usize()].is_infinite() {
+        return None;
+    }
+    let mut sats = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.as_usize()] {
+        sats.push(p);
+        cur = p;
+    }
+    sats.reverse();
+    debug_assert_eq!(sats.first(), Some(&src));
+    let length = Km(dist[dst.as_usize()]);
+    Some(IslPath {
+        sats,
+        length,
+        propagation: spacecdn_geo::propagation::propagation_delay(
+            length,
+            spacecdn_geo::Medium::Vacuum,
+        ),
+    })
+}
+
+/// Single-source shortest paths: for every satellite, the (kilometres,
+/// hop-count) of the cheapest-by-distance path from `src`. Unreachable or
+/// failed satellites get `(f64::INFINITY, u32::MAX)`. One call costs one
+/// Dijkstra; use it when many destinations share a source (e.g. scoring all
+/// gateways).
+pub fn dijkstra_distances(graph: &IslGraph, src: SatIndex) -> Vec<(f64, u32)> {
+    let n = graph.len();
+    let mut out = vec![(f64::INFINITY, u32::MAX); n];
+    if !graph.is_alive(src) {
+        return out;
+    }
+    out[src.as_usize()] = (0.0, 0);
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { cost: 0.0, sat: src });
+    while let Some(HeapItem { cost, sat }) = heap.pop() {
+        if cost > out[sat.as_usize()].0 {
+            continue;
+        }
+        let hops = out[sat.as_usize()].1;
+        for edge in graph.neighbors(sat) {
+            let next = cost + edge.length.0;
+            if next < out[edge.to.as_usize()].0 {
+                out[edge.to.as_usize()] = (next, hops + 1);
+                heap.push(HeapItem {
+                    cost: next,
+                    sat: edge.to,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Hop distances (BFS levels) from `src` to every satellite; `u32::MAX`
+/// marks unreachable or failed satellites.
+pub fn hop_distances(graph: &IslGraph, src: SatIndex) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.len()];
+    if !graph.is_alive(src) {
+        return dist;
+    }
+    dist[src.as_usize()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(sat) = queue.pop_front() {
+        let d = dist[sat.as_usize()];
+        for edge in graph.neighbors(sat) {
+            if dist[edge.to.as_usize()] == u32::MAX {
+                dist[edge.to.as_usize()] = d + 1;
+                queue.push_back(edge.to);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS from `src` for the nearest satellite (in hops) satisfying
+/// `is_target`, limited to `max_hops`. Returns the full path. Ties at equal
+/// hop count resolve to the first target discovered in deterministic BFS
+/// order. The source itself is considered (zero hops).
+pub fn bfs_nearest(
+    graph: &IslGraph,
+    src: SatIndex,
+    max_hops: u32,
+    mut is_target: impl FnMut(SatIndex) -> bool,
+) -> Option<IslPath> {
+    if !graph.is_alive(src) {
+        return None;
+    }
+    if is_target(src) {
+        return Some(IslPath {
+            sats: vec![src],
+            length: Km::ZERO,
+            propagation: Latency::ZERO,
+        });
+    }
+    let n = graph.len();
+    let mut visited = vec![false; n];
+    let mut prev: Vec<Option<SatIndex>> = vec![None; n];
+    visited[src.as_usize()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back((src, 0u32));
+
+    while let Some((sat, hops)) = queue.pop_front() {
+        if hops >= max_hops {
+            continue;
+        }
+        for edge in graph.neighbors(sat) {
+            if visited[edge.to.as_usize()] {
+                continue;
+            }
+            visited[edge.to.as_usize()] = true;
+            prev[edge.to.as_usize()] = Some(sat);
+            if is_target(edge.to) {
+                // Reconstruct and measure the path.
+                let mut sats = vec![edge.to];
+                let mut cur = edge.to;
+                while let Some(p) = prev[cur.as_usize()] {
+                    sats.push(p);
+                    cur = p;
+                }
+                sats.reverse();
+                let mut length = Km::ZERO;
+                for w in sats.windows(2) {
+                    length += graph.position(w[0]).distance(graph.position(w[1]));
+                }
+                return Some(IslPath {
+                    sats,
+                    length,
+                    propagation: spacecdn_geo::propagation::propagation_delay(
+                        length,
+                        spacecdn_geo::Medium::Vacuum,
+                    ),
+                });
+            }
+            queue.push_back((edge.to, hops + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use spacecdn_geo::SimTime;
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+
+    fn shell1_graph() -> (Constellation, IslGraph) {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        (c, g)
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let (_, g) = shell1_graph();
+        let p = dijkstra(&g, SatIndex(7), SatIndex(7)).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.length, Km::ZERO);
+    }
+
+    #[test]
+    fn single_hop_matches_edge_length() {
+        let (c, g) = shell1_graph();
+        let a = SatIndex(0);
+        let b = c.sat_at(0, 1);
+        let p = dijkstra(&g, a, b).unwrap();
+        assert_eq!(p.hop_count(), 1);
+        let edge_len = g
+            .neighbors(a)
+            .iter()
+            .find(|e| e.to == b)
+            .unwrap()
+            .length
+            .0;
+        assert!((p.length.0 - edge_len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_is_connected_chain() {
+        let (c, g) = shell1_graph();
+        let p = dijkstra(&g, SatIndex(0), c.sat_at(36, 11)).unwrap();
+        assert!(p.hop_count() >= 2);
+        for w in p.sats.windows(2) {
+            assert!(
+                g.neighbors(w[0]).iter().any(|e| e.to == w[1]),
+                "non-adjacent consecutive satellites"
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_prefers_short_inter_plane_hops() {
+        // Walk the inter-plane neighbour chain three planes east; Dijkstra
+        // to that satellite should use exactly those 3 cheap hops.
+        let (c, g) = shell1_graph();
+        let src = c.sat_at(0, 0);
+        let mut cur = src;
+        let mut expected_len = 0.0;
+        for _ in 0..3 {
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .find(|e| c.plane_of(e.to) == (c.plane_of(cur) + 1) % 72)
+                .expect("east inter-plane link");
+            expected_len += next.length.0;
+            cur = next.to;
+        }
+        let p = dijkstra(&g, src, cur).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        assert!((p.length.0 - expected_len).abs() < 1e-6, "got {}", p.length.0);
+        assert!(p.length.0 < 3.0 * 1500.0, "got {}", p.length.0);
+    }
+
+    #[test]
+    fn dijkstra_symmetric_cost() {
+        let (c, g) = shell1_graph();
+        let a = c.sat_at(5, 3);
+        let b = c.sat_at(40, 15);
+        let ab = dijkstra(&g, a, b).unwrap();
+        let ba = dijkstra(&g, b, a).unwrap();
+        assert!((ab.length.0 - ba.length.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_is_fully_connected() {
+        let (_, g) = shell1_graph();
+        let d = hop_distances(&g, SatIndex(0));
+        assert!(d.iter().all(|&h| h != u32::MAX));
+        // Grid diameter of a 72×22 torus is 36 + 11 = 47.
+        let max = *d.iter().max().unwrap();
+        assert_eq!(max, 47, "unexpected diameter {max}");
+    }
+
+    #[test]
+    fn hop_distances_match_bfs_nearest() {
+        let (c, g) = shell1_graph();
+        let src = c.sat_at(10, 10);
+        let dst = c.sat_at(14, 12);
+        let d = hop_distances(&g, src)[dst.as_usize()];
+        let p = bfs_nearest(&g, src, 64, |s| s == dst).unwrap();
+        assert_eq!(p.hop_count() as u32, d);
+    }
+
+    #[test]
+    fn bfs_respects_hop_budget() {
+        let (c, g) = shell1_graph();
+        let src = c.sat_at(0, 0);
+        let dst = c.sat_at(10, 0); // 10 hops away
+        assert!(bfs_nearest(&g, src, 9, |s| s == dst).is_none());
+        assert!(bfs_nearest(&g, src, 10, |s| s == dst).is_some());
+    }
+
+    #[test]
+    fn bfs_zero_hops_only_source() {
+        let (_, g) = shell1_graph();
+        let src = SatIndex(0);
+        assert!(bfs_nearest(&g, src, 0, |s| s == src).is_some());
+        assert!(bfs_nearest(&g, src, 0, |s| s == SatIndex(1)).is_none());
+    }
+
+    #[test]
+    fn bfs_finds_nearest_of_many() {
+        let (c, g) = shell1_graph();
+        let src = c.sat_at(0, 0);
+        let near = c.sat_at(2, 0); // 2 hops
+        let far = c.sat_at(20, 0); // 20 hops
+        let targets = [near, far];
+        let p = bfs_nearest(&g, src, 30, |s| targets.contains(&s)).unwrap();
+        assert_eq!(*p.sats.last().unwrap(), near);
+        assert_eq!(p.hop_count(), 2);
+    }
+
+    #[test]
+    fn routing_around_failures() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let a = c.sat_at(0, 0);
+        let b = c.sat_at(2, 0);
+        let mid = c.sat_at(1, 0);
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(mid);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let p = dijkstra(&g, a, b).unwrap();
+        assert!(!p.sats.contains(&mid));
+        assert!(p.hop_count() >= 3, "detour must be longer");
+    }
+
+    #[test]
+    fn unreachable_with_dead_endpoint() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(SatIndex(5));
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        assert!(dijkstra(&g, SatIndex(0), SatIndex(5)).is_none());
+        assert!(dijkstra(&g, SatIndex(5), SatIndex(0)).is_none());
+        assert!(bfs_nearest(&g, SatIndex(5), 10, |_| true).is_none());
+    }
+
+    #[test]
+    fn dijkstra_no_worse_than_bfs_path_length() {
+        // Dijkstra optimises kilometres; its path length must be ≤ any
+        // hop-minimal path's length.
+        let (c, g) = shell1_graph();
+        let src = c.sat_at(3, 5);
+        let dst = c.sat_at(30, 16);
+        let dj = dijkstra(&g, src, dst).unwrap();
+        let bfs = bfs_nearest(&g, src, 64, |s| s == dst).unwrap();
+        assert!(dj.length.0 <= bfs.length.0 + 1e-6);
+    }
+}

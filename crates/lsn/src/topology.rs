@@ -1,0 +1,328 @@
+//! The +Grid ISL topology snapshot.
+//!
+//! Starlink v1.5+ satellites carry four laser terminals: two to the
+//! neighbours fore and aft in the same plane, two to the nearest satellites
+//! in the adjacent planes. The intra-plane links are geometrically constant;
+//! the inter-plane links stretch and shrink with latitude (planes converge
+//! towards the inclination limit). A snapshot freezes all link lengths at
+//! one instant; experiments rebuild snapshots as simulated time advances.
+
+use crate::fault::FaultPlan;
+use spacecdn_geo::propagation::{propagation_delay, Medium};
+use spacecdn_geo::{Ecef, Geodetic, Km, Latency, SimTime};
+use spacecdn_orbit::{Constellation, SatIndex};
+
+/// One directed adjacency entry: a neighbour and the link length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslEdge {
+    /// The neighbouring satellite.
+    pub to: SatIndex,
+    /// Laser link length at the snapshot instant.
+    pub length: Km,
+}
+
+/// A frozen ISL connectivity graph at one instant.
+#[derive(Debug, Clone)]
+pub struct IslGraph {
+    time: SimTime,
+    positions: Vec<Ecef>,
+    adjacency: Vec<Vec<IslEdge>>,
+    alive: Vec<bool>,
+}
+
+impl IslGraph {
+    /// Build the +Grid snapshot of `constellation` at `t`, excluding
+    /// anything failed in `faults`.
+    ///
+    /// Inter-plane links attach to the *geometrically nearest* satellite in
+    /// the adjacent plane. With Walker phasing the nearest slot is shifted
+    /// by a constant offset (identical for every satellite and every
+    /// instant, because the whole pattern co-rotates rigidly), so the offset
+    /// is computed once per build and the resulting adjacency is symmetric.
+    pub fn build(constellation: &Constellation, t: SimTime, faults: &FaultPlan) -> Self {
+        let n = constellation.len();
+        let positions = constellation.snapshot_ecef(t);
+        let mut adjacency = vec![Vec::with_capacity(4); n];
+        let mut alive = vec![true; n];
+
+        // Phase-determined slot offset of the nearest satellite one plane
+        // over (see doc comment). The offset is uniform for all interior
+        // plane pairs, but the wrap-around pair (P-1 → 0) can differ: Walker
+        // phasing accumulates F·360/S degrees over a full revolution of
+        // planes, which lands on a (possibly non-zero) whole-slot shift at
+        // the seam. Probe both.
+        let plane_count = constellation.config().plane_count as i64;
+        let nearest_slot_offset = |from_plane: i64| -> i64 {
+            let probe = constellation.sat_at(from_plane, 0);
+            (0..constellation.config().sats_per_plane as i64)
+                .min_by(|&a, &b| {
+                    let da = positions[probe.as_usize()]
+                        .distance(positions[constellation.sat_at(from_plane + 1, a).as_usize()]);
+                    let db = positions[probe.as_usize()]
+                        .distance(positions[constellation.sat_at(from_plane + 1, b).as_usize()]);
+                    da.0.partial_cmp(&db.0).expect("distances are finite")
+                })
+                .unwrap_or(0)
+        };
+        let interior_offset = nearest_slot_offset(0);
+        let seam_offset = if plane_count > 1 {
+            nearest_slot_offset(plane_count - 1)
+        } else {
+            interior_offset
+        };
+        // Offset used when crossing from plane p to plane p+1.
+        let offset_from = |p: i64| -> i64 {
+            if p.rem_euclid(plane_count) == plane_count - 1 {
+                seam_offset
+            } else {
+                interior_offset
+            }
+        };
+
+        for sat in constellation.sat_indices() {
+            if faults.sat_failed(sat) {
+                alive[sat.as_usize()] = false;
+            }
+        }
+
+        for sat in constellation.sat_indices() {
+            if !alive[sat.as_usize()] {
+                continue;
+            }
+            let plane = constellation.plane_of(sat) as i64;
+            let slot = constellation.slot_of(sat) as i64;
+            let neighbours = [
+                constellation.sat_at(plane, slot - 1), // aft
+                constellation.sat_at(plane, slot + 1), // fore
+                constellation.sat_at(plane - 1, slot - offset_from(plane - 1)), // left
+                constellation.sat_at(plane + 1, slot + offset_from(plane)),     // right
+            ];
+            for nb in neighbours {
+                if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
+                    continue;
+                }
+                let length = positions[sat.as_usize()].distance(positions[nb.as_usize()]);
+                adjacency[sat.as_usize()].push(IslEdge { to: nb, length });
+            }
+        }
+
+        IslGraph {
+            time: t,
+            positions,
+            adjacency,
+            alive,
+        }
+    }
+
+    /// Instant this snapshot was taken.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of satellites (including failed ones, which have no edges).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the graph has no satellites.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Is the satellite operational in this snapshot?
+    pub fn is_alive(&self, sat: SatIndex) -> bool {
+        self.alive[sat.as_usize()]
+    }
+
+    /// Outgoing ISLs of a satellite (empty for failed satellites).
+    pub fn neighbors(&self, sat: SatIndex) -> &[IslEdge] {
+        &self.adjacency[sat.as_usize()]
+    }
+
+    /// Earth-fixed position of a satellite at the snapshot instant.
+    pub fn position(&self, sat: SatIndex) -> Ecef {
+        self.positions[sat.as_usize()]
+    }
+
+    /// One-way propagation delay across a single ISL.
+    pub fn edge_delay(&self, edge: &IslEdge) -> Latency {
+        propagation_delay(edge.length, Medium::Vacuum)
+    }
+
+    /// The operational satellite nearest (slant range) to a ground point.
+    /// `None` if every satellite failed.
+    pub fn nearest_alive(&self, ground: Geodetic) -> Option<(SatIndex, Km)> {
+        let g = ground.to_ecef();
+        let mut best: Option<(SatIndex, Km)> = None;
+        for (i, pos) in self.positions.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            let d = pos.distance(g);
+            if best.is_none_or(|(_, bd)| d.0 < bd.0) {
+                best = Some((SatIndex(i as u32), d));
+            }
+        }
+        best
+    }
+
+    /// Total number of directed edges (diagnostic).
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_orbit::shell::shells;
+
+    fn graph() -> IslGraph {
+        let c = Constellation::new(shells::starlink_shell1());
+        IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none())
+    }
+
+    #[test]
+    fn every_satellite_has_four_links() {
+        let g = graph();
+        for i in 0..g.len() {
+            assert_eq!(
+                g.neighbors(SatIndex(i as u32)).len(),
+                4,
+                "sat {i} degree wrong"
+            );
+        }
+        assert_eq!(g.edge_count(), 4 * 1584);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = graph();
+        for i in 0..g.len() {
+            let sat = SatIndex(i as u32);
+            for e in g.neighbors(sat) {
+                assert!(
+                    g.neighbors(e.to).iter().any(|back| back.to == sat),
+                    "edge {i}->{} has no reverse",
+                    e.to.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intra_plane_links_are_constant_length() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let g1 = IslGraph::build(&c, SimTime::from_secs(1200), &FaultPlan::none());
+        // Fore neighbour of sat 0 is in the same plane: its link length is
+        // time-invariant.
+        let fore = c.sat_at(0, 1);
+        let len = |g: &IslGraph| {
+            g.neighbors(SatIndex(0))
+                .iter()
+                .find(|e| e.to == fore)
+                .expect("fore link present")
+                .length
+                .0
+        };
+        assert!((len(&g0) - len(&g1)).abs() < 1e-6);
+        assert!((1900.0..2000.0).contains(&len(&g0)), "got {}", len(&g0));
+    }
+
+    #[test]
+    fn inter_plane_links_shorter_than_intra() {
+        // For Shell 1 (72 planes vs 22 slots) adjacent planes are much
+        // closer together than adjacent slots: every satellite's two
+        // shortest links are its inter-plane ones.
+        let c = Constellation::new(shells::starlink_shell1());
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let sat = SatIndex(0);
+        let fore = c.sat_at(0, 1);
+        let intra_len = g
+            .neighbors(sat)
+            .iter()
+            .find(|e| e.to == fore)
+            .expect("fore link present")
+            .length
+            .0;
+        let inter: Vec<f64> = g
+            .neighbors(sat)
+            .iter()
+            .filter(|e| c.plane_of(e.to) != 0)
+            .map(|e| e.length.0)
+            .collect();
+        assert_eq!(inter.len(), 2);
+        for len in inter {
+            assert!(len < intra_len, "{len} !< {intra_len}");
+            assert!((300.0..1500.0).contains(&len), "inter-plane link {len} km");
+        }
+    }
+
+    #[test]
+    fn edge_delays_physical() {
+        let g = graph();
+        for e in g.neighbors(SatIndex(100)) {
+            let d = g.edge_delay(e).ms();
+            // 400..2000 km at c: 1.3..6.7 ms one-way.
+            assert!((0.5..8.0).contains(&d), "delay {d} ms");
+        }
+    }
+
+    #[test]
+    fn failed_sat_has_no_edges_and_neighbors_drop_it() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(SatIndex(50));
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        assert!(!g.is_alive(SatIndex(50)));
+        assert!(g.neighbors(SatIndex(50)).is_empty());
+        for i in 0..g.len() {
+            assert!(
+                g.neighbors(SatIndex(i as u32)).iter().all(|e| e.to != SatIndex(50)),
+                "someone still links to the dead satellite"
+            );
+        }
+        assert_eq!(g.edge_count(), 4 * 1584 - 8);
+    }
+
+    #[test]
+    fn failed_link_removed_both_ways() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let a = SatIndex(0);
+        let b = c.sat_at(0, 1);
+        let mut faults = FaultPlan::none();
+        faults.fail_link(a, b);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        assert!(g.neighbors(a).iter().all(|e| e.to != b));
+        assert!(g.neighbors(b).iter().all(|e| e.to != a));
+        assert_eq!(g.neighbors(a).len(), 3);
+    }
+
+    #[test]
+    fn nearest_alive_skips_failures() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let city = Geodetic::ground(48.1, 11.6);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let (best, d) = g.nearest_alive(city).unwrap();
+        assert!(d.0 < 1200.0);
+
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(best);
+        let g2 = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let (second, d2) = g2.nearest_alive(city).unwrap();
+        assert_ne!(second, best);
+        assert!(d2.0 >= d.0);
+    }
+
+    #[test]
+    fn all_failed_yields_none() {
+        let c = Constellation::new(shells::test_shell());
+        let mut faults = FaultPlan::none();
+        for s in c.sat_indices() {
+            faults.fail_sat(s);
+        }
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        assert!(g.nearest_alive(Geodetic::ground(0.0, 0.0)).is_none());
+    }
+}

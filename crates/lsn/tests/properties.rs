@@ -1,0 +1,123 @@
+//! Property-based tests for ISL topology and routing invariants.
+
+use proptest::prelude::*;
+use spacecdn_geo::{DetRng, SimTime};
+use spacecdn_lsn::{
+    bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph,
+};
+use spacecdn_orbit::shell::ShellConfig;
+use spacecdn_orbit::{Constellation, SatIndex};
+
+fn arb_shell() -> impl Strategy<Value = ShellConfig> {
+    (3u32..9, 3u32..9, 0.0f64..1.0).prop_map(|(planes, sats, _)| ShellConfig {
+        altitude_km: 550.0,
+        inclination_deg: 53.0,
+        plane_count: planes,
+        sats_per_plane: sats,
+        phase_factor: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_degree_and_symmetry(shell in arb_shell(), t in 0u64..20_000) {
+        let c = Constellation::new(shell);
+        let g = IslGraph::build(&c, SimTime::from_secs(t), &FaultPlan::none());
+        for i in 0..g.len() {
+            let sat = SatIndex(i as u32);
+            let n = g.neighbors(sat);
+            // Degree ≤ 4; tiny shells may deduplicate wrap neighbours.
+            prop_assert!(n.len() <= 4);
+            for e in n {
+                prop_assert!(
+                    g.neighbors(e.to).iter().any(|b| b.to == sat),
+                    "asymmetric edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_triangle_inequality(shell in arb_shell(), t in 0u64..20_000) {
+        let c = Constellation::new(shell);
+        let g = IslGraph::build(&c, SimTime::from_secs(t), &FaultPlan::none());
+        let n = g.len() as u32;
+        let a = SatIndex(0);
+        let b = SatIndex(n / 3);
+        let m = SatIndex(2 * n / 3);
+        let ab = dijkstra(&g, a, b).unwrap().length.0;
+        let am = dijkstra(&g, a, m).unwrap().length.0;
+        let mb = dijkstra(&g, m, b).unwrap().length.0;
+        prop_assert!(ab <= am + mb + 1e-6);
+    }
+
+    #[test]
+    fn dijkstra_distances_match_point_queries(shell in arb_shell(), t in 0u64..20_000) {
+        let c = Constellation::new(shell);
+        let g = IslGraph::build(&c, SimTime::from_secs(t), &FaultPlan::none());
+        let src = SatIndex(1);
+        let all = dijkstra_distances(&g, src);
+        for i in (0..g.len()).step_by(5) {
+            let dst = SatIndex(i as u32);
+            let p = dijkstra(&g, src, dst).unwrap();
+            prop_assert!((all[i].0 - p.length.0).abs() < 1e-6,
+                "single-source {} vs point {}", all[i].0, p.length.0);
+        }
+    }
+
+    #[test]
+    fn bfs_hops_lower_bound_dijkstra_hops(shell in arb_shell(), t in 0u64..20_000) {
+        // The km-optimal route can never use fewer hops than the BFS
+        // minimum.
+        let c = Constellation::new(shell);
+        let g = IslGraph::build(&c, SimTime::from_secs(t), &FaultPlan::none());
+        let src = SatIndex(0);
+        let hops = hop_distances(&g, src);
+        let km = dijkstra_distances(&g, src);
+        for i in 0..g.len() {
+            prop_assert!(km[i].1 >= hops[i], "sat {i}: route {} < bfs {}", km[i].1, hops[i]);
+        }
+    }
+
+    #[test]
+    fn random_faults_never_panic_and_paths_remain_valid(
+        shell in arb_shell(),
+        seed in 0u64..1000,
+        frac in 0.0f64..0.5,
+    ) {
+        let c = Constellation::new(shell);
+        let mut rng = DetRng::new(seed, "prop-faults");
+        let mut faults = FaultPlan::none();
+        faults.fail_random_sats(c.len(), frac, &mut rng);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        // Any path that exists only visits alive satellites.
+        let alive: Vec<SatIndex> = (0..g.len() as u32)
+            .map(SatIndex)
+            .filter(|&s| g.is_alive(s))
+            .collect();
+        if alive.len() >= 2 {
+            if let Some(p) = dijkstra(&g, alive[0], alive[alive.len() - 1]) {
+                for s in &p.sats {
+                    prop_assert!(g.is_alive(*s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_nearest_respects_budget(shell in arb_shell(), budget in 0u32..6) {
+        let c = Constellation::new(shell);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let src = SatIndex(0);
+        let target = SatIndex((g.len() - 1) as u32);
+        if let Some(p) = bfs_nearest(&g, src, budget, |s| s == target) {
+            prop_assert!(p.hop_count() as u32 <= budget);
+        } else {
+            // Unreachable within budget ⇒ the true hop distance exceeds it.
+            let hops = hop_distances(&g, src)[target.as_usize()];
+            prop_assert!(hops > budget);
+        }
+    }
+}

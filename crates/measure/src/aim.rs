@@ -1,0 +1,519 @@
+//! AIM-style speed-test campaigns (the Cloudflare dataset substitute).
+//!
+//! For every covered city the campaign simulates speed tests over both
+//! access networks:
+//!
+//! - **terrestrial**: client → anycast-nearest CDN site from the client's
+//!   city, with sampled last-mile noise;
+//! - **Starlink**: client → PoP (space segment over the live constellation,
+//!   sampled per epoch) → anycast-nearest CDN site *from the PoP* — the
+//!   paper's central mechanism.
+//!
+//! Each "test" reports the median idle latency of a handful of probes
+//! (what the Cloudflare speed test reports), and per-city statistics take
+//! medians over tests spread across constellation epochs — matching how
+//! the paper computes its "median minRTT" to the best site.
+
+use serde::Serialize;
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{DetRng, Latency, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_terra::cdn::{cdn_sites, rank_sites, CdnSite};
+use spacecdn_terra::city::{cities, City};
+use spacecdn_terra::region::country_last_mile_factor;
+use spacecdn_terra::starlink::{covered_countries, home_pop};
+
+/// Which access network a measurement used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum IspKind {
+    /// The LEO satellite network.
+    Starlink,
+    /// A terrestrial ISP in the same city.
+    Terrestrial,
+}
+
+/// One speed-test record (one row of the synthetic AIM dataset).
+#[derive(Debug, Clone, Serialize)]
+pub struct AimRecord {
+    /// Client city name.
+    pub city: &'static str,
+    /// Client country code.
+    pub cc: &'static str,
+    /// Access network.
+    pub isp: IspKind,
+    /// Minimum RTT across this test's probes, ms (Table 1's "minRTT").
+    pub min_rtt_ms: f64,
+    /// Idle latency of this test (median of its probes), ms — what the
+    /// speed-test UI reports and what the Figure 7 CDFs are built from.
+    pub idle_rtt_ms: f64,
+    /// CDN city the test was served from.
+    pub cdn_city: &'static str,
+    /// Great-circle distance from the client to that CDN site, km.
+    pub cdn_distance_km: f64,
+    /// True when anycast landed this test on a non-optimal site.
+    pub scattered: bool,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct AimConfig {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Number of constellation epochs to sample (tests spread over time).
+    pub epochs: usize,
+    /// Seconds between epochs.
+    pub epoch_spacing_s: u64,
+    /// Base tests per city per ISP per epoch; each city's actual count is
+    /// scaled by its population weight (crowdsourced datasets sample in
+    /// proportion to users).
+    pub tests_per_epoch: usize,
+    /// Probes per test. The test's reported idle latency is the *median*
+    /// of its probes, matching how the Cloudflare speed test reports
+    /// latency (Table 1's "minRTT" is then the median over tests to the
+    /// best site).
+    pub probes_per_test: usize,
+    /// Probability that BGP anycast lands a test on the 2nd–4th nearest
+    /// site instead of the nearest — the paper observes that "clients from
+    /// the same city often target several CDN servers across different
+    /// neighboring countries". Scattered records carry `scattered = true`
+    /// and are excluded from the optimal-mapping aggregates (Table 1) but
+    /// included in the raw CDFs (Fig 7), giving terrestrial access its
+    /// long tail.
+    pub anycast_scatter: f64,
+}
+
+/// Population weight of a city: big metros contribute proportionally more
+/// measurements, clamped to [0.5, 3] so small cities still appear.
+fn population_weight(city: &City) -> f64 {
+    (city.population_k as f64 / 2000.0).clamp(0.5, 3.0)
+}
+
+impl Default for AimConfig {
+    fn default() -> Self {
+        AimConfig {
+            seed: 42,
+            epochs: 6,
+            epoch_spacing_s: 173,
+            tests_per_epoch: 4,
+            probes_per_test: 5,
+            anycast_scatter: 0.3,
+        }
+    }
+}
+
+/// Per-country aggregate — one row of Table 1 / one point of Figure 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct CountryStats {
+    /// Country code.
+    pub cc: &'static str,
+    /// Country name.
+    pub country: &'static str,
+    /// Mean distance to the chosen CDN site, km.
+    pub mean_cdn_distance_km: f64,
+    /// Median of per-test min RTTs, ms.
+    pub median_min_rtt_ms: f64,
+}
+
+/// A completed campaign: records plus lazily computed aggregates.
+pub struct AimCampaign {
+    records: Vec<AimRecord>,
+}
+
+impl AimCampaign {
+    /// Run the campaign over every Starlink-covered country in the dataset.
+    pub fn run(config: &AimConfig) -> Self {
+        Self::run_for(config, &covered_countries())
+    }
+
+    /// Run for an explicit set of country codes.
+    pub fn run_for(config: &AimConfig, country_codes: &[&str]) -> Self {
+        let net = LsnNetwork::starlink();
+        let sites = cdn_sites();
+        let fiber = *net.fiber();
+        let mut records = Vec::new();
+
+        for epoch in 0..config.epochs {
+            let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
+            let snap = net.snapshot(t, &FaultPlan::none());
+            for city in cities() {
+                if !country_codes.contains(&city.cc) {
+                    continue;
+                }
+                let mut rng = DetRng::new(
+                    config.seed,
+                    &format!("aim/{}/{}", city.name, epoch),
+                );
+                // Terrestrial egress = the city; Starlink egress = the PoP.
+                // Anycast usually lands on the nearest site but scatters to
+                // the next few with probability `anycast_scatter`.
+                let terr_ranked = rank_sites(city.position(), city.region, &sites, &fiber);
+                let pop = home_pop(city.cc, city.position());
+                let star_ranked =
+                    rank_sites(pop.position(), pop.city.region, &sites, &fiber);
+
+                let lm_factor = country_last_mile_factor(city.cc);
+                // The space path is fixed within an epoch; only the
+                // user-link scheduling jitter varies per probe. Resolve the
+                // median path once and re-jitter it per probe (equivalent
+                // distributionally, ~20× cheaper than re-routing).
+                let star_pop_rtt = snap
+                    .starlink_rtt_to_pop(city.position(), &pop, None)
+                    .map(|p| p.rtt.ms());
+                let access = net.access();
+                let tests =
+                    ((config.tests_per_epoch as f64) * population_weight(city)).round() as usize;
+                let pick = |rng: &mut DetRng| -> usize {
+                    if rng.chance(config.anycast_scatter) {
+                        1 + rng.index(3.min(terr_ranked.len() - 1).max(1))
+                    } else {
+                        0
+                    }
+                };
+                for _ in 0..tests.max(1) {
+                    // Terrestrial test: min over probes of WAN + last mile.
+                    let rank = pick(&mut rng).min(terr_ranked.len() - 1);
+                    let (terr_site, terr_wan) = terr_ranked[rank];
+                    let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
+                        .map(|_| {
+                            let lm = rng.log_normal_median(
+                                city.region.profile().last_mile_median_ms * lm_factor,
+                                city.region.profile().last_mile_sigma,
+                            );
+                            terr_wan.ms() + lm
+                        })
+                        .collect();
+                    probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    let t_min = probes[0];
+                    let t_idle = probes[probes.len() / 2];
+                    records.push(AimRecord {
+                        city: city.name,
+                        cc: city.cc,
+                        isp: IspKind::Terrestrial,
+                        min_rtt_ms: t_min,
+                        idle_rtt_ms: t_idle,
+                        cdn_city: terr_site.city.name,
+                        cdn_distance_km: city
+                            .position()
+                            .great_circle_distance(terr_site.position())
+                            .0,
+                        scattered: rank > 0,
+                    });
+
+                    // Starlink test: min over probes of space path + PoP→CDN.
+                    if let Some(base) = star_pop_rtt {
+                        let rank = pick(&mut rng).min(star_ranked.len() - 1);
+                        let (star_site, pop_to_site) = star_ranked[rank];
+                        let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
+                            .map(|_| {
+                                let sched = rng.log_normal_median(
+                                    access.ka_sched_median_ms,
+                                    access.ka_sched_sigma,
+                                );
+                                base + pop_to_site.ms() - access.ka_sched_median_ms + sched
+                            })
+                            .collect();
+                        probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        let s_min = probes[0];
+                        let s_idle = probes[probes.len() / 2];
+                        records.push(AimRecord {
+                            city: city.name,
+                            cc: city.cc,
+                            isp: IspKind::Starlink,
+                            min_rtt_ms: s_min,
+                            idle_rtt_ms: s_idle,
+                            cdn_city: star_site.city.name,
+                            cdn_distance_km: city
+                                .position()
+                                .great_circle_distance(star_site.position())
+                                .0,
+                            scattered: rank > 0,
+                        });
+                    }
+                }
+            }
+        }
+        AimCampaign { records }
+    }
+
+    /// All raw records.
+    pub fn records(&self) -> &[AimRecord] {
+        &self.records
+    }
+
+    /// Per-country stats for one ISP (a Table 1 column pair).
+    pub fn country_stats(&self, isp: IspKind) -> Vec<CountryStats> {
+        let mut ccs: Vec<&'static str> = self
+            .records
+            .iter()
+            .filter(|r| r.isp == isp)
+            .map(|r| r.cc)
+            .collect();
+        ccs.sort_unstable();
+        ccs.dedup();
+        ccs.into_iter()
+            .filter_map(|cc| self.country_stats_for(cc, isp))
+            .collect()
+    }
+
+    /// Stats for one (country, ISP) pair.
+    pub fn country_stats_for(&self, cc: &str, isp: IspKind) -> Option<CountryStats> {
+        // The optimal-mapping analysis (Table 1) uses only tests that
+        // anycast routed to the nearest site.
+        let rows: Vec<&AimRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.cc == cc && r.isp == isp && !r.scattered)
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let mut p = Percentiles::new();
+        let mut dist = 0.0;
+        for r in &rows {
+            p.add(r.min_rtt_ms);
+            dist += r.cdn_distance_km;
+        }
+        let country = cities()
+            .iter()
+            .find(|c| c.cc == rows[0].cc)
+            .map(|c| c.country)
+            .unwrap_or("?");
+        Some(CountryStats {
+            cc: rows[0].cc,
+            country,
+            mean_cdn_distance_km: dist / rows.len() as f64,
+            median_min_rtt_ms: p.median().expect("non-empty"),
+        })
+    }
+
+    /// Figure 2's series: per-country Δ median min-RTT
+    /// (Starlink − terrestrial), for countries with both ISPs measured.
+    pub fn delta_by_country(&self) -> Vec<(&'static str, f64)> {
+        let star = self.country_stats(IspKind::Starlink);
+        let terr = self.country_stats(IspKind::Terrestrial);
+        let mut out = Vec::new();
+        for s in &star {
+            if let Some(t) = terr.iter().find(|t| t.cc == s.cc) {
+                out.push((s.cc, s.median_min_rtt_ms - t.median_min_rtt_ms));
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out
+    }
+
+    /// Full min-RTT distribution for one ISP across all records — the
+    /// Figure 7 baseline CDFs.
+    pub fn rtt_distribution(&self, isp: IspKind) -> Percentiles {
+        let mut p = Percentiles::new();
+        for r in self.records.iter().filter(|r| r.isp == isp) {
+            p.add(r.idle_rtt_ms);
+        }
+        p
+    }
+
+    /// Country-balanced min-RTT distribution: at most `per_country_cap`
+    /// records per country, so populous well-served markets don't drown the
+    /// long tail. This matches the composition of the paper's AIM sample
+    /// (~22 K Starlink tests spread over 55 countries, i.e. roughly equal
+    /// country weights), and is what Figs 7/8 compare against.
+    pub fn rtt_distribution_balanced(&self, isp: IspKind, per_country_cap: usize) -> Percentiles {
+        use std::collections::HashMap;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let mut p = Percentiles::new();
+        for r in self.records.iter().filter(|r| r.isp == isp) {
+            let c = counts.entry(r.cc).or_insert(0);
+            if *c < per_country_cap {
+                *c += 1;
+                p.add(r.idle_rtt_ms);
+            }
+        }
+        p
+    }
+}
+
+/// The Figure 3 case study: from one client city, the median RTT to *every*
+/// CDN site over the given ISP (not just the optimal one).
+pub fn case_study_city(
+    city: &City,
+    isp: IspKind,
+    config: &AimConfig,
+) -> Vec<(CdnSite, Latency)> {
+    let net = LsnNetwork::starlink();
+    let sites = cdn_sites();
+    let fiber = *net.fiber();
+    let mut out = Vec::new();
+    for site in &sites {
+        let mut p = Percentiles::new();
+        for epoch in 0..config.epochs {
+            let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
+            let snap = net.snapshot(t, &FaultPlan::none());
+            let mut rng = DetRng::new(
+                config.seed,
+                &format!("case/{}/{}/{}", city.name, site.city.name, epoch),
+            );
+            for _ in 0..config.tests_per_epoch {
+                match isp {
+                    IspKind::Terrestrial => {
+                        let lm = rng.log_normal_median(
+                            city.region.profile().last_mile_median_ms
+                                * country_last_mile_factor(city.cc),
+                            city.region.profile().last_mile_sigma,
+                        );
+                        let base = fiber.wan_rtt(
+                            city.position(),
+                            city.region,
+                            site.position(),
+                            site.region(),
+                        );
+                        p.add(base.ms() + lm);
+                    }
+                    IspKind::Starlink => {
+                        if let Some((_, total)) = snap.starlink_rtt_to_server(
+                            city.position(),
+                            city.cc,
+                            site.position(),
+                            site.region(),
+                            Some(&mut rng),
+                        ) {
+                            p.add(total.ms());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(median) = p.median() {
+            out.push((*site, Latency::from_ms(median)));
+        }
+    }
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_terra::city::city_by_name;
+
+    fn quick_config() -> AimConfig {
+        AimConfig {
+            seed: 7,
+            epochs: 3,
+            epoch_spacing_s: 211,
+            tests_per_epoch: 2,
+            probes_per_test: 3,
+            anycast_scatter: 0.3,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_both_isps() {
+        let c = AimCampaign::run_for(&quick_config(), &["ES", "MZ"]);
+        let star = c.records().iter().filter(|r| r.isp == IspKind::Starlink).count();
+        let terr = c
+            .records()
+            .iter()
+            .filter(|r| r.isp == IspKind::Terrestrial)
+            .count();
+        assert!(star > 0 && terr > 0);
+        assert_eq!(star, terr, "paired sampling");
+    }
+
+    #[test]
+    fn table1_shape_for_key_countries() {
+        let c = AimCampaign::run_for(&quick_config(), &["ES", "MZ", "KE", "GT"]);
+        let get = |cc, isp| c.country_stats_for(cc, isp).expect("present");
+
+        // Spain: local PoP — Starlink ~30-45 ms, short CDN distances both.
+        let es_s = get("ES", IspKind::Starlink);
+        let es_t = get("ES", IspKind::Terrestrial);
+        assert!((25.0..50.0).contains(&es_s.median_min_rtt_ms), "{es_s:?}");
+        assert!(es_t.median_min_rtt_ms < es_s.median_min_rtt_ms);
+
+        // Mozambique: Starlink ~120-180 ms, terrestrial ~8-20 ms, and the
+        // Starlink CDN sits thousands of km away.
+        let mz_s = get("MZ", IspKind::Starlink);
+        let mz_t = get("MZ", IspKind::Terrestrial);
+        assert!(
+            (110.0..190.0).contains(&mz_s.median_min_rtt_ms),
+            "{mz_s:?}"
+        );
+        assert!(mz_t.median_min_rtt_ms < 40.0, "{mz_t:?}");
+        assert!(mz_s.mean_cdn_distance_km > 5000.0, "{mz_s:?}");
+        assert!(mz_t.mean_cdn_distance_km < 1500.0, "{mz_t:?}");
+    }
+
+    #[test]
+    fn deltas_positive_for_almost_all_countries() {
+        let c = AimCampaign::run_for(&quick_config(), &["ES", "DE", "MZ", "KE", "GT", "JP"]);
+        let deltas = c.delta_by_country();
+        assert_eq!(deltas.len(), 6);
+        // Fig 2: terrestrial almost always faster; Africa worst.
+        for (cc, d) in &deltas {
+            assert!(*d > 0.0, "{cc} delta {d}");
+        }
+        let mz = deltas.iter().find(|(cc, _)| *cc == "MZ").unwrap().1;
+        let de = deltas.iter().find(|(cc, _)| *cc == "DE").unwrap().1;
+        assert!(mz > de + 50.0, "MZ {mz} vs DE {de}");
+    }
+
+    #[test]
+    fn maputo_case_study_matches_fig3() {
+        let cfg = quick_config();
+        let maputo = city_by_name("Maputo").unwrap();
+
+        // Terrestrial (Fig 3b): best site is Maputo itself at ~20 ms
+        // (case-study medians carry the full last-mile sample, unlike the
+        // min-of-probes AIM records); Johannesburg within ~25-80 ms.
+        let terr = case_study_city(maputo, IspKind::Terrestrial, &cfg);
+        assert_eq!(terr[0].0.city.name, "Maputo");
+        assert!(terr[0].1.ms() < 35.0, "got {}", terr[0].1);
+        let joburg = terr
+            .iter()
+            .find(|(s, _)| s.city.name == "Johannesburg")
+            .unwrap();
+        assert!((15.0..80.0).contains(&joburg.1.ms()), "got {}", joburg.1);
+
+        // Starlink (Fig 3a): the best site is in Europe (the PoP side of
+        // the world), at ~130-200 ms; African sites are *worse* despite
+        // being nearer, because of the post-PoP terrestrial detour.
+        let star = case_study_city(maputo, IspKind::Starlink, &cfg);
+        let best = &star[0];
+        let best_region_is_europe = matches!(
+            best.0.city.region,
+            spacecdn_terra::region::Region::WesternEurope
+                | spacecdn_terra::region::Region::EasternEurope
+        );
+        assert!(best_region_is_europe, "best site {}", best.0.city.name);
+        assert!((120.0..210.0).contains(&best.1.ms()), "got {}", best.1);
+        let cpt = star
+            .iter()
+            .find(|(s, _)| s.city.name == "Cape Town")
+            .unwrap();
+        assert!(
+            cpt.1.ms() > best.1.ms() + 40.0,
+            "Cape Town {} vs best {}",
+            cpt.1,
+            best.1
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = AimCampaign::run_for(&quick_config(), &["CY"]);
+        let b = AimCampaign::run_for(&quick_config(), &["CY"]);
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x.min_rtt_ms, y.min_rtt_ms);
+        }
+    }
+
+    #[test]
+    fn distribution_has_long_tail() {
+        let c = AimCampaign::run_for(&quick_config(), &["ES", "MZ", "KE", "DE"]);
+        let mut dist = c.rtt_distribution(IspKind::Starlink);
+        let p10 = dist.quantile(0.1).unwrap();
+        let p90 = dist.quantile(0.9).unwrap();
+        assert!(p90 > p10 * 2.0, "p10 {p10} p90 {p90}");
+    }
+}

@@ -1,0 +1,147 @@
+//! The geo-blocking experiment: how much of a country's licensed content
+//! becomes unreachable behind a foreign PoP — and how SpaceCDN fixes it.
+//!
+//! Over Starlink the enforcement point sees the PoP's IP; a SpaceCDN
+//! serving from orbit knows the terminal's physical location (Starlink
+//! terminals are GPS-pinned), so licensing can be enforced against the
+//! user's true country.
+
+use serde::Serialize;
+use spacecdn_terra::city::cities;
+use spacecdn_terra::geoblock::{check_access, AccessOutcome, LicenseScope};
+use spacecdn_terra::region::Region;
+use spacecdn_terra::starlink::{covered_countries, home_pop};
+
+/// Per-country geo-blocking summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct GeoblockStats {
+    /// Country code.
+    pub cc: &'static str,
+    /// PoP country its subscribers egress in.
+    pub pop_cc: &'static str,
+    /// Whether national-scope content is unwarrantedly blocked on Starlink.
+    pub national_content_blocked: bool,
+    /// Whether region-scope content is unwarrantedly blocked on Starlink.
+    pub regional_content_blocked: bool,
+    /// Whether the user gains wrong access to the PoP country's national
+    /// content (the mirror error).
+    pub gains_foreign_access: bool,
+}
+
+/// Evaluate geo-blocking for every covered country: each country's users
+/// request (a) their own national content and (b) their region's content,
+/// over Starlink (egress = PoP) — terrestrial users trivially pass both.
+pub fn geoblock_survey() -> Vec<GeoblockStats> {
+    let mut out = Vec::new();
+    for cc in covered_countries() {
+        // Representative city: the first (typically largest) in the country.
+        let Some(city) = cities().iter().find(|c| c.cc == cc) else {
+            continue;
+        };
+        let pop = home_pop(cc, city.position());
+        let national = LicenseScope::Countries(vec![cc]);
+        let regional = LicenseScope::Region(city.region);
+        let foreign_national = LicenseScope::Countries(vec![pop.city.cc]);
+
+        let check = |scope: &LicenseScope| {
+            check_access(
+                scope,
+                cc,
+                city.region,
+                pop.city.cc,
+                pop.city.region,
+            )
+        };
+        out.push(GeoblockStats {
+            cc,
+            pop_cc: pop.city.cc,
+            national_content_blocked: check(&national) == AccessOutcome::UnwarrantedlyBlocked,
+            regional_content_blocked: check(&regional) == AccessOutcome::UnwarrantedlyBlocked,
+            gains_foreign_access: check(&foreign_national) == AccessOutcome::WronglyAllowed,
+        });
+    }
+    out
+}
+
+/// With SpaceCDN, enforcement uses the terminal's physical country: no
+/// unwarranted blocks by construction. This helper expresses that check so
+/// experiments and docs can assert it rather than assume it.
+pub fn spacecdn_outcome(scope: &LicenseScope, user_cc: &str, user_region: Region) -> AccessOutcome {
+    check_access(scope, user_cc, user_region, user_cc, user_region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_covers_fleet() {
+        let survey = geoblock_survey();
+        assert!(survey.len() >= 50, "got {}", survey.len());
+    }
+
+    #[test]
+    fn far_homed_countries_lose_national_content() {
+        let survey = geoblock_survey();
+        for cc in ["MZ", "KE", "ZM", "CY", "HT"] {
+            let s = survey.iter().find(|s| s.cc == cc).expect("surveyed");
+            assert!(
+                s.national_content_blocked,
+                "{cc} egresses in {} and should lose national content",
+                s.pop_cc
+            );
+        }
+    }
+
+    #[test]
+    fn pop_local_countries_keep_national_content() {
+        let survey = geoblock_survey();
+        for cc in ["ES", "JP", "US", "NG", "DE"] {
+            let s = survey.iter().find(|s| s.cc == cc).expect("surveyed");
+            assert!(
+                !s.national_content_blocked,
+                "{cc} has a domestic PoP ({})",
+                s.pop_cc
+            );
+        }
+    }
+
+    #[test]
+    fn cross_region_homing_loses_regional_content() {
+        let survey = geoblock_survey();
+        // Mozambique (Africa) egresses in Germany (Western Europe).
+        let mz = survey.iter().find(|s| s.cc == "MZ").unwrap();
+        assert!(mz.regional_content_blocked);
+        assert!(mz.gains_foreign_access, "and wrongly gains German content");
+        // Eswatini egresses in Lagos: same region, so regional content
+        // survives even though national content does not.
+        let sz = survey.iter().find(|s| s.cc == "SZ").unwrap();
+        assert!(!sz.regional_content_blocked);
+        assert!(sz.national_content_blocked);
+    }
+
+    #[test]
+    fn spacecdn_never_unwarrantedly_blocks() {
+        let survey = geoblock_survey();
+        for s in &survey {
+            let city = cities().iter().find(|c| c.cc == s.cc).unwrap();
+            let national = LicenseScope::Countries(vec![s.cc]);
+            assert_eq!(
+                spacecdn_outcome(&national, s.cc, city.region),
+                AccessOutcome::Allowed,
+                "{}",
+                s.cc
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_fraction_is_substantial() {
+        // The headline number for the experiment binary: a large share of
+        // covered countries lose their own national content over Starlink.
+        let survey = geoblock_survey();
+        let blocked = survey.iter().filter(|s| s.national_content_blocked).count();
+        let frac = blocked as f64 / survey.len() as f64;
+        assert!(frac > 0.5, "blocked fraction {frac}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Output helpers shared by experiment binaries.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Render rows as an aligned plain-text table. `headers.len()` must match
+/// every row's length.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialise a value as pretty JSON into `path`.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// Render a CDF as (value, probability) rows suitable for plotting.
+pub fn cdf_rows(points: &[(f64, f64)]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|(v, p)| vec![format!("{v:.2}"), format!("{p:.4}")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["country", "rtt"],
+            &[
+                vec!["Mozambique".into(), "138.7".into()],
+                vec!["ES".into(), "33".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("country"));
+        assert!(lines[2].starts_with("Mozambique"));
+        // Columns align: "rtt" starts at the same offset in all rows.
+        let col = lines[2].find("138.7").unwrap();
+        assert_eq!(lines[3].find("33").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let _ = format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("spacecdn-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cdf_rows_format() {
+        let rows = cdf_rows(&[(10.0, 0.0), (20.5, 1.0)]);
+        assert_eq!(rows[0], vec!["10.00", "0.0000"]);
+        assert_eq!(rows[1], vec!["20.50", "1.0000"]);
+    }
+}

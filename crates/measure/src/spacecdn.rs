@@ -1,0 +1,233 @@
+//! §4 simulation drivers: hop-bounded SpaceCDN retrieval (Figure 7) and
+//! duty-cycled caches (Figure 8).
+
+use spacecdn_core::duty_cycle::DutyCycler;
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{DetRng, Latency, SimDuration, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_terra::cdn::{anycast_select, cdn_sites};
+use spacecdn_terra::city::{cities, City};
+use spacecdn_terra::starlink::{covered_countries, home_pop};
+
+/// Result of one hop-bound sweep point.
+#[derive(Debug)]
+pub struct HopBoundResult {
+    /// The ISL hop budget (the paper sweeps 1/3/5/10).
+    pub max_hops: u32,
+    /// Fetch-latency samples for requests satisfied within the budget.
+    pub latencies: Percentiles,
+    /// Requests that missed every in-budget copy (served from ground,
+    /// excluded from `latencies` — the figure conditions on "found within
+    /// n hops").
+    pub ground_fallbacks: usize,
+    /// Observed hop counts of satisfied requests.
+    pub hop_histogram: Vec<u32>,
+}
+
+/// Result of one duty-cycle sweep point.
+#[derive(Debug)]
+pub struct DutyCycleResult {
+    /// Active cache fraction.
+    pub fraction: f64,
+    /// Fetch-latency samples.
+    pub latencies: Percentiles,
+}
+
+/// Population-weighted sampler over cities in Starlink-covered countries.
+fn covered_city_sampler() -> Vec<&'static City> {
+    let covered = covered_countries();
+    let mut pool = Vec::new();
+    for c in cities() {
+        if covered.contains(&c.cc) {
+            // Weight by population bucket: one entry per ~2M people,
+            // at least one.
+            let copies = (c.population_k / 2000).max(1);
+            for _ in 0..copies {
+                pool.push(c);
+            }
+        }
+    }
+    pool
+}
+
+/// Figure 7: fetch-latency distributions when content is found within
+/// `max_hops` ISL hops, for each budget in `hop_bounds`.
+///
+/// Per trial: a random covered city requests an object whose copies are
+/// placed with [`PlacementStrategy::CoverRadius`] for the budget; the fetch
+/// resolves via the Figure 6 logic. Ground fallbacks (the random placement
+/// left a coverage hole) are counted but excluded from the latency CDF, as
+/// the figure conditions on in-space hits.
+pub fn hop_bound_experiment(
+    hop_bounds: &[u32],
+    trials_per_bound: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<HopBoundResult> {
+    let net = LsnNetwork::starlink();
+    let pool = covered_city_sampler();
+    let mut results = Vec::new();
+
+    for &max_hops in hop_bounds {
+        let mut latencies = Percentiles::new();
+        let mut fallbacks = 0usize;
+        let mut hops_seen = Vec::new();
+        for epoch in 0..epochs {
+            let t = SimTime::from_secs(epoch as u64 * 157);
+            let snap = net.snapshot(t, &FaultPlan::none());
+            let mut rng = DetRng::new(seed, &format!("fig7/{max_hops}/{epoch}"));
+            for _ in 0..trials_per_bound.div_ceil(epochs) {
+                let city = *rng.choose(&pool).expect("pool non-empty");
+                let caches =
+                    PlacementStrategy::CoverRadius { hops: max_hops }.place(net.constellation(), &mut rng);
+                // Ground fallback: the regular Starlink-CDN path.
+                let pop = home_pop(city.cc, city.position());
+                let sites = cdn_sites();
+                let fallback = snap
+                    .starlink_rtt_to_pop(city.position(), &pop, None)
+                    .map(|p| {
+                        let (_, pop_to_site) =
+                            anycast_select(pop.position(), pop.city.region, &sites, net.fiber())
+                                .expect("sites non-empty");
+                        p.rtt + pop_to_site
+                    })
+                    .unwrap_or(Latency::from_ms(300.0));
+                let cfg = RetrievalConfig {
+                    max_isl_hops: max_hops,
+                    ground_fallback_rtt: fallback,
+                };
+                let out = retrieve(
+                    snap.graph(),
+                    net.access(),
+                    city.position(),
+                    &caches,
+                    &cfg,
+                    Some(&mut rng),
+                )
+                .expect("constellation alive");
+                match out.source {
+                    RetrievalSource::Ground => fallbacks += 1,
+                    RetrievalSource::Overhead => {
+                        latencies.add(out.rtt.ms());
+                        hops_seen.push(0);
+                    }
+                    RetrievalSource::Isl { hops } => {
+                        latencies.add(out.rtt.ms());
+                        hops_seen.push(hops);
+                    }
+                }
+            }
+        }
+        results.push(HopBoundResult {
+            max_hops,
+            latencies,
+            ground_fallbacks: fallbacks,
+            hop_histogram: hops_seen,
+        });
+    }
+    results
+}
+
+/// Figure 8: fetch latencies when only `fraction` of the fleet caches at a
+/// time and the rest relay. Content is assumed resident on every *active*
+/// cache (the figure isolates the relay-distance cost of duty cycling, not
+/// content placement).
+pub fn duty_cycle_experiment(
+    fractions: &[f64],
+    trials_per_fraction: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<DutyCycleResult> {
+    let net = LsnNetwork::starlink();
+    let pool = covered_city_sampler();
+    let mut results = Vec::new();
+
+    for &fraction in fractions {
+        let cycler = DutyCycler::new(fraction, SimDuration::from_mins(10), seed);
+        let mut latencies = Percentiles::new();
+        for epoch in 0..epochs {
+            let t = SimTime::from_secs(epoch as u64 * 157);
+            let snap = net.snapshot(t, &FaultPlan::none());
+            let active = cycler.active_set(net.constellation(), t);
+            let mut rng = DetRng::new(seed, &format!("fig8/{fraction}/{epoch}"));
+            let cfg = RetrievalConfig {
+                // Generous budget: with ≥30 % active a cache is adjacent.
+                max_isl_hops: 12,
+                ground_fallback_rtt: Latency::from_ms(300.0),
+            };
+            for _ in 0..trials_per_fraction.div_ceil(epochs) {
+                let city = *rng.choose(&pool).expect("pool non-empty");
+                let out = retrieve(
+                    snap.graph(),
+                    net.access(),
+                    city.position(),
+                    &active,
+                    &cfg,
+                    Some(&mut rng),
+                )
+                .expect("constellation alive");
+                latencies.add(out.rtt.ms());
+            }
+        }
+        results.push(DutyCycleResult {
+            fraction,
+            latencies,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_ordering_and_bands() {
+        let mut results = hop_bound_experiment(&[1, 5, 10], 120, 2, 11);
+        assert_eq!(results.len(), 3);
+        let medians: Vec<f64> = results
+            .iter_mut()
+            .map(|r| r.latencies.median().expect("samples"))
+            .collect();
+        // More hop budget ⇒ farther copies allowed ⇒ higher latency.
+        assert!(medians[0] < medians[1], "{medians:?}");
+        assert!(medians[1] < medians[2], "{medians:?}");
+        // 1-hop fetches are near the pure user-link floor (~15-25 ms).
+        assert!((10.0..30.0).contains(&medians[0]), "{medians:?}");
+        // Even the 10-hop budget stays well under typical far-homed
+        // Starlink-CDN latency (~140+ ms).
+        assert!(medians[2] < 90.0, "{medians:?}");
+    }
+
+    #[test]
+    fn fig7_hop_budget_respected() {
+        let results = hop_bound_experiment(&[3], 80, 2, 13);
+        let r = &results[0];
+        assert!(r.hop_histogram.iter().all(|&h| h <= 3));
+        assert!(!r.hop_histogram.is_empty());
+    }
+
+    #[test]
+    fn fig8_duty_cycle_ordering() {
+        let mut results = duty_cycle_experiment(&[0.3, 0.8], 120, 2, 17);
+        let m30 = results[0].latencies.median().unwrap();
+        let m80 = results[1].latencies.median().unwrap();
+        // Fewer active caches ⇒ longer relays ⇒ higher latency.
+        assert!(m30 > m80, "30% {m30} vs 80% {m80}");
+        // Both stay in the tens of milliseconds (Fig 8's axis is 0-40 ms).
+        assert!(m80 > 10.0 && m30 < 60.0, "m80 {m80} m30 {m30}");
+    }
+
+    #[test]
+    fn sampler_covers_many_cities() {
+        let pool = covered_city_sampler();
+        let distinct: std::collections::BTreeSet<_> =
+            pool.iter().map(|c| c.name).collect();
+        assert!(distinct.len() > 80, "got {}", distinct.len());
+        // No uncovered countries leak in.
+        assert!(pool.iter().all(|c| c.cc != "CN"));
+    }
+}

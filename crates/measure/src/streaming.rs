@@ -1,0 +1,288 @@
+//! DASH streaming sessions as a discrete-event simulation.
+//!
+//! §3.2 warns that "latency-sensitive CDN-delivered web applications, such
+//! as live video streaming … would suffer even further as Starlink suffers
+//! from significant bufferbloat", and §4 proposes striping video across
+//! satellites. This module quantifies both: a fluid-buffer DASH player
+//! driven by the workspace's event scheduler downloads segments serially
+//! over a parameterised network path and reports startup delay, rebuffering
+//! and mean buffer level.
+
+use serde::Serialize;
+use spacecdn_des::{run_until, Scheduler};
+use spacecdn_geo::{DetRng, SimDuration, SimTime};
+
+/// The network as the player sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPath {
+    /// Request round-trip time, ms (per segment request).
+    pub rtt_ms: f64,
+    /// Sustained download throughput, Mbit/s.
+    pub throughput_mbps: f64,
+    /// Log-normal sigma of per-segment throughput variation.
+    pub throughput_sigma: f64,
+}
+
+impl StreamPath {
+    /// A far-homed Starlink bent-pipe under load: high RTT, bufferbloat
+    /// throughput swings.
+    pub fn starlink_far_homed() -> Self {
+        StreamPath {
+            rtt_ms: 150.0,
+            throughput_mbps: 40.0,
+            throughput_sigma: 0.5,
+        }
+    }
+
+    /// A SpaceCDN stripe served from the overhead satellite.
+    pub fn spacecdn_overhead() -> Self {
+        StreamPath {
+            rtt_ms: 18.0,
+            throughput_mbps: 60.0,
+            throughput_sigma: 0.3,
+        }
+    }
+}
+
+/// Player configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayerConfig {
+    /// Segment playback duration.
+    pub segment_duration: SimDuration,
+    /// Segment size, bytes (CBR).
+    pub segment_bytes: u64,
+    /// Number of segments in the session.
+    pub segments: usize,
+    /// Buffered seconds required before playback starts/resumes.
+    pub startup_buffer_s: f64,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            segment_duration: SimDuration::from_secs(4),
+            segment_bytes: 2_500_000,
+            segments: 150, // a 10-minute session
+            startup_buffer_s: 8.0,
+        }
+    }
+}
+
+/// Session quality-of-experience metrics.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SessionReport {
+    /// Time from first request to first frame, seconds.
+    pub startup_delay_s: f64,
+    /// Number of rebuffering events after startup.
+    pub rebuffer_events: u32,
+    /// Total stalled time after startup, seconds.
+    pub rebuffer_total_s: f64,
+    /// Mean buffer level while playing, seconds.
+    pub mean_buffer_s: f64,
+    /// Wall-clock session length, seconds.
+    pub session_s: f64,
+}
+
+/// Player state evolved by the event handler (fluid buffer model).
+struct Player {
+    cfg: PlayerConfig,
+    path: StreamPath,
+    buffer_s: f64,
+    playing: bool,
+    started_at: Option<f64>,
+    last_event_s: f64,
+    rebuffer_events: u32,
+    rebuffer_total_s: f64,
+    buffer_integral: f64,
+    playing_time_s: f64,
+    downloaded: usize,
+    finished_at: f64,
+}
+
+/// Events in the streaming simulation.
+enum Ev {
+    /// Segment `idx` finished downloading.
+    SegmentArrived(usize),
+}
+
+impl Player {
+    /// Advance the fluid model from `last_event_s` to `now_s`: drain the
+    /// buffer if playing, record stalls if it runs dry.
+    fn advance_to(&mut self, now_s: f64) {
+        let dt = (now_s - self.last_event_s).max(0.0);
+        if self.playing {
+            if self.buffer_s >= dt {
+                self.buffer_integral += dt * (self.buffer_s - dt / 2.0);
+                self.playing_time_s += dt;
+                self.buffer_s -= dt;
+            } else {
+                // Played out the buffer partway through the interval.
+                let play = self.buffer_s;
+                self.buffer_integral += play * play / 2.0;
+                self.playing_time_s += play;
+                self.buffer_s = 0.0;
+                self.playing = false;
+                self.rebuffer_events += 1;
+                self.rebuffer_total_s += dt - play;
+            }
+        } else if self.started_at.is_some() {
+            // Stalled (post-startup): waiting counts as rebuffering; the
+            // event counter was incremented when the stall began.
+            self.rebuffer_total_s += dt;
+        }
+        self.last_event_s = now_s;
+    }
+}
+
+/// Time to fetch one segment: a request RTT plus transfer at a sampled
+/// throughput.
+fn fetch_time(path: &StreamPath, bytes: u64, rng: &mut DetRng) -> SimDuration {
+    let mbps = rng
+        .log_normal_median(path.throughput_mbps, path.throughput_sigma)
+        .max(0.5);
+    let transfer_s = bytes as f64 * 8.0 / (mbps * 1e6);
+    SimDuration::from_secs_f64(path.rtt_ms / 1e3 + transfer_s)
+}
+
+/// Run one streaming session and report its quality of experience.
+pub fn simulate_session(path: StreamPath, cfg: PlayerConfig, seed: u64) -> SessionReport {
+    let mut rng = DetRng::new(seed, "streaming");
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let mut player = Player {
+        cfg,
+        path,
+        buffer_s: 0.0,
+        playing: false,
+        started_at: None,
+        last_event_s: 0.0,
+        rebuffer_events: 0,
+        rebuffer_total_s: 0.0,
+        buffer_integral: 0.0,
+        playing_time_s: 0.0,
+        downloaded: 0,
+        finished_at: 0.0,
+    };
+
+    // Kick off the first download.
+    let first = fetch_time(&path, cfg.segment_bytes, &mut rng);
+    sched.schedule_at(SimTime::EPOCH + first, Ev::SegmentArrived(0));
+
+    let horizon = SimTime::from_secs(24 * 3600); // generous upper bound
+    run_until(&mut player, &mut sched, horizon, |p, sched, at, ev| {
+        let Ev::SegmentArrived(idx) = ev;
+        let now_s = at.as_secs_f64();
+        let was_stalled = p.started_at.is_some() && !p.playing;
+        p.advance_to(now_s);
+        p.buffer_s += p.cfg.segment_duration.as_secs_f64();
+        p.downloaded = idx + 1;
+
+        // Start or resume playback once the buffer target is met.
+        let target = p.cfg.startup_buffer_s.min(
+            // Can't require more than what remains.
+            (p.cfg.segments - idx) as f64 * p.cfg.segment_duration.as_secs_f64(),
+        );
+        if !p.playing && p.buffer_s >= target {
+            p.playing = true;
+            if p.started_at.is_none() {
+                p.started_at = Some(now_s);
+            } else if was_stalled {
+                // Resumed after a stall; time was already accounted.
+            }
+        }
+
+        if p.downloaded < p.cfg.segments {
+            let mut local = DetRng::new(seed ^ idx as u64, "stream-seg");
+            let next = fetch_time(&p.path, p.cfg.segment_bytes, &mut local);
+            sched.schedule_after(next, Ev::SegmentArrived(idx + 1));
+        } else {
+            p.finished_at = now_s + p.buffer_s; // drain out
+            p.playing_time_s += p.buffer_s;
+            p.buffer_integral += p.buffer_s * p.buffer_s / 2.0;
+            p.buffer_s = 0.0;
+        }
+    });
+
+    SessionReport {
+        startup_delay_s: player.started_at.unwrap_or(f64::INFINITY),
+        rebuffer_events: player.rebuffer_events,
+        rebuffer_total_s: player.rebuffer_total_s,
+        mean_buffer_s: if player.playing_time_s > 0.0 {
+            player.buffer_integral / player.playing_time_s
+        } else {
+            0.0
+        },
+        session_s: player.finished_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_plays_cleanly() {
+        let report = simulate_session(StreamPath::spacecdn_overhead(), PlayerConfig::default(), 1);
+        assert!(report.startup_delay_s < 4.0, "startup {}", report.startup_delay_s);
+        assert_eq!(report.rebuffer_events, 0, "{report:?}");
+        assert!(report.session_s >= 600.0, "must play the full 10 min");
+    }
+
+    #[test]
+    fn starved_path_rebuffers() {
+        // Throughput below the bitrate (5 Mbit/s stream over ~4 Mbit/s):
+        // the player must stall repeatedly.
+        let path = StreamPath {
+            rtt_ms: 150.0,
+            throughput_mbps: 4.0,
+            throughput_sigma: 0.2,
+        };
+        let report = simulate_session(path, PlayerConfig::default(), 2);
+        assert!(report.rebuffer_events > 3, "{report:?}");
+        assert!(report.rebuffer_total_s > 30.0, "{report:?}");
+        assert!(report.session_s > 700.0, "session stretches past realtime");
+    }
+
+    #[test]
+    fn spacecdn_beats_far_homed_bent_pipe() {
+        let cfg = PlayerConfig::default();
+        let space = simulate_session(StreamPath::spacecdn_overhead(), cfg, 3);
+        let bent = simulate_session(StreamPath::starlink_far_homed(), cfg, 3);
+        assert!(space.startup_delay_s < bent.startup_delay_s);
+        assert!(space.rebuffer_total_s <= bent.rebuffer_total_s);
+    }
+
+    #[test]
+    fn startup_scales_with_rtt() {
+        let slow = StreamPath {
+            rtt_ms: 300.0,
+            throughput_mbps: 100.0,
+            throughput_sigma: 0.0,
+        };
+        let fast = StreamPath {
+            rtt_ms: 20.0,
+            throughput_mbps: 100.0,
+            throughput_sigma: 0.0,
+        };
+        let cfg = PlayerConfig::default();
+        let s = simulate_session(slow, cfg, 4);
+        let f = simulate_session(fast, cfg, 4);
+        assert!(s.startup_delay_s > f.startup_delay_s + 0.4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_session(StreamPath::starlink_far_homed(), PlayerConfig::default(), 9);
+        let b = simulate_session(StreamPath::starlink_far_homed(), PlayerConfig::default(), 9);
+        assert_eq!(a.startup_delay_s, b.startup_delay_s);
+        assert_eq!(a.rebuffer_total_s, b.rebuffer_total_s);
+    }
+
+    #[test]
+    fn session_covers_all_segments() {
+        let report = simulate_session(StreamPath::spacecdn_overhead(), PlayerConfig::default(), 5);
+        // 150 segments × 4 s = 600 s of content; the session must last at
+        // least that long (plus startup).
+        assert!(report.session_s >= 600.0);
+        assert!(report.mean_buffer_s > 0.0);
+    }
+}

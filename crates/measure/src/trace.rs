@@ -1,0 +1,162 @@
+//! RTT time series: the xeoverse-style "watch a user's latency evolve"
+//! view of the constellation.
+//!
+//! The bent-pipe RTT is not a number but a sawtooth: it drifts as serving
+//! satellites move and jumps at handovers (§2's 15-second reconfiguration
+//! cadence operates within passes; pass-to-pass handovers dominate the
+//! shape). Traces feed jitter statistics and handover counts.
+
+use serde::Serialize;
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{Geodetic, SimDuration, SimTime};
+use spacecdn_lsn::FaultPlan;
+use spacecdn_orbit::SatIndex;
+use spacecdn_terra::starlink::home_pop;
+
+/// One point of an RTT trace.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TracePoint {
+    /// Seconds since trace start.
+    pub t_s: f64,
+    /// Bent-pipe RTT to the PoP, ms.
+    pub rtt_ms: f64,
+    /// The user's serving satellite at this instant.
+    pub serving_sat: u32,
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceStats {
+    /// Number of serving-satellite changes.
+    pub handovers: u32,
+    /// Mean seconds between handovers.
+    pub mean_time_between_handovers_s: f64,
+    /// Median RTT, ms.
+    pub median_rtt_ms: f64,
+    /// p95 − p5 RTT spread, ms (the sawtooth amplitude).
+    pub rtt_spread_ms: f64,
+    /// Largest single-step RTT jump, ms.
+    pub max_jump_ms: f64,
+}
+
+/// Trace a user's bent-pipe RTT over `duration`, sampling every `step`.
+pub fn rtt_trace(
+    net: &LsnNetwork,
+    user: Geodetic,
+    cc: &str,
+    start: SimTime,
+    duration: SimDuration,
+    step: SimDuration,
+) -> Vec<TracePoint> {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let pop = home_pop(cc, user);
+    let mut out = Vec::new();
+    let mut t = start;
+    let end = start + duration;
+    while t <= end {
+        let snap = net.snapshot(t, &FaultPlan::none());
+        if let (Some((sat, _)), Some(path)) = (
+            snap.overhead_sat(user),
+            snap.starlink_rtt_to_pop(user, &pop, None),
+        ) {
+            out.push(TracePoint {
+                t_s: (t - start).as_secs_f64(),
+                rtt_ms: path.rtt.ms(),
+                serving_sat: sat_id(sat),
+            });
+        }
+        t += step;
+    }
+    out
+}
+
+fn sat_id(s: SatIndex) -> u32 {
+    s.0
+}
+
+/// Summarise a trace.
+pub fn trace_stats(trace: &[TracePoint]) -> Option<TraceStats> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let mut handovers = 0u32;
+    let mut max_jump: f64 = 0.0;
+    let mut rtts = Percentiles::new();
+    rtts.add(trace[0].rtt_ms);
+    for w in trace.windows(2) {
+        if w[0].serving_sat != w[1].serving_sat {
+            handovers += 1;
+        }
+        max_jump = max_jump.max((w[1].rtt_ms - w[0].rtt_ms).abs());
+        rtts.add(w[1].rtt_ms);
+    }
+    let span_s = trace.last().expect("non-empty").t_s - trace[0].t_s;
+    Some(TraceStats {
+        handovers,
+        mean_time_between_handovers_s: if handovers > 0 {
+            span_s / handovers as f64
+        } else {
+            span_s
+        },
+        median_rtt_ms: rtts.median().expect("samples"),
+        rtt_spread_ms: rtts.quantile(0.95).expect("samples") - rtts.quantile(0.05).expect("samples"),
+        max_jump_ms: max_jump,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_for(city: (f64, f64), cc: &str, minutes: u64) -> Vec<TracePoint> {
+        let net = LsnNetwork::starlink();
+        rtt_trace(
+            &net,
+            Geodetic::ground(city.0, city.1),
+            cc,
+            SimTime::EPOCH,
+            SimDuration::from_mins(minutes),
+            SimDuration::from_secs(15),
+        )
+    }
+
+    #[test]
+    fn trace_is_continuous_and_plausible() {
+        let trace = trace_for((40.42, -3.70), "ES", 20);
+        assert!(trace.len() >= 75, "got {} points", trace.len());
+        for p in &trace {
+            assert!((25.0..80.0).contains(&p.rtt_ms), "ES rtt {}", p.rtt_ms);
+        }
+    }
+
+    #[test]
+    fn handover_cadence_is_minutes() {
+        let trace = trace_for((51.5, -0.13), "GB", 30);
+        let stats = trace_stats(&trace).expect("stats");
+        assert!(stats.handovers >= 2, "{stats:?}");
+        assert!(
+            (30.0..600.0).contains(&stats.mean_time_between_handovers_s),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn far_homed_trace_rides_higher_with_bigger_swings() {
+        let es = trace_stats(&trace_for((40.42, -3.70), "ES", 20)).unwrap();
+        let mz = trace_stats(&trace_for((-25.97, 32.57), "MZ", 20)).unwrap();
+        assert!(mz.median_rtt_ms > es.median_rtt_ms * 2.5, "{mz:?} vs {es:?}");
+        assert!(mz.rtt_spread_ms >= es.rtt_spread_ms, "{mz:?} vs {es:?}");
+    }
+
+    #[test]
+    fn stats_of_trivial_traces() {
+        assert!(trace_stats(&[]).is_none());
+        assert!(trace_stats(&[TracePoint {
+            t_s: 0.0,
+            rtt_ms: 30.0,
+            serving_sat: 1
+        }])
+        .is_none());
+    }
+}

@@ -1,0 +1,371 @@
+//! NetMet-style web browsing measurements (Figs 4 and 5).
+//!
+//! The browser plugin records per-fetch timing: DNS lookup, TCP connect,
+//! TLS negotiation, HTTP response time (request → first byte, "HRT"), and
+//! first contentful paint (FCP). We model a landing-page fetch over either
+//! access network:
+//!
+//! ```text
+//! DNS      ≈ ½·RTT + resolver processing   (resolver sits past the PoP /
+//!                                            at the ISP edge)
+//! TCP      ≈ 1·RTT
+//! TLS 1.3  ≈ 1·RTT
+//! HRT      ≈ 1·RTT + server think time
+//! HTML     ≈ slow-start rounds·RTT + bytes/bandwidth
+//! FCP      ≈ DNS + TCP + TLS + HRT + HTML + critical-object fetches
+//!            + render time
+//! ```
+//!
+//! Every RTT exchange multiplies the access-latency gap, which is why the
+//! paper's Figure 5 sees a ~200 ms FCP penalty on Starlink even in
+//! PoP-local countries where the raw RTT gap is ~25 ms.
+
+use crate::aim::IspKind;
+use serde::Serialize;
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_des::Percentiles;
+use spacecdn_geo::{DetRng, SimTime};
+use spacecdn_lsn::{BufferbloatModel, FaultPlan};
+use spacecdn_terra::cdn::{anycast_select, cdn_sites};
+use spacecdn_terra::city::cities;
+use spacecdn_terra::region::country_last_mile_factor;
+use spacecdn_terra::starlink::home_pop;
+
+/// Structural model of a landing page.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PageModel {
+    /// HTML document size, bytes.
+    pub html_bytes: u64,
+    /// Render-blocking objects on the critical path.
+    pub critical_objects: usize,
+    /// Total bytes of those objects.
+    pub critical_bytes: u64,
+    /// Parallel connections the browser uses.
+    pub concurrency: usize,
+    /// Server think time before the first byte, ms.
+    pub server_think_ms: f64,
+    /// Client-side parse/layout/paint time, ms.
+    pub render_ms: f64,
+}
+
+impl PageModel {
+    /// A Tranco-top-20-style landing page (the NetMet workload).
+    pub fn typical_landing_page() -> Self {
+        PageModel {
+            html_bytes: 60_000,
+            critical_objects: 6,
+            critical_bytes: 900_000,
+            concurrency: 6,
+            server_think_ms: 45.0,
+            render_ms: 280.0,
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Constellation epochs to sample.
+    pub epochs: usize,
+    /// Seconds between epochs.
+    pub epoch_spacing_s: u64,
+    /// Page fetches per city per ISP per epoch.
+    pub fetches_per_epoch: usize,
+    /// Access-link utilisation (drives bufferbloat on the Starlink side).
+    pub utilization: f64,
+    /// Effective downlink bandwidth per ISP, Mbps.
+    pub starlink_mbps: f64,
+    /// Terrestrial downlink bandwidth, Mbps.
+    pub terrestrial_mbps: f64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            seed: 42,
+            epochs: 4,
+            epoch_spacing_s: 191,
+            fetches_per_epoch: 6,
+            utilization: 0.2,
+            starlink_mbps: 80.0,
+            terrestrial_mbps: 150.0,
+        }
+    }
+}
+
+/// One simulated page fetch (one NetMet record).
+#[derive(Debug, Clone, Serialize)]
+pub struct WebMeasurement {
+    /// Client city.
+    pub city: &'static str,
+    /// Country code.
+    pub cc: &'static str,
+    /// Access network.
+    pub isp: IspKind,
+    /// DNS lookup time, ms.
+    pub dns_ms: f64,
+    /// TCP connect time, ms.
+    pub connect_ms: f64,
+    /// TLS negotiation time, ms.
+    pub tls_ms: f64,
+    /// HTTP response time (request → first byte), ms.
+    pub hrt_ms: f64,
+    /// First contentful paint, ms.
+    pub fcp_ms: f64,
+}
+
+/// TCP slow-start rounds needed to move `bytes` (initcwnd 10 × MSS 1460).
+fn slow_start_rounds(bytes: u64) -> f64 {
+    let initial_window = 10.0 * 1460.0;
+    ((bytes as f64 / initial_window) + 1.0).log2().ceil().max(1.0)
+}
+
+/// Timing of one page fetch given an access RTT and bandwidth.
+fn fetch_timing(page: &PageModel, rtt_ms: f64, bandwidth_mbps: f64) -> (f64, f64, f64, f64, f64) {
+    let bw_bytes_per_ms = bandwidth_mbps * 1e6 / 8.0 / 1e3;
+    let dns = 0.5 * rtt_ms + 3.0;
+    let tcp = rtt_ms;
+    let tls = rtt_ms;
+    let hrt = rtt_ms + page.server_think_ms;
+    let html = slow_start_rounds(page.html_bytes) * rtt_ms
+        + page.html_bytes as f64 / bw_bytes_per_ms;
+    let critical_rounds = (page.critical_objects as f64 / page.concurrency as f64).ceil();
+    let critical = critical_rounds * rtt_ms + page.critical_bytes as f64 / bw_bytes_per_ms;
+    let fcp = dns + tcp + tls + hrt + html + critical + page.render_ms;
+    (dns, tcp, tls, hrt, fcp)
+}
+
+/// Run the browsing campaign for the given countries; returns one record
+/// per (city, ISP, epoch, fetch).
+pub fn browse_campaign(
+    country_codes: &[&str],
+    page: &PageModel,
+    config: &WebConfig,
+) -> Vec<WebMeasurement> {
+    let net = LsnNetwork::starlink();
+    let sites = cdn_sites();
+    let fiber = *net.fiber();
+    let bloat = BufferbloatModel::default();
+    let mut out = Vec::new();
+
+    for epoch in 0..config.epochs {
+        let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
+        let snap = net.snapshot(t, &FaultPlan::none());
+        for city in cities() {
+            if !country_codes.contains(&city.cc) {
+                continue;
+            }
+            let mut rng = DetRng::new(config.seed, &format!("web/{}/{}", city.name, epoch));
+            let (terr_site, _) = anycast_select(city.position(), city.region, &sites, &fiber)
+                .expect("site list non-empty");
+            let pop = home_pop(city.cc, city.position());
+            let (_, pop_to_site) = anycast_select(pop.position(), pop.city.region, &sites, &fiber)
+                .expect("site list non-empty");
+            let star_base = snap
+                .starlink_rtt_to_pop(city.position(), &pop, None)
+                .map(|p| p.rtt.ms() + pop_to_site.ms());
+            let terr_base = fiber
+                .wan_rtt(
+                    city.position(),
+                    city.region,
+                    terr_site.position(),
+                    terr_site.region(),
+                )
+                .ms();
+            let lm_factor = country_last_mile_factor(city.cc);
+            let access = net.access();
+
+            for _ in 0..config.fetches_per_epoch {
+                // Terrestrial fetch.
+                let lm = rng.log_normal_median(
+                    city.region.profile().last_mile_median_ms * lm_factor,
+                    city.region.profile().last_mile_sigma,
+                );
+                let t_rtt = terr_base + lm;
+                let (dns, tcp, tls, hrt, fcp) =
+                    fetch_timing(page, t_rtt, config.terrestrial_mbps);
+                out.push(WebMeasurement {
+                    city: city.name,
+                    cc: city.cc,
+                    isp: IspKind::Terrestrial,
+                    dns_ms: dns,
+                    connect_ms: tcp,
+                    tls_ms: tls,
+                    hrt_ms: hrt,
+                    fcp_ms: fcp,
+                });
+
+                // Starlink fetch: re-jittered scheduling + bufferbloat.
+                if let Some(base) = star_base {
+                    let sched =
+                        rng.log_normal_median(access.ka_sched_median_ms, access.ka_sched_sigma);
+                    let queueing = bloat.sample_delay(config.utilization, &mut rng);
+                    let s_rtt = base - access.ka_sched_median_ms + sched + queueing.ms();
+                    let (dns, tcp, tls, hrt, fcp) =
+                        fetch_timing(page, s_rtt, config.starlink_mbps);
+                    out.push(WebMeasurement {
+                        city: city.name,
+                        cc: city.cc,
+                        isp: IspKind::Starlink,
+                        dns_ms: dns,
+                        connect_ms: tcp,
+                        tls_ms: tls,
+                        hrt_ms: hrt,
+                        fcp_ms: fcp,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Figure 4's series for one country: the paired per-fetch HRT difference
+/// (Starlink − terrestrial), as a sorted sample set.
+pub fn hrt_difference(records: &[WebMeasurement], cc: &str) -> Percentiles {
+    let star: Vec<f64> = records
+        .iter()
+        .filter(|r| r.cc == cc && r.isp == IspKind::Starlink)
+        .map(|r| r.hrt_ms)
+        .collect();
+    let terr: Vec<f64> = records
+        .iter()
+        .filter(|r| r.cc == cc && r.isp == IspKind::Terrestrial)
+        .map(|r| r.hrt_ms)
+        .collect();
+    let mut p = Percentiles::new();
+    for (s, t) in star.iter().zip(&terr) {
+        p.add(s - t);
+    }
+    p
+}
+
+/// Figure 5's series: FCP sample set for one (country, ISP).
+pub fn fcp_distribution(records: &[WebMeasurement], cc: &str, isp: IspKind) -> Percentiles {
+    let mut p = Percentiles::new();
+    for r in records.iter().filter(|r| r.cc == cc && r.isp == isp) {
+        p.add(r.fcp_ms);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (Vec<WebMeasurement>, PageModel) {
+        let page = PageModel::typical_landing_page();
+        let cfg = WebConfig {
+            epochs: 3,
+            fetches_per_epoch: 4,
+            ..WebConfig::default()
+        };
+        let recs = browse_campaign(&["NG", "KE", "DE", "GB"], &page, &cfg);
+        (recs, page)
+    }
+
+    #[test]
+    fn slow_start_round_counts() {
+        assert_eq!(slow_start_rounds(1_000), 1.0);
+        assert_eq!(slow_start_rounds(14_600), 1.0);
+        assert_eq!(slow_start_rounds(29_200), 2.0);
+        assert!(slow_start_rounds(1_000_000) >= 6.0);
+    }
+
+    #[test]
+    fn timing_components_ordered() {
+        let page = PageModel::typical_landing_page();
+        let (dns, tcp, tls, hrt, fcp) = fetch_timing(&page, 30.0, 100.0);
+        assert!(dns < hrt);
+        assert_eq!(tcp, 30.0);
+        assert_eq!(tls, 30.0);
+        assert!(hrt > 70.0 && hrt < 80.0);
+        assert!(fcp > hrt + page.render_ms);
+    }
+
+    #[test]
+    fn fcp_decreases_with_bandwidth_and_rtt() {
+        let page = PageModel::typical_landing_page();
+        let (.., fcp_slow) = fetch_timing(&page, 60.0, 20.0);
+        let (.., fcp_fast) = fetch_timing(&page, 10.0, 200.0);
+        assert!(fcp_fast < fcp_slow);
+    }
+
+    #[test]
+    fn fig4_nigeria_crossover() {
+        let (recs, _) = quick();
+        // Nigeria: Starlink is mostly FASTER (negative differences).
+        let mut ng = hrt_difference(&recs, "NG");
+        assert!(
+            ng.median().unwrap() < 0.0,
+            "NG median Δ {}",
+            ng.median().unwrap()
+        );
+        // Germany and the UK: terrestrial faster by ~15-60 ms.
+        for cc in ["DE", "GB"] {
+            let mut d = hrt_difference(&recs, cc);
+            let m = d.median().unwrap();
+            assert!((10.0..70.0).contains(&m), "{cc} median Δ {m}");
+        }
+        // Kenya: terrestrial faster by large margins (~100+ ms).
+        let mut ke = hrt_difference(&recs, "KE");
+        assert!(ke.median().unwrap() > 70.0, "KE Δ {}", ke.median().unwrap());
+    }
+
+    #[test]
+    fn fig5_fcp_gap_in_de_and_gb() {
+        let (recs, _) = quick();
+        for cc in ["DE", "GB"] {
+            let mut star = fcp_distribution(&recs, cc, IspKind::Starlink);
+            let mut terr = fcp_distribution(&recs, cc, IspKind::Terrestrial);
+            let gap = star.median().unwrap() - terr.median().unwrap();
+            // Paper: median FCP higher by ≈200 ms on Starlink.
+            assert!((100.0..400.0).contains(&gap), "{cc} FCP gap {gap}");
+            // Absolute medians are sub-2s (Fig 5's axis).
+            assert!(terr.median().unwrap() < 1200.0);
+            assert!(star.median().unwrap() < 2000.0);
+        }
+    }
+
+    #[test]
+    fn bufferbloat_raises_loaded_latency() {
+        let page = PageModel::typical_landing_page();
+        let idle_cfg = WebConfig {
+            utilization: 0.0,
+            epochs: 2,
+            fetches_per_epoch: 6,
+            ..WebConfig::default()
+        };
+        let loaded_cfg = WebConfig {
+            utilization: 0.95,
+            epochs: 2,
+            fetches_per_epoch: 6,
+            ..WebConfig::default()
+        };
+        let idle = browse_campaign(&["DE"], &page, &idle_cfg);
+        let loaded = browse_campaign(&["DE"], &page, &loaded_cfg);
+        let med = |recs: &[WebMeasurement]| {
+            let mut p = Percentiles::new();
+            for r in recs.iter().filter(|r| r.isp == IspKind::Starlink) {
+                p.add(r.hrt_ms);
+            }
+            p.median().unwrap()
+        };
+        // §3.2: > 200 ms under active downloads.
+        assert!(med(&loaded) > med(&idle) + 100.0);
+    }
+
+    #[test]
+    fn campaign_deterministic() {
+        let page = PageModel::typical_landing_page();
+        let cfg = WebConfig::default();
+        let a = browse_campaign(&["GB"], &page, &cfg);
+        let b = browse_campaign(&["GB"], &page, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fcp_ms, y.fcp_ms);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests over the measurement harnesses.
+
+use proptest::prelude::*;
+use spacecdn_measure::aim::{AimCampaign, AimConfig, IspKind};
+use spacecdn_measure::streaming::{simulate_session, PlayerConfig, StreamPath};
+use spacecdn_measure::web::{browse_campaign, PageModel, WebConfig};
+
+fn small_campaign(seed: u64, scatter: f64) -> AimCampaign {
+    AimCampaign::run_for(
+        &AimConfig {
+            seed,
+            epochs: 1,
+            tests_per_epoch: 2,
+            probes_per_test: 3,
+            anycast_scatter: scatter,
+            ..AimConfig::default()
+        },
+        &["ES", "MZ"],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn aim_records_well_formed(seed in 0u64..200, scatter in 0.0f64..0.9) {
+        let campaign = small_campaign(seed, scatter);
+        for r in campaign.records() {
+            prop_assert!(r.min_rtt_ms.is_finite() && r.min_rtt_ms > 0.0);
+            prop_assert!(r.idle_rtt_ms >= r.min_rtt_ms - 1e-9,
+                "idle {} < min {}", r.idle_rtt_ms, r.min_rtt_ms);
+            prop_assert!(r.cdn_distance_km >= 0.0);
+            if !r.scattered {
+                // Optimal-mapping tests go to a plausible nearest site:
+                // Starlink distances can be continental, terrestrial ones
+                // stay regional.
+                if r.isp == IspKind::Terrestrial {
+                    prop_assert!(r.cdn_distance_km < 3000.0, "{r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aim_sampling_is_paired(seed in 0u64..200) {
+        let campaign = small_campaign(seed, 0.3);
+        let star = campaign.records().iter().filter(|r| r.isp == IspKind::Starlink).count();
+        let terr = campaign
+            .records()
+            .iter()
+            .filter(|r| r.isp == IspKind::Terrestrial)
+            .count();
+        prop_assert_eq!(star, terr);
+    }
+
+    #[test]
+    fn starlink_mozambique_always_slower_than_spain(seed in 0u64..100) {
+        let campaign = small_campaign(seed, 0.0);
+        let es = campaign.country_stats_for("ES", IspKind::Starlink).unwrap();
+        let mz = campaign.country_stats_for("MZ", IspKind::Starlink).unwrap();
+        prop_assert!(mz.median_min_rtt_ms > es.median_min_rtt_ms * 2.0,
+            "MZ {} vs ES {}", mz.median_min_rtt_ms, es.median_min_rtt_ms);
+    }
+
+    #[test]
+    fn web_fetch_components_ordered(seed in 0u64..200) {
+        let recs = browse_campaign(
+            &["DE"],
+            &PageModel::typical_landing_page(),
+            &WebConfig { seed, epochs: 1, fetches_per_epoch: 2, ..WebConfig::default() },
+        );
+        prop_assert!(!recs.is_empty());
+        for r in &recs {
+            prop_assert!(r.dns_ms > 0.0);
+            prop_assert!(r.hrt_ms > r.connect_ms, "{r:?}");
+            prop_assert!(r.fcp_ms > r.hrt_ms + 100.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_session_invariants(
+        rtt in 10.0f64..400.0,
+        mbps in 3.0f64..200.0,
+        seed in 0u64..100,
+    ) {
+        let path = StreamPath { rtt_ms: rtt, throughput_mbps: mbps, throughput_sigma: 0.3 };
+        let report = simulate_session(path, PlayerConfig::default(), seed);
+        // The session always plays out all content.
+        prop_assert!(report.session_s >= 600.0 - 1e-6);
+        prop_assert!(report.startup_delay_s.is_finite());
+        prop_assert!(report.startup_delay_s > 0.0);
+        prop_assert!(report.rebuffer_total_s >= 0.0);
+        prop_assert!(report.mean_buffer_s >= 0.0);
+        // Stalls only exist if there were stall events.
+        if report.rebuffer_events == 0 {
+            prop_assert!(report.rebuffer_total_s < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Satellite positions over time.
+//!
+//! Propagation is classical circular two-body motion. Each satellite's
+//! position in the Earth-centred *inertial* frame is a rotation of a point
+//! on a circle; converting to the Earth-*fixed* frame subtracts the Earth's
+//! rotation angle accumulated since the epoch. All downstream geometry
+//! (visibility, ISL lengths, slant ranges) works on the Earth-fixed
+//! [`Geodetic`]/ECEF positions returned here.
+
+use crate::shell::ShellConfig;
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::{Ecef, Geodetic, Km, SimTime, SIDEREAL_DAY_S};
+
+/// Index of a satellite within a constellation: flat, dense, `0..total`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SatIndex(pub u32);
+
+impl SatIndex {
+    /// Flat index as usize, for indexing into per-satellite vectors.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A propagatable Walker-delta constellation.
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    config: ShellConfig,
+    /// Per-satellite (RAAN, initial phase) in radians, precomputed.
+    elements: Vec<(f64, f64)>,
+}
+
+impl Constellation {
+    /// Build a constellation from a validated shell configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`ShellConfig::validate`]);
+    /// constructing a malformed constellation is a programming error.
+    pub fn new(config: ShellConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid shell config: {e}");
+        }
+        let p = config.plane_count;
+        let s = config.sats_per_plane;
+        let tau = std::f64::consts::TAU;
+        let mut elements = Vec::with_capacity((p * s) as usize);
+        for plane in 0..p {
+            // Walker delta: RAANs uniformly spread over the full 360°.
+            let raan = tau * plane as f64 / p as f64;
+            for slot in 0..s {
+                // In-plane spacing plus the inter-plane phasing term F.
+                let phase = tau * slot as f64 / s as f64
+                    + tau * (config.phase_factor as f64) * (plane as f64) / ((p * s) as f64);
+                elements.push((raan, phase));
+            }
+        }
+        Constellation { config, elements }
+    }
+
+    /// The shell configuration this constellation was built from.
+    pub fn config(&self) -> &ShellConfig {
+        &self.config
+    }
+
+    /// Number of satellites.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True for a zero-satellite constellation (cannot occur via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterate over all satellite indices.
+    pub fn sat_indices(&self) -> impl Iterator<Item = SatIndex> + '_ {
+        (0..self.elements.len() as u32).map(SatIndex)
+    }
+
+    /// The orbital plane (`0..plane_count`) a satellite belongs to.
+    pub fn plane_of(&self, sat: SatIndex) -> u32 {
+        sat.0 / self.config.sats_per_plane
+    }
+
+    /// The slot (`0..sats_per_plane`) of a satellite within its plane.
+    pub fn slot_of(&self, sat: SatIndex) -> u32 {
+        sat.0 % self.config.sats_per_plane
+    }
+
+    /// The satellite at (plane, slot), wrapping both indices — convenient
+    /// for "+Grid" neighbour arithmetic.
+    pub fn sat_at(&self, plane: i64, slot: i64) -> SatIndex {
+        let p = self.config.plane_count as i64;
+        let s = self.config.sats_per_plane as i64;
+        let plane = plane.rem_euclid(p) as u32;
+        let slot = slot.rem_euclid(s) as u32;
+        SatIndex(plane * self.config.sats_per_plane + slot)
+    }
+
+    /// Earth-fixed Cartesian position of a satellite at time `t`.
+    pub fn position_ecef(&self, sat: SatIndex, t: SimTime) -> Ecef {
+        let (raan, phase0) = self.elements[sat.as_usize()];
+        let tsec = t.as_secs_f64();
+        let theta = phase0 + self.config.mean_motion_rad_s() * tsec;
+        let inc = self.config.inclination_deg.to_radians();
+        let r = self.config.orbit_radius_km();
+
+        // Position on the orbit in the perifocal-like frame (circular orbit:
+        // the argument of latitude is just theta).
+        let (sin_t, cos_t) = theta.sin_cos();
+        let (sin_i, cos_i) = inc.sin_cos();
+
+        // Rotate by inclination about the line of nodes, then by RAAN about z.
+        // Earth-fixed frame: subtract the rotation angle of the Earth.
+        let earth_rot = std::f64::consts::TAU * tsec / SIDEREAL_DAY_S;
+        let lon_node = raan - earth_rot;
+        let (sin_o, cos_o) = lon_node.sin_cos();
+
+        let x_orb = cos_t;
+        let y_orb = sin_t * cos_i;
+        let z_orb = sin_t * sin_i;
+
+        Ecef {
+            x: r * (x_orb * cos_o - y_orb * sin_o),
+            y: r * (x_orb * sin_o + y_orb * cos_o),
+            z: r * z_orb,
+        }
+    }
+
+    /// Earth-fixed geodetic position (sub-satellite point + altitude).
+    pub fn position(&self, sat: SatIndex, t: SimTime) -> Geodetic {
+        self.position_ecef(sat, t).to_geodetic()
+    }
+
+    /// Positions of every satellite at `t`, indexed by [`SatIndex`].
+    pub fn snapshot_ecef(&self, t: SimTime) -> Vec<Ecef> {
+        self.sat_indices()
+            .map(|s| self.position_ecef(s, t))
+            .collect()
+    }
+
+    /// Straight-line distance between two satellites at `t` (an ISL length).
+    pub fn inter_sat_distance(&self, a: SatIndex, b: SatIndex, t: SimTime) -> Km {
+        self.position_ecef(a, t).distance(self.position_ecef(b, t))
+    }
+
+    /// The satellite whose sub-satellite point is nearest to `ground` at `t`
+    /// (the "directly overhead" satellite of §4), with its distance.
+    pub fn nearest_satellite(&self, ground: Geodetic, t: SimTime) -> (SatIndex, Km) {
+        let g = ground.to_ecef();
+        let mut best = (SatIndex(0), Km(f64::INFINITY));
+        for sat in self.sat_indices() {
+            let d = self.position_ecef(sat, t).distance(g);
+            if d.0 < best.1 .0 {
+                best = (sat, d);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shell::shells;
+    use spacecdn_geo::SimDuration;
+
+    fn shell1() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    #[test]
+    fn constellation_size() {
+        assert_eq!(shell1().len(), 1584);
+        assert_eq!(Constellation::new(shells::test_shell()).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shell config")]
+    fn invalid_config_panics() {
+        let mut c = shells::test_shell();
+        c.plane_count = 0;
+        let _ = Constellation::new(c);
+    }
+
+    #[test]
+    fn plane_slot_round_trip() {
+        let c = shell1();
+        for sat in [SatIndex(0), SatIndex(21), SatIndex(22), SatIndex(1583)] {
+            let plane = c.plane_of(sat);
+            let slot = c.slot_of(sat);
+            assert_eq!(c.sat_at(plane as i64, slot as i64), sat);
+        }
+    }
+
+    #[test]
+    fn sat_at_wraps() {
+        let c = shell1();
+        assert_eq!(c.sat_at(-1, 0), c.sat_at(71, 0));
+        assert_eq!(c.sat_at(0, -1), c.sat_at(0, 21));
+        assert_eq!(c.sat_at(72, 22), c.sat_at(0, 0));
+    }
+
+    #[test]
+    fn satellites_stay_at_altitude() {
+        let c = shell1();
+        for (i, t) in [0u64, 600, 3600, 86_400].iter().enumerate() {
+            let sat = SatIndex((i * 97 % 1584) as u32);
+            let pos = c.position(sat, SimTime::from_secs(*t));
+            assert!(
+                (pos.alt_km - 550.0).abs() < 1e-6,
+                "altitude drifted: {}",
+                pos.alt_km
+            );
+        }
+    }
+
+    #[test]
+    fn latitude_bounded_by_inclination() {
+        let c = shell1();
+        for sat in c.sat_indices().step_by(37) {
+            for m in 0..20u64 {
+                let pos = c.position(sat, SimTime::from_secs(m * 347));
+                assert!(
+                    pos.lat_deg.abs() <= 53.0 + 1e-6,
+                    "|lat| {} exceeds inclination",
+                    pos.lat_deg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn period_closes_orbit_in_inertial_frame() {
+        // After one period the satellite returns to the same inertial spot;
+        // in the Earth-fixed frame the Earth has rotated underneath, so the
+        // longitude shifts by period/sidereal-day × 360°.
+        let c = shell1();
+        let period = c.config().period_s();
+        let t0 = SimTime::EPOCH;
+        let t1 = SimTime::from_millis((period * 1000.0) as u64);
+        let p0 = c.position(SatIndex(5), t0);
+        let p1 = c.position(SatIndex(5), t1);
+        assert!((p0.lat_deg - p1.lat_deg).abs() < 0.05, "lat should recur");
+        let expected_shift = 360.0 * period / SIDEREAL_DAY_S;
+        let actual_shift = (p0.lon_deg - p1.lon_deg + 720.0) % 360.0;
+        assert!(
+            (actual_shift - expected_shift).abs() < 0.1,
+            "expected westward shift {expected_shift}, got {actual_shift}"
+        );
+    }
+
+    #[test]
+    fn motion_is_continuous() {
+        // Over 1 s a satellite moves ~7.6 km, never jumps.
+        let c = shell1();
+        let sat = SatIndex(123);
+        let mut prev = c.position_ecef(sat, SimTime::EPOCH);
+        for s in 1..=120u64 {
+            let now = c.position_ecef(sat, SimTime::from_secs(s));
+            let step = prev.distance(now).0;
+            assert!((7.0..8.2).contains(&step), "step {step} km at {s}s");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn intra_plane_neighbors_are_isl_distance_apart() {
+        // Chord between adjacent same-plane satellites of Shell 1 ≈ 1970 km
+        // (arc 1977 km), constant over time.
+        let c = shell1();
+        let a = c.sat_at(10, 3);
+        let b = c.sat_at(10, 4);
+        for t in [0u64, 1000, 5000] {
+            let d = c.inter_sat_distance(a, b, SimTime::from_secs(t)).0;
+            assert!((1940.0..1990.0).contains(&d), "got {d}");
+        }
+    }
+
+    #[test]
+    fn constellation_covers_both_hemispheres() {
+        let c = shell1();
+        let snapshot = c.snapshot_ecef(SimTime::EPOCH);
+        let north = snapshot.iter().filter(|p| p.z > 0.0).count();
+        let south = snapshot.len() - north;
+        // Walker delta is symmetric; allow mild imbalance.
+        assert!(north > 600 && south > 600, "north={north} south={south}");
+    }
+
+    #[test]
+    fn nearest_satellite_is_close_for_midlatitudes() {
+        // With 1584 satellites at 53°, any mid-latitude point has a satellite
+        // within ~1000 km slant range at all times.
+        let c = shell1();
+        let cities = [
+            Geodetic::ground(48.1, 11.6),   // Munich
+            Geodetic::ground(-25.97, 32.57), // Maputo
+            Geodetic::ground(40.7, -74.0),  // New York
+        ];
+        for t in 0..6u64 {
+            for &city in &cities {
+                let (_, d) = c.nearest_satellite(city, SimTime::from_secs(t * 600));
+                assert!(d.0 < 1100.0, "nearest sat {d} from {city}");
+                assert!(d.0 >= 550.0 - 1.0, "cannot be closer than altitude");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_satellite_changes_over_minutes() {
+        // §2: the overhead satellite changes within minutes.
+        let c = shell1();
+        let city = Geodetic::ground(51.5, -0.13); // London
+        let (s0, _) = c.nearest_satellite(city, SimTime::EPOCH);
+        let mut changed = false;
+        for m in 1..=10u64 {
+            let (s, _) = c.nearest_satellite(city, SimTime::EPOCH + SimDuration::from_mins(m));
+            if s != s0 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "overhead satellite should change within 10 min");
+    }
+}

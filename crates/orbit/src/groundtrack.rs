@@ -1,0 +1,116 @@
+//! Ground tracks: the path a satellite's sub-point traces over the Earth.
+//!
+//! Wormholing, bubble prefetch and striping all reason about *where a
+//! satellite is going*; the ground track makes that explicit. Tracks of a
+//! 53°-inclined LEO satellite are the familiar sinusoid between ±53°
+//! latitude, drifting ~24° of longitude westward per orbit as the Earth
+//! rotates underneath.
+
+use crate::ephemeris::{Constellation, SatIndex};
+use spacecdn_geo::{Geodetic, SimDuration, SimTime};
+
+/// Sample a satellite's sub-point every `step` over `duration`.
+pub fn ground_track(
+    constellation: &Constellation,
+    sat: SatIndex,
+    start: SimTime,
+    duration: SimDuration,
+    step: SimDuration,
+) -> Vec<(SimTime, Geodetic)> {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let mut out = Vec::new();
+    let mut t = start;
+    let end = start + duration;
+    while t <= end {
+        let p = constellation.position(sat, t);
+        out.push((t, Geodetic::ground(p.lat_deg, p.lon_deg)));
+        t += step;
+    }
+    out
+}
+
+/// Westward longitude drift of the ascending-node crossing per orbit,
+/// degrees (Earth rotation during one period).
+pub fn nodal_drift_deg_per_orbit(constellation: &Constellation) -> f64 {
+    360.0 * constellation.config().period_s() / spacecdn_geo::SIDEREAL_DAY_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shell::shells;
+
+    fn shell1() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    #[test]
+    fn track_stays_within_inclination_band() {
+        let c = shell1();
+        let track = ground_track(
+            &c,
+            SatIndex(100),
+            SimTime::EPOCH,
+            SimDuration::from_mins(200),
+            SimDuration::from_secs(30),
+        );
+        assert!(track.len() > 300);
+        for (_, p) in &track {
+            assert!(p.lat_deg.abs() <= 53.0 + 1e-6);
+        }
+        // The full latitude band is visited over two orbits.
+        let max_lat = track.iter().map(|(_, p)| p.lat_deg).fold(f64::MIN, f64::max);
+        let min_lat = track.iter().map(|(_, p)| p.lat_deg).fold(f64::MAX, f64::min);
+        assert!(max_lat > 52.5 && min_lat < -52.5, "{min_lat}..{max_lat}");
+    }
+
+    #[test]
+    fn track_moves_continuously() {
+        let c = shell1();
+        let track = ground_track(
+            &c,
+            SatIndex(7),
+            SimTime::EPOCH,
+            SimDuration::from_mins(10),
+            SimDuration::from_secs(10),
+        );
+        for w in track.windows(2) {
+            let d = w[0].1.great_circle_distance(w[1].1).0;
+            // Sub-point ground speed ≈ 7.1 km/s ± Earth rotation.
+            assert!((50.0..90.0).contains(&d), "step {d} km");
+        }
+    }
+
+    #[test]
+    fn nodal_drift_about_24_degrees() {
+        let drift = nodal_drift_deg_per_orbit(&shell1());
+        assert!((23.0..25.0).contains(&drift), "got {drift}");
+    }
+
+    #[test]
+    fn equator_crossings_drift_westward() {
+        // Find successive south→north equator crossings and compare their
+        // longitudes.
+        let c = shell1();
+        let track = ground_track(
+            &c,
+            SatIndex(0),
+            SimTime::EPOCH,
+            SimDuration::from_mins(200),
+            SimDuration::from_secs(5),
+        );
+        let mut crossings = Vec::new();
+        for w in track.windows(2) {
+            if w[0].1.lat_deg < 0.0 && w[1].1.lat_deg >= 0.0 {
+                crossings.push(w[1].1.lon_deg);
+            }
+        }
+        assert!(crossings.len() >= 2, "need two ascending crossings");
+        let diff = (crossings[0] - crossings[1] + 360.0) % 360.0;
+        let expected = nodal_drift_deg_per_orbit(&c);
+        assert!(
+            (diff - expected).abs() < 1.5,
+            "westward drift {diff}° vs expected {expected}°"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Walker-delta constellations and circular-orbit ephemeris.
+//!
+//! The paper simulates **Starlink Shell 1**: 72 orbital planes × 22
+//! satellites at 550 km altitude and 53° inclination. This crate provides
+//! that constellation (and arbitrary Walker-delta shells), propagates
+//! satellites on circular orbits, and answers the geometric queries the rest
+//! of the system needs:
+//!
+//! - where is satellite *s* at time *t* (Earth-fixed)?
+//! - which satellites are visible from a ground point above an elevation
+//!   mask, and which is best (highest elevation)?
+//! - how long does a pass last — the "satellite moves out of sight within
+//!   5–10 minutes" dynamic (§2) that motivates the whole SpaceCDN design?
+//!
+//! Circular two-body propagation (no J2, no drag) is sufficient: the paper's
+//! latency results depend on constellation *geometry*, not on long-term
+//! orbital evolution, and over the minutes-to-hours horizons simulated here
+//! perturbations displace satellites by far less than one ISL hop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ephemeris;
+pub mod groundtrack;
+pub mod multishell;
+pub mod shell;
+pub mod visibility;
+
+pub use ephemeris::{Constellation, SatIndex};
+pub use groundtrack::{ground_track, nodal_drift_deg_per_orbit};
+pub use multishell::{MultiConstellation, ShellSatId};
+pub use shell::{shells, ShellConfig};
+pub use visibility::{best_visible, visible_satellites, Pass, VisibilityMask};

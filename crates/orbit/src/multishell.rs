@@ -1,0 +1,254 @@
+//! Multi-shell constellations.
+//!
+//! The paper simulates Shell 1 only, but §2 notes the real fleet spans
+//! several shells (and VLEO plans). Coverage effects matter: a 53°-only
+//! fleet leaves high latitudes dark (see
+//! [`crate::visibility`]'s polar-gap test), which the 70° and 97.6° shells
+//! exist to fix. This module composes shells and answers cross-shell
+//! queries; ISLs stay *within* shells (as deployed — laser links do not
+//! cross shell boundaries).
+
+use crate::ephemeris::{Constellation, SatIndex};
+use crate::shell::ShellConfig;
+use crate::visibility::{best_visible, VisibilityMask};
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::{Geodetic, Km, SimTime};
+
+/// A satellite addressed across shells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShellSatId {
+    /// Index of the shell within the set.
+    pub shell: u8,
+    /// Satellite within that shell.
+    pub sat: SatIndex,
+}
+
+/// A set of co-operating shells.
+pub struct MultiConstellation {
+    shells: Vec<Constellation>,
+}
+
+impl MultiConstellation {
+    /// Compose shells from their configurations.
+    ///
+    /// # Panics
+    /// Panics if `configs` is empty or any config is invalid.
+    pub fn new(configs: &[ShellConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one shell");
+        MultiConstellation {
+            shells: configs.iter().map(|c| Constellation::new(*c)).collect(),
+        }
+    }
+
+    /// The 2024-era Starlink fleet: two 53°-class shells, a 70° shell and
+    /// a 97.6° polar shell (≈ 4 200 satellites — the "6 000 satellites"
+    /// figure in §2 includes spares and not-yet-operational craft).
+    pub fn starlink_2024() -> Self {
+        MultiConstellation::new(&[
+            ShellConfig {
+                altitude_km: 550.0,
+                inclination_deg: 53.0,
+                plane_count: 72,
+                sats_per_plane: 22,
+                phase_factor: 0,
+            },
+            ShellConfig {
+                altitude_km: 540.0,
+                inclination_deg: 53.2,
+                plane_count: 72,
+                sats_per_plane: 22,
+                phase_factor: 0,
+            },
+            ShellConfig {
+                altitude_km: 570.0,
+                inclination_deg: 70.0,
+                plane_count: 36,
+                sats_per_plane: 20,
+                phase_factor: 0,
+            },
+            ShellConfig {
+                altitude_km: 560.0,
+                inclination_deg: 97.6,
+                plane_count: 6,
+                sats_per_plane: 58,
+                phase_factor: 0,
+            },
+        ])
+    }
+
+    /// Number of shells.
+    pub fn shell_count(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// A shell by index.
+    pub fn shell(&self, idx: usize) -> &Constellation {
+        &self.shells[idx]
+    }
+
+    /// All shells.
+    pub fn shells(&self) -> &[Constellation] {
+        &self.shells
+    }
+
+    /// Total satellites across all shells.
+    pub fn total_sats(&self) -> usize {
+        self.shells.iter().map(Constellation::len).sum()
+    }
+
+    /// Earth-fixed position of a satellite.
+    pub fn position(&self, id: ShellSatId, t: SimTime) -> Geodetic {
+        self.shells[id.shell as usize].position(id.sat, t)
+    }
+
+    /// The nearest satellite to a ground point across every shell.
+    pub fn nearest_satellite(&self, ground: Geodetic, t: SimTime) -> (ShellSatId, Km) {
+        let mut best: Option<(ShellSatId, Km)> = None;
+        for (i, shell) in self.shells.iter().enumerate() {
+            let (sat, d) = shell.nearest_satellite(ground, t);
+            if best.is_none_or(|(_, bd)| d.0 < bd.0) {
+                best = Some((
+                    ShellSatId {
+                        shell: i as u8,
+                        sat,
+                    },
+                    d,
+                ));
+            }
+        }
+        best.expect("at least one shell")
+    }
+
+    /// The best visible satellite (highest elevation) across shells, if any.
+    pub fn best_visible(
+        &self,
+        ground: Geodetic,
+        t: SimTime,
+        mask: VisibilityMask,
+    ) -> Option<(ShellSatId, f64)> {
+        let mut best: Option<(ShellSatId, f64)> = None;
+        for (i, shell) in self.shells.iter().enumerate() {
+            if let Some((sat, elev, _)) = best_visible(shell, ground, t, mask) {
+                if best.is_none_or(|(_, be)| elev > be) {
+                    best = Some((
+                        ShellSatId {
+                            shell: i as u8,
+                            sat,
+                        },
+                        elev,
+                    ));
+                }
+            }
+        }
+        best
+    }
+
+    /// Fraction of `sample_count` instants (spaced `step_s` apart) at which
+    /// some satellite clears the mask from `ground` — the coverage metric
+    /// for the polar-gap experiment.
+    pub fn coverage_fraction(
+        &self,
+        ground: Geodetic,
+        mask: VisibilityMask,
+        sample_count: usize,
+        step_s: u64,
+    ) -> f64 {
+        if sample_count == 0 {
+            return 0.0;
+        }
+        let covered = (0..sample_count)
+            .filter(|i| {
+                self.best_visible(ground, SimTime::from_secs(*i as u64 * step_s), mask)
+                    .is_some()
+            })
+            .count();
+        covered as f64 / sample_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> MultiConstellation {
+        MultiConstellation::starlink_2024()
+    }
+
+    #[test]
+    fn fleet_size() {
+        let f = fleet();
+        assert_eq!(f.shell_count(), 4);
+        assert_eq!(f.total_sats(), 1584 + 1584 + 720 + 348);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shell")]
+    fn empty_fleet_panics() {
+        let _ = MultiConstellation::new(&[]);
+    }
+
+    #[test]
+    fn nearest_across_shells_beats_single_shell() {
+        let f = fleet();
+        let city = Geodetic::ground(48.1, 11.6);
+        let t = SimTime::from_secs(300);
+        let (_, multi) = f.nearest_satellite(city, t);
+        let (_, single) = f.shell(0).nearest_satellite(city, t);
+        assert!(multi.0 <= single.0 + 1e-9);
+    }
+
+    #[test]
+    fn polar_gap_fixed_by_polar_shell() {
+        let f = fleet();
+        let pole = Geodetic::ground(85.0, 0.0);
+        let mask = VisibilityMask::STARLINK;
+        // Shell 1 alone: nothing usable at 85°N.
+        let shell1 = MultiConstellation::new(&[*f.shell(0).config()]);
+        let alone = shell1.coverage_fraction(pole, mask, 24, 300);
+        assert!(alone < 0.05, "53° shell should not cover 85°N: {alone}");
+        // The full fleet covers it most of the time via the 97.6° shell.
+        let full = f.coverage_fraction(pole, mask, 24, 300);
+        assert!(full > 0.6, "full fleet coverage at 85°N: {full}");
+    }
+
+    #[test]
+    fn high_latitude_served_by_high_inclination_shells() {
+        let f = fleet();
+        let tromso = Geodetic::ground(69.6, 18.9);
+        let mut polar_serves = 0;
+        let mut samples = 0;
+        for i in 0..24u64 {
+            if let Some((id, _)) =
+                f.best_visible(tromso, SimTime::from_secs(i * 300), VisibilityMask::STARLINK)
+            {
+                samples += 1;
+                if id.shell >= 2 {
+                    polar_serves += 1;
+                }
+            }
+        }
+        assert!(samples >= 20, "Tromsø should be nearly always covered");
+        assert!(
+            polar_serves * 2 > samples,
+            "70°/97.6° shells should carry most Tromsø traffic ({polar_serves}/{samples})"
+        );
+    }
+
+    #[test]
+    fn midlatitude_coverage_always_on() {
+        let f = fleet();
+        let c = f.coverage_fraction(Geodetic::ground(40.0, -3.7), VisibilityMask::STARLINK, 24, 300);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn position_dispatches_to_shell() {
+        let f = fleet();
+        let id = ShellSatId {
+            shell: 3,
+            sat: SatIndex(0),
+        };
+        let p = f.position(id, SimTime::EPOCH);
+        assert!((p.alt_km - 560.0).abs() < 1e-6);
+    }
+}

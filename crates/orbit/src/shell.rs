@@ -1,0 +1,191 @@
+//! Walker-delta shell configuration.
+
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::{EARTH_MU_KM3_S2, EARTH_RADIUS_KM};
+
+/// Configuration of one Walker-delta shell.
+///
+/// A Walker-delta pattern `i: T/P/F` distributes `T` satellites over `P`
+/// equally spaced planes of inclination `i`, with `F` setting the relative
+/// phasing of satellites in adjacent planes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShellConfig {
+    /// Orbit altitude above the (spherical) surface, km.
+    pub altitude_km: f64,
+    /// Orbital inclination, degrees.
+    pub inclination_deg: f64,
+    /// Number of orbital planes `P`.
+    pub plane_count: u32,
+    /// Satellites per plane `S` (so `T = P × S`).
+    pub sats_per_plane: u32,
+    /// Walker phasing factor `F` in `[0, P)`.
+    pub phase_factor: u32,
+}
+
+impl ShellConfig {
+    /// Total number of satellites `T = P × S`.
+    pub fn total_sats(&self) -> u32 {
+        self.plane_count * self.sats_per_plane
+    }
+
+    /// Orbit radius from the Earth's centre, km.
+    pub fn orbit_radius_km(&self) -> f64 {
+        EARTH_RADIUS_KM + self.altitude_km
+    }
+
+    /// Orbital period from Kepler's third law, seconds.
+    pub fn period_s(&self) -> f64 {
+        let a = self.orbit_radius_km();
+        2.0 * std::f64::consts::PI * (a * a * a / EARTH_MU_KM3_S2).sqrt()
+    }
+
+    /// Mean motion (angular rate), radians per second.
+    pub fn mean_motion_rad_s(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.period_s()
+    }
+
+    /// Orbital speed, km/s.
+    pub fn orbital_speed_km_s(&self) -> f64 {
+        self.mean_motion_rad_s() * self.orbit_radius_km()
+    }
+
+    /// Along-orbit arc distance between adjacent satellites in the same
+    /// plane, km. This is the length of an intra-plane ISL's chord's arc —
+    /// the chord itself is slightly shorter; see
+    /// [`crate::ephemeris::Constellation`] for exact chord lengths.
+    pub fn intra_plane_spacing_km(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.orbit_radius_km() / self.sats_per_plane as f64
+    }
+
+    /// Validate structural invariants. Returns a human-readable reason on
+    /// failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.plane_count == 0 || self.sats_per_plane == 0 {
+            return Err("shell must have at least one plane and one satellite".into());
+        }
+        if !(0.0..5000.0).contains(&self.altitude_km) {
+            return Err(format!("altitude {} km is not LEO", self.altitude_km));
+        }
+        if !(0.0..=180.0).contains(&self.inclination_deg) {
+            return Err(format!("inclination {}° out of range", self.inclination_deg));
+        }
+        if self.phase_factor >= self.plane_count {
+            return Err(format!(
+                "phase factor {} must be < plane count {}",
+                self.phase_factor, self.plane_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Preset shells used in the paper and its evaluation.
+pub mod shells {
+    use super::ShellConfig;
+
+    /// Starlink Shell 1: 72 planes × 22 satellites, 550 km, 53°
+    /// (the configuration simulated in §4 of the paper, 1 584 satellites).
+    ///
+    /// The phasing factor is not publicly documented. We use F=0 (aligned
+    /// phases): the geometrically nearest satellite in the adjacent plane is
+    /// then the same-slot one and inter-plane ISLs are shortest (~600 km at
+    /// the equator, ~340 km near the turns). Larger offsets (e.g. F=39,
+    /// whose half-slot shift is sometimes seen in Hypatia configs) introduce
+    /// a slot "twist" into the +Grid that inflates north-south ISL paths
+    /// ~2×, contradicting the path lengths implied by the paper's measured
+    /// Starlink latencies (Maputo→Frankfurt ≈ 139–160 ms).
+    pub fn starlink_shell1() -> ShellConfig {
+        ShellConfig {
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            plane_count: 72,
+            sats_per_plane: 22,
+            phase_factor: 0,
+        }
+    }
+
+    /// A reduced shell for fast unit tests: 8 planes × 8 satellites, same
+    /// altitude/inclination as Shell 1.
+    pub fn test_shell() -> ShellConfig {
+        ShellConfig {
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            plane_count: 8,
+            sats_per_plane: 8,
+            phase_factor: 3,
+        }
+    }
+
+    /// A very-low-Earth-orbit shell (~340 km) of the kind Starlink plans to
+    /// densify with (§2: "including Very-Low Earth Orbits (≈300 km)").
+    pub fn starlink_vleo() -> ShellConfig {
+        ShellConfig {
+            altitude_km: 340.0,
+            inclination_deg: 53.0,
+            plane_count: 48,
+            sats_per_plane: 22,
+            phase_factor: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shell1_shape() {
+        let s = shells::starlink_shell1();
+        assert_eq!(s.total_sats(), 1584);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn shell1_period_matches_kepler() {
+        // A 550 km circular orbit has a period of ~95.6 minutes.
+        let minutes = shells::starlink_shell1().period_s() / 60.0;
+        assert!((95.0..96.5).contains(&minutes), "got {minutes}");
+    }
+
+    #[test]
+    fn shell1_orbital_speed() {
+        // LEO orbital speed is ~7.6 km/s (~27,000 km/h, as §2 notes).
+        let v = shells::starlink_shell1().orbital_speed_km_s();
+        assert!((7.5..7.7).contains(&v), "got {v}");
+        let kmh = v * 3600.0;
+        assert!((26_000.0..28_500.0).contains(&kmh), "got {kmh}");
+    }
+
+    #[test]
+    fn shell1_intra_plane_spacing() {
+        // 22 satellites around a 6921 km-radius orbit: ~1977 km apart.
+        let d = shells::starlink_shell1().intra_plane_spacing_km();
+        assert!((1950.0..2000.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn vleo_is_faster() {
+        let leo = shells::starlink_shell1();
+        let vleo = shells::starlink_vleo();
+        assert!(vleo.period_s() < leo.period_s());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut s = shells::test_shell();
+        s.plane_count = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = shells::test_shell();
+        s.altitude_km = -10.0;
+        assert!(s.validate().is_err());
+
+        let mut s = shells::test_shell();
+        s.inclination_deg = 270.0;
+        assert!(s.validate().is_err());
+
+        let mut s = shells::test_shell();
+        s.phase_factor = s.plane_count;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Ground-to-satellite visibility and pass prediction.
+//!
+//! A user terminal can only use satellites above its *elevation mask* —
+//! Starlink terminals operate down to roughly 25° (regulatory filings say
+//! 25°–40° depending on generation). The mask, together with orbital motion,
+//! produces the short visibility windows (§2: "the satellite moving out of
+//! the line-of-sight within 5–10 minutes") that make satellite-hosted
+//! caching hard and motivate the striping design of §4.
+
+use crate::ephemeris::{Constellation, SatIndex};
+use serde::{Deserialize, Serialize};
+use spacecdn_geo::{Geodetic, Km, SimDuration, SimTime};
+
+/// An elevation mask in degrees above the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisibilityMask {
+    /// Minimum usable elevation, degrees.
+    pub min_elevation_deg: f64,
+}
+
+impl VisibilityMask {
+    /// The mask used for Starlink user terminals in this reproduction (25°).
+    pub const STARLINK: VisibilityMask = VisibilityMask {
+        min_elevation_deg: 25.0,
+    };
+
+    /// A permissive mask for ground stations with clear horizons (10°).
+    pub const GROUND_STATION: VisibilityMask = VisibilityMask {
+        min_elevation_deg: 10.0,
+    };
+
+    /// Is a satellite at `sat_pos` visible from `ground` under this mask?
+    pub fn is_visible(&self, ground: Geodetic, sat_pos: Geodetic) -> bool {
+        ground.elevation_angle_deg(sat_pos) >= self.min_elevation_deg
+    }
+}
+
+/// All satellites visible from `ground` at `t`, with elevation and slant
+/// range, sorted by descending elevation (best first).
+pub fn visible_satellites(
+    constellation: &Constellation,
+    ground: Geodetic,
+    t: SimTime,
+    mask: VisibilityMask,
+) -> Vec<(SatIndex, f64, Km)> {
+    let mut out = Vec::new();
+    for sat in constellation.sat_indices() {
+        let pos = constellation.position(sat, t);
+        let elev = ground.elevation_angle_deg(pos);
+        if elev >= mask.min_elevation_deg {
+            out.push((sat, elev, ground.slant_range(pos)));
+        }
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("elevations are finite"));
+    out
+}
+
+/// The highest-elevation visible satellite, if any.
+pub fn best_visible(
+    constellation: &Constellation,
+    ground: Geodetic,
+    t: SimTime,
+    mask: VisibilityMask,
+) -> Option<(SatIndex, f64, Km)> {
+    let mut best: Option<(SatIndex, f64, Km)> = None;
+    for sat in constellation.sat_indices() {
+        let pos = constellation.position(sat, t);
+        let elev = ground.elevation_angle_deg(pos);
+        if elev >= mask.min_elevation_deg && best.is_none_or(|(_, be, _)| elev > be) {
+            best = Some((sat, elev, ground.slant_range(pos)));
+        }
+    }
+    best
+}
+
+/// One visibility pass of a satellite over a ground point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pass {
+    /// The satellite making the pass.
+    pub sat: SatIndex,
+    /// First sampled instant the satellite was above the mask.
+    pub rise: SimTime,
+    /// Last sampled instant the satellite was above the mask.
+    pub set: SimTime,
+}
+
+impl Pass {
+    /// Duration of the pass.
+    pub fn duration(&self) -> SimDuration {
+        self.set - self.rise
+    }
+}
+
+/// Predict the passes of `sat` over `ground` in `[start, start + horizon]`,
+/// sampling every `step`. Passes shorter than one step may be missed, so
+/// use steps well below the expected pass length (seconds, not minutes).
+pub fn predict_passes(
+    constellation: &Constellation,
+    sat: SatIndex,
+    ground: Geodetic,
+    mask: VisibilityMask,
+    start: SimTime,
+    horizon: SimDuration,
+    step: SimDuration,
+) -> Vec<Pass> {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let mut passes = Vec::new();
+    let mut current: Option<Pass> = None;
+    let mut t = start;
+    let end = start + horizon;
+    while t <= end {
+        let pos = constellation.position(sat, t);
+        let visible = mask.is_visible(ground, pos);
+        match (&mut current, visible) {
+            (None, true) => {
+                current = Some(Pass {
+                    sat,
+                    rise: t,
+                    set: t,
+                });
+            }
+            (Some(p), true) => p.set = t,
+            (Some(_), false) => {
+                passes.push(current.take().expect("checked some"));
+            }
+            (None, false) => {}
+        }
+        t += step;
+    }
+    if let Some(p) = current {
+        passes.push(p);
+    }
+    passes
+}
+
+/// How long the *currently best* satellite remains the best choice, sampling
+/// forward every `step` up to `horizon`. Returns `None` when nothing is
+/// visible at `start`. This drives handover logic and the striping planner.
+pub fn time_until_handover(
+    constellation: &Constellation,
+    ground: Geodetic,
+    mask: VisibilityMask,
+    start: SimTime,
+    horizon: SimDuration,
+    step: SimDuration,
+) -> Option<SimDuration> {
+    assert!(step > SimDuration::ZERO, "sampling step must be positive");
+    let (current, _, _) = best_visible(constellation, ground, start, mask)?;
+    let mut t = start + step;
+    let end = start + horizon;
+    while t <= end {
+        match best_visible(constellation, ground, t, mask) {
+            Some((best, _, _)) if best == current => t += step,
+            _ => return Some(t - start),
+        }
+    }
+    Some(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shell::shells;
+
+    fn shell1() -> Constellation {
+        Constellation::new(shells::starlink_shell1())
+    }
+
+    #[test]
+    fn some_satellite_visible_from_midlatitudes() {
+        let c = shell1();
+        let city = Geodetic::ground(48.1, 11.6); // Munich
+        for m in 0..12u64 {
+            let t = SimTime::from_secs(m * 300);
+            assert!(
+                best_visible(&c, city, t, VisibilityMask::STARLINK).is_some(),
+                "no satellite visible at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn visible_set_sorted_by_elevation() {
+        let c = shell1();
+        let v = visible_satellites(
+            &c,
+            Geodetic::ground(40.0, -3.7),
+            SimTime::EPOCH,
+            VisibilityMask::GROUND_STATION,
+        );
+        assert!(!v.is_empty());
+        for w in v.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Every listed satellite really clears the mask.
+        assert!(v.iter().all(|&(_, e, _)| e >= 10.0));
+    }
+
+    #[test]
+    fn stricter_mask_sees_fewer_satellites() {
+        let c = shell1();
+        let city = Geodetic::ground(35.7, 139.7); // Tokyo
+        let lax = visible_satellites(&c, city, SimTime::EPOCH, VisibilityMask::GROUND_STATION);
+        let strict = visible_satellites(&c, city, SimTime::EPOCH, VisibilityMask::STARLINK);
+        assert!(strict.len() <= lax.len());
+    }
+
+    #[test]
+    fn best_matches_head_of_sorted_list() {
+        let c = shell1();
+        let city = Geodetic::ground(-25.97, 32.57); // Maputo
+        let all = visible_satellites(&c, city, SimTime::EPOCH, VisibilityMask::STARLINK);
+        let best = best_visible(&c, city, SimTime::EPOCH, VisibilityMask::STARLINK);
+        match (all.first(), best) {
+            (Some(&(s, e, _)), Some((bs, be, _))) => {
+                assert_eq!(s, bs);
+                assert!((e - be).abs() < 1e-12);
+            }
+            (None, None) => {}
+            other => panic!("mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pass_durations_are_minutes_scale() {
+        // §2: satellites leave line-of-sight within 5-10 minutes. With a 25°
+        // mask passes are a few minutes long; none should exceed ~10 min.
+        let c = shell1();
+        let city = Geodetic::ground(51.5, -0.13);
+        // Find a satellite that passes overhead within the next hour.
+        let (sat, _, _) =
+            best_visible(&c, city, SimTime::EPOCH, VisibilityMask::STARLINK).expect("visible");
+        let passes = predict_passes(
+            &c,
+            sat,
+            city,
+            VisibilityMask::STARLINK,
+            SimTime::EPOCH,
+            SimDuration::from_mins(180),
+            SimDuration::from_secs(5),
+        );
+        assert!(!passes.is_empty());
+        for p in &passes {
+            let mins = p.duration().as_secs_f64() / 60.0;
+            assert!(mins <= 10.0, "pass of {mins} min is impossibly long");
+        }
+        // The pass in progress at t=0 should be a few minutes total.
+        let first = passes[0].duration().as_secs_f64() / 60.0;
+        assert!(first >= 0.5, "got {first} min");
+    }
+
+    #[test]
+    fn handover_happens_within_minutes() {
+        let c = shell1();
+        let city = Geodetic::ground(37.77, -122.42); // San Francisco
+        let d = time_until_handover(
+            &c,
+            city,
+            VisibilityMask::STARLINK,
+            SimTime::EPOCH,
+            SimDuration::from_mins(30),
+            SimDuration::from_secs(10),
+        )
+        .expect("satellite visible");
+        let mins = d.as_secs_f64() / 60.0;
+        assert!(mins <= 10.0, "best satellite persisted {mins} min");
+    }
+
+    #[test]
+    fn polar_gap_with_53_degree_shell() {
+        // 53°-inclined satellites never rise far above the horizon at the
+        // poles; with a 25° mask the pole is uncovered. (This is why real
+        // deployments add polar shells.)
+        let c = shell1();
+        let pole = Geodetic::ground(89.9, 0.0);
+        assert!(best_visible(&c, pole, SimTime::EPOCH, VisibilityMask::STARLINK).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let c = Constellation::new(shells::test_shell());
+        let _ = predict_passes(
+            &c,
+            SatIndex(0),
+            Geodetic::ground(0.0, 0.0),
+            VisibilityMask::STARLINK,
+            SimTime::EPOCH,
+            SimDuration::from_mins(1),
+            SimDuration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for constellation geometry.
+
+use proptest::prelude::*;
+use spacecdn_geo::{Geodetic, SimTime};
+use spacecdn_orbit::shell::ShellConfig;
+use spacecdn_orbit::{Constellation, SatIndex};
+
+fn arb_shell() -> impl Strategy<Value = ShellConfig> {
+    (2u32..12, 2u32..12, 300.0f64..1200.0, 40.0f64..98.0).prop_flat_map(
+        |(planes, sats, alt, inc)| {
+            (0u32..planes).prop_map(move |f| ShellConfig {
+                altitude_km: alt,
+                inclination_deg: inc,
+                plane_count: planes,
+                sats_per_plane: sats,
+                phase_factor: f,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_satellites_hold_altitude(shell in arb_shell(), t in 0u64..100_000) {
+        let c = Constellation::new(shell);
+        for sat in c.sat_indices().step_by(7) {
+            let pos = c.position(sat, SimTime::from_secs(t));
+            prop_assert!((pos.alt_km - shell.altitude_km).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn latitude_never_exceeds_inclination(shell in arb_shell(), t in 0u64..100_000) {
+        let c = Constellation::new(shell);
+        let lat_cap = if shell.inclination_deg <= 90.0 {
+            shell.inclination_deg
+        } else {
+            180.0 - shell.inclination_deg
+        };
+        for sat in c.sat_indices().step_by(5) {
+            let pos = c.position(sat, SimTime::from_secs(t));
+            prop_assert!(pos.lat_deg.abs() <= lat_cap + 1e-6);
+        }
+    }
+
+    #[test]
+    fn distinct_satellites_never_collide(shell in arb_shell(), t in 0u64..50_000) {
+        let c = Constellation::new(shell);
+        let snap = c.snapshot_ecef(SimTime::from_secs(t));
+        for i in 0..snap.len() {
+            for j in (i + 1)..snap.len() {
+                prop_assert!(snap[i].distance(snap[j]).0 > 1.0,
+                    "sats {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn inter_sat_distance_symmetric(shell in arb_shell(), t in 0u64..50_000) {
+        let c = Constellation::new(shell);
+        let a = SatIndex(0);
+        let b = SatIndex((c.len() / 2) as u32);
+        let t = SimTime::from_secs(t);
+        let ab = c.inter_sat_distance(a, b, t).0;
+        let ba = c.inter_sat_distance(b, a, t).0;
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_plane_neighbor_distance_constant(shell in arb_shell(), t1 in 0u64..50_000, t2 in 0u64..50_000) {
+        // Same-plane neighbours co-rotate: their chord never changes.
+        let c = Constellation::new(shell);
+        let a = c.sat_at(0, 0);
+        let b = c.sat_at(0, 1);
+        let d1 = c.inter_sat_distance(a, b, SimTime::from_secs(t1)).0;
+        let d2 = c.inter_sat_distance(a, b, SimTime::from_secs(t2)).0;
+        prop_assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn nearest_satellite_slant_at_least_altitude(
+        shell in arb_shell(),
+        lat in -60.0f64..60.0,
+        lon in -180.0f64..180.0,
+        t in 0u64..50_000,
+    ) {
+        let c = Constellation::new(shell);
+        let (_, d) = c.nearest_satellite(Geodetic::ground(lat, lon), SimTime::from_secs(t));
+        prop_assert!(d.0 >= shell.altitude_km - 1e-6);
+    }
+
+    #[test]
+    fn plane_slot_decomposition_consistent(shell in arb_shell()) {
+        let c = Constellation::new(shell);
+        for sat in c.sat_indices() {
+            let p = c.plane_of(sat);
+            let s = c.slot_of(sat);
+            prop_assert!(p < shell.plane_count);
+            prop_assert!(s < shell.sats_per_plane);
+            prop_assert_eq!(c.sat_at(p as i64, s as i64), sat);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! CDN sites and anycast server selection.
+//!
+//! Cloudflare announces one IP everywhere; BGP carries a client to a nearby
+//! site. To a good approximation — and to exactly the approximation the
+//! paper makes ("We use the median of the idle latencies … to determine the
+//! 'optimal' CDN server") — anycast picks the site with the lowest network
+//! latency from the client's *egress point*. For terrestrial clients the
+//! egress is the client's city; for Starlink clients it is the PoP, which
+//! is the entire effect the paper measures.
+
+use crate::city::{cities, City};
+use crate::fiber::FiberModel;
+use crate::region::Region;
+use spacecdn_geo::{Geodetic, Latency};
+
+/// A CDN point of presence (a city hosting anycast cache servers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdnSite {
+    /// The hosting city.
+    pub city: &'static City,
+}
+
+impl CdnSite {
+    /// Ground position of the site.
+    pub fn position(&self) -> Geodetic {
+        self.city.position()
+    }
+
+    /// Region of the site.
+    pub fn region(&self) -> Region {
+        self.city.region
+    }
+}
+
+/// All CDN sites in the embedded dataset (cities with `has_cdn`).
+pub fn cdn_sites() -> Vec<CdnSite> {
+    cities()
+        .iter()
+        .filter(|c| c.has_cdn)
+        .map(|city| CdnSite { city })
+        .collect()
+}
+
+/// Anycast selection: the CDN site with the lowest WAN RTT from an egress
+/// point, together with that RTT. Returns `None` only if the site list is
+/// empty. Ties (exactly equal RTT) resolve to the earlier site in the
+/// dataset for determinism.
+pub fn anycast_select(
+    egress: Geodetic,
+    egress_region: Region,
+    sites: &[CdnSite],
+    model: &FiberModel,
+) -> Option<(CdnSite, Latency)> {
+    let mut best: Option<(CdnSite, Latency)> = None;
+    for &site in sites {
+        let rtt = model.wan_rtt(egress, egress_region, site.position(), site.region());
+        if best.is_none_or(|(_, b)| rtt < b) {
+            best = Some((site, rtt));
+        }
+    }
+    best
+}
+
+/// Rank all sites by WAN RTT from an egress point, ascending; useful for the
+/// Fig 3 case study which enumerates reachable CDN locations.
+pub fn rank_sites(
+    egress: Geodetic,
+    egress_region: Region,
+    sites: &[CdnSite],
+    model: &FiberModel,
+) -> Vec<(CdnSite, Latency)> {
+    let mut ranked: Vec<(CdnSite, Latency)> = sites
+        .iter()
+        .map(|&s| {
+            let rtt = model.wan_rtt(egress, egress_region, s.position(), s.region());
+            (s, rtt)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("latencies are finite"));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::city_by_name;
+
+    #[test]
+    fn site_list_substantial() {
+        let n = cdn_sites().len();
+        assert!(n >= 90, "got {n} CDN sites");
+    }
+
+    #[test]
+    fn anycast_picks_local_site_when_present() {
+        let sites = cdn_sites();
+        let model = FiberModel::default();
+        for name in ["Frankfurt", "Maputo", "Tokyo", "Sao Paulo"] {
+            let c = city_by_name(name).unwrap();
+            let (best, rtt) = anycast_select(c.position(), c.region, &sites, &model).unwrap();
+            assert_eq!(best.city.name, name, "expected local site for {name}");
+            assert!(rtt.ms() < 1.0);
+        }
+    }
+
+    #[test]
+    fn anycast_for_lusaka_is_johannesburg() {
+        // The Table 1 mechanism: Zambia has no CDN site, so its best
+        // terrestrial CDN is Johannesburg, ~1200 km away.
+        let sites = cdn_sites();
+        let model = FiberModel::default();
+        let lusaka = city_by_name("Lusaka").unwrap();
+        let (best, _) = anycast_select(lusaka.position(), lusaka.region, &sites, &model).unwrap();
+        assert_eq!(best.city.name, "Johannesburg");
+        let d = lusaka.position().great_circle_distance(best.position()).0;
+        assert!((1000.0..1350.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn anycast_for_mbabane_is_regional() {
+        // Table 1 shows Eswatini's best terrestrial CDN ~300 km away; in our
+        // dataset the nearest sites are Maputo (~170 km) and Johannesburg
+        // (~350 km) — either is the right order of magnitude.
+        let sites = cdn_sites();
+        let model = FiberModel::default();
+        let mb = city_by_name("Mbabane").unwrap();
+        let (best, _) = anycast_select(mb.position(), mb.region, &sites, &model).unwrap();
+        assert!(
+            ["Maputo", "Johannesburg"].contains(&best.city.name),
+            "got {}",
+            best.city.name
+        );
+        let d = mb.position().great_circle_distance(best.position()).0;
+        assert!((100.0..450.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn ranking_sorted_and_complete() {
+        let sites = cdn_sites();
+        let model = FiberModel::default();
+        let mpm = city_by_name("Maputo").unwrap();
+        let ranked = rank_sites(mpm.position(), mpm.region, &sites, &model);
+        assert_eq!(ranked.len(), sites.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(ranked[0].0.city.name, "Maputo");
+    }
+
+    #[test]
+    fn empty_site_list_yields_none() {
+        let model = FiberModel::default();
+        let p = city_by_name("London").unwrap();
+        assert!(anycast_select(p.position(), p.region, &[], &model).is_none());
+    }
+}

@@ -1,0 +1,427 @@
+//! Embedded world-city dataset.
+//!
+//! ~230 cities chosen to cover every country appearing in the paper's
+//! Table 1, Figures 2–5 case studies, plus broad global coverage for the
+//! Figure 2 world map. Coordinates are city centroids (±0.1°), populations
+//! are rough metro figures in thousands used only to weight client sampling.
+//! `has_cdn` marks cities hosting a Cloudflare-style anycast CDN site; the
+//! flag assignment follows Cloudflare's published city list where the paper
+//! depends on it (e.g. Maputo **has** a site — Fig 3b — while Lusaka and
+//! Harare do not, which is what pushes Zambian terrestrial clients ~1200 km
+//! to Johannesburg in Table 1).
+
+use crate::region::Region;
+use spacecdn_geo::Geodetic;
+
+/// One city in the embedded dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// City name (unique within the dataset).
+    pub name: &'static str,
+    /// ISO-3166 alpha-2 country code.
+    pub cc: &'static str,
+    /// English country name.
+    pub country: &'static str,
+    /// Latitude, degrees north.
+    pub lat_deg: f64,
+    /// Longitude, degrees east.
+    pub lon_deg: f64,
+    /// Approximate metro population, thousands.
+    pub population_k: u32,
+    /// World region.
+    pub region: Region,
+    /// Whether a Cloudflare-style CDN site operates here.
+    pub has_cdn: bool,
+}
+
+impl City {
+    /// The city's ground position.
+    pub fn position(&self) -> Geodetic {
+        Geodetic::ground(self.lat_deg, self.lon_deg)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+const fn c(
+    name: &'static str,
+    cc: &'static str,
+    country: &'static str,
+    lat_deg: f64,
+    lon_deg: f64,
+    population_k: u32,
+    region: Region,
+    has_cdn: bool,
+) -> City {
+    City {
+        name,
+        cc,
+        country,
+        lat_deg,
+        lon_deg,
+        population_k,
+        region,
+        has_cdn,
+    }
+}
+
+use Region::*;
+
+/// The embedded city table.
+static CITY_TABLE: &[City] = &[
+    // ---- North America: United States ----
+    c("Seattle", "US", "United States", 47.61, -122.33, 4000, NorthAmerica, true),
+    c("Los Angeles", "US", "United States", 34.05, -118.24, 13200, NorthAmerica, true),
+    c("San Jose", "US", "United States", 37.34, -121.89, 2000, NorthAmerica, true),
+    c("Denver", "US", "United States", 39.74, -104.99, 2900, NorthAmerica, true),
+    c("Dallas", "US", "United States", 32.78, -96.80, 7600, NorthAmerica, true),
+    c("Chicago", "US", "United States", 41.88, -87.63, 9500, NorthAmerica, true),
+    c("New York", "US", "United States", 40.71, -74.01, 19800, NorthAmerica, true),
+    c("Ashburn", "US", "United States", 39.04, -77.49, 6300, NorthAmerica, true),
+    c("Atlanta", "US", "United States", 33.75, -84.39, 6100, NorthAmerica, true),
+    c("Miami", "US", "United States", 25.76, -80.19, 6100, NorthAmerica, true),
+    c("Phoenix", "US", "United States", 33.45, -112.07, 4900, NorthAmerica, true),
+    c("Kansas City", "US", "United States", 39.10, -94.58, 2200, NorthAmerica, true),
+    c("Boise", "US", "United States", 43.62, -116.20, 750, NorthAmerica, false),
+    c("Billings", "US", "United States", 45.78, -108.50, 120, NorthAmerica, false),
+    c("Houston", "US", "United States", 29.76, -95.37, 7300, NorthAmerica, true),
+    c("Minneapolis", "US", "United States", 44.98, -93.27, 3700, NorthAmerica, true),
+    c("Salt Lake City", "US", "United States", 40.76, -111.89, 1300, NorthAmerica, true),
+    c("Portland", "US", "United States", 45.52, -122.68, 2500, NorthAmerica, true),
+    c("Nashville", "US", "United States", 36.16, -86.78, 2100, NorthAmerica, true),
+    c("San Diego", "US", "United States", 32.72, -117.16, 3300, NorthAmerica, false),
+    // ---- North America: Canada ----
+    c("Toronto", "CA", "Canada", 43.65, -79.38, 6200, NorthAmerica, true),
+    c("Vancouver", "CA", "Canada", 49.28, -123.12, 2600, NorthAmerica, true),
+    c("Montreal", "CA", "Canada", 45.50, -73.57, 4300, NorthAmerica, true),
+    c("Calgary", "CA", "Canada", 51.05, -114.07, 1600, NorthAmerica, true),
+    c("Winnipeg", "CA", "Canada", 49.90, -97.14, 840, NorthAmerica, true),
+    c("Halifax", "CA", "Canada", 44.65, -63.57, 470, NorthAmerica, false),
+    c("Ottawa", "CA", "Canada", 45.42, -75.70, 1500, NorthAmerica, false),
+    c("Edmonton", "CA", "Canada", 53.55, -113.49, 1500, NorthAmerica, false),
+    c("Quebec City", "CA", "Canada", 46.81, -71.21, 840, NorthAmerica, false),
+    // ---- Central America & Caribbean ----
+    c("Mexico City", "MX", "Mexico", 19.43, -99.13, 21800, CentralAmerica, true),
+    c("Queretaro", "MX", "Mexico", 20.59, -100.39, 1500, CentralAmerica, true),
+    c("Monterrey", "MX", "Mexico", 25.69, -100.32, 5300, CentralAmerica, false),
+    c("Guadalajara", "MX", "Mexico", 20.66, -103.35, 5300, CentralAmerica, true),
+    c("Tijuana", "MX", "Mexico", 32.51, -117.04, 2200, CentralAmerica, false),
+    c("Merida", "MX", "Mexico", 20.97, -89.62, 1200, CentralAmerica, false),
+    c("Guatemala City", "GT", "Guatemala", 14.63, -90.51, 3000, CentralAmerica, true),
+    c("Quetzaltenango", "GT", "Guatemala", 14.83, -91.52, 250, CentralAmerica, false),
+    c("San Salvador", "SV", "El Salvador", 13.69, -89.22, 1100, CentralAmerica, false),
+    c("Tegucigalpa", "HN", "Honduras", 14.07, -87.19, 1400, CentralAmerica, true),
+    c("Managua", "NI", "Nicaragua", 12.11, -86.24, 1100, CentralAmerica, false),
+    c("San Jose CR", "CR", "Costa Rica", 9.93, -84.08, 1400, CentralAmerica, true),
+    c("Panama City", "PA", "Panama", 8.98, -79.52, 1900, CentralAmerica, true),
+    c("Port-au-Prince", "HT", "Haiti", 18.54, -72.34, 2800, CentralAmerica, true),
+    c("Cap-Haitien", "HT", "Haiti", 19.76, -72.20, 280, CentralAmerica, false),
+    c("Santo Domingo", "DO", "Dominican Republic", 18.47, -69.89, 3300, CentralAmerica, true),
+    c("Kingston", "JM", "Jamaica", 18.02, -76.80, 1200, CentralAmerica, true),
+    c("San Juan", "PR", "Puerto Rico", 18.47, -66.11, 2400, CentralAmerica, true),
+    // ---- South America ----
+    c("Bogota", "CO", "Colombia", 4.71, -74.07, 11000, SouthAmerica, true),
+    c("Medellin", "CO", "Colombia", 6.24, -75.58, 4000, SouthAmerica, true),
+    c("Quito", "EC", "Ecuador", -0.18, -78.47, 2000, SouthAmerica, true),
+    c("Lima", "PE", "Peru", -12.05, -77.04, 11000, SouthAmerica, true),
+    c("Arequipa", "PE", "Peru", -16.41, -71.54, 1100, SouthAmerica, false),
+    c("Santiago", "CL", "Chile", -33.45, -70.67, 6900, SouthAmerica, true),
+    c("Buenos Aires", "AR", "Argentina", -34.60, -58.38, 15400, SouthAmerica, true),
+    c("Cordoba", "AR", "Argentina", -31.42, -64.18, 1600, SouthAmerica, true),
+    c("Montevideo", "UY", "Uruguay", -34.90, -56.16, 1800, SouthAmerica, true),
+    c("Asuncion", "PY", "Paraguay", -25.26, -57.58, 3400, SouthAmerica, true),
+    c("La Paz", "BO", "Bolivia", -16.49, -68.12, 1900, SouthAmerica, false),
+    c("Sao Paulo", "BR", "Brazil", -23.55, -46.63, 22400, SouthAmerica, true),
+    c("Rio de Janeiro", "BR", "Brazil", -22.91, -43.17, 13600, SouthAmerica, true),
+    c("Brasilia", "BR", "Brazil", -15.79, -47.88, 4800, SouthAmerica, true),
+    c("Fortaleza", "BR", "Brazil", -3.73, -38.54, 4100, SouthAmerica, true),
+    c("Porto Alegre", "BR", "Brazil", -30.03, -51.22, 4400, SouthAmerica, true),
+    c("Manaus", "BR", "Brazil", -3.12, -60.02, 2300, SouthAmerica, false),
+    c("Recife", "BR", "Brazil", -8.05, -34.90, 4100, SouthAmerica, true),
+    c("Cali", "CO", "Colombia", 3.45, -76.53, 2800, SouthAmerica, false),
+    c("Guayaquil", "EC", "Ecuador", -2.19, -79.89, 3100, SouthAmerica, false),
+    c("Mendoza", "AR", "Argentina", -32.89, -68.84, 1200, SouthAmerica, false),
+    c("Punta Arenas", "CL", "Chile", -53.16, -70.91, 130, SouthAmerica, false),
+    c("Valparaiso", "CL", "Chile", -33.05, -71.62, 1000, SouthAmerica, false),
+    c("Santa Cruz", "BO", "Bolivia", -17.78, -63.18, 1900, SouthAmerica, true),
+    // ---- Western Europe ----
+    c("London", "GB", "United Kingdom", 51.51, -0.13, 14800, WesternEurope, true),
+    c("Manchester", "GB", "United Kingdom", 53.48, -2.24, 2800, WesternEurope, true),
+    c("Edinburgh", "GB", "United Kingdom", 55.95, -3.19, 900, WesternEurope, true),
+    c("Dublin", "IE", "Ireland", 53.35, -6.26, 2100, WesternEurope, true),
+    c("Paris", "FR", "France", 48.86, 2.35, 13000, WesternEurope, true),
+    c("Marseille", "FR", "France", 43.30, 5.37, 1900, WesternEurope, true),
+    c("Brussels", "BE", "Belgium", 50.85, 4.35, 2100, WesternEurope, true),
+    c("Amsterdam", "NL", "Netherlands", 52.37, 4.90, 2500, WesternEurope, true),
+    c("Frankfurt", "DE", "Germany", 50.11, 8.68, 2700, WesternEurope, true),
+    c("Berlin", "DE", "Germany", 52.52, 13.40, 4700, WesternEurope, true),
+    c("Munich", "DE", "Germany", 48.14, 11.58, 3000, WesternEurope, true),
+    c("Hamburg", "DE", "Germany", 53.55, 9.99, 2500, WesternEurope, true),
+    c("Zurich", "CH", "Switzerland", 47.38, 8.54, 1400, WesternEurope, true),
+    c("Vienna", "AT", "Austria", 48.21, 16.37, 2000, WesternEurope, true),
+    c("Madrid", "ES", "Spain", 40.42, -3.70, 6800, WesternEurope, true),
+    c("Barcelona", "ES", "Spain", 41.39, 2.17, 5700, WesternEurope, true),
+    c("Valencia", "ES", "Spain", 39.47, -0.38, 1600, WesternEurope, false),
+    c("Seville", "ES", "Spain", 37.39, -5.99, 1500, WesternEurope, false),
+    c("Bilbao", "ES", "Spain", 43.26, -2.93, 1000, WesternEurope, false),
+    c("Lisbon", "PT", "Portugal", 38.72, -9.14, 2900, WesternEurope, true),
+    c("Porto", "PT", "Portugal", 41.15, -8.61, 1700, WesternEurope, false),
+    c("Milan", "IT", "Italy", 45.46, 9.19, 4300, WesternEurope, true),
+    c("Rome", "IT", "Italy", 41.90, 12.50, 4300, WesternEurope, true),
+    c("Oslo", "NO", "Norway", 59.91, 10.75, 1100, WesternEurope, true),
+    c("Stockholm", "SE", "Sweden", 59.33, 18.07, 2400, WesternEurope, true),
+    c("Copenhagen", "DK", "Denmark", 55.68, 12.57, 1400, WesternEurope, true),
+    c("Helsinki", "FI", "Finland", 60.17, 24.94, 1300, WesternEurope, true),
+    c("Reykjavik", "IS", "Iceland", 64.15, -21.94, 230, WesternEurope, true),
+    c("Cologne", "DE", "Germany", 50.94, 6.96, 2100, WesternEurope, false),
+    c("Lyon", "FR", "France", 45.76, 4.84, 2300, WesternEurope, true),
+    c("Bordeaux", "FR", "France", 44.84, -0.58, 1000, WesternEurope, false),
+    c("Naples", "IT", "Italy", 40.85, 14.27, 3100, WesternEurope, false),
+    c("Turin", "IT", "Italy", 45.07, 7.69, 1700, WesternEurope, false),
+    c("Geneva", "CH", "Switzerland", 46.20, 6.14, 630, WesternEurope, true),
+    c("Gothenburg", "SE", "Sweden", 57.71, 11.97, 1100, WesternEurope, false),
+    // ---- Eastern Europe ----
+    c("Warsaw", "PL", "Poland", 52.23, 21.01, 3100, EasternEurope, true),
+    c("Krakow", "PL", "Poland", 50.06, 19.94, 1700, EasternEurope, false),
+    c("Prague", "CZ", "Czechia", 50.08, 14.44, 2700, EasternEurope, true),
+    c("Budapest", "HU", "Hungary", 47.50, 19.04, 3000, EasternEurope, true),
+    c("Bucharest", "RO", "Romania", 44.43, 26.10, 2300, EasternEurope, true),
+    c("Sofia", "BG", "Bulgaria", 42.70, 23.32, 1300, EasternEurope, true),
+    c("Athens", "GR", "Greece", 37.98, 23.73, 3600, EasternEurope, true),
+    c("Vilnius", "LT", "Lithuania", 54.69, 25.28, 700, EasternEurope, true),
+    c("Kaunas", "LT", "Lithuania", 54.90, 23.90, 380, EasternEurope, false),
+    c("Klaipeda", "LT", "Lithuania", 55.71, 21.13, 160, EasternEurope, false),
+    c("Riga", "LV", "Latvia", 56.95, 24.11, 920, EasternEurope, true),
+    c("Tallinn", "EE", "Estonia", 59.44, 24.75, 610, EasternEurope, true),
+    c("Kyiv", "UA", "Ukraine", 50.45, 30.52, 3700, EasternEurope, true),
+    c("Chisinau", "MD", "Moldova", 47.01, 28.86, 730, EasternEurope, true),
+    c("Zagreb", "HR", "Croatia", 45.81, 15.98, 1100, EasternEurope, true),
+    c("Belgrade", "RS", "Serbia", 44.79, 20.45, 1700, EasternEurope, true),
+    c("Nicosia", "CY", "Cyprus", 35.19, 33.38, 340, EasternEurope, true),
+    c("Limassol", "CY", "Cyprus", 34.71, 33.02, 240, EasternEurope, false),
+    c("Gdansk", "PL", "Poland", 54.35, 18.65, 1100, EasternEurope, false),
+    c("Lviv", "UA", "Ukraine", 49.84, 24.03, 720, EasternEurope, false),
+    c("Odesa", "UA", "Ukraine", 46.48, 30.73, 1000, EasternEurope, false),
+    c("Brno", "CZ", "Czechia", 49.20, 16.61, 380, EasternEurope, false),
+    // ---- Middle East & North Africa ----
+    c("Istanbul", "TR", "Turkey", 41.01, 28.98, 15800, MiddleEast, true),
+    c("Tel Aviv", "IL", "Israel", 32.09, 34.78, 4400, MiddleEast, true),
+    c("Dubai", "AE", "United Arab Emirates", 25.20, 55.27, 3600, MiddleEast, true),
+    c("Riyadh", "SA", "Saudi Arabia", 24.71, 46.68, 7700, MiddleEast, true),
+    c("Doha", "QA", "Qatar", 25.29, 51.53, 2400, MiddleEast, true),
+    c("Amman", "JO", "Jordan", 31.95, 35.93, 2200, MiddleEast, true),
+    c("Muscat", "OM", "Oman", 23.59, 58.41, 1600, MiddleEast, true),
+    c("Cairo", "EG", "Egypt", 30.04, 31.24, 21800, MiddleEast, true),
+    c("Casablanca", "MA", "Morocco", 33.57, -7.59, 3800, MiddleEast, true),
+    c("Tunis", "TN", "Tunisia", 36.81, 10.18, 2400, MiddleEast, true),
+    c("Algiers", "DZ", "Algeria", 36.75, 3.06, 2800, MiddleEast, true),
+    c("Ankara", "TR", "Turkey", 39.93, 32.86, 5700, MiddleEast, false),
+    c("Jeddah", "SA", "Saudi Arabia", 21.49, 39.19, 4700, MiddleEast, true),
+    c("Alexandria", "EG", "Egypt", 31.20, 29.92, 5500, MiddleEast, false),
+    // ---- Sub-Saharan Africa ----
+    c("Lagos", "NG", "Nigeria", 6.52, 3.38, 15400, Africa, true),
+    c("Abuja", "NG", "Nigeria", 9.06, 7.49, 3800, Africa, false),
+    c("Ibadan", "NG", "Nigeria", 7.38, 3.95, 3800, Africa, false),
+    c("Port Harcourt", "NG", "Nigeria", 4.82, 7.05, 3500, Africa, false),
+    c("Accra", "GH", "Ghana", 5.60, -0.19, 2600, Africa, true),
+    c("Abidjan", "CI", "Ivory Coast", 5.36, -4.01, 5600, Africa, false),
+    c("Dakar", "SN", "Senegal", 14.72, -17.47, 3300, Africa, true),
+    c("Bamako", "ML", "Mali", 12.64, -8.00, 2900, Africa, false),
+    c("Douala", "CM", "Cameroon", 4.05, 9.70, 3900, Africa, false),
+    c("Kinshasa", "CD", "DR Congo", -4.44, 15.27, 16000, Africa, true),
+    c("Luanda", "AO", "Angola", -8.84, 13.23, 9000, Africa, true),
+    c("Nairobi", "KE", "Kenya", -1.29, 36.82, 5100, Africa, true),
+    c("Mombasa", "KE", "Kenya", -4.04, 39.66, 1400, Africa, true),
+    c("Kisumu", "KE", "Kenya", -0.09, 34.77, 600, Africa, false),
+    c("Addis Ababa", "ET", "Ethiopia", 9.02, 38.75, 5500, Africa, false),
+    c("Kampala", "UG", "Uganda", 0.35, 32.58, 3700, Africa, true),
+    c("Kigali", "RW", "Rwanda", -1.95, 30.06, 1300, Africa, true),
+    c("Dar es Salaam", "TZ", "Tanzania", -6.79, 39.21, 7400, Africa, true),
+    c("Dodoma", "TZ", "Tanzania", -6.16, 35.75, 770, Africa, false),
+    c("Lusaka", "ZM", "Zambia", -15.39, 28.32, 3200, Africa, false),
+    c("Ndola", "ZM", "Zambia", -12.97, 28.64, 630, Africa, false),
+    c("Harare", "ZW", "Zimbabwe", -17.83, 31.05, 2200, Africa, false),
+    c("Lilongwe", "MW", "Malawi", -13.96, 33.79, 1200, Africa, false),
+    c("Maputo", "MZ", "Mozambique", -25.97, 32.57, 1800, Africa, true),
+    c("Beira", "MZ", "Mozambique", -19.84, 34.84, 600, Africa, false),
+    c("Nampula", "MZ", "Mozambique", -15.12, 39.27, 760, Africa, false),
+    c("Mbabane", "SZ", "Eswatini", -26.31, 31.14, 95, Africa, false),
+    c("Manzini", "SZ", "Eswatini", -26.49, 31.38, 110, Africa, false),
+    c("Gaborone", "BW", "Botswana", -24.65, 25.91, 280, Africa, false),
+    c("Windhoek", "NA", "Namibia", -22.56, 17.08, 430, Africa, false),
+    c("Johannesburg", "ZA", "South Africa", -26.20, 28.05, 10000, Africa, true),
+    c("Cape Town", "ZA", "South Africa", -33.92, 18.42, 4800, Africa, true),
+    c("Durban", "ZA", "South Africa", -29.86, 31.02, 3200, Africa, true),
+    c("Antananarivo", "MG", "Madagascar", -18.88, 47.51, 3700, Africa, true),
+    c("Kumasi", "GH", "Ghana", 6.69, -1.62, 3500, Africa, false),
+    c("Pretoria", "ZA", "South Africa", -25.75, 28.19, 2800, Africa, false),
+    c("Port Elizabeth", "ZA", "South Africa", -33.96, 25.60, 1300, Africa, false),
+    c("Mwanza", "TZ", "Tanzania", -2.52, 32.90, 1200, Africa, false),
+    // ---- South Asia ----
+    c("Mumbai", "IN", "India", 19.08, 72.88, 21300, SouthAsia, true),
+    c("Delhi", "IN", "India", 28.61, 77.21, 32900, SouthAsia, true),
+    c("Bangalore", "IN", "India", 12.97, 77.59, 13600, SouthAsia, true),
+    c("Chennai", "IN", "India", 13.08, 80.27, 11800, SouthAsia, true),
+    c("Karachi", "PK", "Pakistan", 24.86, 67.01, 17200, SouthAsia, true),
+    c("Dhaka", "BD", "Bangladesh", 23.81, 90.41, 23200, SouthAsia, true),
+    c("Colombo", "LK", "Sri Lanka", 6.93, 79.85, 2500, SouthAsia, true),
+    c("Hyderabad", "IN", "India", 17.39, 78.49, 10500, SouthAsia, true),
+    c("Kolkata", "IN", "India", 22.57, 88.36, 15100, SouthAsia, true),
+    c("Lahore", "PK", "Pakistan", 31.52, 74.36, 13500, SouthAsia, false),
+    // ---- East Asia ----
+    c("Tokyo", "JP", "Japan", 35.68, 139.69, 37300, EastAsia, true),
+    c("Osaka", "JP", "Japan", 34.69, 135.50, 19000, EastAsia, true),
+    c("Sapporo", "JP", "Japan", 43.06, 141.35, 2700, EastAsia, false),
+    c("Fukuoka", "JP", "Japan", 33.59, 130.40, 5500, EastAsia, true),
+    c("Nagoya", "JP", "Japan", 35.18, 136.91, 9500, EastAsia, false),
+    c("Seoul", "KR", "South Korea", 37.57, 126.98, 25500, EastAsia, true),
+    c("Busan", "KR", "South Korea", 35.18, 129.08, 3400, EastAsia, true),
+    c("Taipei", "TW", "Taiwan", 25.03, 121.57, 7000, EastAsia, true),
+    c("Hong Kong", "HK", "Hong Kong", 22.32, 114.17, 7500, EastAsia, true),
+    c("Shanghai", "CN", "China", 31.23, 121.47, 28500, EastAsia, true),
+    c("Beijing", "CN", "China", 39.90, 116.41, 21500, EastAsia, true),
+    c("Ulaanbaatar", "MN", "Mongolia", 47.89, 106.91, 1600, EastAsia, false),
+    // ---- Southeast Asia ----
+    c("Singapore", "SG", "Singapore", 1.35, 103.82, 6000, SoutheastAsia, true),
+    c("Kuala Lumpur", "MY", "Malaysia", 3.139, 101.69, 8400, SoutheastAsia, true),
+    c("Jakarta", "ID", "Indonesia", -6.21, 106.85, 34500, SoutheastAsia, true),
+    c("Bangkok", "TH", "Thailand", 13.76, 100.50, 17000, SoutheastAsia, true),
+    c("Manila", "PH", "Philippines", 14.60, 120.98, 24300, SoutheastAsia, true),
+    c("Cebu", "PH", "Philippines", 10.32, 123.89, 3000, SoutheastAsia, true),
+    c("Ho Chi Minh City", "VN", "Vietnam", 10.82, 106.63, 9300, SoutheastAsia, true),
+    c("Hanoi", "VN", "Vietnam", 21.03, 105.85, 5300, SoutheastAsia, true),
+    c("Phnom Penh", "KH", "Cambodia", 11.56, 104.92, 2300, SoutheastAsia, true),
+    // ---- Oceania ----
+    c("Sydney", "AU", "Australia", -33.87, 151.21, 5400, Oceania, true),
+    c("Melbourne", "AU", "Australia", -37.81, 144.96, 5200, Oceania, true),
+    c("Brisbane", "AU", "Australia", -27.47, 153.03, 2600, Oceania, true),
+    c("Perth", "AU", "Australia", -31.95, 115.86, 2100, Oceania, true),
+    c("Adelaide", "AU", "Australia", -34.93, 138.60, 1400, Oceania, true),
+    c("Auckland", "NZ", "New Zealand", -36.85, 174.76, 1700, Oceania, true),
+    c("Wellington", "NZ", "New Zealand", -41.29, 174.78, 420, Oceania, false),
+    c("Christchurch", "NZ", "New Zealand", -43.53, 172.64, 400, Oceania, true),
+    c("Suva", "FJ", "Fiji", -18.14, 178.44, 200, Oceania, false),
+    c("Port Moresby", "PG", "Papua New Guinea", -9.44, 147.18, 400, Oceania, false),
+    c("Darwin", "AU", "Australia", -12.46, 130.84, 150, Oceania, false),
+    c("Hobart", "AU", "Australia", -42.88, 147.33, 250, Oceania, false),
+    c("Dunedin", "NZ", "New Zealand", -45.87, 170.50, 130, Oceania, false),
+    // ---- additional East/Southeast Asia ----
+    c("Hiroshima", "JP", "Japan", 34.39, 132.46, 1400, EastAsia, false),
+    c("Sendai", "JP", "Japan", 38.27, 140.87, 2300, EastAsia, false),
+    c("Surabaya", "ID", "Indonesia", -7.25, 112.75, 10000, SoutheastAsia, false),
+    c("Chiang Mai", "TH", "Thailand", 18.79, 98.98, 1200, SoutheastAsia, false),
+    c("Davao", "PH", "Philippines", 7.07, 125.61, 1800, SoutheastAsia, false),
+    c("Da Nang", "VN", "Vietnam", 16.05, 108.21, 1200, SoutheastAsia, false),
+];
+
+/// All cities in the dataset.
+pub fn cities() -> &'static [City] {
+    CITY_TABLE
+}
+
+/// All cities in a country (by ISO alpha-2 code, case-sensitive uppercase).
+pub fn cities_in_country(cc: &str) -> Vec<&'static City> {
+    CITY_TABLE.iter().filter(|c| c.cc == cc).collect()
+}
+
+/// Look up a city by its (unique) name.
+pub fn city_by_name(name: &str) -> Option<&'static City> {
+    CITY_TABLE.iter().find(|c| c.name == name)
+}
+
+/// Every distinct country code in the dataset, sorted.
+pub fn country_codes() -> Vec<&'static str> {
+    let mut ccs: Vec<&'static str> = CITY_TABLE.iter().map(|c| c.cc).collect();
+    ccs.sort_unstable();
+    ccs.dedup();
+    ccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_size() {
+        assert!(cities().len() >= 150, "got {}", cities().len());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = cities().iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate city names");
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for c in cities() {
+            assert!((-90.0..=90.0).contains(&c.lat_deg), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.lon_deg), "{}", c.name);
+            assert!(c.population_k > 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn table1_countries_present() {
+        // Every country in the paper's Table 1 must be represented.
+        for cc in ["GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"] {
+            assert!(!cities_in_country(cc).is_empty(), "missing {cc}");
+        }
+    }
+
+    #[test]
+    fn fig4_countries_present() {
+        for cc in ["NG", "KE", "DE", "US", "CA", "GB"] {
+            assert!(cities_in_country(cc).len() >= 3, "need several cities in {cc}");
+        }
+    }
+
+    #[test]
+    fn fig3_cdn_sites_exist() {
+        // The Maputo case study requires these CDN cities.
+        for name in ["Maputo", "Johannesburg", "Cape Town", "Lisbon", "Frankfurt"] {
+            let city = city_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(city.has_cdn, "{name} must host a CDN site");
+        }
+    }
+
+    #[test]
+    fn zambia_and_eswatini_have_no_cdn() {
+        // Table 1 shape: Zambian/Swazi clients travel to Johannesburg.
+        for cc in ["ZM", "SZ", "ZW"] {
+            assert!(
+                cities_in_country(cc).iter().all(|c| !c.has_cdn),
+                "{cc} must have no CDN site"
+            );
+        }
+    }
+
+    #[test]
+    fn known_distances_sane() {
+        let lusaka = city_by_name("Lusaka").unwrap().position();
+        let joburg = city_by_name("Johannesburg").unwrap().position();
+        let d = lusaka.great_circle_distance(joburg).0;
+        assert!((1000.0..1350.0).contains(&d), "Lusaka-Joburg {d} km");
+
+        let maputo = city_by_name("Maputo").unwrap().position();
+        let fra = city_by_name("Frankfurt").unwrap().position();
+        let d2 = maputo.great_circle_distance(fra).0;
+        assert!((8300.0..8900.0).contains(&d2), "Maputo-Frankfurt {d2} km");
+    }
+
+    #[test]
+    fn country_codes_cover_55_plus() {
+        // The paper analyses Starlink measurements from 55 countries; our
+        // dataset must offer comparable breadth.
+        assert!(country_codes().len() >= 55, "got {}", country_codes().len());
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        assert_eq!(city_by_name("Maputo").unwrap().cc, "MZ");
+        assert!(city_by_name("Atlantis").is_none());
+        assert_eq!(cities_in_country("JP").len(), 7);
+    }
+}

@@ -1,0 +1,267 @@
+//! Terrestrial wide-area latency model.
+//!
+//! RTT between two ground points is modelled as
+//!
+//! ```text
+//! rtt = 2 × gc_distance × inflation / c_fiber     (propagation)
+//!     + peering_overhead(src region, dst region)  (routers / IXPs)
+//!     [+ last-mile access, client side only]
+//! ```
+//!
+//! where `inflation` is the worse of the two endpoint regions' route
+//! inflation factors (a path into a poorly provisioned region detours like
+//! one), and crossing a region boundary adds both regions' peering
+//! overheads. The last mile is sampled log-normally per measurement, giving
+//! the long right tails real speed tests show.
+
+use crate::region::Region;
+use spacecdn_geo::propagation::fiber_route_delay;
+use spacecdn_geo::{DetRng, Geodetic, Km, Latency};
+
+/// Parameters of the terrestrial model; [`FiberModel::default`] is the
+/// calibrated configuration used by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct FiberModel {
+    /// Multiplier applied on top of the per-region inflation (sensitivity
+    /// knob for ablations; 1.0 in the calibrated model).
+    pub extra_inflation: f64,
+    /// Minimum RTT floor for any path, ms (kernel + NIC + serialisation).
+    pub floor_ms: f64,
+    /// Inflation of the long-haul trunk portion of a route. Submarine
+    /// cables and backbone fibre are far straighter than regional networks:
+    /// London↔New York measures ~70 ms RTT against a 54.6 ms great-circle
+    /// fibre bound, i.e. inflation ≈ 1.3.
+    pub long_haul_inflation: f64,
+    /// Length of the regional (fully inflated) portion at each route's
+    /// ends, km; distance beyond it rides the long-haul trunk.
+    pub regional_km: f64,
+}
+
+impl Default for FiberModel {
+    fn default() -> Self {
+        FiberModel {
+            extra_inflation: 1.0,
+            floor_ms: 0.3,
+            long_haul_inflation: 1.3,
+            regional_km: 1500.0,
+        }
+    }
+}
+
+impl FiberModel {
+    /// Effective route inflation for a path of great-circle length `gc_km`
+    /// whose worse endpoint region inflates by `regional_inflation`: the
+    /// first [`Self::regional_km`] kilometres pay the regional factor, the
+    /// remainder rides the long-haul trunk. Continuous in `gc_km`.
+    fn effective_inflation(&self, gc_km: f64, regional_inflation: f64) -> f64 {
+        if gc_km <= 0.0 {
+            return regional_inflation;
+        }
+        let regional_part = gc_km.min(self.regional_km);
+        let trunk_part = (gc_km - self.regional_km).max(0.0);
+        (regional_part * regional_inflation + trunk_part * self.long_haul_inflation) / gc_km
+    }
+
+    /// Deterministic wide-area RTT between two ground points (no last mile,
+    /// no noise): the "idle" network baseline.
+    pub fn wan_rtt(
+        &self,
+        a: Geodetic,
+        a_region: Region,
+        b: Geodetic,
+        b_region: Region,
+    ) -> Latency {
+        let gc = a.great_circle_distance(b);
+        let regional = a_region
+            .profile()
+            .route_inflation
+            .max(b_region.profile().route_inflation)
+            * self.extra_inflation;
+        let inflation = self.effective_inflation(gc.0, regional);
+        let prop = fiber_route_delay(gc, inflation).round_trip();
+        let peering = if gc.0 < 30.0 {
+            // Same metro: traffic stays inside one IXP.
+            Latency::from_ms(0.2)
+        } else {
+            Latency::from_ms(
+                a_region.profile().peering_overhead_ms + b_region.profile().peering_overhead_ms,
+            )
+        };
+        (prop + peering).max(Latency::from_ms(self.floor_ms))
+    }
+
+    /// One sampled client-observed RTT: WAN baseline plus a log-normal
+    /// last-mile draw for the client's access network.
+    pub fn client_rtt_sample(
+        &self,
+        client: Geodetic,
+        client_region: Region,
+        server: Geodetic,
+        server_region: Region,
+        rng: &mut DetRng,
+    ) -> Latency {
+        let base = self.wan_rtt(client, client_region, server, server_region);
+        let p = client_region.profile();
+        let last_mile = rng.log_normal_median(p.last_mile_median_ms, p.last_mile_sigma);
+        base + Latency::from_ms(last_mile)
+    }
+
+    /// Median client RTT (WAN baseline + median last mile), no sampling.
+    pub fn client_rtt_median(
+        &self,
+        client: Geodetic,
+        client_region: Region,
+        server: Geodetic,
+        server_region: Region,
+    ) -> Latency {
+        let base = self.wan_rtt(client, client_region, server, server_region);
+        base + Latency::from_ms(client_region.profile().last_mile_median_ms)
+    }
+
+    /// Great-circle distance helper, exposed for distance columns (Table 1).
+    pub fn distance(&self, a: Geodetic, b: Geodetic) -> Km {
+        a.great_circle_distance(b)
+    }
+}
+
+/// Convenience: deterministic WAN RTT with the calibrated default model.
+pub fn fiber_rtt(a: Geodetic, a_region: Region, b: Geodetic, b_region: Region) -> Latency {
+    FiberModel::default().wan_rtt(a, a_region, b, b_region)
+}
+
+/// Convenience: median client RTT with the calibrated default model.
+pub fn client_rtt(
+    client: Geodetic,
+    client_region: Region,
+    server: Geodetic,
+    server_region: Region,
+) -> Latency {
+    FiberModel::default().client_rtt_median(client, client_region, server, server_region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::city_by_name;
+
+    fn pos(name: &str) -> (Geodetic, Region) {
+        let c = city_by_name(name).unwrap();
+        (c.position(), c.region)
+    }
+
+    #[test]
+    fn same_city_hits_floor_plus_metro() {
+        let (p, r) = pos("Frankfurt");
+        let rtt = fiber_rtt(p, r, p, r);
+        assert!(rtt.ms() < 1.0, "intra-metro WAN RTT {rtt}");
+    }
+
+    #[test]
+    fn european_city_pair_band() {
+        // Frankfurt <-> London (~640 km) is ~10-16 ms RTT in the wild.
+        let (fra, fr) = pos("Frankfurt");
+        let (lon, lr) = pos("London");
+        let rtt = fiber_rtt(fra, fr, lon, lr).ms();
+        assert!((8.0..18.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn transatlantic_band() {
+        // London <-> New York is ~70-80 ms RTT.
+        let (lon, lr) = pos("London");
+        let (nyc, nr) = pos("New York");
+        let rtt = fiber_rtt(lon, lr, nyc, nr).ms();
+        assert!((60.0..95.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn african_detour_band() {
+        // Maputo <-> Cape Town over terrestrial African routes: the paper's
+        // Fig 3 shows African CDN sites at ~70 ms from Maputo terrestrially.
+        let (mpm, mr) = pos("Maputo");
+        let (cpt, cr) = pos("Cape Town");
+        let rtt = fiber_rtt(mpm, mr, cpt, cr).ms();
+        assert!((30.0..80.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn zambia_to_joburg_matches_table1_band() {
+        // Table 1: Zambia terrestrial ~44 ms to its best CDN (Johannesburg).
+        let (lus, lr) = pos("Lusaka");
+        let (jnb, jr) = pos("Johannesburg");
+        let rtt = client_rtt(lus, lr, jnb, jr).ms();
+        assert!((30.0..60.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn client_rtt_adds_last_mile() {
+        let (mad, mr) = pos("Madrid");
+        let (bcn, br) = pos("Barcelona");
+        let wan = fiber_rtt(mad, mr, bcn, br);
+        let cli = client_rtt(mad, mr, bcn, br);
+        assert!(cli.ms() > wan.ms() + 2.0);
+    }
+
+    #[test]
+    fn sampled_rtt_is_noisy_but_floored() {
+        let (nai, nr) = pos("Nairobi");
+        let (mba, mr) = pos("Mombasa");
+        let wan = fiber_rtt(nai, nr, mba, mr);
+        let mut rng = DetRng::new(1, "fiber-test");
+        let m = FiberModel::default();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let s = m.client_rtt_sample(nai, nr, mba, mr, &mut rng);
+            assert!(s.ms() > wan.ms(), "sample below WAN baseline");
+            distinct.insert((s.ms() * 1000.0) as i64);
+        }
+        assert!(distinct.len() > 40, "samples should vary");
+    }
+
+    #[test]
+    fn symmetry() {
+        let (a, ar) = pos("Lima");
+        let (b, br) = pos("Bogota");
+        assert_eq!(fiber_rtt(a, ar, b, br), fiber_rtt(b, br, a, ar));
+    }
+
+    #[test]
+    fn worse_region_dominates_inflation() {
+        // Same distance, but a path touching Africa inflates more than an
+        // intra-European one.
+        let (lon, _) = pos("London");
+        let (fra, _) = pos("Frankfurt");
+        let eu = fiber_rtt(lon, Region::WesternEurope, fra, Region::WesternEurope);
+        let af = fiber_rtt(lon, Region::WesternEurope, fra, Region::Africa);
+        assert!(af.ms() > eu.ms());
+    }
+
+    #[test]
+    fn effective_inflation_blends_continuously() {
+        let m = FiberModel::default();
+        // Short routes pay the full regional factor.
+        assert!((m.effective_inflation(500.0, 2.4) - 2.4).abs() < 1e-9);
+        assert!((m.effective_inflation(1500.0, 2.4) - 2.4).abs() < 1e-9);
+        // Long routes converge towards the trunk factor.
+        let long = m.effective_inflation(15_000.0, 2.4);
+        assert!(long < 1.45, "got {long}");
+        assert!(long > m.long_haul_inflation);
+        // Monotone non-increasing in distance.
+        let mut last = f64::INFINITY;
+        for d in [100.0, 1000.0, 2000.0, 4000.0, 8000.0, 16_000.0] {
+            let e = m.effective_inflation(d, 2.0);
+            assert!(e <= last + 1e-9);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn submarine_trunk_matches_known_pairs() {
+        // Nairobi/Mombasa to Frankfurt rides SEACOM/EASSy + Europe trunks:
+        // ~95-115 ms RTT in the wild.
+        let (nbo, nr) = pos("Nairobi");
+        let (fra, fr) = pos("Frankfurt");
+        let rtt = fiber_rtt(nbo, nr, fra, fr).ms();
+        assert!((85.0..115.0).contains(&rtt), "got {rtt}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Geo-blocking: licensing enforcement by egress IP geolocation.
+//!
+//! §1–2: "Starlink subscribers experience unwarranted geo-blocking from
+//! CDNs when their connections are routed to PoPs deployed in countries
+//! where the requested content is geo-blocked" (and cruise-ship reports of
+//! Netflix/YouTube refusing to play). The mechanism is mundane: services
+//! geolocate the client's *public IP*, and a Starlink user's public IP
+//! belongs to the PoP's country, not their own.
+
+use crate::region::Region;
+use serde::Serialize;
+
+/// Where a piece of content may legally be served.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum LicenseScope {
+    /// Available everywhere.
+    Global,
+    /// Available in exactly these countries (national sports rights,
+    /// catalogue carve-outs, public broadcasters).
+    Countries(Vec<&'static str>),
+    /// Available across one world region (regional streaming launches).
+    Region(Region),
+}
+
+impl LicenseScope {
+    /// May this content be served to a client whose IP geolocates to
+    /// (`egress_cc`, `egress_region`)?
+    pub fn permits(&self, egress_cc: &str, egress_region: Region) -> bool {
+        match self {
+            LicenseScope::Global => true,
+            LicenseScope::Countries(ccs) => ccs.contains(&egress_cc),
+            LicenseScope::Region(r) => *r == egress_region,
+        }
+    }
+}
+
+/// The outcome of a licensing check for one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AccessOutcome {
+    /// Served normally.
+    Allowed,
+    /// Blocked even though the user is physically inside the licensed
+    /// area — the paper's "unwarranted geo-blocking" (egress mismatch).
+    UnwarrantedlyBlocked,
+    /// Blocked, and correctly so (the user really is outside the area).
+    CorrectlyBlocked,
+    /// Served, but the user is actually outside the licensed area (the
+    /// mirror error: egress inside, user outside — the "VPN effect").
+    WronglyAllowed,
+}
+
+/// Evaluate IP-geolocation enforcement for a user physically in
+/// (`user_cc`, `user_region`) whose traffic egresses at
+/// (`egress_cc`, `egress_region`).
+pub fn check_access(
+    scope: &LicenseScope,
+    user_cc: &str,
+    user_region: Region,
+    egress_cc: &str,
+    egress_region: Region,
+) -> AccessOutcome {
+    let user_entitled = scope.permits(user_cc, user_region);
+    let egress_permitted = scope.permits(egress_cc, egress_region);
+    match (user_entitled, egress_permitted) {
+        (true, true) => AccessOutcome::Allowed,
+        (true, false) => AccessOutcome::UnwarrantedlyBlocked,
+        (false, false) => AccessOutcome::CorrectlyBlocked,
+        (false, true) => AccessOutcome::WronglyAllowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_content_never_blocks() {
+        let s = LicenseScope::Global;
+        assert_eq!(
+            check_access(&s, "MZ", Region::Africa, "DE", Region::WesternEurope),
+            AccessOutcome::Allowed
+        );
+    }
+
+    #[test]
+    fn national_content_blocks_on_egress_mismatch() {
+        // Mozambican national content, Mozambican user — but the egress IP
+        // is German, so the service says no. The paper's complaint.
+        let s = LicenseScope::Countries(vec!["MZ"]);
+        assert_eq!(
+            check_access(&s, "MZ", Region::Africa, "DE", Region::WesternEurope),
+            AccessOutcome::UnwarrantedlyBlocked
+        );
+        // A terrestrial user in the same city is fine.
+        assert_eq!(
+            check_access(&s, "MZ", Region::Africa, "MZ", Region::Africa),
+            AccessOutcome::Allowed
+        );
+    }
+
+    #[test]
+    fn the_mirror_error_exists_too() {
+        // German national content, Mozambican user behind the Frankfurt
+        // PoP: wrongly allowed.
+        let s = LicenseScope::Countries(vec!["DE"]);
+        assert_eq!(
+            check_access(&s, "MZ", Region::Africa, "DE", Region::WesternEurope),
+            AccessOutcome::WronglyAllowed
+        );
+    }
+
+    #[test]
+    fn regional_scope_uses_regions() {
+        let s = LicenseScope::Region(Region::Africa);
+        // Kenyan user egressing in Frankfurt loses African-regional content.
+        assert_eq!(
+            check_access(&s, "KE", Region::Africa, "DE", Region::WesternEurope),
+            AccessOutcome::UnwarrantedlyBlocked
+        );
+        // Nigerian user egressing in Lagos keeps it.
+        assert_eq!(
+            check_access(&s, "NG", Region::Africa, "NG", Region::Africa),
+            AccessOutcome::Allowed
+        );
+    }
+
+    #[test]
+    fn correctly_blocked_when_truly_outside() {
+        let s = LicenseScope::Countries(vec!["JP"]);
+        assert_eq!(
+            check_access(&s, "MZ", Region::Africa, "DE", Region::WesternEurope),
+            AccessOutcome::CorrectlyBlocked
+        );
+    }
+}

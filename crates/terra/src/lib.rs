@@ -1,0 +1,34 @@
+//! Terrestrial Internet model: cities, regions, fibre latency, CDN anycast,
+//! and the Starlink ground segment (PoPs + country homing).
+//!
+//! The paper's measurement study compares, per city, the latency to the
+//! "optimal" (anycast-nearest) Cloudflare CDN server over a terrestrial ISP
+//! versus over Starlink. Reproducing that requires a model of
+//!
+//! - where clients are ([`city`]: an embedded world-city dataset),
+//! - how fast terrestrial paths are ([`fiber`]: great-circle distance ×
+//!   region-dependent route inflation over fibre, plus last-mile access),
+//! - where CDN servers are ([`cdn`]: a Cloudflare-style site list with
+//!   anycast selection),
+//! - where Starlink touches the ground ([`starlink`]: the 22 operational
+//!   2024 PoPs and the country → PoP homing the paper's Table 1 implies).
+//!
+//! All data is embedded as `const` tables: no files, no network, fully
+//! deterministic. Coordinates are approximate city centroids; populations
+//! are rough metro figures used only to weight client sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdn;
+pub mod city;
+pub mod fiber;
+pub mod geoblock;
+pub mod region;
+pub mod starlink;
+
+pub use cdn::{anycast_select, cdn_sites, CdnSite};
+pub use city::{cities, cities_in_country, city_by_name, City};
+pub use fiber::{client_rtt, fiber_rtt, FiberModel};
+pub use region::{NetworkProfile, Region};
+pub use starlink::{gateways, home_pop, starlink_pops, Gateway, StarlinkPop};

@@ -1,0 +1,366 @@
+//! The Starlink ground segment: PoPs and country → PoP homing.
+//!
+//! Starlink assigns each subscriber country to a point of presence where
+//! traffic gets its public IP and enters the Internet (§2). Figure 2 of the
+//! paper shows "the currently 22 operational Starlink PoP locations"; this
+//! module embeds a 22-PoP list consistent with public trackers of the 2024
+//! network, and a homing table *reconstructed from the paper's own Table 1
+//! distances* — e.g. Mozambique/Kenya/Zambia home to Frankfurt (~8800/6300/
+//! 7500 km), Rwanda and Eswatini to Lagos (~3800/4700 km), Haiti to Ashburn
+//! (~2100 km), Guatemala to Querétaro (~1200 km).
+//!
+//! Countries with several PoPs (US) home to the nearest one; countries not
+//! explicitly listed fall back to the geographically nearest PoP, which is
+//! how Starlink onboards new markets before dedicated infrastructure lands.
+
+use crate::city::{city_by_name, City};
+use spacecdn_geo::Geodetic;
+
+/// A Starlink point of presence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarlinkPop {
+    /// City hosting the PoP (also used as the egress for CDN anycast).
+    pub city: &'static City,
+}
+
+impl StarlinkPop {
+    /// Ground position of the PoP.
+    pub fn position(&self) -> Geodetic {
+        self.city.position()
+    }
+}
+
+/// Host-city names of the 22 operational 2024 PoPs.
+const POP_CITY_NAMES: [&str; 22] = [
+    "Seattle",
+    "Los Angeles",
+    "Denver",
+    "Dallas",
+    "Chicago",
+    "Ashburn",
+    "Atlanta",
+    "Queretaro",
+    "Lima",
+    "Santiago",
+    "Sao Paulo",
+    "London",
+    "Frankfurt",
+    "Madrid",
+    "Milan",
+    "Warsaw",
+    "Lagos",
+    "Tokyo",
+    "Sydney",
+    "Auckland",
+    "Singapore",
+    "Manila",
+];
+
+/// The 22 operational Starlink PoPs.
+pub fn starlink_pops() -> Vec<StarlinkPop> {
+    POP_CITY_NAMES
+        .iter()
+        .map(|name| StarlinkPop {
+            city: city_by_name(name).expect("PoP city must exist in dataset"),
+        })
+        .collect()
+}
+
+/// Explicit country → PoP-city homing. `None` for a country means
+/// "nearest PoP" (used for the US and any unlisted country).
+fn homing_rule(cc: &str) -> Option<&'static str> {
+    Some(match cc {
+        // Canada homes to nearby US PoPs (handled as nearest), Mexico and
+        // Central America to Querétaro.
+        "MX" | "GT" | "SV" | "HN" | "NI" | "CR" | "PA" | "BZ" => "Queretaro",
+        // Caribbean to Ashburn (per Table 1: Haiti ≈ 2060 km).
+        "HT" | "DO" | "JM" | "PR" | "BS" | "TT" => "Ashburn",
+        // Andean South America to Lima.
+        "CO" | "EC" | "PE" | "BO" => "Lima",
+        // Southern cone to Santiago; Brazil to São Paulo.
+        "CL" | "AR" | "PY" | "UY" => "Santiago",
+        "BR" => "Sao Paulo",
+        // Northwestern Europe to London.
+        "GB" | "IE" | "IS" => "London",
+        // Central/Northern Europe and the Baltics to Frankfurt (Table 1:
+        // Lithuania ≈ 1240 km ⇒ Frankfurt, not Warsaw).
+        "DE" | "NL" | "BE" | "LU" | "CH" | "AT" | "DK" | "NO" | "SE" | "FI" | "CZ" | "LT"
+        | "LV" | "EE" => "Frankfurt",
+        // Iberia to Madrid.
+        "ES" | "PT" => "Madrid",
+        // France, Italy and the central Mediterranean to Milan; Cyprus to
+        // Frankfurt (Table 1: ≈ 2600 km ⇒ Frankfurt, not Milan).
+        "FR" | "IT" | "GR" | "HR" | "SI" | "MT" | "RS" => "Milan",
+        "CY" => "Frankfurt",
+        // Eastern Europe to Warsaw.
+        "PL" | "UA" | "RO" | "BG" | "HU" | "SK" | "MD" => "Warsaw",
+        // West Africa to Lagos; Rwanda and Eswatini also home to Lagos
+        // (Table 1: ≈ 3760 / 4730 km ⇒ Lagos, not Frankfurt).
+        "NG" | "GH" | "CI" | "SN" | "ML" | "NE" | "CM" | "CD" | "BJ" | "TG" | "RW" | "SZ" => {
+            "Lagos"
+        }
+        // Southern/Eastern Africa routes over ISLs to Frankfurt — the
+        // paper's headline finding (§2 citing [39]; Table 1: Mozambique
+        // ≈ 8780 km, Kenya ≈ 6310 km, Zambia ≈ 7550 km).
+        "MZ" | "KE" | "ZM" | "MW" | "TZ" | "ZW" | "BW" | "NA" | "ZA" | "MG" | "UG" | "AO" => {
+            "Frankfurt"
+        }
+        // Middle East & North Africa (where served) to Milan or Frankfurt.
+        "EG" | "TN" | "MA" | "DZ" | "IL" | "JO" | "TR" => "Milan",
+        "AE" | "SA" | "QA" | "OM" => "Frankfurt",
+        // Asia-Pacific.
+        "JP" | "KR" => "Tokyo",
+        "PH" => "Manila",
+        "MY" | "SG" | "ID" | "TH" | "VN" | "KH" => "Singapore",
+        "AU" | "PG" => "Sydney",
+        "NZ" | "FJ" => "Auckland",
+        // India homes to Singapore pending local infrastructure.
+        "IN" | "LK" | "BD" | "PK" => "Singapore",
+        _ => return None,
+    })
+}
+
+/// The PoP a subscriber in country `cc` at `position` egresses through.
+///
+/// Countries with an explicit homing rule use it; everything else (including
+/// the multi-PoP US and Canada) picks the geographically nearest PoP.
+pub fn home_pop(cc: &str, position: Geodetic) -> StarlinkPop {
+    let pops = starlink_pops();
+    if let Some(city_name) = homing_rule(cc) {
+        return *pops
+            .iter()
+            .find(|p| p.city.name == city_name)
+            .expect("homing rule must reference a PoP city");
+    }
+    *pops
+        .iter()
+        .min_by(|a, b| {
+            let da = position.great_circle_distance(a.position()).0;
+            let db = position.great_circle_distance(b.position()).0;
+            da.partial_cmp(&db).expect("distances are finite")
+        })
+        .expect("PoP list is non-empty")
+}
+
+/// Host-city names of gateway (ground station) sites.
+///
+/// Starlink operates ~150 gateways; we embed ~40 representative ones. The
+/// crucial modelling facts, both load-bearing for the paper's Table 1, are:
+/// (i) well-served regions have gateways near their PoPs, and (ii) Nigeria
+/// and Kenya gained local gateways in 2023 while **southern Africa has
+/// none** — Mozambican, Zambian and Swazi traffic must ride ISLs to another
+/// country before touching ground.
+const GATEWAY_CITY_NAMES: [&str; 41] = [
+    "Seattle",
+    "Los Angeles",
+    "Denver",
+    "Dallas",
+    "Chicago",
+    "Ashburn",
+    "Atlanta",
+    "Miami",
+    "Kansas City",
+    "Phoenix",
+    "Vancouver",
+    "Toronto",
+    "Queretaro",
+    "Guadalajara",
+    "Lima",
+    "Santiago",
+    "Sao Paulo",
+    "Porto Alegre",
+    "Fortaleza",
+    "Bogota",
+    "London",
+    "Manchester",
+    "Frankfurt",
+    "Hamburg",
+    "Munich",
+    "Madrid",
+    "Seville",
+    "Milan",
+    "Rome",
+    "Warsaw",
+    "Lagos",
+    "Nairobi",
+    "Tokyo",
+    "Osaka",
+    "Sydney",
+    "Perth",
+    "Brisbane",
+    "Auckland",
+    "Christchurch",
+    "Singapore",
+    "Manila",
+];
+
+/// A Starlink gateway (ground station) site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gateway {
+    /// City the gateway is modelled at.
+    pub city: &'static City,
+}
+
+impl Gateway {
+    /// Ground position of the gateway.
+    pub fn position(&self) -> Geodetic {
+        self.city.position()
+    }
+}
+
+/// The embedded gateway sites.
+pub fn gateways() -> Vec<Gateway> {
+    GATEWAY_CITY_NAMES
+        .iter()
+        .map(|name| Gateway {
+            city: city_by_name(name).expect("gateway city must exist in dataset"),
+        })
+        .collect()
+}
+
+/// True if Starlink service is modelled as available in `cc` (an explicit
+/// homing rule exists, or the country hosts a PoP).
+pub fn has_starlink_coverage(cc: &str) -> bool {
+    if homing_rule(cc).is_some() || cc == "US" || cc == "CA" {
+        return true;
+    }
+    starlink_pops().iter().any(|p| p.city.cc == cc)
+}
+
+/// Every covered country code present in the city dataset, sorted.
+pub fn covered_countries() -> Vec<&'static str> {
+    let mut ccs: Vec<&'static str> = crate::city::country_codes()
+        .into_iter()
+        .filter(|cc| has_starlink_coverage(cc))
+        .collect();
+    ccs.sort_unstable();
+    ccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_pops() {
+        let pops = starlink_pops();
+        assert_eq!(pops.len(), 22);
+        let mut names: Vec<_> = pops.iter().map(|p| p.city.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22, "PoP cities must be distinct");
+    }
+
+    fn homed_distance_km(client_city: &str) -> (String, f64) {
+        let c = city_by_name(client_city).unwrap();
+        let pop = home_pop(c.cc, c.position());
+        let d = c.position().great_circle_distance(pop.position()).0;
+        (pop.city.name.to_string(), d)
+    }
+
+    #[test]
+    fn table1_homing_distances() {
+        // (client city, expected PoP, paper's distance band ±25%)
+        let cases = [
+            ("Guatemala City", "Queretaro", 1220.9),
+            ("Maputo", "Frankfurt", 8776.5),
+            ("Nicosia", "Frankfurt", 2595.3),
+            ("Mbabane", "Lagos", 4731.6),
+            ("Port-au-Prince", "Ashburn", 2063.2),
+            ("Nairobi", "Frankfurt", 6310.8),
+            ("Lusaka", "Frankfurt", 7545.9),
+            ("Kigali", "Lagos", 3762.8),
+            ("Vilnius", "Frankfurt", 1243.2),
+        ];
+        for (city, expected_pop, paper_km) in cases {
+            let (pop, d) = homed_distance_km(city);
+            assert_eq!(pop, expected_pop, "{city}");
+            assert!(
+                (d - paper_km).abs() / paper_km < 0.25,
+                "{city}: model {d:.0} km vs paper {paper_km} km"
+            );
+        }
+    }
+
+    #[test]
+    fn local_pop_countries_have_short_homing() {
+        // Spain and Japan have local PoPs: Table 1 shows tens of km.
+        for (city, pop) in [("Madrid", "Madrid"), ("Tokyo", "Tokyo")] {
+            let (got, d) = homed_distance_km(city);
+            assert_eq!(got, pop);
+            assert!(d < 50.0, "{city} homed {d} km away");
+        }
+    }
+
+    #[test]
+    fn us_uses_nearest_pop() {
+        let seattle = city_by_name("Seattle").unwrap();
+        assert_eq!(home_pop("US", seattle.position()).city.name, "Seattle");
+        let miami = city_by_name("Miami").unwrap();
+        assert_eq!(home_pop("US", miami.position()).city.name, "Atlanta");
+        let nyc = city_by_name("New York").unwrap();
+        assert_eq!(home_pop("US", nyc.position()).city.name, "Ashburn");
+    }
+
+    #[test]
+    fn canada_homes_to_nearby_us_pops() {
+        let vancouver = city_by_name("Vancouver").unwrap();
+        assert_eq!(home_pop("CA", vancouver.position()).city.name, "Seattle");
+        let toronto = city_by_name("Toronto").unwrap();
+        let pop = home_pop("CA", toronto.position());
+        assert!(["Chicago", "Ashburn"].contains(&pop.city.name));
+    }
+
+    #[test]
+    fn nigeria_is_the_african_exception() {
+        // Fig 4: Nigerian Starlink beats terrestrial because of the local
+        // Lagos PoP.
+        let lagos = city_by_name("Lagos").unwrap();
+        let pop = home_pop("NG", lagos.position());
+        assert_eq!(pop.city.name, "Lagos");
+        assert!(lagos.position().great_circle_distance(pop.position()).0 < 30.0);
+    }
+
+    #[test]
+    fn coverage_breadth() {
+        let covered = covered_countries();
+        assert!(covered.len() >= 50, "got {} covered countries", covered.len());
+        assert!(covered.contains(&"US"));
+        assert!(covered.contains(&"MZ"));
+        assert!(!covered.contains(&"CN"), "China is not a Starlink market");
+    }
+
+    #[test]
+    fn unlisted_country_falls_back_to_nearest() {
+        // Mongolia has no rule: nearest PoP is Tokyo.
+        let ub = city_by_name("Ulaanbaatar").unwrap();
+        assert_eq!(home_pop("MN", ub.position()).city.name, "Tokyo");
+    }
+
+    #[test]
+    fn gateway_list_resolves() {
+        let gws = gateways();
+        assert_eq!(gws.len(), 41);
+        let mut names: Vec<_> = gws.iter().map(|g| g.city.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 41, "gateway cities must be distinct");
+    }
+
+    #[test]
+    fn southern_africa_has_no_gateway() {
+        // Load-bearing for Table 1: Mozambique/Zambia/Eswatini traffic
+        // cannot touch ground locally.
+        let gws = gateways();
+        for cc in ["MZ", "ZM", "SZ", "ZW", "ZA", "RW"] {
+            assert!(
+                gws.iter().all(|g| g.city.cc != cc),
+                "{cc} must not host a gateway"
+            );
+        }
+        // While Nigeria and Kenya do have local gateways.
+        for cc in ["NG", "KE"] {
+            assert!(gws.iter().any(|g| g.city.cc == cc), "{cc} needs a gateway");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Why your Starlink dish thinks you're German: the geo-blocking
+//! walkthrough (§1–2).
+//!
+//! ```sh
+//! cargo run --release --example geoblocking
+//! ```
+
+use spacecdn_suite::measure::geoblock::{geoblock_survey, spacecdn_outcome};
+use spacecdn_suite::terra::city::cities;
+use spacecdn_suite::terra::geoblock::{AccessOutcome, LicenseScope};
+
+fn main() {
+    let survey = geoblock_survey();
+
+    println!("A Starlink subscriber's public IP belongs to their PoP's country.");
+    println!("For content licensed per country, that means:\n");
+    for cc in ["MZ", "KE", "CY", "ES", "NG"] {
+        let s = survey.iter().find(|s| s.cc == cc).expect("surveyed");
+        let verdict = if s.national_content_blocked {
+            format!(
+                "BLOCKED from {cc}'s own national content (IP says {})",
+                s.pop_cc
+            )
+        } else {
+            "fine — the PoP is domestic".to_string()
+        };
+        println!("  {cc}: {verdict}");
+    }
+
+    let blocked = survey.iter().filter(|s| s.national_content_blocked).count();
+    println!(
+        "\n{blocked} of {} Starlink-covered countries lose access to their own \
+         national content.",
+        survey.len()
+    );
+
+    // And the fix: SpaceCDN enforcement at the GPS-pinned terminal.
+    let mz_city = cities().iter().find(|c| c.cc == "MZ").expect("city");
+    let national = LicenseScope::Countries(vec!["MZ"]);
+    assert_eq!(
+        spacecdn_outcome(&national, "MZ", mz_city.region),
+        AccessOutcome::Allowed
+    );
+    println!(
+        "\nA SpaceCDN knows the terminal's physical location (dishes are \
+         GPS-pinned), so the\nsame Mozambican user gets their content from \
+         orbit — zero unwarranted blocks."
+    );
+}

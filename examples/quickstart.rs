@@ -1,0 +1,71 @@
+//! Quickstart: build the Starlink Shell 1 network, ask where a user's
+//! traffic goes, and compare the bent-pipe CDN path against a SpaceCDN
+//! fetch.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spacecdn_suite::core::network::LsnNetwork;
+use spacecdn_suite::core::placement::PlacementStrategy;
+use spacecdn_suite::core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_suite::geo::{DetRng, SimTime};
+use spacecdn_suite::lsn::FaultPlan;
+use spacecdn_suite::terra::cdn::{anycast_select, cdn_sites};
+use spacecdn_suite::terra::city::city_by_name;
+
+fn main() {
+    // 1. The network: 1584 satellites, +Grid ISLs, 22 PoPs, 41 gateways.
+    let net = LsnNetwork::starlink();
+    let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+
+    // 2. A subscriber in Maputo, Mozambique.
+    let maputo = city_by_name("Maputo").expect("city in dataset");
+    let pop = snap.home_pop(maputo.cc, maputo.position());
+    println!(
+        "Maputo homes to the {} PoP, {:.0} km away",
+        pop.city.name,
+        maputo.position().great_circle_distance(pop.position()).0
+    );
+
+    // 3. Today's CDN experience: bent pipe to the PoP, then anycast.
+    let path = snap
+        .starlink_rtt_to_pop(maputo.position(), &pop, None)
+        .expect("path resolves");
+    let sites = cdn_sites();
+    let (site, pop_to_site) =
+        anycast_select(pop.position(), pop.city.region, &sites, net.fiber()).expect("sites");
+    println!(
+        "bent-pipe CDN fetch: {:.1} ms over {} ISL hops, served from {}",
+        (path.rtt + pop_to_site).ms(),
+        path.isl_hops,
+        site.city.name,
+    );
+
+    // 4. SpaceCDN: 4 copies per orbital plane, fetch from space.
+    let mut rng = DetRng::new(42, "quickstart");
+    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let cfg = RetrievalConfig {
+        max_isl_hops: 5,
+        ground_fallback_rtt: path.rtt + pop_to_site,
+    };
+    let fetch = retrieve(
+        snap.graph(),
+        net.access(),
+        maputo.position(),
+        &caches,
+        &cfg,
+        None,
+    )
+    .expect("constellation alive");
+    let source = match fetch.source {
+        RetrievalSource::Overhead => "the satellite directly overhead".to_string(),
+        RetrievalSource::Isl { hops } => format!("a satellite {hops} ISL hops away"),
+        RetrievalSource::Ground => "the ground cache (space missed)".to_string(),
+    };
+    println!("SpaceCDN fetch:      {:.1} ms from {source}", fetch.rtt.ms());
+    println!(
+        "speedup: {:.1}×",
+        (path.rtt + pop_to_site).ms() / fetch.rtt.ms()
+    );
+}

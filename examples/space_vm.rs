@@ -1,0 +1,60 @@
+//! Run a stateful service from orbit: plan VM replication across the
+//! satellites that will serve New York over the next hour (§5 Space VMs).
+//!
+//! ```sh
+//! cargo run --release --example space_vm
+//! ```
+
+use spacecdn_suite::core::spacevm::{plan_vm_service, VmServiceConfig};
+use spacecdn_suite::geo::{Geodetic, SimTime};
+use spacecdn_suite::orbit::shell::shells;
+use spacecdn_suite::orbit::visibility::VisibilityMask;
+use spacecdn_suite::orbit::Constellation;
+
+fn main() {
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let area = Geodetic::ground(40.7, -74.0); // New York service area
+
+    let config = VmServiceConfig::default(); // 100 MB deltas, 2.5 Gbit/s ISLs
+    let plan = plan_vm_service(
+        &constellation,
+        area,
+        VisibilityMask::STARLINK,
+        &config,
+        SimTime::EPOCH,
+        20, // 20 × 3-minute windows = one hour of service
+    );
+
+    println!("serving chain over New York (one hour, 3-minute windows):");
+    for (i, sat) in plan.chain.iter().enumerate() {
+        match sat {
+            Some(s) => println!("  window {i:>2}: satellite {}", s.0),
+            None => println!("  window {i:>2}: COVERAGE GAP"),
+        }
+    }
+
+    println!("\nhand-offs:");
+    for h in &plan.handoffs {
+        println!(
+            "  t={:>5.0}s  {} → {}  ({} hops, sync {:.2}s, {})",
+            h.at.as_secs_f64(),
+            h.from.0,
+            h.to.0,
+            h.isl_hops,
+            h.sync_time.as_secs_f64(),
+            if h.seamless { "seamless" } else { "LATE" }
+        );
+    }
+    println!(
+        "\n{:.0}% of hand-offs complete within the window; worst sync {:.2}s \
+         of a {:.0}s budget.",
+        plan.seamless_fraction() * 100.0,
+        plan.worst_sync().map(|d| d.as_secs_f64()).unwrap_or(0.0),
+        (config.window.0 - config.margin.0) as f64 / 1e9,
+    );
+    println!(
+        "A 100 MB state delta crosses the laser mesh in well under a second — \
+         replicated\nVMs chasing their users around the planet are a scheduling \
+         problem, not a bandwidth one."
+    );
+}

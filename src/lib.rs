@@ -1,0 +1,44 @@
+//! # spacecdn-suite
+//!
+//! Umbrella crate for the SpaceCDN reproduction — *"It's a bird? It's a
+//! plane? It's CDN! Investigating Content Delivery Networks in the LEO
+//! Satellite Networks Era"* (HotNets '24). Re-exports every workspace
+//! crate under one namespace so examples, tests and downstream users
+//! depend on a single crate.
+//!
+//! ```
+//! use spacecdn_suite::core::network::LsnNetwork;
+//! use spacecdn_suite::geo::SimTime;
+//! use spacecdn_suite::lsn::FaultPlan;
+//! use spacecdn_suite::terra::city::city_by_name;
+//!
+//! // The paper's headline path: a Maputo subscriber egresses in Frankfurt.
+//! let net = LsnNetwork::starlink();
+//! let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
+//! let maputo = city_by_name("Maputo").unwrap();
+//! let pop = snap.home_pop(maputo.cc, maputo.position());
+//! assert_eq!(pop.city.name, "Frankfurt");
+//!
+//! let path = snap
+//!     .starlink_rtt_to_pop(maputo.position(), &pop, None)
+//!     .unwrap();
+//! assert!(path.rtt.ms() > 100.0); // vs ~15 ms to the Maputo CDN terrestrially
+//! ```
+//!
+//! The crates, bottom-up: [`geo`] (units/geodesy/RNG), [`orbit`]
+//! (constellations), [`des`] (event scheduler + statistics), [`lsn`]
+//! (ISL topology/routing/access), [`terra`] (cities/fibre/CDN/PoPs),
+//! [`content`] (catalogs/caches), [`core`] (SpaceCDN itself), and
+//! [`measure`] (the synthetic measurement campaigns). See `DESIGN.md` for
+//! the full inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use spacecdn_content as content;
+pub use spacecdn_core as core;
+pub use spacecdn_des as des;
+pub use spacecdn_geo as geo;
+pub use spacecdn_lsn as lsn;
+pub use spacecdn_measure as measure;
+pub use spacecdn_orbit as orbit;
+pub use spacecdn_terra as terra;

@@ -1,0 +1,155 @@
+//! End-to-end assertions of the paper's headline claims, one test per
+//! table/figure. These are the repository's acceptance tests: if one fails,
+//! the reproduction no longer reproduces.
+
+use spacecdn_suite::measure::aim::{AimCampaign, AimConfig, IspKind};
+use spacecdn_suite::measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+use spacecdn_suite::measure::web::{
+    browse_campaign, fcp_distribution, hrt_difference, PageModel, WebConfig,
+};
+
+fn aim_config() -> AimConfig {
+    AimConfig {
+        epochs: 4,
+        tests_per_epoch: 3,
+        probes_per_test: 5,
+        ..AimConfig::default()
+    }
+}
+
+#[test]
+fn table1_starlink_always_loses_except_pop_local() {
+    let ccs = ["GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"];
+    let campaign = AimCampaign::run_for(&aim_config(), &ccs);
+    for cc in ccs {
+        let terr = campaign.country_stats_for(cc, IspKind::Terrestrial).unwrap();
+        let star = campaign.country_stats_for(cc, IspKind::Starlink).unwrap();
+        // Terrestrial is faster everywhere in Table 1.
+        assert!(
+            terr.median_min_rtt_ms < star.median_min_rtt_ms,
+            "{cc}: terr {} !< star {}",
+            terr.median_min_rtt_ms,
+            star.median_min_rtt_ms
+        );
+        // PoP-local countries have short Starlink CDN distances; far-homed
+        // ones are thousands of km out.
+        if ["ES", "JP"].contains(&cc) {
+            assert!(star.mean_cdn_distance_km < 600.0, "{cc}: {star:?}");
+            assert!(star.median_min_rtt_ms < 45.0, "{cc}: {star:?}");
+        } else {
+            assert!(star.mean_cdn_distance_km > 1000.0, "{cc}: {star:?}");
+        }
+    }
+    // Africa's far-homed trio sits in the 120-160 ms band.
+    for cc in ["MZ", "ZM"] {
+        let star = campaign.country_stats_for(cc, IspKind::Starlink).unwrap();
+        assert!(
+            (115.0..175.0).contains(&star.median_min_rtt_ms),
+            "{cc}: {}",
+            star.median_min_rtt_ms
+        );
+    }
+}
+
+#[test]
+fn fig2_delta_positive_nearly_everywhere_worst_in_africa() {
+    let campaign = AimCampaign::run(&aim_config());
+    let deltas = campaign.delta_by_country();
+    assert!(deltas.len() >= 40, "need broad coverage, got {}", deltas.len());
+    let positive = deltas.iter().filter(|(_, d)| *d > 0.0).count();
+    assert!(
+        positive as f64 / deltas.len() as f64 > 0.9,
+        "terrestrial wins nearly everywhere: {positive}/{}",
+        deltas.len()
+    );
+    // The worst five countries are all African (the ISL-dependent band).
+    let african = ["MZ", "ZM", "KE", "ZW", "MW", "TZ", "ZA", "BW", "NA", "MG", "AO", "UG", "SZ"];
+    for (cc, d) in deltas.iter().take(5) {
+        assert!(african.contains(cc), "worst-5 country {cc} (Δ {d:.0} ms) not African");
+        assert!(*d > 80.0, "{cc} delta {d}");
+    }
+}
+
+#[test]
+fn fig4_nigeria_is_the_outlier() {
+    let page = PageModel::typical_landing_page();
+    let cfg = WebConfig {
+        epochs: 4,
+        fetches_per_epoch: 8,
+        ..WebConfig::default()
+    };
+    let recs = browse_campaign(&["NG", "KE", "DE", "US", "CA", "GB"], &page, &cfg);
+    let mut ng = hrt_difference(&recs, "NG");
+    assert!(
+        ng.fraction_at_or_below(0.0) > 0.5,
+        "Starlink should win most Nigerian fetches"
+    );
+    for cc in ["DE", "US", "CA", "GB"] {
+        let mut d = hrt_difference(&recs, cc);
+        let m = d.median().unwrap();
+        assert!((10.0..70.0).contains(&m), "{cc}: Δ median {m}");
+    }
+    let mut ke = hrt_difference(&recs, "KE");
+    assert!(ke.median().unwrap() > 70.0, "Kenya gap should be large");
+}
+
+#[test]
+fn fig5_fcp_gap_around_200ms() {
+    let page = PageModel::typical_landing_page();
+    let cfg = WebConfig {
+        epochs: 4,
+        fetches_per_epoch: 10,
+        ..WebConfig::default()
+    };
+    let recs = browse_campaign(&["DE", "GB"], &page, &cfg);
+    for cc in ["DE", "GB"] {
+        let mut star = fcp_distribution(&recs, cc, IspKind::Starlink);
+        let mut terr = fcp_distribution(&recs, cc, IspKind::Terrestrial);
+        let gap = star.median().unwrap() - terr.median().unwrap();
+        assert!((100.0..400.0).contains(&gap), "{cc}: FCP gap {gap}");
+    }
+}
+
+#[test]
+fn fig7_hop_budget_orders_latency_and_beats_far_homed_starlink() {
+    let results = hop_bound_experiment(&[1, 5, 10], 240, 3, 7);
+    let mut medians = Vec::new();
+    for mut r in results {
+        medians.push(r.latencies.median().expect("samples"));
+    }
+    assert!(medians[0] < medians[1] && medians[1] < medians[2], "{medians:?}");
+
+    // SpaceCDN with a 5-hop budget lands in the terrestrial band and far
+    // below the far-homed Starlink experience (~130-160 ms).
+    let campaign = AimCampaign::run_for(&aim_config(), &["MZ", "KE", "ZM"]);
+    let far_homed = campaign
+        .country_stats_for("MZ", IspKind::Starlink)
+        .unwrap()
+        .median_min_rtt_ms;
+    assert!(
+        medians[1] < far_homed / 2.0,
+        "5-hop {} vs far-homed Starlink {far_homed}",
+        medians[1]
+    );
+}
+
+#[test]
+fn fig8_fifty_percent_duty_cycle_competitive() {
+    let results = duty_cycle_experiment(&[0.3, 0.5, 0.8], 300, 3, 7);
+    let campaign = AimCampaign::run(&aim_config());
+    let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
+    let terr_median = terr.median().unwrap();
+
+    let med = |r: &mut spacecdn_suite::measure::spacecdn::DutyCycleResult| {
+        r.latencies.median().unwrap()
+    };
+    let mut results = results;
+    let m30 = med(&mut results[0]);
+    let m50 = med(&mut results[1]);
+    let m80 = med(&mut results[2]);
+    assert!(m80 <= m50 && m50 <= m30, "ordering: {m80} {m50} {m30}");
+    // ≥50 % active stays within ~1.1× of the terrestrial median; 30 % does
+    // not (the paper's cut-off).
+    assert!(m50 <= terr_median * 1.15, "50% {m50} vs terrestrial {terr_median}");
+    assert!(m30 > m80, "duty cycling must cost something");
+}
