@@ -58,7 +58,12 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| {
             let mut load = LinkLoad::new();
             for i in 0..100i64 {
-                load.route(&g, c.sat_at(i % 72, i % 22), c.sat_at((i + 17) % 72, (i + 9) % 22), 1.0);
+                load.route(
+                    &g,
+                    c.sat_at(i % 72, i % 22),
+                    c.sat_at((i + 17) % 72, (i + 9) % 22),
+                    1.0,
+                );
             }
             load.total_link_work()
         })

@@ -2,8 +2,11 @@
 //! Dijkstra, hop-bounded BFS — the inner loops of every experiment.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use spacecdn_geo::SimTime;
-use spacecdn_lsn::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph};
+use spacecdn_geo::{Geodetic, SimTime};
+use spacecdn_lsn::{
+    bfs_nearest, dijkstra, dijkstra_distances, hop_distances, set_routing_cache_override,
+    FaultPlan, IslGraph, SourceTables,
+};
 use spacecdn_orbit::shell::shells;
 use spacecdn_orbit::{Constellation, SatIndex};
 
@@ -37,6 +40,45 @@ fn bench_routing(c: &mut Criterion) {
 
     c.bench_function("bfs_nearest_within_10", |b| {
         b.iter(|| bfs_nearest(black_box(&graph), src, 10, |s| s == dst || s == SatIndex(3)))
+    });
+
+    // Cached vs uncached full-table lookups: `routing_tables` memoizes per
+    // (snapshot, source), so steady-state hits are a map probe + Arc clone
+    // vs a full Dijkstra + BFS recomputation.
+    c.bench_function("routing_tables_uncached", |b| {
+        b.iter(|| SourceTables::compute(black_box(&graph), src))
+    });
+    c.bench_function("routing_tables_cached", |b| {
+        graph.routing_tables(src); // warm the entry once
+        b.iter(|| graph.routing_tables(black_box(src)))
+    });
+
+    // Spatial-index vs linear nearest-alive queries over a ground grid.
+    let queries: Vec<_> = (-60..=60)
+        .step_by(30)
+        .flat_map(|lat| {
+            (-180..180)
+                .step_by(45)
+                .map(move |lon| Geodetic::ground(lat as f64, lon as f64))
+        })
+        .collect();
+    c.bench_function("nearest_alive_linear_scan", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter_map(|&g| graph.nearest_alive_linear(black_box(g)))
+                .count()
+        })
+    });
+    c.bench_function("nearest_alive_spatial_index", |b| {
+        set_routing_cache_override(Some(true));
+        b.iter(|| {
+            queries
+                .iter()
+                .filter_map(|&g| graph.nearest_alive(black_box(g)))
+                .count()
+        });
+        set_routing_cache_override(None);
     });
 }
 

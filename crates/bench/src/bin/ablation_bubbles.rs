@@ -86,13 +86,8 @@ fn main() {
             .zip(pop.hot_set(RegionTag(2), 2000))
             .flat_map(|((a, b), c)| [*a, *b, *c])
             .collect();
-        let static_ratio = static_placement_hit_ratio(
-            constellation.len(),
-            capacity,
-            &catalog,
-            &global,
-            &requests,
-        );
+        let static_ratio =
+            static_placement_hit_ratio(constellation.len(), capacity, &catalog, &global, &requests);
         rows.push(vec![
             format!("{cache_mb} MB"),
             format!("{:.1}%", bubble_ratio * 100.0),
@@ -106,7 +101,10 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["cache size", "bubble hit ratio", "static hit ratio"], &rows)
+        format_table(
+            &["cache size", "bubble hit ratio", "static hit ratio"],
+            &rows
+        )
     );
     write_json(&results_dir().join("ablation_bubbles.json"), &rows_json).expect("write json");
     println!("json: results/ablation_bubbles.json");

@@ -31,7 +31,10 @@ fn main() {
     );
     let net = LsnNetwork::starlink();
     let covered = covered_countries();
-    let pool: Vec<_> = cities().iter().filter(|c| covered.contains(&c.cc)).collect();
+    let pool: Vec<_> = cities()
+        .iter()
+        .filter(|c| covered.contains(&c.cc))
+        .collect();
     let trials = scaled(800);
 
     let strategies: Vec<(String, PlacementStrategy)> = vec![
@@ -121,11 +124,17 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["strategy", "copies", "median ms", "p90 ms", "ground", "mean hops"],
+            &[
+                "strategy",
+                "copies",
+                "median ms",
+                "p90 ms",
+                "ground",
+                "mean hops"
+            ],
             &rows,
         )
     );
-    write_json(&results_dir().join("ablation_placement.json"), &rows_json)
-        .expect("write json");
+    write_json(&results_dir().join("ablation_placement.json"), &rows_json).expect("write json");
     println!("json: results/ablation_placement.json");
 }

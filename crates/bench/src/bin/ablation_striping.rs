@@ -75,7 +75,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["city", "stripe window (min)", "striped stalls", "single-sat stalls", "satellites used"],
+            &[
+                "city",
+                "stripe window (min)",
+                "striped stalls",
+                "single-sat stalls",
+                "satellites used"
+            ],
             &rows,
         )
     );

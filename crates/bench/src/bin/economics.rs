@@ -37,7 +37,12 @@ fn main() {
         duty_rows.push((duty, power.duty_feasible(duty)));
         rows.push(vec![
             format!("duty {:.0}% feasible", duty * 100.0),
-            if power.duty_feasible(duty) { "yes" } else { "no" }.to_string(),
+            if power.duty_feasible(duty) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
 

@@ -1,0 +1,125 @@
+//! Experiment-engine benchmark: wall-clock of a routing-heavy campaign
+//! slice with the epoch-scoped routing caches disabled (the pre-engine
+//! baseline: one thread, every trial recomputes its own routing tables
+//! and `nearest_alive` scans linearly) versus the engine defaults, plus a
+//! byte-identity check on the outputs — the speedup must never change a
+//! single result.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_engine::{set_thread_override, thread_count};
+use spacecdn_lsn::set_routing_cache_override;
+use spacecdn_measure::aim::{case_study_city, AimCampaign, AimConfig, IspKind};
+use spacecdn_measure::report::write_json;
+use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+use spacecdn_terra::city::city_by_name;
+use std::time::Instant;
+
+/// Run the workload slice and fold every output into one JSON fingerprint
+/// so the two timed runs can be compared byte-for-byte.
+fn workload() -> String {
+    let aim_config = AimConfig {
+        epochs: scaled(3).min(3),
+        tests_per_epoch: scaled(2).min(2),
+        ..AimConfig::default()
+    };
+    let campaign = AimCampaign::run(&aim_config);
+    let aim_json = serde_json::to_string(campaign.records()).expect("serialise");
+
+    let mut fingerprint = aim_json;
+
+    // Figure 3's per-site case study is the cache's best real customer:
+    // uncached, every (site, test) re-runs the same city's Dijkstra.
+    let case_config = AimConfig {
+        epochs: scaled(4).min(4),
+        tests_per_epoch: scaled(6).min(8),
+        ..AimConfig::default()
+    };
+    let maputo = city_by_name("Maputo").expect("city present");
+    for (site, latency) in case_study_city(maputo, IspKind::Starlink, &case_config) {
+        fingerprint.push_str(&format!("|fig3/{}={}", site.city.name, latency.ms()));
+    }
+
+    let hops = hop_bound_experiment(&[1, 3, 5, 10], scaled(800), scaled(4).min(4), 42);
+    for mut r in hops {
+        fingerprint.push_str(&format!(
+            "|fig7/{}:median={:?},p90={:?},fallbacks={},hops={:?}",
+            r.max_hops,
+            r.latencies.median(),
+            r.latencies.quantile(0.9),
+            r.ground_fallbacks,
+            r.hop_histogram,
+        ));
+    }
+
+    let duty = duty_cycle_experiment(&[0.8, 0.5, 0.3], scaled(900), scaled(4).min(4), 42);
+    for mut r in duty {
+        fingerprint.push_str(&format!(
+            "|fig8/{}:median={:?},p90={:?}",
+            r.fraction,
+            r.latencies.median(),
+            r.latencies.quantile(0.9),
+        ));
+    }
+    fingerprint
+}
+
+#[derive(Serialize)]
+struct EngineBench {
+    baseline_wall_s: f64,
+    engine_wall_s: f64,
+    speedup: f64,
+    threads: usize,
+    identical_output: bool,
+    workload: &'static str,
+}
+
+fn main() {
+    banner(
+        "Engine — epoch-scoped routing caches + parallel experiment engine",
+        "(infrastructure, no paper counterpart) campaign slice, cached vs \
+         uncached, byte-identical outputs",
+    );
+
+    // Baseline: the pre-engine execution model — single thread, no table
+    // memoization, linear nearest-satellite scans.
+    set_routing_cache_override(Some(false));
+    set_thread_override(Some(1));
+    let t0 = Instant::now();
+    let fp_baseline = workload();
+    let baseline_wall_s = t0.elapsed().as_secs_f64();
+
+    // Engine: memoized routing tables + spatial index, default thread pool.
+    set_routing_cache_override(Some(true));
+    set_thread_override(None);
+    let threads = thread_count();
+    let t1 = Instant::now();
+    let fp_engine = workload();
+    let engine_wall_s = t1.elapsed().as_secs_f64();
+
+    set_routing_cache_override(None);
+
+    let identical = fp_baseline == fp_engine;
+    let speedup = baseline_wall_s / engine_wall_s;
+    println!("baseline (1 thread, caches off): {baseline_wall_s:8.2} s");
+    println!("engine   ({threads} thread(s), caches on): {engine_wall_s:8.2} s");
+    println!("speedup: {speedup:.2}x   outputs identical: {identical}");
+    assert!(
+        identical,
+        "engine run diverged from the sequential uncached baseline"
+    );
+
+    write_json(
+        &results_dir().join("BENCH_engine.json"),
+        &EngineBench {
+            baseline_wall_s,
+            engine_wall_s,
+            speedup,
+            threads,
+            identical_output: identical,
+            workload: "aim campaign + fig3 case study + fig7 hop sweep + fig8 duty sweep",
+        },
+    )
+    .expect("write json");
+    println!("json: results/BENCH_engine.json");
+}

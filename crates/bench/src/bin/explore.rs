@@ -53,7 +53,10 @@ fn cmd_cities(cc: Option<&str>) {
         .collect();
     println!(
         "{}",
-        format_table(&["city", "cc", "lat", "lon", "pop", "cdn", "starlink"], &rows)
+        format_table(
+            &["city", "cc", "lat", "lon", "pop", "cdn", "starlink"],
+            &rows
+        )
     );
 }
 
@@ -71,7 +74,12 @@ fn cmd_pops() {
         .collect();
     println!("{}", format_table(&["PoP", "cc", "lat", "lon"], &rows));
     println!("examples of country homing:");
-    for (cc, city) in [("MZ", "Maputo"), ("KE", "Nairobi"), ("LT", "Vilnius"), ("BR", "Sao Paulo")] {
+    for (cc, city) in [
+        ("MZ", "Maputo"),
+        ("KE", "Nairobi"),
+        ("LT", "Vilnius"),
+        ("BR", "Sao Paulo"),
+    ] {
         let c = city_by_name(city).expect("city");
         let pop = home_pop(cc, c.position());
         println!(
@@ -172,11 +180,29 @@ fn cmd_constellation() {
     let cfg = c.config();
     let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
     println!("Starlink Shell 1 (as simulated):");
-    println!("  satellites: {} ({} planes × {})", c.len(), cfg.plane_count, cfg.sats_per_plane);
-    println!("  altitude {} km, inclination {}°", cfg.altitude_km, cfg.inclination_deg);
-    println!("  orbital period {:.1} min, speed {:.2} km/s", cfg.period_s() / 60.0, cfg.orbital_speed_km_s());
-    println!("  ISLs: {} directed links (+Grid)", snap.graph().edge_count());
-    println!("  intra-plane spacing {:.0} km", cfg.intra_plane_spacing_km());
+    println!(
+        "  satellites: {} ({} planes × {})",
+        c.len(),
+        cfg.plane_count,
+        cfg.sats_per_plane
+    );
+    println!(
+        "  altitude {} km, inclination {}°",
+        cfg.altitude_km, cfg.inclination_deg
+    );
+    println!(
+        "  orbital period {:.1} min, speed {:.2} km/s",
+        cfg.period_s() / 60.0,
+        cfg.orbital_speed_km_s()
+    );
+    println!(
+        "  ISLs: {} directed links (+Grid)",
+        snap.graph().edge_count()
+    );
+    println!(
+        "  intra-plane spacing {:.0} km",
+        cfg.intra_plane_spacing_km()
+    );
 }
 
 fn main() {

@@ -29,7 +29,10 @@ fn main() {
     );
     let net = LsnNetwork::starlink();
     let covered = covered_countries();
-    let pool: Vec<_> = cities().iter().filter(|c| covered.contains(&c.cc)).collect();
+    let pool: Vec<_> = cities()
+        .iter()
+        .filter(|c| covered.contains(&c.cc))
+        .collect();
     let trials = scaled(600);
 
     let mut rows_json = Vec::new();
@@ -46,8 +49,7 @@ fn main() {
             let mut rng = DetRng::new(19, &format!("sweep-req/{failed}/{epoch}"));
             // Copies are placed on the *intended* fleet; failures silently
             // remove them — exactly what an operator experiences.
-            let caches =
-                PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+            let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
             let cfg = RetrievalConfig {
                 max_isl_hops: 8,
                 ground_fallback_rtt: Latency::from_ms(160.0),
@@ -90,7 +92,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["failed satellites", "served from space", "median ms", "p90 ms"],
+            &[
+                "failed satellites",
+                "served from space",
+                "median ms",
+                "p90 ms"
+            ],
             &rows,
         )
     );

@@ -61,7 +61,11 @@ fn main() {
         ..AimConfig::default()
     };
     let starlink = run(IspKind::Starlink, "Fig 3a: over Starlink", &config);
-    let terrestrial = run(IspKind::Terrestrial, "Fig 3b: over a terrestrial ISP", &config);
+    let terrestrial = run(
+        IspKind::Terrestrial,
+        "Fig 3b: over a terrestrial ISP",
+        &config,
+    );
 
     #[derive(Serialize)]
     struct Out {

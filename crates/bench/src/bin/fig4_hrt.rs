@@ -53,7 +53,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["country", "p10 Δms", "median Δms", "p90 Δms", "starlink faster"],
+            &[
+                "country",
+                "p10 Δms",
+                "median Δms",
+                "p90 Δms",
+                "starlink faster"
+            ],
             &rows,
         )
     );

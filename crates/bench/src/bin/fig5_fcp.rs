@@ -34,8 +34,10 @@ fn main() {
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for cc in ["DE", "GB"] {
-        for (isp, label) in [(IspKind::Starlink, "Starlink"), (IspKind::Terrestrial, "Terrestrial")]
-        {
+        for (isp, label) in [
+            (IspKind::Starlink, "Starlink"),
+            (IspKind::Terrestrial, "Terrestrial"),
+        ] {
             let mut dist = fcp_distribution(&records, cc, isp);
             let f = dist.five_number().expect("samples");
             rows.push(vec![

@@ -67,7 +67,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["series", "p10 ms", "median ms", "p90 ms", "ground fallbacks"],
+            &[
+                "series",
+                "p10 ms",
+                "median ms",
+                "p90 ms",
+                "ground fallbacks"
+            ],
             &rows,
         )
     );

@@ -20,8 +20,18 @@ fn main() {
             vec![
                 s.cc.to_string(),
                 s.pop_cc.to_string(),
-                if s.national_content_blocked { "✗" } else { "✓" }.to_string(),
-                if s.regional_content_blocked { "✗" } else { "✓" }.to_string(),
+                if s.national_content_blocked {
+                    "✗"
+                } else {
+                    "✓"
+                }
+                .to_string(),
+                if s.regional_content_blocked {
+                    "✗"
+                } else {
+                    "✓"
+                }
+                .to_string(),
                 if s.gains_foreign_access { "yes" } else { "no" }.to_string(),
             ]
         })
@@ -30,7 +40,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["country", "egress", "national content", "regional content", "foreign access"],
+            &[
+                "country",
+                "egress",
+                "national content",
+                "regional content",
+                "foreign access"
+            ],
             &rows,
         )
     );

@@ -73,7 +73,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for (name, load) in [("bent pipe to PoP", &bent), ("SpaceCDN (k=4/plane)", &space)] {
+    for (name, load) in [
+        ("bent pipe to PoP", &bent),
+        ("SpaceCDN (k=4/plane)", &space),
+    ] {
         rows.push(vec![
             name.to_string(),
             format!("{:.1}", load.mean_hops()),
@@ -92,7 +95,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["scenario", "mean ISL hops", "max link load", "p95 link load", "loaded links"],
+            &[
+                "scenario",
+                "mean ISL hops",
+                "max link load",
+                "p95 link load",
+                "loaded links"
+            ],
             &rows,
         )
     );

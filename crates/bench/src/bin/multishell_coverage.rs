@@ -51,7 +51,6 @@ fn main() {
         shell1.total_sats(),
         fleet.total_sats()
     );
-    write_json(&results_dir().join("multishell_coverage.json"), &rows_json)
-        .expect("write json");
+    write_json(&results_dir().join("multishell_coverage.json"), &rows_json).expect("write json");
     println!("json: results/multishell_coverage.json");
 }

@@ -3,7 +3,8 @@
 
 use std::process::Command;
 
-const BINS: [&str; 21] = [
+const BINS: [&str; 22] = [
+    "engine_bench",
     "table1",
     "fig2_global_delta",
     "fig3_maputo",

@@ -2,7 +2,7 @@
 //! representative vantage points.
 
 use serde::Serialize;
-use spacecdn_bench::{banner, results_dir, quick_mode};
+use spacecdn_bench::{banner, quick_mode, results_dir};
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_geo::{SimDuration, SimTime};
 use spacecdn_measure::report::{format_table, write_json};

@@ -60,7 +60,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["state delta", "ISL Gbit/s", "seamless", "worst sync s", "handoffs"],
+            &[
+                "state delta",
+                "ISL Gbit/s",
+                "seamless",
+                "worst sync s",
+                "handoffs"
+            ],
             &rows,
         )
     );

@@ -89,7 +89,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["scenario", "rtt ms", "mbps", "startup s", "rebuffers", "stalled s"],
+            &[
+                "scenario",
+                "rtt ms",
+                "mbps",
+                "startup s",
+                "rebuffers",
+                "stalled s"
+            ],
             &rows,
         )
     );

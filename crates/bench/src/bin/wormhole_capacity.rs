@@ -29,10 +29,26 @@ fn main() {
     let payload = 150_000_000_000_000u64; // 150 TB per satellite (§5)
 
     let routes = [
-        ("US East → Europe", Geodetic::ground(39.0, -77.0), Geodetic::ground(50.0, 10.0)),
-        ("Europe → East Africa", Geodetic::ground(50.0, 10.0), Geodetic::ground(-1.3, 36.8)),
-        ("Brazil → West Africa", Geodetic::ground(-15.0, -47.9), Geodetic::ground(6.5, 3.4)),
-        ("Japan → US West", Geodetic::ground(35.7, 139.7), Geodetic::ground(37.8, -122.4)),
+        (
+            "US East → Europe",
+            Geodetic::ground(39.0, -77.0),
+            Geodetic::ground(50.0, 10.0),
+        ),
+        (
+            "Europe → East Africa",
+            Geodetic::ground(50.0, 10.0),
+            Geodetic::ground(-1.3, 36.8),
+        ),
+        (
+            "Brazil → West Africa",
+            Geodetic::ground(-15.0, -47.9),
+            Geodetic::ground(6.5, 3.4),
+        ),
+        (
+            "Japan → US West",
+            Geodetic::ground(35.7, 139.7),
+            Geodetic::ground(37.8, -122.4),
+        ),
     ];
 
     let mut rows_json = Vec::new();

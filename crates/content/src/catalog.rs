@@ -8,15 +8,11 @@ use spacecdn_geo::DetRng;
 /// The content crate stays independent of `spacecdn-terra`, so the tag is a
 /// small integer; `spacecdn-core` maps tags to real world regions. Think of
 /// it as "market id" in a CDN's metadata.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RegionTag(pub u8);
 
 /// A stable identifier for one cacheable object.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContentId(pub u64);
 
 /// What kind of object this is (drives size distribution and cachability).
@@ -66,12 +62,14 @@ impl Catalog {
             let (kind, size_bytes) = if roll < 0.2 {
                 (
                     ContentKind::WebPage,
-                    rng.log_normal_median(60_000.0, 0.8).clamp(10_000.0, 200_000.0) as u64,
+                    rng.log_normal_median(60_000.0, 0.8)
+                        .clamp(10_000.0, 200_000.0) as u64,
                 )
             } else if roll < 0.7 {
                 (
                     ContentKind::Asset,
-                    rng.log_normal_median(80_000.0, 1.2).clamp(5_000.0, 2_000_000.0) as u64,
+                    rng.log_normal_median(80_000.0, 1.2)
+                        .clamp(5_000.0, 2_000_000.0) as u64,
                 )
             } else {
                 (
@@ -163,7 +161,11 @@ mod tests {
     #[test]
     fn kind_mix_roughly_as_configured() {
         let c = Catalog::generate(10_000, &[], 0.0, &mut rng());
-        let pages = c.objects().iter().filter(|o| o.kind == ContentKind::WebPage).count();
+        let pages = c
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ContentKind::WebPage)
+            .count();
         let video = c
             .objects()
             .iter()
@@ -177,7 +179,11 @@ mod tests {
     fn regional_fraction_respected() {
         let regions = [RegionTag(0), RegionTag(1), RegionTag(2)];
         let c = Catalog::generate(10_000, &regions, 0.4, &mut rng());
-        let tagged = c.objects().iter().filter(|o| o.home_region.is_some()).count();
+        let tagged = c
+            .objects()
+            .iter()
+            .filter(|o| o.home_region.is_some())
+            .count();
         assert!((3500..4500).contains(&tagged), "tagged {tagged}");
 
         let none = Catalog::generate(1000, &regions, 0.0, &mut rng());

@@ -100,7 +100,12 @@ impl CacheHierarchy {
     /// Resolve a request arriving at edge `edge_idx` (mod edge count).
     /// Misses pull the object down the tree (both regional and edge install
     /// it — standard pull-through).
-    pub fn request(&mut self, edge_idx: usize, id: ContentId, catalog: &Catalog) -> HierarchyOutcome {
+    pub fn request(
+        &mut self,
+        edge_idx: usize,
+        id: ContentId,
+        catalog: &Catalog,
+    ) -> HierarchyOutcome {
         let size = catalog.get(id).map(|o| o.size_bytes).unwrap_or(0);
         let idx = edge_idx % self.edges.len();
         let l = self.latencies;
@@ -245,7 +250,10 @@ mod tests {
             h.request(i % 4, id, &cat);
         }
         let (e, r, _) = h.served_counts();
-        assert!(r > e / 3, "regional should carry real load: edge {e} regional {r}");
+        assert!(
+            r > e / 3,
+            "regional should carry real load: edge {e} regional {r}"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl VideoObject {
     ) -> Self {
         VideoObject {
             id,
-            segments: (0..total as u64).map(|i| ContentId(first_seg + i)).collect(),
+            segments: (0..total as u64)
+                .map(|i| ContentId(first_seg + i))
+                .collect(),
             segment_duration,
             segment_bytes,
         }

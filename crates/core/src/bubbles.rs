@@ -35,7 +35,9 @@ impl BubbleWorld {
     pub fn new(sat_count: usize, capacity_bytes: u64, regions: Vec<BubbleRegion>) -> Self {
         BubbleWorld {
             regions,
-            caches: (0..sat_count).map(|_| LruCache::new(capacity_bytes)).collect(),
+            caches: (0..sat_count)
+                .map(|_| LruCache::new(capacity_bytes))
+                .collect(),
         }
     }
 
@@ -254,13 +256,8 @@ mod tests {
             .zip(pop.hot_set(RegionTag(1), 200))
             .flat_map(|(a, b)| [*a, *b])
             .collect();
-        let static_ratio = static_placement_hit_ratio(
-            c.len(),
-            2_000_000_000,
-            &catalog,
-            &global,
-            &requests,
-        );
+        let static_ratio =
+            static_placement_hit_ratio(c.len(), 2_000_000_000, &catalog, &global, &requests);
         assert!(
             bubble_ratio > static_ratio,
             "bubble {bubble_ratio:.3} should beat static {static_ratio:.3}"

@@ -42,7 +42,9 @@ pub mod wormhole;
 pub use duty_cycle::DutyCycler;
 pub use network::{LsnNetwork, LsnSnapshot, PathBreakdown};
 pub use placement::{popularity_copy_allocation, PlacementStrategy};
-pub use retrieval::{retrieve, retrieve_multishell, RetrievalConfig, RetrievalOutcome, RetrievalSource};
+pub use retrieval::{
+    retrieve, retrieve_multishell, RetrievalConfig, RetrievalOutcome, RetrievalSource,
+};
 pub use spacevm::{plan_vm_service, VmMigrationPlan, VmServiceConfig};
 pub use striping::{plan_stripes, plan_windows_pass_aware, playback_stalls, StripeAssignment};
 pub use wormhole::{find_transits, wormhole_capacity, Transit, WormholeCapacity};

@@ -15,7 +15,7 @@
 
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimTime};
-use spacecdn_lsn::{dijkstra_distances, AccessModel, FaultPlan, IslGraph};
+use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
 use spacecdn_orbit::{Constellation, SatIndex};
 use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::Region;
@@ -170,7 +170,7 @@ impl<'a> LsnSnapshot<'a> {
             Some(r) => self.net.access.user_link_rtt_sample(up_slant, r),
             None => self.net.access.user_link_rtt_median(up_slant),
         };
-        let space = dijkstra_distances(&self.graph, up_sat);
+        let space = self.graph.routing_tables(up_sat);
 
         let mut best: Option<PathBreakdown> = None;
         for (gw, candidates) in self.net.gateways.iter().zip(&self.gateway_candidates) {
@@ -178,7 +178,7 @@ impl<'a> LsnSnapshot<'a> {
             // hop processing + the down-leg over all satellites it sees.
             let mut gw_best: Option<(Latency, usize)> = None;
             for &(down_sat, down_slant) in candidates {
-                let (isl_km, isl_hops) = space[down_sat.as_usize()];
+                let (isl_km, isl_hops) = space.km[down_sat.as_usize()];
                 if !isl_km.is_finite() {
                     continue;
                 }
@@ -338,7 +338,10 @@ mod tests {
             .starlink_rtt_to_server(pos, cc, capetown.position(), capetown.region, None)
             .unwrap();
         assert!(to_fra.ms() < base.rtt.ms() + 5.0);
-        assert!(to_cpt.ms() > to_fra.ms() + 50.0, "fra {to_fra} cpt {to_cpt}");
+        assert!(
+            to_cpt.ms() > to_fra.ms() + 50.0,
+            "fra {to_fra} cpt {to_cpt}"
+        );
     }
 
     #[test]
@@ -360,9 +363,7 @@ mod tests {
         let b = snap.starlink_rtt_to_pop(pos, &pop, None).unwrap();
         assert_eq!(a.rtt, b.rtt, "median path must be deterministic");
         let mut rng = DetRng::new(1, "net-jitter");
-        let c = snap
-            .starlink_rtt_to_pop(pos, &pop, Some(&mut rng))
-            .unwrap();
+        let c = snap.starlink_rtt_to_pop(pos, &pop, Some(&mut rng)).unwrap();
         assert!(c.rtt.is_finite());
     }
 }

@@ -247,10 +247,8 @@ mod tests {
     #[test]
     fn placements_deterministic_per_seed() {
         let c = shell1();
-        let a = PlacementStrategy::RandomCount { count: 32 }
-            .place(&c, &mut DetRng::new(9, "p"));
-        let b = PlacementStrategy::RandomCount { count: 32 }
-            .place(&c, &mut DetRng::new(9, "p"));
+        let a = PlacementStrategy::RandomCount { count: 32 }.place(&c, &mut DetRng::new(9, "p"));
+        let b = PlacementStrategy::RandomCount { count: 32 }.place(&c, &mut DetRng::new(9, "p"));
         assert_eq!(a, b);
     }
 

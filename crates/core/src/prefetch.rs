@@ -156,7 +156,10 @@ mod tests {
         let predicted = predictor.predicted_hot_set(RegionTag(0), 50);
         let new_era: Vec<ContentId> = (1000..1050).map(ContentId).collect();
         let overlap = hot_set_overlap(&predicted, &new_era);
-        assert!(overlap > 0.9, "should have forgotten the old era: {overlap}");
+        assert!(
+            overlap > 0.9,
+            "should have forgotten the old era: {overlap}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency};
-use spacecdn_lsn::{dijkstra_distances, hop_distances, AccessModel, IslGraph};
+use spacecdn_lsn::{AccessModel, IslGraph};
 use spacecdn_orbit::SatIndex;
 use std::collections::BTreeSet;
 
@@ -79,18 +79,17 @@ pub fn retrieve(
     let best = if overhead_hit {
         Some((overhead, Latency::ZERO, 0u32))
     } else {
-        let hops = hop_distances(graph, overhead);
-        let km = dijkstra_distances(graph, overhead);
+        let tables = graph.routing_tables(overhead);
         let mut best: Option<(SatIndex, Latency, u32)> = None;
         for &sat in caches {
             if !graph.is_alive(sat) {
                 continue;
             }
-            let h = hops[sat.as_usize()];
+            let h = tables.hops[sat.as_usize()];
             if h == u32::MAX || h > config.max_isl_hops {
                 continue;
             }
-            let (dist_km, route_hops) = km[sat.as_usize()];
+            let (dist_km, route_hops) = tables.km[sat.as_usize()];
             if !dist_km.is_finite() {
                 continue;
             }
@@ -164,8 +163,14 @@ pub fn retrieve_multishell(
     let mut best: Option<RetrievalOutcome> = None;
     let mut any_alive = false;
     for (graph, shell_caches) in shells.iter().zip(caches) {
-        let Some(out) = retrieve(graph, access, user, shell_caches, config, rng.as_deref_mut())
-        else {
+        let Some(out) = retrieve(
+            graph,
+            access,
+            user,
+            shell_caches,
+            config,
+            rng.as_deref_mut(),
+        ) else {
             continue;
         };
         any_alive = true;
@@ -357,8 +362,7 @@ mod tests {
             BTreeSet::new(),
             BTreeSet::new(),
         ];
-        let better =
-            retrieve_multishell(&graphs, &access, user, &caches2, &cfg(10), None).unwrap();
+        let better = retrieve_multishell(&graphs, &access, user, &caches2, &cfg(10), None).unwrap();
         assert_eq!(better.source, RetrievalSource::Overhead);
         assert!(better.rtt < out.rtt);
     }

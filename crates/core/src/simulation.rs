@@ -142,8 +142,7 @@ fn snapshot_with_ground<'a>(
         .map(|city| {
             let pop = home_pop(city.cc, city.position());
             let (_, pop_to_site) =
-                anycast_select(pop.position(), pop.city.region, sites, net.fiber())
-                    .expect("sites");
+                anycast_select(pop.position(), pop.city.region, sites, net.fiber()).expect("sites");
             snap.starlink_rtt_to_pop(city.position(), &pop, None)
                 .map(|p| p.rtt.ms() + pop_to_site.ms())
                 .unwrap_or(300.0)
@@ -169,7 +168,10 @@ pub fn run_workload(net: &LsnNetwork, config: &WorkloadConfig) -> WorkloadReport
     // Client pool: covered cities, annotated with their demand region and
     // their bent-pipe ground-fetch RTT (refreshed with each snapshot).
     let covered = covered_countries();
-    let pool: Vec<&City> = cities().iter().filter(|c| covered.contains(&c.cc)).collect();
+    let pool: Vec<&City> = cities()
+        .iter()
+        .filter(|c| covered.contains(&c.cc))
+        .collect();
     let sites = cdn_sites();
 
     let mut world = BubbleWorld::new(
@@ -214,9 +216,8 @@ pub fn run_workload(net: &LsnNetwork, config: &WorkloadConfig) -> WorkloadReport
 
     let mut sched: Scheduler<Ev> = Scheduler::new();
     sched.schedule_at(
-        SimTime::EPOCH + SimDuration::from_secs_f64(rng.exponential(
-            config.mean_interarrival.as_secs_f64(),
-        )),
+        SimTime::EPOCH
+            + SimDuration::from_secs_f64(rng.exponential(config.mean_interarrival.as_secs_f64())),
         Ev::Request,
     );
     sched.schedule_at(SimTime::EPOCH + config.refresh_period, Ev::Refresh);
@@ -268,12 +269,8 @@ pub fn run_workload(net: &LsnNetwork, config: &WorkloadConfig) -> WorkloadReport
                     match found {
                         Some(path) => {
                             let serving = *path.sats.last().expect("non-empty");
-                            let rtt = spacecdn_fetch_rtt(
-                                net.access(),
-                                up_slant,
-                                &path,
-                                Some(&mut rng),
-                            );
+                            let rtt =
+                                spacecdn_fetch_rtt(net.access(), up_slant, &path, Some(&mut rng));
                             st.report.latency.add(rtt.ms());
                             st.bucket_space += 1;
                             if path.hop_count() == 0 {

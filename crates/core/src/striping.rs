@@ -135,9 +135,9 @@ pub fn playback_stalls(
         let end = a.window_start + window;
         while t < end {
             samples += 1;
-            let ok = a.sat.is_some_and(|s| {
-                mask.is_visible(user, constellation.position(s, t))
-            });
+            let ok = a
+                .sat
+                .is_some_and(|s| mask.is_visible(user, constellation.position(s, t)));
             if !ok {
                 stalled += 1;
             }
@@ -186,13 +186,7 @@ mod tests {
     fn setup() -> (Constellation, StripePlanInput) {
         let constellation = Constellation::new(shells::starlink_shell1());
         // 30 minutes of 4-second segments, striped into 3-minute windows.
-        let video = VideoObject::new(
-            ContentId(1),
-            100,
-            450,
-            SimDuration::from_secs(4),
-            2_500_000,
-        );
+        let video = VideoObject::new(ContentId(1), 100, 450, SimDuration::from_secs(4), 2_500_000);
         let input = StripePlanInput {
             video,
             start_secs: 60,
@@ -235,8 +229,7 @@ mod tests {
         let (c, input) = setup();
         let user = Geodetic::ground(40.7, -74.0);
         let plan = plan_stripes(&c, user, VisibilityMask::STARLINK, &input);
-        let distinct: std::collections::BTreeSet<_> =
-            plan.iter().filter_map(|a| a.sat).collect();
+        let distinct: std::collections::BTreeSet<_> = plan.iter().filter_map(|a| a.sat).collect();
         assert!(
             distinct.len() >= 3,
             "expected several serving satellites, got {}",
@@ -272,21 +265,12 @@ mod tests {
         ] {
             let start = SimTime::from_secs(input.start_secs);
             let mid_plan = plan_stripes(&c, city, mask, &input);
-            let aware_sats = plan_windows_pass_aware(
-                &c,
-                city,
-                mask,
-                start,
-                input.window,
-                mid_plan.len(),
-            );
+            let aware_sats =
+                plan_windows_pass_aware(&c, city, mask, start, input.window, mid_plan.len());
             let aware_plan: Vec<StripeAssignment> = mid_plan
                 .iter()
                 .zip(aware_sats)
-                .map(|(a, sat)| StripeAssignment {
-                    sat,
-                    ..a.clone()
-                })
+                .map(|(a, sat)| StripeAssignment { sat, ..a.clone() })
                 .collect();
             let mid = playback_stalls(&c, city, mask, &mid_plan, input.window, step);
             let aware = playback_stalls(&c, city, mask, &aware_plan, input.window, step);
@@ -309,10 +293,14 @@ mod tests {
         let aware = plan_windows_pass_aware(&c, area, mask, start, input.window, 10);
         let worst = |sat: SatIndex, i: usize| -> f64 {
             let w_start = start + input.window.mul(i as u64);
-            [w_start, w_start + SimDuration(input.window.0 / 2), w_start + input.window]
-                .into_iter()
-                .map(|t| area.elevation_angle_deg(c.position(sat, t)))
-                .fold(f64::INFINITY, f64::min)
+            [
+                w_start,
+                w_start + SimDuration(input.window.0 / 2),
+                w_start + input.window,
+            ]
+            .into_iter()
+            .map(|t| area.elevation_angle_deg(c.position(sat, t)))
+            .fold(f64::INFINITY, f64::min)
         };
         for i in 0..10 {
             if let (Some(m), Some(a)) = (mid[i], aware[i]) {

@@ -115,8 +115,11 @@ pub fn wormhole_capacity(
         SimDuration::ZERO
     } else {
         SimDuration(
-            (transits.iter().map(|t| t.duration().0 as u128).sum::<u128>() / carriers as u128)
-                as u64,
+            (transits
+                .iter()
+                .map(|t| t.duration().0 as u128)
+                .sum::<u128>()
+                / carriers as u128) as u64,
         )
     };
     let hours = horizon.as_secs_f64() / 3600.0;

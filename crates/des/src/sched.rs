@@ -237,10 +237,15 @@ mod tests {
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::from_secs(1), ());
         let mut count = 0u32;
-        run_until(&mut count, &mut s, SimTime::from_secs(10), |c, sched, _, ()| {
-            *c += 1;
-            sched.schedule_after(SimDuration::from_secs(1), ());
-        });
+        run_until(
+            &mut count,
+            &mut s,
+            SimTime::from_secs(10),
+            |c, sched, _, ()| {
+                *c += 1;
+                sched.schedule_after(SimDuration::from_secs(1), ());
+            },
+        );
         assert_eq!(count, 10);
         assert_eq!(s.len(), 1); // the tick queued beyond the horizon
     }
@@ -279,7 +284,7 @@ mod tests {
     }
 
     #[test]
-    fn run_until_ignores_cancelled(){
+    fn run_until_ignores_cancelled() {
         let mut s = Scheduler::new();
         let mut ids = Vec::new();
         for sec in 1..=5u64 {
@@ -288,7 +293,9 @@ mod tests {
         s.cancel(ids[1]); // 2
         s.cancel(ids[3]); // 4
         let mut seen = Vec::new();
-        run_until(&mut seen, &mut s, SimTime::from_secs(10), |w, _, _, e| w.push(e));
+        run_until(&mut seen, &mut s, SimTime::from_secs(10), |w, _, _, e| {
+            w.push(e)
+        });
         assert_eq!(seen, vec![1, 3, 5]);
     }
 

@@ -338,7 +338,13 @@ impl Histogram {
         self.bins
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .map(|(i, &c)| {
+                (
+                    self.lo + i as f64 * width,
+                    self.lo + (i + 1) as f64 * width,
+                    c,
+                )
+            })
             .collect()
     }
 }

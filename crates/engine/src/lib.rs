@@ -1,0 +1,188 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Campaign layers fan independent (epoch × city) tasks out over a pool of
+//! scoped worker threads with [`par_map`]. Determinism contract: the output
+//! vector is ordered by input index, and each task must derive its own RNG
+//! stream from `(seed, task coordinates)` rather than sharing a sequential
+//! generator — under that contract results are byte-identical for any
+//! thread count, including 1.
+//!
+//! The pool size comes from, in order: an in-process override
+//! ([`set_thread_override`], used by the 1-vs-N determinism tests),
+//! the `SPACECDN_THREADS` or `RAYON_NUM_THREADS` environment variables,
+//! and finally [`std::thread::available_parallelism`].
+//!
+//! This crate fills the role `rayon` would play; the build environment has
+//! no crates.io access, and the workspace only needs ordered map-style
+//! fan-out, so a scoped-thread work queue (~100 lines, no unsafe) keeps
+//! the dependency surface at zero.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// In-process thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker-pool size for this process, overriding environment
+/// variables and detected parallelism. `None` removes the override.
+///
+/// Tests use this to run the same campaign with 1 thread and N threads in
+/// one process and compare outputs byte-for-byte.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+fn env_thread_count(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Number of worker threads [`par_map`] will use.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = env_thread_count("SPACECDN_THREADS") {
+        return n;
+    }
+    if let Some(n) = env_thread_count("RAYON_NUM_THREADS") {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on the worker pool, returning results in input
+/// order regardless of completion order or thread count.
+///
+/// Workers pull indices from a shared counter (dynamic load balancing —
+/// campaign tasks are skewed: dense-city epochs cost more than sparse
+/// ones) and buffer `(index, result)` pairs locally; results are then
+/// scattered into an index-ordered output vector. A panic in any task
+/// propagates to the caller after the scope joins.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => partials.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in partials.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("no result for index {i}")))
+        .collect()
+}
+
+/// [`par_map`] over an index range: `par_map_indices(n, f)` equals
+/// `(0..n).map(f)` with the same ordering guarantee.
+pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_input_ordered() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        let work = |_: usize, &x: &u64| -> u64 {
+            // Skewed task costs exercise the dynamic queue.
+            (0..(x % 7) * 1000).fold(x, |acc, v| acc.wrapping_mul(31).wrapping_add(v))
+        };
+        set_thread_override(Some(1));
+        let seq = par_map(&items, work);
+        set_thread_override(Some(7));
+        let par = par_map(&items, work);
+        set_thread_override(None);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&[] as &[u8], |_, _| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn override_wins_over_env() {
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        set_thread_override(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map(&[1u8, 2, 3, 4], |_, &x| {
+                if x == 3 {
+                    panic!("task failure");
+                }
+                x
+            })
+        });
+        set_thread_override(None);
+        assert!(result.is_err());
+    }
+}

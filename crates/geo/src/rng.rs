@@ -28,7 +28,11 @@ impl DetRng {
         key[8..16].copy_from_slice(&h.to_le_bytes());
         // Spread the hash into the rest of the key so short labels still
         // produce well-separated ChaCha keys.
-        key[16..24].copy_from_slice(&h.rotate_left(23).wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+        key[16..24].copy_from_slice(
+            &h.rotate_left(23)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .to_le_bytes(),
+        );
         key[24..32].copy_from_slice(&seed.rotate_left(41).wrapping_add(h).to_le_bytes());
         DetRng {
             inner: ChaCha8Rng::from_seed(key),

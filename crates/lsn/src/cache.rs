@@ -1,0 +1,194 @@
+//! Epoch-scoped routing cache.
+//!
+//! Campaign code asks the same snapshot for full single-source routing
+//! tables over and over: every synthetic RTT measurement from a city runs
+//! a Dijkstra from that city's overhead satellite, and every retrieval
+//! trial additionally wants BFS hop levels from the same source. Within
+//! one snapshot the graph never changes, so those tables are pure
+//! functions of (snapshot, source) — the cache memoizes them behind an
+//! `RwLock` so concurrent experiment tasks share a single computation per
+//! source satellite.
+//!
+//! The cache is owned by (and shares the lifetime of) one [`IslGraph`];
+//! rebuilding the snapshot for the next epoch starts from an empty cache,
+//! which is what keeps entries trivially consistent — there is no
+//! invalidation, keys live exactly as long as the topology they describe.
+//!
+//! `std::sync::RwLock` is used rather than `parking_lot` because the
+//! build environment is offline (no crates.io access; see `vendor/`) and
+//! the lock is held only for a `HashMap` probe or insert — the uncontended
+//! fast path is a compare-exchange either way.
+
+use crate::routing::{dijkstra_distances, hop_distances};
+use crate::topology::IslGraph;
+use spacecdn_orbit::SatIndex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Memoized single-source routing tables for one source satellite in one
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceTables {
+    /// Per-destination `(kilometres, hop count)` of the cheapest-by-distance
+    /// path, exactly as [`dijkstra_distances`] returns it.
+    pub km: Vec<(f64, u32)>,
+    /// Per-destination BFS hop levels, exactly as [`hop_distances`]
+    /// returns them.
+    pub hops: Vec<u32>,
+}
+
+impl SourceTables {
+    /// Compute the tables directly (the uncached path).
+    pub fn compute(graph: &IslGraph, src: SatIndex) -> Self {
+        SourceTables {
+            km: dijkstra_distances(graph, src),
+            hops: hop_distances(graph, src),
+        }
+    }
+}
+
+/// Per-snapshot memo of [`SourceTables`] keyed by source satellite.
+#[derive(Default)]
+pub struct RoutingCache {
+    tables: RwLock<HashMap<u32, Arc<SourceTables>>>,
+}
+
+impl RoutingCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tables for `src`, computing and memoizing them on first use.
+    ///
+    /// Two tasks racing on an uncached source may both compute the tables;
+    /// the first insert wins and the duplicate is dropped. The result is a
+    /// pure function of the graph, so either copy is identical — the race
+    /// costs duplicated work once, never divergent answers.
+    pub fn tables_for(&self, graph: &IslGraph, src: SatIndex) -> Arc<SourceTables> {
+        if let Some(hit) = self.tables.read().expect("cache lock poisoned").get(&src.0) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(SourceTables::compute(graph, src));
+        let mut writer = self.tables.write().expect("cache lock poisoned");
+        Arc::clone(writer.entry(src.0).or_insert(computed))
+    }
+
+    /// Number of source satellites with memoized tables.
+    pub fn cached_sources(&self) -> usize {
+        self.tables.read().expect("cache lock poisoned").len()
+    }
+}
+
+impl fmt::Debug for RoutingCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutingCache")
+            .field("cached_sources", &self.cached_sources())
+            .finish()
+    }
+}
+
+/// In-process cache kill switch: 0 = follow the environment, 1 = forced
+/// off, 2 = forced on.
+static CACHE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Environment default, read once: `SPACECDN_NO_ROUTING_CACHE=1` disables
+/// memoization (used to measure the pre-cache baseline).
+fn env_cache_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| {
+        std::env::var("SPACECDN_NO_ROUTING_CACHE").is_ok_and(|v| v != "0" && !v.is_empty())
+    })
+}
+
+/// Force the routing cache on or off for this process, overriding
+/// `SPACECDN_NO_ROUTING_CACHE`. `None` restores environment behaviour.
+/// Benchmarks use this to time cached vs uncached in a single run.
+pub fn set_routing_cache_override(enabled: Option<bool>) {
+    let code = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    CACHE_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// Is table memoization active? Routing *answers* are identical either
+/// way; only the amount of recomputation differs.
+pub fn routing_cache_enabled() -> bool {
+    match CACHE_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => !env_cache_disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use spacecdn_geo::SimTime;
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+
+    fn graph() -> IslGraph {
+        let c = Constellation::new(shells::starlink_shell1());
+        IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none())
+    }
+
+    #[test]
+    fn cached_tables_match_direct_computation() {
+        let g = graph();
+        let cache = RoutingCache::new();
+        let src = SatIndex(123);
+        let cached = cache.tables_for(&g, src);
+        let direct = SourceTables::compute(&g, src);
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn second_lookup_shares_the_allocation() {
+        let g = graph();
+        let cache = RoutingCache::new();
+        let a = cache.tables_for(&g, SatIndex(7));
+        let b = cache.tables_for(&g, SatIndex(7));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.cached_sources(), 1);
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_entries() {
+        let g = graph();
+        let cache = RoutingCache::new();
+        cache.tables_for(&g, SatIndex(1));
+        cache.tables_for(&g, SatIndex(2));
+        assert_eq!(cache.cached_sources(), 2);
+    }
+
+    #[test]
+    fn override_toggles_enablement() {
+        set_routing_cache_override(Some(false));
+        assert!(!routing_cache_enabled());
+        set_routing_cache_override(Some(true));
+        assert!(routing_cache_enabled());
+        set_routing_cache_override(None);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let g = graph();
+        let cache = RoutingCache::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.tables_for(&g, SatIndex(55))))
+                .collect();
+            let tables: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for t in &tables[1..] {
+                assert_eq!(**t, *tables[0]);
+            }
+        });
+        assert_eq!(cache.cached_sources(), 1);
+    }
+}

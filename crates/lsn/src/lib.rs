@@ -25,18 +25,22 @@
 
 pub mod access;
 pub mod bufferbloat;
+pub mod cache;
 pub mod dynamics;
 pub mod fault;
 pub mod load;
 pub mod path;
 pub mod routing;
+pub mod spatial;
 pub mod topology;
 
 pub use access::AccessModel;
 pub use bufferbloat::BufferbloatModel;
+pub use cache::{set_routing_cache_override, RoutingCache, SourceTables};
 pub use dynamics::{churn_report, route_samples, ChurnReport};
 pub use fault::FaultPlan;
 pub use load::LinkLoad;
 pub use path::{spacecdn_fetch_rtt, starlink_rtt_to_pop, StarlinkPath};
 pub use routing::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, IslPath};
+pub use spatial::SpatialIndex;
 pub use topology::IslGraph;

@@ -159,7 +159,9 @@ mod tests {
         let (_, g, access) = setup();
         let city = Geodetic::ground(51.5, -0.13);
         let mut rng = DetRng::new(9, "path");
-        let base = starlink_rtt_to_pop(&g, &access, city, city, None).unwrap().rtt;
+        let base = starlink_rtt_to_pop(&g, &access, city, city, None)
+            .unwrap()
+            .rtt;
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..20 {
             let p = starlink_rtt_to_pop(&g, &access, city, city, Some(&mut rng)).unwrap();
@@ -177,10 +179,7 @@ mod tests {
         let maputo = Geodetic::ground(-25.97, 32.57);
         let frankfurt = Geodetic::ground(50.11, 8.68);
         let (up_sat, up_slant) = g.nearest_alive(maputo).unwrap();
-        let target = c.sat_at(
-            c.plane_of(up_sat) as i64 + 3,
-            c.slot_of(up_sat) as i64 + 2,
-        );
+        let target = c.sat_at(c.plane_of(up_sat) as i64 + 3, c.slot_of(up_sat) as i64 + 2);
         let isl = bfs_nearest(&g, up_sat, 10, |s| s == target).unwrap();
         let fetch = spacecdn_fetch_rtt(&access, up_slant, &isl, None);
         let bent = starlink_rtt_to_pop(&g, &access, maputo, frankfurt, None).unwrap();

@@ -11,6 +11,7 @@
 use crate::topology::IslGraph;
 use spacecdn_geo::{Km, Latency};
 use spacecdn_orbit::SatIndex;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -55,6 +56,104 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// Sentinel in the scratch `prev` array: no predecessor recorded.
+const NO_PREV: u32 = u32::MAX;
+
+/// Reusable per-thread working memory for the graph walks below.
+///
+/// Campaigns run these routines millions of times; allocating `dist` /
+/// `prev` / heap storage per call dominated their cost. The arrays are
+/// epoch-stamped: `stamp[i] == epoch` means slot `i` was written during
+/// the current walk, anything else reads as "unvisited" — so resetting
+/// between walks is a single counter increment, not an O(n) fill.
+struct Scratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<HeapItem>,
+    queue: VecDeque<(SatIndex, u32)>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            epoch: 0,
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            heap: BinaryHeap::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Start a walk over a graph with `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp = vec![0; n];
+            self.dist = vec![f64::INFINITY; n];
+            self.prev = vec![NO_PREV; n];
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp counter wrapped (once per ~4 billion walks): clear the
+            // stale stamps so old epochs can't alias the new one.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visited(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    #[inline]
+    fn dist(&self, i: usize) -> f64 {
+        if self.visited(i) {
+            self.dist[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, i: usize, dist: f64, prev: u32) {
+        self.stamp[i] = self.epoch;
+        self.dist[i] = dist;
+        self.prev[i] = prev;
+    }
+
+    /// Rebuild the node chain ending at `last` from the `prev` links.
+    fn trace_path(&self, last: SatIndex) -> Vec<SatIndex> {
+        let mut sats = vec![last];
+        let mut cur = last;
+        while self.prev[cur.as_usize()] != NO_PREV {
+            cur = SatIndex(self.prev[cur.as_usize()]);
+            sats.push(cur);
+        }
+        sats.reverse();
+        sats
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Run `f` with this thread's scratch buffers. A reentrant call (a BFS
+/// target predicate invoking routing again) falls back to fresh buffers
+/// instead of panicking on the `RefCell`.
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
+
 /// Latency-weighted shortest path between two satellites. `None` when the
 /// destination is unreachable (faults can partition the grid).
 pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPath> {
@@ -68,52 +167,48 @@ pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPat
             propagation: Latency::ZERO,
         });
     }
-    let n = graph.len();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<SatIndex>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[src.as_usize()] = 0.0;
-    heap.push(HeapItem { cost: 0.0, sat: src });
+    with_scratch(|s| {
+        s.begin(graph.len());
+        s.record(src.as_usize(), 0.0, NO_PREV);
+        s.heap.push(HeapItem {
+            cost: 0.0,
+            sat: src,
+        });
 
-    while let Some(HeapItem { cost, sat }) = heap.pop() {
-        if cost > dist[sat.as_usize()] {
-            continue;
-        }
-        if sat == dst {
-            break;
-        }
-        for edge in graph.neighbors(sat) {
-            let next = cost + edge.length.0;
-            if next < dist[edge.to.as_usize()] {
-                dist[edge.to.as_usize()] = next;
-                prev[edge.to.as_usize()] = Some(sat);
-                heap.push(HeapItem {
-                    cost: next,
-                    sat: edge.to,
-                });
+        while let Some(HeapItem { cost, sat }) = s.heap.pop() {
+            if cost > s.dist(sat.as_usize()) {
+                continue;
+            }
+            if sat == dst {
+                break;
+            }
+            for edge in graph.neighbors(sat) {
+                let next = cost + edge.length.0;
+                if next < s.dist(edge.to.as_usize()) {
+                    s.record(edge.to.as_usize(), next, sat.0);
+                    s.heap.push(HeapItem {
+                        cost: next,
+                        sat: edge.to,
+                    });
+                }
             }
         }
-    }
 
-    if dist[dst.as_usize()].is_infinite() {
-        return None;
-    }
-    let mut sats = vec![dst];
-    let mut cur = dst;
-    while let Some(p) = prev[cur.as_usize()] {
-        sats.push(p);
-        cur = p;
-    }
-    sats.reverse();
-    debug_assert_eq!(sats.first(), Some(&src));
-    let length = Km(dist[dst.as_usize()]);
-    Some(IslPath {
-        sats,
-        length,
-        propagation: spacecdn_geo::propagation::propagation_delay(
+        let total = s.dist(dst.as_usize());
+        if total.is_infinite() {
+            return None;
+        }
+        let sats = s.trace_path(dst);
+        debug_assert_eq!(sats.first(), Some(&src));
+        let length = Km(total);
+        Some(IslPath {
+            sats,
             length,
-            spacecdn_geo::Medium::Vacuum,
-        ),
+            propagation: spacecdn_geo::propagation::propagation_delay(
+                length,
+                spacecdn_geo::Medium::Vacuum,
+            ),
+        })
     })
 }
 
@@ -129,24 +224,29 @@ pub fn dijkstra_distances(graph: &IslGraph, src: SatIndex) -> Vec<(f64, u32)> {
         return out;
     }
     out[src.as_usize()] = (0.0, 0);
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { cost: 0.0, sat: src });
-    while let Some(HeapItem { cost, sat }) = heap.pop() {
-        if cost > out[sat.as_usize()].0 {
-            continue;
-        }
-        let hops = out[sat.as_usize()].1;
-        for edge in graph.neighbors(sat) {
-            let next = cost + edge.length.0;
-            if next < out[edge.to.as_usize()].0 {
-                out[edge.to.as_usize()] = (next, hops + 1);
-                heap.push(HeapItem {
-                    cost: next,
-                    sat: edge.to,
-                });
+    with_scratch(|s| {
+        s.begin(graph.len());
+        s.heap.push(HeapItem {
+            cost: 0.0,
+            sat: src,
+        });
+        while let Some(HeapItem { cost, sat }) = s.heap.pop() {
+            if cost > out[sat.as_usize()].0 {
+                continue;
+            }
+            let hops = out[sat.as_usize()].1;
+            for edge in graph.neighbors(sat) {
+                let next = cost + edge.length.0;
+                if next < out[edge.to.as_usize()].0 {
+                    out[edge.to.as_usize()] = (next, hops + 1);
+                    s.heap.push(HeapItem {
+                        cost: next,
+                        sat: edge.to,
+                    });
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -158,17 +258,18 @@ pub fn hop_distances(graph: &IslGraph, src: SatIndex) -> Vec<u32> {
         return dist;
     }
     dist[src.as_usize()] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(sat) = queue.pop_front() {
-        let d = dist[sat.as_usize()];
-        for edge in graph.neighbors(sat) {
-            if dist[edge.to.as_usize()] == u32::MAX {
-                dist[edge.to.as_usize()] = d + 1;
-                queue.push_back(edge.to);
+    with_scratch(|s| {
+        s.begin(graph.len());
+        s.queue.push_back((src, 0));
+        while let Some((sat, d)) = s.queue.pop_front() {
+            for edge in graph.neighbors(sat) {
+                if dist[edge.to.as_usize()] == u32::MAX {
+                    dist[edge.to.as_usize()] = d + 1;
+                    s.queue.push_back((edge.to, d + 1));
+                }
             }
         }
-    }
+    });
     dist
 }
 
@@ -192,49 +293,41 @@ pub fn bfs_nearest(
             propagation: Latency::ZERO,
         });
     }
-    let n = graph.len();
-    let mut visited = vec![false; n];
-    let mut prev: Vec<Option<SatIndex>> = vec![None; n];
-    visited[src.as_usize()] = true;
-    let mut queue = VecDeque::new();
-    queue.push_back((src, 0u32));
+    with_scratch(|s| {
+        s.begin(graph.len());
+        s.record(src.as_usize(), 0.0, NO_PREV);
+        s.queue.push_back((src, 0u32));
 
-    while let Some((sat, hops)) = queue.pop_front() {
-        if hops >= max_hops {
-            continue;
-        }
-        for edge in graph.neighbors(sat) {
-            if visited[edge.to.as_usize()] {
+        while let Some((sat, hops)) = s.queue.pop_front() {
+            if hops >= max_hops {
                 continue;
             }
-            visited[edge.to.as_usize()] = true;
-            prev[edge.to.as_usize()] = Some(sat);
-            if is_target(edge.to) {
-                // Reconstruct and measure the path.
-                let mut sats = vec![edge.to];
-                let mut cur = edge.to;
-                while let Some(p) = prev[cur.as_usize()] {
-                    sats.push(p);
-                    cur = p;
+            for edge in graph.neighbors(sat) {
+                if s.visited(edge.to.as_usize()) {
+                    continue;
                 }
-                sats.reverse();
-                let mut length = Km::ZERO;
-                for w in sats.windows(2) {
-                    length += graph.position(w[0]).distance(graph.position(w[1]));
-                }
-                return Some(IslPath {
-                    sats,
-                    length,
-                    propagation: spacecdn_geo::propagation::propagation_delay(
+                s.record(edge.to.as_usize(), 0.0, sat.0);
+                if is_target(edge.to) {
+                    // Reconstruct and measure the path.
+                    let sats = s.trace_path(edge.to);
+                    let mut length = Km::ZERO;
+                    for w in sats.windows(2) {
+                        length += graph.position(w[0]).distance(graph.position(w[1]));
+                    }
+                    return Some(IslPath {
+                        sats,
                         length,
-                        spacecdn_geo::Medium::Vacuum,
-                    ),
-                });
+                        propagation: spacecdn_geo::propagation::propagation_delay(
+                            length,
+                            spacecdn_geo::Medium::Vacuum,
+                        ),
+                    });
+                }
+                s.queue.push_back((edge.to, hops + 1));
             }
-            queue.push_back((edge.to, hops + 1));
         }
-    }
-    None
+        None
+    })
 }
 
 #[cfg(test)]
@@ -266,13 +359,7 @@ mod tests {
         let b = c.sat_at(0, 1);
         let p = dijkstra(&g, a, b).unwrap();
         assert_eq!(p.hop_count(), 1);
-        let edge_len = g
-            .neighbors(a)
-            .iter()
-            .find(|e| e.to == b)
-            .unwrap()
-            .length
-            .0;
+        let edge_len = g.neighbors(a).iter().find(|e| e.to == b).unwrap().length.0;
         assert!((p.length.0 - edge_len).abs() < 1e-9);
     }
 
@@ -308,7 +395,11 @@ mod tests {
         }
         let p = dijkstra(&g, src, cur).unwrap();
         assert_eq!(p.hop_count(), 3);
-        assert!((p.length.0 - expected_len).abs() < 1e-6, "got {}", p.length.0);
+        assert!(
+            (p.length.0 - expected_len).abs() < 1e-6,
+            "got {}",
+            p.length.0
+        );
         assert!(p.length.0 < 3.0 * 1500.0, "got {}", p.length.0);
     }
 

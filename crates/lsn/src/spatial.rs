@@ -1,0 +1,331 @@
+//! Lat/lon grid spatial index over snapshot satellite positions.
+//!
+//! `nearest_alive` used to scan all 1584 satellites per call; campaigns
+//! call it for every (city, epoch) pair and every retrieval trial. This
+//! index buckets alive satellites into fixed lat/lon cells at build time
+//! and answers nearest-satellite queries by scanning only the cells whose
+//! *conservative* distance lower bound can beat the best candidate found
+//! so far.
+//!
+//! The result is exactly the linear scan's answer — including its
+//! tie-break (lowest satellite index wins at equal distance) — because
+//! candidate cells are pruned with a provable lower bound and surviving
+//! members are compared with the same exact `(distance, index)` ordering
+//! the scan uses. The bound per cell: members lie inside a cone around
+//! the cell's mean direction `u` with angular radius `rho`, at radius
+//! `r ∈ [r_min, r_max]` from Earth's centre. For a query point at radius
+//! `gn` and angle `alpha` from `u`, every member sits at central angle
+//! `theta ≥ theta_min = max(0, alpha - rho)`, so
+//! `d² = gn² + r² - 2·gn·r·cos(theta)` is bounded below by taking `r_min`
+//! in the quadratic term and the endpoint of `[r_min, r_max]` that
+//! minimizes the cross term (each term minimized independently — the sum
+//! of minima never exceeds the true minimum). A 1 m slack absorbs
+//! floating-point rounding in the bound itself.
+
+use spacecdn_geo::{Ecef, Km};
+use spacecdn_orbit::SatIndex;
+
+/// Cell granularity in degrees. 15° keeps the non-empty cell count near
+/// 200 for Shell 1 (so the per-query bound pass is ~8× cheaper than the
+/// full scan) while leaving several satellites per cell to amortize it.
+const CELL_DEG: f64 = 15.0;
+/// Slack subtracted from each cell's distance lower bound, in km, to
+/// absorb floating-point rounding. 1 m is ~10⁴ × the worst-case error at
+/// these magnitudes and costs no measurable pruning power.
+const BOUND_SLACK_KM: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct Cell {
+    /// Unit mean direction of the members.
+    unit: [f64; 3],
+    /// Cosine/sine of the member cone's angular radius around `unit`,
+    /// precomputed so query-time bounds need no trigonometry (`acos` per
+    /// cell would cost more than the scan the index avoids).
+    cos_rho: f64,
+    sin_rho: f64,
+    /// Radius range of members from Earth's centre, km.
+    r_min: f64,
+    r_max: f64,
+    /// Member satellite indices, ascending.
+    members: Vec<u32>,
+}
+
+/// Grid index over the alive satellites of one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SpatialIndex {
+    cells: Vec<Cell>,
+}
+
+fn norm(v: [f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn as_array(p: Ecef) -> [f64; 3] {
+    [p.x, p.y, p.z]
+}
+
+impl SpatialIndex {
+    /// Bucket the alive satellites of a snapshot. `positions` and `alive`
+    /// are parallel arrays as held by the ISL graph.
+    pub fn build(positions: &[Ecef], alive: &[bool]) -> Self {
+        let lon_cells = (360.0 / CELL_DEG).ceil() as usize;
+        let lat_cells = (180.0 / CELL_DEG).ceil() as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); lon_cells * lat_cells];
+        for (i, pos) in positions.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let geo = pos.to_geodetic();
+            let lat_i = (((geo.lat_deg + 90.0) / CELL_DEG) as usize).min(lat_cells - 1);
+            let lon_i = (((geo.lon_deg + 180.0) / CELL_DEG) as usize).min(lon_cells - 1);
+            buckets[lat_i * lon_cells + lon_i].push(i as u32);
+        }
+
+        let mut cells = Vec::new();
+        for members in buckets {
+            if members.is_empty() {
+                continue;
+            }
+            let mut sum = [0.0f64; 3];
+            let mut r_min = f64::INFINITY;
+            let mut r_max = 0.0f64;
+            for &m in &members {
+                let p = as_array(positions[m as usize]);
+                let r = norm(p);
+                r_min = r_min.min(r);
+                r_max = r_max.max(r);
+                sum[0] += p[0] / r;
+                sum[1] += p[1] / r;
+                sum[2] += p[2] / r;
+            }
+            let sum_norm = norm(sum);
+            // Members of one lat/lon cell always share a hemisphere, so the
+            // mean direction cannot vanish; guard anyway.
+            let unit = if sum_norm > 1e-12 {
+                [sum[0] / sum_norm, sum[1] / sum_norm, sum[2] / sum_norm]
+            } else {
+                [1.0, 0.0, 0.0]
+            };
+            let mut rho = 0.0f64;
+            for &m in &members {
+                let p = as_array(positions[m as usize]);
+                let cos_angle = (dot(p, unit) / norm(p)).clamp(-1.0, 1.0);
+                rho = rho.max(cos_angle.acos());
+            }
+            // Angular slack absorbs acos rounding before the cosine pair
+            // is frozen for query-time bounds.
+            let rho = rho + 1e-9;
+            cells.push(Cell {
+                unit,
+                cos_rho: rho.cos(),
+                sin_rho: rho.sin(),
+                r_min,
+                r_max,
+                members,
+            });
+        }
+        SpatialIndex { cells }
+    }
+
+    /// Lower bound on the distance from `g` (radius `gn`, unit `gu`) to
+    /// any member of `cell`, minus [`BOUND_SLACK_KM`]. Trig-free:
+    /// `cos(theta_min) = cos(max(0, alpha - rho))` expands to
+    /// `cosα·cosρ + sinα·sinρ` when `alpha > rho`, and 1 otherwise —
+    /// both cases need only the dot product and one square root.
+    fn cell_lower_bound(cell: &Cell, gn: f64, gu: [f64; 3]) -> f64 {
+        let cos_a = dot(gu, cell.unit).clamp(-1.0, 1.0);
+        let cos_t = if cos_a >= cell.cos_rho {
+            1.0 // the query direction lies inside the cone: theta_min = 0
+        } else {
+            let sin_a = (1.0 - cos_a * cos_a).max(0.0).sqrt();
+            cos_a * cell.cos_rho + sin_a * cell.sin_rho
+        };
+        let cross_r = if cos_t > 0.0 { cell.r_max } else { cell.r_min };
+        let d2 = gn * gn + cell.r_min * cell.r_min - 2.0 * gn * cross_r * cos_t;
+        d2.max(0.0).sqrt() - BOUND_SLACK_KM
+    }
+
+    /// The alive satellite nearest to `ground`, with the exact semantics
+    /// of the linear scan: minimal `(distance, index)` lexicographically.
+    /// `None` when the index is empty (every satellite failed).
+    pub fn nearest(&self, positions: &[Ecef], ground: Ecef) -> Option<(SatIndex, Km)> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let g = as_array(ground);
+        let gn = norm(g);
+        if gn <= 0.0 || gn.is_nan() {
+            // Degenerate query point (Earth's centre or NaN coordinates):
+            // every bound argument below would be ill-defined, fall back to
+            // scanning all members.
+            return self.scan_all(positions, ground);
+        }
+        let gu = [g[0] / gn, g[1] / gn, g[2] / gn];
+
+        // Seed the incumbent from the cell with the smallest lower bound
+        // (no sort: one min pass beats sorting the whole bound list), then
+        // sweep the rest, skipping any cell whose bound proves every member
+        // strictly farther than the incumbent — the slack makes the bound
+        // strict, so a skipped member cannot even tie. Scan order doesn't
+        // affect the answer: the `(distance, index)` comparison is a total
+        // order, so the surviving minimum is the linear scan's.
+        let bounds: Vec<f64> = self
+            .cells
+            .iter()
+            .map(|c| Self::cell_lower_bound(c, gn, gu))
+            .collect();
+        let seed = bounds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .expect("cells non-empty when gn > 0 and index non-empty");
+
+        let mut best: Option<(SatIndex, Km)> = None;
+        let scan_cell = |cell_i: usize, best: &mut Option<(SatIndex, Km)>| {
+            for &m in &self.cells[cell_i].members {
+                let d = positions[m as usize].distance(ground);
+                let better = match *best {
+                    None => true,
+                    Some((bi, bd)) => d.0 < bd.0 || (d.0 == bd.0 && m < bi.0),
+                };
+                if better {
+                    *best = Some((SatIndex(m), d));
+                }
+            }
+        };
+        scan_cell(seed, &mut best);
+        for (cell_i, &bound) in bounds.iter().enumerate() {
+            if cell_i == seed {
+                continue;
+            }
+            if let Some((_, bd)) = best {
+                if bound > bd.0 {
+                    continue;
+                }
+            }
+            scan_cell(cell_i, &mut best);
+        }
+        best
+    }
+
+    fn scan_all(&self, positions: &[Ecef], ground: Ecef) -> Option<(SatIndex, Km)> {
+        let mut best: Option<(SatIndex, Km)> = None;
+        for cell in &self.cells {
+            for &m in &cell.members {
+                let d = positions[m as usize].distance(ground);
+                let better = match best {
+                    None => true,
+                    Some((bi, bd)) => d.0 < bd.0 || (d.0 == bd.0 && m < bi.0),
+                };
+                if better {
+                    best = Some((SatIndex(m), d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Number of non-empty cells (diagnostic).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of indexed satellites (diagnostic).
+    pub fn member_count(&self) -> usize {
+        self.cells.iter().map(|c| c.members.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacecdn_geo::Geodetic;
+
+    fn ring_positions(n: usize, alt_km: f64) -> Vec<Ecef> {
+        (0..n)
+            .map(|i| {
+                let lon = -180.0 + 360.0 * i as f64 / n as f64;
+                let lat = 50.0 * ((i as f64) * 0.7).sin();
+                Geodetic::at_altitude(lat, lon, alt_km).to_ecef()
+            })
+            .collect()
+    }
+
+    fn linear_nearest(positions: &[Ecef], alive: &[bool], g: Ecef) -> Option<(SatIndex, Km)> {
+        let mut best: Option<(SatIndex, Km)> = None;
+        for (i, pos) in positions.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let d = pos.distance(g);
+            if best.is_none_or(|(_, bd)| d.0 < bd.0) {
+                best = Some((SatIndex(i as u32), d));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_linear_scan_everywhere() {
+        let positions = ring_positions(400, 550.0);
+        let alive = vec![true; positions.len()];
+        let index = SpatialIndex::build(&positions, &alive);
+        assert_eq!(index.member_count(), 400);
+        for lat in (-80..=80).step_by(17) {
+            for lon in (-180..180).step_by(23) {
+                let g = Geodetic::ground(lat as f64, lon as f64).to_ecef();
+                assert_eq!(
+                    index.nearest(&positions, g),
+                    linear_nearest(&positions, &alive, g),
+                    "mismatch at lat={lat} lon={lon}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_alive_mask() {
+        let positions = ring_positions(100, 550.0);
+        let mut alive = vec![true; positions.len()];
+        for i in (0..100).step_by(3) {
+            alive[i] = false;
+        }
+        let index = SpatialIndex::build(&positions, &alive);
+        assert_eq!(index.member_count(), alive.iter().filter(|a| **a).count());
+        let g = Geodetic::ground(10.0, 20.0).to_ecef();
+        assert_eq!(
+            index.nearest(&positions, g),
+            linear_nearest(&positions, &alive, g)
+        );
+    }
+
+    #[test]
+    fn empty_index_yields_none() {
+        let positions = ring_positions(10, 550.0);
+        let alive = vec![false; positions.len()];
+        let index = SpatialIndex::build(&positions, &alive);
+        assert_eq!(index.cell_count(), 0);
+        assert!(index
+            .nearest(&positions, Geodetic::ground(0.0, 0.0).to_ecef())
+            .is_none());
+    }
+
+    #[test]
+    fn prunes_most_cells() {
+        let positions = ring_positions(1000, 550.0);
+        let alive = vec![true; positions.len()];
+        let index = SpatialIndex::build(&positions, &alive);
+        // Sanity on the geometry that makes the index worthwhile.
+        assert!(index.cell_count() > 20, "got {}", index.cell_count());
+        assert!(
+            index.cell_count() < positions.len() / 2,
+            "got {}",
+            index.cell_count()
+        );
+    }
+}

@@ -7,10 +7,13 @@
 //! towards the inclination limit). A snapshot freezes all link lengths at
 //! one instant; experiments rebuild snapshots as simulated time advances.
 
+use crate::cache::{routing_cache_enabled, RoutingCache, SourceTables};
 use crate::fault::FaultPlan;
+use crate::spatial::SpatialIndex;
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{Ecef, Geodetic, Km, Latency, SimTime};
 use spacecdn_orbit::{Constellation, SatIndex};
+use std::sync::Arc;
 
 /// One directed adjacency entry: a neighbour and the link length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,12 +25,20 @@ pub struct IslEdge {
 }
 
 /// A frozen ISL connectivity graph at one instant.
+///
+/// Carries two epoch-scoped acceleration structures that share its
+/// lifetime: a [`RoutingCache`] memoizing single-source routing tables
+/// (shared across clones — the cache is a pure function of the frozen
+/// topology, so clones may as well pool their work) and a
+/// [`SpatialIndex`] over alive satellites for nearest-satellite queries.
 #[derive(Debug, Clone)]
 pub struct IslGraph {
     time: SimTime,
     positions: Vec<Ecef>,
     adjacency: Vec<Vec<IslEdge>>,
     alive: Vec<bool>,
+    cache: Arc<RoutingCache>,
+    spatial: SpatialIndex,
 }
 
 impl IslGraph {
@@ -95,7 +106,7 @@ impl IslGraph {
                 constellation.sat_at(plane, slot - 1), // aft
                 constellation.sat_at(plane, slot + 1), // fore
                 constellation.sat_at(plane - 1, slot - offset_from(plane - 1)), // left
-                constellation.sat_at(plane + 1, slot + offset_from(plane)),     // right
+                constellation.sat_at(plane + 1, slot + offset_from(plane)), // right
             ];
             for nb in neighbours {
                 if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
@@ -106,11 +117,14 @@ impl IslGraph {
             }
         }
 
+        let spatial = SpatialIndex::build(&positions, &alive);
         IslGraph {
             time: t,
             positions,
             adjacency,
             alive,
+            cache: Arc::new(RoutingCache::new()),
+            spatial,
         }
     }
 
@@ -151,7 +165,21 @@ impl IslGraph {
 
     /// The operational satellite nearest (slant range) to a ground point.
     /// `None` if every satellite failed.
+    ///
+    /// Answered from the snapshot's [`SpatialIndex`]; the result (winner
+    /// and tie-break) is identical to [`Self::nearest_alive_linear`].
     pub fn nearest_alive(&self, ground: Geodetic) -> Option<(SatIndex, Km)> {
+        if routing_cache_enabled() {
+            self.spatial.nearest(&self.positions, ground.to_ecef())
+        } else {
+            self.nearest_alive_linear(ground)
+        }
+    }
+
+    /// Reference implementation of [`Self::nearest_alive`]: a full scan
+    /// over every satellite. Kept for equivalence tests, benchmarks, and
+    /// the `SPACECDN_NO_ROUTING_CACHE` baseline mode.
+    pub fn nearest_alive_linear(&self, ground: Geodetic) -> Option<(SatIndex, Km)> {
         let g = ground.to_ecef();
         let mut best: Option<(SatIndex, Km)> = None;
         for (i, pos) in self.positions.iter().enumerate() {
@@ -164,6 +192,30 @@ impl IslGraph {
             }
         }
         best
+    }
+
+    /// Memoized single-source routing tables (Dijkstra kilometres/hops and
+    /// BFS hop levels) from `src`. First use per source computes the
+    /// tables; later uses — from any thread or clone of this graph —
+    /// share them. With the cache disabled (see
+    /// [`crate::cache::set_routing_cache_override`]) the tables are
+    /// recomputed per call, which is the pre-cache baseline behaviour.
+    pub fn routing_tables(&self, src: SatIndex) -> Arc<SourceTables> {
+        if routing_cache_enabled() {
+            self.cache.tables_for(self, src)
+        } else {
+            Arc::new(SourceTables::compute(self, src))
+        }
+    }
+
+    /// Number of source satellites with memoized routing tables.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.cached_sources()
+    }
+
+    /// The snapshot's spatial index (diagnostic access).
+    pub fn spatial_index(&self) -> &SpatialIndex {
+        &self.spatial
     }
 
     /// Total number of directed edges (diagnostic).
@@ -279,7 +331,9 @@ mod tests {
         assert!(g.neighbors(SatIndex(50)).is_empty());
         for i in 0..g.len() {
             assert!(
-                g.neighbors(SatIndex(i as u32)).iter().all(|e| e.to != SatIndex(50)),
+                g.neighbors(SatIndex(i as u32))
+                    .iter()
+                    .all(|e| e.to != SatIndex(50)),
                 "someone still links to the dead satellite"
             );
         }

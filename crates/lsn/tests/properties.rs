@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use spacecdn_geo::{DetRng, SimTime};
-use spacecdn_lsn::{
-    bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph,
-};
+use spacecdn_lsn::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph};
 use spacecdn_orbit::shell::ShellConfig;
 use spacecdn_orbit::{Constellation, SatIndex};
 

@@ -15,12 +15,14 @@
 //! the paper computes its "median minRTT" to the best site.
 
 use serde::Serialize;
-use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::network::{LsnNetwork, LsnSnapshot};
 use spacecdn_des::Percentiles;
+use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimTime};
 use spacecdn_lsn::FaultPlan;
 use spacecdn_terra::cdn::{cdn_sites, rank_sites, CdnSite};
 use spacecdn_terra::city::{cities, City};
+use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::country_last_mile_factor;
 use spacecdn_terra::starlink::{covered_countries, home_pop};
 
@@ -120,6 +122,106 @@ pub struct AimCampaign {
     records: Vec<AimRecord>,
 }
 
+/// One (city, epoch) task of the campaign: both ISPs' tests for `city` at
+/// the epoch `snap` was frozen at. RNG stream and record order are
+/// self-contained, so tasks can run on any thread in any order.
+fn city_epoch_records(
+    config: &AimConfig,
+    net: &LsnNetwork,
+    snap: &LsnSnapshot<'_>,
+    sites: &[CdnSite],
+    fiber: &FiberModel,
+    city: &City,
+    epoch: usize,
+) -> Vec<AimRecord> {
+    let mut records = Vec::new();
+    let mut rng = DetRng::new(config.seed, &format!("aim/{}/{}", city.name, epoch));
+    // Terrestrial egress = the city; Starlink egress = the PoP.
+    // Anycast usually lands on the nearest site but scatters to
+    // the next few with probability `anycast_scatter`.
+    let terr_ranked = rank_sites(city.position(), city.region, sites, fiber);
+    let pop = home_pop(city.cc, city.position());
+    let star_ranked = rank_sites(pop.position(), pop.city.region, sites, fiber);
+
+    let lm_factor = country_last_mile_factor(city.cc);
+    // The space path is fixed within an epoch; only the
+    // user-link scheduling jitter varies per probe. Resolve the
+    // median path once and re-jitter it per probe (equivalent
+    // distributionally, ~20× cheaper than re-routing).
+    let star_pop_rtt = snap
+        .starlink_rtt_to_pop(city.position(), &pop, None)
+        .map(|p| p.rtt.ms());
+    let access = net.access();
+    let tests = ((config.tests_per_epoch as f64) * population_weight(city)).round() as usize;
+    let pick = |rng: &mut DetRng| -> usize {
+        if rng.chance(config.anycast_scatter) {
+            1 + rng.index(3.min(terr_ranked.len() - 1).max(1))
+        } else {
+            0
+        }
+    };
+    for _ in 0..tests.max(1) {
+        // Terrestrial test: min over probes of WAN + last mile.
+        let rank = pick(&mut rng).min(terr_ranked.len() - 1);
+        let (terr_site, terr_wan) = terr_ranked[rank];
+        let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
+            .map(|_| {
+                let lm = rng.log_normal_median(
+                    city.region.profile().last_mile_median_ms * lm_factor,
+                    city.region.profile().last_mile_sigma,
+                );
+                terr_wan.ms() + lm
+            })
+            .collect();
+        probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let t_min = probes[0];
+        let t_idle = probes[probes.len() / 2];
+        records.push(AimRecord {
+            city: city.name,
+            cc: city.cc,
+            isp: IspKind::Terrestrial,
+            min_rtt_ms: t_min,
+            idle_rtt_ms: t_idle,
+            cdn_city: terr_site.city.name,
+            cdn_distance_km: city
+                .position()
+                .great_circle_distance(terr_site.position())
+                .0,
+            scattered: rank > 0,
+        });
+
+        // Starlink test: min over probes of space path + PoP→CDN.
+        if let Some(base) = star_pop_rtt {
+            let rank = pick(&mut rng).min(star_ranked.len() - 1);
+            let (star_site, pop_to_site) = star_ranked[rank];
+            let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
+                .map(|_| {
+                    let sched =
+                        rng.log_normal_median(access.ka_sched_median_ms, access.ka_sched_sigma);
+                    base + pop_to_site.ms() - access.ka_sched_median_ms + sched
+                })
+                .collect();
+            probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let s_min = probes[0];
+            let s_idle = probes[probes.len() / 2];
+            records.push(AimRecord {
+                city: city.name,
+                cc: city.cc,
+                isp: IspKind::Starlink,
+                min_rtt_ms: s_min,
+                idle_rtt_ms: s_idle,
+                cdn_city: star_site.city.name,
+                cdn_distance_km: city
+                    .position()
+                    .great_circle_distance(star_site.position())
+                    .0,
+                scattered: rank > 0,
+            });
+        }
+    }
+    records
+}
+
 impl AimCampaign {
     /// Run the campaign over every Starlink-covered country in the dataset.
     pub fn run(config: &AimConfig) -> Self {
@@ -127,113 +229,41 @@ impl AimCampaign {
     }
 
     /// Run for an explicit set of country codes.
+    ///
+    /// The (epoch × city) fan-out runs on the experiment engine's thread
+    /// pool. Every task derives its own RNG stream from
+    /// `(seed, "aim/{city}/{epoch}")` and tasks are flattened in the same
+    /// (epoch-major, city-minor) order the sequential loop used, so the
+    /// record stream is byte-identical at any thread count.
     pub fn run_for(config: &AimConfig, country_codes: &[&str]) -> Self {
         let net = LsnNetwork::starlink();
         let sites = cdn_sites();
         let fiber = *net.fiber();
-        let mut records = Vec::new();
 
+        // One snapshot per epoch, shared (read-only) by every city task of
+        // that epoch — its routing cache also warms across tasks.
+        let snapshots: Vec<LsnSnapshot<'_>> = (0..config.epochs)
+            .map(|epoch| {
+                let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
+                net.snapshot(t, &FaultPlan::none())
+            })
+            .collect();
+
+        let mut tasks: Vec<(usize, &City)> = Vec::new();
         for epoch in 0..config.epochs {
-            let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
-            let snap = net.snapshot(t, &FaultPlan::none());
             for city in cities() {
-                if !country_codes.contains(&city.cc) {
-                    continue;
-                }
-                let mut rng = DetRng::new(
-                    config.seed,
-                    &format!("aim/{}/{}", city.name, epoch),
-                );
-                // Terrestrial egress = the city; Starlink egress = the PoP.
-                // Anycast usually lands on the nearest site but scatters to
-                // the next few with probability `anycast_scatter`.
-                let terr_ranked = rank_sites(city.position(), city.region, &sites, &fiber);
-                let pop = home_pop(city.cc, city.position());
-                let star_ranked =
-                    rank_sites(pop.position(), pop.city.region, &sites, &fiber);
-
-                let lm_factor = country_last_mile_factor(city.cc);
-                // The space path is fixed within an epoch; only the
-                // user-link scheduling jitter varies per probe. Resolve the
-                // median path once and re-jitter it per probe (equivalent
-                // distributionally, ~20× cheaper than re-routing).
-                let star_pop_rtt = snap
-                    .starlink_rtt_to_pop(city.position(), &pop, None)
-                    .map(|p| p.rtt.ms());
-                let access = net.access();
-                let tests =
-                    ((config.tests_per_epoch as f64) * population_weight(city)).round() as usize;
-                let pick = |rng: &mut DetRng| -> usize {
-                    if rng.chance(config.anycast_scatter) {
-                        1 + rng.index(3.min(terr_ranked.len() - 1).max(1))
-                    } else {
-                        0
-                    }
-                };
-                for _ in 0..tests.max(1) {
-                    // Terrestrial test: min over probes of WAN + last mile.
-                    let rank = pick(&mut rng).min(terr_ranked.len() - 1);
-                    let (terr_site, terr_wan) = terr_ranked[rank];
-                    let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
-                        .map(|_| {
-                            let lm = rng.log_normal_median(
-                                city.region.profile().last_mile_median_ms * lm_factor,
-                                city.region.profile().last_mile_sigma,
-                            );
-                            terr_wan.ms() + lm
-                        })
-                        .collect();
-                    probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                    let t_min = probes[0];
-                    let t_idle = probes[probes.len() / 2];
-                    records.push(AimRecord {
-                        city: city.name,
-                        cc: city.cc,
-                        isp: IspKind::Terrestrial,
-                        min_rtt_ms: t_min,
-                        idle_rtt_ms: t_idle,
-                        cdn_city: terr_site.city.name,
-                        cdn_distance_km: city
-                            .position()
-                            .great_circle_distance(terr_site.position())
-                            .0,
-                        scattered: rank > 0,
-                    });
-
-                    // Starlink test: min over probes of space path + PoP→CDN.
-                    if let Some(base) = star_pop_rtt {
-                        let rank = pick(&mut rng).min(star_ranked.len() - 1);
-                        let (star_site, pop_to_site) = star_ranked[rank];
-                        let mut probes: Vec<f64> = (0..config.probes_per_test.max(1))
-                            .map(|_| {
-                                let sched = rng.log_normal_median(
-                                    access.ka_sched_median_ms,
-                                    access.ka_sched_sigma,
-                                );
-                                base + pop_to_site.ms() - access.ka_sched_median_ms + sched
-                            })
-                            .collect();
-                        probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                        let s_min = probes[0];
-                        let s_idle = probes[probes.len() / 2];
-                        records.push(AimRecord {
-                            city: city.name,
-                            cc: city.cc,
-                            isp: IspKind::Starlink,
-                            min_rtt_ms: s_min,
-                            idle_rtt_ms: s_idle,
-                            cdn_city: star_site.city.name,
-                            cdn_distance_km: city
-                                .position()
-                                .great_circle_distance(star_site.position())
-                                .0,
-                            scattered: rank > 0,
-                        });
-                    }
+                if country_codes.contains(&city.cc) {
+                    tasks.push((epoch, city));
                 }
             }
         }
-        AimCampaign { records }
+
+        let per_task = par_map(&tasks, |_, &(epoch, city)| {
+            city_epoch_records(config, &net, &snapshots[epoch], &sites, &fiber, city, epoch)
+        });
+        AimCampaign {
+            records: per_task.into_iter().flatten().collect(),
+        }
     }
 
     /// All raw records.
@@ -334,20 +364,22 @@ impl AimCampaign {
 
 /// The Figure 3 case study: from one client city, the median RTT to *every*
 /// CDN site over the given ISP (not just the optimal one).
-pub fn case_study_city(
-    city: &City,
-    isp: IspKind,
-    config: &AimConfig,
-) -> Vec<(CdnSite, Latency)> {
+pub fn case_study_city(city: &City, isp: IspKind, config: &AimConfig) -> Vec<(CdnSite, Latency)> {
     let net = LsnNetwork::starlink();
     let sites = cdn_sites();
     let fiber = *net.fiber();
-    let mut out = Vec::new();
-    for site in &sites {
-        let mut p = Percentiles::new();
-        for epoch in 0..config.epochs {
+    // The old loop rebuilt the snapshot for every (site, epoch) pair;
+    // topology depends only on the epoch, so build each once and share it
+    // across the per-site tasks (which also share its routing cache).
+    let snapshots: Vec<LsnSnapshot<'_>> = (0..config.epochs)
+        .map(|epoch| {
             let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
-            let snap = net.snapshot(t, &FaultPlan::none());
+            net.snapshot(t, &FaultPlan::none())
+        })
+        .collect();
+    let per_site = par_map(&sites, |_, site| {
+        let mut p = Percentiles::new();
+        for (epoch, snap) in snapshots.iter().enumerate() {
             let mut rng = DetRng::new(
                 config.seed,
                 &format!("case/{}/{}/{}", city.name, site.city.name, epoch),
@@ -382,10 +414,9 @@ pub fn case_study_city(
                 }
             }
         }
-        if let Some(median) = p.median() {
-            out.push((*site, Latency::from_ms(median)));
-        }
-    }
+        p.median().map(|median| (*site, Latency::from_ms(median)))
+    });
+    let mut out: Vec<(CdnSite, Latency)> = per_site.into_iter().flatten().collect();
     out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     out
 }
@@ -409,7 +440,11 @@ mod tests {
     #[test]
     fn campaign_produces_both_isps() {
         let c = AimCampaign::run_for(&quick_config(), &["ES", "MZ"]);
-        let star = c.records().iter().filter(|r| r.isp == IspKind::Starlink).count();
+        let star = c
+            .records()
+            .iter()
+            .filter(|r| r.isp == IspKind::Starlink)
+            .count();
         let terr = c
             .records()
             .iter()
@@ -434,10 +469,7 @@ mod tests {
         // Starlink CDN sits thousands of km away.
         let mz_s = get("MZ", IspKind::Starlink);
         let mz_t = get("MZ", IspKind::Terrestrial);
-        assert!(
-            (110.0..190.0).contains(&mz_s.median_min_rtt_ms),
-            "{mz_s:?}"
-        );
+        assert!((110.0..190.0).contains(&mz_s.median_min_rtt_ms), "{mz_s:?}");
         assert!(mz_t.median_min_rtt_ms < 40.0, "{mz_t:?}");
         assert!(mz_s.mean_cdn_distance_km > 5000.0, "{mz_s:?}");
         assert!(mz_t.mean_cdn_distance_km < 1500.0, "{mz_t:?}");

@@ -44,13 +44,7 @@ pub fn geoblock_survey() -> Vec<GeoblockStats> {
         let foreign_national = LicenseScope::Countries(vec![pop.city.cc]);
 
         let check = |scope: &LicenseScope| {
-            check_access(
-                scope,
-                cc,
-                city.region,
-                pop.city.cc,
-                pop.city.region,
-            )
+            check_access(scope, cc, city.region, pop.city.cc, pop.city.region)
         };
         out.push(GeoblockStats {
             cc,

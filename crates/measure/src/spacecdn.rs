@@ -2,10 +2,11 @@
 //! duty-cycled caches (Figure 8).
 
 use spacecdn_core::duty_cycle::DutyCycler;
-use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::network::{LsnNetwork, LsnSnapshot};
 use spacecdn_core::placement::PlacementStrategy;
 use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
 use spacecdn_des::Percentiles;
+use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimDuration, SimTime};
 use spacecdn_lsn::FaultPlan;
 use spacecdn_terra::cdn::{anycast_select, cdn_sites};
@@ -69,57 +70,87 @@ pub fn hop_bound_experiment(
 ) -> Vec<HopBoundResult> {
     let net = LsnNetwork::starlink();
     let pool = covered_city_sampler();
-    let mut results = Vec::new();
+    let sites = cdn_sites();
 
+    // The topology depends only on the epoch, never the hop bound: build
+    // each epoch's snapshot once and share it (and its routing cache)
+    // across every bound's tasks. The old loop rebuilt it per (bound,
+    // epoch).
+    let snapshots: Vec<LsnSnapshot<'_>> = (0..epochs)
+        .map(|epoch| net.snapshot(SimTime::from_secs(epoch as u64 * 157), &FaultPlan::none()))
+        .collect();
+
+    let mut tasks: Vec<(u32, usize)> = Vec::new();
     for &max_hops in hop_bounds {
+        for epoch in 0..epochs {
+            tasks.push((max_hops, epoch));
+        }
+    }
+    // One task per (bound, epoch); RNG stream "fig7/{max_hops}/{epoch}" is
+    // self-contained, so any thread interleaving reproduces the sequential
+    // sample stream.
+    let per_task = par_map(&tasks, |_, &(max_hops, epoch)| {
+        let snap = &snapshots[epoch];
+        let mut samples: Vec<f64> = Vec::new();
+        let mut fallbacks = 0usize;
+        let mut hops_seen: Vec<u32> = Vec::new();
+        let mut rng = DetRng::new(seed, &format!("fig7/{max_hops}/{epoch}"));
+        for _ in 0..trials_per_bound.div_ceil(epochs) {
+            let city = *rng.choose(&pool).expect("pool non-empty");
+            let caches = PlacementStrategy::CoverRadius { hops: max_hops }
+                .place(net.constellation(), &mut rng);
+            // Ground fallback: the regular Starlink-CDN path.
+            let pop = home_pop(city.cc, city.position());
+            let fallback = snap
+                .starlink_rtt_to_pop(city.position(), &pop, None)
+                .map(|p| {
+                    let (_, pop_to_site) =
+                        anycast_select(pop.position(), pop.city.region, &sites, net.fiber())
+                            .expect("sites non-empty");
+                    p.rtt + pop_to_site
+                })
+                .unwrap_or(Latency::from_ms(300.0));
+            let cfg = RetrievalConfig {
+                max_isl_hops: max_hops,
+                ground_fallback_rtt: fallback,
+            };
+            let out = retrieve(
+                snap.graph(),
+                net.access(),
+                city.position(),
+                &caches,
+                &cfg,
+                Some(&mut rng),
+            )
+            .expect("constellation alive");
+            match out.source {
+                RetrievalSource::Ground => fallbacks += 1,
+                RetrievalSource::Overhead => {
+                    samples.push(out.rtt.ms());
+                    hops_seen.push(0);
+                }
+                RetrievalSource::Isl { hops } => {
+                    samples.push(out.rtt.ms());
+                    hops_seen.push(hops);
+                }
+            }
+        }
+        (samples, fallbacks, hops_seen)
+    });
+
+    // Reassemble per bound in task order (epoch-minor), matching the
+    // sequential accumulation exactly.
+    let mut results = Vec::new();
+    for (b, &max_hops) in hop_bounds.iter().enumerate() {
         let mut latencies = Percentiles::new();
         let mut fallbacks = 0usize;
         let mut hops_seen = Vec::new();
-        for epoch in 0..epochs {
-            let t = SimTime::from_secs(epoch as u64 * 157);
-            let snap = net.snapshot(t, &FaultPlan::none());
-            let mut rng = DetRng::new(seed, &format!("fig7/{max_hops}/{epoch}"));
-            for _ in 0..trials_per_bound.div_ceil(epochs) {
-                let city = *rng.choose(&pool).expect("pool non-empty");
-                let caches =
-                    PlacementStrategy::CoverRadius { hops: max_hops }.place(net.constellation(), &mut rng);
-                // Ground fallback: the regular Starlink-CDN path.
-                let pop = home_pop(city.cc, city.position());
-                let sites = cdn_sites();
-                let fallback = snap
-                    .starlink_rtt_to_pop(city.position(), &pop, None)
-                    .map(|p| {
-                        let (_, pop_to_site) =
-                            anycast_select(pop.position(), pop.city.region, &sites, net.fiber())
-                                .expect("sites non-empty");
-                        p.rtt + pop_to_site
-                    })
-                    .unwrap_or(Latency::from_ms(300.0));
-                let cfg = RetrievalConfig {
-                    max_isl_hops: max_hops,
-                    ground_fallback_rtt: fallback,
-                };
-                let out = retrieve(
-                    snap.graph(),
-                    net.access(),
-                    city.position(),
-                    &caches,
-                    &cfg,
-                    Some(&mut rng),
-                )
-                .expect("constellation alive");
-                match out.source {
-                    RetrievalSource::Ground => fallbacks += 1,
-                    RetrievalSource::Overhead => {
-                        latencies.add(out.rtt.ms());
-                        hops_seen.push(0);
-                    }
-                    RetrievalSource::Isl { hops } => {
-                        latencies.add(out.rtt.ms());
-                        hops_seen.push(hops);
-                    }
-                }
+        for (samples, f, hops) in &per_task[b * epochs..(b + 1) * epochs] {
+            for &s in samples {
+                latencies.add(s);
             }
+            fallbacks += f;
+            hops_seen.extend_from_slice(hops);
         }
         results.push(HopBoundResult {
             max_hops,
@@ -143,33 +174,52 @@ pub fn duty_cycle_experiment(
 ) -> Vec<DutyCycleResult> {
     let net = LsnNetwork::starlink();
     let pool = covered_city_sampler();
-    let mut results = Vec::new();
 
+    // Snapshots are per-epoch only; share them across fractions.
+    let snapshots: Vec<LsnSnapshot<'_>> = (0..epochs)
+        .map(|epoch| net.snapshot(SimTime::from_secs(epoch as u64 * 157), &FaultPlan::none()))
+        .collect();
+
+    let mut tasks: Vec<(f64, usize)> = Vec::new();
     for &fraction in fractions {
-        let cycler = DutyCycler::new(fraction, SimDuration::from_mins(10), seed);
-        let mut latencies = Percentiles::new();
         for epoch in 0..epochs {
-            let t = SimTime::from_secs(epoch as u64 * 157);
-            let snap = net.snapshot(t, &FaultPlan::none());
-            let active = cycler.active_set(net.constellation(), t);
-            let mut rng = DetRng::new(seed, &format!("fig8/{fraction}/{epoch}"));
-            let cfg = RetrievalConfig {
-                // Generous budget: with ≥30 % active a cache is adjacent.
-                max_isl_hops: 12,
-                ground_fallback_rtt: Latency::from_ms(300.0),
-            };
-            for _ in 0..trials_per_fraction.div_ceil(epochs) {
-                let city = *rng.choose(&pool).expect("pool non-empty");
-                let out = retrieve(
-                    snap.graph(),
-                    net.access(),
-                    city.position(),
-                    &active,
-                    &cfg,
-                    Some(&mut rng),
-                )
-                .expect("constellation alive");
-                latencies.add(out.rtt.ms());
+            tasks.push((fraction, epoch));
+        }
+    }
+    let per_task = par_map(&tasks, |_, &(fraction, epoch)| {
+        let t = SimTime::from_secs(epoch as u64 * 157);
+        let snap = &snapshots[epoch];
+        let cycler = DutyCycler::new(fraction, SimDuration::from_mins(10), seed);
+        let active = cycler.active_set(net.constellation(), t);
+        let mut rng = DetRng::new(seed, &format!("fig8/{fraction}/{epoch}"));
+        let cfg = RetrievalConfig {
+            // Generous budget: with ≥30 % active a cache is adjacent.
+            max_isl_hops: 12,
+            ground_fallback_rtt: Latency::from_ms(300.0),
+        };
+        let mut samples: Vec<f64> = Vec::new();
+        for _ in 0..trials_per_fraction.div_ceil(epochs) {
+            let city = *rng.choose(&pool).expect("pool non-empty");
+            let out = retrieve(
+                snap.graph(),
+                net.access(),
+                city.position(),
+                &active,
+                &cfg,
+                Some(&mut rng),
+            )
+            .expect("constellation alive");
+            samples.push(out.rtt.ms());
+        }
+        samples
+    });
+
+    let mut results = Vec::new();
+    for (fi, &fraction) in fractions.iter().enumerate() {
+        let mut latencies = Percentiles::new();
+        for samples in &per_task[fi * epochs..(fi + 1) * epochs] {
+            for &s in samples {
+                latencies.add(s);
             }
         }
         results.push(DutyCycleResult {
@@ -224,8 +274,7 @@ mod tests {
     #[test]
     fn sampler_covers_many_cities() {
         let pool = covered_city_sampler();
-        let distinct: std::collections::BTreeSet<_> =
-            pool.iter().map(|c| c.name).collect();
+        let distinct: std::collections::BTreeSet<_> = pool.iter().map(|c| c.name).collect();
         assert!(distinct.len() > 80, "got {}", distinct.len());
         // No uncovered countries leak in.
         assert!(pool.iter().all(|c| c.cc != "CN"));

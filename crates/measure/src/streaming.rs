@@ -222,7 +222,11 @@ mod tests {
     #[test]
     fn fast_path_plays_cleanly() {
         let report = simulate_session(StreamPath::spacecdn_overhead(), PlayerConfig::default(), 1);
-        assert!(report.startup_delay_s < 4.0, "startup {}", report.startup_delay_s);
+        assert!(
+            report.startup_delay_s < 4.0,
+            "startup {}",
+            report.startup_delay_s
+        );
         assert_eq!(report.rebuffer_events, 0, "{report:?}");
         assert!(report.session_s >= 600.0, "must play the full 10 min");
     }

@@ -100,7 +100,8 @@ pub fn trace_stats(trace: &[TracePoint]) -> Option<TraceStats> {
             span_s
         },
         median_rtt_ms: rtts.median().expect("samples"),
-        rtt_spread_ms: rtts.quantile(0.95).expect("samples") - rtts.quantile(0.05).expect("samples"),
+        rtt_spread_ms: rtts.quantile(0.95).expect("samples")
+            - rtts.quantile(0.05).expect("samples"),
         max_jump_ms: max_jump,
     })
 }
@@ -145,7 +146,10 @@ mod tests {
     fn far_homed_trace_rides_higher_with_bigger_swings() {
         let es = trace_stats(&trace_for((40.42, -3.70), "ES", 20)).unwrap();
         let mz = trace_stats(&trace_for((-25.97, 32.57), "MZ", 20)).unwrap();
-        assert!(mz.median_rtt_ms > es.median_rtt_ms * 2.5, "{mz:?} vs {es:?}");
+        assert!(
+            mz.median_rtt_ms > es.median_rtt_ms * 2.5,
+            "{mz:?} vs {es:?}"
+        );
         assert!(mz.rtt_spread_ms >= es.rtt_spread_ms, "{mz:?} vs {es:?}");
     }
 

@@ -22,12 +22,13 @@
 
 use crate::aim::IspKind;
 use serde::Serialize;
-use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::network::{LsnNetwork, LsnSnapshot};
 use spacecdn_des::Percentiles;
+use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, SimTime};
 use spacecdn_lsn::{BufferbloatModel, FaultPlan};
 use spacecdn_terra::cdn::{anycast_select, cdn_sites};
-use spacecdn_terra::city::cities;
+use spacecdn_terra::city::{cities, City};
 use spacecdn_terra::region::country_last_mile_factor;
 use spacecdn_terra::starlink::home_pop;
 
@@ -119,7 +120,10 @@ pub struct WebMeasurement {
 /// TCP slow-start rounds needed to move `bytes` (initcwnd 10 × MSS 1460).
 fn slow_start_rounds(bytes: u64) -> f64 {
     let initial_window = 10.0 * 1460.0;
-    ((bytes as f64 / initial_window) + 1.0).log2().ceil().max(1.0)
+    ((bytes as f64 / initial_window) + 1.0)
+        .log2()
+        .ceil()
+        .max(1.0)
 }
 
 /// Timing of one page fetch given an access RTT and bandwidth.
@@ -129,8 +133,8 @@ fn fetch_timing(page: &PageModel, rtt_ms: f64, bandwidth_mbps: f64) -> (f64, f64
     let tcp = rtt_ms;
     let tls = rtt_ms;
     let hrt = rtt_ms + page.server_think_ms;
-    let html = slow_start_rounds(page.html_bytes) * rtt_ms
-        + page.html_bytes as f64 / bw_bytes_per_ms;
+    let html =
+        slow_start_rounds(page.html_bytes) * rtt_ms + page.html_bytes as f64 / bw_bytes_per_ms;
     let critical_rounds = (page.critical_objects as f64 / page.concurrency as f64).ceil();
     let critical = critical_rounds * rtt_ms + page.critical_bytes as f64 / bw_bytes_per_ms;
     let fcp = dns + tcp + tls + hrt + html + critical + page.render_ms;
@@ -139,6 +143,11 @@ fn fetch_timing(page: &PageModel, rtt_ms: f64, bandwidth_mbps: f64) -> (f64, f64
 
 /// Run the browsing campaign for the given countries; returns one record
 /// per (city, ISP, epoch, fetch).
+///
+/// The (epoch × city) fan-out runs on the experiment engine; each task's
+/// RNG stream is derived from `(seed, "web/{city}/{epoch}")` and results
+/// are flattened in the sequential loop's order, so output is identical at
+/// any thread count.
 pub fn browse_campaign(
     country_codes: &[&str],
     page: &PageModel,
@@ -148,78 +157,85 @@ pub fn browse_campaign(
     let sites = cdn_sites();
     let fiber = *net.fiber();
     let bloat = BufferbloatModel::default();
-    let mut out = Vec::new();
 
+    let snapshots: Vec<LsnSnapshot<'_>> = (0..config.epochs)
+        .map(|epoch| {
+            let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
+            net.snapshot(t, &FaultPlan::none())
+        })
+        .collect();
+    let mut tasks: Vec<(usize, &City)> = Vec::new();
     for epoch in 0..config.epochs {
-        let t = SimTime::from_secs(epoch as u64 * config.epoch_spacing_s);
-        let snap = net.snapshot(t, &FaultPlan::none());
         for city in cities() {
-            if !country_codes.contains(&city.cc) {
-                continue;
+            if country_codes.contains(&city.cc) {
+                tasks.push((epoch, city));
             }
-            let mut rng = DetRng::new(config.seed, &format!("web/{}/{}", city.name, epoch));
-            let (terr_site, _) = anycast_select(city.position(), city.region, &sites, &fiber)
-                .expect("site list non-empty");
-            let pop = home_pop(city.cc, city.position());
-            let (_, pop_to_site) = anycast_select(pop.position(), pop.city.region, &sites, &fiber)
-                .expect("site list non-empty");
-            let star_base = snap
-                .starlink_rtt_to_pop(city.position(), &pop, None)
-                .map(|p| p.rtt.ms() + pop_to_site.ms());
-            let terr_base = fiber
-                .wan_rtt(
-                    city.position(),
-                    city.region,
-                    terr_site.position(),
-                    terr_site.region(),
-                )
-                .ms();
-            let lm_factor = country_last_mile_factor(city.cc);
-            let access = net.access();
+        }
+    }
 
-            for _ in 0..config.fetches_per_epoch {
-                // Terrestrial fetch.
-                let lm = rng.log_normal_median(
-                    city.region.profile().last_mile_median_ms * lm_factor,
-                    city.region.profile().last_mile_sigma,
-                );
-                let t_rtt = terr_base + lm;
-                let (dns, tcp, tls, hrt, fcp) =
-                    fetch_timing(page, t_rtt, config.terrestrial_mbps);
+    let per_task = par_map(&tasks, |_, &(epoch, city)| {
+        let snap = &snapshots[epoch];
+        let mut out = Vec::new();
+        let mut rng = DetRng::new(config.seed, &format!("web/{}/{}", city.name, epoch));
+        let (terr_site, _) = anycast_select(city.position(), city.region, &sites, &fiber)
+            .expect("site list non-empty");
+        let pop = home_pop(city.cc, city.position());
+        let (_, pop_to_site) = anycast_select(pop.position(), pop.city.region, &sites, &fiber)
+            .expect("site list non-empty");
+        let star_base = snap
+            .starlink_rtt_to_pop(city.position(), &pop, None)
+            .map(|p| p.rtt.ms() + pop_to_site.ms());
+        let terr_base = fiber
+            .wan_rtt(
+                city.position(),
+                city.region,
+                terr_site.position(),
+                terr_site.region(),
+            )
+            .ms();
+        let lm_factor = country_last_mile_factor(city.cc);
+        let access = net.access();
+
+        for _ in 0..config.fetches_per_epoch {
+            // Terrestrial fetch.
+            let lm = rng.log_normal_median(
+                city.region.profile().last_mile_median_ms * lm_factor,
+                city.region.profile().last_mile_sigma,
+            );
+            let t_rtt = terr_base + lm;
+            let (dns, tcp, tls, hrt, fcp) = fetch_timing(page, t_rtt, config.terrestrial_mbps);
+            out.push(WebMeasurement {
+                city: city.name,
+                cc: city.cc,
+                isp: IspKind::Terrestrial,
+                dns_ms: dns,
+                connect_ms: tcp,
+                tls_ms: tls,
+                hrt_ms: hrt,
+                fcp_ms: fcp,
+            });
+
+            // Starlink fetch: re-jittered scheduling + bufferbloat.
+            if let Some(base) = star_base {
+                let sched = rng.log_normal_median(access.ka_sched_median_ms, access.ka_sched_sigma);
+                let queueing = bloat.sample_delay(config.utilization, &mut rng);
+                let s_rtt = base - access.ka_sched_median_ms + sched + queueing.ms();
+                let (dns, tcp, tls, hrt, fcp) = fetch_timing(page, s_rtt, config.starlink_mbps);
                 out.push(WebMeasurement {
                     city: city.name,
                     cc: city.cc,
-                    isp: IspKind::Terrestrial,
+                    isp: IspKind::Starlink,
                     dns_ms: dns,
                     connect_ms: tcp,
                     tls_ms: tls,
                     hrt_ms: hrt,
                     fcp_ms: fcp,
                 });
-
-                // Starlink fetch: re-jittered scheduling + bufferbloat.
-                if let Some(base) = star_base {
-                    let sched =
-                        rng.log_normal_median(access.ka_sched_median_ms, access.ka_sched_sigma);
-                    let queueing = bloat.sample_delay(config.utilization, &mut rng);
-                    let s_rtt = base - access.ka_sched_median_ms + sched + queueing.ms();
-                    let (dns, tcp, tls, hrt, fcp) =
-                        fetch_timing(page, s_rtt, config.starlink_mbps);
-                    out.push(WebMeasurement {
-                        city: city.name,
-                        cc: city.cc,
-                        isp: IspKind::Starlink,
-                        dns_ms: dns,
-                        connect_ms: tcp,
-                        tls_ms: tls,
-                        hrt_ms: hrt,
-                        fcp_ms: fcp,
-                    });
-                }
             }
         }
-    }
-    out
+        out
+    });
+    per_task.into_iter().flatten().collect()
 }
 
 /// Figure 4's series for one country: the paired per-fetch HRT difference

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use spacecdn_geo::{Ecef, Geodetic, Km, SimTime, SIDEREAL_DAY_S};
 
 /// Index of a satellite within a constellation: flat, dense, `0..total`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SatIndex(pub u32);
 
 impl SatIndex {
@@ -295,9 +293,9 @@ mod tests {
         // within ~1000 km slant range at all times.
         let c = shell1();
         let cities = [
-            Geodetic::ground(48.1, 11.6),   // Munich
+            Geodetic::ground(48.1, 11.6),    // Munich
             Geodetic::ground(-25.97, 32.57), // Maputo
-            Geodetic::ground(40.7, -74.0),  // New York
+            Geodetic::ground(40.7, -74.0),   // New York
         ];
         for t in 0..6u64 {
             for &city in &cities {

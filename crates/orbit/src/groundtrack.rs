@@ -59,8 +59,14 @@ mod tests {
             assert!(p.lat_deg.abs() <= 53.0 + 1e-6);
         }
         // The full latitude band is visited over two orbits.
-        let max_lat = track.iter().map(|(_, p)| p.lat_deg).fold(f64::MIN, f64::max);
-        let min_lat = track.iter().map(|(_, p)| p.lat_deg).fold(f64::MAX, f64::min);
+        let max_lat = track
+            .iter()
+            .map(|(_, p)| p.lat_deg)
+            .fold(f64::MIN, f64::max);
+        let min_lat = track
+            .iter()
+            .map(|(_, p)| p.lat_deg)
+            .fold(f64::MAX, f64::min);
         assert!(max_lat > 52.5 && min_lat < -52.5, "{min_lat}..{max_lat}");
     }
 

@@ -218,9 +218,11 @@ mod tests {
         let mut polar_serves = 0;
         let mut samples = 0;
         for i in 0..24u64 {
-            if let Some((id, _)) =
-                f.best_visible(tromso, SimTime::from_secs(i * 300), VisibilityMask::STARLINK)
-            {
+            if let Some((id, _)) = f.best_visible(
+                tromso,
+                SimTime::from_secs(i * 300),
+                VisibilityMask::STARLINK,
+            ) {
                 samples += 1;
                 if id.shell >= 2 {
                     polar_serves += 1;
@@ -237,7 +239,12 @@ mod tests {
     #[test]
     fn midlatitude_coverage_always_on() {
         let f = fleet();
-        let c = f.coverage_fraction(Geodetic::ground(40.0, -3.7), VisibilityMask::STARLINK, 24, 300);
+        let c = f.coverage_fraction(
+            Geodetic::ground(40.0, -3.7),
+            VisibilityMask::STARLINK,
+            24,
+            300,
+        );
         assert_eq!(c, 1.0);
     }
 

@@ -67,7 +67,10 @@ impl ShellConfig {
             return Err(format!("altitude {} km is not LEO", self.altitude_km));
         }
         if !(0.0..=180.0).contains(&self.inclination_deg) {
-            return Err(format!("inclination {}° out of range", self.inclination_deg));
+            return Err(format!(
+                "inclination {}° out of range",
+                self.inclination_deg
+            ));
         }
         if self.phase_factor >= self.plane_count {
             return Err(format!(

@@ -64,13 +64,7 @@ impl FiberModel {
 
     /// Deterministic wide-area RTT between two ground points (no last mile,
     /// no noise): the "idle" network baseline.
-    pub fn wan_rtt(
-        &self,
-        a: Geodetic,
-        a_region: Region,
-        b: Geodetic,
-        b_region: Region,
-    ) -> Latency {
+    pub fn wan_rtt(&self, a: Geodetic, a_region: Region, b: Geodetic, b_region: Region) -> Latency {
         let gc = a.great_circle_distance(b);
         let regional = a_region
             .profile()

@@ -324,7 +324,11 @@ mod tests {
     #[test]
     fn coverage_breadth() {
         let covered = covered_countries();
-        assert!(covered.len() >= 50, "got {} covered countries", covered.len());
+        assert!(
+            covered.len() >= 50,
+            "got {} covered countries",
+            covered.len()
+        );
         assert!(covered.contains(&"US"));
         assert!(covered.contains(&"MZ"));
         assert!(!covered.contains(&"CN"), "China is not a Starlink market");

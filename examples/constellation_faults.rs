@@ -23,7 +23,10 @@ fn main() {
     };
 
     println!("SpaceCDN fetch from Nairobi as the fleet degrades:");
-    println!("{:<18} {:>10} {:>12} {:>10}", "failed fraction", "rtt (ms)", "source", "hops");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10}",
+        "failed fraction", "rtt (ms)", "source", "hops"
+    );
     for failed_pct in [0.0, 0.05, 0.10, 0.20, 0.40] {
         let mut faults = FaultPlan::none();
         let mut frng = DetRng::new(11, &format!("faults/{failed_pct}"));

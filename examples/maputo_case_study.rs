@@ -27,15 +27,14 @@ fn main() {
             let km = maputo.position().great_circle_distance(site.position()).0;
             println!(
                 "  {:<14} {:>2}  {:>7.1} ms  {:>6.0} km",
-                site.city.name, site.city.cc, rtt.ms(), km
+                site.city.name,
+                site.city.cc,
+                rtt.ms(),
+                km
             );
         }
         let (best, best_rtt) = &ranked[0];
-        println!(
-            "  → optimal: {} at {:.1} ms",
-            best.city.name,
-            best_rtt.ms()
-        );
+        println!("  → optimal: {} at {:.1} ms", best.city.name, best_rtt.ms());
     }
 
     println!(

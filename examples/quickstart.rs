@@ -63,7 +63,10 @@ fn main() {
         RetrievalSource::Isl { hops } => format!("a satellite {hops} ISL hops away"),
         RetrievalSource::Ground => "the ground cache (space missed)".to_string(),
     };
-    println!("SpaceCDN fetch:      {:.1} ms from {source}", fetch.rtt.ms());
+    println!(
+        "SpaceCDN fetch:      {:.1} ms from {source}",
+        fetch.rtt.ms()
+    );
     println!(
         "speedup: {:.1}×",
         (path.rtt + pop_to_site).ms() / fetch.rtt.ms()

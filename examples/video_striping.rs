@@ -7,9 +7,7 @@
 
 use spacecdn_suite::content::catalog::ContentId;
 use spacecdn_suite::content::video::{StripePlanInput, VideoObject};
-use spacecdn_suite::core::striping::{
-    plan_stripes, playback_stalls, single_satellite_stalls,
-};
+use spacecdn_suite::core::striping::{plan_stripes, playback_stalls, single_satellite_stalls};
 use spacecdn_suite::geo::{Geodetic, SimDuration};
 use spacecdn_suite::orbit::shell::shells;
 use spacecdn_suite::orbit::visibility::VisibilityMask;

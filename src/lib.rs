@@ -26,17 +26,20 @@
 //! ```
 //!
 //! The crates, bottom-up: [`geo`] (units/geodesy/RNG), [`orbit`]
-//! (constellations), [`des`] (event scheduler + statistics), [`lsn`]
-//! (ISL topology/routing/access), [`terra`] (cities/fibre/CDN/PoPs),
-//! [`content`] (catalogs/caches), [`core`] (SpaceCDN itself), and
-//! [`measure`] (the synthetic measurement campaigns). See `DESIGN.md` for
-//! the full inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//! (constellations), [`des`] (event scheduler + statistics), [`engine`]
+//! (deterministic parallel experiment engine), [`lsn`] (ISL
+//! topology/routing/access + epoch-scoped routing caches), [`terra`]
+//! (cities/fibre/CDN/PoPs), [`content`] (catalogs/caches), [`core`]
+//! (SpaceCDN itself), and [`measure`] (the synthetic measurement
+//! campaigns). See `DESIGN.md` for the full inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
 
 pub use spacecdn_content as content;
 pub use spacecdn_core as core;
 pub use spacecdn_des as des;
+pub use spacecdn_engine as engine;
 pub use spacecdn_geo as geo;
 pub use spacecdn_lsn as lsn;
 pub use spacecdn_measure as measure;

@@ -1,0 +1,126 @@
+//! Determinism regression tests for the experiment engine and routing
+//! caches: campaign outputs must be byte-identical regardless of thread
+//! count, and memoized routing tables must match direct recomputation —
+//! including on degraded topologies.
+//!
+//! These tests mutate process-global engine/cache overrides, so they are
+//! serialised behind one mutex rather than relying on test-runner
+//! ordering.
+
+use spacecdn_suite::engine::set_thread_override;
+use spacecdn_suite::geo::{DetRng, SimTime};
+use spacecdn_suite::lsn::{set_routing_cache_override, FaultPlan, IslGraph, SourceTables};
+use spacecdn_suite::measure::aim::{AimCampaign, AimConfig};
+use spacecdn_suite::measure::spacecdn::hop_bound_experiment;
+use spacecdn_suite::orbit::shell::shells;
+use spacecdn_suite::orbit::{Constellation, SatIndex};
+use std::sync::Mutex;
+
+/// Serialises tests that touch the global thread/cache overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_thread_override(Some(threads));
+    let out = f();
+    set_thread_override(None);
+    out
+}
+
+#[test]
+fn aim_campaign_identical_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let cfg = AimConfig {
+        epochs: 3,
+        tests_per_epoch: 2,
+        probes_per_test: 3,
+        ..AimConfig::default()
+    };
+    let countries = ["MZ", "ES", "KE", "JP"];
+    let sequential = with_thread_count(1, || {
+        serde_json::to_string(AimCampaign::run_for(&cfg, &countries).records()).unwrap()
+    });
+    for threads in [2, 5] {
+        let parallel = with_thread_count(threads, || {
+            serde_json::to_string(AimCampaign::run_for(&cfg, &countries).records()).unwrap()
+        });
+        assert_eq!(
+            sequential, parallel,
+            "AIM records diverged at {threads} threads"
+        );
+    }
+}
+
+/// Flatten a Fig-7 sweep into a comparable string (Percentiles doesn't
+/// expose its raw samples, so compare the full quantile ladder plus the
+/// exact hop histogram and fallback count).
+fn fig7_fingerprint() -> String {
+    let mut out = String::new();
+    for mut r in hop_bound_experiment(&[1, 3, 5], 60, 2, 23) {
+        out.push_str(&format!(
+            "bound={}:fallbacks={};",
+            r.max_hops, r.ground_fallbacks
+        ));
+        out.push_str(&format!("hops={:?};", r.hop_histogram));
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            out.push_str(&format!("q{q}={:?};", r.latencies.quantile(q)));
+        }
+    }
+    out
+}
+
+#[test]
+fn fig7_sweep_identical_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let sequential = with_thread_count(1, fig7_fingerprint);
+    let parallel = with_thread_count(4, fig7_fingerprint);
+    assert_eq!(sequential, parallel, "Fig-7 sweep depends on thread count");
+}
+
+#[test]
+fn routing_cache_matches_direct_computation_on_faulted_graph() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let mut rng = DetRng::new(77, "determinism-faults");
+    let mut faults = FaultPlan::none();
+    faults.fail_random_sats(constellation.len(), 0.15, &mut rng);
+    let graph = IslGraph::build(&constellation, SimTime::from_secs(431), &faults);
+
+    for src in [0u32, 111, 700, 1583] {
+        let src = SatIndex(src);
+        let direct = SourceTables::compute(&graph, src);
+
+        set_routing_cache_override(Some(true));
+        let cached = graph.routing_tables(src);
+        assert_eq!(*cached, direct, "cached tables diverge for {src:?}");
+        // A second lookup returns the same memoized entry.
+        assert_eq!(*graph.routing_tables(src), direct);
+
+        set_routing_cache_override(Some(false));
+        let uncached = graph.routing_tables(src);
+        assert_eq!(*uncached, direct, "kill switch changes answers for {src:?}");
+    }
+    set_routing_cache_override(None);
+}
+
+#[test]
+fn nearest_alive_spatial_matches_linear_on_faulted_graph() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let mut rng = DetRng::new(78, "determinism-spatial");
+    let mut faults = FaultPlan::none();
+    faults.fail_random_sats(constellation.len(), 0.25, &mut rng);
+    let graph = IslGraph::build(&constellation, SimTime::from_secs(97), &faults);
+
+    set_routing_cache_override(Some(true));
+    for lat in [-52.0, -10.0, 0.0, 33.0, 51.5] {
+        for lon in [-170.0, -45.0, 0.0, 77.0, 139.0] {
+            let g = spacecdn_suite::geo::Geodetic::ground(lat, lon);
+            assert_eq!(
+                graph.nearest_alive(g),
+                graph.nearest_alive_linear(g),
+                "spatial index diverges at lat={lat} lon={lon}"
+            );
+        }
+    }
+    set_routing_cache_override(None);
+}

@@ -89,8 +89,8 @@ fn wormhole_and_groundtrack_agree_on_drift_direction() {
     // …so the westward route has carriers and timing consistent with it.
     let transits = find_transits(
         &c,
-        Geodetic::ground(50.0, 10.0),   // Europe
-        Geodetic::ground(39.0, -77.0),  // US East (westward!)
+        Geodetic::ground(50.0, 10.0),  // Europe
+        Geodetic::ground(39.0, -77.0), // US East (westward!)
         Km(1500.0),
         SimTime::EPOCH,
         SimDuration::from_mins(240),

@@ -29,15 +29,29 @@ fn full_stack_fetch_pipeline() {
     let mut served_from_space = 0;
     for city in ["Maputo", "London", "Tokyo", "Sao Paulo", "Nairobi"] {
         let c = city_by_name(city).unwrap();
-        let out = retrieve(snap.graph(), net.access(), c.position(), &caches, &cfg, None)
-            .expect("constellation alive");
-        assert!(out.rtt.ms() > 5.0 && out.rtt.ms() < 200.0, "{city}: {}", out.rtt);
+        let out = retrieve(
+            snap.graph(),
+            net.access(),
+            c.position(),
+            &caches,
+            &cfg,
+            None,
+        )
+        .expect("constellation alive");
+        assert!(
+            out.rtt.ms() > 5.0 && out.rtt.ms() < 200.0,
+            "{city}: {}",
+            out.rtt
+        );
         if out.source != RetrievalSource::Ground {
             served_from_space += 1;
         }
     }
     // 288 copies: virtually every mid-latitude fetch is served from space.
-    assert!(served_from_space >= 4, "only {served_from_space} space hits");
+    assert!(
+        served_from_space >= 4,
+        "only {served_from_space} space hits"
+    );
 }
 
 #[test]
@@ -76,8 +90,14 @@ fn starlink_users_mapped_far_terrestrial_users_mapped_near() {
             let pop = spacecdn_suite::terra::starlink::home_pop(cc, city.position());
             let (star_site, _) =
                 anycast_select(pop.position(), pop.city.region, &sites, net.fiber()).unwrap();
-            let terr_km = city.position().great_circle_distance(terr_site.position()).0;
-            let star_km = city.position().great_circle_distance(star_site.position()).0;
+            let terr_km = city
+                .position()
+                .great_circle_distance(terr_site.position())
+                .0;
+            let star_km = city
+                .position()
+                .great_circle_distance(star_site.position())
+                .0;
             assert!(
                 star_km > terr_km + 2000.0,
                 "{}: starlink CDN {star_km:.0} km vs terrestrial {terr_km:.0} km",
@@ -111,7 +131,10 @@ fn regional_popularity_feeds_caches() {
         }
     }
     let ratio = hits as f64 / n as f64;
-    assert!(ratio > 0.4, "hot-set cache should serve most demand: {ratio}");
+    assert!(
+        ratio > 0.4,
+        "hot-set cache should serve most demand: {ratio}"
+    );
 }
 
 #[test]

@@ -19,10 +19,14 @@ fn aim_config() -> AimConfig {
 
 #[test]
 fn table1_starlink_always_loses_except_pop_local() {
-    let ccs = ["GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP"];
+    let ccs = [
+        "GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT", "ES", "JP",
+    ];
     let campaign = AimCampaign::run_for(&aim_config(), &ccs);
     for cc in ccs {
-        let terr = campaign.country_stats_for(cc, IspKind::Terrestrial).unwrap();
+        let terr = campaign
+            .country_stats_for(cc, IspKind::Terrestrial)
+            .unwrap();
         let star = campaign.country_stats_for(cc, IspKind::Starlink).unwrap();
         // Terrestrial is faster everywhere in Table 1.
         assert!(
@@ -55,7 +59,11 @@ fn table1_starlink_always_loses_except_pop_local() {
 fn fig2_delta_positive_nearly_everywhere_worst_in_africa() {
     let campaign = AimCampaign::run(&aim_config());
     let deltas = campaign.delta_by_country();
-    assert!(deltas.len() >= 40, "need broad coverage, got {}", deltas.len());
+    assert!(
+        deltas.len() >= 40,
+        "need broad coverage, got {}",
+        deltas.len()
+    );
     let positive = deltas.iter().filter(|(_, d)| *d > 0.0).count();
     assert!(
         positive as f64 / deltas.len() as f64 > 0.9,
@@ -63,9 +71,14 @@ fn fig2_delta_positive_nearly_everywhere_worst_in_africa() {
         deltas.len()
     );
     // The worst five countries are all African (the ISL-dependent band).
-    let african = ["MZ", "ZM", "KE", "ZW", "MW", "TZ", "ZA", "BW", "NA", "MG", "AO", "UG", "SZ"];
+    let african = [
+        "MZ", "ZM", "KE", "ZW", "MW", "TZ", "ZA", "BW", "NA", "MG", "AO", "UG", "SZ",
+    ];
     for (cc, d) in deltas.iter().take(5) {
-        assert!(african.contains(cc), "worst-5 country {cc} (Δ {d:.0} ms) not African");
+        assert!(
+            african.contains(cc),
+            "worst-5 country {cc} (Δ {d:.0} ms) not African"
+        );
         assert!(*d > 80.0, "{cc} delta {d}");
     }
 }
@@ -117,7 +130,10 @@ fn fig7_hop_budget_orders_latency_and_beats_far_homed_starlink() {
     for mut r in results {
         medians.push(r.latencies.median().expect("samples"));
     }
-    assert!(medians[0] < medians[1] && medians[1] < medians[2], "{medians:?}");
+    assert!(
+        medians[0] < medians[1] && medians[1] < medians[2],
+        "{medians:?}"
+    );
 
     // SpaceCDN with a 5-hop budget lands in the terrestrial band and far
     // below the far-homed Starlink experience (~130-160 ms).
@@ -140,9 +156,8 @@ fn fig8_fifty_percent_duty_cycle_competitive() {
     let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
     let terr_median = terr.median().unwrap();
 
-    let med = |r: &mut spacecdn_suite::measure::spacecdn::DutyCycleResult| {
-        r.latencies.median().unwrap()
-    };
+    let med =
+        |r: &mut spacecdn_suite::measure::spacecdn::DutyCycleResult| r.latencies.median().unwrap();
     let mut results = results;
     let m30 = med(&mut results[0]);
     let m50 = med(&mut results[1]);
@@ -150,6 +165,9 @@ fn fig8_fifty_percent_duty_cycle_competitive() {
     assert!(m80 <= m50 && m50 <= m30, "ordering: {m80} {m50} {m30}");
     // ≥50 % active stays within ~1.1× of the terrestrial median; 30 % does
     // not (the paper's cut-off).
-    assert!(m50 <= terr_median * 1.15, "50% {m50} vs terrestrial {terr_median}");
+    assert!(
+        m50 <= terr_median * 1.15,
+        "50% {m50} vs terrestrial {terr_median}"
+    );
     assert!(m30 > m80, "duty cycling must cost something");
 }

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`, [`Bencher::iter`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`] — as a small wall-clock harness. Each benchmark
+//! is auto-calibrated to a target per-sample duration, timed over a fixed
+//! number of samples, and reported as median ± spread on stdout. There is
+//! no statistical regression machinery; the numbers are for relative
+//! comparison within a run.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs each benchmark
+//! body once and skips measurement, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 30;
+/// Target wall-clock time for one measured sample batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Median / min / max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measure a closure: calibrate batch size, then time `samples`
+    /// batches and record per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: double the batch size until one batch reaches the
+        // target sample duration.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || batch >= 1 << 20 {
+                break;
+            }
+            // Jump straight toward the target once we have a signal.
+            let scale = (TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0) as u64;
+            batch = (batch * scale.max(2)).min(1 << 20);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, per_iter[0], per_iter[per_iter.len() - 1]));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.3} s ", ns / 1e9)
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        test_mode: test_mode(),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, lo, hi)) => println!(
+            "bench {id:<44} {} (min {}, max {})",
+            format_ns(median),
+            format_ns(lo).trim(),
+            format_ns(hi).trim()
+        ),
+        None if b.test_mode => println!("bench {id:<44} ok (test mode)"),
+        None => println!("bench {id:<44} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark registry handed to each bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Open a named group; group benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-count override.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.samples, &mut f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collect bench functions under a group name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_in_normal_mode() {
+        let mut b = Bencher {
+            samples: 3,
+            test_mode: false,
+            result: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        let (median, lo, hi) = b.result.expect("measurement recorded");
+        assert!(lo <= median && median <= hi);
+        assert!(median > 0.0);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        assert_eq!(g.samples, 2);
+        g.finish();
+    }
+}

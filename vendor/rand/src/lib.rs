@@ -1,0 +1,211 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the subset of `rand`'s 0.8 API that the workspace
+//! consumes: the [`Rng`] extension methods `gen` / `gen_range` and the
+//! [`SeedableRng`] constructor trait. The underlying generator lives in the
+//! sibling `rand_chacha` stand-in.
+//!
+//! Draw semantics match upstream where the workspace depends on them:
+//! `gen::<f64>()` is the standard 53-bit-mantissa uniform in `[0, 1)`.
+//! Integer `gen_range` uses unbiased rejection sampling; the exact stream
+//! is not guaranteed to be bit-compatible with upstream `rand` (nothing in
+//! this workspace stores golden values from upstream).
+
+#![forbid(unsafe_code)]
+
+/// Low-level uniform word source. Mirrors `rand_core::RngCore` minus the
+/// fallible and byte-filling methods, which nothing here uses.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a fixed seed, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed material type (e.g. `[u8; 32]` for ChaCha).
+    type Seed;
+    /// Build the generator from a seed; the same seed always yields the
+    /// same stream.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// Types that can be drawn uniformly from an [`RngCore`] (the `Standard`
+/// distribution in upstream terms).
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1) — the same construction
+        // upstream `rand` uses for its `Standard` f64 distribution.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased draw from `[0, span)` by rejection on the top of the u64 range.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` that fits in u64; values at or above it
+    // would bias the modulo and are redrawn (at most ~50 % rejection).
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_range_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi - lo) as u64;
+                lo + uniform_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_range_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $u as $t)
+            }
+        }
+    )*};
+}
+impl_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl RangeSample for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// The user-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw a value of `T` from its standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a half-open range. Panics when the range is
+    /// empty, matching upstream.
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 keeps the test generator trivially deterministic.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Counter(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds_respected() {
+        let mut r = Counter(2);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10usize..17);
+            assert!((10..17).contains(&v));
+        }
+        assert_eq!(r.gen_range(5u64..6), 5);
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut r = Counter(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Counter(4);
+        let _ = r.gen_range(3u32..3);
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! supplies the slice of serde's surface the workspace uses: `Serialize` /
+//! `Deserialize` traits (here defined over an in-memory JSON [`Value`]
+//! tree rather than serde's visitor machinery), derive macros re-exported
+//! from the sibling `serde_derive` crate, and impls for the primitive,
+//! string, tuple and container types that appear in workspace types.
+//!
+//! Encoding conventions match `serde_json` defaults for the shapes the
+//! workspace derives: named structs become objects in declaration order,
+//! newtype structs are transparent, unit enum variants become strings, and
+//! newtype enum variants are externally tagged (`{"Variant": value}`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON number, keeping the integer/float distinction so integers
+/// round-trip without a fractional suffix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as f64 (lossy for huge integers, like serde_json's
+    /// `as_f64`).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(v) => v as f64,
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+/// In-memory JSON document. Objects keep insertion order so serialized
+/// struct fields appear in declaration order, matching derive output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Convenience constructor used by generated code.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self`, reporting a descriptive error on shape mismatch.
+    fn from_json_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::UInt(v)) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    Value::Number(Number::Int(v)) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::UInt(v as u64))
+                } else {
+                    Value::Number(Number::Int(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::UInt(v)) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    Value::Number(Number::Int(v)) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::new(format!("expected f64, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        // Workspace types carry `&'static str` for interned city/country
+        // labels; deserializing one necessarily leaks the string, exactly
+        // as a static-interning table would.
+        String::from_json_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::new(format!(
+                        "expected array of {LEN}, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_get_finds_keys_in_order() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("b".into(), Value::Null),
+        ]);
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        let x: u32 = 42;
+        assert_eq!(u32::from_json_value(&x.to_json_value()).unwrap(), 42);
+        let y: i32 = -7;
+        assert_eq!(i32::from_json_value(&y.to_json_value()).unwrap(), -7);
+        let z = 2.5f64;
+        assert_eq!(f64::from_json_value(&z.to_json_value()).unwrap(), 2.5);
+        let s = "hi".to_string();
+        assert_eq!(String::from_json_value(&s.to_json_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn tuple_and_option_round_trip() {
+        let t = ("x".to_string(), 1.5f64, 3u64);
+        let v = t.to_json_value();
+        let back: (String, f64, u64) = Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, t);
+
+        let none: Option<f64> = None;
+        assert_eq!(none.to_json_value(), Value::Null);
+        let opt: Option<f64> = Deserialize::from_json_value(&Value::Null).unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn negative_int_rejected_by_unsigned() {
+        let v = Value::Number(Number::Int(-3));
+        assert!(u32::from_json_value(&v).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the value-tree
+//! traits in the vendored `serde` crate. The input item is parsed directly
+//! from the raw `TokenStream` (no `syn`/`quote` in this offline
+//! environment) and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly those appearing in the workspace:
+//! named-field structs, tuple structs (newtypes serialize transparently,
+//! wider ones as arrays), unit structs, and enums whose variants are unit
+//! or newtype (externally tagged). `#[serde(transparent)]` is accepted on
+//! single-field structs; it matches the default newtype encoding. Any
+//! other shape or attribute produces a `compile_error!` naming it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct {
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        arity: usize,
+    },
+    UnitStruct,
+    /// Variant name plus payload arity (0 = unit, 1 = newtype).
+    Enum {
+        variants: Vec<(String, usize)>,
+    },
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Split a token list into top-level comma-separated chunks, treating
+/// `<...>` spans as nested. Delimited groups are single trees, so only
+/// angle brackets need explicit depth tracking.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strip leading attributes (`#[...]`, including doc comments) from a token
+/// slice, returning the rest and whether `#[serde(transparent)]` was seen.
+fn skip_attrs(tokens: &[TokenTree]) -> (&[TokenTree], bool) {
+    let mut i = 0;
+    let mut transparent = false;
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let text = args.stream().to_string();
+                            if text.trim() == "transparent" {
+                                transparent = true;
+                            } else {
+                                // Flag unknown serde attrs loudly instead of
+                                // silently changing the encoding.
+                                transparent = false;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (&tokens[i..], transparent)
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_input(input: TokenStream) -> Result<(Input, bool), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (rest, transparent) = skip_attrs(&tokens);
+    let rest = skip_vis(rest);
+
+    let (kind, rest) = match rest {
+        [TokenTree::Ident(id), rest @ ..] => (id.to_string(), rest),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    let (name, rest) = match rest {
+        [TokenTree::Ident(id), rest @ ..] => (id.to_string(), rest),
+        _ => return Err(format!("expected a name after `{kind}`")),
+    };
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the vendored serde derive"
+        ));
+    }
+
+    let shape = match (kind.as_str(), rest.first()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut fields = Vec::new();
+            for chunk in split_commas(&body) {
+                let (chunk, _) = skip_attrs(&chunk);
+                let chunk = skip_vis(chunk);
+                match chunk.first() {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    _ => return Err(format!("unparseable field in struct `{name}`")),
+                }
+            }
+            Shape::NamedStruct { fields }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct {
+                arity: split_commas(&body).len(),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for chunk in split_commas(&body) {
+                let (chunk, _) = skip_attrs(&chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return Err(format!("unparseable variant in enum `{name}`")),
+                };
+                let arity = match chunk.get(1) {
+                    None => 0,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        split_commas(&body).len()
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "variant `{name}::{vname}` has unsupported payload near `{other}`"
+                        ))
+                    }
+                };
+                if arity > 1 {
+                    return Err(format!(
+                        "variant `{name}::{vname}` has {arity} fields; only unit and newtype variants are supported"
+                    ));
+                }
+                variants.push((vname, arity));
+            }
+            Shape::Enum { variants }
+        }
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+
+    if transparent {
+        let single = match &shape {
+            Shape::NamedStruct { fields } => fields.len() == 1,
+            Shape::TupleStruct { arity } => *arity == 1,
+            _ => false,
+        };
+        if !single {
+            return Err(format!(
+                "#[serde(transparent)] on `{name}` requires exactly one field"
+            ));
+        }
+    }
+    Ok((Input { name, shape }, transparent))
+}
+
+fn gen_serialize(input: &Input, transparent: bool) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct { fields } if transparent => {
+            format!("serde::Serialize::to_json_value(&self.{})", fields[0])
+        }
+        Shape::NamedStruct { fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "({:?}.to_string(), serde::Serialize::to_json_value(&self.{f})),",
+                    f
+                ));
+            }
+            format!("serde::Value::Object(vec![{pairs}])")
+        }
+        Shape::TupleStruct { arity: 1 } => "serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(","))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String({:?}.to_string()),",
+                        v
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v}(inner) => serde::Value::Object(vec![({:?}.to_string(), serde::Serialize::to_json_value(inner))]),",
+                        v
+                    ));
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input, transparent: bool) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct { fields } if transparent => {
+            format!(
+                "Ok({name} {{ {}: serde::Deserialize::from_json_value(value)? }})",
+                fields[0]
+            )
+        }
+        Shape::NamedStruct { fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: serde::Deserialize::from_json_value(value.get({f:?}).ok_or_else(|| serde::DeError::new(concat!(\"missing field `{f}` in {name}\")))?)?,",
+                ));
+            }
+            format!(
+                "match value {{\n\
+                     serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(serde::DeError::new(format!(\"expected object for {name}, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(serde::Deserialize::from_json_value(value)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_json_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     serde::Value::Array(items) if items.len() == {arity} => Ok({name}({})),\n\
+                     other => Err(serde::DeError::new(format!(\"expected array of {arity} for {name}, found {{other:?}}\"))),\n\
+                 }}",
+                items.join(",")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 other => Err(serde::DeError::new(format!(\"expected null for {name}, found {{other:?}}\"))),\n\
+             }}"
+        ),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "serde::Value::String(s) if s == {v:?} => Ok({name}::{v}),",
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "serde::Value::Object(pairs) if pairs.len() == 1 && pairs[0].0 == {v:?} => Ok({name}::{v}(serde::Deserialize::from_json_value(&pairs[0].1)?)),",
+                    ));
+                }
+            }
+            format!(
+                "match value {{\n\
+                     {arms}\n\
+                     other => Err(serde::DeError::new(format!(\"no variant of {name} matches {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_json_value(value: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` via the value-tree encoding.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok((parsed, transparent)) => gen_serialize(&parsed, transparent).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` via the value-tree encoding.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok((parsed, transparent)) => gen_deserialize(&parsed, transparent).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
