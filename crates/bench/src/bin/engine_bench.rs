@@ -7,7 +7,8 @@
 
 use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
-use spacecdn_engine::{set_thread_override, thread_count};
+use spacecdn_core::{clear_graph_pool, graph_pool_stats};
+use spacecdn_engine::{set_snapshot_pool_override, set_thread_override, thread_count};
 use spacecdn_lsn::set_routing_cache_override;
 use spacecdn_measure::aim::{case_study_city, AimCampaign, AimConfig, IspKind};
 use spacecdn_measure::report::write_json;
@@ -69,7 +70,12 @@ struct EngineBench {
     baseline_wall_s: f64,
     engine_wall_s: f64,
     speedup: f64,
+    /// Threads resolved for the sequential baseline run (always 1).
+    baseline_threads: usize,
+    /// Threads actually resolved for the parallel engine run.
     threads: usize,
+    snapshot_pool_hits: u64,
+    snapshot_pool_misses: u64,
     identical_output: bool,
     workload: &'static str,
 }
@@ -82,27 +88,40 @@ fn main() {
     );
 
     // Baseline: the pre-engine execution model — single thread, no table
-    // memoization, linear nearest-satellite scans.
+    // memoization, no snapshot pooling, linear nearest-satellite scans.
     set_routing_cache_override(Some(false));
+    set_snapshot_pool_override(Some(false));
     set_thread_override(Some(1));
+    clear_graph_pool();
+    let baseline_threads = thread_count();
     let t0 = Instant::now();
     let fp_baseline = workload();
     let baseline_wall_s = t0.elapsed().as_secs_f64();
 
-    // Engine: memoized routing tables + spatial index, default thread pool.
+    // Engine: memoized routing tables + spatial index + cross-campaign
+    // snapshot pool, default thread pool. Clear the pool first so the
+    // baseline run can't subsidise the timed engine run.
     set_routing_cache_override(Some(true));
+    set_snapshot_pool_override(Some(true));
     set_thread_override(None);
+    clear_graph_pool();
     let threads = thread_count();
+    let (hits_before, misses_before, _) = graph_pool_stats();
     let t1 = Instant::now();
     let fp_engine = workload();
     let engine_wall_s = t1.elapsed().as_secs_f64();
+    let (hits_after, misses_after, _) = graph_pool_stats();
 
     set_routing_cache_override(None);
+    set_snapshot_pool_override(None);
 
     let identical = fp_baseline == fp_engine;
     let speedup = baseline_wall_s / engine_wall_s;
-    println!("baseline (1 thread, caches off): {baseline_wall_s:8.2} s");
-    println!("engine   ({threads} thread(s), caches on): {engine_wall_s:8.2} s");
+    let pool_hits = hits_after - hits_before;
+    let pool_misses = misses_after - misses_before;
+    println!("baseline ({baseline_threads} thread, caches+pool off): {baseline_wall_s:8.2} s");
+    println!("engine   ({threads} thread(s), caches+pool on): {engine_wall_s:8.2} s");
+    println!("snapshot pool: {pool_hits} hits / {pool_misses} builds");
     println!("speedup: {speedup:.2}x   outputs identical: {identical}");
     assert!(
         identical,
@@ -115,7 +134,10 @@ fn main() {
             baseline_wall_s,
             engine_wall_s,
             speedup,
+            baseline_threads,
             threads,
+            snapshot_pool_hits: pool_hits,
+            snapshot_pool_misses: pool_misses,
             identical_output: identical,
             workload: "aim campaign + fig3 case study + fig7 hop sweep + fig8 duty sweep",
         },

@@ -3,8 +3,9 @@
 
 use std::process::Command;
 
-const BINS: [&str; 22] = [
+const BINS: [&str; 23] = [
     "engine_bench",
+    "routing_bench",
     "table1",
     "fig2_global_delta",
     "fig3_maputo",

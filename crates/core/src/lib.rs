@@ -40,7 +40,7 @@ pub mod striping;
 pub mod wormhole;
 
 pub use duty_cycle::DutyCycler;
-pub use network::{LsnNetwork, LsnSnapshot, PathBreakdown};
+pub use network::{clear_graph_pool, graph_pool_stats, LsnNetwork, LsnSnapshot, PathBreakdown};
 pub use placement::{popularity_copy_allocation, PlacementStrategy};
 pub use retrieval::{
     retrieve, retrieve_multishell, RetrievalConfig, RetrievalOutcome, RetrievalSource,

@@ -13,6 +13,7 @@
 //! The model takes the cheaper of the two, which reproduces the paper's
 //! Table 1 within ~±20 % across all eleven countries.
 
+use spacecdn_engine::{snapshot_pool_enabled, SnapshotKey, SnapshotPool};
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimTime};
 use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
@@ -20,6 +21,34 @@ use spacecdn_orbit::{Constellation, SatIndex};
 use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::Region;
 use spacecdn_terra::starlink::{gateways, home_pop, Gateway, StarlinkPop};
+use std::sync::{Arc, OnceLock};
+
+/// Epoch snapshots retained by the process-wide graph pool. Campaigns
+/// sweep at most a few dozen epochs; FIFO eviction beyond this bound keeps
+/// long fault sweeps from accumulating warmed graphs without limit.
+const GRAPH_POOL_CAPACITY: usize = 32;
+
+/// The process-wide pool of built [`IslGraph`]s, keyed by
+/// `(constellation digest, epoch ms, fault-plan digest)`. Campaigns that
+/// freeze the same instant under the same faults — aim vs case-study at
+/// t = 0, Fig 7 vs Fig 8 at every epoch — share one build *and* its warmed
+/// routing cache instead of recomputing per campaign.
+fn graph_pool() -> &'static SnapshotPool<IslGraph> {
+    static POOL: OnceLock<SnapshotPool<IslGraph>> = OnceLock::new();
+    POOL.get_or_init(|| SnapshotPool::new(GRAPH_POOL_CAPACITY))
+}
+
+/// Drop every pooled graph. Benchmarks call this between timed runs so an
+/// earlier run's pool cannot subsidise a later one.
+pub fn clear_graph_pool() {
+    graph_pool().clear();
+}
+
+/// Pool diagnostics: `(hits, misses, currently pooled)`.
+pub fn graph_pool_stats() -> (u64, u64, usize) {
+    let pool = graph_pool();
+    (pool.hits(), pool.misses(), pool.len())
+}
 
 /// The full network: constellation + ground segment + terrestrial model.
 pub struct LsnNetwork {
@@ -32,7 +61,7 @@ pub struct LsnNetwork {
 /// A time-frozen view with precomputed gateway serving satellites.
 pub struct LsnSnapshot<'a> {
     net: &'a LsnNetwork,
-    graph: IslGraph,
+    graph: Arc<IslGraph>,
     /// Per gateway: every alive satellite within gateway antenna range,
     /// with its slant range. A bent-pipe can come down through *any* of
     /// them — including the user's own serving satellite, which is how
@@ -100,8 +129,23 @@ impl LsnNetwork {
     }
 
     /// Freeze the topology at `t` (optionally with faults).
+    ///
+    /// The built graph comes from the process-wide snapshot pool when
+    /// pooling is enabled (see [`spacecdn_engine::snapshot_pool_enabled`]):
+    /// campaigns freezing the same `(constellation, t, faults)` share one
+    /// build and its warmed routing cache. Pooled and freshly built graphs
+    /// are identical, so results never depend on the pool.
     pub fn snapshot(&self, t: SimTime, faults: &FaultPlan) -> LsnSnapshot<'_> {
-        let graph = IslGraph::build(&self.constellation, t, faults);
+        let graph = if snapshot_pool_enabled() {
+            let key = SnapshotKey {
+                constellation: self.constellation.config().digest(),
+                epoch_ms: t.0,
+                faults: faults.digest(),
+            };
+            graph_pool().get_or_build(key, || IslGraph::build(&self.constellation, t, faults))
+        } else {
+            Arc::new(IslGraph::build(&self.constellation, t, faults))
+        };
         let gateway_candidates = self
             .gateways
             .iter()

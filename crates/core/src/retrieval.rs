@@ -299,7 +299,7 @@ mod tests {
         let (c, g, access) = setup();
         let user = Geodetic::ground(48.1, 11.6);
         let (overhead, _) = g.nearest_alive(user).unwrap();
-        let near = g.neighbors(overhead)[0].to;
+        let near = g.neighbors(overhead).get(0).unwrap().to;
         let far = c.sat_at(
             c.plane_of(overhead) as i64 + 5,
             c.slot_of(overhead) as i64 + 5,

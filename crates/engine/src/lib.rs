@@ -20,6 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{set_snapshot_pool_override, snapshot_pool_enabled, SnapshotKey, SnapshotPool};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// In-process thread-count override; 0 means "not set".

@@ -1,0 +1,250 @@
+//! Cross-campaign snapshot pool.
+//!
+//! Every campaign binary (and `repro_all` running them back-to-back in one
+//! process) rebuilds identical epoch snapshots: the aim, web, Fig 7, Fig 8
+//! and case-study campaigns all freeze the same constellation at
+//! overlapping instants under the same (usually empty) fault plan. A
+//! snapshot is a pure function of `(constellation, epoch time, fault
+//! plan)`, so the pool memoizes built snapshots process-wide behind that
+//! key — later campaigns get the *same* `Arc`'d value back, inheriting any
+//! acceleration state it accumulated (e.g. warmed routing tables).
+//!
+//! The pool is generic over the snapshot type: this crate is the
+//! dependency leaf of the workspace and cannot name `IslGraph`; the
+//! network layer instantiates `SnapshotPool<IslGraph>` and supplies the
+//! digests. Entries are evicted in insertion (FIFO) order beyond a fixed
+//! capacity so epoch sweeps can't grow memory without bound; eviction
+//! order is deterministic, and eviction only ever costs rebuild time,
+//! never changes an answer.
+//!
+//! Kill switch: `SPACECDN_NO_SNAPSHOT_POOL=1` (environment) or
+//! [`set_snapshot_pool_override`] (in-process) force every snapshot to be
+//! rebuilt from scratch — the baseline mode benchmarks compare against.
+//! Pooled and unpooled runs produce byte-identical campaign output; tests
+//! cover both paths.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of one snapshot: which constellation, at which instant, under
+/// which faults. Digests are the caller's responsibility and must be
+/// stable across processes (content hashes, not addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotKey {
+    /// Content digest of the constellation configuration.
+    pub constellation: u64,
+    /// Epoch instant in milliseconds of simulated time.
+    pub epoch_ms: u64,
+    /// Content digest of the fault plan.
+    pub faults: u64,
+}
+
+struct PoolInner<V> {
+    map: HashMap<SnapshotKey, Arc<V>>,
+    /// Keys in insertion order, for deterministic FIFO eviction.
+    order: VecDeque<SnapshotKey>,
+}
+
+/// A bounded, process-wide memo of built snapshots keyed by
+/// [`SnapshotKey`]. See the module docs for semantics.
+pub struct SnapshotPool<V> {
+    capacity: usize,
+    inner: Mutex<PoolInner<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> SnapshotPool<V> {
+    /// An empty pool retaining at most `capacity` snapshots (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SnapshotPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The pooled snapshot for `key`, building and inserting it on a miss.
+    ///
+    /// `build` runs outside the lock, so a slow build never blocks hits on
+    /// other keys; two tasks racing on the same key may both build, the
+    /// first insert wins and both get the winning `Arc`. Snapshots are pure
+    /// functions of their key, so the race costs duplicated work once,
+    /// never divergent answers.
+    pub fn get_or_build(&self, key: SnapshotKey, build: impl FnOnce() -> V) -> Arc<V> {
+        {
+            let inner = self.inner.lock().expect("snapshot pool poisoned");
+            if let Some(hit) = inner.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut inner = self.inner.lock().expect("snapshot pool poisoned");
+        if let Some(winner) = inner.map.get(&key) {
+            return Arc::clone(winner);
+        }
+        while inner.order.len() >= self.capacity {
+            let evict = inner.order.pop_front().expect("order tracks map");
+            inner.map.remove(&evict);
+        }
+        inner.map.insert(key, Arc::clone(&built));
+        inner.order.push_back(key);
+        built
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("snapshot pool poisoned").map.len()
+    }
+
+    /// True when nothing is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the pool since creation (or last `clear`
+    /// doesn't reset counters — they are lifetime totals).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every pooled snapshot (benchmarks call this between timed runs
+    /// so earlier runs can't subsidise later ones).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("snapshot pool poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+/// In-process pool kill switch: 0 = follow the environment, 1 = forced
+/// off, 2 = forced on.
+static POOL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Environment default, read once: `SPACECDN_NO_SNAPSHOT_POOL=1` disables
+/// pooling (every snapshot rebuilt from scratch — the baseline mode,
+/// mirroring `SPACECDN_NO_ROUTING_CACHE` for the routing cache).
+fn env_pool_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| {
+        std::env::var("SPACECDN_NO_SNAPSHOT_POOL").is_ok_and(|v| v != "0" && !v.is_empty())
+    })
+}
+
+/// Force the snapshot pool on or off for this process, overriding
+/// `SPACECDN_NO_SNAPSHOT_POOL`. `None` restores environment behaviour.
+/// Benchmarks use this to time pooled vs unpooled in a single run.
+pub fn set_snapshot_pool_override(enabled: Option<bool>) {
+    let code = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    POOL_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// Is snapshot pooling active? Snapshot *contents* are identical either
+/// way; only the amount of rebuilding differs.
+pub fn snapshot_pool_enabled() -> bool {
+    match POOL_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => !env_pool_disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch_ms: u64) -> SnapshotKey {
+        SnapshotKey {
+            constellation: 42,
+            epoch_ms,
+            faults: 7,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let pool: SnapshotPool<String> = SnapshotPool::new(8);
+        let a = pool.get_or_build(key(0), || "snapshot".to_string());
+        let b = pool.get_or_build(key(0), || unreachable!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_separately() {
+        let pool: SnapshotPool<u64> = SnapshotPool::new(8);
+        assert_eq!(*pool.get_or_build(key(0), || 10), 10);
+        assert_eq!(*pool.get_or_build(key(173_000), || 20), 20);
+        let mut other = key(0);
+        other.faults = 99;
+        assert_eq!(*pool.get_or_build(other, || 30), 30);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.misses(), 3);
+    }
+
+    #[test]
+    fn fifo_eviction_beyond_capacity() {
+        let pool: SnapshotPool<u64> = SnapshotPool::new(2);
+        pool.get_or_build(key(0), || 0);
+        pool.get_or_build(key(1), || 1);
+        pool.get_or_build(key(2), || 2); // evicts key(0)
+        assert_eq!(pool.len(), 2);
+        let rebuilt = pool.get_or_build(key(0), || 99);
+        assert_eq!(*rebuilt, 99, "evicted entry must rebuild");
+        let kept = pool.get_or_build(key(2), || 1000);
+        assert_eq!(*kept, 2, "newest entry must survive");
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let pool: SnapshotPool<u64> = SnapshotPool::new(4);
+        pool.get_or_build(key(0), || 1);
+        assert!(!pool.is_empty());
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(*pool.get_or_build(key(0), || 2), 2);
+    }
+
+    #[test]
+    fn racing_builders_converge_on_one_value() {
+        let pool: SnapshotPool<u64> = SnapshotPool::new(4);
+        let pool_ref = &pool;
+        let values: Vec<Arc<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| s.spawn(move || pool_ref.get_or_build(key(5), move || i)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for v in &values[1..] {
+            assert!(Arc::ptr_eq(v, &values[0]), "all callers share one snapshot");
+        }
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn override_toggles_enablement() {
+        set_snapshot_pool_override(Some(false));
+        assert!(!snapshot_pool_enabled());
+        set_snapshot_pool_override(Some(true));
+        assert!(snapshot_pool_enabled());
+        set_snapshot_pool_override(None);
+    }
+}

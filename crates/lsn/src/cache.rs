@@ -19,12 +19,12 @@
 //! the lock is held only for a `HashMap` probe or insert — the uncontended
 //! fast path is a compare-exchange either way.
 
-use crate::routing::{dijkstra_distances, hop_distances};
+use crate::routing::{dijkstra_distances, hop_distances, source_tables_many};
 use crate::topology::IslGraph;
 use spacecdn_orbit::SatIndex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Memoized single-source routing tables for one source satellite in one
@@ -53,6 +53,9 @@ impl SourceTables {
 #[derive(Default)]
 pub struct RoutingCache {
     tables: RwLock<HashMap<u32, Arc<SourceTables>>>,
+    /// Pairwise hop queries answered from the *destination*'s table (the
+    /// +Grid is undirected, so BFS levels read the same both ways).
+    reverse_hits: AtomicU64,
 }
 
 impl RoutingCache {
@@ -74,6 +77,62 @@ impl RoutingCache {
         let computed = Arc::new(SourceTables::compute(graph, src));
         let mut writer = self.tables.write().expect("cache lock poisoned");
         Arc::clone(writer.entry(src.0).or_insert(computed))
+    }
+
+    /// Minimum hop count between `from` and `to`, exploiting
+    /// undirectedness: BFS hop levels are integers and exactly symmetric on
+    /// an undirected graph, so a table memoized for *either* endpoint
+    /// answers the query — tables for `s` also serve queries *to* `s`, and
+    /// pairwise sweeps stop computing both directions. Only when neither
+    /// endpoint has a table yet is one computed (and memoized, for `from`).
+    ///
+    /// Kilometre tables get no such reverse path: a float path sum
+    /// accumulated in the opposite edge order can differ in the final bits,
+    /// and campaign output must stay byte-identical.
+    pub fn hops_between(&self, graph: &IslGraph, from: SatIndex, to: SatIndex) -> u32 {
+        {
+            let reader = self.tables.read().expect("cache lock poisoned");
+            if let Some(t) = reader.get(&from.0) {
+                return t.hops[to.as_usize()];
+            }
+            if let Some(t) = reader.get(&to.0) {
+                self.reverse_hits.fetch_add(1, Ordering::Relaxed);
+                return t.hops[from.as_usize()];
+            }
+        }
+        self.tables_for(graph, from).hops[to.as_usize()]
+    }
+
+    /// How many pairwise hop queries were served from the reverse table.
+    pub fn reverse_hits(&self) -> u64 {
+        self.reverse_hits.load(Ordering::Relaxed)
+    }
+
+    /// Compute and memoize tables for every not-yet-cached source in
+    /// `sources`, batched through [`source_tables_many`] so one scratch
+    /// working set serves the whole sweep and the map's write lock is taken
+    /// once. Tables are bitwise identical to on-demand computation, so
+    /// warming can never change an answer.
+    pub fn warm(&self, graph: &IslGraph, sources: &[SatIndex]) {
+        let mut seen = HashSet::new();
+        let missing: Vec<SatIndex> = {
+            let reader = self.tables.read().expect("cache lock poisoned");
+            sources
+                .iter()
+                .copied()
+                .filter(|s| seen.insert(s.0) && !reader.contains_key(&s.0))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let computed = source_tables_many(graph, &missing);
+        let mut writer = self.tables.write().expect("cache lock poisoned");
+        for (src, (km, hops)) in missing.iter().zip(computed) {
+            writer
+                .entry(src.0)
+                .or_insert_with(|| Arc::new(SourceTables { km, hops }));
+        }
     }
 
     /// Number of source satellites with memoized tables.
@@ -174,6 +233,57 @@ mod tests {
         set_routing_cache_override(Some(true));
         assert!(routing_cache_enabled());
         set_routing_cache_override(None);
+    }
+
+    #[test]
+    fn hops_between_serves_reverse_queries_from_one_table() {
+        let g = graph();
+        let cache = RoutingCache::new();
+        let (a, b) = (SatIndex(10), SatIndex(900));
+        let forward = cache.hops_between(&g, a, b);
+        assert_eq!(cache.cached_sources(), 1);
+        assert_eq!(cache.reverse_hits(), 0);
+        // The opposite direction reads a's table backwards: no new entry.
+        let reverse = cache.hops_between(&g, b, a);
+        assert_eq!(forward, reverse);
+        assert_eq!(cache.cached_sources(), 1);
+        assert_eq!(cache.reverse_hits(), 1);
+        assert_eq!(forward, hop_distances(&g, a)[b.as_usize()]);
+    }
+
+    #[test]
+    fn hops_between_symmetric_on_faulted_graph() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        for s in [4u32, 90, 91, 700, 1200] {
+            faults.fail_sat(SatIndex(s));
+        }
+        let g = IslGraph::build(&c, SimTime::from_secs(311), &faults);
+        for (a, b) in [(0u32, 1583u32), (5, 710), (89, 92), (700, 701)] {
+            let fwd = RoutingCache::new().hops_between(&g, SatIndex(a), SatIndex(b));
+            let rev = RoutingCache::new().hops_between(&g, SatIndex(b), SatIndex(a));
+            assert_eq!(fwd, rev, "hop distance {a}<->{b} asymmetric");
+        }
+    }
+
+    #[test]
+    fn warm_matches_on_demand_tables() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(SatIndex(123));
+        let g = IslGraph::build(&c, SimTime::from_secs(59), &faults);
+        let cache = RoutingCache::new();
+        // Duplicates and already-cached sources are both skipped.
+        cache.tables_for(&g, SatIndex(7));
+        let sources = [SatIndex(7), SatIndex(42), SatIndex(42), SatIndex(1000)];
+        cache.warm(&g, &sources);
+        assert_eq!(cache.cached_sources(), 3);
+        for src in [SatIndex(7), SatIndex(42), SatIndex(1000)] {
+            assert_eq!(*cache.tables_for(&g, src), SourceTables::compute(&g, src));
+        }
+        // Re-warming is a no-op.
+        cache.warm(&g, &sources);
+        assert_eq!(cache.cached_sources(), 3);
     }
 
     #[test]

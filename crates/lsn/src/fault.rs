@@ -62,6 +62,38 @@ impl FaultPlan {
         self.failed_sats.len()
     }
 
+    /// Content digest of the plan, stable across processes and runs.
+    ///
+    /// Members are hashed in sorted order (the `HashSet`s iterate in an
+    /// arbitrary, seed-dependent order), so two plans failing the same
+    /// satellites and links always digest identically — the property the
+    /// engine's snapshot pool keys rely on.
+    pub fn digest(&self) -> u64 {
+        let mut sats: Vec<u32> = self.failed_sats.iter().map(|s| s.0).collect();
+        sats.sort_unstable();
+        let mut links: Vec<(u32, u32)> =
+            self.failed_links.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        links.sort_unstable();
+
+        // FNV-1a, 64-bit: tiny, dependency-free, and stable by definition.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(sats.len() as u64);
+        for s in sats {
+            mix(s as u64);
+        }
+        mix(links.len() as u64);
+        for (a, b) in links {
+            mix(((a as u64) << 32) | b as u64);
+        }
+        h
+    }
+
     fn key(a: SatIndex, b: SatIndex) -> (SatIndex, SatIndex) {
         if a.0 <= b.0 {
             (a, b)
@@ -115,6 +147,25 @@ mod tests {
         for i in 0..1000u32 {
             assert_eq!(p.sat_failed(SatIndex(i)), p2.sat_failed(SatIndex(i)));
         }
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_content_sensitive() {
+        let mut a = FaultPlan::none();
+        a.fail_sat(SatIndex(9));
+        a.fail_sat(SatIndex(2));
+        a.fail_link(SatIndex(5), SatIndex(1));
+        let mut b = FaultPlan::none();
+        b.fail_link(SatIndex(1), SatIndex(5));
+        b.fail_sat(SatIndex(2));
+        b.fail_sat(SatIndex(9));
+        assert_eq!(a.digest(), b.digest(), "same content must digest alike");
+        assert_ne!(a.digest(), FaultPlan::none().digest());
+
+        let mut c = FaultPlan::none();
+        c.fail_sat(SatIndex(9));
+        c.fail_sat(SatIndex(2));
+        assert_ne!(a.digest(), c.digest(), "dropping a link must change it");
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub use dynamics::{churn_report, route_samples, ChurnReport};
 pub use fault::FaultPlan;
 pub use load::LinkLoad;
 pub use path::{spacecdn_fetch_rtt, starlink_rtt_to_pop, StarlinkPath};
-pub use routing::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, IslPath};
+pub use routing::{
+    bfs_nearest, dijkstra, dijkstra_distances, dijkstra_distances_into, hop_distances,
+    hop_distances_into, hop_distances_many, source_tables_many, IslPath,
+};
 pub use spatial::SpatialIndex;
-pub use topology::IslGraph;
+pub use topology::{IslEdge, IslGraph, Neighbors};

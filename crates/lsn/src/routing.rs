@@ -7,13 +7,18 @@
 //!   *cheapest* cached copy;
 //! - **hop-bounded BFS** for the §4 question "is a copy within n ISL
 //!   hops?", where hops — not kilometres — are the budget.
+//!
+//! All kernels walk the graph's CSR rows (see [`IslGraph::csr`]) — three
+//! flat arrays indexed by satellite — rather than per-node edge lists, and
+//! share per-thread scratch working sets so steady-state walks allocate
+//! only their output. The batched `_many` entry points additionally reuse
+//! one scratch borrow and one frontier buffer across many sources.
 
 use crate::topology::IslGraph;
 use spacecdn_geo::{Km, Latency};
 use spacecdn_orbit::SatIndex;
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// A routed path through the constellation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,25 +39,64 @@ impl IslPath {
     }
 }
 
-#[derive(PartialEq)]
-struct HeapItem {
-    cost: f64,
-    sat: SatIndex,
-}
-impl Eq for HeapItem {}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap; tie-break on index for determinism.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are finite")
-            .then_with(|| other.sat.0.cmp(&self.sat.0))
+/// Heap entry ordered by path cost, packed into one `u128` key: the cost's
+/// raw IEEE-754 bit pattern in the high 64 bits, the satellite index in the
+/// low 32. For non-negative finite floats the unsigned bit pattern is
+/// monotonic in the value, so a plain integer compare of the packed key
+/// orders by (cost, index-ascending) — exactly the pop order the original
+/// `partial_cmp`-with-tie-break heap produced, in a single comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapItem(u128);
+
+impl HeapItem {
+    #[inline]
+    fn new(cost: f64, sat: u32) -> Self {
+        debug_assert!(cost >= 0.0, "negative path cost");
+        HeapItem(((cost.to_bits() as u128) << 32) | sat as u128)
+    }
+
+    #[inline]
+    fn cost(&self) -> f64 {
+        f64::from_bits((self.0 >> 32) as u64)
+    }
+
+    #[inline]
+    fn sat(&self) -> u32 {
+        self.0 as u32
     }
 }
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+/// Min-priority-queue over [`HeapItem`] keys, backed by the std max-heap
+/// on the complemented key (`!key` reverses the unsigned order, so one
+/// integer compare replaces the old cost-then-index two-step).
+///
+/// Dijkstra pushes each satellite only on a strict cost improvement, so
+/// every live key is unique and any correct min-priority-queue pops the
+/// identical sequence — the backing container is free to differ
+/// structurally without affecting byte-identity.
+struct MinHeap {
+    inner: std::collections::BinaryHeap<u128>,
+}
+
+impl MinHeap {
+    fn new() -> Self {
+        MinHeap {
+            inner: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, key: HeapItem) {
+        self.inner.push(!key.0);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<HeapItem> {
+        self.inner.pop().map(|k| HeapItem(!k))
     }
 }
 
@@ -71,8 +115,11 @@ struct Scratch {
     stamp: Vec<u32>,
     dist: Vec<f64>,
     prev: Vec<u32>,
-    heap: BinaryHeap<HeapItem>,
-    queue: VecDeque<(SatIndex, u32)>,
+    heap: MinHeap,
+    queue: VecDeque<(u32, u32)>,
+    /// Current/next BFS wavefronts for the frontier-swap kernel.
+    frontier: Vec<u32>,
+    next_front: Vec<u32>,
 }
 
 impl Scratch {
@@ -82,8 +129,10 @@ impl Scratch {
             stamp: Vec::new(),
             dist: Vec::new(),
             prev: Vec::new(),
-            heap: BinaryHeap::new(),
+            heap: MinHeap::new(),
             queue: VecDeque::new(),
+            frontier: Vec::new(),
+            next_front: Vec::new(),
         }
     }
 
@@ -167,29 +216,27 @@ pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPat
             propagation: Latency::ZERO,
         });
     }
+    let (offsets, nbrs, lens) = graph.csr();
     with_scratch(|s| {
         s.begin(graph.len());
         s.record(src.as_usize(), 0.0, NO_PREV);
-        s.heap.push(HeapItem {
-            cost: 0.0,
-            sat: src,
-        });
+        s.heap.push(HeapItem::new(0.0, src.0));
 
-        while let Some(HeapItem { cost, sat }) = s.heap.pop() {
-            if cost > s.dist(sat.as_usize()) {
+        while let Some(item) = s.heap.pop() {
+            let cost = item.cost();
+            let sat = item.sat() as usize;
+            if cost > s.dist(sat) {
                 continue;
             }
-            if sat == dst {
+            if item.sat() == dst.0 {
                 break;
             }
-            for edge in graph.neighbors(sat) {
-                let next = cost + edge.length.0;
-                if next < s.dist(edge.to.as_usize()) {
-                    s.record(edge.to.as_usize(), next, sat.0);
-                    s.heap.push(HeapItem {
-                        cost: next,
-                        sat: edge.to,
-                    });
+            let (lo, hi) = (offsets[sat] as usize, offsets[sat + 1] as usize);
+            for (&to, &len) in nbrs[lo..hi].iter().zip(&lens[lo..hi]) {
+                let next = cost + len;
+                if next < s.dist(to as usize) {
+                    s.record(to as usize, next, item.sat());
+                    s.heap.push(HeapItem::new(next, to));
                 }
             }
         }
@@ -212,65 +259,152 @@ pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPat
     })
 }
 
+/// The [`dijkstra_distances`] kernel against caller scratch and output.
+fn dijkstra_distances_with(
+    s: &mut Scratch,
+    graph: &IslGraph,
+    src: SatIndex,
+    out: &mut Vec<(f64, u32)>,
+) {
+    let n = graph.len();
+    out.clear();
+    out.resize(n, (f64::INFINITY, u32::MAX));
+    if !graph.is_alive(src) {
+        return;
+    }
+    out[src.as_usize()] = (0.0, 0);
+    let (offsets, nbrs, lens) = graph.csr();
+    s.begin(n);
+    s.heap.push(HeapItem::new(0.0, src.0));
+    while let Some(item) = s.heap.pop() {
+        let cost = item.cost();
+        let sat = item.sat() as usize;
+        if cost > out[sat].0 {
+            continue;
+        }
+        let hops = out[sat].1;
+        let (lo, hi) = (offsets[sat] as usize, offsets[sat + 1] as usize);
+        // Zipped slice iteration: one bounds check per row, not per edge.
+        for (&to, &len) in nbrs[lo..hi].iter().zip(&lens[lo..hi]) {
+            let next = cost + len;
+            let slot = &mut out[to as usize];
+            if next < slot.0 {
+                *slot = (next, hops + 1);
+                s.heap.push(HeapItem::new(next, to));
+            }
+        }
+    }
+}
+
+/// The [`hop_distances`] kernel: level-synchronous BFS swapping two
+/// wavefront buffers instead of driving a deque of (node, depth) pairs.
+/// The output array doubles as the visited set.
+fn hop_distances_with(s: &mut Scratch, graph: &IslGraph, src: SatIndex, out: &mut Vec<u32>) {
+    let n = graph.len();
+    out.clear();
+    out.resize(n, u32::MAX);
+    if !graph.is_alive(src) {
+        return;
+    }
+    out[src.as_usize()] = 0;
+    let (offsets, nbrs, _) = graph.csr();
+    // Disjoint borrows of the two wavefront buffers so the expansion loop
+    // iterates one while pushing the other without per-index checks.
+    let Scratch {
+        frontier,
+        next_front,
+        ..
+    } = s;
+    frontier.clear();
+    next_front.clear();
+    frontier.push(src.0);
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        for &satu in frontier.iter() {
+            let sat = satu as usize;
+            let (lo, hi) = (offsets[sat] as usize, offsets[sat + 1] as usize);
+            for &nb in &nbrs[lo..hi] {
+                let slot = &mut out[nb as usize];
+                if *slot == u32::MAX {
+                    *slot = level;
+                    next_front.push(nb);
+                }
+            }
+        }
+        std::mem::swap(frontier, next_front);
+        next_front.clear();
+    }
+}
+
 /// Single-source shortest paths: for every satellite, the (kilometres,
 /// hop-count) of the cheapest-by-distance path from `src`. Unreachable or
 /// failed satellites get `(f64::INFINITY, u32::MAX)`. One call costs one
 /// Dijkstra; use it when many destinations share a source (e.g. scoring all
 /// gateways).
 pub fn dijkstra_distances(graph: &IslGraph, src: SatIndex) -> Vec<(f64, u32)> {
-    let n = graph.len();
-    let mut out = vec![(f64::INFINITY, u32::MAX); n];
-    if !graph.is_alive(src) {
-        return out;
-    }
-    out[src.as_usize()] = (0.0, 0);
-    with_scratch(|s| {
-        s.begin(graph.len());
-        s.heap.push(HeapItem {
-            cost: 0.0,
-            sat: src,
-        });
-        while let Some(HeapItem { cost, sat }) = s.heap.pop() {
-            if cost > out[sat.as_usize()].0 {
-                continue;
-            }
-            let hops = out[sat.as_usize()].1;
-            for edge in graph.neighbors(sat) {
-                let next = cost + edge.length.0;
-                if next < out[edge.to.as_usize()].0 {
-                    out[edge.to.as_usize()] = (next, hops + 1);
-                    s.heap.push(HeapItem {
-                        cost: next,
-                        sat: edge.to,
-                    });
-                }
-            }
-        }
-    });
+    let mut out = Vec::new();
+    dijkstra_distances_into(graph, src, &mut out);
     out
+}
+
+/// [`dijkstra_distances`] writing into a caller-owned buffer (cleared and
+/// resized), so sweeps over many sources can recycle one allocation.
+pub fn dijkstra_distances_into(graph: &IslGraph, src: SatIndex, out: &mut Vec<(f64, u32)>) {
+    with_scratch(|s| dijkstra_distances_with(s, graph, src, out));
 }
 
 /// Hop distances (BFS levels) from `src` to every satellite; `u32::MAX`
 /// marks unreachable or failed satellites.
 pub fn hop_distances(graph: &IslGraph, src: SatIndex) -> Vec<u32> {
-    let mut dist = vec![u32::MAX; graph.len()];
-    if !graph.is_alive(src) {
-        return dist;
-    }
-    dist[src.as_usize()] = 0;
+    let mut out = Vec::new();
+    hop_distances_into(graph, src, &mut out);
+    out
+}
+
+/// [`hop_distances`] writing into a caller-owned buffer (cleared and
+/// resized), so sweeps over many sources can recycle one allocation.
+pub fn hop_distances_into(graph: &IslGraph, src: SatIndex, out: &mut Vec<u32>) {
+    with_scratch(|s| hop_distances_with(s, graph, src, out));
+}
+
+/// Batched [`hop_distances`] over many sources: one scratch borrow and one
+/// pair of wavefront buffers serve the whole batch, so per-source setup is
+/// just the output allocation. Results are identical to per-source calls.
+pub fn hop_distances_many(graph: &IslGraph, sources: &[SatIndex]) -> Vec<Vec<u32>> {
     with_scratch(|s| {
-        s.begin(graph.len());
-        s.queue.push_back((src, 0));
-        while let Some((sat, d)) = s.queue.pop_front() {
-            for edge in graph.neighbors(sat) {
-                if dist[edge.to.as_usize()] == u32::MAX {
-                    dist[edge.to.as_usize()] = d + 1;
-                    s.queue.push_back((edge.to, d + 1));
-                }
-            }
-        }
-    });
-    dist
+        sources
+            .iter()
+            .map(|&src| {
+                let mut out = Vec::new();
+                hop_distances_with(s, graph, src, &mut out);
+                out
+            })
+            .collect()
+    })
+}
+
+/// One source's routing tables as raw vectors: the `(km, hop-count)`
+/// Dijkstra table and the BFS hop-level table.
+pub type RawSourceTables = (Vec<(f64, u32)>, Vec<u32>);
+
+/// Batched single-source tables: for each source, its
+/// ([`dijkstra_distances`], [`hop_distances`]) pair, computed under one
+/// scratch borrow. The cache-warming entry point
+/// ([`IslGraph::warm_routing_cache`]) drains this into the routing cache.
+pub fn source_tables_many(graph: &IslGraph, sources: &[SatIndex]) -> Vec<RawSourceTables> {
+    with_scratch(|s| {
+        sources
+            .iter()
+            .map(|&src| {
+                let mut km = Vec::new();
+                let mut hops = Vec::new();
+                dijkstra_distances_with(s, graph, src, &mut km);
+                hop_distances_with(s, graph, src, &mut hops);
+                (km, hops)
+            })
+            .collect()
+    })
 }
 
 /// BFS from `src` for the nearest satellite (in hops) satisfying
@@ -293,23 +427,28 @@ pub fn bfs_nearest(
             propagation: Latency::ZERO,
         });
     }
+    let (offsets, nbrs, _) = graph.csr();
     with_scratch(|s| {
         s.begin(graph.len());
         s.record(src.as_usize(), 0.0, NO_PREV);
-        s.queue.push_back((src, 0u32));
+        s.queue.push_back((src.0, 0u32));
 
         while let Some((sat, hops)) = s.queue.pop_front() {
             if hops >= max_hops {
                 continue;
             }
-            for edge in graph.neighbors(sat) {
-                if s.visited(edge.to.as_usize()) {
+            let (lo, hi) = (
+                offsets[sat as usize] as usize,
+                offsets[sat as usize + 1] as usize,
+            );
+            for &nb in &nbrs[lo..hi] {
+                if s.visited(nb as usize) {
                     continue;
                 }
-                s.record(edge.to.as_usize(), 0.0, sat.0);
-                if is_target(edge.to) {
+                s.record(nb as usize, 0.0, sat);
+                if is_target(SatIndex(nb)) {
                     // Reconstruct and measure the path.
-                    let sats = s.trace_path(edge.to);
+                    let sats = s.trace_path(SatIndex(nb));
                     let mut length = Km::ZERO;
                     for w in sats.windows(2) {
                         length += graph.position(w[0]).distance(graph.position(w[1]));
@@ -323,7 +462,7 @@ pub fn bfs_nearest(
                         ),
                     });
                 }
-                s.queue.push_back((edge.to, hops + 1));
+                s.queue.push_back((nb, hops + 1));
             }
         }
         None
@@ -414,6 +553,23 @@ mod tests {
     }
 
     #[test]
+    fn heap_item_bit_order_matches_float_order() {
+        // The heap's integer ordering trick requires bit-pattern order to
+        // agree with numeric order for every non-negative cost.
+        let costs = [0.0, 1e-12, 0.5, 1.0, 550.0, 1970.5, 1e9, f64::INFINITY];
+        for w in costs.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} !< {}", w[0], w[1]);
+        }
+        let mut heap = MinHeap::new();
+        heap.push(HeapItem::new(2.0, 9));
+        heap.push(HeapItem::new(1.0, 7));
+        heap.push(HeapItem::new(1.0, 3));
+        assert_eq!(heap.pop().unwrap().sat(), 3, "min cost, min index first");
+        assert_eq!(heap.pop().unwrap().sat(), 7);
+        assert_eq!(heap.pop().unwrap().sat(), 9);
+    }
+
+    #[test]
     fn grid_is_fully_connected() {
         let (_, g) = shell1_graph();
         let d = hop_distances(&g, SatIndex(0));
@@ -431,6 +587,47 @@ mod tests {
         let d = hop_distances(&g, src)[dst.as_usize()];
         let p = bfs_nearest(&g, src, 64, |s| s == dst).unwrap();
         assert_eq!(p.hop_count() as u32, d);
+    }
+
+    #[test]
+    fn batched_kernels_match_single_source_calls() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(SatIndex(300));
+        faults.fail_sat(SatIndex(301));
+        let g = IslGraph::build(&c, SimTime::from_secs(77), &faults);
+        let sources = [SatIndex(0), SatIndex(300), SatIndex(512), SatIndex(1583)];
+
+        let hops_batch = hop_distances_many(&g, &sources);
+        let tables_batch = source_tables_many(&g, &sources);
+        for (i, &src) in sources.iter().enumerate() {
+            assert_eq!(hops_batch[i], hop_distances(&g, src), "hops for {src:?}");
+            assert_eq!(
+                tables_batch[i].0,
+                dijkstra_distances(&g, src),
+                "km for {src:?}"
+            );
+            assert_eq!(tables_batch[i].1, hops_batch[i], "bfs for {src:?}");
+        }
+    }
+
+    #[test]
+    fn into_variants_recycle_buffers_across_graphs() {
+        let big = Constellation::new(shells::starlink_shell1());
+        let small = Constellation::new(shells::test_shell());
+        let g1 = IslGraph::build(&big, SimTime::EPOCH, &FaultPlan::none());
+        let g2 = IslGraph::build(&small, SimTime::EPOCH, &FaultPlan::none());
+        let mut km = Vec::new();
+        let mut hops = Vec::new();
+        dijkstra_distances_into(&g1, SatIndex(9), &mut km);
+        hop_distances_into(&g1, SatIndex(9), &mut hops);
+        assert_eq!(km.len(), g1.len());
+        assert_eq!(km, dijkstra_distances(&g1, SatIndex(9)));
+        // Shrinking to a smaller graph must resize, not read stale slots.
+        dijkstra_distances_into(&g2, SatIndex(9), &mut km);
+        hop_distances_into(&g2, SatIndex(9), &mut hops);
+        assert_eq!(km.len(), g2.len());
+        assert_eq!(hops, hop_distances(&g2, SatIndex(9)));
     }
 
     #[test]

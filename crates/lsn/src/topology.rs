@@ -6,6 +6,16 @@
 //! the inter-plane links stretch and shrink with latitude (planes converge
 //! towards the inclination limit). A snapshot freezes all link lengths at
 //! one instant; experiments rebuild snapshots as simulated time advances.
+//!
+//! # Data layout
+//!
+//! Adjacency is stored in **CSR (compressed sparse row)** form as three
+//! flat arrays — `offsets` (one entry per satellite plus a terminator),
+//! `neighbours` and `lengths_km` (one entry per directed edge, structure
+//! of arrays) — instead of a `Vec<Vec<Edge>>` of per-satellite heap
+//! allocations. Routing kernels walk contiguous slices with no pointer
+//! chasing; the [`IslEdge`] view survives as a cheap iterator
+//! ([`Neighbors`]) so call sites keep their old shape.
 
 use crate::cache::{routing_cache_enabled, RoutingCache, SourceTables};
 use crate::fault::FaultPlan;
@@ -16,6 +26,9 @@ use spacecdn_orbit::{Constellation, SatIndex};
 use std::sync::Arc;
 
 /// One directed adjacency entry: a neighbour and the link length.
+///
+/// Materialised on the fly from the CSR arrays by [`Neighbors`]; not the
+/// storage format.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IslEdge {
     /// The neighbouring satellite.
@@ -23,6 +36,64 @@ pub struct IslEdge {
     /// Laser link length at the snapshot instant.
     pub length: Km,
 }
+
+/// Iterator over a satellite's outgoing ISLs, yielding [`IslEdge`]s
+/// materialised from the CSR row.
+///
+/// Cheap to copy; offers `len`/`is_empty`/`iter` so code written against
+/// the old `&[IslEdge]` slice API keeps compiling.
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbors<'g> {
+    to: &'g [u32],
+    lengths: &'g [f64],
+}
+
+impl<'g> Neighbors<'g> {
+    /// Number of (remaining) neighbours.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.to.len()
+    }
+
+    /// True when the satellite has no (remaining) ISLs.
+    pub fn is_empty(&self) -> bool {
+        self.to.is_empty()
+    }
+
+    /// Slice-API compatibility: a fresh iterator over the same row.
+    pub fn iter(&self) -> Neighbors<'g> {
+        *self
+    }
+
+    /// The `i`-th edge of the row, if present.
+    pub fn get(&self, i: usize) -> Option<IslEdge> {
+        Some(IslEdge {
+            to: SatIndex(*self.to.get(i)?),
+            length: Km(self.lengths[i]),
+        })
+    }
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = IslEdge;
+
+    fn next(&mut self) -> Option<IslEdge> {
+        let (&to, rest) = self.to.split_first()?;
+        let (&km, lrest) = self.lengths.split_first()?;
+        self.to = rest;
+        self.lengths = lrest;
+        Some(IslEdge {
+            to: SatIndex(to),
+            length: Km(km),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.to.len(), Some(self.to.len()))
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
 
 /// A frozen ISL connectivity graph at one instant.
 ///
@@ -35,7 +106,13 @@ pub struct IslEdge {
 pub struct IslGraph {
     time: SimTime,
     positions: Vec<Ecef>,
-    adjacency: Vec<Vec<IslEdge>>,
+    /// CSR row starts: edges of satellite `s` live at
+    /// `offsets[s]..offsets[s+1]` in `neighbours`/`lengths_km`.
+    offsets: Vec<u32>,
+    /// Flat neighbour indices, grouped by source satellite.
+    neighbours: Vec<u32>,
+    /// Link lengths in km, parallel to `neighbours`.
+    lengths_km: Vec<f64>,
     alive: Vec<bool>,
     cache: Arc<RoutingCache>,
     spatial: SpatialIndex,
@@ -50,33 +127,46 @@ impl IslGraph {
     /// by a constant offset (identical for every satellite and every
     /// instant, because the whole pattern co-rotates rigidly), so the offset
     /// is computed once per build and the resulting adjacency is symmetric.
+    ///
+    /// The CSR arrays are built in one pass over the satellites: each
+    /// satellite's candidate neighbours are evaluated exactly once into a
+    /// fixed-size stash, then flattened into exactly-sized flat arrays.
     pub fn build(constellation: &Constellation, t: SimTime, faults: &FaultPlan) -> Self {
         let n = constellation.len();
         let positions = constellation.snapshot_ecef(t);
-        let mut adjacency = vec![Vec::with_capacity(4); n];
         let mut alive = vec![true; n];
+        for sat in constellation.sat_indices() {
+            if faults.sat_failed(sat) {
+                alive[sat.as_usize()] = false;
+            }
+        }
 
         // Phase-determined slot offset of the nearest satellite one plane
         // over (see doc comment). The offset is uniform for all interior
         // plane pairs, but the wrap-around pair (P-1 → 0) can differ: Walker
         // phasing accumulates F·360/S degrees over a full revolution of
         // planes, which lands on a (possibly non-zero) whole-slot shift at
-        // the seam. Probe both.
+        // the seam.
         let plane_count = constellation.config().plane_count as i64;
+        let sats_per_plane = constellation.config().sats_per_plane as i64;
         let nearest_slot_offset = |from_plane: i64| -> i64 {
-            let probe = constellation.sat_at(from_plane, 0);
-            (0..constellation.config().sats_per_plane as i64)
-                .min_by(|&a, &b| {
-                    let da = positions[probe.as_usize()]
-                        .distance(positions[constellation.sat_at(from_plane + 1, a).as_usize()]);
-                    let db = positions[probe.as_usize()]
-                        .distance(positions[constellation.sat_at(from_plane + 1, b).as_usize()]);
-                    da.0.partial_cmp(&db.0).expect("distances are finite")
-                })
-                .unwrap_or(0)
+            let probe = positions[constellation.sat_at(from_plane, 0).as_usize()];
+            let mut best = (f64::INFINITY, 0i64);
+            for s in 0..sats_per_plane {
+                let d = probe
+                    .distance(positions[constellation.sat_at(from_plane + 1, s).as_usize()])
+                    .0;
+                if d < best.0 {
+                    best = (d, s);
+                }
+            }
+            best.1
         };
         let interior_offset = nearest_slot_offset(0);
-        let seam_offset = if plane_count > 1 {
+        // With F = 0 every plane is identically phased, so the seam pair
+        // (P-1, 0) is geometrically the same as any interior pair — no
+        // second probe needed.
+        let seam_offset = if plane_count > 1 && constellation.config().phase_factor != 0 {
             nearest_slot_offset(plane_count - 1)
         } else {
             interior_offset
@@ -90,38 +180,55 @@ impl IslGraph {
             }
         };
 
-        for sat in constellation.sat_indices() {
-            if faults.sat_failed(sat) {
-                alive[sat.as_usize()] = false;
-            }
-        }
-
+        // One pass: evaluate each satellite's ≤4 candidate links exactly
+        // once into a fixed-size stash, tracking the exact edge total.
+        let mut stash: Vec<([u32; 4], [f64; 4], u8)> = vec![([0; 4], [0.0; 4], 0); n];
+        let mut edge_total = 0usize;
         for sat in constellation.sat_indices() {
             if !alive[sat.as_usize()] {
                 continue;
             }
             let plane = constellation.plane_of(sat) as i64;
             let slot = constellation.slot_of(sat) as i64;
-            let neighbours = [
+            let candidates = [
                 constellation.sat_at(plane, slot - 1), // aft
                 constellation.sat_at(plane, slot + 1), // fore
                 constellation.sat_at(plane - 1, slot - offset_from(plane - 1)), // left
                 constellation.sat_at(plane + 1, slot + offset_from(plane)), // right
             ];
-            for nb in neighbours {
+            let row = &mut stash[sat.as_usize()];
+            for nb in candidates {
                 if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
                     continue;
                 }
                 let length = positions[sat.as_usize()].distance(positions[nb.as_usize()]);
-                adjacency[sat.as_usize()].push(IslEdge { to: nb, length });
+                let k = row.2 as usize;
+                row.0[k] = nb.0;
+                row.1[k] = length.0;
+                row.2 += 1;
+                edge_total += 1;
             }
+        }
+
+        // Flatten into exactly-sized CSR arrays.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbours = Vec::with_capacity(edge_total);
+        let mut lengths_km = Vec::with_capacity(edge_total);
+        offsets.push(0u32);
+        for (tos, kms, deg) in &stash {
+            let deg = *deg as usize;
+            neighbours.extend_from_slice(&tos[..deg]);
+            lengths_km.extend_from_slice(&kms[..deg]);
+            offsets.push(neighbours.len() as u32);
         }
 
         let spatial = SpatialIndex::build(&positions, &alive);
         IslGraph {
             time: t,
             positions,
-            adjacency,
+            offsets,
+            neighbours,
+            lengths_km,
             alive,
             cache: Arc::new(RoutingCache::new()),
             spatial,
@@ -149,8 +256,25 @@ impl IslGraph {
     }
 
     /// Outgoing ISLs of a satellite (empty for failed satellites).
-    pub fn neighbors(&self, sat: SatIndex) -> &[IslEdge] {
-        &self.adjacency[sat.as_usize()]
+    pub fn neighbors(&self, sat: SatIndex) -> Neighbors<'_> {
+        let (to, lengths) = self.neighbor_row(sat.0);
+        Neighbors { to, lengths }
+    }
+
+    /// CSR row of a satellite: neighbour indices and link lengths (km) as
+    /// parallel slices. The zero-cost view routing kernels iterate over.
+    #[inline]
+    pub fn neighbor_row(&self, sat: u32) -> (&[u32], &[f64]) {
+        let lo = self.offsets[sat as usize] as usize;
+        let hi = self.offsets[sat as usize + 1] as usize;
+        (&self.neighbours[lo..hi], &self.lengths_km[lo..hi])
+    }
+
+    /// The raw CSR arrays `(offsets, neighbours, lengths_km)` for kernels
+    /// that index rows directly.
+    #[inline]
+    pub fn csr(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.offsets, &self.neighbours, &self.lengths_km)
     }
 
     /// Earth-fixed position of a satellite at the snapshot instant.
@@ -208,9 +332,44 @@ impl IslGraph {
         }
     }
 
+    /// Minimum ISL hop count between two satellites (`u32::MAX` when
+    /// unreachable).
+    ///
+    /// BFS hop levels on an undirected graph are exactly symmetric, so with
+    /// the cache enabled this is answered from *either* endpoint's memoized
+    /// tables — a table computed for source `s` also serves queries *to*
+    /// `s`, halving the tables needed for pairwise hop queries. (Kilometre
+    /// tables are *not* served in reverse: a float path sum accumulated in
+    /// the opposite edge order may differ in the last bits, and campaign
+    /// outputs must stay byte-identical.)
+    pub fn hop_distance_between(&self, a: SatIndex, b: SatIndex) -> u32 {
+        if routing_cache_enabled() {
+            self.cache.hops_between(self, a, b)
+        } else {
+            crate::routing::hop_distances(self, a)[b.as_usize()]
+        }
+    }
+
+    /// Pre-compute and memoize routing tables for many sources in one
+    /// batch, reusing one scratch working set across all of them (the
+    /// frontier-reuse BFS/Dijkstra kernel). No-op when the routing cache is
+    /// disabled. Tables computed here are bitwise identical to on-demand
+    /// ones, so warming never changes results — only when the work happens.
+    pub fn warm_routing_cache(&self, sources: &[SatIndex]) {
+        if routing_cache_enabled() {
+            self.cache.warm(self, sources);
+        }
+    }
+
     /// Number of source satellites with memoized routing tables.
     pub fn cached_sources(&self) -> usize {
         self.cache.cached_sources()
+    }
+
+    /// How many pairwise hop queries were answered from the *reverse*
+    /// endpoint's table (diagnostic; see [`Self::hop_distance_between`]).
+    pub fn reverse_table_hits(&self) -> u64 {
+        self.cache.reverse_hits()
     }
 
     /// The snapshot's spatial index (diagnostic access).
@@ -220,7 +379,7 @@ impl IslGraph {
 
     /// Total number of directed edges (diagnostic).
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum()
+        self.neighbours.len()
     }
 }
 
@@ -245,6 +404,24 @@ mod tests {
             );
         }
         assert_eq!(g.edge_count(), 4 * 1584);
+    }
+
+    #[test]
+    fn csr_rows_match_iterator_view() {
+        let g = graph();
+        let (offsets, neighbours, lengths) = g.csr();
+        assert_eq!(offsets.len(), g.len() + 1);
+        assert_eq!(neighbours.len(), lengths.len());
+        for i in 0..g.len() {
+            let (to, km) = g.neighbor_row(i as u32);
+            let edges: Vec<IslEdge> = g.neighbors(SatIndex(i as u32)).collect();
+            assert_eq!(edges.len(), to.len());
+            for (k, e) in edges.iter().enumerate() {
+                assert_eq!(e.to.0, to[k]);
+                assert_eq!(e.length.0, km[k]);
+                assert_eq!(g.neighbors(SatIndex(i as u32)).get(k).unwrap(), *e);
+            }
+        }
     }
 
     #[test]
@@ -315,7 +492,7 @@ mod tests {
     fn edge_delays_physical() {
         let g = graph();
         for e in g.neighbors(SatIndex(100)) {
-            let d = g.edge_delay(e).ms();
+            let d = g.edge_delay(&e).ms();
             // 400..2000 km at c: 1.3..6.7 ms one-way.
             assert!((0.5..8.0).contains(&d), "delay {d} ms");
         }

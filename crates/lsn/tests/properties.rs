@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use spacecdn_geo::{DetRng, SimTime};
-use spacecdn_lsn::{bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslGraph};
+use spacecdn_lsn::{
+    bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultPlan, IslEdge, IslGraph,
+};
 use spacecdn_orbit::shell::ShellConfig;
 use spacecdn_orbit::{Constellation, SatIndex};
 
@@ -14,6 +16,193 @@ fn arb_shell() -> impl Strategy<Value = ShellConfig> {
         sats_per_plane: sats,
         phase_factor: 0,
     })
+}
+
+/// Shells with a non-trivial Walker phasing, so the seam probe actually
+/// differs from the interior one.
+fn arb_phased_shell() -> impl Strategy<Value = ShellConfig> {
+    (3u32..9, 3u32..9, 0u32..3).prop_map(|(planes, sats, f)| ShellConfig {
+        altitude_km: 550.0,
+        inclination_deg: 53.0,
+        plane_count: planes,
+        sats_per_plane: sats,
+        phase_factor: f.min(planes - 1),
+    })
+}
+
+/// Reference +Grid builder: the pre-CSR nested `Vec<Vec<IslEdge>>`
+/// adjacency, transcribed from the original data plane (per-satellite edge
+/// vectors, `min_by` slot probing). The CSR build must reproduce this
+/// edge-for-edge — same neighbour order, bit-identical lengths.
+fn reference_adjacency(
+    constellation: &Constellation,
+    t: SimTime,
+    faults: &FaultPlan,
+) -> Vec<Vec<IslEdge>> {
+    let n = constellation.len();
+    let positions = constellation.snapshot_ecef(t);
+    let mut adjacency = vec![Vec::with_capacity(4); n];
+    let mut alive = vec![true; n];
+
+    let plane_count = constellation.config().plane_count as i64;
+    let nearest_slot_offset = |from_plane: i64| -> i64 {
+        let probe = constellation.sat_at(from_plane, 0);
+        (0..constellation.config().sats_per_plane as i64)
+            .min_by(|&a, &b| {
+                let da = positions[probe.as_usize()]
+                    .distance(positions[constellation.sat_at(from_plane + 1, a).as_usize()]);
+                let db = positions[probe.as_usize()]
+                    .distance(positions[constellation.sat_at(from_plane + 1, b).as_usize()]);
+                da.0.partial_cmp(&db.0).expect("distances are finite")
+            })
+            .unwrap_or(0)
+    };
+    let interior_offset = nearest_slot_offset(0);
+    let seam_offset = if plane_count > 1 {
+        nearest_slot_offset(plane_count - 1)
+    } else {
+        interior_offset
+    };
+    let offset_from = |p: i64| -> i64 {
+        if p.rem_euclid(plane_count) == plane_count - 1 {
+            seam_offset
+        } else {
+            interior_offset
+        }
+    };
+
+    for sat in constellation.sat_indices() {
+        if faults.sat_failed(sat) {
+            alive[sat.as_usize()] = false;
+        }
+    }
+    for sat in constellation.sat_indices() {
+        if !alive[sat.as_usize()] {
+            continue;
+        }
+        let plane = constellation.plane_of(sat) as i64;
+        let slot = constellation.slot_of(sat) as i64;
+        let neighbours = [
+            constellation.sat_at(plane, slot - 1),
+            constellation.sat_at(plane, slot + 1),
+            constellation.sat_at(plane - 1, slot - offset_from(plane - 1)),
+            constellation.sat_at(plane + 1, slot + offset_from(plane)),
+        ];
+        for nb in neighbours {
+            if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
+                continue;
+            }
+            let length = positions[sat.as_usize()].distance(positions[nb.as_usize()]);
+            adjacency[sat.as_usize()].push(IslEdge { to: nb, length });
+        }
+    }
+    adjacency
+}
+
+/// Reference Dijkstra over the nested adjacency: the original f64
+/// `partial_cmp` min-heap with index tie-breaks. Returns the node chain
+/// and the exact accumulated length for path-identity regression.
+fn reference_dijkstra(
+    adjacency: &[Vec<IslEdge>],
+    src: SatIndex,
+    dst: SatIndex,
+) -> Option<(Vec<SatIndex>, f64)> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Item {
+        cost: f64,
+        sat: u32,
+    }
+    impl Eq for Item {}
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .expect("finite")
+                .then_with(|| other.sat.cmp(&self.sat))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = adjacency.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.as_usize()] = 0.0;
+    heap.push(Item {
+        cost: 0.0,
+        sat: src.0,
+    });
+    while let Some(Item { cost, sat }) = heap.pop() {
+        if cost > dist[sat as usize] {
+            continue;
+        }
+        if sat == dst.0 {
+            break;
+        }
+        for edge in &adjacency[sat as usize] {
+            let next = cost + edge.length.0;
+            if next < dist[edge.to.as_usize()] {
+                dist[edge.to.as_usize()] = next;
+                prev[edge.to.as_usize()] = sat;
+                heap.push(Item {
+                    cost: next,
+                    sat: edge.to.0,
+                });
+            }
+        }
+    }
+    if dist[dst.as_usize()].is_infinite() {
+        return None;
+    }
+    let mut sats = vec![dst];
+    let mut cur = dst.0;
+    while prev[cur as usize] != u32::MAX {
+        cur = prev[cur as usize];
+        sats.push(SatIndex(cur));
+    }
+    sats.reverse();
+    Some((sats, dist[dst.as_usize()]))
+}
+
+/// Reference BFS hop levels over the nested adjacency (plain queue).
+fn reference_hops(adjacency: &[Vec<IslEdge>], src: SatIndex) -> Vec<u32> {
+    use std::collections::VecDeque;
+    let mut out = vec![u32::MAX; adjacency.len()];
+    let mut queue = VecDeque::new();
+    out[src.as_usize()] = 0;
+    queue.push_back(src);
+    while let Some(sat) = queue.pop_front() {
+        let level = out[sat.as_usize()];
+        for edge in &adjacency[sat.as_usize()] {
+            if out[edge.to.as_usize()] == u32::MAX {
+                out[edge.to.as_usize()] = level + 1;
+                queue.push_back(edge.to);
+            }
+        }
+    }
+    out
+}
+
+/// A random fault plan failing both satellites and a few specific links.
+fn random_faults(constellation: &Constellation, seed: u64, frac: f64) -> FaultPlan {
+    let mut rng = DetRng::new(seed, "prop-csr-faults");
+    let mut faults = FaultPlan::none();
+    faults.fail_random_sats(constellation.len(), frac, &mut rng);
+    let n = constellation.len() as u32;
+    for _ in 0..4 {
+        let a = SatIndex(rng.index(n as usize) as u32);
+        let b = SatIndex((a.0 + 1) % n);
+        faults.fail_link(a, b);
+    }
+    faults
 }
 
 proptest! {
@@ -99,6 +288,96 @@ proptest! {
             if let Some(p) = dijkstra(&g, alive[0], alive[alive.len() - 1]) {
                 for s in &p.sats {
                     prop_assert!(g.is_alive(*s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_matches_nested_reference(
+        shell in arb_phased_shell(),
+        t in 0u64..20_000,
+        seed in 0u64..1000,
+        frac in 0.0f64..0.4,
+    ) {
+        // The CSR build must be edge-for-edge identical to the nested
+        // reference builder: same neighbour order, bit-identical lengths —
+        // on pristine and randomly faulted topologies alike.
+        let c = Constellation::new(shell);
+        let faults = random_faults(&c, seed, frac);
+        let time = SimTime::from_secs(t);
+        let g = IslGraph::build(&c, time, &faults);
+        let reference = reference_adjacency(&c, time, &faults);
+        prop_assert_eq!(reference.len(), g.len());
+        for (i, reference_row) in reference.iter().enumerate() {
+            let sat = SatIndex(i as u32);
+            let row: Vec<IslEdge> = g.neighbors(sat).iter().collect();
+            prop_assert_eq!(
+                row.len(), reference_row.len(),
+                "degree mismatch at sat {}", i
+            );
+            for (k, (got, want)) in row.iter().zip(reference_row).enumerate() {
+                prop_assert_eq!(got.to, want.to, "neighbour order at sat {} slot {}", i, k);
+                prop_assert_eq!(
+                    got.length.0.to_bits(), want.length.0.to_bits(),
+                    "length bits at sat {} slot {}", i, k
+                );
+            }
+            // The raw CSR row views the same edges.
+            let (nbrs, lens) = g.neighbor_row(sat.0);
+            prop_assert_eq!(nbrs.len(), reference_row.len());
+            for (k, want) in reference_row.iter().enumerate() {
+                prop_assert_eq!(nbrs[k], want.to.0);
+                prop_assert_eq!(lens[k].to_bits(), want.length.0.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn routing_unchanged_vs_reference_on_faulted_graph(
+        shell in arb_phased_shell(),
+        seed in 0u64..1000,
+        frac in 0.0f64..0.35,
+    ) {
+        // Regression: the CSR data plane's Dijkstra (bit-pattern heap) and
+        // BFS (frontier kernel) must return exactly the paths and hop
+        // levels the original nested implementation did.
+        let c = Constellation::new(shell);
+        let faults = random_faults(&c, seed, frac);
+        let g = IslGraph::build(&c, SimTime::from_secs(431), &faults);
+        let reference = reference_adjacency(&c, SimTime::from_secs(431), &faults);
+
+        let n = g.len() as u32;
+        let sources = [SatIndex(0), SatIndex(n / 2), SatIndex(n - 1)];
+        for &src in &sources {
+            if !g.is_alive(src) {
+                continue;
+            }
+            prop_assert_eq!(
+                hop_distances(&g, src),
+                reference_hops(&reference, src),
+                "BFS levels diverge from {:?}", src
+            );
+            for &dst in &sources {
+                if !g.is_alive(dst) || src == dst {
+                    continue;
+                }
+                let got = dijkstra(&g, src, dst);
+                let want = reference_dijkstra(&reference, src, dst);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(p), Some((sats, km))) => {
+                        prop_assert_eq!(&p.sats, &sats, "path diverges {:?}→{:?}", src, dst);
+                        prop_assert_eq!(
+                            p.length.0.to_bits(), km.to_bits(),
+                            "length bits diverge {:?}→{:?}", src, dst
+                        );
+                    }
+                    (got, want) => prop_assert!(
+                        false,
+                        "reachability diverges {:?}→{:?}: got {:?} want {:?}",
+                        src, dst, got.map(|p| p.sats), want.map(|w| w.0)
+                    ),
                 }
             }
         }

@@ -57,6 +57,28 @@ impl ShellConfig {
         2.0 * std::f64::consts::PI * self.orbit_radius_km() / self.sats_per_plane as f64
     }
 
+    /// Content digest of the configuration, stable across processes and
+    /// runs (FNV-1a over the field bit patterns). Two configs with the
+    /// same parameters always digest identically; the engine's snapshot
+    /// pool uses this to key built topologies by constellation.
+    pub fn digest(&self) -> u64 {
+        let words = [
+            self.altitude_km.to_bits(),
+            self.inclination_deg.to_bits(),
+            self.plane_count as u64,
+            self.sats_per_plane as u64,
+            self.phase_factor as u64,
+        ];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in words {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Validate structural invariants. Returns a human-readable reason on
     /// failure.
     pub fn validate(&self) -> Result<(), String> {
@@ -171,6 +193,18 @@ mod tests {
         let leo = shells::starlink_shell1();
         let vleo = shells::starlink_vleo();
         assert!(vleo.period_s() < leo.period_s());
+    }
+
+    #[test]
+    fn digest_distinguishes_configs() {
+        let a = shells::starlink_shell1();
+        let b = shells::starlink_shell1();
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), shells::starlink_vleo().digest());
+        assert_ne!(a.digest(), shells::test_shell().digest());
+        let mut c = shells::starlink_shell1();
+        c.phase_factor = 1;
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

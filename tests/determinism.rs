@@ -7,7 +7,8 @@
 //! serialised behind one mutex rather than relying on test-runner
 //! ordering.
 
-use spacecdn_suite::engine::set_thread_override;
+use spacecdn_suite::core::{clear_graph_pool, graph_pool_stats};
+use spacecdn_suite::engine::{set_snapshot_pool_override, set_thread_override};
 use spacecdn_suite::geo::{DetRng, SimTime};
 use spacecdn_suite::lsn::{set_routing_cache_override, FaultPlan, IslGraph, SourceTables};
 use spacecdn_suite::measure::aim::{AimCampaign, AimConfig};
@@ -74,6 +75,58 @@ fn fig7_sweep_identical_at_any_thread_count() {
     let sequential = with_thread_count(1, fig7_fingerprint);
     let parallel = with_thread_count(4, fig7_fingerprint);
     assert_eq!(sequential, parallel, "Fig-7 sweep depends on thread count");
+}
+
+#[test]
+fn fig7_sweep_identical_with_and_without_snapshot_pool() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    set_snapshot_pool_override(Some(false));
+    clear_graph_pool();
+    let unpooled = fig7_fingerprint();
+
+    set_snapshot_pool_override(Some(true));
+    clear_graph_pool();
+    let (hits0, _, _) = graph_pool_stats();
+    let pooled = fig7_fingerprint();
+    // Re-running the sweep now reuses every epoch snapshot from the pool.
+    let pooled_again = fig7_fingerprint();
+    let (hits1, _, len) = graph_pool_stats();
+
+    set_snapshot_pool_override(None);
+    clear_graph_pool();
+
+    assert_eq!(unpooled, pooled, "snapshot pool changes Fig-7 output");
+    assert_eq!(pooled, pooled_again, "pooled rerun diverged");
+    assert!(hits1 > hits0, "second pooled run never hit the pool");
+    assert!(len > 0, "pool retained no snapshots");
+}
+
+#[test]
+fn hop_distance_between_is_symmetric_and_reuses_tables() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let mut rng = DetRng::new(79, "determinism-symmetry");
+    let mut faults = FaultPlan::none();
+    faults.fail_random_sats(constellation.len(), 0.1, &mut rng);
+    let graph = IslGraph::build(&constellation, SimTime::from_secs(211), &faults);
+
+    set_routing_cache_override(Some(true));
+    let pairs = [(0u32, 900u32), (111, 1583), (700, 42)];
+    for (a, b) in pairs {
+        let (a, b) = (SatIndex(a), SatIndex(b));
+        let forward = graph.hop_distance_between(a, b);
+        // The reverse query must be answered from the same table (hops are
+        // integer BFS levels — direction can't change them) without
+        // computing b's table.
+        let before = graph.reverse_table_hits();
+        let backward = graph.hop_distance_between(b, a);
+        assert_eq!(forward, backward, "hop distance asymmetric {a:?}↔{b:?}");
+        assert!(
+            graph.reverse_table_hits() > before,
+            "reverse lookup recomputed instead of reusing {a:?}'s table"
+        );
+    }
+    set_routing_cache_override(None);
 }
 
 #[test]
