@@ -108,4 +108,5 @@ fn main() {
     );
     write_json(&results_dir().join("ablation_bubbles.json"), &rows_json).expect("write json");
     println!("json: results/ablation_bubbles.json");
+    spacecdn_bench::emit_metrics("ablation_bubbles");
 }

@@ -90,4 +90,5 @@ fn main() {
     );
     write_json(&results_dir().join("ablation_caches.json"), &rows_json).expect("write json");
     println!("json: results/ablation_caches.json");
+    spacecdn_bench::emit_metrics("ablation_caches");
 }

@@ -137,4 +137,5 @@ fn main() {
     );
     write_json(&results_dir().join("ablation_placement.json"), &rows_json).expect("write json");
     println!("json: results/ablation_placement.json");
+    spacecdn_bench::emit_metrics("ablation_placement");
 }

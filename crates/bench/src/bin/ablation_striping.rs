@@ -87,4 +87,5 @@ fn main() {
     );
     write_json(&results_dir().join("ablation_striping.json"), &rows_json).expect("write json");
     println!("json: results/ablation_striping.json");
+    spacecdn_bench::emit_metrics("ablation_striping");
 }

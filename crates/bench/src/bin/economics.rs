@@ -76,4 +76,5 @@ fn main() {
     )
     .expect("write json");
     println!("json: results/economics.json");
+    spacecdn_bench::emit_metrics("economics");
 }

@@ -144,4 +144,5 @@ fn main() {
     )
     .expect("write json");
     println!("json: results/BENCH_engine.json");
+    spacecdn_bench::emit_metrics("engine_bench");
 }

@@ -103,4 +103,5 @@ fn main() {
     );
     write_json(&results_dir().join("fault_sweep.json"), &rows_json).expect("write json");
     println!("json: results/fault_sweep.json");
+    spacecdn_bench::emit_metrics("fault_sweep");
 }

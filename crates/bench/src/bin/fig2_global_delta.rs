@@ -68,4 +68,5 @@ fn main() {
     };
     write_json(&results_dir().join("fig2.json"), &out).expect("write json");
     println!("\njson: results/fig2.json");
+    spacecdn_bench::emit_metrics("fig2");
 }

@@ -81,4 +81,5 @@ fn main() {
     )
     .expect("write json");
     println!("json: results/fig3.json");
+    spacecdn_bench::emit_metrics("fig3");
 }

@@ -65,4 +65,5 @@ fn main() {
     );
     write_json(&results_dir().join("fig4.json"), &series).expect("write json");
     println!("json: results/fig4.json");
+    spacecdn_bench::emit_metrics("fig4");
 }

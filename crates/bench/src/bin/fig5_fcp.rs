@@ -81,4 +81,5 @@ fn main() {
     }
     write_json(&results_dir().join("fig5.json"), &out).expect("write json");
     println!("json: results/fig5.json");
+    spacecdn_bench::emit_metrics("fig5");
 }

@@ -98,4 +98,5 @@ fn main() {
     );
     write_json(&results_dir().join("fig7.json"), &series).expect("write json");
     println!("json: results/fig7.json");
+    spacecdn_bench::emit_metrics("fig7");
 }

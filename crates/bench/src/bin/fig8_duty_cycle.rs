@@ -91,4 +91,5 @@ fn main() {
     )
     .expect("write json");
     println!("json: results/fig8.json");
+    spacecdn_bench::emit_metrics("fig8");
 }

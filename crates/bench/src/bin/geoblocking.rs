@@ -64,4 +64,5 @@ fn main() {
 
     write_json(&results_dir().join("geoblocking.json"), &survey).expect("write json");
     println!("json: results/geoblocking.json");
+    spacecdn_bench::emit_metrics("geoblocking");
 }

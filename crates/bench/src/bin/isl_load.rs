@@ -111,4 +111,5 @@ fn main() {
     );
     write_json(&results_dir().join("isl_load.json"), &out).expect("write json");
     println!("json: results/isl_load.json");
+    spacecdn_bench::emit_metrics("isl_load");
 }

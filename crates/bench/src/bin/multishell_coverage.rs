@@ -53,4 +53,5 @@ fn main() {
     );
     write_json(&results_dir().join("multishell_coverage.json"), &rows_json).expect("write json");
     println!("json: results/multishell_coverage.json");
+    spacecdn_bench::emit_metrics("multishell_coverage");
 }

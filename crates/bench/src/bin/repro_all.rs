@@ -1,33 +1,36 @@
 //! Run every experiment binary in sequence (quick mode by default) —
 //! the one-command reproduction of the paper's evaluation.
+//!
+//! Besides streaming each binary's output, the driver records per-binary
+//! wall-clock and pass/fail into `results/REPRO_SUMMARY.json` and prints a
+//! final summary table, so a long reproduction run ends with one glanceable
+//! verdict instead of a scroll-back hunt for the failure.
 
-use std::process::Command;
+use serde::Serialize;
+use spacecdn_bench::{emit_metrics, results_dir, EXPERIMENT_BINS};
+use spacecdn_measure::report::{format_table, write_json};
+use std::time::Instant;
 
-const BINS: [&str; 23] = [
-    "engine_bench",
-    "routing_bench",
-    "table1",
-    "fig2_global_delta",
-    "fig3_maputo",
-    "fig4_hrt",
-    "fig5_fcp",
-    "fig7_spacecdn_cdf",
-    "fig8_duty_cycle",
-    "economics",
-    "geoblocking",
-    "ablation_striping",
-    "ablation_bubbles",
-    "ablation_placement",
-    "ablation_caches",
-    "streaming_qoe",
-    "rtt_trace",
-    "spacevm_handoff",
-    "wormhole_capacity",
-    "workload_dashboard",
-    "multishell_coverage",
-    "isl_load",
-    "fault_sweep",
-];
+/// One binary's run, as recorded in `REPRO_SUMMARY.json`.
+#[derive(Serialize)]
+struct BinRun {
+    bin: &'static str,
+    passed: bool,
+    wall_clock_s: f64,
+    /// Exit status detail for failures ("exit code 1", "failed to launch:
+    /// ..."); empty on success.
+    detail: String,
+}
+
+#[derive(Serialize)]
+struct ReproSummary {
+    schema: &'static str,
+    quick: bool,
+    total_wall_clock_s: f64,
+    passed: usize,
+    failed: usize,
+    runs: Vec<BinRun>,
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -36,32 +39,78 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    let mut failures = Vec::new();
-    for bin in BINS {
+    let started = Instant::now();
+    let mut runs: Vec<BinRun> = Vec::new();
+    for bin in EXPERIMENT_BINS {
         println!("\n### running {bin} ###\n");
-        let mut cmd = Command::new(exe_dir.join(bin));
+        let mut cmd = std::process::Command::new(exe_dir.join(bin));
         if quick {
             cmd.arg("--quick");
         }
-        match cmd.status() {
-            Ok(s) if s.success() => {}
+        let bin_started = Instant::now();
+        let (passed, detail) = match cmd.status() {
+            Ok(s) if s.success() => (true, String::new()),
             Ok(s) => {
                 eprintln!("{bin} exited with {s}");
-                failures.push(bin);
+                (false, format!("exited with {s}"))
             }
             Err(e) => {
                 eprintln!(
                     "{bin} failed to launch ({e}); build all binaries first: \
                      cargo build --release -p spacecdn-bench --bins"
                 );
-                failures.push(bin);
+                (false, format!("failed to launch: {e}"))
             }
-        }
+        };
+        runs.push(BinRun {
+            bin,
+            passed,
+            wall_clock_s: bin_started.elapsed().as_secs_f64(),
+            detail,
+        });
     }
-    if failures.is_empty() {
-        println!("\nall experiments completed; JSON in results/");
-    } else {
-        eprintln!("\nfailed: {failures:?}");
+
+    let failed = runs.iter().filter(|r| !r.passed).count();
+    let summary = ReproSummary {
+        schema: "spacecdn-repro-summary-v1",
+        quick,
+        total_wall_clock_s: started.elapsed().as_secs_f64(),
+        passed: runs.len() - failed,
+        failed,
+        runs,
+    };
+    let path = results_dir().join("REPRO_SUMMARY.json");
+    write_json(&path, &summary).expect("write repro summary");
+
+    println!("\n{}", "=".repeat(72));
+    println!("reproduction summary ({} binaries)", summary.runs.len());
+    println!("{}", "=".repeat(72));
+    let rows: Vec<Vec<String>> = summary
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.bin.to_string(),
+                if r.passed { "ok" } else { "FAIL" }.to_string(),
+                format!("{:.2}", r.wall_clock_s),
+                r.detail.clone(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        format_table(&["binary", "status", "seconds", "detail"], &rows)
+    );
+    println!(
+        "\n{}/{} passed in {:.1} s; summary -> {}",
+        summary.passed,
+        summary.runs.len(),
+        summary.total_wall_clock_s,
+        path.display()
+    );
+    emit_metrics("repro_all");
+    if summary.failed > 0 {
         std::process::exit(1);
     }
+    println!("all experiments completed; JSON in results/");
 }

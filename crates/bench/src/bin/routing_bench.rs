@@ -223,4 +223,5 @@ fn main() {
     )
     .expect("write json");
     println!("json: results/BENCH_routing.json");
+    spacecdn_bench::emit_metrics("routing_bench");
 }

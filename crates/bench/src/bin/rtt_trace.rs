@@ -68,4 +68,5 @@ fn main() {
     );
     write_json(&results_dir().join("rtt_trace.json"), &out).expect("write json");
     println!("json: results/rtt_trace.json");
+    spacecdn_bench::emit_metrics("rtt_trace");
 }

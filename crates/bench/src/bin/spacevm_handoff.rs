@@ -72,4 +72,5 @@ fn main() {
     );
     write_json(&results_dir().join("spacevm_handoff.json"), &rows_json).expect("write json");
     println!("json: results/spacevm_handoff.json");
+    spacecdn_bench::emit_metrics("spacevm_handoff");
 }

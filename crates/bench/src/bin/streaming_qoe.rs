@@ -102,4 +102,5 @@ fn main() {
     );
     write_json(&results_dir().join("streaming_qoe.json"), &rows_json).expect("write json");
     println!("json: results/streaming_qoe.json");
+    spacecdn_bench::emit_metrics("streaming_qoe");
 }

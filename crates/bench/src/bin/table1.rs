@@ -93,4 +93,5 @@ fn main() {
     );
     write_json(&results_dir().join("table1.json"), &rows_json).expect("write json");
     println!("json: results/table1.json");
+    spacecdn_bench::emit_metrics("table1");
 }

@@ -92,4 +92,5 @@ fn main() {
     };
     write_json(&results_dir().join("workload_dashboard.json"), &out).expect("write json");
     println!("json: results/workload_dashboard.json");
+    spacecdn_bench::emit_metrics("workload_dashboard");
 }

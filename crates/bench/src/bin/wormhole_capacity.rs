@@ -95,4 +95,5 @@ fn main() {
     );
     write_json(&results_dir().join("wormhole_capacity.json"), &rows_json).expect("write json");
     println!("json: results/wormhole_capacity.json");
+    spacecdn_bench::emit_metrics("wormhole_capacity");
 }

@@ -24,6 +24,57 @@
 
 use std::path::PathBuf;
 
+/// Every experiment binary under `src/bin/` that `repro_all` drives, in
+/// run order. `repro_all` itself and the interactive `explore` shell are
+/// deliberately absent; `tests::bins_list_matches_bin_dir` keeps this list
+/// in sync with the directory so a new binary can't be silently forgotten.
+pub const EXPERIMENT_BINS: [&str; 23] = [
+    "engine_bench",
+    "routing_bench",
+    "table1",
+    "fig2_global_delta",
+    "fig3_maputo",
+    "fig4_hrt",
+    "fig5_fcp",
+    "fig7_spacecdn_cdf",
+    "fig8_duty_cycle",
+    "economics",
+    "geoblocking",
+    "ablation_striping",
+    "ablation_bubbles",
+    "ablation_placement",
+    "ablation_caches",
+    "streaming_qoe",
+    "rtt_trace",
+    "spacevm_handoff",
+    "wormhole_capacity",
+    "workload_dashboard",
+    "multishell_coverage",
+    "isl_load",
+    "fault_sweep",
+];
+
+/// Binaries in `src/bin/` that [`EXPERIMENT_BINS`] intentionally skips:
+/// the driver itself and the interactive explorer.
+pub const NON_EXPERIMENT_BINS: [&str; 2] = ["repro_all", "explore"];
+
+/// Write the process's metric registry snapshot to
+/// `results/METRICS_{label}.json` and print where it went. A no-op when
+/// telemetry is disabled (`SPACECDN_METRICS=0`), so disabling metrics
+/// also suppresses the extra artefact.
+///
+/// Every experiment binary calls this last, making the observability
+/// trail part of each figure's standard output set.
+pub fn emit_metrics(label: &str) {
+    if !spacecdn_telemetry::metrics_enabled() {
+        return;
+    }
+    let path = results_dir().join(format!("METRICS_{label}.json"));
+    let report = spacecdn_telemetry::snapshot();
+    report.write_json(&path).expect("write metrics snapshot");
+    println!("metrics snapshot -> {}", path.display());
+}
+
 /// Directory experiment JSON lands in (`<workspace>/results`), created on
 /// first use.
 pub fn results_dir() -> PathBuf {
@@ -75,5 +126,60 @@ mod tests {
         // is identity... unless the env var is set; accept both.
         let v = scaled(800);
         assert!(v == 800 || v == 100);
+    }
+
+    #[test]
+    fn bins_list_matches_bin_dir() {
+        // The hardcoded run list must track `src/bin/*.rs` exactly —
+        // forgetting to register a new experiment binary is a silent
+        // coverage hole in `repro_all`.
+        let bin_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+        let mut on_disk: Vec<String> = std::fs::read_dir(&bin_dir)
+            .expect("read src/bin")
+            .filter_map(|e| {
+                let path = e.expect("dir entry").path();
+                (path.extension().is_some_and(|x| x == "rs"))
+                    .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+            })
+            .collect();
+        on_disk.sort();
+
+        let mut listed: Vec<String> = EXPERIMENT_BINS
+            .iter()
+            .chain(NON_EXPERIMENT_BINS.iter())
+            .map(|b| b.to_string())
+            .collect();
+        listed.sort();
+        assert_eq!(
+            listed, on_disk,
+            "EXPERIMENT_BINS (+ NON_EXPERIMENT_BINS) out of sync with src/bin/"
+        );
+
+        // No overlap between the two lists.
+        for skip in NON_EXPERIMENT_BINS {
+            assert!(
+                !EXPERIMENT_BINS.contains(&skip),
+                "{skip} is listed both as experiment and non-experiment"
+            );
+        }
+    }
+
+    #[test]
+    fn emit_metrics_respects_disable() {
+        // With telemetry forced off, emit_metrics must not create a file.
+        spacecdn_telemetry::set_metrics_override(Some(false));
+        let path = results_dir().join("METRICS_test_disabled.json");
+        let _ = std::fs::remove_file(&path);
+        emit_metrics("test_disabled");
+        assert!(!path.exists(), "disabled emit_metrics must write nothing");
+
+        spacecdn_telemetry::set_metrics_override(Some(true));
+        emit_metrics("test_enabled");
+        let enabled_path = results_dir().join("METRICS_test_enabled.json");
+        assert!(enabled_path.exists());
+        let body = std::fs::read_to_string(&enabled_path).unwrap();
+        assert!(body.contains("spacecdn-metrics-v1"));
+        let _ = std::fs::remove_file(&enabled_path);
+        spacecdn_telemetry::set_metrics_override(None);
     }
 }

@@ -13,7 +13,12 @@
 
 use spacecdn_geo::{SimDuration, SimTime};
 use spacecdn_orbit::{Constellation, SatIndex};
+use spacecdn_telemetry::LazyCounter;
 use std::collections::BTreeSet;
+
+/// Active-set materialisations (stable: one per deterministic
+/// (campaign, slot) evaluation).
+static ACTIVE_SETS: LazyCounter = LazyCounter::stable("core.duty_cycle.active_sets");
 
 /// Deterministic rotating duty-cycle schedule.
 #[derive(Debug, Clone)]
@@ -61,6 +66,7 @@ impl DutyCycler {
 
     /// The full active cache set at time `t`.
     pub fn active_set(&self, constellation: &Constellation, t: SimTime) -> BTreeSet<SatIndex> {
+        ACTIVE_SETS.incr();
         constellation
             .sat_indices()
             .filter(|&s| self.is_active(s, t))

@@ -18,10 +18,17 @@ use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimTime};
 use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
 use spacecdn_orbit::{Constellation, SatIndex};
+use spacecdn_telemetry::LazyCounter;
 use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::Region;
 use spacecdn_terra::starlink::{gateways, home_pop, Gateway, StarlinkPop};
 use std::sync::{Arc, OnceLock};
+
+/// Snapshots frozen through [`LsnNetwork::snapshot`] (stable: campaigns
+/// freeze a deterministic epoch sequence regardless of thread count; how
+/// many of those snapshots *rebuild* vs come from the pool is what's racy,
+/// and that lives in `engine.snapshot_pool.*` / `lsn.graph.builds`).
+static NETWORK_SNAPSHOTS: LazyCounter = LazyCounter::stable("core.network.snapshots");
 
 /// Epoch snapshots retained by the process-wide graph pool. Campaigns
 /// sweep at most a few dozen epochs; FIFO eviction beyond this bound keeps
@@ -136,6 +143,7 @@ impl LsnNetwork {
     /// build and its warmed routing cache. Pooled and freshly built graphs
     /// are identical, so results never depend on the pool.
     pub fn snapshot(&self, t: SimTime, faults: &FaultPlan) -> LsnSnapshot<'_> {
+        NETWORK_SNAPSHOTS.incr();
         let graph = if snapshot_pool_enabled() {
             let key = SnapshotKey {
                 constellation: self.constellation.config().digest(),

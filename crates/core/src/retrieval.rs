@@ -11,7 +11,21 @@ use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency};
 use spacecdn_lsn::{AccessModel, IslGraph};
 use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
 use std::collections::BTreeSet;
+
+/// Fetch-outcome counters (stable: outcomes are pure functions of the
+/// deterministic campaign inputs, so the tallies are identical at any
+/// thread count). `ground_fallback` splits into `budget_miss` (no copy
+/// within the hop budget) and `ground_cheaper` (a copy was in budget but
+/// the bent pipe still won on RTT).
+static OVERHEAD_HITS: LazyCounter = LazyCounter::stable("core.retrieval.overhead_hit");
+static ISL_HITS: LazyCounter = LazyCounter::stable("core.retrieval.isl_hit");
+static GROUND_FALLBACKS: LazyCounter = LazyCounter::stable("core.retrieval.ground_fallback");
+static BUDGET_MISSES: LazyCounter = LazyCounter::stable("core.retrieval.budget_miss");
+static GROUND_CHEAPER: LazyCounter = LazyCounter::stable("core.retrieval.ground_cheaper");
+/// BFS hop distance of every ISL-served fetch.
+static ISL_HOPS: LazyHistogram = LazyHistogram::stable("core.retrieval.hops", Unit::Hops);
 
 /// Where a request was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +133,11 @@ pub fn retrieve(
             // n hops" metric of the paper — even when the latency-optimal
             // route takes more (shorter) hops.
             let source = if bfs_hops == 0 {
+                OVERHEAD_HITS.incr();
                 RetrievalSource::Overhead
             } else {
+                ISL_HITS.incr();
+                ISL_HOPS.record(u64::from(bfs_hops));
                 RetrievalSource::Isl { hops: bfs_hops }
             };
             return Some(RetrievalOutcome {
@@ -133,6 +150,12 @@ pub fn retrieve(
 
     // Ground fallback: the caller-provided bent-pipe RTT (already includes
     // the user link, so no double counting).
+    GROUND_FALLBACKS.incr();
+    if best.is_some() {
+        GROUND_CHEAPER.incr();
+    } else {
+        BUDGET_MISSES.incr();
+    }
     Some(RetrievalOutcome {
         source: RetrievalSource::Ground,
         rtt: config.ground_fallback_rtt,

@@ -26,6 +26,15 @@ pub use pool::{set_snapshot_pool_override, snapshot_pool_enabled, SnapshotKey, S
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
+
+/// Fan-out batches dispatched through [`par_map`] (stable: one per call).
+static PAR_MAP_BATCHES: LazyCounter = LazyCounter::stable("engine.par_map.batches");
+/// Tasks executed by [`par_map`] (stable: one per input item).
+static PAR_MAP_TASKS: LazyCounter = LazyCounter::stable("engine.par_map.tasks");
+/// Per-task wall-clock (racy by nature: wall-clock).
+static PAR_MAP_TASK_NS: LazyHistogram = LazyHistogram::racy("engine.par_map.task_ns", Unit::Nanos);
+
 /// In-process thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -79,8 +88,19 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = thread_count().min(items.len());
+    if !items.is_empty() {
+        PAR_MAP_BATCHES.incr();
+        PAR_MAP_TASKS.add(items.len() as u64);
+    }
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let _span = PAR_MAP_TASK_NS.timer();
+                f(i, x)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -95,6 +115,7 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        let _span = PAR_MAP_TASK_NS.timer();
                         local.push((i, f(i, &items[i])));
                     }
                     local

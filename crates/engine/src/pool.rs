@@ -27,6 +27,15 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use spacecdn_telemetry::LazyCounter;
+
+/// Registry mirrors of the per-pool counters. Racy: two tasks racing on an
+/// uncached key may both miss (first insert wins), so hit/build splits —
+/// and the evictions that follow from build order — depend on scheduling.
+static POOL_HIT: LazyCounter = LazyCounter::racy("engine.snapshot_pool.hit");
+static POOL_BUILD: LazyCounter = LazyCounter::racy("engine.snapshot_pool.build");
+static POOL_EVICT: LazyCounter = LazyCounter::racy("engine.snapshot_pool.evict");
+
 /// Identity of one snapshot: which constellation, at which instant, under
 /// which faults. Digests are the caller's responsibility and must be
 /// stable across processes (content hashes, not addresses).
@@ -81,10 +90,12 @@ impl<V> SnapshotPool<V> {
             let inner = self.inner.lock().expect("snapshot pool poisoned");
             if let Some(hit) = inner.map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                POOL_HIT.incr();
                 return Arc::clone(hit);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        POOL_BUILD.incr();
         let built = Arc::new(build());
         let mut inner = self.inner.lock().expect("snapshot pool poisoned");
         if let Some(winner) = inner.map.get(&key) {
@@ -93,6 +104,7 @@ impl<V> SnapshotPool<V> {
         while inner.order.len() >= self.capacity {
             let evict = inner.order.pop_front().expect("order tracks map");
             inner.map.remove(&evict);
+            POOL_EVICT.incr();
         }
         inner.map.insert(key, Arc::clone(&built));
         inner.order.push_back(key);

@@ -22,10 +22,19 @@
 use crate::routing::{dijkstra_distances, hop_distances, source_tables_many};
 use crate::topology::IslGraph;
 use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::LazyCounter;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Cache-wide registry counters, aggregated across every `RoutingCache`
+/// instance in the process. Racy: two tasks racing on an uncached source
+/// may both miss, so the hit/miss split depends on scheduling.
+static CACHE_HIT: LazyCounter = LazyCounter::racy("lsn.routing_cache.hit");
+static CACHE_MISS: LazyCounter = LazyCounter::racy("lsn.routing_cache.miss");
+static CACHE_REVERSE_HIT: LazyCounter = LazyCounter::racy("lsn.routing_cache.reverse_hit");
+static CACHE_WARMED: LazyCounter = LazyCounter::racy("lsn.routing_cache.warmed_sources");
 
 /// Memoized single-source routing tables for one source satellite in one
 /// snapshot.
@@ -72,8 +81,10 @@ impl RoutingCache {
     /// costs duplicated work once, never divergent answers.
     pub fn tables_for(&self, graph: &IslGraph, src: SatIndex) -> Arc<SourceTables> {
         if let Some(hit) = self.tables.read().expect("cache lock poisoned").get(&src.0) {
+            CACHE_HIT.incr();
             return Arc::clone(hit);
         }
+        CACHE_MISS.incr();
         let computed = Arc::new(SourceTables::compute(graph, src));
         let mut writer = self.tables.write().expect("cache lock poisoned");
         Arc::clone(writer.entry(src.0).or_insert(computed))
@@ -93,10 +104,12 @@ impl RoutingCache {
         {
             let reader = self.tables.read().expect("cache lock poisoned");
             if let Some(t) = reader.get(&from.0) {
+                CACHE_HIT.incr();
                 return t.hops[to.as_usize()];
             }
             if let Some(t) = reader.get(&to.0) {
                 self.reverse_hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_REVERSE_HIT.incr();
                 return t.hops[from.as_usize()];
             }
         }
@@ -126,6 +139,7 @@ impl RoutingCache {
         if missing.is_empty() {
             return;
         }
+        CACHE_WARMED.add(missing.len() as u64);
         let computed = source_tables_many(graph, &missing);
         let mut writer = self.tables.write().expect("cache lock poisoned");
         for (src, (km, hops)) in missing.iter().zip(computed) {

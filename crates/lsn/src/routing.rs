@@ -17,8 +17,19 @@
 use crate::topology::IslGraph;
 use spacecdn_geo::{Km, Latency};
 use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::LazyCounter;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+
+/// Kernel invocation counters. Racy: the routing cache absorbs a
+/// scheduling-dependent share of would-be runs (racing tasks may both
+/// compute an uncached table), so run counts vary with thread interleaving.
+static DIJKSTRA_RUNS: LazyCounter = LazyCounter::racy("lsn.dijkstra.runs");
+static BFS_RUNS: LazyCounter = LazyCounter::racy("lsn.bfs.runs");
+/// Scratch borrow outcomes: `reuse` = the thread-local working set served
+/// the walk, `fresh` = a reentrant call fell back to new buffers.
+static SCRATCH_REUSE: LazyCounter = LazyCounter::racy("lsn.scratch.reuse");
+static SCRATCH_FRESH: LazyCounter = LazyCounter::racy("lsn.scratch.fresh");
 
 /// A routed path through the constellation.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,8 +209,14 @@ thread_local! {
 /// instead of panicking on the `RefCell`.
 fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut Scratch::new()),
+        Ok(mut scratch) => {
+            SCRATCH_REUSE.incr();
+            f(&mut scratch)
+        }
+        Err(_) => {
+            SCRATCH_FRESH.incr();
+            f(&mut Scratch::new())
+        }
     })
 }
 
@@ -217,6 +234,7 @@ pub fn dijkstra(graph: &IslGraph, src: SatIndex, dst: SatIndex) -> Option<IslPat
         });
     }
     let (offsets, nbrs, lens) = graph.csr();
+    DIJKSTRA_RUNS.incr();
     with_scratch(|s| {
         s.begin(graph.len());
         s.record(src.as_usize(), 0.0, NO_PREV);
@@ -272,6 +290,7 @@ fn dijkstra_distances_with(
     if !graph.is_alive(src) {
         return;
     }
+    DIJKSTRA_RUNS.incr();
     out[src.as_usize()] = (0.0, 0);
     let (offsets, nbrs, lens) = graph.csr();
     s.begin(n);
@@ -306,6 +325,7 @@ fn hop_distances_with(s: &mut Scratch, graph: &IslGraph, src: SatIndex, out: &mu
     if !graph.is_alive(src) {
         return;
     }
+    BFS_RUNS.incr();
     out[src.as_usize()] = 0;
     let (offsets, nbrs, _) = graph.csr();
     // Disjoint borrows of the two wavefront buffers so the expansion loop
@@ -428,6 +448,7 @@ pub fn bfs_nearest(
         });
     }
     let (offsets, nbrs, _) = graph.csr();
+    BFS_RUNS.incr();
     with_scratch(|s| {
         s.begin(graph.len());
         s.record(src.as_usize(), 0.0, NO_PREV);

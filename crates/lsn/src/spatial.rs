@@ -24,6 +24,15 @@
 
 use spacecdn_geo::{Ecef, Km};
 use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::LazyCounter;
+
+/// Query counters. Stable: `nearest` is a pure function of (snapshot,
+/// query point) and campaigns issue a deterministic query sequence, so
+/// both the query count and the per-query scan/prune split are identical
+/// at any thread count.
+static SPATIAL_QUERIES: LazyCounter = LazyCounter::stable("lsn.spatial.queries");
+static SPATIAL_CELLS_SCANNED: LazyCounter = LazyCounter::stable("lsn.spatial.cells_scanned");
+static SPATIAL_CELLS_PRUNED: LazyCounter = LazyCounter::stable("lsn.spatial.cells_pruned");
 
 /// Cell granularity in degrees. 15° keeps the non-empty cell count near
 /// 200 for Shell 1 (so the per-query bound pass is ~8× cheaper than the
@@ -156,6 +165,7 @@ impl SpatialIndex {
         if self.cells.is_empty() {
             return None;
         }
+        SPATIAL_QUERIES.incr();
         let g = as_array(ground);
         let gn = norm(g);
         if gn <= 0.0 || gn.is_nan() {
@@ -199,6 +209,7 @@ impl SpatialIndex {
             }
         };
         scan_cell(seed, &mut best);
+        let mut scanned = 1u64;
         for (cell_i, &bound) in bounds.iter().enumerate() {
             if cell_i == seed {
                 continue;
@@ -209,7 +220,10 @@ impl SpatialIndex {
                 }
             }
             scan_cell(cell_i, &mut best);
+            scanned += 1;
         }
+        SPATIAL_CELLS_SCANNED.add(scanned);
+        SPATIAL_CELLS_PRUNED.add(self.cells.len() as u64 - scanned);
         best
     }
 

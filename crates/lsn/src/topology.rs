@@ -23,7 +23,14 @@ use crate::spatial::SpatialIndex;
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{Ecef, Geodetic, Km, Latency, SimTime};
 use spacecdn_orbit::{Constellation, SatIndex};
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
 use std::sync::Arc;
+
+/// Snapshot construction counters. Racy: the engine's snapshot pool
+/// absorbs a scheduling-dependent share of would-be builds, and build
+/// wall-clock is racy by nature.
+static GRAPH_BUILDS: LazyCounter = LazyCounter::racy("lsn.graph.builds");
+static GRAPH_BUILD_NS: LazyHistogram = LazyHistogram::racy("lsn.graph.build_ns", Unit::Nanos);
 
 /// One directed adjacency entry: a neighbour and the link length.
 ///
@@ -132,6 +139,8 @@ impl IslGraph {
     /// satellite's candidate neighbours are evaluated exactly once into a
     /// fixed-size stash, then flattened into exactly-sized flat arrays.
     pub fn build(constellation: &Constellation, t: SimTime, faults: &FaultPlan) -> Self {
+        GRAPH_BUILDS.incr();
+        let _span = GRAPH_BUILD_NS.timer();
         let n = constellation.len();
         let positions = constellation.snapshot_ecef(t);
         let mut alive = vec![true; n];

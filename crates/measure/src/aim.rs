@@ -20,11 +20,17 @@ use spacecdn_des::Percentiles;
 use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimTime};
 use spacecdn_lsn::FaultPlan;
+use spacecdn_telemetry::LazyCounter;
 use spacecdn_terra::cdn::{cdn_sites, rank_sites, CdnSite};
 use spacecdn_terra::city::{cities, City};
 use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::country_last_mile_factor;
 use spacecdn_terra::starlink::{covered_countries, home_pop};
+
+/// Campaign volume counters (stable: the test/probe schedule is a pure
+/// function of the config and city list).
+static AIM_TESTS: LazyCounter = LazyCounter::stable("measure.aim.tests");
+static AIM_PROBES: LazyCounter = LazyCounter::stable("measure.aim.probes");
 
 /// Which access network a measurement used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -174,6 +180,8 @@ fn city_epoch_records(
             })
             .collect();
         probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        AIM_TESTS.incr();
+        AIM_PROBES.add(probes.len() as u64);
         let t_min = probes[0];
         let t_idle = probes[probes.len() / 2];
         records.push(AimRecord {
@@ -202,6 +210,8 @@ fn city_epoch_records(
                 })
                 .collect();
             probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            AIM_TESTS.incr();
+            AIM_PROBES.add(probes.len() as u64);
             let s_min = probes[0];
             let s_idle = probes[probes.len() / 2];
             records.push(AimRecord {

@@ -10,10 +10,19 @@ use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimDuration, SimTime};
 use spacecdn_lsn::FaultPlan;
 use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::LazyCounter;
 use spacecdn_terra::cdn::{anycast_select, cdn_sites};
 use spacecdn_terra::city::{cities, City};
 use spacecdn_terra::starlink::{covered_countries, home_pop};
 use std::collections::HashSet;
+
+/// Per-campaign trial counters (stable: trial counts are fixed by the
+/// experiment parameters, not by scheduling).
+static FIG7_TRIALS: LazyCounter = LazyCounter::stable("measure.fig7.trials");
+static FIG8_TRIALS: LazyCounter = LazyCounter::stable("measure.fig8.trials");
+/// Fig 8 fetches that were *relayed* over ISLs to an active cache — the
+/// duty-cycling cost the figure measures (stable).
+static FIG8_RELAYS: LazyCounter = LazyCounter::stable("measure.fig8.relays");
 
 /// Result of one hop-bound sweep point.
 #[derive(Debug)]
@@ -150,6 +159,7 @@ pub fn hop_bound_experiment(
                 Some(&mut rng),
             )
             .expect("constellation alive");
+            FIG7_TRIALS.incr();
             match out.source {
                 RetrievalSource::Ground => fallbacks += 1,
                 RetrievalSource::Overhead => {
@@ -237,6 +247,10 @@ pub fn duty_cycle_experiment(
                 Some(&mut rng),
             )
             .expect("constellation alive");
+            FIG8_TRIALS.incr();
+            if matches!(out.source, RetrievalSource::Isl { .. }) {
+                FIG8_RELAYS.incr();
+            }
             samples.push(out.rtt.ms());
         }
         samples

@@ -126,8 +126,13 @@ fn slow_start_rounds(bytes: u64) -> f64 {
         .max(1.0)
 }
 
+/// Simulated page fetches (stable: one per deterministic campaign fetch).
+static WEB_FETCHES: spacecdn_telemetry::LazyCounter =
+    spacecdn_telemetry::LazyCounter::stable("measure.web.fetches");
+
 /// Timing of one page fetch given an access RTT and bandwidth.
 fn fetch_timing(page: &PageModel, rtt_ms: f64, bandwidth_mbps: f64) -> (f64, f64, f64, f64, f64) {
+    WEB_FETCHES.incr();
     let bw_bytes_per_ms = bandwidth_mbps * 1e6 / 8.0 / 1e3;
     let dns = 0.5 * rtt_ms + 3.0;
     let tcp = rtt_ms;

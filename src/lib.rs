@@ -26,13 +26,13 @@
 //! ```
 //!
 //! The crates, bottom-up: [`geo`] (units/geodesy/RNG), [`orbit`]
-//! (constellations), [`des`] (event scheduler + statistics), [`engine`]
-//! (deterministic parallel experiment engine), [`lsn`] (ISL
-//! topology/routing/access + epoch-scoped routing caches), [`terra`]
-//! (cities/fibre/CDN/PoPs), [`content`] (catalogs/caches), [`core`]
-//! (SpaceCDN itself), and [`measure`] (the synthetic measurement
-//! campaigns). See `DESIGN.md` for the full inventory and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! (constellations), [`des`] (event scheduler + statistics), [`telemetry`]
+//! (zero-dependency metrics registry), [`engine`] (deterministic parallel
+//! experiment engine), [`lsn`] (ISL topology/routing/access + epoch-scoped
+//! routing caches), [`terra`] (cities/fibre/CDN/PoPs), [`content`]
+//! (catalogs/caches), [`core`] (SpaceCDN itself), and [`measure`] (the
+//! synthetic measurement campaigns). See `DESIGN.md` for the full
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
 
@@ -44,4 +44,5 @@ pub use spacecdn_geo as geo;
 pub use spacecdn_lsn as lsn;
 pub use spacecdn_measure as measure;
 pub use spacecdn_orbit as orbit;
+pub use spacecdn_telemetry as telemetry;
 pub use spacecdn_terra as terra;

@@ -102,6 +102,57 @@ fn fig7_sweep_identical_with_and_without_snapshot_pool() {
 }
 
 #[test]
+fn fig7_sweep_identical_with_and_without_metrics() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    // Telemetry must be a pure observer: forcing it off and on around the
+    // same campaign has to produce byte-identical results.
+    spacecdn_suite::telemetry::set_metrics_override(Some(false));
+    clear_graph_pool();
+    let without = fig7_fingerprint();
+
+    spacecdn_suite::telemetry::set_metrics_override(Some(true));
+    clear_graph_pool();
+    let with = fig7_fingerprint();
+
+    spacecdn_suite::telemetry::set_metrics_override(None);
+    clear_graph_pool();
+    assert_eq!(without, with, "telemetry perturbs Fig-7 output");
+}
+
+#[test]
+fn stable_metrics_identical_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    // Metrics tagged `Determinism::Stable` count deterministic campaign
+    // work (retrieval outcomes, trial counts, spatial queries), so their
+    // values — unlike racy cache-hit splits or timings — must not depend
+    // on how the work was scheduled. Reset the registry and the snapshot
+    // pool before each run so each fingerprint covers exactly one sweep.
+    spacecdn_suite::telemetry::set_metrics_override(Some(true));
+    let fingerprint_at = |threads: usize| {
+        with_thread_count(threads, || {
+            clear_graph_pool();
+            spacecdn_suite::telemetry::reset();
+            let _ = fig7_fingerprint();
+            spacecdn_suite::telemetry::snapshot().stable_fingerprint()
+        })
+    };
+    let sequential = fingerprint_at(1);
+    assert!(
+        sequential.contains("core.retrieval."),
+        "stable fingerprint missing retrieval metrics:\n{sequential}"
+    );
+    for threads in [2, 5] {
+        let parallel = fingerprint_at(threads);
+        assert_eq!(
+            sequential, parallel,
+            "stable metrics diverged at {threads} threads"
+        );
+    }
+    spacecdn_suite::telemetry::set_metrics_override(None);
+    clear_graph_pool();
+}
+
+#[test]
 fn hop_distance_between_is_symmetric_and_reuses_tables() {
     let _guard = OVERRIDE_LOCK.lock().unwrap();
     let constellation = Constellation::new(shells::starlink_shell1());
