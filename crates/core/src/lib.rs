@@ -43,7 +43,8 @@ pub use duty_cycle::DutyCycler;
 pub use network::{clear_graph_pool, graph_pool_stats, LsnNetwork, LsnSnapshot, PathBreakdown};
 pub use placement::{popularity_copy_allocation, PlacementStrategy};
 pub use retrieval::{
-    retrieve, retrieve_multishell, RetrievalConfig, RetrievalOutcome, RetrievalSource,
+    retrieve, retrieve_multishell, retrieve_resilient, DegradeReason, ResilientOutcome,
+    ResilientRetrievalConfig, RetrievalConfig, RetrievalOutcome, RetrievalSource,
 };
 pub use spacevm::{plan_vm_service, VmMigrationPlan, VmServiceConfig};
 pub use striping::{plan_stripes, plan_windows_pass_aware, playback_stalls, StripeAssignment};

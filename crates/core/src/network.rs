@@ -69,8 +69,8 @@ pub struct LsnNetwork {
 pub struct LsnSnapshot<'a> {
     net: &'a LsnNetwork,
     graph: Arc<IslGraph>,
-    /// Per gateway: every alive satellite within gateway antenna range,
-    /// with its slant range. A bent-pipe can come down through *any* of
+    /// Per gateway: every servable (alive, GSL up) satellite within
+    /// gateway antenna range, with its slant range. A bent-pipe can come down through *any* of
     /// them — including the user's own serving satellite, which is how
     /// single-satellite bent pipes work when user and gateway are close.
     gateway_candidates: Vec<Vec<(SatIndex, Km)>>,
@@ -162,7 +162,10 @@ impl LsnNetwork {
                 let mut cands: Vec<(SatIndex, Km)> = (0..graph.len())
                     .filter_map(|i| {
                         let sat = SatIndex(i as u32);
-                        if !graph.is_alive(sat) {
+                        // A gateway downlink is a ground-segment link: a
+                        // satellite in GSL outage still relays ISLs but
+                        // cannot terminate a bent pipe.
+                        if !graph.gsl_alive(sat) {
                             return None;
                         }
                         let slant = graph.position(sat).distance(gpos);

@@ -27,6 +27,23 @@ static GROUND_CHEAPER: LazyCounter = LazyCounter::stable("core.retrieval.ground_
 /// BFS hop distance of every ISL-served fetch.
 static ISL_HOPS: LazyHistogram = LazyHistogram::stable("core.retrieval.hops", Unit::Hops);
 
+/// Resilient-retrieval counters (stable, like the fetch-outcome counters
+/// above). `retries` counts hop-budget escalations beyond the first
+/// attempt; `degraded` counts fetches that ended at the ground cache,
+/// split by reason.
+static RESILIENT_FETCHES: LazyCounter = LazyCounter::stable("core.retrieval.resilient.fetches");
+static RESILIENT_RETRIES: LazyCounter = LazyCounter::stable("core.retrieval.resilient.retries");
+static RESILIENT_DEGRADED: LazyCounter = LazyCounter::stable("core.retrieval.resilient.degraded");
+static DEGRADED_DEAD_ZONE: LazyCounter =
+    LazyCounter::stable("core.retrieval.resilient.degraded.dead_zone");
+static DEGRADED_BUDGET: LazyCounter =
+    LazyCounter::stable("core.retrieval.resilient.degraded.budget_exhausted");
+static DEGRADED_GROUND_CHEAPER: LazyCounter =
+    LazyCounter::stable("core.retrieval.resilient.degraded.ground_cheaper");
+/// Hop-budget attempts per resilient fetch (1 = served on the first rung).
+static RESILIENT_ATTEMPTS: LazyHistogram =
+    LazyHistogram::stable("core.retrieval.resilient.attempts", Unit::Count);
+
 /// Where a request was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetrievalSource {
@@ -161,6 +178,218 @@ pub fn retrieve(
         rtt: config.ground_fallback_rtt,
         serving_sat: None,
     })
+}
+
+/// Why a resilient fetch degraded to the ground cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// No satellite can serve the user at all (the terminal sees sky with
+    /// no servable satellite); traffic never reaches space.
+    DeadZone,
+    /// Every hop budget on the escalation ladder was tried and no alive
+    /// copy was reachable within the largest one.
+    BudgetExhausted,
+    /// Copies were reachable, but the bent pipe to the ground cache beat
+    /// every one of them on RTT.
+    GroundCheaper,
+}
+
+/// Retry/escalation policy of a resilient fetch.
+#[derive(Debug, Clone)]
+pub struct ResilientRetrievalConfig {
+    /// Hop budgets to try in order (must be non-empty and ascending —
+    /// the paper's 1 → 3 → 5 → 10 ladder by default). Each rung widens
+    /// the ISL search radius of the previous attempt.
+    pub escalation: Vec<u32>,
+    /// RTT of the ground fallback (see [`RetrievalConfig`]).
+    pub ground_fallback_rtt: Latency,
+}
+
+impl Default for ResilientRetrievalConfig {
+    fn default() -> Self {
+        ResilientRetrievalConfig {
+            escalation: vec![1, 3, 5, 10],
+            ground_fallback_rtt: Latency::from_ms(160.0),
+        }
+    }
+}
+
+/// One resolved resilient fetch. Unlike [`retrieve`], there is always an
+/// outcome: when space cannot serve, the fetch degrades to the ground
+/// cache with the reason recorded, it never returns `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOutcome {
+    /// The served fetch.
+    pub outcome: RetrievalOutcome,
+    /// Hop budgets tried (1 = first rung sufficed; 0 only in a dead
+    /// zone, where there was nothing to escalate).
+    pub attempts: u32,
+    /// `Some` when the fetch fell back to the ground cache.
+    pub degraded: Option<DegradeReason>,
+}
+
+/// Resolve one fetch with retry and graceful degradation: walk the
+/// config's hop-budget escalation ladder until a cached copy wins, then
+/// fall back to the ground cache with the failure reason recorded in
+/// telemetry.
+///
+/// Within each rung, copy selection is identical to [`retrieve`]
+/// (latency-optimal within the BFS hop budget). Escalation continues past
+/// a rung whose best copy loses to the ground fallback: a wider radius
+/// admits more copies, and the +Grid's long intra-plane hops mean a
+/// hop-farther copy can still be kilometre-cheaper. Routing always uses
+/// the *current* snapshot's tables, so routes computed here detour around
+/// links and satellites that died after the content was placed — the
+/// cache set is the warm-time intent, the graph is the present truth.
+///
+/// The user-link jitter (when `rng` is given) is sampled exactly once per
+/// fetch regardless of how many rungs are tried, so callers replaying a
+/// request sequence under different fault plans keep their RNG streams
+/// aligned.
+pub fn retrieve_resilient(
+    graph: &IslGraph,
+    access: &AccessModel,
+    user: Geodetic,
+    caches: &BTreeSet<SatIndex>,
+    config: &ResilientRetrievalConfig,
+    mut rng: Option<&mut DetRng>,
+) -> ResilientOutcome {
+    assert!(
+        !config.escalation.is_empty() && config.escalation.windows(2).all(|w| w[0] < w[1]),
+        "escalation ladder must be non-empty and ascending"
+    );
+    RESILIENT_FETCHES.incr();
+
+    let Some((overhead, up_slant)) = graph.nearest_alive(user) else {
+        RESILIENT_DEGRADED.incr();
+        DEGRADED_DEAD_ZONE.incr();
+        RESILIENT_ATTEMPTS.record(0);
+        return ResilientOutcome {
+            outcome: RetrievalOutcome {
+                source: RetrievalSource::Ground,
+                rtt: config.ground_fallback_rtt,
+                serving_sat: None,
+            },
+            attempts: 0,
+            degraded: Some(DegradeReason::DeadZone),
+        };
+    };
+    let user_link = match rng.as_mut() {
+        Some(r) => access.user_link_rtt_sample(up_slant, r),
+        None => access.user_link_rtt_median(up_slant),
+    };
+
+    if caches.contains(&overhead) && graph.is_alive(overhead) {
+        // Same rationality check as `retrieve`: even an overhead hit can
+        // lose to the bent pipe when the user link alone exceeds it.
+        if user_link <= config.ground_fallback_rtt {
+            OVERHEAD_HITS.incr();
+            RESILIENT_ATTEMPTS.record(1);
+            return ResilientOutcome {
+                outcome: RetrievalOutcome {
+                    source: RetrievalSource::Overhead,
+                    rtt: user_link,
+                    serving_sat: Some(overhead),
+                },
+                attempts: 1,
+                degraded: None,
+            };
+        }
+        GROUND_FALLBACKS.incr();
+        DEGRADED_GROUND_CHEAPER.incr();
+        RESILIENT_DEGRADED.incr();
+        RESILIENT_ATTEMPTS.record(1);
+        return ResilientOutcome {
+            outcome: RetrievalOutcome {
+                source: RetrievalSource::Ground,
+                rtt: config.ground_fallback_rtt,
+                serving_sat: None,
+            },
+            attempts: 1,
+            degraded: Some(DegradeReason::GroundCheaper),
+        };
+    }
+
+    // Scan the copy set once (BTreeSet order, the same deterministic
+    // order `retrieve` uses): each alive copy's BFS hop distance and
+    // space-segment cost over the current — possibly degraded — graph.
+    let tables = graph.routing_tables(overhead);
+    let mut copies: Vec<(SatIndex, u32, Latency)> = Vec::new();
+    for &sat in caches {
+        if !graph.is_alive(sat) {
+            continue;
+        }
+        let h = tables.hops[sat.as_usize()];
+        if h == u32::MAX {
+            continue;
+        }
+        let (dist_km, route_hops) = tables.km[sat.as_usize()];
+        if !dist_km.is_finite() {
+            continue;
+        }
+        let cost = propagation_delay(Km(dist_km), Medium::Vacuum).round_trip()
+            + access.isl_processing(route_hops as usize);
+        copies.push((sat, h, cost));
+    }
+
+    let mut attempts = 0u32;
+    let mut any_in_budget = false;
+    for &budget in &config.escalation {
+        attempts += 1;
+        if attempts > 1 {
+            RESILIENT_RETRIES.incr();
+        }
+        let mut best: Option<(SatIndex, Latency, u32)> = None;
+        for &(sat, h, cost) in &copies {
+            if h > budget {
+                continue;
+            }
+            if best.is_none_or(|(_, b, _)| cost < b) {
+                best = Some((sat, cost, h));
+            }
+        }
+        let Some((serving, space_cost, bfs_hops)) = best else {
+            continue;
+        };
+        any_in_budget = true;
+        let rtt = user_link + space_cost;
+        if rtt <= config.ground_fallback_rtt {
+            ISL_HITS.incr();
+            ISL_HOPS.record(u64::from(bfs_hops));
+            RESILIENT_ATTEMPTS.record(u64::from(attempts));
+            return ResilientOutcome {
+                outcome: RetrievalOutcome {
+                    source: RetrievalSource::Isl { hops: bfs_hops },
+                    rtt,
+                    serving_sat: Some(serving),
+                },
+                attempts,
+                degraded: None,
+            };
+        }
+        // Ground currently wins, but keep escalating: a wider budget can
+        // admit a kilometre-cheaper copy that beats the bent pipe.
+    }
+
+    let reason = if any_in_budget {
+        DEGRADED_GROUND_CHEAPER.incr();
+        DegradeReason::GroundCheaper
+    } else {
+        DEGRADED_BUDGET.incr();
+        DegradeReason::BudgetExhausted
+    };
+    GROUND_FALLBACKS.incr();
+    RESILIENT_DEGRADED.incr();
+    RESILIENT_ATTEMPTS.record(u64::from(attempts));
+    ResilientOutcome {
+        outcome: RetrievalOutcome {
+            source: RetrievalSource::Ground,
+            rtt: config.ground_fallback_rtt,
+            serving_sat: None,
+        },
+        attempts,
+        degraded: Some(reason),
+    }
 }
 
 /// Multi-shell retrieval: resolve the fetch independently in every shell
@@ -410,6 +639,168 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.source, RetrievalSource::Ground);
+    }
+
+    fn rcfg(ladder: &[u32], ground_ms: f64) -> ResilientRetrievalConfig {
+        ResilientRetrievalConfig {
+            escalation: ladder.to_vec(),
+            ground_fallback_rtt: Latency::from_ms(ground_ms),
+        }
+    }
+
+    #[test]
+    fn single_rung_ladder_matches_plain_retrieve() {
+        let (c, g, access) = setup();
+        let mut rng = DetRng::new(21, "resilient-eq");
+        for trial in 0..40 {
+            let user = Geodetic::ground(rng.uniform(-55.0, 55.0), rng.uniform(-180.0, 180.0));
+            let caches: BTreeSet<_> = (0..rng.index(9))
+                .map(|_| SatIndex(rng.index(c.len()) as u32))
+                .collect();
+            let budget = 1 + rng.index(11) as u32;
+            let ground = rng.uniform(30.0, 200.0);
+            let plain = retrieve(
+                &g,
+                &access,
+                user,
+                &caches,
+                &RetrievalConfig {
+                    max_isl_hops: budget,
+                    ground_fallback_rtt: Latency::from_ms(ground),
+                },
+                None,
+            )
+            .unwrap();
+            let resilient =
+                retrieve_resilient(&g, &access, user, &caches, &rcfg(&[budget], ground), None);
+            assert_eq!(
+                resilient.outcome, plain,
+                "trial {trial}: single-rung resilient diverges from retrieve"
+            );
+        }
+    }
+
+    #[test]
+    fn escalation_widens_until_copy_found() {
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(-25.97, 32.57);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        // The only copy four inter-plane hops east: rungs 1 and 3 miss it,
+        // rung 5 serves it.
+        let target = c.sat_at(c.plane_of(overhead) as i64 + 4, c.slot_of(overhead) as i64);
+        let caches: BTreeSet<_> = [target].into_iter().collect();
+        let out = retrieve_resilient(
+            &g,
+            &access,
+            user,
+            &caches,
+            &rcfg(&[1, 3, 5, 10], 200.0),
+            None,
+        );
+        assert_eq!(out.outcome.source, RetrievalSource::Isl { hops: 4 });
+        assert_eq!(out.outcome.serving_sat, Some(target));
+        assert_eq!(out.attempts, 3, "rungs 1 and 3 must be tried and fail");
+        assert_eq!(out.degraded, None);
+    }
+
+    #[test]
+    fn exhausted_ladder_degrades_to_ground() {
+        let (_, g, access) = setup();
+        let out = retrieve_resilient(
+            &g,
+            &access,
+            Geodetic::ground(0.0, 0.0),
+            &BTreeSet::new(),
+            &rcfg(&[1, 3, 5, 10], 160.0),
+            None,
+        );
+        assert_eq!(out.outcome.source, RetrievalSource::Ground);
+        assert_eq!(out.outcome.rtt, Latency::from_ms(160.0));
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.degraded, Some(DegradeReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn dead_zone_still_serves_from_ground() {
+        let c = Constellation::new(spacecdn_orbit::shell::shells::test_shell());
+        let mut faults = FaultPlan::none();
+        for s in c.sat_indices() {
+            faults.fail_sat(s);
+        }
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let out = retrieve_resilient(
+            &g,
+            &AccessModel::default(),
+            Geodetic::ground(10.0, 10.0),
+            &[SatIndex(0)].into_iter().collect(),
+            &ResilientRetrievalConfig::default(),
+            None,
+        );
+        assert_eq!(out.outcome.source, RetrievalSource::Ground);
+        assert_eq!(out.attempts, 0);
+        assert_eq!(out.degraded, Some(DegradeReason::DeadZone));
+    }
+
+    #[test]
+    fn reroutes_around_links_dead_since_warm() {
+        // Content placed on the pristine fleet; by fetch time the direct
+        // corridor to the copy is gone. The resilient fetch must detour
+        // over the surviving mesh instead of failing.
+        let c = Constellation::new(shells::starlink_shell1());
+        let user = Geodetic::ground(48.1, 11.6);
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let (overhead, _) = g0.nearest_alive(user).unwrap();
+        let copy = c.sat_at(c.plane_of(overhead) as i64 + 2, c.slot_of(overhead) as i64);
+        let caches: BTreeSet<_> = [copy].into_iter().collect();
+        let access = AccessModel::default();
+        let cfg = rcfg(&[1, 3, 5, 10], 250.0);
+        let before = retrieve_resilient(&g0, &access, user, &caches, &cfg, None);
+        assert_eq!(before.outcome.source, RetrievalSource::Isl { hops: 2 });
+
+        // Kill every link of the satellite between overhead and the copy.
+        let between = c.sat_at(c.plane_of(overhead) as i64 + 1, c.slot_of(overhead) as i64);
+        let mut faults = FaultPlan::none();
+        for e in g0.neighbors(between) {
+            faults.fail_link(between, e.to);
+        }
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let after = retrieve_resilient(&g, &access, user, &caches, &cfg, None);
+        // Still served from space — via a longer detour.
+        assert_eq!(after.outcome.serving_sat, Some(copy));
+        assert_eq!(after.degraded, None);
+        let (RetrievalSource::Isl { hops: h0 }, RetrievalSource::Isl { hops: h1 }) =
+            (before.outcome.source, after.outcome.source)
+        else {
+            panic!("both fetches must be ISL-served");
+        };
+        assert!(h1 > h0, "detour must cost extra hops ({h1} vs {h0})");
+        assert!(after.outcome.rtt >= before.outcome.rtt);
+    }
+
+    #[test]
+    fn gsl_outage_moves_overhead_but_space_still_serves() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let user = Geodetic::ground(51.5, -0.13);
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let (overhead, _) = g0.nearest_alive(user).unwrap();
+        let mut faults = FaultPlan::none();
+        faults.fail_gsl(overhead);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        // The copy sits on the GSL-failed satellite: it cannot serve as
+        // the overhead sat any more, but it can still *source* the object
+        // over its ISLs to the new overhead satellite.
+        let caches: BTreeSet<_> = [overhead].into_iter().collect();
+        let out = retrieve_resilient(
+            &g,
+            &AccessModel::default(),
+            user,
+            &caches,
+            &rcfg(&[1, 3, 5, 10], 250.0),
+            None,
+        );
+        assert_eq!(out.outcome.serving_sat, Some(overhead));
+        assert!(matches!(out.outcome.source, RetrievalSource::Isl { .. }));
+        assert_eq!(out.degraded, None);
     }
 
     #[test]

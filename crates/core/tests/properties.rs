@@ -4,11 +4,13 @@
 use proptest::prelude::*;
 use spacecdn_core::duty_cycle::DutyCycler;
 use spacecdn_core::placement::{grid_ball_size, PlacementStrategy};
-use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_core::retrieval::{
+    retrieve, retrieve_resilient, ResilientRetrievalConfig, RetrievalConfig, RetrievalSource,
+};
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
-use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
+use spacecdn_lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
 use spacecdn_orbit::shell::shells;
-use spacecdn_orbit::Constellation;
+use spacecdn_orbit::{Constellation, SatIndex};
 use std::sync::OnceLock;
 
 fn shell1() -> &'static Constellation {
@@ -107,6 +109,149 @@ proptest! {
                 "budget {budget}: {} > previous {last}", out.rtt.ms());
             last = out.rtt.ms();
         }
+    }
+
+    #[test]
+    fn fault_addition_degrades_monotonically(
+        seed in 0u64..300,
+        extra_seed in 0u64..300,
+        lat in -55.0f64..55.0,
+        lon in -180.0f64..180.0,
+    ) {
+        // Adding fault events to a schedule can only make a resilient
+        // fetch worse: the serving source can only fall down the
+        // Overhead → ISL → Ground ladder, and the escalation can only try
+        // more hop budgets. (Conditioned on the overhead satellite
+        // surviving the extra faults — if the terminal re-homes, the two
+        // fetches are not comparable — and on an unreachable-ground
+        // fallback, so the bent pipe never masks the degradation.)
+        let c = shell1();
+        let t = SimTime::from_secs(600);
+        let mut rng = DetRng::new(seed, "prop-monotone-base");
+        let mut base = FaultSchedule::none();
+        base.random_sat_outages(
+            c.len(), 0.04,
+            SimDuration::from_secs(3600), SimDuration::from_secs(1200),
+            &mut rng,
+        );
+        let mut more = base.clone();
+        let mut extra = DetRng::new(extra_seed, "prop-monotone-extra");
+        more.random_sat_failures(c.len(), 0.05, SimTime::EPOCH, &mut extra);
+        more.random_isl_flaps(
+            graph(), 0.08,
+            SimDuration::from_secs(60), SimDuration::from_secs(60),
+            &mut extra,
+        );
+        more.random_gsl_outages(
+            c.len(), 0.03,
+            SimDuration::from_secs(3600), SimDuration::from_secs(1200),
+            &mut extra,
+        );
+
+        let gb = IslGraph::build(c, t, &base.plan_at(t));
+        let gm = IslGraph::build(c, t, &more.plan_at(t));
+        let user = Geodetic::ground(lat, lon);
+        let (Some((ob, _)), Some((om, _))) = (gb.nearest_alive(user), gm.nearest_alive(user))
+        else {
+            return Ok(()); // dead zone: nothing to compare
+        };
+        if ob != om {
+            return Ok(()); // terminal re-homed; fetches not comparable
+        }
+
+        let mut cache_rng = DetRng::new(seed ^ 0x5eed, "prop-monotone-caches");
+        let caches = PlacementStrategy::RandomCount { count: 12 }.place(c, &mut cache_rng);
+        let cfg = ResilientRetrievalConfig {
+            escalation: vec![1, 3, 5, 10],
+            ground_fallback_rtt: Latency(f64::INFINITY),
+        };
+        let access = AccessModel::default();
+        let before = retrieve_resilient(&gb, &access, user, &caches, &cfg, None);
+        let after = retrieve_resilient(&gm, &access, user, &caches, &cfg, None);
+
+        let rank = |s: RetrievalSource| match s {
+            RetrievalSource::Overhead => 0,
+            RetrievalSource::Isl { .. } => 1,
+            RetrievalSource::Ground => 2,
+        };
+        prop_assert!(
+            rank(after.outcome.source) >= rank(before.outcome.source),
+            "source improved under extra faults: {:?} -> {:?}",
+            before.outcome.source, after.outcome.source
+        );
+        prop_assert!(
+            after.attempts >= before.attempts,
+            "escalation shortened under extra faults: {} -> {}",
+            before.attempts, after.attempts
+        );
+        // With an unreachable ground fallback an in-space RTT is always
+        // finite and a ground RTT infinite, so RTT is monotone whenever
+        // the fetch keeps being served from space at the same rung; a
+        // later rung may legitimately find a kilometre-cheaper copy the
+        // earlier fetch never evaluated, so only same-rung fetches are
+        // latency-comparable.
+        if after.attempts == before.attempts {
+            prop_assert!(
+                after.outcome.rtt.0 >= before.outcome.rtt.0,
+                "same-rung RTT improved under extra faults: {} -> {}",
+                before.outcome.rtt, after.outcome.rtt
+            );
+        }
+    }
+
+    #[test]
+    fn expired_schedule_reproduces_pristine_bitwise(
+        seed in 0u64..400,
+        lat in -55.0f64..55.0,
+        lon in -180.0f64..180.0,
+        budget in 1u32..12,
+    ) {
+        // A schedule whose every event has expired (or not yet started)
+        // at the query instant lowers to the empty plan — and the graph
+        // built from that plan serves every fetch bit-identically to the
+        // pristine one.
+        let c = shell1();
+        let mut rng = DetRng::new(seed, "prop-expired");
+        let mut s = FaultSchedule::none();
+        s.random_sat_outages(
+            c.len(), 0.3,
+            SimDuration::from_secs(1000), SimDuration::from_secs(60),
+            &mut rng,
+        );
+        s.random_gsl_outages(
+            c.len(), 0.2,
+            SimDuration::from_secs(1000), SimDuration::from_secs(60),
+            &mut rng,
+        );
+        // Plus events that have not started yet at the query instant.
+        let t = SimTime::from_secs(50_000_000);
+        s.sat_outage(SatIndex(rng.index(c.len()) as u32), SimTime(t.0 + 1), None);
+        s.gsl_outage(SatIndex(rng.index(c.len()) as u32), SimTime(t.0 + 1), None);
+
+        let plan = s.plan_at(t);
+        prop_assert!(plan.is_empty(), "expired schedule lowered to live faults");
+        prop_assert_eq!(plan.digest(), FaultPlan::none().digest());
+
+        let rebuilt = IslGraph::build(c, SimTime::EPOCH, &plan);
+        let user = Geodetic::ground(lat, lon);
+        let caches = PlacementStrategy::RandomCount { count: 10 }.place(c, &mut rng);
+        let cfg = RetrievalConfig {
+            max_isl_hops: budget,
+            ground_fallback_rtt: Latency::from_ms(140.0),
+        };
+        let access = AccessModel::default();
+        let pristine = retrieve(graph(), &access, user, &caches, &cfg, None).expect("alive");
+        let lowered = retrieve(&rebuilt, &access, user, &caches, &cfg, None).expect("alive");
+        prop_assert_eq!(pristine.source, lowered.source);
+        prop_assert_eq!(pristine.serving_sat, lowered.serving_sat);
+        prop_assert_eq!(pristine.rtt.0.to_bits(), lowered.rtt.0.to_bits());
+
+        let rcfg = ResilientRetrievalConfig::default();
+        let pr = retrieve_resilient(graph(), &access, user, &caches, &rcfg, None);
+        let lr = retrieve_resilient(&rebuilt, &access, user, &caches, &rcfg, None);
+        prop_assert_eq!(pr.attempts, lr.attempts);
+        prop_assert_eq!(pr.degraded, lr.degraded);
+        prop_assert_eq!(pr.outcome.rtt.0.to_bits(), lr.outcome.rtt.0.to_bits());
     }
 
     #[test]

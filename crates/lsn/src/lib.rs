@@ -38,7 +38,7 @@ pub use access::AccessModel;
 pub use bufferbloat::BufferbloatModel;
 pub use cache::{set_routing_cache_override, RoutingCache, SourceTables};
 pub use dynamics::{churn_report, route_samples, ChurnReport};
-pub use fault::FaultPlan;
+pub use fault::{FaultEvent, FaultPlan, FaultSchedule};
 pub use load::LinkLoad;
 pub use path::{spacecdn_fetch_rtt, starlink_rtt_to_pop, StarlinkPath};
 pub use routing::{

@@ -63,11 +63,16 @@ impl LinkLoad {
         self.loads.len()
     }
 
-    /// The heaviest link and its load, if any.
+    /// The heaviest link and its load, if any. Ties break on the larger
+    /// link key so the winner never depends on `HashMap` iteration order.
     pub fn max_link(&self) -> Option<((SatIndex, SatIndex), f64)> {
         self.loads
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("finite")
+                    .then_with(|| ((a.0 .0).0, (a.0 .1).0).cmp(&((b.0 .0).0, (b.0 .1).0)))
+            })
             .map(|(k, v)| (*k, *v))
     }
 
@@ -84,8 +89,19 @@ impl LinkLoad {
     }
 
     /// Sum of load × links (total link-traversals, the backbone's work).
+    ///
+    /// Summed in canonical (sorted link key) order: `HashMap` iteration
+    /// order is seeded per instance, and float addition is not
+    /// associative, so summing in iteration order made the total's last
+    /// bits — and every artefact derived from it — drift between runs.
     pub fn total_link_work(&self) -> f64 {
-        self.loads.values().sum()
+        let mut entries: Vec<(u32, u32, f64)> = self
+            .loads
+            .iter()
+            .map(|(&(a, b), &v)| (a.0, b.0, v))
+            .collect();
+        entries.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        entries.iter().map(|&(_, _, v)| v).sum()
     }
 
     /// Demand that found no path.

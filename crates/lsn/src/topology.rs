@@ -121,6 +121,10 @@ pub struct IslGraph {
     /// Link lengths in km, parallel to `neighbours`.
     lengths_km: Vec<f64>,
     alive: Vec<bool>,
+    /// Alive *and* ground link intact: the mask for serving user
+    /// terminals and gateways. A GSL-failed satellite stays in `alive`
+    /// (it relays ISLs) but leaves `servable`.
+    servable: Vec<bool>,
     cache: Arc<RoutingCache>,
     spatial: SpatialIndex,
 }
@@ -144,9 +148,13 @@ impl IslGraph {
         let n = constellation.len();
         let positions = constellation.snapshot_ecef(t);
         let mut alive = vec![true; n];
+        let mut servable = vec![true; n];
         for sat in constellation.sat_indices() {
             if faults.sat_failed(sat) {
                 alive[sat.as_usize()] = false;
+            }
+            if faults.gsl_failed(sat) {
+                servable[sat.as_usize()] = false;
             }
         }
 
@@ -231,7 +239,7 @@ impl IslGraph {
             offsets.push(neighbours.len() as u32);
         }
 
-        let spatial = SpatialIndex::build(&positions, &alive);
+        let spatial = SpatialIndex::build(&positions, &servable);
         IslGraph {
             time: t,
             positions,
@@ -239,6 +247,7 @@ impl IslGraph {
             neighbours,
             lengths_km,
             alive,
+            servable,
             cache: Arc::new(RoutingCache::new()),
             spatial,
         }
@@ -259,9 +268,18 @@ impl IslGraph {
         self.positions.is_empty()
     }
 
-    /// Is the satellite operational in this snapshot?
+    /// Is the satellite operational in this snapshot? (Its ISLs relay;
+    /// its ground link may still be down — see [`Self::gsl_alive`].)
     pub fn is_alive(&self, sat: SatIndex) -> bool {
         self.alive[sat.as_usize()]
+    }
+
+    /// Can the satellite serve ground radios (alive *and* GSL intact)?
+    /// This is the mask [`Self::nearest_alive`] selects overhead and
+    /// gateway satellites from; ISL relaying and cache *sourcing* only
+    /// need [`Self::is_alive`].
+    pub fn gsl_alive(&self, sat: SatIndex) -> bool {
+        self.servable[sat.as_usize()]
     }
 
     /// Outgoing ISLs of a satellite (empty for failed satellites).
@@ -296,8 +314,9 @@ impl IslGraph {
         propagation_delay(edge.length, Medium::Vacuum)
     }
 
-    /// The operational satellite nearest (slant range) to a ground point.
-    /// `None` if every satellite failed.
+    /// The *servable* satellite (alive with an intact ground link)
+    /// nearest in slant range to a ground point. `None` if no satellite
+    /// can serve ground at all.
     ///
     /// Answered from the snapshot's [`SpatialIndex`]; the result (winner
     /// and tie-break) is identical to [`Self::nearest_alive_linear`].
@@ -316,7 +335,7 @@ impl IslGraph {
         let g = ground.to_ecef();
         let mut best: Option<(SatIndex, Km)> = None;
         for (i, pos) in self.positions.iter().enumerate() {
-            if !self.alive[i] {
+            if !self.servable[i] {
                 continue;
             }
             let d = pos.distance(g);
@@ -553,6 +572,28 @@ mod tests {
         let (second, d2) = g2.nearest_alive(city).unwrap();
         assert_ne!(second, best);
         assert!(d2.0 >= d.0);
+    }
+
+    #[test]
+    fn gsl_failed_sat_relays_but_cannot_serve() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let city = Geodetic::ground(48.1, 11.6);
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let (overhead, _) = g0.nearest_alive(city).unwrap();
+
+        let mut faults = FaultPlan::none();
+        faults.fail_gsl(overhead);
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        // ISLs untouched: still alive, still four laser links, edges intact.
+        assert!(g.is_alive(overhead));
+        assert!(!g.gsl_alive(overhead));
+        assert_eq!(g.neighbors(overhead).len(), 4);
+        assert_eq!(g.edge_count(), g0.edge_count());
+        // But it no longer serves ground: nearest moves on, both via the
+        // spatial index and the linear reference scan.
+        let (second, _) = g.nearest_alive(city).unwrap();
+        assert_ne!(second, overhead);
+        assert_eq!(g.nearest_alive(city), g.nearest_alive_linear(city));
     }
 
     #[test]

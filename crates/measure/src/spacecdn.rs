@@ -8,7 +8,7 @@ use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
 use spacecdn_des::Percentiles;
 use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimDuration, SimTime};
-use spacecdn_lsn::FaultPlan;
+use spacecdn_lsn::FaultSchedule;
 use spacecdn_orbit::SatIndex;
 use spacecdn_telemetry::LazyCounter;
 use spacecdn_terra::cdn::{anycast_select, cdn_sites};
@@ -103,6 +103,29 @@ pub fn hop_bound_experiment(
     epochs: usize,
     seed: u64,
 ) -> Vec<HopBoundResult> {
+    // An empty schedule lowers to the empty plan at every epoch (same
+    // snapshot-pool keys, same graphs), so delegating is byte-identical
+    // to the pre-schedule implementation.
+    hop_bound_experiment_under_schedule(
+        hop_bounds,
+        trials_per_bound,
+        epochs,
+        seed,
+        &FaultSchedule::none(),
+    )
+}
+
+/// [`hop_bound_experiment`] with the fleet degraded by a fault timeline:
+/// each epoch's snapshot is built from `schedule.plan_at(t)`, so outages,
+/// flaps and GSL failures move with simulated time. A city whose sky goes
+/// dark (no servable satellite) counts as a ground fallback.
+pub fn hop_bound_experiment_under_schedule(
+    hop_bounds: &[u32],
+    trials_per_bound: usize,
+    epochs: usize,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> Vec<HopBoundResult> {
     let net = LsnNetwork::starlink();
     let pool = covered_city_sampler();
     let sites = cdn_sites();
@@ -112,7 +135,10 @@ pub fn hop_bound_experiment(
     // across every bound's tasks. The old loop rebuilt it per (bound,
     // epoch).
     let snapshots: Vec<LsnSnapshot<'_>> = (0..epochs)
-        .map(|epoch| net.snapshot(SimTime::from_secs(epoch as u64 * 157), &FaultPlan::none()))
+        .map(|epoch| {
+            let t = SimTime::from_secs(epoch as u64 * 157);
+            net.snapshot(t, &schedule.plan_at(t))
+        })
         .collect();
     par_map(&snapshots, |_, snap| warm_epoch_sources(snap, &pool));
 
@@ -150,16 +176,20 @@ pub fn hop_bound_experiment(
                 max_isl_hops: max_hops,
                 ground_fallback_rtt: fallback,
             };
-            let out = retrieve(
+            FIG7_TRIALS.incr();
+            let Some(out) = retrieve(
                 snap.graph(),
                 net.access(),
                 city.position(),
                 &caches,
                 &cfg,
                 Some(&mut rng),
-            )
-            .expect("constellation alive");
-            FIG7_TRIALS.incr();
+            ) else {
+                // Dead zone under the fault schedule: no satellite serves
+                // the city at all, so the request rides the ground path.
+                fallbacks += 1;
+                continue;
+            };
             match out.source {
                 RetrievalSource::Ground => fallbacks += 1,
                 RetrievalSource::Overhead => {
@@ -209,12 +239,35 @@ pub fn duty_cycle_experiment(
     epochs: usize,
     seed: u64,
 ) -> Vec<DutyCycleResult> {
+    // Byte-identical delegation; see `hop_bound_experiment`.
+    duty_cycle_experiment_under_schedule(
+        fractions,
+        trials_per_fraction,
+        epochs,
+        seed,
+        &FaultSchedule::none(),
+    )
+}
+
+/// [`duty_cycle_experiment`] with the fleet degraded by a fault timeline
+/// (see [`hop_bound_experiment_under_schedule`]). A city with no servable
+/// satellite overhead is served at the ground-fallback RTT.
+pub fn duty_cycle_experiment_under_schedule(
+    fractions: &[f64],
+    trials_per_fraction: usize,
+    epochs: usize,
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> Vec<DutyCycleResult> {
     let net = LsnNetwork::starlink();
     let pool = covered_city_sampler();
 
     // Snapshots are per-epoch only; share them across fractions.
     let snapshots: Vec<LsnSnapshot<'_>> = (0..epochs)
-        .map(|epoch| net.snapshot(SimTime::from_secs(epoch as u64 * 157), &FaultPlan::none()))
+        .map(|epoch| {
+            let t = SimTime::from_secs(epoch as u64 * 157);
+            net.snapshot(t, &schedule.plan_at(t))
+        })
         .collect();
     par_map(&snapshots, |_, snap| warm_epoch_sources(snap, &pool));
 
@@ -238,16 +291,18 @@ pub fn duty_cycle_experiment(
         let mut samples: Vec<f64> = Vec::new();
         for _ in 0..trials_per_fraction.div_ceil(epochs) {
             let city = *rng.choose(&pool).expect("pool non-empty");
-            let out = retrieve(
+            FIG8_TRIALS.incr();
+            let Some(out) = retrieve(
                 snap.graph(),
                 net.access(),
                 city.position(),
                 &active,
                 &cfg,
                 Some(&mut rng),
-            )
-            .expect("constellation alive");
-            FIG8_TRIALS.incr();
+            ) else {
+                samples.push(cfg.ground_fallback_rtt.ms());
+                continue;
+            };
             if matches!(out.source, RetrievalSource::Isl { .. }) {
                 FIG8_RELAYS.incr();
             }
@@ -311,6 +366,49 @@ mod tests {
         assert!(m30 > m80, "30% {m30} vs 80% {m80}");
         // Both stay in the tens of milliseconds (Fig 8's axis is 0-40 ms).
         assert!(m80 > 10.0 && m30 < 60.0, "m80 {m80} m30 {m30}");
+    }
+
+    #[test]
+    fn empty_schedule_is_byte_identical_to_pristine() {
+        // The pristine entry points delegate with an empty schedule; this
+        // pins the property that delegation relies on — an empty timeline
+        // lowers to plans whose digests key the same pooled snapshots.
+        let mut a = hop_bound_experiment(&[1, 5], 60, 2, 29);
+        let mut b = hop_bound_experiment_under_schedule(&[1, 5], 60, 2, 29, &FaultSchedule::none());
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(x.max_hops, y.max_hops);
+            assert_eq!(x.ground_fallbacks, y.ground_fallbacks);
+            assert_eq!(x.hop_histogram, y.hop_histogram);
+            assert_eq!(
+                x.latencies.median().map(f64::to_bits),
+                y.latencies.median().map(f64::to_bits)
+            );
+        }
+        let mut c = duty_cycle_experiment(&[0.5], 60, 2, 29);
+        let mut d = duty_cycle_experiment_under_schedule(&[0.5], 60, 2, 29, &FaultSchedule::none());
+        assert_eq!(
+            c[0].latencies.median().map(f64::to_bits),
+            d[0].latencies.median().map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn fig7_under_faults_degrades_gracefully() {
+        let c =
+            spacecdn_orbit::Constellation::new(spacecdn_orbit::shell::shells::starlink_shell1());
+        let mut rng = DetRng::new(31, "fig7-faults");
+        let mut schedule = FaultSchedule::none();
+        schedule.random_sat_failures(c.len(), 0.2, SimTime::EPOCH, &mut rng);
+        let pristine = hop_bound_experiment(&[3], 80, 2, 31);
+        let faulted = hop_bound_experiment_under_schedule(&[3], 80, 2, 31, &schedule);
+        // A fifth of the fleet dead: never a panic, strictly more misses.
+        assert!(
+            faulted[0].ground_fallbacks > pristine[0].ground_fallbacks,
+            "faulted {} vs pristine {}",
+            faulted[0].ground_fallbacks,
+            pristine[0].ground_fallbacks
+        );
+        assert!(faulted[0].hop_histogram.iter().all(|&h| h <= 3));
     }
 
     #[test]

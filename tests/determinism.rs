@@ -207,6 +207,38 @@ fn routing_cache_matches_direct_computation_on_faulted_graph() {
 }
 
 #[test]
+fn link_load_totals_identical_across_instances() {
+    // `LinkLoad` keeps loads in a `HashMap`, whose iteration order is
+    // seeded per instance. Float addition is not associative, so summing
+    // in iteration order made `total_link_work` (and `isl_load.json`)
+    // drift in the last ulp between runs. Build the same load twice —
+    // two maps, two seeds — and demand bit-identical aggregates.
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let graph = IslGraph::build(&constellation, SimTime::EPOCH, &FaultPlan::none());
+    let build = || {
+        let mut load = spacecdn_suite::lsn::LinkLoad::new();
+        for i in 0..400u32 {
+            let src = SatIndex((i * 37) % constellation.len() as u32);
+            let dst = SatIndex((i * 101 + 13) % constellation.len() as u32);
+            // Demands with busy mantissas so any reordering of the sum
+            // shows up in the low bits.
+            load.route(&graph, src, dst, 0.1 * (f64::from(i) + 0.37));
+        }
+        load
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a.total_link_work().to_bits(),
+        b.total_link_work().to_bits(),
+        "total_link_work drifts across HashMap instances"
+    );
+    assert_eq!(a.mean_hops().to_bits(), b.mean_hops().to_bits());
+    assert_eq!(a.max_link(), b.max_link());
+    assert_eq!(a.loaded_links(), b.loaded_links());
+}
+
+#[test]
 fn nearest_alive_spatial_matches_linear_on_faulted_graph() {
     let _guard = OVERRIDE_LOCK.lock().unwrap();
     let constellation = Constellation::new(shells::starlink_shell1());

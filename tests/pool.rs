@@ -1,0 +1,180 @@
+//! Coverage for the cross-campaign snapshot pool as wired into the
+//! network layer: FIFO eviction at the fixed capacity, the in-process
+//! kill switch, and fault-digest keying (no aliasing between distinct
+//! plans, full sharing between equal ones).
+//!
+//! The pool is process-global, so every test serialises behind one mutex
+//! and clears it on entry. The `SPACECDN_NO_SNAPSHOT_POOL` environment
+//! path is latched in a `OnceLock` and lives in its own binary
+//! (`tests/pool_env.rs`).
+
+use spacecdn_suite::core::network::LsnNetwork;
+use spacecdn_suite::core::{clear_graph_pool, graph_pool_stats};
+use spacecdn_suite::engine::set_snapshot_pool_override;
+use spacecdn_suite::geo::{SimDuration, SimTime};
+use spacecdn_suite::lsn::{AccessModel, FaultPlan, FaultSchedule};
+use spacecdn_suite::orbit::shell::ShellConfig;
+use spacecdn_suite::orbit::{Constellation, SatIndex};
+use spacecdn_suite::terra::fiber::FiberModel;
+use std::sync::Mutex;
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// The network layer's pool capacity (`GRAPH_POOL_CAPACITY` in
+/// `core::network`); the eviction test pins it.
+const CAPACITY: usize = 32;
+
+fn small_net() -> LsnNetwork {
+    let shell = ShellConfig {
+        altitude_km: 550.0,
+        inclination_deg: 53.0,
+        plane_count: 5,
+        sats_per_plane: 5,
+        phase_factor: 1,
+    };
+    LsnNetwork::new(
+        Constellation::new(shell),
+        Vec::new(),
+        AccessModel::default(),
+        FiberModel::default(),
+    )
+}
+
+/// `(hits, misses)` deltas of `f` against the global pool counters.
+fn pool_delta(f: impl FnOnce()) -> (u64, u64) {
+    let (h0, m0, _) = graph_pool_stats();
+    f();
+    let (h1, m1, _) = graph_pool_stats();
+    (h1 - h0, m1 - m0)
+}
+
+#[test]
+fn fifo_eviction_at_capacity() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    set_snapshot_pool_override(Some(true));
+    clear_graph_pool();
+    let net = small_net();
+    let none = FaultPlan::none();
+
+    // Fill past capacity: every epoch is a distinct key, so all miss.
+    let (hits, misses) = pool_delta(|| {
+        for epoch in 0..CAPACITY as u64 + 8 {
+            net.snapshot(SimTime::from_secs(epoch), &none);
+        }
+    });
+    assert_eq!(hits, 0);
+    assert_eq!(misses, CAPACITY as u64 + 8);
+    let (_, _, len) = graph_pool_stats();
+    assert_eq!(len, CAPACITY, "pool must cap at GRAPH_POOL_CAPACITY");
+
+    // The newest entries survive; the oldest 8 were evicted FIFO.
+    let (hits, misses) = pool_delta(|| {
+        net.snapshot(SimTime::from_secs(CAPACITY as u64 + 7), &none);
+        net.snapshot(SimTime::from_secs(8), &none); // oldest survivor
+    });
+    assert_eq!((hits, misses), (2, 0), "recent epochs must still be pooled");
+    let (hits, misses) = pool_delta(|| {
+        net.snapshot(SimTime::from_secs(0), &none);
+        net.snapshot(SimTime::from_secs(7), &none);
+    });
+    assert_eq!((hits, misses), (0, 2), "evicted epochs must rebuild");
+
+    set_snapshot_pool_override(None);
+    clear_graph_pool();
+}
+
+#[test]
+fn override_bypasses_pool_entirely() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    set_snapshot_pool_override(Some(false));
+    clear_graph_pool();
+    let net = small_net();
+    let none = FaultPlan::none();
+
+    let (hits, misses) = pool_delta(|| {
+        for _ in 0..3 {
+            net.snapshot(SimTime::from_secs(5), &none);
+        }
+    });
+    assert_eq!(
+        (hits, misses),
+        (0, 0),
+        "disabled pool must neither hit nor record misses"
+    );
+    let (_, _, len) = graph_pool_stats();
+    assert_eq!(len, 0, "disabled pool must retain nothing");
+
+    set_snapshot_pool_override(None);
+    clear_graph_pool();
+}
+
+#[test]
+fn fault_digests_key_the_pool_without_aliasing() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    set_snapshot_pool_override(Some(true));
+    clear_graph_pool();
+    let net = small_net();
+    let t = SimTime::from_secs(3);
+
+    // Distinct plans at the same epoch are distinct keys.
+    let mut sat_down = FaultPlan::none();
+    sat_down.fail_sat(SatIndex(4));
+    let mut gsl_down = FaultPlan::none();
+    gsl_down.fail_gsl(SatIndex(4));
+    let mut link_down = FaultPlan::none();
+    link_down.fail_link(SatIndex(4), SatIndex(5));
+    let (hits, misses) = pool_delta(|| {
+        net.snapshot(t, &FaultPlan::none());
+        net.snapshot(t, &sat_down);
+        net.snapshot(t, &gsl_down);
+        net.snapshot(t, &link_down);
+    });
+    assert_eq!(
+        (hits, misses),
+        (0, 4),
+        "distinct fault plans must not alias to one pooled snapshot"
+    );
+
+    // The same membership assembled in a different order is the same key.
+    let mut forward = FaultPlan::none();
+    let mut backward = FaultPlan::none();
+    for i in 0..6u32 {
+        forward.fail_sat(SatIndex(i));
+        backward.fail_sat(SatIndex(5 - i));
+        forward.fail_link(SatIndex(i), SatIndex(i + 7));
+        backward.fail_link(SatIndex(5 - i + 7), SatIndex(5 - i));
+    }
+    let (hits, misses) = pool_delta(|| {
+        net.snapshot(t, &forward);
+        net.snapshot(t, &backward);
+    });
+    assert_eq!(
+        (hits, misses),
+        (1, 1),
+        "identical membership must share one pooled snapshot"
+    );
+
+    // A schedule lowering to the same members also shares the entry.
+    let mut schedule = FaultSchedule::none();
+    for i in 0..6u32 {
+        schedule.sat_outage(SatIndex(i), SimTime::EPOCH, None);
+        schedule.isl_flap(
+            SatIndex(i),
+            SatIndex(i + 7),
+            SimTime::EPOCH,
+            SimDuration::from_secs(0),
+            SimDuration::from_secs(1),
+        );
+    }
+    let (hits, misses) = pool_delta(|| {
+        net.snapshot(t, &schedule.plan_at(t));
+    });
+    assert_eq!(
+        (hits, misses),
+        (1, 0),
+        "a lowered schedule with equal membership must hit the pooled entry"
+    );
+
+    set_snapshot_pool_override(None);
+    clear_graph_pool();
+}

@@ -1,0 +1,48 @@
+//! `SPACECDN_NO_SNAPSHOT_POOL=1` must bypass the snapshot pool.
+//!
+//! The environment default is latched in a `OnceLock` on first read, so
+//! this check needs a process where the variable is set *before* anything
+//! queries pool enablement — hence its own test binary with exactly one
+//! test (in-process override paths live in `tests/pool.rs`).
+
+use spacecdn_suite::core::graph_pool_stats;
+use spacecdn_suite::core::network::LsnNetwork;
+use spacecdn_suite::engine::snapshot_pool_enabled;
+use spacecdn_suite::geo::SimTime;
+use spacecdn_suite::lsn::{AccessModel, FaultPlan};
+use spacecdn_suite::orbit::shell::ShellConfig;
+use spacecdn_suite::orbit::Constellation;
+use spacecdn_suite::terra::fiber::FiberModel;
+
+#[test]
+fn env_var_disables_snapshot_pool() {
+    // Safe to set here: this binary's only test, so no other code can
+    // have latched the OnceLock yet.
+    std::env::set_var("SPACECDN_NO_SNAPSHOT_POOL", "1");
+    assert!(
+        !snapshot_pool_enabled(),
+        "SPACECDN_NO_SNAPSHOT_POOL=1 must disable pooling"
+    );
+
+    let net = LsnNetwork::new(
+        Constellation::new(ShellConfig {
+            altitude_km: 550.0,
+            inclination_deg: 53.0,
+            plane_count: 4,
+            sats_per_plane: 4,
+            phase_factor: 1,
+        }),
+        Vec::new(),
+        AccessModel::default(),
+        FiberModel::default(),
+    );
+    let none = FaultPlan::none();
+    net.snapshot(SimTime::from_secs(1), &none);
+    net.snapshot(SimTime::from_secs(1), &none);
+    let (hits, misses, len) = graph_pool_stats();
+    assert_eq!(
+        (hits, misses, len),
+        (0, 0, 0),
+        "disabled pool must never be touched"
+    );
+}
