@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spacecdn_geo::{DetRng, Latency, SimTime};
-use spacecdn_lsn::FaultPlan;
+use spacecdn_lsn::{FaultPlan, FaultSchedule};
 use spacecdn_measure::aim::{AimCampaign, AimConfig};
 use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
 use spacecdn_measure::web::{browse_campaign, PageModel, WebConfig};
@@ -42,11 +42,11 @@ fn bench_experiments(c: &mut Criterion) {
     });
 
     group.bench_function("fig7_hop_bound_small", |b| {
-        b.iter(|| hop_bound_experiment(&[5], 30, 1, 1).len())
+        b.iter(|| hop_bound_experiment(&[5], 30, 1, 1, &FaultSchedule::none()).len())
     });
 
     group.bench_function("fig8_duty_cycle_small", |b| {
-        b.iter(|| duty_cycle_experiment(&[0.5], 30, 1, 1).len())
+        b.iter(|| duty_cycle_experiment(&[0.5], 30, 1, 1, &FaultSchedule::none()).len())
     });
 
     group.bench_function("linkload_route_100_flows", |b| {
@@ -84,17 +84,17 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("retrieval_single_fetch", |b| {
         use spacecdn_core::network::LsnNetwork;
         use spacecdn_core::placement::PlacementStrategy;
-        use spacecdn_core::retrieval::{retrieve, RetrievalConfig};
+        use spacecdn_core::retrieval::RetrievalRequest;
         let net = LsnNetwork::starlink();
         let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
         let mut rng = DetRng::new(1, "bench-retrieval");
         let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
-        let cfg = RetrievalConfig {
-            max_isl_hops: 10,
-            ground_fallback_rtt: Latency::from_ms(150.0),
-        };
         let user = spacecdn_geo::Geodetic::ground(-25.97, 32.57);
-        b.iter(|| retrieve(snap.graph(), net.access(), user, &caches, &cfg, None))
+        let req = RetrievalRequest::new(user)
+            .hop_budget(10)
+            .ground_fallback(Latency::from_ms(150.0))
+            .graceful(false);
+        b.iter(|| req.execute(snap.graph(), net.access(), &caches, None))
     });
 
     group.finish();

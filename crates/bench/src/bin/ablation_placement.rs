@@ -6,11 +6,11 @@ use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::placement::PlacementStrategy;
-use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
 use spacecdn_des::Percentiles;
 use spacecdn_geo::{DetRng, Latency, SimTime};
 use spacecdn_lsn::FaultPlan;
 use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_suite::prelude::{RetrievalRequest, RetrievalSource};
 use spacecdn_terra::city::cities;
 use spacecdn_terra::starlink::covered_countries;
 
@@ -65,22 +65,16 @@ fn main() {
         for epoch in 0..4u64 {
             let snap = net.snapshot(SimTime::from_secs(epoch * 157), &FaultPlan::none());
             let mut rng = DetRng::new(99, &format!("placement/{name}/{epoch}"));
-            let cfg = RetrievalConfig {
-                max_isl_hops: 10,
-                ground_fallback_rtt: Latency::from_ms(150.0),
-            };
             for _ in 0..trials / 4 {
                 let city = *rng.choose(&pool).expect("pool");
                 let caches = strat.place(net.constellation(), &mut rng);
-                let out = retrieve(
-                    snap.graph(),
-                    net.access(),
-                    city.position(),
-                    &caches,
-                    &cfg,
-                    Some(&mut rng),
-                )
-                .expect("alive");
+                let out = RetrievalRequest::new(city.position())
+                    .hop_budget(10)
+                    .ground_fallback(Latency::from_ms(150.0))
+                    .graceful(false)
+                    .execute(snap.graph(), net.access(), &caches, Some(&mut rng))
+                    .outcome
+                    .expect("alive");
                 match out.source {
                     RetrievalSource::Ground => ground += 1,
                     RetrievalSource::Overhead => {

@@ -12,7 +12,7 @@ use spacecdn_engine::{set_snapshot_pool_override, set_thread_override, thread_co
 use spacecdn_lsn::set_routing_cache_override;
 use spacecdn_measure::aim::{case_study_city, AimCampaign, AimConfig, IspKind};
 use spacecdn_measure::report::write_json;
-use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+use spacecdn_suite::prelude::{duty_cycle_experiment, hop_bound_experiment, FaultSchedule};
 use spacecdn_terra::city::city_by_name;
 use std::time::Instant;
 
@@ -41,7 +41,13 @@ fn workload() -> String {
         fingerprint.push_str(&format!("|fig3/{}={}", site.city.name, latency.ms()));
     }
 
-    let hops = hop_bound_experiment(&[1, 3, 5, 10], scaled(800), scaled(4).min(4), 42);
+    let hops = hop_bound_experiment(
+        &[1, 3, 5, 10],
+        scaled(800),
+        scaled(4).min(4),
+        42,
+        &FaultSchedule::none(),
+    );
     for mut r in hops {
         fingerprint.push_str(&format!(
             "|fig7/{}:median={:?},p90={:?},fallbacks={},hops={:?}",
@@ -53,7 +59,13 @@ fn workload() -> String {
         ));
     }
 
-    let duty = duty_cycle_experiment(&[0.8, 0.5, 0.3], scaled(900), scaled(4).min(4), 42);
+    let duty = duty_cycle_experiment(
+        &[0.8, 0.5, 0.3],
+        scaled(900),
+        scaled(4).min(4),
+        42,
+        &FaultSchedule::none(),
+    );
     for mut r in duty {
         fingerprint.push_str(&format!(
             "|fig8/{}:median={:?},p90={:?}",

@@ -17,12 +17,12 @@ use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::placement::PlacementStrategy;
-use spacecdn_core::retrieval::{retrieve_resilient, ResilientRetrievalConfig, RetrievalSource};
 use spacecdn_des::Percentiles;
 use spacecdn_geo::{DetRng, SimDuration, SimTime};
 use spacecdn_lsn::{FaultPlan, FaultSchedule};
 use spacecdn_measure::report::{format_table, write_json};
-use spacecdn_measure::spacecdn::{hop_bound_experiment, hop_bound_experiment_under_schedule};
+use spacecdn_suite::prelude::hop_bound_experiment;
+use spacecdn_suite::prelude::{RetrievalRequest, RetrievalSource};
 use spacecdn_terra::city::{cities, City};
 use spacecdn_terra::starlink::covered_countries;
 
@@ -64,7 +64,6 @@ fn sweep_point(
     epochs: &[u64],
     trials: usize,
 ) -> SweepRow {
-    let rcfg = ResilientRetrievalConfig::default();
     let mut lat = Percentiles::new();
     let mut total = 0usize;
     let mut space_hits = 0usize;
@@ -86,18 +85,17 @@ fn sweep_point(
             PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut cache_rng);
         for _ in 0..trials {
             let city = *req.choose(pool).expect("pool");
-            let out = retrieve_resilient(
+            let out = RetrievalRequest::new(city.position()).execute(
                 snap.graph(),
                 net.access(),
-                city.position(),
                 &caches,
-                &rcfg,
                 None,
             );
+            let outcome = out.outcome.expect("graceful fetch always resolves");
             total += 1;
             attempts += u64::from(out.attempts);
-            lat.add(out.outcome.rtt.ms());
-            if out.outcome.source != RetrievalSource::Ground {
+            lat.add(outcome.rtt.ms());
+            if outcome.source != RetrievalSource::Ground {
                 space_hits += 1;
             }
             if out.degraded.is_some() {
@@ -242,12 +240,12 @@ fn main() {
     // --- 3. Figure 7 under faults -------------------------------------
     let bounds = [1u32, 3, 5, 10];
     let fig7_trials = scaled(240);
-    let mut pristine_fig7 = hop_bound_experiment(&bounds, fig7_trials, 2, 41);
+    let mut pristine_fig7 =
+        hop_bound_experiment(&bounds, fig7_trials, 2, 41, &FaultSchedule::none());
     let mut kill = DetRng::new(17, "sweep/fig7-kill");
     let mut schedule = FaultSchedule::none();
     schedule.random_sat_failures(n_sats, 0.15, SimTime::EPOCH, &mut kill);
-    let mut faulted_fig7 =
-        hop_bound_experiment_under_schedule(&bounds, fig7_trials, 2, 41, &schedule);
+    let mut faulted_fig7 = hop_bound_experiment(&bounds, fig7_trials, 2, 41, &schedule);
     let mut fig7_rows = Vec::new();
     let mut table = Vec::new();
     for (p, f) in pristine_fig7.iter_mut().zip(faulted_fig7.iter_mut()) {

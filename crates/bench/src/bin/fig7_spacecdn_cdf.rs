@@ -6,7 +6,7 @@ use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_measure::aim::{AimCampaign, AimConfig, IspKind};
 use spacecdn_measure::report::{format_table, write_json};
-use spacecdn_measure::spacecdn::hop_bound_experiment;
+use spacecdn_suite::prelude::{hop_bound_experiment, FaultSchedule};
 
 #[derive(Serialize)]
 struct Series {
@@ -30,7 +30,13 @@ fn main() {
     let mut star = campaign.rtt_distribution_balanced(IspKind::Starlink, 60);
     let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
 
-    let results = hop_bound_experiment(&[1, 3, 5, 10], scaled(1200), scaled(6).min(8), 42);
+    let results = hop_bound_experiment(
+        &[1, 3, 5, 10],
+        scaled(1200),
+        scaled(6).min(8),
+        42,
+        &FaultSchedule::none(),
+    );
 
     let mut series = Vec::new();
     let mut rows = Vec::new();

@@ -5,7 +5,7 @@ use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_measure::aim::{AimCampaign, AimConfig, IspKind};
 use spacecdn_measure::report::{format_table, write_json};
-use spacecdn_measure::spacecdn::duty_cycle_experiment;
+use spacecdn_suite::prelude::{duty_cycle_experiment, FaultSchedule};
 
 #[derive(Serialize)]
 struct BoxRow {
@@ -32,7 +32,13 @@ fn main() {
     let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
     let terr_median = terr.median().expect("samples");
 
-    let results = duty_cycle_experiment(&[0.8, 0.5, 0.3], scaled(1500), scaled(6).min(8), 42);
+    let results = duty_cycle_experiment(
+        &[0.8, 0.5, 0.3],
+        scaled(1500),
+        scaled(6).min(8),
+        42,
+        &FaultSchedule::none(),
+    );
 
     let mut out = Vec::new();
     let mut rows = Vec::new();

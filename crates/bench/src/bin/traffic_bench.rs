@@ -1,0 +1,126 @@
+//! Traffic engine benchmark: steady-state request-driven workload at
+//! million-user scale — Zipf demand from population-weighted covered
+//! cities, pull-through per-satellite LRU+TTL caches, swept across
+//! thermal duty-cycle fractions. Reports sustained requests/sec, cache
+//! hit ratio, origin offload and the fetch-latency CDF per fraction.
+
+use serde::Serialize;
+use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_suite::prelude::{traffic_campaign, FaultSchedule, TrafficCampaignConfig};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct FractionRow {
+    duty_fraction: f64,
+    requests: u64,
+    hit_ratio: f64,
+    origin_offload: f64,
+    overhead_hits: u64,
+    isl_hits: u64,
+    origin_fetches: u64,
+    evictions: u64,
+    ttl_expiries: u64,
+    invalidations: u64,
+    p10_ms: f64,
+    median_ms: f64,
+    p90_ms: f64,
+    latency_cdf: Vec<(f64, f64)>,
+}
+
+#[derive(Serialize)]
+struct TrafficBench {
+    epochs: usize,
+    streams: usize,
+    catalog_size: usize,
+    total_requests: u64,
+    wall_s: f64,
+    requests_per_sec: f64,
+    fractions: Vec<FractionRow>,
+}
+
+fn main() {
+    banner(
+        "Traffic engine — steady-state Zipf workload over warm satellite caches",
+        "(infrastructure, extends Fig 8) cache hit ratio and origin offload \
+         as thermal duty cycling throttles which satellites may cache",
+    );
+
+    let cfg = TrafficCampaignConfig {
+        duty_fractions: vec![1.0, 0.6, 0.3],
+        // Full mode: 150k requests per sweep point across 4 topology
+        // epochs — comfortably past the 100k/3-epoch floor this bench
+        // is meant to prove sustainable.
+        requests: scaled(150_000) as u64,
+        epochs: if spacecdn_bench::quick_mode() { 3 } else { 4 },
+        ..TrafficCampaignConfig::default()
+    };
+    let t0 = Instant::now();
+    let points = traffic_campaign(&cfg, &FaultSchedule::none());
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total_requests: u64 = points.iter().map(|p| p.report.requests).sum();
+    let requests_per_sec = total_requests as f64 / wall_s;
+
+    let mut rows = Vec::new();
+    let mut fractions = Vec::new();
+    for mut p in points {
+        let median = p.latencies.median().unwrap_or(f64::NAN);
+        rows.push(vec![
+            format!("{:.0}%", p.fraction * 100.0),
+            format!("{:.3}", p.hit_ratio),
+            format!("{:.3}", p.origin_offload),
+            format!("{median:.1}"),
+            format!("{:.1}", p.latencies.quantile(0.9).unwrap_or(f64::NAN)),
+            format!("{}", p.report.evictions),
+            format!("{}", p.report.ttl_expiries),
+        ]);
+        fractions.push(FractionRow {
+            duty_fraction: p.fraction,
+            requests: p.report.requests,
+            hit_ratio: p.hit_ratio,
+            origin_offload: p.origin_offload,
+            overhead_hits: p.report.overhead_hits,
+            isl_hits: p.report.isl_hits,
+            origin_fetches: p.report.origin_fetches,
+            evictions: p.report.evictions,
+            ttl_expiries: p.report.ttl_expiries,
+            invalidations: p.report.invalidations,
+            p10_ms: p.latencies.quantile(0.1).unwrap_or(f64::NAN),
+            median_ms: median,
+            p90_ms: p.latencies.quantile(0.9).unwrap_or(f64::NAN),
+            latency_cdf: p.latencies.cdf(40).points,
+        });
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "active caches",
+                "hit ratio",
+                "origin offload",
+                "median ms",
+                "p90 ms",
+                "evictions",
+                "ttl expiries",
+            ],
+            &rows,
+        )
+    );
+    println!("{total_requests} requests in {wall_s:.2} s — {requests_per_sec:.0} req/s sustained");
+
+    write_json(
+        &results_dir().join("BENCH_traffic.json"),
+        &TrafficBench {
+            epochs: cfg.epochs,
+            streams: cfg.streams,
+            catalog_size: cfg.catalog_size,
+            total_requests,
+            wall_s,
+            requests_per_sec,
+            fractions,
+        },
+    )
+    .expect("write json");
+    println!("json: results/BENCH_traffic.json");
+    spacecdn_bench::emit_metrics("traffic");
+}

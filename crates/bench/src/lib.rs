@@ -28,7 +28,7 @@ use std::path::PathBuf;
 /// run order. `repro_all` itself and the interactive `explore` shell are
 /// deliberately absent; `tests::bins_list_matches_bin_dir` keeps this list
 /// in sync with the directory so a new binary can't be silently forgotten.
-pub const EXPERIMENT_BINS: [&str; 23] = [
+pub const EXPERIMENT_BINS: [&str; 24] = [
     "engine_bench",
     "routing_bench",
     "table1",
@@ -52,6 +52,7 @@ pub const EXPERIMENT_BINS: [&str; 23] = [
     "multishell_coverage",
     "isl_load",
     "fault_sweep",
+    "traffic_bench",
 ];
 
 /// Binaries in `src/bin/` that [`EXPERIMENT_BINS`] intentionally skips:

@@ -32,6 +32,34 @@ impl ZipfSampler {
         ZipfSampler { cumulative }
     }
 
+    /// A sampler over a *subset* of global ranks, conditioned on the
+    /// request landing in that subset: position `i` of the returned
+    /// sampler carries the global Zipf(α) mass of rank `ranks[i]`
+    /// (`1/(ranks[i]+1)^α`), renormalised over the subset. This is how a
+    /// sharded traffic stream samples its partition of the catalog so
+    /// that the *union* of all streams reproduces the global Zipf demand
+    /// exactly.
+    ///
+    /// [`ZipfSampler::sample`] then returns a position `0..ranks.len()`
+    /// into the given subset.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is empty or `alpha` is not finite/non-negative.
+    pub fn over_ranks(ranks: &[usize], alpha: f64) -> Self {
+        assert!(!ranks.is_empty(), "Zipf needs at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(ranks.len());
+        let mut acc = 0.0;
+        for &rank in ranks {
+            acc += 1.0 / (rank as f64 + 1.0).powf(alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
     /// Number of ranks.
     pub fn len(&self) -> usize {
         self.cumulative.len()
@@ -192,6 +220,57 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zipf_empty_panics() {
         let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_over_empty_ranks_panics() {
+        let _ = ZipfSampler::over_ranks(&[], 1.0);
+    }
+
+    #[test]
+    fn over_all_ranks_is_bitwise_the_full_sampler() {
+        let full = ZipfSampler::new(64, 0.9);
+        let ranks: Vec<usize> = (0..64).collect();
+        let subset = ZipfSampler::over_ranks(&ranks, 0.9);
+        for r in 0..64 {
+            assert_eq!(
+                full.probability(r).to_bits(),
+                subset.probability(r).to_bits(),
+                "rank {r}"
+            );
+        }
+        let mut a = DetRng::new(7, "over-ranks");
+        let mut b = DetRng::new(7, "over-ranks");
+        for _ in 0..500 {
+            assert_eq!(full.sample(&mut a), subset.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn sharded_samplers_reproduce_global_mass() {
+        // Split 1000 ranks into 4 residue-class shards; the conditional
+        // mass of a rank inside its shard times the shard's share of the
+        // global mass must give back the global probability.
+        let n = 1000;
+        let alpha = 1.0;
+        let full = ZipfSampler::new(n, alpha);
+        let mut reconstructed = vec![0.0f64; n];
+        for shard in 0..4usize {
+            let ranks: Vec<usize> = (0..n).filter(|r| r % 4 == shard).collect();
+            let cond = ZipfSampler::over_ranks(&ranks, alpha);
+            let shard_mass: f64 = ranks.iter().map(|&r| full.probability(r)).sum();
+            for (pos, &r) in ranks.iter().enumerate() {
+                reconstructed[r] = cond.probability(pos) * shard_mass;
+            }
+        }
+        for (r, &got) in reconstructed.iter().enumerate() {
+            assert!(
+                (got - full.probability(r)).abs() < 1e-12,
+                "rank {r}: {got} vs {}",
+                full.probability(r)
+            );
+        }
     }
 
     fn setup_regional() -> (Catalog, RegionalPopularity) {

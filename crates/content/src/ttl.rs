@@ -22,6 +22,7 @@ pub struct TtlCache<C: Cache> {
     ttl: SimDuration,
     expires: HashMap<ContentId, SimTime>,
     now: SimTime,
+    expired_purges: u64,
 }
 
 impl<C: Cache> TtlCache<C> {
@@ -36,6 +37,7 @@ impl<C: Cache> TtlCache<C> {
             ttl,
             expires: HashMap::new(),
             now: SimTime::EPOCH,
+            expired_purges: 0,
         }
     }
 
@@ -58,6 +60,27 @@ impl<C: Cache> TtlCache<C> {
     fn purge(&mut self, id: ContentId) {
         self.inner.remove(id);
         self.expires.remove(&id);
+        self.expired_purges += 1;
+    }
+
+    /// Freshness check that reclaims: like [`Cache::contains`], but an
+    /// entry found expired is purged immediately (and counted in
+    /// [`TtlCache::expired_purges`]) instead of lingering as dead bytes
+    /// until the next `get`/`insert` touches it. The traffic engine calls
+    /// this when validating candidate copy holders so cache occupancy
+    /// reflects only servable objects.
+    pub fn is_fresh(&mut self, id: ContentId) -> bool {
+        if self.expired(id) {
+            self.purge(id);
+            return false;
+        }
+        self.inner.contains(id)
+    }
+
+    /// Entries dropped because their TTL lapsed (from any purge path:
+    /// `get`, `insert`, or [`TtlCache::is_fresh`]).
+    pub fn expired_purges(&self) -> u64 {
+        self.expired_purges
     }
 
     /// Access the wrapped cache (e.g. for policy-specific diagnostics).
@@ -208,5 +231,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ttl_panics() {
         let _ = TtlCache::new(LruCache::new(100), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn is_fresh_reclaims_and_counts_expired_entries() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.insert(ContentId(2), 100);
+        assert!(c.is_fresh(ContentId(1)));
+        assert_eq!(c.expired_purges(), 0);
+
+        c.set_now(SimTime::from_secs(60));
+        // Plain `contains` reports absence but leaves the dead bytes.
+        assert!(!c.contains(ContentId(1)));
+        assert_eq!(c.used_bytes(), 200);
+        // `is_fresh` reclaims on the spot.
+        assert!(!c.is_fresh(ContentId(1)));
+        assert_eq!(c.used_bytes(), 100);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.expired_purges(), 1);
+        // Absent id is simply not fresh, no purge counted.
+        assert!(!c.is_fresh(ContentId(99)));
+        assert_eq!(c.expired_purges(), 1);
+    }
+
+    #[test]
+    fn expired_purges_counts_every_purge_path() {
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.insert(ContentId(2), 100);
+        c.set_now(SimTime::from_secs(60));
+        assert!(!c.get(ContentId(1))); // purge via get
+        assert!(c.insert(ContentId(2), 100)); // purge via insert, then re-add
+        assert_eq!(c.expired_purges(), 2);
     }
 }

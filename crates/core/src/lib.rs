@@ -13,7 +13,11 @@
 //! - [`placement`] — cache copy placement strategies (k-per-plane, random
 //!   fraction, hop-radius covering, popularity-weighted);
 //! - [`retrieval`] — the three-step fetch logic of Figure 6 and its latency
-//!   accounting;
+//!   accounting, behind the unified builder-style [`RetrievalRequest`];
+//! - [`scenario`] — long-lived retrieval sessions owning network, fault
+//!   schedule, snapshot, copy set, and policy across many requests;
+//! - [`traffic`] — the steady-state request-driven traffic engine:
+//!   Zipf-distributed demand against warm per-satellite LRU+TTL caches;
 //! - [`duty_cycle`] — Figure 8's thermal mitigation: only x % of satellites
 //!   cache at a time, the rest relay;
 //! - [`striping`] — §4's video striping across successive overhead
@@ -34,18 +38,24 @@ pub mod placement;
 pub mod power;
 pub mod prefetch;
 pub mod retrieval;
+pub mod scenario;
 pub mod simulation;
 pub mod spacevm;
 pub mod striping;
+pub mod traffic;
 pub mod wormhole;
 
 pub use duty_cycle::DutyCycler;
 pub use network::{clear_graph_pool, graph_pool_stats, LsnNetwork, LsnSnapshot, PathBreakdown};
 pub use placement::{popularity_copy_allocation, PlacementStrategy};
+#[allow(deprecated)] // the shims stay re-exported until the next major bump
+pub use retrieval::{retrieve, retrieve_multishell, retrieve_resilient};
 pub use retrieval::{
-    retrieve, retrieve_multishell, retrieve_resilient, DegradeReason, ResilientOutcome,
-    ResilientRetrievalConfig, RetrievalConfig, RetrievalOutcome, RetrievalSource,
+    DegradeReason, FetchResult, ResilientOutcome, ResilientRetrievalConfig, RetrievalConfig,
+    RetrievalOutcome, RetrievalRequest, RetrievalSource,
 };
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use spacevm::{plan_vm_service, VmMigrationPlan, VmServiceConfig};
 pub use striping::{plan_stripes, plan_windows_pass_aware, playback_stalls, StripeAssignment};
+pub use traffic::{run_traffic, TrafficConfig, TrafficReport, TrafficSource};
 pub use wormhole::{find_transits, wormhole_capacity, Transit, WormholeCapacity};

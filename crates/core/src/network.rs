@@ -196,6 +196,13 @@ impl<'a> LsnSnapshot<'a> {
         &self.graph
     }
 
+    /// A shared handle to the underlying ISL graph, outliving this
+    /// snapshot's borrow of the network (used by [`crate::scenario::Scenario`]
+    /// to hold the current epoch's topology across many fetches).
+    pub fn graph_handle(&self) -> Arc<IslGraph> {
+        Arc::clone(&self.graph)
+    }
+
     /// The owning network.
     pub fn network(&self) -> &LsnNetwork {
         self.net

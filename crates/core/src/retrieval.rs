@@ -6,6 +6,16 @@
 //!    within a hop budget (blue arrow).
 //! 3. If no copy is within budget, fall back to the ground cache behind
 //!    the bent pipe (black arrow).
+//!
+//! The one entry point is [`RetrievalRequest`]: a builder-style
+//! description of a fetch (user position, hop-budget escalation ladder,
+//! ground-fallback RTT, graceful-degradation policy) executed against a
+//! topology snapshot — either directly via [`RetrievalRequest::execute`]
+//! or through a long-lived [`crate::scenario::Scenario`] session. The
+//! pre-redesign free functions ([`retrieve`], [`retrieve_resilient`],
+//! [`retrieve_multishell`]) remain as thin deprecated shims that delegate
+//! to the request path and are proven bit-identical to it by the
+//! equivalence suite in `crates/core/tests/equivalence.rs`.
 
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency};
@@ -69,7 +79,9 @@ pub struct RetrievalOutcome {
     pub serving_sat: Option<SatIndex>,
 }
 
-/// Parameters of a fetch.
+/// Parameters of a fetch through the deprecated [`retrieve`] /
+/// [`retrieve_multishell`] shims. New code expresses the same policy on a
+/// [`RetrievalRequest`] (`.hop_budget(..)` + `.ground_fallback(..)`).
 #[derive(Debug, Clone, Copy)]
 pub struct RetrievalConfig {
     /// Maximum ISL hops to search for a cached copy (the paper sweeps
@@ -81,27 +93,305 @@ pub struct RetrievalConfig {
     pub ground_fallback_rtt: Latency,
 }
 
-/// Resolve one fetch for a user at `user` against the set of satellites
-/// currently caching the object.
+/// Why a resilient fetch degraded to the ground cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// No satellite can serve the user at all (the terminal sees sky with
+    /// no servable satellite); traffic never reaches space.
+    DeadZone,
+    /// Every hop budget on the escalation ladder was tried and no alive
+    /// copy was reachable within the largest one.
+    BudgetExhausted,
+    /// Copies were reachable, but the bent pipe to the ground cache beat
+    /// every one of them on RTT.
+    GroundCheaper,
+}
+
+/// Retry/escalation policy of a fetch through the deprecated
+/// [`retrieve_resilient`] shim. New code expresses the same policy on a
+/// [`RetrievalRequest`] (`.escalation(..)` + `.ground_fallback(..)`).
+#[derive(Debug, Clone)]
+pub struct ResilientRetrievalConfig {
+    /// Hop budgets to try in order (must be non-empty and ascending —
+    /// the paper's 1 → 3 → 5 → 10 ladder by default). Each rung widens
+    /// the ISL search radius of the previous attempt.
+    pub escalation: Vec<u32>,
+    /// RTT of the ground fallback (see [`RetrievalConfig`]).
+    pub ground_fallback_rtt: Latency,
+}
+
+impl Default for ResilientRetrievalConfig {
+    fn default() -> Self {
+        ResilientRetrievalConfig {
+            escalation: vec![1, 3, 5, 10],
+            ground_fallback_rtt: Latency::from_ms(160.0),
+        }
+    }
+}
+
+/// One resolved resilient fetch (returned by the deprecated
+/// [`retrieve_resilient`] shim). Unlike [`retrieve`], there is always an
+/// outcome: when space cannot serve, the fetch degrades to the ground
+/// cache with the reason recorded, it never returns `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOutcome {
+    /// The served fetch.
+    pub outcome: RetrievalOutcome,
+    /// Hop budgets tried (1 = first rung sufficed; 0 only in a dead
+    /// zone, where there was nothing to escalate).
+    pub attempts: u32,
+    /// `Some` when the fetch fell back to the ground cache.
+    pub degraded: Option<DegradeReason>,
+}
+
+/// One content fetch, described policy-first and executed against a
+/// snapshot — the unified replacement for the [`retrieve`] /
+/// [`retrieve_resilient`] / [`retrieve_multishell`] trio and their
+/// overlapping config structs.
 ///
-/// Copy selection is **latency-optimal within the hop budget**: among
-/// copies reachable in ≤ `max_isl_hops` ISL hops (BFS metric — the budget
-/// the paper sweeps), the one with the lowest propagation latency wins.
-/// Hop-nearest and latency-nearest differ on the +Grid because intra-plane
-/// hops are ~3× longer than inter-plane ones; a deployed SpaceCDN routes by
-/// latency.
+/// Construct with [`RetrievalRequest::new`] and refine with the builder
+/// methods; the struct is `#[non_exhaustive]` so new policy knobs can be
+/// added without breaking callers.
 ///
-/// Returns `None` only when no satellite serves the user at all (dead
-/// constellation). When `rng` is given, user-link jitter is sampled.
-pub fn retrieve(
+/// * `.graceful(true)` (the default) walks the hop-budget **escalation
+///   ladder** and always resolves: when space cannot serve, the fetch
+///   degrades to the ground cache with the reason recorded — the old
+///   `retrieve_resilient` semantics.
+/// * `.graceful(false)` performs a single attempt at the **last** rung of
+///   the ladder (so `.hop_budget(n)` means "one attempt at budget n") and
+///   reports a dead zone as `outcome: None` — the old `retrieve`
+///   semantics.
+///
+/// Per-fetch user-link jitter is sampled from the caller's `rng` exactly
+/// as the shims sampled it, so replayed request sequences keep their RNG
+/// streams bit-aligned across the old and new APIs.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct RetrievalRequest {
+    /// Requesting user's position.
+    pub user: Geodetic,
+    /// Hop budgets to try in order (non-empty, strictly ascending). In
+    /// non-graceful mode only the last (widest) rung is attempted.
+    pub escalation: Vec<u32>,
+    /// RTT of the bent-pipe ground fallback (computed by the caller from
+    /// the network model so retrieval stays decoupled from PoP homing).
+    pub ground_fallback_rtt: Latency,
+    /// Walk the escalation ladder and degrade gracefully (`true`, the
+    /// default) vs. single-attempt semantics (`false`).
+    pub graceful: bool,
+}
+
+impl RetrievalRequest {
+    /// A fetch for `user` with the paper's default policy: the
+    /// 1 → 3 → 5 → 10 escalation ladder, a 160 ms ground fallback, and
+    /// graceful degradation.
+    pub fn new(user: Geodetic) -> Self {
+        RetrievalRequest {
+            user,
+            escalation: vec![1, 3, 5, 10],
+            ground_fallback_rtt: Latency::from_ms(160.0),
+            graceful: true,
+        }
+    }
+
+    /// Replace the escalation ladder with the single rung `budget`.
+    #[must_use]
+    pub fn hop_budget(mut self, budget: u32) -> Self {
+        self.escalation = vec![budget];
+        self
+    }
+
+    /// Replace the escalation ladder (must be non-empty and strictly
+    /// ascending — validated on execute).
+    #[must_use]
+    pub fn escalation(mut self, ladder: impl Into<Vec<u32>>) -> Self {
+        self.escalation = ladder.into();
+        self
+    }
+
+    /// Set the ground-fallback RTT.
+    #[must_use]
+    pub fn ground_fallback(mut self, rtt: Latency) -> Self {
+        self.ground_fallback_rtt = rtt;
+        self
+    }
+
+    /// Choose graceful-ladder (`true`) vs. single-attempt (`false`)
+    /// semantics.
+    #[must_use]
+    pub fn graceful(mut self, graceful: bool) -> Self {
+        self.graceful = graceful;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.escalation.is_empty() && self.escalation.windows(2).all(|w| w[0] < w[1]),
+            "escalation ladder must be non-empty and ascending"
+        );
+    }
+
+    /// Execute the request against one shell's topology snapshot and the
+    /// set of satellites currently caching the object. When `rng` is
+    /// given, user-link jitter is sampled (exactly once per fetch).
+    pub fn execute(
+        &self,
+        graph: &IslGraph,
+        access: &AccessModel,
+        caches: &BTreeSet<SatIndex>,
+        rng: Option<&mut DetRng>,
+    ) -> FetchResult {
+        self.validate();
+        if self.graceful {
+            resilient_fetch(
+                graph,
+                access,
+                self.user,
+                caches,
+                &self.escalation,
+                self.ground_fallback_rtt,
+                rng,
+            )
+        } else {
+            plain_fetch(
+                graph,
+                access,
+                self.user,
+                caches,
+                *self.escalation.last().expect("validated non-empty"),
+                self.ground_fallback_rtt,
+                rng,
+            )
+        }
+    }
+
+    /// Execute the request independently in every shell (ISLs do not
+    /// cross shells) and take the cheapest in-space result; fall back to
+    /// ground only when every shell misses.
+    ///
+    /// `shells` are per-shell topology snapshots at one instant;
+    /// `caches[i]` holds shell *i*'s copies. Each shell performs a single
+    /// attempt at the ladder's widest rung; `graceful` only decides how a
+    /// fully dead fleet is reported (`Some(Ground)` vs. `outcome: None`).
+    pub fn execute_multishell(
+        &self,
+        shells: &[IslGraph],
+        access: &AccessModel,
+        caches: &[BTreeSet<SatIndex>],
+        mut rng: Option<&mut DetRng>,
+    ) -> FetchResult {
+        self.validate();
+        assert_eq!(
+            shells.len(),
+            caches.len(),
+            "one cache set per shell required"
+        );
+        let budget = *self.escalation.last().expect("validated non-empty");
+        let mut best: Option<RetrievalOutcome> = None;
+        let mut any_alive = false;
+        for (graph, shell_caches) in shells.iter().zip(caches) {
+            let fetched = plain_fetch(
+                graph,
+                access,
+                self.user,
+                shell_caches,
+                budget,
+                self.ground_fallback_rtt,
+                rng.as_deref_mut(),
+            );
+            let Some(out) = fetched.outcome else {
+                continue;
+            };
+            any_alive = true;
+            if out.source == RetrievalSource::Ground {
+                continue; // prefer any in-space hit from another shell
+            }
+            if best
+                .as_ref()
+                .is_none_or(|b| b.source == RetrievalSource::Ground || out.rtt < b.rtt)
+            {
+                best = Some(out);
+            }
+        }
+        if let Some(out) = best {
+            return FetchResult {
+                outcome: Some(out),
+                attempts: 1,
+                degraded: None,
+            };
+        }
+        if any_alive {
+            return FetchResult {
+                outcome: Some(RetrievalOutcome {
+                    source: RetrievalSource::Ground,
+                    rtt: self.ground_fallback_rtt,
+                    serving_sat: None,
+                }),
+                attempts: 1,
+                degraded: Some(DegradeReason::BudgetExhausted),
+            };
+        }
+        FetchResult {
+            outcome: self.graceful.then_some(RetrievalOutcome {
+                source: RetrievalSource::Ground,
+                rtt: self.ground_fallback_rtt,
+                serving_sat: None,
+            }),
+            attempts: 0,
+            degraded: Some(DegradeReason::DeadZone),
+        }
+    }
+}
+
+/// The resolution of one [`RetrievalRequest`].
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResult {
+    /// The served fetch. `None` only for a non-graceful request in a dead
+    /// zone (no servable satellite and no modelled ground path); graceful
+    /// requests always resolve.
+    pub outcome: Option<RetrievalOutcome>,
+    /// Hop budgets tried (1 = first rung sufficed; 0 only in a dead zone,
+    /// where there was nothing to escalate).
+    pub attempts: u32,
+    /// `Some` when the fetch fell back to the ground cache (or found no
+    /// service at all).
+    pub degraded: Option<DegradeReason>,
+}
+
+impl FetchResult {
+    /// True when the fetch was served from a satellite (overhead or ISL).
+    pub fn space_hit(&self) -> bool {
+        self.outcome
+            .as_ref()
+            .is_some_and(|o| o.source != RetrievalSource::Ground)
+    }
+
+    /// The serving satellite, when space served.
+    pub fn serving_sat(&self) -> Option<SatIndex> {
+        self.outcome.as_ref().and_then(|o| o.serving_sat)
+    }
+}
+
+/// Single-attempt fetch at one hop budget — the moved body of the old
+/// `retrieve`, bit-for-bit (copy ordering, cost model, RNG sampling
+/// order, telemetry).
+fn plain_fetch(
     graph: &IslGraph,
     access: &AccessModel,
     user: Geodetic,
     caches: &BTreeSet<SatIndex>,
-    config: &RetrievalConfig,
+    max_isl_hops: u32,
+    ground_fallback_rtt: Latency,
     mut rng: Option<&mut DetRng>,
-) -> Option<RetrievalOutcome> {
-    let (overhead, up_slant) = graph.nearest_alive(user)?;
+) -> FetchResult {
+    let Some((overhead, up_slant)) = graph.nearest_alive(user) else {
+        return FetchResult {
+            outcome: None,
+            attempts: 0,
+            degraded: Some(DegradeReason::DeadZone),
+        };
+    };
 
     // Fast path: the overhead satellite itself.
     let overhead_hit = caches.contains(&overhead) && graph.is_alive(overhead);
@@ -117,7 +407,7 @@ pub fn retrieve(
                 continue;
             }
             let h = tables.hops[sat.as_usize()];
-            if h == u32::MAX || h > config.max_isl_hops {
+            if h == u32::MAX || h > max_isl_hops {
                 continue;
             }
             let (dist_km, route_hops) = tables.km[sat.as_usize()];
@@ -145,7 +435,7 @@ pub fn retrieve(
         // A rational client takes whichever source is cheaper: a copy at
         // the far edge of a generous hop budget can cost more than the
         // bent pipe to the ground cache.
-        if rtt <= config.ground_fallback_rtt {
+        if rtt <= ground_fallback_rtt {
             // The source reports the BFS hop distance — the "found within
             // n hops" metric of the paper — even when the latency-optimal
             // route takes more (shorter) hops.
@@ -157,119 +447,62 @@ pub fn retrieve(
                 ISL_HOPS.record(u64::from(bfs_hops));
                 RetrievalSource::Isl { hops: bfs_hops }
             };
-            return Some(RetrievalOutcome {
-                source,
-                rtt,
-                serving_sat: Some(serving),
-            });
+            return FetchResult {
+                outcome: Some(RetrievalOutcome {
+                    source,
+                    rtt,
+                    serving_sat: Some(serving),
+                }),
+                attempts: 1,
+                degraded: None,
+            };
         }
     }
 
     // Ground fallback: the caller-provided bent-pipe RTT (already includes
     // the user link, so no double counting).
     GROUND_FALLBACKS.incr();
-    if best.is_some() {
+    let reason = if best.is_some() {
         GROUND_CHEAPER.incr();
+        DegradeReason::GroundCheaper
     } else {
         BUDGET_MISSES.incr();
-    }
-    Some(RetrievalOutcome {
-        source: RetrievalSource::Ground,
-        rtt: config.ground_fallback_rtt,
-        serving_sat: None,
-    })
-}
-
-/// Why a resilient fetch degraded to the ground cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DegradeReason {
-    /// No satellite can serve the user at all (the terminal sees sky with
-    /// no servable satellite); traffic never reaches space.
-    DeadZone,
-    /// Every hop budget on the escalation ladder was tried and no alive
-    /// copy was reachable within the largest one.
-    BudgetExhausted,
-    /// Copies were reachable, but the bent pipe to the ground cache beat
-    /// every one of them on RTT.
-    GroundCheaper,
-}
-
-/// Retry/escalation policy of a resilient fetch.
-#[derive(Debug, Clone)]
-pub struct ResilientRetrievalConfig {
-    /// Hop budgets to try in order (must be non-empty and ascending —
-    /// the paper's 1 → 3 → 5 → 10 ladder by default). Each rung widens
-    /// the ISL search radius of the previous attempt.
-    pub escalation: Vec<u32>,
-    /// RTT of the ground fallback (see [`RetrievalConfig`]).
-    pub ground_fallback_rtt: Latency,
-}
-
-impl Default for ResilientRetrievalConfig {
-    fn default() -> Self {
-        ResilientRetrievalConfig {
-            escalation: vec![1, 3, 5, 10],
-            ground_fallback_rtt: Latency::from_ms(160.0),
-        }
+        DegradeReason::BudgetExhausted
+    };
+    FetchResult {
+        outcome: Some(RetrievalOutcome {
+            source: RetrievalSource::Ground,
+            rtt: ground_fallback_rtt,
+            serving_sat: None,
+        }),
+        attempts: 1,
+        degraded: Some(reason),
     }
 }
 
-/// One resolved resilient fetch. Unlike [`retrieve`], there is always an
-/// outcome: when space cannot serve, the fetch degrades to the ground
-/// cache with the reason recorded, it never returns `None`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ResilientOutcome {
-    /// The served fetch.
-    pub outcome: RetrievalOutcome,
-    /// Hop budgets tried (1 = first rung sufficed; 0 only in a dead
-    /// zone, where there was nothing to escalate).
-    pub attempts: u32,
-    /// `Some` when the fetch fell back to the ground cache.
-    pub degraded: Option<DegradeReason>,
-}
-
-/// Resolve one fetch with retry and graceful degradation: walk the
-/// config's hop-budget escalation ladder until a cached copy wins, then
-/// fall back to the ground cache with the failure reason recorded in
-/// telemetry.
-///
-/// Within each rung, copy selection is identical to [`retrieve`]
-/// (latency-optimal within the BFS hop budget). Escalation continues past
-/// a rung whose best copy loses to the ground fallback: a wider radius
-/// admits more copies, and the +Grid's long intra-plane hops mean a
-/// hop-farther copy can still be kilometre-cheaper. Routing always uses
-/// the *current* snapshot's tables, so routes computed here detour around
-/// links and satellites that died after the content was placed — the
-/// cache set is the warm-time intent, the graph is the present truth.
-///
-/// The user-link jitter (when `rng` is given) is sampled exactly once per
-/// fetch regardless of how many rungs are tried, so callers replaying a
-/// request sequence under different fault plans keep their RNG streams
-/// aligned.
-pub fn retrieve_resilient(
+/// Escalation-ladder fetch with graceful degradation — the moved body of
+/// the old `retrieve_resilient`, bit-for-bit.
+fn resilient_fetch(
     graph: &IslGraph,
     access: &AccessModel,
     user: Geodetic,
     caches: &BTreeSet<SatIndex>,
-    config: &ResilientRetrievalConfig,
+    escalation: &[u32],
+    ground_fallback_rtt: Latency,
     mut rng: Option<&mut DetRng>,
-) -> ResilientOutcome {
-    assert!(
-        !config.escalation.is_empty() && config.escalation.windows(2).all(|w| w[0] < w[1]),
-        "escalation ladder must be non-empty and ascending"
-    );
+) -> FetchResult {
     RESILIENT_FETCHES.incr();
 
     let Some((overhead, up_slant)) = graph.nearest_alive(user) else {
         RESILIENT_DEGRADED.incr();
         DEGRADED_DEAD_ZONE.incr();
         RESILIENT_ATTEMPTS.record(0);
-        return ResilientOutcome {
-            outcome: RetrievalOutcome {
+        return FetchResult {
+            outcome: Some(RetrievalOutcome {
                 source: RetrievalSource::Ground,
-                rtt: config.ground_fallback_rtt,
+                rtt: ground_fallback_rtt,
                 serving_sat: None,
-            },
+            }),
             attempts: 0,
             degraded: Some(DegradeReason::DeadZone),
         };
@@ -280,17 +513,18 @@ pub fn retrieve_resilient(
     };
 
     if caches.contains(&overhead) && graph.is_alive(overhead) {
-        // Same rationality check as `retrieve`: even an overhead hit can
-        // lose to the bent pipe when the user link alone exceeds it.
-        if user_link <= config.ground_fallback_rtt {
+        // Same rationality check as the single-attempt path: even an
+        // overhead hit can lose to the bent pipe when the user link alone
+        // exceeds it.
+        if user_link <= ground_fallback_rtt {
             OVERHEAD_HITS.incr();
             RESILIENT_ATTEMPTS.record(1);
-            return ResilientOutcome {
-                outcome: RetrievalOutcome {
+            return FetchResult {
+                outcome: Some(RetrievalOutcome {
                     source: RetrievalSource::Overhead,
                     rtt: user_link,
                     serving_sat: Some(overhead),
-                },
+                }),
                 attempts: 1,
                 degraded: None,
             };
@@ -299,20 +533,21 @@ pub fn retrieve_resilient(
         DEGRADED_GROUND_CHEAPER.incr();
         RESILIENT_DEGRADED.incr();
         RESILIENT_ATTEMPTS.record(1);
-        return ResilientOutcome {
-            outcome: RetrievalOutcome {
+        return FetchResult {
+            outcome: Some(RetrievalOutcome {
                 source: RetrievalSource::Ground,
-                rtt: config.ground_fallback_rtt,
+                rtt: ground_fallback_rtt,
                 serving_sat: None,
-            },
+            }),
             attempts: 1,
             degraded: Some(DegradeReason::GroundCheaper),
         };
     }
 
     // Scan the copy set once (BTreeSet order, the same deterministic
-    // order `retrieve` uses): each alive copy's BFS hop distance and
-    // space-segment cost over the current — possibly degraded — graph.
+    // order the single-attempt path uses): each alive copy's BFS hop
+    // distance and space-segment cost over the current — possibly
+    // degraded — graph.
     let tables = graph.routing_tables(overhead);
     let mut copies: Vec<(SatIndex, u32, Latency)> = Vec::new();
     for &sat in caches {
@@ -334,7 +569,7 @@ pub fn retrieve_resilient(
 
     let mut attempts = 0u32;
     let mut any_in_budget = false;
-    for &budget in &config.escalation {
+    for &budget in escalation {
         attempts += 1;
         if attempts > 1 {
             RESILIENT_RETRIES.incr();
@@ -353,16 +588,16 @@ pub fn retrieve_resilient(
         };
         any_in_budget = true;
         let rtt = user_link + space_cost;
-        if rtt <= config.ground_fallback_rtt {
+        if rtt <= ground_fallback_rtt {
             ISL_HITS.incr();
             ISL_HOPS.record(u64::from(bfs_hops));
             RESILIENT_ATTEMPTS.record(u64::from(attempts));
-            return ResilientOutcome {
-                outcome: RetrievalOutcome {
+            return FetchResult {
+                outcome: Some(RetrievalOutcome {
                     source: RetrievalSource::Isl { hops: bfs_hops },
                     rtt,
                     serving_sat: Some(serving),
-                },
+                }),
                 attempts,
                 degraded: None,
             };
@@ -381,14 +616,90 @@ pub fn retrieve_resilient(
     GROUND_FALLBACKS.incr();
     RESILIENT_DEGRADED.incr();
     RESILIENT_ATTEMPTS.record(u64::from(attempts));
-    ResilientOutcome {
-        outcome: RetrievalOutcome {
+    FetchResult {
+        outcome: Some(RetrievalOutcome {
             source: RetrievalSource::Ground,
-            rtt: config.ground_fallback_rtt,
+            rtt: ground_fallback_rtt,
             serving_sat: None,
-        },
+        }),
         attempts,
         degraded: Some(reason),
+    }
+}
+
+/// Resolve one fetch for a user at `user` against the set of satellites
+/// currently caching the object.
+///
+/// Copy selection is **latency-optimal within the hop budget**: among
+/// copies reachable in ≤ `max_isl_hops` ISL hops (BFS metric — the budget
+/// the paper sweeps), the one with the lowest propagation latency wins.
+/// Hop-nearest and latency-nearest differ on the +Grid because intra-plane
+/// hops are ~3× longer than inter-plane ones; a deployed SpaceCDN routes by
+/// latency.
+///
+/// Returns `None` only when no satellite serves the user at all (dead
+/// constellation). When `rng` is given, user-link jitter is sampled.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a RetrievalRequest (graceful(false) + hop_budget) and execute it, \
+            or fetch through a Scenario session"
+)]
+pub fn retrieve(
+    graph: &IslGraph,
+    access: &AccessModel,
+    user: Geodetic,
+    caches: &BTreeSet<SatIndex>,
+    config: &RetrievalConfig,
+    rng: Option<&mut DetRng>,
+) -> Option<RetrievalOutcome> {
+    RetrievalRequest::new(user)
+        .hop_budget(config.max_isl_hops)
+        .ground_fallback(config.ground_fallback_rtt)
+        .graceful(false)
+        .execute(graph, access, caches, rng)
+        .outcome
+}
+
+/// Resolve one fetch with retry and graceful degradation: walk the
+/// config's hop-budget escalation ladder until a cached copy wins, then
+/// fall back to the ground cache with the failure reason recorded in
+/// telemetry.
+///
+/// Within each rung, copy selection is identical to [`retrieve`]
+/// (latency-optimal within the BFS hop budget). Escalation continues past
+/// a rung whose best copy loses to the ground fallback: a wider radius
+/// admits more copies, and the +Grid's long intra-plane hops mean a
+/// hop-farther copy can still be kilometre-cheaper. Routing always uses
+/// the *current* snapshot's tables, so routes computed here detour around
+/// links and satellites that died after the content was placed — the
+/// cache set is the warm-time intent, the graph is the present truth.
+///
+/// The user-link jitter (when `rng` is given) is sampled exactly once per
+/// fetch regardless of how many rungs are tried, so callers replaying a
+/// request sequence under different fault plans keep their RNG streams
+/// aligned.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a RetrievalRequest (graceful by default) and execute it, \
+            or fetch through a Scenario session"
+)]
+pub fn retrieve_resilient(
+    graph: &IslGraph,
+    access: &AccessModel,
+    user: Geodetic,
+    caches: &BTreeSet<SatIndex>,
+    config: &ResilientRetrievalConfig,
+    rng: Option<&mut DetRng>,
+) -> ResilientOutcome {
+    let fetched = RetrievalRequest::new(user)
+        .escalation(config.escalation.clone())
+        .ground_fallback(config.ground_fallback_rtt)
+        .graceful(true)
+        .execute(graph, access, caches, rng);
+    ResilientOutcome {
+        outcome: fetched.outcome.expect("graceful fetch always resolves"),
+        attempts: fetched.attempts,
+        degraded: fetched.degraded,
     }
 }
 
@@ -399,54 +710,29 @@ pub fn retrieve_resilient(
 /// `shells` are per-shell topology snapshots at one instant; `caches[i]`
 /// holds shell *i*'s copies. The per-shell hop budget applies within each
 /// shell.
+#[deprecated(
+    since = "0.5.0",
+    note = "build a RetrievalRequest (graceful(false) + hop_budget) and call \
+            execute_multishell"
+)]
 pub fn retrieve_multishell(
     shells: &[IslGraph],
     access: &AccessModel,
     user: Geodetic,
     caches: &[BTreeSet<SatIndex>],
     config: &RetrievalConfig,
-    mut rng: Option<&mut DetRng>,
+    rng: Option<&mut DetRng>,
 ) -> Option<RetrievalOutcome> {
-    assert_eq!(
-        shells.len(),
-        caches.len(),
-        "one cache set per shell required"
-    );
-    let mut best: Option<RetrievalOutcome> = None;
-    let mut any_alive = false;
-    for (graph, shell_caches) in shells.iter().zip(caches) {
-        let Some(out) = retrieve(
-            graph,
-            access,
-            user,
-            shell_caches,
-            config,
-            rng.as_deref_mut(),
-        ) else {
-            continue;
-        };
-        any_alive = true;
-        if out.source == RetrievalSource::Ground {
-            continue; // prefer any in-space hit from another shell
-        }
-        if best
-            .as_ref()
-            .is_none_or(|b| b.source == RetrievalSource::Ground || out.rtt < b.rtt)
-        {
-            best = Some(out);
-        }
-    }
-    if best.is_some() {
-        return best;
-    }
-    any_alive.then_some(RetrievalOutcome {
-        source: RetrievalSource::Ground,
-        rtt: config.ground_fallback_rtt,
-        serving_sat: None,
-    })
+    RetrievalRequest::new(user)
+        .hop_budget(config.max_isl_hops)
+        .ground_fallback(config.ground_fallback_rtt)
+        .graceful(false)
+        .execute_multishell(shells, access, caches, rng)
+        .outcome
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite pins the deprecated shims on purpose
 mod tests {
     use super::*;
     use spacecdn_geo::SimTime;
@@ -821,5 +1107,98 @@ mod tests {
             );
             last = out.rtt.ms();
         }
+    }
+
+    #[test]
+    fn request_defaults_match_resilient_defaults() {
+        let req = RetrievalRequest::new(Geodetic::ground(0.0, 0.0));
+        let legacy = ResilientRetrievalConfig::default();
+        assert_eq!(req.escalation, legacy.escalation);
+        assert_eq!(
+            req.ground_fallback_rtt.ms().to_bits(),
+            legacy.ground_fallback_rtt.ms().to_bits()
+        );
+        assert!(req.graceful);
+    }
+
+    #[test]
+    fn request_dead_zone_reporting_by_gracefulness() {
+        let c = Constellation::new(spacecdn_orbit::shell::shells::test_shell());
+        let mut faults = FaultPlan::none();
+        for s in c.sat_indices() {
+            faults.fail_sat(s);
+        }
+        let g = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        let access = AccessModel::default();
+        let caches: BTreeSet<_> = [SatIndex(0)].into_iter().collect();
+        let req = RetrievalRequest::new(Geodetic::ground(10.0, 10.0));
+
+        let graceful = req.clone().execute(&g, &access, &caches, None);
+        assert_eq!(graceful.degraded, Some(DegradeReason::DeadZone));
+        assert_eq!(
+            graceful.outcome.unwrap().source,
+            RetrievalSource::Ground,
+            "graceful dead zone still resolves to ground"
+        );
+
+        let strict = req.graceful(false).execute(&g, &access, &caches, None);
+        assert_eq!(strict.outcome, None);
+        assert_eq!(strict.degraded, Some(DegradeReason::DeadZone));
+        assert_eq!(strict.attempts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "escalation ladder must be non-empty and ascending")]
+    fn request_rejects_descending_ladder() {
+        let (_, g, access) = setup();
+        RetrievalRequest::new(Geodetic::ground(0.0, 0.0))
+            .escalation(vec![5u32, 3])
+            .execute(&g, &access, &BTreeSet::new(), None);
+    }
+
+    #[test]
+    fn non_graceful_request_uses_widest_rung() {
+        // A copy 4 hops out: single attempt at the ladder's last rung (5)
+        // must serve it, exactly like hop_budget(5).
+        let (c, g, access) = setup();
+        let user = Geodetic::ground(-25.97, 32.57);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        let target = c.sat_at(c.plane_of(overhead) as i64 + 4, c.slot_of(overhead) as i64);
+        let caches: BTreeSet<_> = [target].into_iter().collect();
+        let ladder = RetrievalRequest::new(user)
+            .escalation(vec![1u32, 3, 5])
+            .ground_fallback(Latency::from_ms(200.0))
+            .graceful(false)
+            .execute(&g, &access, &caches, None);
+        let single = RetrievalRequest::new(user)
+            .hop_budget(5)
+            .ground_fallback(Latency::from_ms(200.0))
+            .graceful(false)
+            .execute(&g, &access, &caches, None);
+        assert_eq!(ladder, single);
+        assert_eq!(ladder.attempts, 1);
+        assert_eq!(
+            ladder.outcome.unwrap().source,
+            RetrievalSource::Isl { hops: 4 }
+        );
+    }
+
+    #[test]
+    fn fetch_result_helpers_classify_outcomes() {
+        let (_, g, access) = setup();
+        let user = Geodetic::ground(40.0, -3.7);
+        let (overhead, _) = g.nearest_alive(user).unwrap();
+        let hit = RetrievalRequest::new(user).execute(
+            &g,
+            &access,
+            &[overhead].into_iter().collect(),
+            None,
+        );
+        assert!(hit.space_hit());
+        assert_eq!(hit.serving_sat(), Some(overhead));
+
+        let miss = RetrievalRequest::new(user).execute(&g, &access, &BTreeSet::new(), None);
+        assert!(!miss.space_hit());
+        assert_eq!(miss.serving_sat(), None);
     }
 }

@@ -1,0 +1,317 @@
+//! Long-lived retrieval sessions.
+//!
+//! A [`Scenario`] owns everything a stream of fetches needs — the
+//! network, the temporal fault schedule, the current epoch's topology
+//! snapshot, the content-copy set, and the default retrieval policy — so
+//! callers resolving many requests stop re-plumbing five arguments per
+//! call. [`Scenario::advance_to`] moves simulated time: the snapshot is
+//! rebuilt through the process-wide pool (so concurrent campaigns at the
+//! same epoch share one graph) with the schedule lowered to the fault
+//! plan of that instant.
+//!
+//! The scenario path is bit-identical to the deprecated free-function
+//! shims in [`crate::retrieval`]: `Scenario::fetch` executes the same
+//! [`RetrievalRequest`] machinery against the same pooled graphs, which
+//! the equivalence suite (`crates/core/tests/equivalence.rs`) proves on
+//! randomized shells, schedules, and epochs.
+
+use crate::network::LsnNetwork;
+use crate::retrieval::{FetchResult, RetrievalRequest};
+use spacecdn_geo::{DetRng, Geodetic, Latency, SimTime};
+use spacecdn_lsn::{FaultSchedule, IslGraph};
+use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::LazyCounter;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Session counters (stable: pure tallies of deterministic work).
+static SCENARIO_FETCHES: LazyCounter = LazyCounter::stable("core.scenario.fetches");
+static SCENARIO_ADVANCES: LazyCounter = LazyCounter::stable("core.scenario.epoch_advances");
+
+/// A retrieval session: network + fault schedule + current snapshot +
+/// copy set + default policy, reused across many requests.
+///
+/// Build one with [`Scenario::builder`], move time with
+/// [`Scenario::advance_to`], and resolve fetches with
+/// [`Scenario::fetch`] (explicit request) or [`Scenario::fetch_user`]
+/// (session-default policy).
+pub struct Scenario {
+    net: LsnNetwork,
+    schedule: FaultSchedule,
+    epoch: SimTime,
+    graph: Arc<IslGraph>,
+    copies: BTreeSet<SatIndex>,
+    escalation: Vec<u32>,
+    ground_fallback_rtt: Latency,
+    graceful: bool,
+}
+
+/// Builder for [`Scenario`] (see [`Scenario::builder`]).
+pub struct ScenarioBuilder {
+    net: LsnNetwork,
+    schedule: FaultSchedule,
+    copies: BTreeSet<SatIndex>,
+    escalation: Vec<u32>,
+    ground_fallback_rtt: Latency,
+    graceful: bool,
+    start: SimTime,
+}
+
+impl ScenarioBuilder {
+    /// Attach a temporal fault schedule (default: pristine fleet).
+    #[must_use]
+    pub fn schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Seed the content-copy set (default: empty).
+    #[must_use]
+    pub fn copies(mut self, copies: BTreeSet<SatIndex>) -> Self {
+        self.copies = copies;
+        self
+    }
+
+    /// Default hop-budget escalation ladder for session fetches
+    /// (default: the paper's 1 → 3 → 5 → 10).
+    #[must_use]
+    pub fn escalation(mut self, ladder: impl Into<Vec<u32>>) -> Self {
+        self.escalation = ladder.into();
+        self
+    }
+
+    /// Collapse the default ladder to a single rung.
+    #[must_use]
+    pub fn hop_budget(mut self, budget: u32) -> Self {
+        self.escalation = vec![budget];
+        self
+    }
+
+    /// Default ground-fallback RTT for session fetches (default: 160 ms).
+    #[must_use]
+    pub fn ground_fallback(mut self, rtt: Latency) -> Self {
+        self.ground_fallback_rtt = rtt;
+        self
+    }
+
+    /// Default gracefulness for session fetches (default: `true`).
+    #[must_use]
+    pub fn graceful(mut self, graceful: bool) -> Self {
+        self.graceful = graceful;
+        self
+    }
+
+    /// Epoch the session opens at (default: [`SimTime::EPOCH`]).
+    #[must_use]
+    pub fn start_at(mut self, t: SimTime) -> Self {
+        self.start = t;
+        self
+    }
+
+    /// Build the session, constructing the opening snapshot.
+    pub fn build(self) -> Scenario {
+        let graph = self
+            .net
+            .snapshot(self.start, &self.schedule.plan_at(self.start))
+            .graph_handle();
+        Scenario {
+            net: self.net,
+            schedule: self.schedule,
+            epoch: self.start,
+            graph,
+            copies: self.copies,
+            escalation: self.escalation,
+            ground_fallback_rtt: self.ground_fallback_rtt,
+            graceful: self.graceful,
+        }
+    }
+}
+
+impl Scenario {
+    /// Start building a session over `net`.
+    pub fn builder(net: LsnNetwork) -> ScenarioBuilder {
+        ScenarioBuilder {
+            net,
+            schedule: FaultSchedule::none(),
+            copies: BTreeSet::new(),
+            escalation: vec![1, 3, 5, 10],
+            ground_fallback_rtt: Latency::from_ms(160.0),
+            graceful: true,
+            start: SimTime::EPOCH,
+        }
+    }
+
+    /// The owned network.
+    pub fn network(&self) -> &LsnNetwork {
+        &self.net
+    }
+
+    /// The session's fault schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> SimTime {
+        self.epoch
+    }
+
+    /// The current epoch's topology snapshot.
+    pub fn graph(&self) -> &IslGraph {
+        &self.graph
+    }
+
+    /// A shared handle to the current snapshot (e.g. for parallel request
+    /// streams that outlive a later `advance_to`).
+    pub fn graph_handle(&self) -> Arc<IslGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The current content-copy set.
+    pub fn copies(&self) -> &BTreeSet<SatIndex> {
+        &self.copies
+    }
+
+    /// Mutable access to the copy set (warm, evict, invalidate).
+    pub fn copies_mut(&mut self) -> &mut BTreeSet<SatIndex> {
+        &mut self.copies
+    }
+
+    /// Replace the copy set wholesale.
+    pub fn set_copies(&mut self, copies: BTreeSet<SatIndex>) {
+        self.copies = copies;
+    }
+
+    /// Move the session to epoch `t`: lower the fault schedule to that
+    /// instant and swap in the (pooled) topology snapshot.
+    pub fn advance_to(&mut self, t: SimTime) {
+        SCENARIO_ADVANCES.incr();
+        self.epoch = t;
+        self.graph = self
+            .net
+            .snapshot(t, &self.schedule.plan_at(t))
+            .graph_handle();
+    }
+
+    /// A request pre-filled with the session's default policy, ready for
+    /// per-call overrides before [`Scenario::fetch`].
+    pub fn request(&self, user: Geodetic) -> RetrievalRequest {
+        RetrievalRequest::new(user)
+            .escalation(self.escalation.clone())
+            .ground_fallback(self.ground_fallback_rtt)
+            .graceful(self.graceful)
+    }
+
+    /// Execute `req` against the current snapshot and copy set.
+    pub fn fetch(&self, req: &RetrievalRequest, rng: Option<&mut DetRng>) -> FetchResult {
+        SCENARIO_FETCHES.incr();
+        req.execute(&self.graph, self.net.access(), &self.copies, rng)
+    }
+
+    /// Resolve a fetch for `user` under the session's default policy.
+    pub fn fetch_user(&self, user: Geodetic, rng: Option<&mut DetRng>) -> FetchResult {
+        let req = self.request(user);
+        self.fetch(&req, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementStrategy;
+    use crate::retrieval::RetrievalSource;
+    use spacecdn_geo::SimDuration;
+    use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+    use spacecdn_terra::fiber::FiberModel;
+
+    fn small_net() -> LsnNetwork {
+        LsnNetwork::new(
+            Constellation::new(shells::test_shell()),
+            Vec::new(),
+            AccessModel::default(),
+            FiberModel::default(),
+        )
+    }
+
+    #[test]
+    fn session_fetch_matches_direct_request_execution() {
+        let net = small_net();
+        let c_len = net.constellation().len();
+        let mut rng = DetRng::new(9, "scenario/copies");
+        let copies: BTreeSet<_> = (0..4).map(|_| SatIndex(rng.index(c_len) as u32)).collect();
+        let t = SimTime::from_secs(314);
+
+        let direct_graph = IslGraph::build(net.constellation(), t, &FaultPlan::none());
+        let user = Geodetic::ground(12.0, 34.0);
+        let req = RetrievalRequest::new(user).ground_fallback(Latency::from_ms(120.0));
+        let direct = req.execute(&direct_graph, net.access(), &copies, None);
+
+        let mut sc = Scenario::builder(net)
+            .copies(copies)
+            .ground_fallback(Latency::from_ms(120.0))
+            .build();
+        sc.advance_to(t);
+        let via_session = sc.fetch_user(user, None);
+        assert_eq!(direct, via_session);
+    }
+
+    #[test]
+    fn advance_to_applies_the_schedule() {
+        let net = small_net();
+        let all: Vec<_> = net.constellation().sat_indices().collect();
+        let mut schedule = FaultSchedule::none();
+        // Whole fleet out from t=100s onward: before that space serves,
+        // after it every fetch is a dead zone.
+        for &s in &all {
+            schedule.sat_outage(s, SimTime::from_secs(100), None);
+        }
+        let copies: BTreeSet<_> = all.into_iter().collect();
+        let mut sc = Scenario::builder(net)
+            .schedule(schedule)
+            .copies(copies)
+            .build();
+        let user = Geodetic::ground(10.0, 10.0);
+
+        let before = sc.fetch_user(user, None);
+        assert!(before.space_hit(), "pristine fleet must serve from space");
+
+        sc.advance_to(SimTime::from_secs(100) + SimDuration::from_secs(1));
+        let after = sc.fetch_user(user, None);
+        assert_eq!(
+            after.outcome.unwrap().source,
+            RetrievalSource::Ground,
+            "after the outage the fetch degrades to ground"
+        );
+        assert_eq!(after.attempts, 0);
+    }
+
+    #[test]
+    fn session_request_carries_policy_defaults() {
+        let net = small_net();
+        let sc = Scenario::builder(net)
+            .escalation(vec![2u32, 6])
+            .ground_fallback(Latency::from_ms(90.0))
+            .graceful(false)
+            .build();
+        let req = sc.request(Geodetic::ground(0.0, 0.0));
+        assert_eq!(req.escalation, vec![2, 6]);
+        assert_eq!(req.ground_fallback_rtt, Latency::from_ms(90.0));
+        assert!(!req.graceful);
+    }
+
+    #[test]
+    fn copies_mut_roundtrips() {
+        let net = small_net();
+        let mut sc = Scenario::builder(net).build();
+        assert!(sc.copies().is_empty());
+        let mut rng = DetRng::new(3, "scenario/place");
+        let placed =
+            PlacementStrategy::PerPlane { k: 1 }.place(sc.network().constellation(), &mut rng);
+        sc.set_copies(placed.clone());
+        assert_eq!(sc.copies(), &placed);
+        sc.copies_mut().clear();
+        assert!(sc.copies().is_empty());
+    }
+}

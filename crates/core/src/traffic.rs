@@ -1,0 +1,716 @@
+//! The steady-state traffic engine: request-driven simulation of
+//! Zipf-distributed content demand against warm per-satellite caches.
+//!
+//! Everything else in this crate resolves *one* fetch against a fixed
+//! copy set. This module runs the workload the ROADMAP's
+//! million-user north star needs: weighted population sources issue
+//! Poisson request arrivals on the [`spacecdn_des`] event core, each
+//! request resolves through the unified [`RetrievalRequest`] machinery
+//! against per-satellite LRU+TTL caches that warm by pull-through, hit,
+//! evict under capacity pressure, expire on TTL, and are invalidated
+//! wholesale when the fault schedule kills their satellite at an epoch
+//! boundary.
+//!
+//! # Determinism contract
+//!
+//! The catalog is partitioned into `streams` disjoint shards by content
+//! id. Each shard runs as an independent task on [`spacecdn_engine::par_map`]
+//! with its own `DetRng` stream (`traffic/stream/{s}`), its own event
+//! queue, and its own cache fleet; shards only share the **read-only**
+//! per-epoch topology snapshots. Shard samplers are built with
+//! [`ZipfSampler::over_ranks`], so the union of all shards reproduces the
+//! global Zipf demand exactly while no mutable state crosses a thread
+//! boundary. Reports merge in shard order. The result: byte-identical
+//! output at any thread count, proven by `tests/determinism.rs`.
+
+use crate::duty_cycle::DutyCycler;
+use crate::retrieval::{DegradeReason, RetrievalRequest, RetrievalSource};
+use crate::scenario::Scenario;
+use spacecdn_content::cache::{Cache, LruCache};
+use spacecdn_content::catalog::{Catalog, ContentId};
+use spacecdn_content::popularity::ZipfSampler;
+use spacecdn_content::ttl::TtlCache;
+use spacecdn_des::{run_until, Percentiles, Scheduler};
+use spacecdn_engine::par_map_indices;
+use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
+use spacecdn_lsn::IslGraph;
+use spacecdn_orbit::SatIndex;
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Traffic counters (stable: per-stream work is deterministic and the
+/// tallies are sums over streams, so they are identical at any thread
+/// count).
+static REQUESTS: LazyCounter = LazyCounter::stable("core.traffic.requests");
+static HITS_OVERHEAD: LazyCounter = LazyCounter::stable("core.traffic.hits.overhead");
+static HITS_ISL: LazyCounter = LazyCounter::stable("core.traffic.hits.isl");
+static ORIGIN_FETCHES: LazyCounter = LazyCounter::stable("core.traffic.origin_fetches");
+static DEAD_ZONES: LazyCounter = LazyCounter::stable("core.traffic.dead_zones");
+static INSERTS: LazyCounter = LazyCounter::stable("core.traffic.inserts");
+static EVICTIONS: LazyCounter = LazyCounter::stable("core.traffic.evictions");
+static TTL_EXPIRIES: LazyCounter = LazyCounter::stable("core.traffic.ttl_expiries");
+static INVALIDATIONS: LazyCounter = LazyCounter::stable("core.traffic.invalidations");
+/// Per-request served latency in microseconds (stable: latencies are
+/// deterministic, so the log2 bucket tallies are thread-count-invariant).
+static LATENCY_US: LazyHistogram = LazyHistogram::stable("core.traffic.latency_us", Unit::Count);
+
+/// One demand source: a population point issuing requests.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    /// Where the requests originate.
+    pub position: Geodetic,
+    /// Relative request weight (e.g. population in units of ~2M); must be
+    /// ≥ 1.
+    pub weight: u32,
+    /// Ground-fallback RTT per epoch (bent pipe to the PoP plus anycast
+    /// to the nearest CDN site, computed by the caller); must have one
+    /// entry per simulated epoch.
+    pub fallback_rtt: Vec<Latency>,
+}
+
+/// Workload parameters of a traffic run.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Total requests across all streams.
+    pub requests: u64,
+    /// Catalog shards simulated as independent parallel streams. This is
+    /// a *semantic* parameter (it fixes the partition and the RNG
+    /// streams), not a thread count: output is byte-identical however
+    /// many threads execute the shards.
+    pub streams: usize,
+    /// Topology epochs to simulate (the constellation rotates and the
+    /// fault schedule lowers to a new plan at each).
+    pub epochs: usize,
+    /// Wall-clock spacing of topology epochs.
+    pub epoch_step: SimDuration,
+    /// Number of objects in the generated catalog.
+    pub catalog_size: usize,
+    /// Zipf exponent of demand.
+    pub zipf_alpha: f64,
+    /// Aggregate cache capacity per satellite, bytes (split evenly across
+    /// streams).
+    pub cache_bytes_per_sat: u64,
+    /// Freshness lifetime of cached objects.
+    pub ttl: SimDuration,
+    /// Fraction of satellites allowed to cache at any instant (Figure
+    /// 8's thermal duty cycling); inserts on inactive satellites are
+    /// skipped.
+    pub duty_fraction: f64,
+    /// Duty-cycle slot length.
+    pub duty_slot: SimDuration,
+    /// Hop-budget escalation ladder for every fetch.
+    pub escalation: Vec<u32>,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            requests: 50_000,
+            streams: 8,
+            epochs: 3,
+            epoch_step: SimDuration::from_secs(157),
+            catalog_size: 10_000,
+            zipf_alpha: 0.9,
+            cache_bytes_per_sat: 8 << 30,
+            ttl: SimDuration::from_mins(30),
+            duty_fraction: 1.0,
+            duty_slot: SimDuration::from_mins(10),
+            escalation: vec![1, 3, 5, 10],
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of a traffic run.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests served by the overhead satellite's cache.
+    pub overhead_hits: u64,
+    /// Requests served over ISLs from a nearby satellite's cache.
+    pub isl_hits: u64,
+    /// Requests that fell back to the terrestrial origin/ground cache.
+    pub origin_fetches: u64,
+    /// Origin fetches caused by a dead zone (no servable satellite).
+    pub dead_zones: u64,
+    /// Pull-through cache fills.
+    pub inserts: u64,
+    /// Objects evicted under capacity pressure (LRU).
+    pub evictions: u64,
+    /// Objects dropped because their TTL lapsed.
+    pub ttl_expiries: u64,
+    /// Objects wiped because their satellite failed at an epoch boundary.
+    pub invalidations: u64,
+    /// Bytes served from satellite caches.
+    pub served_bytes: u64,
+    /// Bytes fetched from the terrestrial origin.
+    pub origin_bytes: u64,
+    /// Per-request served latency (milliseconds).
+    pub latencies: Percentiles,
+    /// ISL-hit hop histogram: index = BFS hop distance of the serving
+    /// satellite.
+    pub hop_histogram: Vec<u64>,
+}
+
+impl TrafficReport {
+    /// Fraction of requests served from space (overhead + ISL).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.overhead_hits + self.isl_hits) as f64 / self.requests as f64
+    }
+
+    /// Fraction of delivered bytes that never touched the terrestrial
+    /// origin — the quantity that decides whether in-orbit caching pays.
+    pub fn origin_offload(&self) -> f64 {
+        let total = self.served_bytes + self.origin_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.served_bytes as f64 / total as f64
+    }
+
+    fn merge(&mut self, other: &TrafficReport) {
+        self.requests += other.requests;
+        self.overhead_hits += other.overhead_hits;
+        self.isl_hits += other.isl_hits;
+        self.origin_fetches += other.origin_fetches;
+        self.dead_zones += other.dead_zones;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.ttl_expiries += other.ttl_expiries;
+        self.invalidations += other.invalidations;
+        self.served_bytes += other.served_bytes;
+        self.origin_bytes += other.origin_bytes;
+        self.latencies.merge(&other.latencies);
+        if self.hop_histogram.len() < other.hop_histogram.len() {
+            self.hop_histogram.resize(other.hop_histogram.len(), 0);
+        }
+        for (i, &n) in other.hop_histogram.iter().enumerate() {
+            self.hop_histogram[i] += n;
+        }
+    }
+}
+
+/// Events on one stream's queue.
+enum TrafficEvent {
+    /// One request fires.
+    Arrival,
+    /// The constellation advances to epoch `e` (snapshot swap + cache
+    /// invalidation of newly failed satellites).
+    EpochStart(usize),
+}
+
+/// Mutable state of one catalog shard's simulation.
+struct StreamWorld<'a> {
+    rng: DetRng,
+    caches: HashMap<SatIndex, TtlCache<LruCache>>,
+    holders: HashMap<ContentId, BTreeSet<SatIndex>>,
+    epoch: usize,
+    issued: u64,
+    quota: u64,
+    report: TrafficReport,
+    // Shard demand model.
+    sampler: ZipfSampler,
+    shard_ids: Vec<ContentId>,
+    // Shared read-only context.
+    graphs: &'a [Arc<IslGraph>],
+    sources: &'a [TrafficSource],
+    weight_cdf: &'a [u64],
+    catalog: &'a Catalog,
+    duty: &'a DutyCycler,
+    cfg: &'a TrafficConfig,
+    net_access: &'a spacecdn_lsn::AccessModel,
+    cache_bytes: u64,
+    horizon: SimTime,
+    mean_interarrival_s: f64,
+}
+
+impl StreamWorld<'_> {
+    /// Schedule the next arrival, clamped to the horizon so every stream
+    /// issues exactly its quota.
+    fn schedule_next_arrival(&mut self, sched: &mut Scheduler<TrafficEvent>, now: SimTime) {
+        if self.issued >= self.quota {
+            return;
+        }
+        let gap = SimDuration::from_secs_f64(self.rng.exponential(self.mean_interarrival_s));
+        let at = (now + gap).min(self.horizon);
+        sched.schedule_at(at, TrafficEvent::Arrival);
+    }
+
+    /// Resolve one request at simulated time `t`.
+    fn arrival(&mut self, t: SimTime) {
+        self.issued += 1;
+        self.report.requests += 1;
+        REQUESTS.incr();
+
+        // Weighted source, then shard-conditional Zipf content.
+        let total = *self.weight_cdf.last().expect("non-empty sources");
+        let roll = self.rng.index(total as usize) as u64;
+        let si = self.weight_cdf.partition_point(|&c| c <= roll);
+        let source = &self.sources[si];
+        let content = self.shard_ids[self.sampler.sample(&mut self.rng)];
+        let size = self.catalog.get(content).expect("catalog id").size_bytes;
+
+        let graph = &self.graphs[self.epoch];
+        // Candidate holders: alive satellites whose cached copy is still
+        // fresh. `is_fresh` purges (and counts) TTL-lapsed entries, and
+        // the holder index is pruned in the same pass — entries evicted
+        // by LRU pressure on other objects' inserts are caught here too.
+        let valid: BTreeSet<SatIndex> = match self.holders.get(&content) {
+            Some(holding) => holding
+                .iter()
+                .copied()
+                .filter(|&sat| {
+                    graph.is_alive(sat)
+                        && self.caches.get_mut(&sat).is_some_and(|cache| {
+                            cache.set_now(t);
+                            cache.is_fresh(content)
+                        })
+                })
+                .collect(),
+            None => BTreeSet::new(),
+        };
+        if valid.is_empty() {
+            self.holders.remove(&content);
+        } else {
+            self.holders.insert(content, valid.clone());
+        }
+
+        let req = RetrievalRequest::new(source.position)
+            .escalation(self.cfg.escalation.clone())
+            .ground_fallback(source.fallback_rtt[self.epoch]);
+        let fetched = req.execute(graph, self.net_access, &valid, Some(&mut self.rng));
+        let outcome = fetched.outcome.expect("graceful fetch always resolves");
+
+        match outcome.source {
+            RetrievalSource::Overhead => {
+                self.report.overhead_hits += 1;
+                HITS_OVERHEAD.incr();
+                self.touch(outcome.serving_sat.expect("space hit"), content, t);
+                self.report.served_bytes += size;
+            }
+            RetrievalSource::Isl { hops } => {
+                self.report.isl_hits += 1;
+                HITS_ISL.incr();
+                let h = hops as usize;
+                if self.report.hop_histogram.len() <= h {
+                    self.report.hop_histogram.resize(h + 1, 0);
+                }
+                self.report.hop_histogram[h] += 1;
+                self.touch(outcome.serving_sat.expect("space hit"), content, t);
+                self.report.served_bytes += size;
+            }
+            RetrievalSource::Ground => {
+                self.report.origin_fetches += 1;
+                ORIGIN_FETCHES.incr();
+                self.report.origin_bytes += size;
+                if fetched.degraded == Some(DegradeReason::DeadZone) {
+                    self.report.dead_zones += 1;
+                    DEAD_ZONES.incr();
+                } else {
+                    // Pull-through fill: the overhead satellite caches the
+                    // object on the way down — when the duty cycle lets it.
+                    self.pull_through(graph, source.position, content, size, t);
+                }
+            }
+        }
+
+        self.report.latencies.add_latency(outcome.rtt);
+        LATENCY_US.record((outcome.rtt.ms() * 1000.0) as u64);
+    }
+
+    /// Record a cache hit on the serving satellite (LRU recency + stats).
+    fn touch(&mut self, sat: SatIndex, content: ContentId, t: SimTime) {
+        let cache = self.caches.get_mut(&sat).expect("holder has a cache");
+        cache.set_now(t);
+        cache.get(content);
+    }
+
+    /// Insert `content` into the overhead satellite's cache after an
+    /// origin fetch, if the duty cycle allows that satellite to cache.
+    fn pull_through(
+        &mut self,
+        graph: &IslGraph,
+        user: Geodetic,
+        content: ContentId,
+        size: u64,
+        t: SimTime,
+    ) {
+        let Some((overhead, _)) = graph.nearest_alive(user) else {
+            return;
+        };
+        if !self.duty.is_active(overhead, t) {
+            return;
+        }
+        let cache = self
+            .caches
+            .entry(overhead)
+            .or_insert_with(|| TtlCache::new(LruCache::new(self.cache_bytes), self.cfg.ttl));
+        cache.set_now(t);
+        if cache.insert(content, size) {
+            self.report.inserts += 1;
+            INSERTS.incr();
+            self.holders.entry(content).or_default().insert(overhead);
+        }
+    }
+
+    /// Swap to epoch `e`'s snapshot and wipe caches of satellites the
+    /// fault schedule killed (a rebooted or dead satellite loses its
+    /// contents; holders are pruned lazily via the freshness check).
+    fn epoch_start(&mut self, e: usize) {
+        self.epoch = e;
+        let graph = &self.graphs[e];
+        for (&sat, cache) in self.caches.iter_mut() {
+            if !graph.is_alive(sat) && !cache.is_empty() {
+                let dropped = cache.len() as u64;
+                self.report.invalidations += dropped;
+                INVALIDATIONS.add(dropped);
+                cache.clear();
+            }
+        }
+    }
+}
+
+/// Drive `cfg.requests` Zipf-distributed requests from `sources` through
+/// the scenario's constellation and fault schedule, warming per-satellite
+/// LRU+TTL caches by pull-through.
+///
+/// The scenario provides the network, the fault schedule, and the pooled
+/// per-epoch snapshots (it is advanced through
+/// `0..cfg.epochs × cfg.epoch_step` and left at the last epoch). Retrieval
+/// policy for each request comes from `cfg.escalation` with the source's
+/// per-epoch ground-fallback RTT; fetches are graceful, so every request
+/// resolves.
+///
+/// # Panics
+/// Panics on an empty source list, a zero weight, a source whose
+/// `fallback_rtt` length differs from `cfg.epochs`, or a catalog smaller
+/// than the stream count.
+pub fn run_traffic(
+    scenario: &mut Scenario,
+    sources: &[TrafficSource],
+    cfg: &TrafficConfig,
+) -> TrafficReport {
+    assert!(!sources.is_empty(), "traffic needs at least one source");
+    assert!(cfg.streams >= 1, "traffic needs at least one stream");
+    assert!(cfg.epochs >= 1, "traffic needs at least one epoch");
+    assert!(
+        cfg.catalog_size >= cfg.streams,
+        "catalog must have at least one object per stream"
+    );
+    for s in sources {
+        assert!(s.weight >= 1, "source weights must be ≥ 1");
+        assert_eq!(
+            s.fallback_rtt.len(),
+            cfg.epochs,
+            "one fallback RTT per epoch required"
+        );
+    }
+
+    // Per-epoch snapshots, shared read-only by every stream (built
+    // through the scenario so the process-wide pool deduplicates them
+    // across duty fractions and campaigns).
+    let mut graphs = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        scenario.advance_to(SimTime::EPOCH + cfg.epoch_step.mul(e as u64));
+        graphs.push(scenario.graph_handle());
+    }
+
+    let catalog = Catalog::generate(
+        cfg.catalog_size,
+        &[],
+        0.0,
+        &mut DetRng::new(cfg.seed, "traffic/catalog"),
+    );
+    // Popularity rank → content id, decoupled from id order by one
+    // seeded shuffle.
+    let mut by_rank: Vec<ContentId> = catalog.objects().iter().map(|o| o.id).collect();
+    DetRng::new(cfg.seed, "traffic/ranks").shuffle(&mut by_rank);
+
+    let weight_cdf: Vec<u64> = sources
+        .iter()
+        .scan(0u64, |acc, s| {
+            *acc += u64::from(s.weight);
+            Some(*acc)
+        })
+        .collect();
+
+    let duty = DutyCycler::new(cfg.duty_fraction, cfg.duty_slot, cfg.seed);
+    let cache_bytes = (cfg.cache_bytes_per_sat / cfg.streams as u64).max(1);
+    let horizon = SimTime::EPOCH + cfg.epoch_step.mul(cfg.epochs as u64);
+    let net_access = scenario.network().access();
+
+    let reports = par_map_indices(cfg.streams, |s| {
+        // This stream's catalog shard: global ranks whose content id
+        // falls in residue class `s`.
+        let ranks: Vec<usize> = (0..cfg.catalog_size)
+            .filter(|&r| by_rank[r].0 as usize % cfg.streams == s)
+            .collect();
+        let shard_ids: Vec<ContentId> = ranks.iter().map(|&r| by_rank[r]).collect();
+        let quota = cfg.requests / cfg.streams as u64
+            + u64::from((s as u64) < cfg.requests % cfg.streams as u64);
+
+        let mut world = StreamWorld {
+            rng: DetRng::new(cfg.seed, &format!("traffic/stream/{s}")),
+            caches: HashMap::new(),
+            holders: HashMap::new(),
+            epoch: 0,
+            issued: 0,
+            quota,
+            report: TrafficReport::default(),
+            sampler: ZipfSampler::over_ranks(&ranks, cfg.zipf_alpha),
+            shard_ids,
+            graphs: &graphs,
+            sources,
+            weight_cdf: &weight_cdf,
+            catalog: &catalog,
+            duty: &duty,
+            cfg,
+            net_access,
+            cache_bytes,
+            horizon,
+            mean_interarrival_s: horizon.as_secs_f64() / quota.max(1) as f64,
+        };
+
+        let mut sched: Scheduler<TrafficEvent> = Scheduler::new();
+        for e in 1..cfg.epochs {
+            sched.schedule_at(
+                SimTime::EPOCH + cfg.epoch_step.mul(e as u64),
+                TrafficEvent::EpochStart(e),
+            );
+        }
+        world.schedule_next_arrival(&mut sched, SimTime::EPOCH);
+
+        run_until(
+            &mut world,
+            &mut sched,
+            horizon,
+            |w, sched, t, ev| match ev {
+                TrafficEvent::Arrival => {
+                    w.arrival(t);
+                    w.schedule_next_arrival(sched, t);
+                }
+                TrafficEvent::EpochStart(e) => w.epoch_start(e),
+            },
+        );
+        debug_assert_eq!(world.issued, world.quota, "stream {s} must meet its quota");
+
+        // End-of-stream cache accounting: evictions accumulate in the
+        // inner LRU stats, expiries in the TTL wrapper.
+        for cache in world.caches.values() {
+            world.report.evictions += cache.stats().evictions;
+            world.report.ttl_expiries += cache.expired_purges();
+        }
+        EVICTIONS.add(world.report.evictions);
+        TTL_EXPIRIES.add(world.report.ttl_expiries);
+        world.report
+    });
+
+    let mut merged = TrafficReport::default();
+    for r in &reports {
+        merged.merge(r);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LsnNetwork;
+    use spacecdn_lsn::{AccessModel, FaultSchedule};
+    use spacecdn_orbit::shell::shells;
+    use spacecdn_orbit::Constellation;
+    use spacecdn_terra::fiber::FiberModel;
+
+    fn small_scenario(schedule: FaultSchedule) -> Scenario {
+        Scenario::builder(LsnNetwork::new(
+            Constellation::new(shells::starlink_shell1()),
+            Vec::new(),
+            AccessModel::default(),
+            FiberModel::default(),
+        ))
+        .schedule(schedule)
+        .build()
+    }
+
+    fn test_sources(epochs: usize) -> Vec<TrafficSource> {
+        [
+            (40.4, -3.7, 6u32),
+            (-25.97, 32.57, 2),
+            (51.5, -0.13, 9),
+            (-1.29, 36.82, 4),
+            (35.68, 139.69, 10),
+        ]
+        .into_iter()
+        .map(|(lat, lon, weight)| TrafficSource {
+            position: Geodetic::ground(lat, lon),
+            weight,
+            fallback_rtt: vec![Latency::from_ms(140.0); epochs],
+        })
+        .collect()
+    }
+
+    fn quick_cfg() -> TrafficConfig {
+        TrafficConfig {
+            requests: 3_000,
+            streams: 4,
+            epochs: 2,
+            catalog_size: 500,
+            cache_bytes_per_sat: 256 << 20,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn caches_warm_and_hit_ratio_climbs() {
+        let cfg = quick_cfg();
+        let mut sc = small_scenario(FaultSchedule::none());
+        let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        assert_eq!(report.requests, cfg.requests);
+        assert!(report.inserts > 0, "pull-through must fill caches");
+        assert!(
+            report.hit_ratio() > 0.2,
+            "warm Zipf demand must hit: {}",
+            report.hit_ratio()
+        );
+        assert!(report.origin_fetches > 0, "cold start must miss");
+        assert_eq!(
+            report.overhead_hits + report.isl_hits + report.origin_fetches,
+            report.requests
+        );
+        assert_eq!(report.latencies.len() as u64, report.requests);
+        assert!(report.origin_offload() > 0.0);
+    }
+
+    #[test]
+    fn capacity_pressure_causes_evictions() {
+        let cfg = TrafficConfig {
+            // Tiny caches: a handful of assets fill a satellite.
+            cache_bytes_per_sat: 4 << 20,
+            ..quick_cfg()
+        };
+        let mut sc = small_scenario(FaultSchedule::none());
+        let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        assert!(
+            report.evictions > 0,
+            "tiny caches must evict under Zipf load"
+        );
+    }
+
+    #[test]
+    fn short_ttl_expires_entries() {
+        let cfg = TrafficConfig {
+            ttl: SimDuration::from_secs(20),
+            ..quick_cfg()
+        };
+        let mut sc = small_scenario(FaultSchedule::none());
+        let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        assert!(
+            report.ttl_expiries > 0,
+            "20s TTL over 314s must expire entries"
+        );
+        // Expiry forces re-fetch: a long-TTL run hits strictly more.
+        let long = TrafficConfig {
+            ttl: SimDuration::from_mins(60),
+            ..quick_cfg()
+        };
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let long_report = run_traffic(&mut sc2, &test_sources(long.epochs), &long);
+        assert!(
+            long_report.hit_ratio() > report.hit_ratio(),
+            "long TTL {} must beat short TTL {}",
+            long_report.hit_ratio(),
+            report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn fault_schedule_invalidates_failed_satellites() {
+        let cfg = quick_cfg();
+        let mut rng = DetRng::new(5, "traffic/faults");
+        let mut schedule = FaultSchedule::none();
+        // A third of the fleet dies between epoch 0 and epoch 1.
+        schedule.random_sat_outages(
+            1584,
+            0.33,
+            SimDuration::from_secs(60),
+            SimDuration::from_mins(30),
+            &mut rng,
+        );
+        let mut sc = small_scenario(schedule);
+        let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        assert!(
+            report.invalidations > 0,
+            "failed satellites must drop their contents"
+        );
+
+        let mut pristine = small_scenario(FaultSchedule::none());
+        let pristine_report = run_traffic(&mut pristine, &test_sources(cfg.epochs), &cfg);
+        assert_eq!(pristine_report.invalidations, 0);
+        assert!(
+            pristine_report.hit_ratio() >= report.hit_ratio(),
+            "faults must not improve the hit ratio: {} vs {}",
+            pristine_report.hit_ratio(),
+            report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn duty_cycle_throttles_cache_fills() {
+        let full = quick_cfg();
+        let mut sc = small_scenario(FaultSchedule::none());
+        let full_report = run_traffic(&mut sc, &test_sources(full.epochs), &full);
+
+        let throttled = TrafficConfig {
+            duty_fraction: 0.2,
+            ..quick_cfg()
+        };
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let throttled_report = run_traffic(&mut sc2, &test_sources(throttled.epochs), &throttled);
+        assert!(
+            throttled_report.inserts < full_report.inserts,
+            "20% duty cycle must skip fills: {} vs {}",
+            throttled_report.inserts,
+            full_report.inserts
+        );
+        assert!(
+            throttled_report.hit_ratio() < full_report.hit_ratio(),
+            "fewer fills must mean fewer hits: {} vs {}",
+            throttled_report.hit_ratio(),
+            full_report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn stream_count_changes_partition_not_totals() {
+        // Different stream counts are different (valid) workload
+        // partitions; both must meet the exact request quota.
+        for streams in [1usize, 3] {
+            let cfg = TrafficConfig {
+                streams,
+                requests: 1_000,
+                epochs: 2,
+                catalog_size: 300,
+                ..TrafficConfig::default()
+            };
+            let mut sc = small_scenario(FaultSchedule::none());
+            let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+            assert_eq!(report.requests, 1_000, "streams={streams}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one fallback RTT per epoch")]
+    fn mismatched_fallback_length_panics() {
+        let cfg = quick_cfg();
+        let mut sc = small_scenario(FaultSchedule::none());
+        let sources = test_sources(cfg.epochs + 1);
+        run_traffic(&mut sc, &sources, &cfg);
+    }
+}

@@ -1,0 +1,249 @@
+//! Shim-equivalence suite: the deprecated free functions (`retrieve`,
+//! `retrieve_resilient`, `retrieve_multishell`) must stay bit-identical
+//! to the unified [`RetrievalRequest`] / [`Scenario`] path — source,
+//! serving satellite, hop counts, attempts, degrade reason, and the exact
+//! RTT mantissas — across randomized shells, fault schedules, and epochs.
+//!
+//! Each comparison runs with *paired fresh RNGs* (same seed and label),
+//! so the shim and the request must also consume user-link jitter
+//! identically; any divergence in sampling order changes the bits and
+//! fails the suite.
+
+#![allow(deprecated)] // the whole point: exercise the shims against the new path
+
+use spacecdn_core::{
+    retrieve, retrieve_multishell, retrieve_resilient, LsnNetwork, ResilientRetrievalConfig,
+    RetrievalConfig, RetrievalOutcome, RetrievalRequest, Scenario,
+};
+use spacecdn_geo::{DetRng, Geodetic, Latency, SimTime};
+use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
+use spacecdn_orbit::{Constellation, SatIndex};
+use spacecdn_terra::fiber::FiberModel;
+use std::collections::BTreeSet;
+
+mod common;
+use common::{random_schedule, small_shell};
+
+/// Bitwise comparison of two optional outcomes, labelled for diagnosis.
+fn assert_outcome_bits(label: &str, a: &Option<RetrievalOutcome>, b: &Option<RetrievalOutcome>) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.source, y.source, "{label}: source diverges");
+            assert_eq!(
+                x.serving_sat, y.serving_sat,
+                "{label}: serving sat diverges"
+            );
+            assert_eq!(
+                x.rtt.0.to_bits(),
+                y.rtt.0.to_bits(),
+                "{label}: RTT mantissa diverges ({} vs {})",
+                x.rtt,
+                y.rtt
+            );
+        }
+        _ => panic!("{label}: outcome existence diverges: {a:?} vs {b:?}"),
+    }
+}
+
+/// One randomized case: shell, schedule, epoch, caches, user, policy.
+struct Case {
+    net: LsnNetwork,
+    schedule: spacecdn_lsn::FaultSchedule,
+    t: SimTime,
+    user: Geodetic,
+    caches: BTreeSet<SatIndex>,
+    budget: u32,
+    ladder: Vec<u32>,
+    ground: Latency,
+}
+
+fn gen_case(case: usize) -> (Case, DetRng) {
+    let mut rng = DetRng::new(9_000 + case as u64, "equiv/case");
+    let shell = small_shell(&mut rng);
+    let c = Constellation::new(shell);
+    let pristine = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+    let schedule = random_schedule(&c, &pristine, &mut rng);
+    let t = SimTime(rng.uniform(0.0, 7_200_000.0) as u64);
+    let user = Geodetic::ground(rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0));
+    let caches: BTreeSet<SatIndex> = (0..rng.index(13))
+        .map(|_| SatIndex(rng.index(c.len()) as u32))
+        .collect();
+    let budget = rng.index(12) as u32;
+    let ladders: [&[u32]; 4] = [&[1, 3, 5, 10], &[2, 4], &[budget.max(1)], &[1, 2, 3, 4, 5]];
+    let ladder = ladders[rng.index(ladders.len())].to_vec();
+    let ground = Latency::from_ms(rng.uniform(40.0, 200.0));
+    let net = LsnNetwork::new(
+        Constellation::new(shell),
+        Vec::new(),
+        AccessModel::default(),
+        FiberModel::default(),
+    );
+    (
+        Case {
+            net,
+            schedule,
+            t,
+            user,
+            caches,
+            budget,
+            ladder,
+            ground,
+        },
+        rng,
+    )
+}
+
+const CASES: usize = 80;
+
+#[test]
+fn retrieve_shim_is_bit_identical_to_request_and_scenario() {
+    for case in 0..CASES {
+        let (cs, _) = gen_case(case);
+        let label = format!("case {case}");
+        let snap = cs.net.snapshot(cs.t, &cs.schedule.plan_at(cs.t));
+        let cfg = RetrievalConfig {
+            max_isl_hops: cs.budget,
+            ground_fallback_rtt: cs.ground,
+        };
+
+        // Paired fresh RNGs: the jitter stream must be consumed in the
+        // same order by all three paths.
+        let mut r1 = DetRng::new(77, &format!("equiv/jitter/{case}"));
+        let mut r2 = DetRng::new(77, &format!("equiv/jitter/{case}"));
+        let mut r3 = DetRng::new(77, &format!("equiv/jitter/{case}"));
+
+        let shim = retrieve(
+            snap.graph(),
+            cs.net.access(),
+            cs.user,
+            &cs.caches,
+            &cfg,
+            Some(&mut r1),
+        );
+        let req = RetrievalRequest::new(cs.user)
+            .hop_budget(cs.budget)
+            .ground_fallback(cs.ground)
+            .graceful(false);
+        let direct = req
+            .execute(snap.graph(), cs.net.access(), &cs.caches, Some(&mut r2))
+            .outcome;
+        assert_outcome_bits(&format!("{label}: shim vs request"), &shim, &direct);
+
+        drop(snap); // release the borrow so the session can own the network
+        let mut sc = Scenario::builder(cs.net)
+            .schedule(cs.schedule.clone())
+            .copies(cs.caches.clone())
+            .hop_budget(cs.budget)
+            .ground_fallback(cs.ground)
+            .graceful(false)
+            .build();
+        sc.advance_to(cs.t);
+        let via_session = sc.fetch_user(cs.user, Some(&mut r3)).outcome;
+        assert_outcome_bits(&format!("{label}: shim vs scenario"), &shim, &via_session);
+    }
+}
+
+#[test]
+fn resilient_shim_is_bit_identical_to_request_and_scenario() {
+    for case in 0..CASES {
+        let (cs, _) = gen_case(case);
+        let label = format!("case {case}");
+        let snap = cs.net.snapshot(cs.t, &cs.schedule.plan_at(cs.t));
+        let rcfg = ResilientRetrievalConfig {
+            escalation: cs.ladder.clone(),
+            ground_fallback_rtt: cs.ground,
+        };
+
+        let mut r1 = DetRng::new(78, &format!("equiv/jitter/{case}"));
+        let mut r2 = DetRng::new(78, &format!("equiv/jitter/{case}"));
+        let mut r3 = DetRng::new(78, &format!("equiv/jitter/{case}"));
+
+        let shim = retrieve_resilient(
+            snap.graph(),
+            cs.net.access(),
+            cs.user,
+            &cs.caches,
+            &rcfg,
+            Some(&mut r1),
+        );
+        let req = RetrievalRequest::new(cs.user)
+            .escalation(cs.ladder.clone())
+            .ground_fallback(cs.ground);
+        let direct = req.execute(snap.graph(), cs.net.access(), &cs.caches, Some(&mut r2));
+        assert_eq!(shim.attempts, direct.attempts, "{label}: attempts diverge");
+        assert_eq!(
+            shim.degraded, direct.degraded,
+            "{label}: degrade reason diverges"
+        );
+        assert_outcome_bits(
+            &format!("{label}: shim vs request"),
+            &Some(shim.outcome.clone()),
+            &direct.outcome,
+        );
+
+        drop(snap);
+        let mut sc = Scenario::builder(cs.net)
+            .schedule(cs.schedule.clone())
+            .copies(cs.caches.clone())
+            .escalation(cs.ladder.clone())
+            .ground_fallback(cs.ground)
+            .build();
+        sc.advance_to(cs.t);
+        let via_session = sc.fetch_user(cs.user, Some(&mut r3));
+        assert_eq!(
+            shim.attempts, via_session.attempts,
+            "{label}: session attempts"
+        );
+        assert_eq!(
+            shim.degraded, via_session.degraded,
+            "{label}: session degrade"
+        );
+        assert_outcome_bits(
+            &format!("{label}: shim vs scenario"),
+            &Some(shim.outcome),
+            &via_session.outcome,
+        );
+    }
+}
+
+#[test]
+fn multishell_shim_is_bit_identical_to_request() {
+    for case in 0..30 {
+        let mut rng = DetRng::new(12_000 + case as u64, "equiv/multishell");
+        let n_shells = 1 + rng.index(3);
+        let mut graphs = Vec::new();
+        let mut cache_sets = Vec::new();
+        let t = SimTime(rng.uniform(0.0, 7_200_000.0) as u64);
+        for _ in 0..n_shells {
+            let shell = small_shell(&mut rng);
+            let c = Constellation::new(shell);
+            let pristine = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+            let schedule = random_schedule(&c, &pristine, &mut rng);
+            graphs.push(IslGraph::build(&c, t, &schedule.plan_at(t)));
+            let caches: BTreeSet<SatIndex> = (0..rng.index(13))
+                .map(|_| SatIndex(rng.index(c.len()) as u32))
+                .collect();
+            cache_sets.push(caches);
+        }
+        let user = Geodetic::ground(rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0));
+        let budget = rng.index(12) as u32;
+        let ground = Latency::from_ms(rng.uniform(40.0, 200.0));
+        let access = AccessModel::default();
+        let cfg = RetrievalConfig {
+            max_isl_hops: budget,
+            ground_fallback_rtt: ground,
+        };
+
+        let mut r1 = DetRng::new(79, &format!("equiv/jitter/{case}"));
+        let mut r2 = DetRng::new(79, &format!("equiv/jitter/{case}"));
+        let shim = retrieve_multishell(&graphs, &access, user, &cache_sets, &cfg, Some(&mut r1));
+        let direct = RetrievalRequest::new(user)
+            .hop_budget(budget)
+            .ground_fallback(ground)
+            .graceful(false)
+            .execute_multishell(&graphs, &access, &cache_sets, Some(&mut r2))
+            .outcome;
+        assert_outcome_bits(&format!("multishell case {case}"), &shim, &direct);
+    }
+}

@@ -17,8 +17,8 @@
 //! skew a campaign artefact.
 
 use spacecdn_core::{
-    retrieve, retrieve_resilient, DegradeReason, LsnNetwork, ResilientOutcome,
-    ResilientRetrievalConfig, RetrievalConfig, RetrievalOutcome, RetrievalSource,
+    DegradeReason, LsnNetwork, ResilientOutcome, ResilientRetrievalConfig, RetrievalConfig,
+    RetrievalOutcome, RetrievalRequest, RetrievalSource,
 };
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Ecef, Geodetic, Km, Latency, SimDuration, SimTime};
@@ -27,6 +27,9 @@ use spacecdn_orbit::shell::ShellConfig;
 use spacecdn_orbit::{Constellation, SatIndex};
 use spacecdn_terra::fiber::FiberModel;
 use std::collections::{BTreeSet, VecDeque};
+
+mod common;
+use common::{random_schedule, small_shell};
 
 // ---------------------------------------------------------------------------
 // The reference pipeline: slow, allocation-happy, obviously correct.
@@ -413,55 +416,6 @@ impl Coverage {
     }
 }
 
-/// A random fault timeline mixing every event family, built over the
-/// pristine topology so flap selection can enumerate real links.
-fn random_schedule(c: &Constellation, pristine: &IslGraph, rng: &mut DetRng) -> FaultSchedule {
-    let horizon = SimDuration::from_secs(7200);
-    let mut s = FaultSchedule::none();
-    if rng.chance(0.45) {
-        let at = SimTime(rng.uniform(0.0, horizon.0 as f64) as u64);
-        s.random_sat_failures(c.len(), rng.uniform(0.0, 0.3), at, rng);
-    }
-    if rng.chance(0.55) {
-        s.random_sat_outages(
-            c.len(),
-            rng.uniform(0.0, 0.4),
-            horizon,
-            SimDuration::from_secs(600),
-            rng,
-        );
-    }
-    if rng.chance(0.5) {
-        s.random_gsl_outages(
-            c.len(),
-            rng.uniform(0.0, 0.4),
-            horizon,
-            SimDuration::from_secs(300),
-            rng,
-        );
-    }
-    if rng.chance(0.55) {
-        s.random_isl_flaps(
-            pristine,
-            rng.uniform(0.0, 0.5),
-            SimDuration::from_secs(rng.uniform(30.0, 300.0) as u64),
-            SimDuration::from_secs(rng.uniform(10.0, 120.0) as u64),
-            rng,
-        );
-    }
-    if rng.chance(0.4) {
-        s.seam_churn(
-            pristine,
-            c,
-            rng.uniform(0.0, 0.8),
-            SimDuration::from_secs(120),
-            SimDuration::from_secs(30),
-            rng,
-        );
-    }
-    s
-}
-
 /// Run one fully-randomized case: build both pipelines for the lowered
 /// plan at `t` and compare every observable bit.
 fn check_case(
@@ -549,7 +503,12 @@ fn check_case(
         max_isl_hops: budget,
         ground_fallback_rtt: ground,
     };
-    let got = retrieve(graph, access, user, &caches, &cfg, None);
+    let got = RetrievalRequest::new(user)
+        .hop_budget(budget)
+        .ground_fallback(ground)
+        .graceful(false)
+        .execute(graph, access, &caches, None)
+        .outcome;
     let want = ref_retrieve(&reference, access, user, &caches, &cfg);
     match (&got, &want) {
         (None, None) => {}
@@ -580,7 +539,15 @@ fn check_case(
         escalation: ladders[rng.index(ladders.len())].to_vec(),
         ground_fallback_rtt: ground,
     };
-    let got = retrieve_resilient(graph, access, user, &caches, &rcfg, None);
+    let fetched = RetrievalRequest::new(user)
+        .escalation(rcfg.escalation.clone())
+        .ground_fallback(ground)
+        .execute(graph, access, &caches, None);
+    let got = ResilientOutcome {
+        outcome: fetched.outcome.expect("graceful fetch always resolves"),
+        attempts: fetched.attempts,
+        degraded: fetched.degraded,
+    };
     let want = ref_retrieve_resilient(&reference, access, user, &caches, &rcfg);
     assert_eq!(got.attempts, want.attempts, "{label}: attempts diverge");
     assert_eq!(
@@ -607,40 +574,27 @@ fn check_case(
         escalation: vec![budget.max(1)],
         ground_fallback_rtt: ground,
     };
-    let collapsed = retrieve_resilient(graph, access, user, &caches, &single, None);
-    let plain = retrieve(
-        graph,
-        access,
-        user,
-        &caches,
-        &RetrievalConfig {
-            max_isl_hops: budget.max(1),
-            ground_fallback_rtt: ground,
-        },
-        None,
-    );
+    let collapsed = RetrievalRequest::new(user)
+        .escalation(single.escalation.clone())
+        .ground_fallback(ground)
+        .execute(graph, access, &caches, None);
+    let plain = RetrievalRequest::new(user)
+        .hop_budget(budget.max(1))
+        .ground_fallback(ground)
+        .graceful(false)
+        .execute(graph, access, &caches, None)
+        .outcome;
     match plain {
         Some(p) => assert_eq!(
-            collapsed.outcome, p,
-            "{label}: single-rung resilient diverges from retrieve"
+            collapsed.outcome,
+            Some(p),
+            "{label}: single-rung graceful diverges from a plain fetch"
         ),
         None => assert_eq!(
             collapsed.degraded,
             Some(DegradeReason::DeadZone),
-            "{label}: only a dead zone may make retrieve return None"
+            "{label}: only a dead zone may make a non-graceful fetch miss"
         ),
-    }
-}
-
-fn small_shell(rng: &mut DetRng) -> ShellConfig {
-    let planes = 3 + rng.index(6) as u32; // 3..=8
-    let sats = 3 + rng.index(6) as u32; // 3..=8
-    ShellConfig {
-        altitude_km: 550.0,
-        inclination_deg: 53.0,
-        plane_count: planes,
-        sats_per_plane: sats,
-        phase_factor: (rng.index(3) as u32).min(planes - 1),
     }
 }
 

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use spacecdn_core::duty_cycle::DutyCycler;
 use spacecdn_core::placement::{grid_ball_size, PlacementStrategy};
-use spacecdn_core::retrieval::{
-    retrieve, retrieve_resilient, ResilientRetrievalConfig, RetrievalConfig, RetrievalSource,
-};
+use spacecdn_core::retrieval::{RetrievalRequest, RetrievalSource};
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
 use spacecdn_lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
 use spacecdn_orbit::shell::shells;
@@ -56,18 +54,13 @@ proptest! {
         let mut rng = DetRng::new(seed, "prop-retrieve");
         let caches = PlacementStrategy::RandomCount { count: 8 }.place(shell1(), &mut rng);
         let fallback = Latency::from_ms(140.0);
-        let cfg = RetrievalConfig {
-            max_isl_hops: budget,
-            ground_fallback_rtt: fallback,
-        };
-        let out = retrieve(
-            graph(),
-            &AccessModel::default(),
-            Geodetic::ground(lat, lon),
-            &caches,
-            &cfg,
-            None,
-        ).expect("constellation alive");
+        let out = RetrievalRequest::new(Geodetic::ground(lat, lon))
+            .hop_budget(budget)
+            .ground_fallback(fallback)
+            .graceful(false)
+            .execute(graph(), &AccessModel::default(), &caches, None)
+            .outcome
+            .expect("constellation alive");
         match out.source {
             RetrievalSource::Ground => {
                 prop_assert_eq!(out.rtt, fallback);
@@ -97,11 +90,12 @@ proptest! {
         let fallback = Latency::from_ms(140.0);
         let mut last = f64::INFINITY;
         for budget in [0u32, 2, 5, 10, 20] {
-            let cfg = RetrievalConfig {
-                max_isl_hops: budget,
-                ground_fallback_rtt: fallback,
-            };
-            let out = retrieve(graph(), &AccessModel::default(), user, &caches, &cfg, None)
+            let out = RetrievalRequest::new(user)
+                .hop_budget(budget)
+                .ground_fallback(fallback)
+                .graceful(false)
+                .execute(graph(), &AccessModel::default(), &caches, None)
+                .outcome
                 .expect("alive");
             // A larger search radius can only find the same or a better
             // copy (ground fallback at 140 ms dominates everything else).
@@ -161,13 +155,16 @@ proptest! {
 
         let mut cache_rng = DetRng::new(seed ^ 0x5eed, "prop-monotone-caches");
         let caches = PlacementStrategy::RandomCount { count: 12 }.place(c, &mut cache_rng);
-        let cfg = ResilientRetrievalConfig {
-            escalation: vec![1, 3, 5, 10],
-            ground_fallback_rtt: Latency(f64::INFINITY),
-        };
+        let req = RetrievalRequest::new(user)
+            .escalation(vec![1, 3, 5, 10])
+            .ground_fallback(Latency(f64::INFINITY));
         let access = AccessModel::default();
-        let before = retrieve_resilient(&gb, &access, user, &caches, &cfg, None);
-        let after = retrieve_resilient(&gm, &access, user, &caches, &cfg, None);
+        let before = req.execute(&gb, &access, &caches, None);
+        let after = req.execute(&gm, &access, &caches, None);
+        let (before_out, after_out) = (
+            before.outcome.expect("graceful fetch always resolves"),
+            after.outcome.expect("graceful fetch always resolves"),
+        );
 
         let rank = |s: RetrievalSource| match s {
             RetrievalSource::Overhead => 0,
@@ -175,9 +172,9 @@ proptest! {
             RetrievalSource::Ground => 2,
         };
         prop_assert!(
-            rank(after.outcome.source) >= rank(before.outcome.source),
+            rank(after_out.source) >= rank(before_out.source),
             "source improved under extra faults: {:?} -> {:?}",
-            before.outcome.source, after.outcome.source
+            before_out.source, after_out.source
         );
         prop_assert!(
             after.attempts >= before.attempts,
@@ -192,9 +189,9 @@ proptest! {
         // latency-comparable.
         if after.attempts == before.attempts {
             prop_assert!(
-                after.outcome.rtt.0 >= before.outcome.rtt.0,
+                after_out.rtt.0 >= before_out.rtt.0,
                 "same-rung RTT improved under extra faults: {} -> {}",
-                before.outcome.rtt, after.outcome.rtt
+                before_out.rtt, after_out.rtt
             );
         }
     }
@@ -235,23 +232,26 @@ proptest! {
         let rebuilt = IslGraph::build(c, SimTime::EPOCH, &plan);
         let user = Geodetic::ground(lat, lon);
         let caches = PlacementStrategy::RandomCount { count: 10 }.place(c, &mut rng);
-        let cfg = RetrievalConfig {
-            max_isl_hops: budget,
-            ground_fallback_rtt: Latency::from_ms(140.0),
-        };
         let access = AccessModel::default();
-        let pristine = retrieve(graph(), &access, user, &caches, &cfg, None).expect("alive");
-        let lowered = retrieve(&rebuilt, &access, user, &caches, &cfg, None).expect("alive");
+        let plain = RetrievalRequest::new(user)
+            .hop_budget(budget)
+            .ground_fallback(Latency::from_ms(140.0))
+            .graceful(false);
+        let pristine = plain.execute(graph(), &access, &caches, None).outcome.expect("alive");
+        let lowered = plain.execute(&rebuilt, &access, &caches, None).outcome.expect("alive");
         prop_assert_eq!(pristine.source, lowered.source);
         prop_assert_eq!(pristine.serving_sat, lowered.serving_sat);
         prop_assert_eq!(pristine.rtt.0.to_bits(), lowered.rtt.0.to_bits());
 
-        let rcfg = ResilientRetrievalConfig::default();
-        let pr = retrieve_resilient(graph(), &access, user, &caches, &rcfg, None);
-        let lr = retrieve_resilient(&rebuilt, &access, user, &caches, &rcfg, None);
+        let graceful = RetrievalRequest::new(user);
+        let pr = graceful.execute(graph(), &access, &caches, None);
+        let lr = graceful.execute(&rebuilt, &access, &caches, None);
         prop_assert_eq!(pr.attempts, lr.attempts);
         prop_assert_eq!(pr.degraded, lr.degraded);
-        prop_assert_eq!(pr.outcome.rtt.0.to_bits(), lr.outcome.rtt.0.to_bits());
+        prop_assert_eq!(
+            pr.outcome.unwrap().rtt.0.to_bits(),
+            lr.outcome.unwrap().rtt.0.to_bits()
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   and first-contentful-paint (Fig 4, Fig 5);
 //! - [`spacecdn`] — the §4 simulation drivers: hop-bounded retrieval CDFs
 //!   (Fig 7) and duty-cycled cache latencies (Fig 8);
+//! - [`traffic`] — the steady-state traffic campaign: request-driven cache
+//!   warm-up, hit ratio, origin offload and latency CDFs per duty fraction;
 //! - [`report`] — plain-text/JSON emitters shared by the experiment
 //!   binaries.
 
@@ -27,9 +29,11 @@ pub mod report;
 pub mod spacecdn;
 pub mod streaming;
 pub mod trace;
+pub mod traffic;
 pub mod web;
 
 pub use aim::{AimCampaign, AimConfig, CountryStats, IspKind};
 pub use report::{format_table, write_json};
 pub use spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+pub use traffic::{traffic_campaign, TrafficCampaignConfig, TrafficPoint};
 pub use web::{PageModel, WebConfig, WebMeasurement};

@@ -4,7 +4,7 @@
 use spacecdn_core::duty_cycle::DutyCycler;
 use spacecdn_core::network::{LsnNetwork, LsnSnapshot};
 use spacecdn_core::placement::PlacementStrategy;
-use spacecdn_core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
+use spacecdn_core::retrieval::{RetrievalRequest, RetrievalSource};
 use spacecdn_des::Percentiles;
 use spacecdn_engine::par_map;
 use spacecdn_geo::{DetRng, Latency, SimDuration, SimTime};
@@ -97,29 +97,15 @@ fn warm_epoch_sources(snap: &LsnSnapshot<'_>, pool: &[&'static City]) {
 /// resolves via the Figure 6 logic. Ground fallbacks (the random placement
 /// left a coverage hole) are counted but excluded from the latency CDF, as
 /// the figure conditions on in-space hits.
+///
+/// The fleet is degraded by `schedule`: each epoch's snapshot is built
+/// from `schedule.plan_at(t)`, so outages, flaps and GSL failures move
+/// with simulated time. A city whose sky goes dark (no servable
+/// satellite) counts as a ground fallback. Pristine campaigns pass
+/// [`FaultSchedule::none()`] — an empty timeline lowers to the empty plan
+/// at every epoch (same snapshot-pool keys, same graphs), so results are
+/// byte-identical to the historical schedule-less entry point.
 pub fn hop_bound_experiment(
-    hop_bounds: &[u32],
-    trials_per_bound: usize,
-    epochs: usize,
-    seed: u64,
-) -> Vec<HopBoundResult> {
-    // An empty schedule lowers to the empty plan at every epoch (same
-    // snapshot-pool keys, same graphs), so delegating is byte-identical
-    // to the pre-schedule implementation.
-    hop_bound_experiment_under_schedule(
-        hop_bounds,
-        trials_per_bound,
-        epochs,
-        seed,
-        &FaultSchedule::none(),
-    )
-}
-
-/// [`hop_bound_experiment`] with the fleet degraded by a fault timeline:
-/// each epoch's snapshot is built from `schedule.plan_at(t)`, so outages,
-/// flaps and GSL failures move with simulated time. A city whose sky goes
-/// dark (no servable satellite) counts as a ground fallback.
-pub fn hop_bound_experiment_under_schedule(
     hop_bounds: &[u32],
     trials_per_bound: usize,
     epochs: usize,
@@ -172,19 +158,15 @@ pub fn hop_bound_experiment_under_schedule(
                     p.rtt + pop_to_site
                 })
                 .unwrap_or(Latency::from_ms(300.0));
-            let cfg = RetrievalConfig {
-                max_isl_hops: max_hops,
-                ground_fallback_rtt: fallback,
-            };
+            let req = RetrievalRequest::new(city.position())
+                .hop_budget(max_hops)
+                .ground_fallback(fallback)
+                .graceful(false);
             FIG7_TRIALS.incr();
-            let Some(out) = retrieve(
-                snap.graph(),
-                net.access(),
-                city.position(),
-                &caches,
-                &cfg,
-                Some(&mut rng),
-            ) else {
+            let Some(out) = req
+                .execute(snap.graph(), net.access(), &caches, Some(&mut rng))
+                .outcome
+            else {
                 // Dead zone under the fault schedule: no satellite serves
                 // the city at all, so the request rides the ground path.
                 fallbacks += 1;
@@ -233,26 +215,11 @@ pub fn hop_bound_experiment_under_schedule(
 /// time and the rest relay. Content is assumed resident on every *active*
 /// cache (the figure isolates the relay-distance cost of duty cycling, not
 /// content placement).
+///
+/// The fleet is degraded by `schedule` (see [`hop_bound_experiment`]); a
+/// city with no servable satellite overhead is served at the
+/// ground-fallback RTT. Pristine campaigns pass [`FaultSchedule::none()`].
 pub fn duty_cycle_experiment(
-    fractions: &[f64],
-    trials_per_fraction: usize,
-    epochs: usize,
-    seed: u64,
-) -> Vec<DutyCycleResult> {
-    // Byte-identical delegation; see `hop_bound_experiment`.
-    duty_cycle_experiment_under_schedule(
-        fractions,
-        trials_per_fraction,
-        epochs,
-        seed,
-        &FaultSchedule::none(),
-    )
-}
-
-/// [`duty_cycle_experiment`] with the fleet degraded by a fault timeline
-/// (see [`hop_bound_experiment_under_schedule`]). A city with no servable
-/// satellite overhead is served at the ground-fallback RTT.
-pub fn duty_cycle_experiment_under_schedule(
     fractions: &[f64],
     trials_per_fraction: usize,
     epochs: usize,
@@ -283,24 +250,21 @@ pub fn duty_cycle_experiment_under_schedule(
         let cycler = DutyCycler::new(fraction, SimDuration::from_mins(10), seed);
         let active = cycler.active_set(net.constellation(), t);
         let mut rng = DetRng::new(seed, &format!("fig8/{fraction}/{epoch}"));
-        let cfg = RetrievalConfig {
-            // Generous budget: with ≥30 % active a cache is adjacent.
-            max_isl_hops: 12,
-            ground_fallback_rtt: Latency::from_ms(300.0),
-        };
+        let fallback_rtt = Latency::from_ms(300.0);
         let mut samples: Vec<f64> = Vec::new();
         for _ in 0..trials_per_fraction.div_ceil(epochs) {
             let city = *rng.choose(&pool).expect("pool non-empty");
+            // Generous budget: with ≥30 % active a cache is adjacent.
+            let req = RetrievalRequest::new(city.position())
+                .hop_budget(12)
+                .ground_fallback(fallback_rtt)
+                .graceful(false);
             FIG8_TRIALS.incr();
-            let Some(out) = retrieve(
-                snap.graph(),
-                net.access(),
-                city.position(),
-                &active,
-                &cfg,
-                Some(&mut rng),
-            ) else {
-                samples.push(cfg.ground_fallback_rtt.ms());
+            let Some(out) = req
+                .execute(snap.graph(), net.access(), &active, Some(&mut rng))
+                .outcome
+            else {
+                samples.push(fallback_rtt.ms());
                 continue;
             };
             if matches!(out.source, RetrievalSource::Isl { .. }) {
@@ -333,7 +297,7 @@ mod tests {
 
     #[test]
     fn fig7_ordering_and_bands() {
-        let mut results = hop_bound_experiment(&[1, 5, 10], 120, 2, 11);
+        let mut results = hop_bound_experiment(&[1, 5, 10], 120, 2, 11, &FaultSchedule::none());
         assert_eq!(results.len(), 3);
         let medians: Vec<f64> = results
             .iter_mut()
@@ -351,7 +315,7 @@ mod tests {
 
     #[test]
     fn fig7_hop_budget_respected() {
-        let results = hop_bound_experiment(&[3], 80, 2, 13);
+        let results = hop_bound_experiment(&[3], 80, 2, 13, &FaultSchedule::none());
         let r = &results[0];
         assert!(r.hop_histogram.iter().all(|&h| h <= 3));
         assert!(!r.hop_histogram.is_empty());
@@ -359,7 +323,7 @@ mod tests {
 
     #[test]
     fn fig8_duty_cycle_ordering() {
-        let mut results = duty_cycle_experiment(&[0.3, 0.8], 120, 2, 17);
+        let mut results = duty_cycle_experiment(&[0.3, 0.8], 120, 2, 17, &FaultSchedule::none());
         let m30 = results[0].latencies.median().unwrap();
         let m80 = results[1].latencies.median().unwrap();
         // Fewer active caches ⇒ longer relays ⇒ higher latency.
@@ -370,11 +334,13 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_byte_identical_to_pristine() {
-        // The pristine entry points delegate with an empty schedule; this
-        // pins the property that delegation relies on — an empty timeline
-        // lowers to plans whose digests key the same pooled snapshots.
-        let mut a = hop_bound_experiment(&[1, 5], 60, 2, 29);
-        let mut b = hop_bound_experiment_under_schedule(&[1, 5], 60, 2, 29, &FaultSchedule::none());
+        // Pristine callers now pass `FaultSchedule::none()` where they
+        // used to call a schedule-less entry point; this pins the property
+        // that migration relies on — an empty timeline and a default one
+        // lower to plans whose digests key the same pooled snapshots, so
+        // reruns are byte-for-byte reproducible.
+        let mut a = hop_bound_experiment(&[1, 5], 60, 2, 29, &FaultSchedule::none());
+        let mut b = hop_bound_experiment(&[1, 5], 60, 2, 29, &FaultSchedule::default());
         for (x, y) in a.iter_mut().zip(b.iter_mut()) {
             assert_eq!(x.max_hops, y.max_hops);
             assert_eq!(x.ground_fallbacks, y.ground_fallbacks);
@@ -384,8 +350,8 @@ mod tests {
                 y.latencies.median().map(f64::to_bits)
             );
         }
-        let mut c = duty_cycle_experiment(&[0.5], 60, 2, 29);
-        let mut d = duty_cycle_experiment_under_schedule(&[0.5], 60, 2, 29, &FaultSchedule::none());
+        let mut c = duty_cycle_experiment(&[0.5], 60, 2, 29, &FaultSchedule::none());
+        let mut d = duty_cycle_experiment(&[0.5], 60, 2, 29, &FaultSchedule::default());
         assert_eq!(
             c[0].latencies.median().map(f64::to_bits),
             d[0].latencies.median().map(f64::to_bits)
@@ -399,8 +365,8 @@ mod tests {
         let mut rng = DetRng::new(31, "fig7-faults");
         let mut schedule = FaultSchedule::none();
         schedule.random_sat_failures(c.len(), 0.2, SimTime::EPOCH, &mut rng);
-        let pristine = hop_bound_experiment(&[3], 80, 2, 31);
-        let faulted = hop_bound_experiment_under_schedule(&[3], 80, 2, 31, &schedule);
+        let pristine = hop_bound_experiment(&[3], 80, 2, 31, &FaultSchedule::none());
+        let faulted = hop_bound_experiment(&[3], 80, 2, 31, &schedule);
         // A fifth of the fleet dead: never a panic, strictly more misses.
         assert!(
             faulted[0].ground_fallbacks > pristine[0].ground_fallbacks,

@@ -5,11 +5,7 @@
 //! cargo run --release --example constellation_faults
 //! ```
 
-use spacecdn_suite::core::network::LsnNetwork;
-use spacecdn_suite::core::placement::PlacementStrategy;
-use spacecdn_suite::core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
-use spacecdn_suite::geo::{DetRng, Latency, SimTime};
-use spacecdn_suite::lsn::FaultPlan;
+use spacecdn_suite::prelude::*;
 use spacecdn_suite::terra::city::city_by_name;
 
 fn main() {
@@ -17,10 +13,10 @@ fn main() {
     let nairobi = city_by_name("Nairobi").expect("city in dataset");
     let mut rng = DetRng::new(7, "faults-example");
     let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
-    let cfg = RetrievalConfig {
-        max_isl_hops: 8,
-        ground_fallback_rtt: Latency::from_ms(150.0),
-    };
+    let req = RetrievalRequest::new(nairobi.position())
+        .hop_budget(8)
+        .ground_fallback(Latency::from_ms(150.0))
+        .graceful(false);
 
     println!("SpaceCDN fetch from Nairobi as the fleet degrades:");
     println!(
@@ -32,14 +28,10 @@ fn main() {
         let mut frng = DetRng::new(11, &format!("faults/{failed_pct}"));
         faults.fail_random_sats(net.constellation().len(), failed_pct, &mut frng);
         let snap = net.snapshot(SimTime::EPOCH, &faults);
-        match retrieve(
-            snap.graph(),
-            net.access(),
-            nairobi.position(),
-            &caches,
-            &cfg,
-            None,
-        ) {
+        match req
+            .execute(snap.graph(), net.access(), &caches, None)
+            .outcome
+        {
             Some(out) => {
                 let (source, hops) = match out.source {
                     RetrievalSource::Overhead => ("overhead", 0),

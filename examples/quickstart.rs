@@ -1,16 +1,12 @@
 //! Quickstart: build the Starlink Shell 1 network, ask where a user's
 //! traffic goes, and compare the bent-pipe CDN path against a SpaceCDN
-//! fetch.
+//! fetch resolved through a [`Scenario`] session.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use spacecdn_suite::core::network::LsnNetwork;
-use spacecdn_suite::core::placement::PlacementStrategy;
-use spacecdn_suite::core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
-use spacecdn_suite::geo::{DetRng, SimTime};
-use spacecdn_suite::lsn::FaultPlan;
+use spacecdn_suite::prelude::*;
 use spacecdn_suite::terra::cdn::{anycast_select, cdn_sites};
 use spacecdn_suite::terra::city::city_by_name;
 
@@ -41,23 +37,21 @@ fn main() {
         path.isl_hops,
         site.city.name,
     );
+    drop(snap); // release the borrow so the session can own the network
 
-    // 4. SpaceCDN: 4 copies per orbital plane, fetch from space.
+    // 4. SpaceCDN: 4 copies per orbital plane, fetched through a session.
     let mut rng = DetRng::new(42, "quickstart");
     let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
-    let cfg = RetrievalConfig {
-        max_isl_hops: 5,
-        ground_fallback_rtt: path.rtt + pop_to_site,
-    };
-    let fetch = retrieve(
-        snap.graph(),
-        net.access(),
-        maputo.position(),
-        &caches,
-        &cfg,
-        None,
-    )
-    .expect("constellation alive");
+    let scenario = Scenario::builder(net)
+        .copies(caches)
+        .hop_budget(5)
+        .ground_fallback(path.rtt + pop_to_site)
+        .graceful(false)
+        .build();
+    let fetch = scenario
+        .fetch_user(maputo.position(), None)
+        .outcome
+        .expect("constellation alive");
     let source = match fetch.source {
         RetrievalSource::Overhead => "the satellite directly overhead".to_string(),
         RetrievalSource::Isl { hops } => format!("a satellite {hops} ISL hops away"),

@@ -46,3 +46,38 @@ pub use spacecdn_measure as measure;
 pub use spacecdn_orbit as orbit;
 pub use spacecdn_telemetry as telemetry;
 pub use spacecdn_terra as terra;
+
+/// The post-redesign surface in one import: `use spacecdn_suite::prelude::*;`.
+///
+/// Everything here is the *current* API — the unified
+/// [`RetrievalRequest`](crate::core::retrieval::RetrievalRequest) /
+/// [`Scenario`](crate::core::scenario::Scenario) retrieval path, the
+/// steady-state traffic engine and its campaign, and the units, RNG and
+/// network types they take. The deprecated free-function shims
+/// (`retrieve`, `retrieve_resilient`, `retrieve_multishell`) are
+/// intentionally absent: code written against the prelude cannot reach
+/// them by accident.
+pub mod prelude {
+    pub use spacecdn_content::cache::{Cache, CacheStats, LruCache};
+    pub use spacecdn_content::catalog::{Catalog, ContentId};
+    pub use spacecdn_content::popularity::ZipfSampler;
+    pub use spacecdn_content::ttl::TtlCache;
+    pub use spacecdn_core::duty_cycle::DutyCycler;
+    pub use spacecdn_core::network::{LsnNetwork, LsnSnapshot, PathBreakdown};
+    pub use spacecdn_core::placement::PlacementStrategy;
+    pub use spacecdn_core::retrieval::{
+        DegradeReason, FetchResult, ResilientOutcome, RetrievalOutcome, RetrievalRequest,
+        RetrievalSource,
+    };
+    pub use spacecdn_core::scenario::{Scenario, ScenarioBuilder};
+    pub use spacecdn_core::traffic::{run_traffic, TrafficConfig, TrafficReport, TrafficSource};
+    pub use spacecdn_des::Percentiles;
+    pub use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimDuration, SimTime};
+    pub use spacecdn_lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
+    pub use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
+    pub use spacecdn_measure::traffic::{
+        covered_traffic_sources, traffic_campaign, TrafficCampaignConfig, TrafficPoint,
+    };
+    pub use spacecdn_orbit::{Constellation, SatIndex};
+    pub use spacecdn_terra::fiber::FiberModel;
+}

@@ -1,0 +1,151 @@
+//! API-drift guard: the deprecated free functions (`retrieve`,
+//! `retrieve_resilient`, `retrieve_multishell`) exist only as
+//! compatibility shims. New code must go through [`RetrievalRequest`]
+//! or [`Scenario`]; this test scans every `.rs` file in the workspace
+//! and fails if a call site appears outside the explicit allowlist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files that are *supposed* to reference the deprecated entry points:
+/// the shim definitions themselves and the suite that proves the shims
+/// bit-identical to the unified path.
+const ALLOWLIST: &[&str] = &[
+    "crates/core/src/retrieval.rs",
+    "crates/core/tests/equivalence.rs",
+    // This guard itself: the self-test below embeds call-shaped string
+    // literals so the scanner can prove it still fires.
+    "tests/api_drift.rs",
+];
+
+const DEPRECATED: &[&str] = &["retrieve", "retrieve_resilient", "retrieve_multishell"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable workspace dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "results" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// True when `line[idx..]` is a *call* to `name`: `name(` with no
+/// identifier character immediately before it (rejects `ref_retrieve(`,
+/// `fetch_retrieve(`…) and not a definition (`fn name(`).
+fn is_call_site(line: &str, idx: usize, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    if idx > 0 {
+        let prev = bytes[idx - 1] as char;
+        if prev.is_ascii_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let after = &line[idx + name.len()..];
+    if !after.trim_start().starts_with('(') {
+        return false;
+    }
+    !line[..idx].trim_end().ends_with("fn")
+}
+
+fn deprecated_call_on(line: &str) -> Option<&'static str> {
+    let code = line.trim_start();
+    if code.starts_with("//") || code.starts_with("use ") || code.starts_with("pub use ") {
+        return None;
+    }
+    for name in DEPRECATED {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(name) {
+            let idx = from + rel;
+            // Longest-match guard: `retrieve` must not fire inside
+            // `retrieve_resilient(`/`retrieve_multishell(`.
+            let after = &line[idx + name.len()..];
+            let extends = after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            if !extends && is_call_site(line, idx, name) {
+                return Some(name);
+            }
+            from = idx + name.len();
+        }
+    }
+    None
+}
+
+#[test]
+fn deprecated_retrieval_shims_have_no_new_callers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    assert!(
+        files.len() > 30,
+        "workspace scan looks broken: only {} .rs files found",
+        files.len()
+    );
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ALLOWLIST.contains(&rel.as_ref()) {
+            continue;
+        }
+        let src = fs::read_to_string(path).expect("readable source file");
+        for (ln, line) in src.lines().enumerate() {
+            if let Some(name) = deprecated_call_on(line) {
+                violations.push(format!("{rel}:{}: calls deprecated `{name}`", ln + 1));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated retrieval entry points called outside the shim allowlist \
+         (use RetrievalRequest or Scenario instead):\n{}",
+        violations.join("\n")
+    );
+
+    // The allowlisted files must still exist — otherwise the guard is
+    // silently scanning nothing.
+    for rel in ALLOWLIST {
+        assert!(root.join(rel).is_file(), "allowlisted file {rel} vanished");
+    }
+}
+
+#[test]
+fn drift_guard_detects_a_planted_call() {
+    // Self-test: the scanner must actually fire on a realistic call.
+    assert_eq!(
+        deprecated_call_on("    let out = retrieve(graph, access, user, &caches, &cfg, None);"),
+        Some("retrieve")
+    );
+    assert_eq!(
+        deprecated_call_on("let r = retrieve_resilient(g, a, u, &c, &rc, None);"),
+        Some("retrieve_resilient")
+    );
+    assert_eq!(
+        deprecated_call_on("retrieve_multishell(&graphs, &access, user, &sets, &cfg, None)"),
+        Some("retrieve_multishell")
+    );
+    // …and must NOT fire on definitions, prefixed identifiers, or imports.
+    assert_eq!(deprecated_call_on("pub fn retrieve("), None);
+    assert_eq!(deprecated_call_on("    ref_retrieve(graph, user)"), None);
+    assert_eq!(
+        deprecated_call_on("use spacecdn_core::{retrieve, Scenario};"),
+        None
+    );
+    assert_eq!(
+        deprecated_call_on("// call retrieve(...) for the old way"),
+        None
+    );
+}

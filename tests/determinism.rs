@@ -10,7 +10,9 @@
 use spacecdn_suite::core::{clear_graph_pool, graph_pool_stats};
 use spacecdn_suite::engine::{set_snapshot_pool_override, set_thread_override};
 use spacecdn_suite::geo::{DetRng, SimTime};
-use spacecdn_suite::lsn::{set_routing_cache_override, FaultPlan, IslGraph, SourceTables};
+use spacecdn_suite::lsn::{
+    set_routing_cache_override, FaultPlan, FaultSchedule, IslGraph, SourceTables,
+};
 use spacecdn_suite::measure::aim::{AimCampaign, AimConfig};
 use spacecdn_suite::measure::spacecdn::hop_bound_experiment;
 use spacecdn_suite::orbit::shell::shells;
@@ -56,7 +58,7 @@ fn aim_campaign_identical_at_any_thread_count() {
 /// exact hop histogram and fallback count).
 fn fig7_fingerprint() -> String {
     let mut out = String::new();
-    for mut r in hop_bound_experiment(&[1, 3, 5], 60, 2, 23) {
+    for mut r in hop_bound_experiment(&[1, 3, 5], 60, 2, 23, &FaultSchedule::none()) {
         out.push_str(&format!(
             "bound={}:fallbacks={};",
             r.max_hops, r.ground_fallbacks
@@ -150,6 +152,80 @@ fn stable_metrics_identical_at_any_thread_count() {
     }
     spacecdn_suite::telemetry::set_metrics_override(None);
     clear_graph_pool();
+}
+
+/// Flatten one traffic-engine run into a comparable string: every
+/// counter, both byte tallies, the exact hop histogram, and the full
+/// quantile ladder as raw bits.
+fn traffic_fingerprint() -> String {
+    use spacecdn_suite::prelude::{
+        run_traffic, AccessModel, FiberModel, Geodetic, Latency, LsnNetwork, Scenario,
+        TrafficConfig, TrafficSource,
+    };
+    let net = LsnNetwork::new(
+        Constellation::new(shells::starlink_shell1()),
+        Vec::new(),
+        AccessModel::default(),
+        FiberModel::default(),
+    );
+    let mut sc = Scenario::builder(net).build();
+    let cfg = TrafficConfig {
+        requests: 4_000,
+        streams: 5,
+        epochs: 2,
+        catalog_size: 600,
+        cache_bytes_per_sat: 256 << 20,
+        ..TrafficConfig::default()
+    };
+    let sources: Vec<TrafficSource> = [
+        (40.4, -3.7, 6u32),
+        (-25.97, 32.57, 2),
+        (51.5, -0.13, 9),
+        (35.68, 139.69, 10),
+    ]
+    .into_iter()
+    .map(|(lat, lon, weight)| TrafficSource {
+        position: Geodetic::ground(lat, lon),
+        weight,
+        fallback_rtt: vec![Latency::from_ms(140.0); cfg.epochs],
+    })
+    .collect();
+    let mut r = run_traffic(&mut sc, &sources, &cfg);
+    let mut out = format!(
+        "req={};oh={};isl={};origin={};dead={};ins={};ev={};ttl={};inv={};served={};ob={};hops={:?};",
+        r.requests,
+        r.overhead_hits,
+        r.isl_hits,
+        r.origin_fetches,
+        r.dead_zones,
+        r.inserts,
+        r.evictions,
+        r.ttl_expiries,
+        r.invalidations,
+        r.served_bytes,
+        r.origin_bytes,
+        r.hop_histogram,
+    );
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        out.push_str(&format!(
+            "q{q}={:?};",
+            r.latencies.quantile(q).map(f64::to_bits)
+        ));
+    }
+    out
+}
+
+#[test]
+fn traffic_engine_identical_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let sequential = with_thread_count(1, traffic_fingerprint);
+    for threads in [2, 5] {
+        let parallel = with_thread_count(threads, traffic_fingerprint);
+        assert_eq!(
+            sequential, parallel,
+            "traffic engine diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]

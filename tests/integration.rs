@@ -6,12 +6,12 @@ use spacecdn_suite::content::catalog::{Catalog, RegionTag};
 use spacecdn_suite::content::popularity::RegionalPopularity;
 use spacecdn_suite::core::network::LsnNetwork;
 use spacecdn_suite::core::placement::PlacementStrategy;
-use spacecdn_suite::core::retrieval::{retrieve, RetrievalConfig, RetrievalSource};
 use spacecdn_suite::des::{run_until, Scheduler};
 use spacecdn_suite::geo::{DetRng, Latency, SimDuration, SimTime};
 use spacecdn_suite::lsn::{FaultPlan, IslGraph};
 use spacecdn_suite::orbit::shell::shells;
 use spacecdn_suite::orbit::Constellation;
+use spacecdn_suite::prelude::{RetrievalRequest, RetrievalSource};
 use spacecdn_suite::terra::cdn::{anycast_select, cdn_sites};
 use spacecdn_suite::terra::city::{cities, city_by_name};
 
@@ -22,22 +22,16 @@ fn full_stack_fetch_pipeline() {
     let snap = net.snapshot(SimTime::from_secs(300), &FaultPlan::none());
     let mut rng = DetRng::new(1, "integration");
     let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
-    let cfg = RetrievalConfig {
-        max_isl_hops: 5,
-        ground_fallback_rtt: Latency::from_ms(160.0),
-    };
     let mut served_from_space = 0;
     for city in ["Maputo", "London", "Tokyo", "Sao Paulo", "Nairobi"] {
         let c = city_by_name(city).unwrap();
-        let out = retrieve(
-            snap.graph(),
-            net.access(),
-            c.position(),
-            &caches,
-            &cfg,
-            None,
-        )
-        .expect("constellation alive");
+        let out = RetrievalRequest::new(c.position())
+            .hop_budget(5)
+            .ground_fallback(Latency::from_ms(160.0))
+            .graceful(false)
+            .execute(snap.graph(), net.access(), &caches, None)
+            .outcome
+            .expect("constellation alive");
         assert!(
             out.rtt.ms() > 5.0 && out.rtt.ms() < 200.0,
             "{city}: {}",

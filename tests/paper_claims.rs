@@ -2,6 +2,7 @@
 //! table/figure. These are the repository's acceptance tests: if one fails,
 //! the reproduction no longer reproduces.
 
+use spacecdn_suite::lsn::FaultSchedule;
 use spacecdn_suite::measure::aim::{AimCampaign, AimConfig, IspKind};
 use spacecdn_suite::measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
 use spacecdn_suite::measure::web::{
@@ -125,7 +126,7 @@ fn fig5_fcp_gap_around_200ms() {
 
 #[test]
 fn fig7_hop_budget_orders_latency_and_beats_far_homed_starlink() {
-    let results = hop_bound_experiment(&[1, 5, 10], 240, 3, 7);
+    let results = hop_bound_experiment(&[1, 5, 10], 240, 3, 7, &FaultSchedule::none());
     let mut medians = Vec::new();
     for mut r in results {
         medians.push(r.latencies.median().expect("samples"));
@@ -151,7 +152,7 @@ fn fig7_hop_budget_orders_latency_and_beats_far_homed_starlink() {
 
 #[test]
 fn fig8_fifty_percent_duty_cycle_competitive() {
-    let results = duty_cycle_experiment(&[0.3, 0.5, 0.8], 300, 3, 7);
+    let results = duty_cycle_experiment(&[0.3, 0.5, 0.8], 300, 3, 7, &FaultSchedule::none());
     let campaign = AimCampaign::run(&aim_config());
     let mut terr = campaign.rtt_distribution_balanced(IspKind::Terrestrial, 60);
     let terr_median = terr.median().unwrap();
