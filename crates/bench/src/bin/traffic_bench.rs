@@ -1,14 +1,32 @@
-//! Traffic engine benchmark: steady-state request-driven workload at
-//! million-user scale — Zipf demand from population-weighted covered
-//! cities, pull-through per-satellite LRU+TTL caches, swept across
-//! thermal duty-cycle fractions. Reports sustained requests/sec, cache
-//! hit ratio, origin offload and the fetch-latency CDF per fraction.
+//! Traffic engine benchmark: constellation-scale streaming workload —
+//! Zipf demand from population-weighted covered cities, pull-through
+//! per-satellite LRU+TTL caches across every configured Starlink shell,
+//! swept across thermal duty-cycle fractions. Reports sustained
+//! requests/sec, peak resident memory, cache hit ratio, origin offload,
+//! per-shell breakdowns and the fetch-latency CDF per fraction.
+//!
+//! Flags: `--quick` (CI-sized run), `--shells all|0,1,...` (which
+//! Starlink 2024 shells to simulate; default all four), `--requests N`
+//! (requests per duty fraction; default 4M full / 50k quick).
 
 use serde::Serialize;
-use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_bench::{banner, quick_mode, results_dir};
+use spacecdn_engine::peak_rss_bytes;
 use spacecdn_measure::report::{format_table, write_json};
 use spacecdn_suite::prelude::{traffic_campaign, FaultSchedule, TrafficCampaignConfig};
 use std::time::Instant;
+
+/// Schema tag: v2 added `shells`, `per_shell` rows, `requests_per_fraction`
+/// and `peak_rss_bytes` for the constellation-scale streaming engine.
+const SCHEMA: &str = "spacecdn-traffic-v2";
+
+#[derive(Serialize)]
+struct ShellRow {
+    shell: usize,
+    overhead_hits: u64,
+    isl_hits: u64,
+    inserts: u64,
+}
 
 #[derive(Serialize)]
 struct FractionRow {
@@ -25,36 +43,84 @@ struct FractionRow {
     p10_ms: f64,
     median_ms: f64,
     p90_ms: f64,
+    per_shell: Vec<ShellRow>,
     latency_cdf: Vec<(f64, f64)>,
 }
 
 #[derive(Serialize)]
 struct TrafficBench {
+    schema: &'static str,
+    shells: Vec<usize>,
     epochs: usize,
     streams: usize,
     catalog_size: usize,
+    requests_per_fraction: u64,
     total_requests: u64,
     wall_s: f64,
     requests_per_sec: f64,
+    peak_rss_bytes: Option<u64>,
     fractions: Vec<FractionRow>,
+}
+
+/// `--shells all|0,1,...` → shell indices (default: all four 2024 shells).
+fn parse_shells() -> Vec<usize> {
+    let Some(spec) = flag_value("--shells") else {
+        return vec![0, 1, 2, 3];
+    };
+    if spec == "all" {
+        return vec![0, 1, 2, 3];
+    }
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--shells expects 'all' or indices, got '{s}'"))
+        })
+        .collect()
+}
+
+/// `--requests N` → requests per duty fraction.
+fn parse_requests() -> u64 {
+    flag_value("--requests").map_or_else(
+        || if quick_mode() { 50_000 } else { 4_000_000 },
+        |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--requests expects a count, got '{v}'"))
+        },
+    )
+}
+
+/// The value following `name` on the command line, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
 }
 
 fn main() {
     banner(
-        "Traffic engine — steady-state Zipf workload over warm satellite caches",
+        "Traffic engine — constellation-scale streaming Zipf workload",
         "(infrastructure, extends Fig 8) cache hit ratio and origin offload \
-         as thermal duty cycling throttles which satellites may cache",
+         across all Starlink shells as thermal duty cycling throttles caches",
     );
 
+    let shells = parse_shells();
+    let requests = parse_requests();
     let cfg = TrafficCampaignConfig {
         duty_fractions: vec![1.0, 0.6, 0.3],
-        // Full mode: 150k requests per sweep point across 4 topology
-        // epochs — comfortably past the 100k/3-epoch floor this bench
-        // is meant to prove sustainable.
-        requests: scaled(150_000) as u64,
-        epochs: if spacecdn_bench::quick_mode() { 3 } else { 4 },
+        requests,
+        epochs: if quick_mode() { 3 } else { 4 },
+        shells: shells.clone(),
         ..TrafficCampaignConfig::default()
     };
+    println!(
+        "shells {:?} · {} requests/fraction · {} epochs",
+        shells, requests, cfg.epochs
+    );
+
     let t0 = Instant::now();
     let points = traffic_campaign(&cfg, &FaultSchedule::none());
     let wall_s = t0.elapsed().as_secs_f64();
@@ -88,6 +154,18 @@ fn main() {
             p10_ms: p.latencies.quantile(0.1).unwrap_or(f64::NAN),
             median_ms: median,
             p90_ms: p.latencies.quantile(0.9).unwrap_or(f64::NAN),
+            per_shell: p
+                .report
+                .per_shell
+                .iter()
+                .zip(&shells)
+                .map(|(s, &shell)| ShellRow {
+                    shell,
+                    overhead_hits: s.overhead_hits,
+                    isl_hits: s.isl_hits,
+                    inserts: s.inserts,
+                })
+                .collect(),
             latency_cdf: p.latencies.cdf(40).points,
         });
     }
@@ -106,17 +184,49 @@ fn main() {
             &rows,
         )
     );
+    if let Some(full) = fractions.first() {
+        let shell_rows: Vec<Vec<String>> = full
+            .per_shell
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("shell {}", s.shell),
+                    format!("{}", s.overhead_hits),
+                    format!("{}", s.isl_hits),
+                    format!("{}", s.inserts),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &["full duty", "overhead hits", "isl hits", "inserts"],
+                &shell_rows,
+            )
+        );
+    }
+    let peak_rss = peak_rss_bytes();
     println!("{total_requests} requests in {wall_s:.2} s — {requests_per_sec:.0} req/s sustained");
+    if let Some(rss) = peak_rss {
+        println!(
+            "peak resident memory: {:.0} MiB",
+            rss as f64 / (1 << 20) as f64
+        );
+    }
 
     write_json(
         &results_dir().join("BENCH_traffic.json"),
         &TrafficBench {
+            schema: SCHEMA,
+            shells,
             epochs: cfg.epochs,
             streams: cfg.streams,
             catalog_size: cfg.catalog_size,
+            requests_per_fraction: requests,
             total_requests,
             wall_s,
             requests_per_sec,
+            peak_rss_bytes: peak_rss,
             fractions,
         },
     )

@@ -20,6 +20,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod fleet;
 pub mod hierarchy;
 pub mod popularity;
 pub mod ttl;
@@ -27,6 +28,7 @@ pub mod video;
 
 pub use cache::{Cache, CacheStats, FifoCache, LfuCache, LruCache, SlruCache};
 pub use catalog::{Catalog, ContentId, ContentKind, ContentObject, RegionTag};
+pub use fleet::FleetCache;
 pub use hierarchy::{CacheHierarchy, HierarchyOutcome, ServedBy, TierLatencies};
 pub use popularity::{RegionalPopularity, ZipfSampler};
 pub use ttl::TtlCache;

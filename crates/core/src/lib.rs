@@ -57,5 +57,8 @@ pub use retrieval::{
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spacevm::{plan_vm_service, VmMigrationPlan, VmServiceConfig};
 pub use striping::{plan_stripes, plan_windows_pass_aware, playback_stalls, StripeAssignment};
-pub use traffic::{run_traffic, TrafficConfig, TrafficReport, TrafficSource};
+pub use traffic::{
+    run_traffic, run_traffic_multishell, Arrival, ArrivalStream, ShellTraffic, TrafficConfig,
+    TrafficReport, TrafficSource,
+};
 pub use wormhole::{find_transits, wormhole_capacity, Transit, WormholeCapacity};

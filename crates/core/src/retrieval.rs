@@ -54,6 +54,17 @@ static DEGRADED_GROUND_CHEAPER: LazyCounter =
 static RESILIENT_ATTEMPTS: LazyHistogram =
     LazyHistogram::stable("core.retrieval.resilient.attempts", Unit::Count);
 
+/// Full space-segment round-trip cost of fetching over an ISL route:
+/// two-way vacuum propagation along `dist_km` plus per-hop switching.
+/// Selecting on kilometres alone would be wrong — a shorter route through
+/// more (cheaper) hops can still lose on total. Shared by the fetch paths
+/// here and the batched traffic engine so the cost model cannot drift.
+#[inline]
+pub fn space_segment_cost(access: &AccessModel, dist_km: f64, route_hops: u32) -> Latency {
+    propagation_delay(Km(dist_km), Medium::Vacuum).round_trip()
+        + access.isl_processing(route_hops as usize)
+}
+
 /// Where a request was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetrievalSource {
@@ -414,11 +425,7 @@ fn plain_fetch(
             if !dist_km.is_finite() {
                 continue;
             }
-            // Full space-segment cost: propagation plus per-hop switching.
-            // Selecting on kilometres alone would be wrong — a shorter
-            // route through more (cheaper) hops can still lose on total.
-            let cost = propagation_delay(Km(dist_km), Medium::Vacuum).round_trip()
-                + access.isl_processing(route_hops as usize);
+            let cost = space_segment_cost(access, dist_km, route_hops);
             if best.is_none_or(|(_, b, _)| cost < b) {
                 best = Some((sat, cost, h));
             }
@@ -562,8 +569,7 @@ fn resilient_fetch(
         if !dist_km.is_finite() {
             continue;
         }
-        let cost = propagation_delay(Km(dist_km), Medium::Vacuum).round_trip()
-            + access.isl_processing(route_hops as usize);
+        let cost = space_segment_cost(access, dist_km, route_hops);
         copies.push((sat, h, cost));
     }
 

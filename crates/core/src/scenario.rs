@@ -17,7 +17,7 @@
 
 use crate::network::LsnNetwork;
 use crate::retrieval::{FetchResult, RetrievalRequest};
-use spacecdn_geo::{DetRng, Geodetic, Latency, SimTime};
+use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
 use spacecdn_lsn::{FaultSchedule, IslGraph};
 use spacecdn_orbit::SatIndex;
 use spacecdn_telemetry::LazyCounter;
@@ -191,6 +191,21 @@ impl Scenario {
             .net
             .snapshot(t, &self.schedule.plan_at(t))
             .graph_handle();
+    }
+
+    /// Advance through `epochs` topology epochs (`EPOCH + step·e`) and
+    /// return each epoch's pooled snapshot handle. This is the batched
+    /// front door for engines that shard work across threads: all
+    /// snapshots are frozen up front by one owner, so worker shards share
+    /// the `Arc`s instead of racing the snapshot pool. The scenario is
+    /// left positioned at the final epoch.
+    pub fn freeze_epochs(&mut self, epochs: usize, step: SimDuration) -> Vec<Arc<IslGraph>> {
+        (0..epochs)
+            .map(|e| {
+                self.advance_to(SimTime::EPOCH + step.mul(e as u64));
+                self.graph_handle()
+            })
+            .collect()
     }
 
     /// A request pre-filled with the session's default policy, ready for

@@ -1,42 +1,66 @@
-//! The steady-state traffic engine: request-driven simulation of
-//! Zipf-distributed content demand against warm per-satellite caches.
+//! The constellation-scale streaming traffic engine: request-driven
+//! simulation of Zipf-distributed content demand against warm
+//! per-satellite caches across every shell.
 //!
 //! Everything else in this crate resolves *one* fetch against a fixed
-//! copy set. This module runs the workload the ROADMAP's
-//! million-user north star needs: weighted population sources issue
-//! Poisson request arrivals on the [`spacecdn_des`] event core, each
-//! request resolves through the unified [`RetrievalRequest`] machinery
-//! against per-satellite LRU+TTL caches that warm by pull-through, hit,
-//! evict under capacity pressure, expire on TTL, and are invalidated
-//! wholesale when the fault schedule kills their satellite at an epoch
-//! boundary.
+//! copy set. This module runs the workload the ROADMAP's million-user
+//! north star needs — tens of millions of requests over the full
+//! multi-shell constellation — in bounded memory and at ≥1M requests per
+//! second. Three structural choices make that possible:
+//!
+//! - **Streaming arrivals.** A Poisson arrival process knows its next
+//!   event analytically, so [`ArrivalStream`] generates each shard's
+//!   arrivals lazily on the [`spacecdn_des::stream`] core (merged with
+//!   the fixed epoch ticks) instead of materializing millions of queue
+//!   entries. Per-shard memory is O(1) in the request count; the only
+//!   per-request retention is the latency reservoir in the report.
+//! - **Flat SoA cache state.** Per-satellite caches are one
+//!   [`FleetCache`]: parallel arrays indexed by a global satellite slot
+//!   with intrusive LRU links, replacing a `HashMap` of `TtlCache<LruCache>`
+//!   per satellite (proven behavior-identical by differential proptests
+//!   in `spacecdn-content`). Holder lists — which satellites cache each
+//!   object — are maintained *eagerly*: LRU evictions report their
+//!   victims, TTL lapses are applied by a timer queue with lazy
+//!   deletion, and epoch invalidations drain the wiped slots. The
+//!   per-request candidate scan is therefore pure arithmetic over live
+//!   holders, with no per-candidate freshness probing.
+//! - **Batched retrieval per (source, epoch).** All requests a source
+//!   issues within one topology epoch share the same overhead satellite,
+//!   user-link geometry and routing tables per shell, so a `BatchCtx`
+//!   resolves them once and thousands of requests reuse it
+//!   (`core.traffic.batch.*` telemetry tracks the amortization).
 //!
 //! # Determinism contract
 //!
 //! The catalog is partitioned into `streams` disjoint shards by content
-//! id. Each shard runs as an independent task on [`spacecdn_engine::par_map`]
-//! with its own `DetRng` stream (`traffic/stream/{s}`), its own event
-//! queue, and its own cache fleet; shards only share the **read-only**
-//! per-epoch topology snapshots. Shard samplers are built with
-//! [`ZipfSampler::over_ranks`], so the union of all shards reproduces the
-//! global Zipf demand exactly while no mutable state crosses a thread
-//! boundary. Reports merge in shard order. The result: byte-identical
-//! output at any thread count, proven by `tests/determinism.rs`.
+//! id. Each shard runs as an independent task on
+//! [`spacecdn_engine::par_map`] with two private `DetRng` streams —
+//! `traffic/arrivals/{s}` feeding the arrival stream (inter-arrival gap,
+//! source roll, object rank, in that pinned order per arrival) and
+//! `traffic/service/{s}` for the one scheduling-jitter draw each
+//! non-dead-zone request makes — its own event stream, and its own cache
+//! fleet; shards only share the **read-only** per-epoch topology
+//! snapshots. Shard samplers are built with [`ZipfSampler::over_ranks`],
+//! so the union of all shards reproduces the global Zipf demand exactly
+//! while no mutable state crosses a thread boundary. Reports merge in
+//! shard order. The result: byte-identical output at any thread count,
+//! for the full constellation, proven by `tests/determinism.rs`.
 
 use crate::duty_cycle::DutyCycler;
-use crate::retrieval::{DegradeReason, RetrievalRequest, RetrievalSource};
+use crate::retrieval::space_segment_cost;
 use crate::scenario::Scenario;
-use spacecdn_content::cache::{Cache, LruCache};
 use spacecdn_content::catalog::{Catalog, ContentId};
+use spacecdn_content::fleet::FleetCache;
 use spacecdn_content::popularity::ZipfSampler;
-use spacecdn_content::ttl::TtlCache;
-use spacecdn_des::{run_until, Percentiles, Scheduler};
+use spacecdn_des::stream::{drive, EventStream, FixedTicks, Merged, MergedEvent};
+use spacecdn_des::Percentiles;
 use spacecdn_engine::par_map_indices;
+use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
-use spacecdn_lsn::IslGraph;
+use spacecdn_lsn::{AccessModel, IslGraph, SourceTables};
 use spacecdn_orbit::SatIndex;
-use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
-use std::collections::{BTreeSet, HashMap};
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, LocalHistogram, Unit};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Traffic counters (stable: per-stream work is deterministic and the
@@ -54,6 +78,24 @@ static INVALIDATIONS: LazyCounter = LazyCounter::stable("core.traffic.invalidati
 /// Per-request served latency in microseconds (stable: latencies are
 /// deterministic, so the log2 bucket tallies are thread-count-invariant).
 static LATENCY_US: LazyHistogram = LazyHistogram::stable("core.traffic.latency_us", Unit::Count);
+
+/// Batching counters (stable: batch contexts are built and reused by
+/// each shard's deterministic event sequence, so the tallies are sums
+/// over shards and thread-count-invariant). `formed` counts contexts
+/// built — one per (source, epoch) pair a shard actually serves;
+/// `table_reuses` counts requests that reused an existing context's
+/// routing tables instead of re-resolving them.
+static BATCHES_FORMED: LazyCounter = LazyCounter::stable("core.traffic.batch.formed");
+static BATCH_TABLE_REUSES: LazyCounter = LazyCounter::stable("core.traffic.batch.table_reuses");
+/// Requests amortized over each batch context, recorded at context
+/// retirement (stable, same argument as the batch counters).
+static BATCH_REQUESTS: LazyHistogram =
+    LazyHistogram::stable("core.traffic.batch.requests", Unit::Count);
+/// End-of-run cache occupancy of every satellite slot holding at least
+/// one object, per shard (stable: each shard's final fleet state is
+/// deterministic and slots are visited in slot order).
+static CACHE_OCCUPANCY: LazyHistogram =
+    LazyHistogram::stable("core.traffic.cache.occupancy_bytes", Unit::Bytes);
 
 /// One demand source: a population point issuing requests.
 #[derive(Debug, Clone)]
@@ -124,6 +166,17 @@ impl Default for TrafficConfig {
     }
 }
 
+/// Per-shell slice of a traffic run's space-served outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShellTraffic {
+    /// Requests served by this shell's overhead satellite.
+    pub overhead_hits: u64,
+    /// Requests served over this shell's ISLs.
+    pub isl_hits: u64,
+    /// Pull-through fills landing on this shell.
+    pub inserts: u64,
+}
+
 /// Aggregated outcome of a traffic run.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficReport {
@@ -154,6 +207,9 @@ pub struct TrafficReport {
     /// ISL-hit hop histogram: index = BFS hop distance of the serving
     /// satellite.
     pub hop_histogram: Vec<u64>,
+    /// Space-served outcomes attributed to each shell, in shell order
+    /// (one entry per scenario passed to [`run_traffic_multishell`]).
+    pub per_shell: Vec<ShellTraffic>,
 }
 
 impl TrafficReport {
@@ -194,209 +250,480 @@ impl TrafficReport {
         for (i, &n) in other.hop_histogram.iter().enumerate() {
             self.hop_histogram[i] += n;
         }
+        if self.per_shell.len() < other.per_shell.len() {
+            self.per_shell
+                .resize(other.per_shell.len(), ShellTraffic::default());
+        }
+        for (i, s) in other.per_shell.iter().enumerate() {
+            self.per_shell[i].overhead_hits += s.overhead_hits;
+            self.per_shell[i].isl_hits += s.isl_hits;
+            self.per_shell[i].inserts += s.inserts;
+        }
     }
 }
 
-/// Events on one stream's queue.
-enum TrafficEvent {
-    /// One request fires.
-    Arrival,
-    /// The constellation advances to epoch `e` (snapshot swap + cache
-    /// invalidation of newly failed satellites).
-    EpochStart(usize),
+/// One generated request: which source issued it and which shard-local
+/// object rank it wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Index into the run's source list.
+    pub source: u32,
+    /// Shard-local popularity rank (index into the shard's id list).
+    pub rank: u32,
+}
+
+/// Lazy Poisson arrival stream for one catalog shard.
+///
+/// Yields exactly `quota` arrivals with exponential inter-arrival gaps,
+/// clamped to the horizon so every shard meets its quota. Per arrival the
+/// RNG stream `traffic/arrivals/{shard}` is consumed in a pinned order —
+/// inter-arrival gap, then source roll, then Zipf rank — which
+/// `crates/core/tests/streaming.rs` proves identical to a materialized
+/// reference generator (times, sources, ranks, and RNG consumption).
+pub struct ArrivalStream<'a> {
+    rng: DetRng,
+    weight_cdf: &'a [u64],
+    sampler: &'a ZipfSampler,
+    horizon: SimTime,
+    mean_interarrival_s: f64,
+    prev: SimTime,
+    issued: u64,
+    quota: u64,
+}
+
+impl<'a> ArrivalStream<'a> {
+    /// The arrival stream of shard `shard` under `seed`: `quota` requests
+    /// spread over `(EPOCH, horizon]` with mean rate `quota / horizon`.
+    pub fn new(
+        seed: u64,
+        shard: usize,
+        weight_cdf: &'a [u64],
+        sampler: &'a ZipfSampler,
+        horizon: SimTime,
+        quota: u64,
+    ) -> Self {
+        ArrivalStream {
+            rng: DetRng::new(seed, &format!("traffic/arrivals/{shard}")),
+            weight_cdf,
+            sampler,
+            horizon,
+            mean_interarrival_s: horizon.as_secs_f64() / quota.max(1) as f64,
+            prev: SimTime::EPOCH,
+            issued: 0,
+            quota,
+        }
+    }
+
+    /// The stream's RNG after the arrivals generated so far — lets the
+    /// equivalence suite assert the exact consumption order.
+    pub fn into_rng(self) -> DetRng {
+        self.rng
+    }
+}
+
+impl EventStream for ArrivalStream<'_> {
+    type Event = Arrival;
+
+    fn next_event(&mut self) -> Option<(SimTime, Arrival)> {
+        if self.issued >= self.quota {
+            return None;
+        }
+        self.issued += 1;
+        let gap = SimDuration::from_secs_f64(self.rng.exponential(self.mean_interarrival_s));
+        let at = (self.prev + gap).min(self.horizon);
+        self.prev = at;
+        let total = *self.weight_cdf.last().expect("non-empty sources");
+        let roll = self.rng.index(total as usize) as u64;
+        let source = self.weight_cdf.partition_point(|&c| c <= roll) as u32;
+        let rank = self.sampler.sample(&mut self.rng) as u32;
+        Some((at, Arrival { source, rank }))
+    }
+}
+
+/// Per-shell retrieval geometry of one (source, epoch) batch: the
+/// overhead satellite (as a global slot), its user-link propagation
+/// round trip, and the routing tables rooted at it.
+struct ShellCtx {
+    overhead_slot: u32,
+    user_prop: Latency,
+    tables: Arc<SourceTables>,
+}
+
+/// Memoized candidate scan for one (source, rank): the best base RTT
+/// (jitter excluded), hop count, and serving slot per escalation rung.
+/// Holder lists are append-mostly — pull-through only ever adds holders,
+/// and a new holder can only *improve* the bests — so the memo folds in
+/// just the unseen tail (`seen..len`) on reuse. Only an actual removal
+/// (eviction, TTL lapse, invalidation) or a retired batch context forces
+/// a full rescan: `gen` must match the source's live context and
+/// `removals` the rank's removal count, both of which start above the
+/// memo's zeroed defaults.
+#[derive(Clone, Default)]
+struct RankMemo {
+    gen: u32,
+    removals: u32,
+    seen: u32,
+    bests: Vec<Option<(Latency, u32, u32)>>,
+}
+
+/// Everything a source's requests share within one topology epoch.
+/// Building one costs a nearest-satellite search plus a routing-table
+/// resolution per shell; every further request in the batch reuses it.
+struct BatchCtx {
+    shells: Vec<Option<ShellCtx>>,
+    /// Pull-through target: the overhead slot with the smallest slant
+    /// range across shells (`None` in a total dead zone).
+    fill: Option<u32>,
+    /// Build generation, starting at 1: stamped into every memo entry
+    /// this context's scans produce, so retiring the context (new epoch,
+    /// new geometry) implicitly invalidates them all.
+    gen: u32,
+    requests: u64,
 }
 
 /// Mutable state of one catalog shard's simulation.
-struct StreamWorld<'a> {
-    rng: DetRng,
-    caches: HashMap<SatIndex, TtlCache<LruCache>>,
-    holders: HashMap<ContentId, BTreeSet<SatIndex>>,
+struct ShardWorld<'a> {
+    service_rng: DetRng,
+    fleet: FleetCache,
+    /// Shard-local rank → global satellite slots holding a live copy.
+    /// Maintained eagerly: pruned on eviction, TTL lapse, and epoch
+    /// invalidation, so the serve-path scan needs no freshness probes.
+    holders: Vec<Vec<u32>>,
+    /// Per-rank count of holder *removals* (evictions, TTL lapses,
+    /// invalidations), starting at 1; appends are tracked by list length
+    /// instead, so scan memos survive them (see [`RankMemo`]).
+    holder_removals: Vec<u32>,
+    rank_of: HashMap<ContentId, u32>,
+    /// TTL timer queue with lazy deletion: every insert pushes
+    /// `(expiry, slot, content)`; records whose entry was refreshed,
+    /// evicted, or invalidated in the meantime are skipped on pop.
+    expiries: VecDeque<(SimTime, u32, ContentId)>,
+    ctxs: Vec<Option<BatchCtx>>,
+    /// Scan memos, flat-indexed `source × ranks + rank` (see [`RankMemo`]).
+    /// The scheduling jitter is a common additive term on every
+    /// candidate's RTT, so a memo is recomputed only when the rank's
+    /// holder list or the source's batch geometry changes — which Zipf
+    /// demand makes rare exactly where requests concentrate.
+    memo: Vec<RankMemo>,
+    /// Generation for the next batch context (starts at 1; 0 marks
+    /// never-written memo entries).
+    next_gen: u32,
+    /// Per-(source, candidate) cost cache, flat-indexed
+    /// `source × dense_cap + dense id` and tagged with the context
+    /// generation that computed it: `(gen, base RTT, hops)`, with
+    /// `hops == u32::MAX` meaning unreachable from that source. A
+    /// candidate's cost is rank-independent, so memo folds across all
+    /// ranks reuse the same warm entries instead of re-reading scattered
+    /// routing tables. Only slots that ever receive a pull-through fill
+    /// can hold content, so candidates get *dense* ids as fills first
+    /// touch them — at most one per (source, epoch) — keeping the whole
+    /// cache small enough to stay cache-resident.
+    slot_cost: Vec<(u32, Latency, u32)>,
+    /// Global slot → dense candidate id (`u16::MAX` = never filled).
+    dense_of: Vec<u16>,
+    /// Next dense id to assign; bounded by `dense_cap`.
+    next_dense: u16,
+    /// Dense id capacity: `sources × epochs`, the exact upper bound on
+    /// distinct fill targets.
+    dense_cap: usize,
     epoch: usize,
-    issued: u64,
-    quota: u64,
     report: TrafficReport,
+    /// Batch contexts built this shard (flushed to telemetry once).
+    batches_formed: u64,
+    /// Per-request latency samples, folded into the registry histogram
+    /// once per shard instead of two atomics per request.
+    latency_local: LocalHistogram,
+    // Scratch buffers (allocation-free steady state).
+    dropped: Vec<ContentId>,
     // Shard demand model.
-    sampler: ZipfSampler,
-    shard_ids: Vec<ContentId>,
+    shard_ids: &'a [ContentId],
+    sizes: &'a [u64],
     // Shared read-only context.
-    graphs: &'a [Arc<IslGraph>],
+    graphs: &'a [Vec<Arc<IslGraph>>],
+    shell_offsets: &'a [u32],
+    shell_of: &'a [u8],
     sources: &'a [TrafficSource],
-    weight_cdf: &'a [u64],
-    catalog: &'a Catalog,
     duty: &'a DutyCycler,
     cfg: &'a TrafficConfig,
-    net_access: &'a spacecdn_lsn::AccessModel,
-    cache_bytes: u64,
-    horizon: SimTime,
-    mean_interarrival_s: f64,
+    access: &'a AccessModel,
 }
 
-impl StreamWorld<'_> {
-    /// Schedule the next arrival, clamped to the horizon so every stream
-    /// issues exactly its quota.
-    fn schedule_next_arrival(&mut self, sched: &mut Scheduler<TrafficEvent>, now: SimTime) {
-        if self.issued >= self.quota {
-            return;
+impl ShardWorld<'_> {
+    /// Drop `slot` from `content`'s holder list (order-insensitive) and
+    /// invalidate every memo built over the old membership.
+    fn prune_holder(
+        holders: &mut [Vec<u32>],
+        removals: &mut [u32],
+        rank_of: &HashMap<ContentId, u32>,
+        content: ContentId,
+        slot: u32,
+    ) {
+        let rank = rank_of[&content] as usize;
+        let hs = &mut holders[rank];
+        if let Some(p) = hs.iter().position(|&g| g == slot) {
+            hs.swap_remove(p);
+            removals[rank] = removals[rank].wrapping_add(1);
         }
-        let gap = SimDuration::from_secs_f64(self.rng.exponential(self.mean_interarrival_s));
-        let at = (now + gap).min(self.horizon);
-        sched.schedule_at(at, TrafficEvent::Arrival);
+    }
+
+    /// Apply every TTL lapse due by `t`, keeping holder lists exact.
+    fn drain_expiries(&mut self, t: SimTime) {
+        while self.expiries.front().is_some_and(|&(e, _, _)| e <= t) {
+            let (_, slot, content) = self.expiries.pop_front().expect("checked front");
+            if self.fleet.expire_if_due(slot, content) {
+                Self::prune_holder(
+                    &mut self.holders,
+                    &mut self.holder_removals,
+                    &self.rank_of,
+                    content,
+                    slot,
+                );
+            }
+        }
+    }
+
+    /// Resolve the retrieval geometry of `source` at the current epoch.
+    fn build_ctx(&self, si: usize, gen: u32) -> BatchCtx {
+        let pos = self.sources[si].position;
+        let epoch_graphs = &self.graphs[self.epoch];
+        let mut shells = Vec::with_capacity(epoch_graphs.len());
+        let mut fill: Option<(u32, f64)> = None;
+        for (k, graph) in epoch_graphs.iter().enumerate() {
+            match graph.nearest_alive(pos) {
+                Some((sat, slant)) => {
+                    let slot = self.shell_offsets[k] + sat.0;
+                    if fill.is_none_or(|(_, s)| slant.0 < s) {
+                        fill = Some((slot, slant.0));
+                    }
+                    shells.push(Some(ShellCtx {
+                        overhead_slot: slot,
+                        user_prop: propagation_delay(slant, Medium::Vacuum).round_trip(),
+                        tables: graph.routing_tables(sat),
+                    }));
+                }
+                None => shells.push(None),
+            }
+        }
+        BatchCtx {
+            shells,
+            fill: fill.map(|(slot, _)| slot),
+            gen,
+            requests: 0,
+        }
     }
 
     /// Resolve one request at simulated time `t`.
-    fn arrival(&mut self, t: SimTime) {
-        self.issued += 1;
+    fn arrival(&mut self, t: SimTime, a: Arrival) {
         self.report.requests += 1;
-        REQUESTS.incr();
+        self.fleet.set_now(t);
+        self.drain_expiries(t);
 
-        // Weighted source, then shard-conditional Zipf content.
-        let total = *self.weight_cdf.last().expect("non-empty sources");
-        let roll = self.rng.index(total as usize) as u64;
-        let si = self.weight_cdf.partition_point(|&c| c <= roll);
-        let source = &self.sources[si];
-        let content = self.shard_ids[self.sampler.sample(&mut self.rng)];
-        let size = self.catalog.get(content).expect("catalog id").size_bytes;
+        let si = a.source as usize;
+        if self.ctxs[si].is_none() {
+            let gen = self.next_gen;
+            self.next_gen = self.next_gen.wrapping_add(1);
+            let built = self.build_ctx(si, gen);
+            self.ctxs[si] = Some(built);
+            self.batches_formed += 1;
+        }
+        let mut ctx = self.ctxs[si].take().expect("context just ensured");
+        ctx.requests += 1;
 
-        let graph = &self.graphs[self.epoch];
-        // Candidate holders: alive satellites whose cached copy is still
-        // fresh. `is_fresh` purges (and counts) TTL-lapsed entries, and
-        // the holder index is pruned in the same pass — entries evicted
-        // by LRU pressure on other objects' inserts are caught here too.
-        let valid: BTreeSet<SatIndex> = match self.holders.get(&content) {
-            Some(holding) => holding
-                .iter()
-                .copied()
-                .filter(|&sat| {
-                    graph.is_alive(sat)
-                        && self.caches.get_mut(&sat).is_some_and(|cache| {
-                            cache.set_now(t);
-                            cache.is_fresh(content)
-                        })
-                })
-                .collect(),
-            None => BTreeSet::new(),
-        };
-        if valid.is_empty() {
-            self.holders.remove(&content);
-        } else {
-            self.holders.insert(content, valid.clone());
+        let rank = a.rank as usize;
+        let content = self.shard_ids[rank];
+        let size = self.sizes[rank];
+        let fallback = self.sources[si].fallback_rtt[self.epoch];
+
+        if ctx.fill.is_none() {
+            // Total dead zone: no shell has a visible satellite. Ground
+            // serve at the fallback RTT, no jitter draw.
+            self.report.origin_fetches += 1;
+            self.report.dead_zones += 1;
+            self.report.origin_bytes += size;
+            self.report.latencies.add_latency(fallback);
+            self.latency_local.record((fallback.ms() * 1000.0) as u64);
+            self.ctxs[si] = Some(ctx);
+            return;
         }
 
-        let req = RetrievalRequest::new(source.position)
-            .escalation(self.cfg.escalation.clone())
-            .ground_fallback(source.fallback_rtt[self.epoch]);
-        let fetched = req.execute(graph, self.net_access, &valid, Some(&mut self.rng));
-        let outcome = fetched.outcome.expect("graceful fetch always resolves");
+        // One scheduling-jitter draw per servable request, shared by
+        // every shell's user link (the Ka-band scheduler is at the user
+        // terminal, not the satellite).
+        let sched_ms = self.access.sched_overhead_ms_sample(&mut self.service_rng);
+        let jitter = Latency::from_ms(sched_ms);
 
-        match outcome.source {
-            RetrievalSource::Overhead => {
-                self.report.overhead_hits += 1;
-                HITS_OVERHEAD.incr();
-                self.touch(outcome.serving_sat.expect("space hit"), content, t);
-                self.report.served_bytes += size;
-            }
-            RetrievalSource::Isl { hops } => {
-                self.report.isl_hits += 1;
-                HITS_ISL.incr();
-                let h = hops as usize;
-                if self.report.hop_histogram.len() <= h {
-                    self.report.hop_histogram.resize(h + 1, 0);
+        // Candidate scan, memoized per (batch, rank). The jitter is the
+        // same additive term on every candidate, so the per-rung winner
+        // is decided by base RTT alone — the scan only reruns when the
+        // holder list changes under this batch, which Zipf demand makes
+        // rare exactly where requests concentrate.
+        let ladder = &self.cfg.escalation;
+        let hs = &self.holders[rank];
+        let memo = &mut self.memo[si * self.shard_ids.len() + rank];
+        if memo.gen != ctx.gen || memo.removals != self.holder_removals[rank] {
+            memo.bests.clear();
+            memo.bests.resize(ladder.len(), None);
+            memo.gen = ctx.gen;
+            memo.removals = self.holder_removals[rank];
+            memo.seen = 0;
+        }
+        if (memo.seen as usize) < hs.len() {
+            // Fold unseen holders into the per-rung bests, in list order.
+            // `bests` is non-increasing in RTT across rungs (wider
+            // budgets admit supersets), so a candidate cascades upward
+            // until it stops improving; strict `<` keeps the earliest
+            // candidate on exact ties, making the scan order part of the
+            // deterministic contract. Folding the tail of an unchanged
+            // prefix is exactly a full scan of the whole list.
+            for &g in &hs[memo.seen as usize..] {
+                let dense = self.dense_of[g as usize] as usize;
+                debug_assert_ne!(dense, u16::MAX as usize, "holder without a dense id");
+                let cached = &mut self.slot_cost[si * self.dense_cap + dense];
+                if cached.0 != ctx.gen {
+                    *cached = (ctx.gen, Latency::ZERO, u32::MAX);
+                    let shell = self.shell_of[g as usize] as usize;
+                    if let Some(sc) = ctx.shells[shell].as_ref() {
+                        if g == sc.overhead_slot {
+                            *cached = (ctx.gen, sc.user_prop, 0);
+                        } else {
+                            let local = (g - self.shell_offsets[shell]) as usize;
+                            let h = sc.tables.hops[local];
+                            let (dist_km, route_hops) = sc.tables.km[local];
+                            if h != u32::MAX && dist_km.is_finite() {
+                                let cost = space_segment_cost(self.access, dist_km, route_hops);
+                                *cached = (ctx.gen, sc.user_prop + cost, h);
+                            }
+                        }
+                    }
                 }
-                self.report.hop_histogram[h] += 1;
-                self.touch(outcome.serving_sat.expect("space hit"), content, t);
-                self.report.served_bytes += size;
+                let (_, rtt, hops) = *cached;
+                if hops == u32::MAX {
+                    continue;
+                }
+                let Some(j0) = ladder.iter().position(|&budget| hops <= budget) else {
+                    continue;
+                };
+                for j in j0..ladder.len() {
+                    match memo.bests[j] {
+                        Some((brtt, _, _)) if rtt >= brtt => break,
+                        _ => memo.bests[j] = Some((rtt, hops, g)),
+                    }
+                }
             }
-            RetrievalSource::Ground => {
-                self.report.origin_fetches += 1;
-                ORIGIN_FETCHES.incr();
-                self.report.origin_bytes += size;
-                if fetched.degraded == Some(DegradeReason::DeadZone) {
-                    self.report.dead_zones += 1;
-                    DEAD_ZONES.incr();
+            memo.seen = hs.len() as u32;
+        }
+
+        // Serve at the first rung whose best beats the bent pipe —
+        // exactly the resilient escalation ladder, collapsed to one scan.
+        let served = memo
+            .bests
+            .iter()
+            .flatten()
+            .map(|&(base, hops, g)| (base + jitter, hops, g))
+            .find(|&(rtt, _, _)| rtt <= fallback);
+
+        let latency = match served {
+            Some((rtt, hops, slot)) => {
+                let hit = self.fleet.get(slot, content);
+                debug_assert!(hit, "holder index out of sync with the fleet");
+
+                let shell = self.shell_of[slot as usize] as usize;
+                if hops == 0 {
+                    self.report.overhead_hits += 1;
+                    self.report.per_shell[shell].overhead_hits += 1;
                 } else {
-                    // Pull-through fill: the overhead satellite caches the
-                    // object on the way down — when the duty cycle lets it.
-                    self.pull_through(graph, source.position, content, size, t);
+                    self.report.isl_hits += 1;
+                    self.report.per_shell[shell].isl_hits += 1;
+                    let h = hops as usize;
+                    if self.report.hop_histogram.len() <= h {
+                        self.report.hop_histogram.resize(h + 1, 0);
+                    }
+                    self.report.hop_histogram[h] += 1;
                 }
+                self.report.served_bytes += size;
+                rtt
+            }
+            None => {
+                self.report.origin_fetches += 1;
+                self.report.origin_bytes += size;
+                // Pull-through fill: the lowest-slant overhead satellite
+                // caches the object on the way down — when the duty
+                // cycle lets it.
+                let fill = ctx.fill.expect("non-dead-zone batch has a fill target");
+                if self.duty.is_active(SatIndex(fill), t) {
+                    self.dropped.clear();
+                    if self
+                        .fleet
+                        .insert_collect(fill, content, size, &mut self.dropped)
+                    {
+                        self.report.inserts += 1;
+                        let shell = self.shell_of[fill as usize] as usize;
+                        self.report.per_shell[shell].inserts += 1;
+                        if self.dense_of[fill as usize] == u16::MAX {
+                            self.dense_of[fill as usize] = self.next_dense;
+                            self.next_dense += 1;
+                            debug_assert!((self.next_dense as usize) <= self.dense_cap);
+                        }
+                        let hs = &mut self.holders[rank];
+                        if !hs.contains(&fill) {
+                            hs.push(fill);
+                        }
+                        self.expiries.push_back((t + self.cfg.ttl, fill, content));
+                    }
+                    while let Some(victim) = self.dropped.pop() {
+                        Self::prune_holder(
+                            &mut self.holders,
+                            &mut self.holder_removals,
+                            &self.rank_of,
+                            victim,
+                            fill,
+                        );
+                    }
+                }
+                fallback
+            }
+        };
+
+        self.report.latencies.add_latency(latency);
+        self.latency_local.record((latency.ms() * 1000.0) as u64);
+        self.ctxs[si] = Some(ctx);
+    }
+
+    /// Swap to epoch `e`: retire every batch context (their geometry is
+    /// stale) and wipe caches of satellites the fault schedule killed,
+    /// draining their holder entries in the same pass.
+    fn epoch_start(&mut self, e: usize) {
+        for slot in self.ctxs.iter_mut() {
+            if let Some(ctx) = slot.take() {
+                BATCH_REQUESTS.record(ctx.requests);
             }
         }
-
-        self.report.latencies.add_latency(outcome.rtt);
-        LATENCY_US.record((outcome.rtt.ms() * 1000.0) as u64);
-    }
-
-    /// Record a cache hit on the serving satellite (LRU recency + stats).
-    fn touch(&mut self, sat: SatIndex, content: ContentId, t: SimTime) {
-        let cache = self.caches.get_mut(&sat).expect("holder has a cache");
-        cache.set_now(t);
-        cache.get(content);
-    }
-
-    /// Insert `content` into the overhead satellite's cache after an
-    /// origin fetch, if the duty cycle allows that satellite to cache.
-    fn pull_through(
-        &mut self,
-        graph: &IslGraph,
-        user: Geodetic,
-        content: ContentId,
-        size: u64,
-        t: SimTime,
-    ) {
-        let Some((overhead, _)) = graph.nearest_alive(user) else {
-            return;
-        };
-        if !self.duty.is_active(overhead, t) {
-            return;
-        }
-        let cache = self
-            .caches
-            .entry(overhead)
-            .or_insert_with(|| TtlCache::new(LruCache::new(self.cache_bytes), self.cfg.ttl));
-        cache.set_now(t);
-        if cache.insert(content, size) {
-            self.report.inserts += 1;
-            INSERTS.incr();
-            self.holders.entry(content).or_default().insert(overhead);
-        }
-    }
-
-    /// Swap to epoch `e`'s snapshot and wipe caches of satellites the
-    /// fault schedule killed (a rebooted or dead satellite loses its
-    /// contents; holders are pruned lazily via the freshness check).
-    fn epoch_start(&mut self, e: usize) {
         self.epoch = e;
-        let graph = &self.graphs[e];
-        for (&sat, cache) in self.caches.iter_mut() {
-            if !graph.is_alive(sat) && !cache.is_empty() {
-                let dropped = cache.len() as u64;
-                self.report.invalidations += dropped;
-                INVALIDATIONS.add(dropped);
-                cache.clear();
+        for (shell, graph) in self.graphs[e].iter().enumerate() {
+            let off = self.shell_offsets[shell];
+            for local in 0..graph.len() {
+                let g = off + local as u32;
+                if self.fleet.len_of(g) > 0 && !graph.is_alive(SatIndex(local as u32)) {
+                    let n = self.fleet.clear_sat(g, &mut self.dropped);
+                    self.report.invalidations += n;
+                    INVALIDATIONS.add(n);
+                    while let Some(id) = self.dropped.pop() {
+                        Self::prune_holder(
+                            &mut self.holders,
+                            &mut self.holder_removals,
+                            &self.rank_of,
+                            id,
+                            g,
+                        );
+                    }
+                }
             }
         }
     }
 }
 
-/// Drive `cfg.requests` Zipf-distributed requests from `sources` through
-/// the scenario's constellation and fault schedule, warming per-satellite
-/// LRU+TTL caches by pull-through.
-///
-/// The scenario provides the network, the fault schedule, and the pooled
-/// per-epoch snapshots (it is advanced through
-/// `0..cfg.epochs × cfg.epoch_step` and left at the last epoch). Retrieval
-/// policy for each request comes from `cfg.escalation` with the source's
-/// per-epoch ground-fallback RTT; fetches are graceful, so every request
-/// resolves.
-///
-/// # Panics
-/// Panics on an empty source list, a zero weight, a source whose
-/// `fallback_rtt` length differs from `cfg.epochs`, or a catalog smaller
-/// than the stream count.
-pub fn run_traffic(
-    scenario: &mut Scenario,
-    sources: &[TrafficSource],
-    cfg: &TrafficConfig,
-) -> TrafficReport {
+/// Validate the shared workload inputs (common to both entry points).
+fn validate(sources: &[TrafficSource], cfg: &TrafficConfig) {
     assert!(!sources.is_empty(), "traffic needs at least one source");
     assert!(cfg.streams >= 1, "traffic needs at least one stream");
     assert!(cfg.epochs >= 1, "traffic needs at least one epoch");
@@ -412,14 +739,61 @@ pub fn run_traffic(
             "one fallback RTT per epoch required"
         );
     }
+}
 
-    // Per-epoch snapshots, shared read-only by every stream (built
-    // through the scenario so the process-wide pool deduplicates them
-    // across duty fractions and campaigns).
-    let mut graphs = Vec::with_capacity(cfg.epochs);
-    for e in 0..cfg.epochs {
-        scenario.advance_to(SimTime::EPOCH + cfg.epoch_step.mul(e as u64));
-        graphs.push(scenario.graph_handle());
+/// Drive `cfg.requests` Zipf-distributed requests from `sources` through
+/// a multi-shell constellation — one scenario per shell, all advanced
+/// through the same epochs — warming per-satellite LRU+TTL caches by
+/// pull-through.
+///
+/// Each scenario provides one shell's network, fault schedule, and
+/// pooled per-epoch snapshots (each is advanced through
+/// `0..cfg.epochs × cfg.epoch_step` and left at the last epoch); the
+/// access model is taken from the first scenario. Every request sees all
+/// shells at once: candidates from every shell compete in one escalation
+/// ladder (hop budgets compare across shells), the user link of each
+/// shell uses that shell's overhead slant with one shared jitter draw,
+/// and pull-through fills land on the lowest-slant overhead satellite
+/// across shells. A request is a dead zone only when *no* shell has a
+/// visible satellite. Fetches are graceful, so every request resolves.
+///
+/// # Panics
+/// Panics on an empty scenario or source list, a zero weight, a source
+/// whose `fallback_rtt` length differs from `cfg.epochs`, or a catalog
+/// smaller than the stream count.
+pub fn run_traffic_multishell(
+    scenarios: &mut [Scenario],
+    sources: &[TrafficSource],
+    cfg: &TrafficConfig,
+) -> TrafficReport {
+    assert!(
+        !scenarios.is_empty(),
+        "traffic needs at least one shell scenario"
+    );
+    validate(sources, cfg);
+
+    // Per-epoch, per-shell snapshots, shared read-only by every stream
+    // (built through the scenarios so the process-wide pool deduplicates
+    // them across duty fractions and campaigns). Epoch-major layout.
+    let per_shell: Vec<Vec<Arc<IslGraph>>> = scenarios
+        .iter_mut()
+        .map(|sc| sc.freeze_epochs(cfg.epochs, cfg.epoch_step))
+        .collect();
+    let shells = per_shell.len();
+    debug_assert!(shells <= u8::MAX as usize, "shell ids are bytes");
+    let graphs: Vec<Vec<Arc<IslGraph>>> = (0..cfg.epochs)
+        .map(|e| per_shell.iter().map(|g| Arc::clone(&g[e])).collect())
+        .collect();
+
+    // Global satellite slots: shell k's satellite i lives at
+    // `shell_offsets[k] + i`; `shell_of` inverts that in O(1).
+    let mut shell_offsets = Vec::with_capacity(shells);
+    let mut shell_of: Vec<u8> = Vec::new();
+    let mut total_sats = 0u32;
+    for (k, g) in graphs[0].iter().enumerate() {
+        shell_offsets.push(total_sats);
+        total_sats += g.len() as u32;
+        shell_of.resize(total_sats as usize, k as u8);
     }
 
     let catalog = Catalog::generate(
@@ -444,7 +818,7 @@ pub fn run_traffic(
     let duty = DutyCycler::new(cfg.duty_fraction, cfg.duty_slot, cfg.seed);
     let cache_bytes = (cfg.cache_bytes_per_sat / cfg.streams as u64).max(1);
     let horizon = SimTime::EPOCH + cfg.epoch_step.mul(cfg.epochs as u64);
-    let net_access = scenario.network().access();
+    let access = scenarios[0].network().access();
 
     let reports = par_map_indices(cfg.streams, |s| {
         // This stream's catalog shard: global ranks whose content id
@@ -453,62 +827,101 @@ pub fn run_traffic(
             .filter(|&r| by_rank[r].0 as usize % cfg.streams == s)
             .collect();
         let shard_ids: Vec<ContentId> = ranks.iter().map(|&r| by_rank[r]).collect();
+        let sizes: Vec<u64> = shard_ids
+            .iter()
+            .map(|&id| catalog.get(id).expect("catalog id").size_bytes)
+            .collect();
+        let rank_of: HashMap<ContentId, u32> = shard_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let sampler = ZipfSampler::over_ranks(&ranks, cfg.zipf_alpha);
         let quota = cfg.requests / cfg.streams as u64
             + u64::from((s as u64) < cfg.requests % cfg.streams as u64);
 
-        let mut world = StreamWorld {
-            rng: DetRng::new(cfg.seed, &format!("traffic/stream/{s}")),
-            caches: HashMap::new(),
-            holders: HashMap::new(),
+        let mut world = ShardWorld {
+            service_rng: DetRng::new(cfg.seed, &format!("traffic/service/{s}")),
+            fleet: FleetCache::new(total_sats as usize, cache_bytes, cfg.ttl),
+            holders: vec![Vec::new(); shard_ids.len()],
+            holder_removals: vec![1; shard_ids.len()],
+            rank_of,
+            expiries: VecDeque::new(),
+            ctxs: (0..sources.len()).map(|_| None).collect(),
+            memo: vec![RankMemo::default(); sources.len() * shard_ids.len()],
+            next_gen: 1,
+            slot_cost: vec![
+                (0, Latency::ZERO, u32::MAX);
+                sources.len() * sources.len() * cfg.epochs
+            ],
+            dense_of: vec![u16::MAX; total_sats as usize],
+            next_dense: 0,
+            dense_cap: sources.len() * cfg.epochs,
             epoch: 0,
-            issued: 0,
-            quota,
-            report: TrafficReport::default(),
-            sampler: ZipfSampler::over_ranks(&ranks, cfg.zipf_alpha),
-            shard_ids,
+            report: TrafficReport {
+                per_shell: vec![ShellTraffic::default(); shells],
+                ..TrafficReport::default()
+            },
+            batches_formed: 0,
+            latency_local: LocalHistogram::new(),
+            dropped: Vec::new(),
+            shard_ids: &shard_ids,
+            sizes: &sizes,
             graphs: &graphs,
+            shell_offsets: &shell_offsets,
+            shell_of: &shell_of,
             sources,
-            weight_cdf: &weight_cdf,
-            catalog: &catalog,
             duty: &duty,
             cfg,
-            net_access,
-            cache_bytes,
-            horizon,
-            mean_interarrival_s: horizon.as_secs_f64() / quota.max(1) as f64,
+            access,
         };
 
-        let mut sched: Scheduler<TrafficEvent> = Scheduler::new();
-        for e in 1..cfg.epochs {
-            sched.schedule_at(
-                SimTime::EPOCH + cfg.epoch_step.mul(e as u64),
-                TrafficEvent::EpochStart(e),
-            );
-        }
-        world.schedule_next_arrival(&mut sched, SimTime::EPOCH);
-
-        run_until(
-            &mut world,
-            &mut sched,
-            horizon,
-            |w, sched, t, ev| match ev {
-                TrafficEvent::Arrival => {
-                    w.arrival(t);
-                    w.schedule_next_arrival(sched, t);
-                }
-                TrafficEvent::EpochStart(e) => w.epoch_start(e),
-            },
+        let arrivals = ArrivalStream::new(cfg.seed, s, &weight_cdf, &sampler, horizon, quota);
+        let ticks = FixedTicks::new(SimTime::EPOCH, cfg.epoch_step, 1, cfg.epochs as u64);
+        // Epoch ticks are the tie-winning stream: a boundary and an
+        // arrival at the same instant swap the snapshot first, matching
+        // the heap scheduler's FIFO order when boundaries are scheduled
+        // up front.
+        let mut stream = Merged::new(ticks, arrivals);
+        let fired = drive(&mut world, &mut stream, horizon, |w, t, ev| match ev {
+            MergedEvent::First(e) => w.epoch_start(e as usize),
+            MergedEvent::Second(a) => w.arrival(t, a),
+        });
+        debug_assert_eq!(
+            fired,
+            quota + cfg.epochs as u64 - 1,
+            "stream {s} must meet its quota"
         );
-        debug_assert_eq!(world.issued, world.quota, "stream {s} must meet its quota");
 
-        // End-of-stream cache accounting: evictions accumulate in the
-        // inner LRU stats, expiries in the TTL wrapper.
-        for cache in world.caches.values() {
-            world.report.evictions += cache.stats().evictions;
-            world.report.ttl_expiries += cache.expired_purges();
+        // End-of-stream accounting: retire the last epoch's batches,
+        // sample final cache occupancy, and fold the fleet's eviction
+        // and expiry counters into the report.
+        for slot in world.ctxs.iter_mut() {
+            if let Some(ctx) = slot.take() {
+                BATCH_REQUESTS.record(ctx.requests);
+            }
         }
-        EVICTIONS.add(world.report.evictions);
-        TTL_EXPIRIES.add(world.report.ttl_expiries);
+        for (_, _, bytes) in world.fleet.occupied() {
+            CACHE_OCCUPANCY.record(bytes);
+        }
+        world.report.evictions = world.fleet.stats().evictions;
+        world.report.ttl_expiries = world.fleet.expired_purges();
+
+        // Telemetry flush: the hot loop only touches plain shard-local
+        // tallies; the shared registry sees one bulk add per metric per
+        // shard. Every arrival either formed a context or reused one.
+        let r = &world.report;
+        REQUESTS.add(r.requests);
+        HITS_OVERHEAD.add(r.overhead_hits);
+        HITS_ISL.add(r.isl_hits);
+        ORIGIN_FETCHES.add(r.origin_fetches);
+        DEAD_ZONES.add(r.dead_zones);
+        INSERTS.add(r.inserts);
+        EVICTIONS.add(r.evictions);
+        TTL_EXPIRIES.add(r.ttl_expiries);
+        BATCHES_FORMED.add(world.batches_formed);
+        BATCH_TABLE_REUSES.add(r.requests - world.batches_formed);
+        LATENCY_US.merge_local(&world.latency_local);
         world.report
     });
 
@@ -519,13 +932,27 @@ pub fn run_traffic(
     merged
 }
 
+/// Single-shell convenience wrapper over [`run_traffic_multishell`]:
+/// drive `cfg.requests` requests from `sources` through one scenario's
+/// constellation and fault schedule.
+///
+/// # Panics
+/// Panics on the same invalid inputs as [`run_traffic_multishell`].
+pub fn run_traffic(
+    scenario: &mut Scenario,
+    sources: &[TrafficSource],
+    cfg: &TrafficConfig,
+) -> TrafficReport {
+    run_traffic_multishell(std::slice::from_mut(scenario), sources, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::network::LsnNetwork;
     use spacecdn_lsn::{AccessModel, FaultSchedule};
     use spacecdn_orbit::shell::shells;
-    use spacecdn_orbit::Constellation;
+    use spacecdn_orbit::{Constellation, MultiConstellation};
     use spacecdn_terra::fiber::FiberModel;
 
     fn small_scenario(schedule: FaultSchedule) -> Scenario {
@@ -537,6 +964,22 @@ mod tests {
         ))
         .schedule(schedule)
         .build()
+    }
+
+    fn shell_scenarios() -> Vec<Scenario> {
+        MultiConstellation::starlink_2024()
+            .shells()
+            .iter()
+            .map(|shell| {
+                Scenario::builder(LsnNetwork::new(
+                    Constellation::new(*shell.config()),
+                    Vec::new(),
+                    AccessModel::default(),
+                    FiberModel::default(),
+                ))
+                .build()
+            })
+            .collect()
     }
 
     fn test_sources(epochs: usize) -> Vec<TrafficSource> {
@@ -586,6 +1029,10 @@ mod tests {
         );
         assert_eq!(report.latencies.len() as u64, report.requests);
         assert!(report.origin_offload() > 0.0);
+        assert_eq!(report.per_shell.len(), 1, "single shell, single slice");
+        assert_eq!(report.per_shell[0].overhead_hits, report.overhead_hits);
+        assert_eq!(report.per_shell[0].isl_hits, report.isl_hits);
+        assert_eq!(report.per_shell[0].inserts, report.inserts);
     }
 
     #[test]
@@ -703,6 +1150,58 @@ mod tests {
             let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
             assert_eq!(report.requests, 1_000, "streams={streams}");
         }
+    }
+
+    #[test]
+    fn full_constellation_attributes_traffic_to_shells() {
+        let cfg = quick_cfg();
+        let mut scs = shell_scenarios();
+        let report = run_traffic_multishell(&mut scs, &test_sources(cfg.epochs), &cfg);
+        assert_eq!(report.requests, cfg.requests);
+        assert_eq!(report.per_shell.len(), 4, "Starlink 2024 has four shells");
+        assert_eq!(
+            report
+                .per_shell
+                .iter()
+                .map(|s| s.overhead_hits)
+                .sum::<u64>(),
+            report.overhead_hits
+        );
+        assert_eq!(
+            report.per_shell.iter().map(|s| s.isl_hits).sum::<u64>(),
+            report.isl_hits
+        );
+        assert_eq!(
+            report.per_shell.iter().map(|s| s.inserts).sum::<u64>(),
+            report.inserts
+        );
+        assert!(
+            report.per_shell.iter().filter(|s| s.inserts > 0).count() >= 2,
+            "pull-through fills should land on multiple shells: {:?}",
+            report.per_shell
+        );
+        assert!(
+            report.hit_ratio() > 0.2,
+            "four shells of caches must hit at least as well as one: {}",
+            report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn more_shells_never_hurt_service() {
+        // The same demand against the full constellation can only add
+        // servable candidates relative to Shell 1 alone.
+        let cfg = quick_cfg();
+        let mut one = small_scenario(FaultSchedule::none());
+        let single = run_traffic(&mut one, &test_sources(cfg.epochs), &cfg);
+        let mut scs = shell_scenarios();
+        let multi = run_traffic_multishell(&mut scs, &test_sources(cfg.epochs), &cfg);
+        assert!(
+            multi.dead_zones <= single.dead_zones,
+            "extra shells cannot create dead zones: {} vs {}",
+            multi.dead_zones,
+            single.dead_zones
+        );
     }
 
     #[test]

@@ -21,6 +21,8 @@
 
 pub mod sched;
 pub mod stats;
+pub mod stream;
 
 pub use sched::{run_until, EventId, Scheduler};
 pub use stats::{Cdf, FiveNumber, Histogram, Percentiles, Summary};
+pub use stream::{drive, EventStream, FixedTicks, Merged, MergedEvent};

@@ -1,0 +1,262 @@
+//! Lazy next-event streams: bounded-memory complements to [`crate::Scheduler`].
+//!
+//! The heap scheduler materializes every pending event, which is the right
+//! shape for feedback-driven worlds (an event handler schedules new
+//! events). Open workloads are different: a Poisson arrival process knows
+//! its next event analytically — it is one RNG draw away — and epoch
+//! boundaries are a fixed arithmetic sequence. Materializing ten million
+//! arrivals up front costs gigabytes and a heap `pop` per event;
+//! generating them lazily costs O(1) memory and a pointer bump.
+//!
+//! [`EventStream`] models exactly that: an iterator in simulated time.
+//! [`FixedTicks`] covers periodic boundaries, [`Merged`] composes two
+//! streams into one time-ordered stream with a deterministic tie rule,
+//! and [`drive`] is the matching run loop. The traffic engine in
+//! `spacecdn-core` builds its per-shard simulation on these.
+
+use spacecdn_geo::{SimDuration, SimTime};
+
+/// A lazily generated, time-ordered sequence of simulation events.
+///
+/// Implementations must yield events with non-decreasing timestamps;
+/// [`drive`] debug-asserts this. Unlike [`Iterator`], the timestamp is a
+/// first-class part of the item so streams can be merged by time.
+pub trait EventStream {
+    /// The event payload.
+    type Event;
+
+    /// Generate the next event, or `None` when the stream is exhausted.
+    fn next_event(&mut self) -> Option<(SimTime, Self::Event)>;
+}
+
+/// A finite arithmetic sequence of ticks: `origin + step·k` for `k` in a
+/// half-open range, yielding `k` as the event payload. Used for topology
+/// epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct FixedTicks {
+    origin: SimTime,
+    step: SimDuration,
+    next: u64,
+    end: u64,
+}
+
+impl FixedTicks {
+    /// Ticks at `origin + step·k` for `k` in `first..end`.
+    pub fn new(origin: SimTime, step: SimDuration, first: u64, end: u64) -> Self {
+        FixedTicks {
+            origin,
+            step,
+            next: first,
+            end,
+        }
+    }
+}
+
+impl EventStream for FixedTicks {
+    type Event = u64;
+
+    fn next_event(&mut self) -> Option<(SimTime, u64)> {
+        if self.next >= self.end {
+            return None;
+        }
+        let k = self.next;
+        self.next += 1;
+        Some((self.origin + self.step.mul(k), k))
+    }
+}
+
+/// An event from a [`Merged`] stream: which side produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergedEvent<A, B> {
+    /// The event came from the first (tie-winning) stream.
+    First(A),
+    /// The event came from the second stream.
+    Second(B),
+}
+
+/// Two [`EventStream`]s merged into one time-ordered stream.
+///
+/// Ties fire the **first** stream's event before the second's. This
+/// mirrors [`crate::Scheduler`]'s FIFO tie rule for the common setup
+/// where all first-stream events are scheduled before any second-stream
+/// event at the same instant (exactly how the traffic engine orders epoch
+/// boundaries ahead of arrivals).
+#[derive(Debug)]
+pub struct Merged<A: EventStream, B: EventStream> {
+    a: A,
+    b: B,
+    peek_a: Option<(SimTime, A::Event)>,
+    peek_b: Option<(SimTime, B::Event)>,
+    primed: bool,
+}
+
+impl<A: EventStream, B: EventStream> Merged<A, B> {
+    /// Merge `a` (tie winner) and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Merged {
+            a,
+            b,
+            peek_a: None,
+            peek_b: None,
+            primed: false,
+        }
+    }
+}
+
+impl<A: EventStream, B: EventStream> EventStream for Merged<A, B> {
+    type Event = MergedEvent<A::Event, B::Event>;
+
+    fn next_event(&mut self) -> Option<(SimTime, Self::Event)> {
+        if !self.primed {
+            self.peek_a = self.a.next_event();
+            self.peek_b = self.b.next_event();
+            self.primed = true;
+        }
+        let take_a = match (&self.peek_a, &self.peek_b) {
+            (Some((ta, _)), Some((tb, _))) => ta <= tb,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_a {
+            let (t, ev) = self.peek_a.take().expect("checked above");
+            self.peek_a = self.a.next_event();
+            Some((t, MergedEvent::First(ev)))
+        } else {
+            let (t, ev) = self.peek_b.take()?;
+            self.peek_b = self.b.next_event();
+            Some((t, MergedEvent::Second(ev)))
+        }
+    }
+}
+
+/// Drain `stream` into `handler` until past `horizon` (inclusive, like
+/// [`crate::run_until`]). Returns the number of events fired. The first
+/// event strictly beyond the horizon is consumed from the stream and
+/// discarded — streams are single-use run inputs, not resumable queues.
+pub fn drive<W, S, F>(world: &mut W, stream: &mut S, horizon: SimTime, mut handler: F) -> u64
+where
+    S: EventStream,
+    F: FnMut(&mut W, SimTime, S::Event),
+{
+    let mut fired = 0u64;
+    let mut prev = SimTime::EPOCH;
+    while let Some((t, ev)) = stream.next_event() {
+        if t > horizon {
+            break;
+        }
+        debug_assert!(t >= prev, "event streams must be time-ordered");
+        prev = t;
+        handler(world, t, ev);
+        fired += 1;
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{run_until, Scheduler};
+
+    /// A stream over a pre-materialized event list (test double).
+    struct Listed(std::vec::IntoIter<(SimTime, u32)>);
+
+    impl EventStream for Listed {
+        type Event = u32;
+        fn next_event(&mut self) -> Option<(SimTime, u32)> {
+            self.0.next()
+        }
+    }
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fixed_ticks_yield_the_arithmetic_sequence() {
+        let mut ticks = FixedTicks::new(s(10), SimDuration::from_secs(5), 1, 4);
+        assert_eq!(ticks.next_event(), Some((s(15), 1)));
+        assert_eq!(ticks.next_event(), Some((s(20), 2)));
+        assert_eq!(ticks.next_event(), Some((s(25), 3)));
+        assert_eq!(ticks.next_event(), None);
+        assert_eq!(ticks.next_event(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn empty_tick_range_is_empty() {
+        let mut ticks = FixedTicks::new(s(0), SimDuration::from_secs(5), 1, 1);
+        assert_eq!(ticks.next_event(), None);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_first_wins_ties() {
+        let a = Listed(vec![(s(5), 1), (s(10), 2)].into_iter());
+        let b = Listed(vec![(s(3), 91), (s(5), 92), (s(11), 93)].into_iter());
+        let mut m = Merged::new(a, b);
+        let mut order = Vec::new();
+        while let Some((t, ev)) = m.next_event() {
+            order.push((t, ev));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (s(3), MergedEvent::Second(91)),
+                (s(5), MergedEvent::First(1)), // tie at t=5: First fires first
+                (s(5), MergedEvent::Second(92)),
+                (s(10), MergedEvent::First(2)),
+                (s(11), MergedEvent::Second(93)),
+            ]
+        );
+    }
+
+    #[test]
+    fn drive_fires_through_horizon_inclusive_and_stops_past_it() {
+        let mut stream = Listed(vec![(s(1), 1), (s(2), 2), (s(2), 3), (s(9), 4)].into_iter());
+        let mut seen = Vec::new();
+        let fired = drive(&mut seen, &mut stream, s(2), |seen, t, ev| {
+            seen.push((t, ev));
+        });
+        assert_eq!(fired, 3);
+        assert_eq!(seen, vec![(s(1), 1), (s(2), 2), (s(2), 3)]);
+    }
+
+    #[test]
+    fn merged_order_matches_scheduler_fifo_semantics() {
+        // The contract the traffic engine relies on: merging ticks (First)
+        // with arrivals (Second) replays exactly the order the heap
+        // scheduler produces when all ticks are scheduled before any
+        // arrival — (time, seq) keys, FIFO ties.
+        let ticks: Vec<(SimTime, u32)> = (1..4).map(|k| (s(k * 10), k as u32)).collect();
+        let arrivals: Vec<(SimTime, u32)> = vec![
+            (s(4), 100),
+            (s(10), 101),
+            (s(10), 102),
+            (s(25), 103),
+            (s(30), 104),
+        ];
+
+        let mut sched: Scheduler<(bool, u32)> = Scheduler::new();
+        for &(t, k) in &ticks {
+            sched.schedule_at(t, (true, k));
+        }
+        for &(t, k) in &arrivals {
+            sched.schedule_at(t, (false, k));
+        }
+        let mut via_heap = Vec::new();
+        run_until(&mut via_heap, &mut sched, s(1_000), |out, _, t, ev| {
+            out.push((t, ev))
+        });
+
+        let mut merged = Merged::new(Listed(ticks.into_iter()), Listed(arrivals.into_iter()));
+        let mut via_stream = Vec::new();
+        drive(&mut via_stream, &mut merged, s(1_000), |out, t, ev| {
+            out.push((
+                t,
+                match ev {
+                    MergedEvent::First(k) => (true, k),
+                    MergedEvent::Second(k) => (false, k),
+                },
+            ));
+        });
+        assert_eq!(via_stream, via_heap);
+    }
+}

@@ -153,6 +153,16 @@ where
     par_map(&indices, |_, &i| f(i))
 }
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable. Benchmarks record this next to
+/// throughput so memory regressions in streaming engines are visible.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +219,13 @@ mod tests {
         });
         set_thread_override(None);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
     }
 }

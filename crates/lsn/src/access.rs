@@ -55,14 +55,28 @@ impl AccessModel {
     /// Round-trip latency of the user radio link for a given slant range:
     /// two-way propagation plus the scheduling overhead (median, no noise).
     pub fn user_link_rtt_median(&self, slant: Km) -> Latency {
-        propagation_delay(slant, Medium::Vacuum).round_trip()
-            + Latency::from_ms(self.ka_sched_median_ms)
+        self.user_link_rtt_with_overhead(slant, self.ka_sched_median_ms)
     }
 
     /// Sampled round-trip user-link latency (log-normal scheduling jitter).
     pub fn user_link_rtt_sample(&self, slant: Km, rng: &mut DetRng) -> Latency {
-        propagation_delay(slant, Medium::Vacuum).round_trip()
-            + Latency::from_ms(rng.log_normal_median(self.ka_sched_median_ms, self.ka_sched_sigma))
+        self.user_link_rtt_with_overhead(slant, self.sched_overhead_ms_sample(rng))
+    }
+
+    /// One log-normal draw of the Ka-band scheduling overhead, in ms.
+    ///
+    /// Exposed separately from [`AccessModel::user_link_rtt_sample`] so
+    /// batched engines can draw the jitter once per request and combine it
+    /// with many candidate slant ranges without re-consuming the RNG.
+    pub fn sched_overhead_ms_sample(&self, rng: &mut DetRng) -> f64 {
+        rng.log_normal_median(self.ka_sched_median_ms, self.ka_sched_sigma)
+    }
+
+    /// User-link RTT from a slant range and an already-drawn (or median)
+    /// scheduling overhead in ms. The composition point for
+    /// [`AccessModel::sched_overhead_ms_sample`].
+    pub fn user_link_rtt_with_overhead(&self, slant: Km, sched_overhead_ms: f64) -> Latency {
+        propagation_delay(slant, Medium::Vacuum).round_trip() + Latency::from_ms(sched_overhead_ms)
     }
 
     /// Round-trip latency of the space→ground leg at a gateway: two-way

@@ -35,5 +35,7 @@ pub mod web;
 pub use aim::{AimCampaign, AimConfig, CountryStats, IspKind};
 pub use report::{format_table, write_json};
 pub use spacecdn::{duty_cycle_experiment, hop_bound_experiment};
-pub use traffic::{traffic_campaign, TrafficCampaignConfig, TrafficPoint};
+pub use traffic::{
+    starlink_shell_scenarios, traffic_campaign, TrafficCampaignConfig, TrafficPoint,
+};
 pub use web::{PageModel, WebConfig, WebMeasurement};

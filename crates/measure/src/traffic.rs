@@ -11,13 +11,15 @@
 
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::scenario::Scenario;
-use spacecdn_core::traffic::{run_traffic, TrafficConfig, TrafficReport, TrafficSource};
+use spacecdn_core::traffic::{run_traffic_multishell, TrafficConfig, TrafficReport, TrafficSource};
 use spacecdn_des::Percentiles;
 use spacecdn_geo::{Latency, SimDuration, SimTime};
-use spacecdn_lsn::FaultSchedule;
+use spacecdn_lsn::{AccessModel, FaultSchedule};
+use spacecdn_orbit::{Constellation, MultiConstellation};
 use spacecdn_telemetry::LazyCounter;
 use spacecdn_terra::cdn::{anycast_select, cdn_sites};
 use spacecdn_terra::city::cities;
+use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::starlink::{covered_countries, home_pop};
 
 /// Campaign points produced (stable: fixed by the sweep parameters).
@@ -45,6 +47,10 @@ pub struct TrafficCampaignConfig {
     pub cache_bytes_per_sat: u64,
     /// Object freshness lifetime.
     pub ttl: SimDuration,
+    /// Which Starlink 2024 shells to simulate (indices into
+    /// [`MultiConstellation::starlink_2024`]); the default is Shell 1
+    /// only, matching the pre-multishell campaign.
+    pub shells: Vec<usize>,
     /// Master seed for every stream in the campaign.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for TrafficCampaignConfig {
             zipf_alpha: 0.9,
             cache_bytes_per_sat: 8 << 30,
             ttl: SimDuration::from_mins(30),
+            shells: vec![0],
             seed: 42,
         }
     }
@@ -135,16 +142,50 @@ pub fn covered_traffic_sources(
     sources
 }
 
+/// One retrieval scenario per requested Starlink 2024 shell, all under
+/// the same fault timeline — the shell set [`run_traffic_multishell`]
+/// consumes. Shell 0 of [`MultiConstellation::starlink_2024`] is exactly
+/// the calibrated Shell 1 geometry, so `&[0]` reproduces the
+/// single-shell campaign; gateways and models match
+/// [`LsnNetwork::starlink`].
+///
+/// # Panics
+/// Panics when a shell index is out of range for the 2024 constellation.
+pub fn starlink_shell_scenarios(shells: &[usize], schedule: &FaultSchedule) -> Vec<Scenario> {
+    let fleet = MultiConstellation::starlink_2024();
+    shells
+        .iter()
+        .map(|&k| {
+            assert!(
+                k < fleet.shell_count(),
+                "shell index {k} out of range for Starlink 2024"
+            );
+            Scenario::builder(LsnNetwork::new(
+                Constellation::new(*fleet.shell(k).config()),
+                Vec::new(),
+                AccessModel::default(),
+                FiberModel::default(),
+            ))
+            .schedule(schedule.clone())
+            .build()
+        })
+        .collect()
+}
+
 /// Run the steady-state traffic campaign: one full engine run per duty
-/// fraction, all under the same fault timeline. Pristine campaigns pass
-/// [`FaultSchedule::none()`].
+/// fraction across every configured shell, all under the same fault
+/// timeline. Pristine campaigns pass [`FaultSchedule::none()`].
+///
+/// Sources and their ground-fallback RTTs come from the calibrated
+/// Shell 1 network (the bent pipe rides the shell users home to), while
+/// in-space serving spans every shell in `cfg.shells`.
 pub fn traffic_campaign(
     cfg: &TrafficCampaignConfig,
     schedule: &FaultSchedule,
 ) -> Vec<TrafficPoint> {
     let net = LsnNetwork::starlink();
     let sources = covered_traffic_sources(&net, schedule, cfg.epochs, cfg.epoch_step);
-    let mut scenario = Scenario::builder(net).schedule(schedule.clone()).build();
+    let mut scenarios = starlink_shell_scenarios(&cfg.shells, schedule);
 
     let mut points = Vec::new();
     for &fraction in &cfg.duty_fractions {
@@ -161,7 +202,7 @@ pub fn traffic_campaign(
             seed: cfg.seed,
             ..TrafficConfig::default()
         };
-        let report = run_traffic(&mut scenario, &sources, &engine_cfg);
+        let report = run_traffic_multishell(&mut scenarios, &sources, &engine_cfg);
         TRAFFIC_POINTS.incr();
         points.push(TrafficPoint {
             fraction,
@@ -222,5 +263,36 @@ mod tests {
             points[0].hit_ratio,
             points[1].hit_ratio
         );
+        // The default single-shell campaign reports one shell slice.
+        assert_eq!(points[0].report.per_shell.len(), 1);
+    }
+
+    #[test]
+    fn campaign_spans_all_starlink_shells() {
+        let cfg = TrafficCampaignConfig {
+            duty_fractions: vec![1.0],
+            shells: vec![0, 1, 2, 3],
+            ..quick_cfg()
+        };
+        let points = traffic_campaign(&cfg, &FaultSchedule::none());
+        assert_eq!(points.len(), 1);
+        let report = &points[0].report;
+        assert_eq!(report.requests, cfg.requests);
+        assert_eq!(report.per_shell.len(), 4);
+        assert_eq!(
+            report.per_shell.iter().map(|s| s.inserts).sum::<u64>(),
+            report.inserts
+        );
+        assert!(
+            report.per_shell.iter().filter(|s| s.inserts > 0).count() >= 2,
+            "full-constellation demand must fill multiple shells: {:?}",
+            report.per_shell
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_shell_index_panics() {
+        starlink_shell_scenarios(&[7], &FaultSchedule::none());
     }
 }

@@ -53,7 +53,9 @@
 pub mod metrics;
 pub mod registry;
 
-pub use metrics::{Counter, Determinism, Histogram, LazyCounter, LazyHistogram, SpanTimer, Unit};
+pub use metrics::{
+    Counter, Determinism, Histogram, LazyCounter, LazyHistogram, LocalHistogram, SpanTimer, Unit,
+};
 pub use registry::{snapshot, BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsReport};
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -60,6 +60,7 @@ pub use spacecdn_terra as terra;
 pub mod prelude {
     pub use spacecdn_content::cache::{Cache, CacheStats, LruCache};
     pub use spacecdn_content::catalog::{Catalog, ContentId};
+    pub use spacecdn_content::fleet::FleetCache;
     pub use spacecdn_content::popularity::ZipfSampler;
     pub use spacecdn_content::ttl::TtlCache;
     pub use spacecdn_core::duty_cycle::DutyCycler;
@@ -70,13 +71,17 @@ pub mod prelude {
         RetrievalSource,
     };
     pub use spacecdn_core::scenario::{Scenario, ScenarioBuilder};
-    pub use spacecdn_core::traffic::{run_traffic, TrafficConfig, TrafficReport, TrafficSource};
+    pub use spacecdn_core::traffic::{
+        run_traffic, run_traffic_multishell, ShellTraffic, TrafficConfig, TrafficReport,
+        TrafficSource,
+    };
     pub use spacecdn_des::Percentiles;
     pub use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimDuration, SimTime};
     pub use spacecdn_lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
     pub use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
     pub use spacecdn_measure::traffic::{
-        covered_traffic_sources, traffic_campaign, TrafficCampaignConfig, TrafficPoint,
+        covered_traffic_sources, starlink_shell_scenarios, traffic_campaign, TrafficCampaignConfig,
+        TrafficPoint,
     };
     pub use spacecdn_orbit::{Constellation, SatIndex};
     pub use spacecdn_terra::fiber::FiberModel;

@@ -154,21 +154,15 @@ fn stable_metrics_identical_at_any_thread_count() {
     clear_graph_pool();
 }
 
-/// Flatten one traffic-engine run into a comparable string: every
-/// counter, both byte tallies, the exact hop histogram, and the full
-/// quantile ladder as raw bits.
+/// Flatten one full-constellation traffic-engine run into a comparable
+/// string: every counter, both byte tallies, the per-shell breakdown,
+/// the exact hop histogram, and the full quantile ladder as raw bits.
 fn traffic_fingerprint() -> String {
     use spacecdn_suite::prelude::{
-        run_traffic, AccessModel, FiberModel, Geodetic, Latency, LsnNetwork, Scenario,
+        run_traffic_multishell, starlink_shell_scenarios, FaultSchedule, Geodetic, Latency,
         TrafficConfig, TrafficSource,
     };
-    let net = LsnNetwork::new(
-        Constellation::new(shells::starlink_shell1()),
-        Vec::new(),
-        AccessModel::default(),
-        FiberModel::default(),
-    );
-    let mut sc = Scenario::builder(net).build();
+    let mut scenarios = starlink_shell_scenarios(&[0, 1, 2, 3], &FaultSchedule::none());
     let cfg = TrafficConfig {
         requests: 4_000,
         streams: 5,
@@ -190,9 +184,9 @@ fn traffic_fingerprint() -> String {
         fallback_rtt: vec![Latency::from_ms(140.0); cfg.epochs],
     })
     .collect();
-    let mut r = run_traffic(&mut sc, &sources, &cfg);
+    let mut r = run_traffic_multishell(&mut scenarios, &sources, &cfg);
     let mut out = format!(
-        "req={};oh={};isl={};origin={};dead={};ins={};ev={};ttl={};inv={};served={};ob={};hops={:?};",
+        "req={};oh={};isl={};origin={};dead={};ins={};ev={};ttl={};inv={};served={};ob={};hops={:?};shells={:?};",
         r.requests,
         r.overhead_hits,
         r.isl_hits,
@@ -205,6 +199,7 @@ fn traffic_fingerprint() -> String {
         r.served_bytes,
         r.origin_bytes,
         r.hop_histogram,
+        r.per_shell,
     );
     for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
         out.push_str(&format!(
@@ -219,7 +214,7 @@ fn traffic_fingerprint() -> String {
 fn traffic_engine_identical_at_any_thread_count() {
     let _guard = OVERRIDE_LOCK.lock().unwrap();
     let sequential = with_thread_count(1, traffic_fingerprint);
-    for threads in [2, 5] {
+    for threads in [2, 5, 8] {
         let parallel = with_thread_count(threads, traffic_fingerprint);
         assert_eq!(
             sequential, parallel,
