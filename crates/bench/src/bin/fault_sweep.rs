@@ -12,12 +12,18 @@
 //!    30 s down; fetches sample several instants across the flap cycle.
 //! 3. **Figure 7 under faults**: the hop-budget CDF re-run under a 15 %
 //!    kill schedule, showing where the paper's headline figure bends.
+//! 4. **Dense timeline**: the flappiest schedule walked in `--epoch-step`
+//!    second steps (default 10 s, sub-15 s capable) through delta-aware
+//!    advancement, recording the true per-step advance-time series and the
+//!    delta-vs-full split.
 
 use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::{delta_stats, set_delta_override};
 use spacecdn_des::Percentiles;
+use spacecdn_engine::set_snapshot_pool_override;
 use spacecdn_geo::{DetRng, SimDuration, SimTime};
 use spacecdn_lsn::{FaultPlan, FaultSchedule};
 use spacecdn_measure::report::{format_table, write_json};
@@ -45,12 +51,87 @@ struct Fig7Row {
     faulted_ground_fallbacks: usize,
 }
 
+/// Dense-timeline advancement: per-step wall time for every epoch of the
+/// walk (the series, not just a summary), plus the delta-vs-full split.
+#[derive(Serialize)]
+struct TimelineReport {
+    epoch_step_s: u64,
+    epochs: usize,
+    delta_advances: u64,
+    full_builds: u64,
+    patched_edges: u64,
+    repaired_vertices: u64,
+    full_fallbacks: u64,
+    advance_mean_us: f64,
+    advance_max_us: f64,
+    advance_us_series: Vec<f64>,
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: &'static str,
     failure_sweep: Vec<SweepRow>,
     flap_sweep: Vec<SweepRow>,
     fig7_under_faults: Vec<Fig7Row>,
+    timeline: TimelineReport,
+}
+
+/// The value following `name` on the command line, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
+}
+
+/// `--epoch-step SECS` → seconds between timeline epochs (default 10).
+fn parse_epoch_step() -> u64 {
+    flag_value("--epoch-step").map_or(10, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--epoch-step expects seconds, got '{v}'"))
+    })
+}
+
+/// Walk the flappy schedule in dense steps through delta advancement,
+/// chaining each epoch's snapshot into the next, and record every step's
+/// wall time. The snapshot pool is disabled for the walk so each step
+/// pays its real advancement cost.
+fn dense_timeline(net: &LsnNetwork, schedule: &FaultSchedule, epoch_step_s: u64) -> TimelineReport {
+    let epochs = scaled(120).max(24);
+    set_snapshot_pool_override(Some(false));
+    set_delta_override(Some(true));
+    let before = delta_stats();
+    let mut series = Vec::with_capacity(epochs);
+    let mut prev = None;
+    for e in 0..epochs as u64 {
+        // Offset past one full flap up-phase: a flap's first down edge is
+        // at `phase + up`, so a walk from t = 0 would see no structural
+        // change for the first two minutes.
+        let t = SimTime::from_secs(300 + e * epoch_step_s);
+        let started = std::time::Instant::now();
+        let g = net
+            .snapshot_from(t, &schedule.plan_at(t), prev.as_ref())
+            .graph_handle();
+        series.push(1e6 * started.elapsed().as_secs_f64());
+        prev = Some(g);
+    }
+    let after = delta_stats();
+    set_delta_override(None);
+    set_snapshot_pool_override(None);
+    TimelineReport {
+        epoch_step_s,
+        epochs,
+        delta_advances: after.delta_advances - before.delta_advances,
+        full_builds: after.full_builds - before.full_builds,
+        patched_edges: after.patched_edges - before.patched_edges,
+        repaired_vertices: after.repaired_vertices - before.repaired_vertices,
+        full_fallbacks: after.full_fallbacks - before.full_fallbacks,
+        advance_mean_us: series.iter().sum::<f64>() / series.len() as f64,
+        advance_max_us: series.iter().fold(0.0f64, |a, &b| a.max(b)),
+        advance_us_series: series,
+    }
 }
 
 /// One sweep point: resolve `trials` city fetches per epoch against the
@@ -286,11 +367,45 @@ fn main() {
         )
     );
 
+    // --- 4. Dense timeline --------------------------------------------
+    let epoch_step_s = parse_epoch_step();
+    let mut kill = DetRng::new(17, "sweep/timeline-kill");
+    let mut timeline_schedule = FaultSchedule::none();
+    timeline_schedule.random_isl_flaps(
+        pristine.graph(),
+        0.25,
+        SimDuration::from_secs(120),
+        SimDuration::from_secs(30),
+        &mut kill,
+    );
+    timeline_schedule.random_gsl_outages(
+        n_sats,
+        0.1,
+        SimDuration::from_secs(1200),
+        SimDuration::from_secs(180),
+        &mut kill,
+    );
+    let timeline = dense_timeline(&net, &timeline_schedule, epoch_step_s);
+    println!(
+        "timeline: {} epochs x {} s — {:.1} us mean / {:.1} us max per advance \
+         ({} delta, {} full builds, {} edges patched, {} fallbacks)",
+        timeline.epochs,
+        timeline.epoch_step_s,
+        timeline.advance_mean_us,
+        timeline.advance_max_us,
+        timeline.delta_advances,
+        timeline.full_builds,
+        timeline.patched_edges,
+        timeline.full_fallbacks
+    );
+
     let report = Report {
-        schema: "spacecdn-fault-sweep-v1",
+        // v2 added the dense-timeline advancement section.
+        schema: "spacecdn-fault-sweep-v2",
         failure_sweep: failure_rows,
         flap_sweep: flap_rows,
         fig7_under_faults: fig7_rows,
+        timeline,
     };
     write_json(&results_dir().join("FAULT_sweep.json"), &report).expect("write json");
     println!("json: results/FAULT_sweep.json");

@@ -8,13 +8,20 @@
 
 use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
-use spacecdn_geo::{DetRng, SimTime};
-use spacecdn_lsn::{dijkstra_distances_into, hop_distances_into, FaultPlan, IslEdge, IslGraph};
+use spacecdn_core::{delta_stats, set_delta_override, DeltaStats, LsnNetwork};
+use spacecdn_engine::set_snapshot_pool_override;
+use spacecdn_geo::{DetRng, SimDuration, SimTime};
+use spacecdn_lsn::{
+    dijkstra_distances_into, hop_distances_into, AccessModel, FaultPlan, FaultSchedule, IslEdge,
+    IslGraph,
+};
 use spacecdn_measure::report::write_json;
 use spacecdn_orbit::shell::shells;
 use spacecdn_orbit::{Constellation, SatIndex};
+use spacecdn_terra::fiber::FiberModel;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The pre-CSR heap entry: raw `f64` cost compared through `partial_cmp`,
@@ -110,6 +117,169 @@ struct RoutingBench {
     bfs_speedup: f64,
     combined_speedup: f64,
     identical_output: bool,
+    timeline: TimelineBench,
+}
+
+/// Dense-timeline advancement: walk a flappy fault schedule in sub-15 s
+/// epoch steps, full rebuild vs delta patching, identical graphs proven
+/// at checkpoints.
+#[derive(Serialize)]
+struct TimelineBench {
+    epochs: usize,
+    epoch_step_s: u64,
+    rebuild_advance_s: f64,
+    delta_advance_s: f64,
+    timeline_speedup: f64,
+    rebuild_step_mean_us: f64,
+    delta_step_mean_us: f64,
+    delta_step_max_us: f64,
+    delta_advances: u64,
+    full_builds: u64,
+    patched_edges: u64,
+    repaired_vertices: u64,
+    full_fallbacks: u64,
+    timeline_identical: bool,
+}
+
+/// A dense fault timeline over Shell 1: GSL outages flapping every few
+/// minutes plus ISL flaps and seam churn, so epoch steps mix pure
+/// time advancement with structural and mask-only plan changes.
+fn timeline_schedule(c: &Constellation, pristine: &IslGraph) -> FaultSchedule {
+    let mut rng = DetRng::new(1717, "routing-bench-timeline");
+    let mut s = FaultSchedule::none();
+    s.random_gsl_outages(
+        c.len(),
+        0.05,
+        SimDuration::from_secs(1200),
+        SimDuration::from_secs(180),
+        &mut rng,
+    );
+    s.random_isl_flaps(
+        pristine,
+        0.02,
+        SimDuration::from_secs(240),
+        SimDuration::from_secs(60),
+        &mut rng,
+    );
+    s.seam_churn(
+        pristine,
+        c,
+        0.3,
+        SimDuration::from_secs(300),
+        SimDuration::from_secs(45),
+        &mut rng,
+    );
+    s
+}
+
+/// Walk `epochs` dense steps through `snapshot_from`, chaining each
+/// epoch's graph into the next advancement, and return the total wall
+/// time plus per-step seconds.
+fn timed_walk(
+    net: &LsnNetwork,
+    plans: &[(SimTime, FaultPlan)],
+    delta: bool,
+    sink: &mut u64,
+) -> (f64, Vec<f64>) {
+    set_delta_override(Some(delta));
+    let mut per_step = Vec::with_capacity(plans.len());
+    let mut prev: Option<Arc<IslGraph>> = None;
+    let start = Instant::now();
+    for (t, plan) in plans {
+        let s = Instant::now();
+        let g = net.snapshot_from(*t, plan, prev.as_ref()).graph_handle();
+        per_step.push(s.elapsed().as_secs_f64());
+        *sink = sink.wrapping_add(g.edge_count() as u64);
+        prev = Some(g);
+    }
+    let total = start.elapsed().as_secs_f64();
+    set_delta_override(None);
+    (total, per_step)
+}
+
+fn timeline_bench(sink: &mut u64) -> TimelineBench {
+    let constellation = Constellation::new(shells::starlink_shell1());
+    let pristine = IslGraph::build(&constellation, SimTime::EPOCH, &FaultPlan::none());
+    let schedule = timeline_schedule(&constellation, &pristine);
+    let net = LsnNetwork::new(
+        Constellation::new(shells::starlink_shell1()),
+        Vec::new(),
+        AccessModel::default(),
+        FiberModel::default(),
+    );
+
+    let epoch_step_s = 5u64;
+    let epochs = scaled(240).max(48);
+    // Offset past one full flap up-phase (a flap's first down edge is at
+    // `phase + up`), so even a short quick-mode walk sees structural steps.
+    let plans: Vec<(SimTime, FaultPlan)> = (0..epochs as u64)
+        .map(|e| {
+            let t = SimTime::from_secs(600 + e * epoch_step_s);
+            (t, schedule.plan_at(t))
+        })
+        .collect();
+
+    // The pool would memoise the first walk and hand the second one free
+    // graphs; both walks must pay their own advancement cost.
+    set_snapshot_pool_override(Some(false));
+
+    // Warm-up pass (page in code and allocator state), then timed walks.
+    let _ = timed_walk(&net, &plans[..plans.len().min(16)], true, sink);
+    let (rebuild_advance_s, rebuild_steps) = timed_walk(&net, &plans, false, sink);
+    let before = delta_stats();
+    let (delta_advance_s, delta_steps) = timed_walk(&net, &plans, true, sink);
+    let after = delta_stats();
+
+    // Untimed verification walk: patched checkpoints vs fresh builds.
+    set_delta_override(Some(true));
+    let mut identical = true;
+    let mut prev: Option<Arc<IslGraph>> = None;
+    for (i, (t, plan)) in plans.iter().enumerate() {
+        let g = net.snapshot_from(*t, plan, prev.as_ref()).graph_handle();
+        if i % 40 == 0 || i + 1 == plans.len() {
+            let fresh = IslGraph::build(&constellation, *t, plan);
+            let (go, gn, gl) = g.csr();
+            let (fo, fn_, fl) = fresh.csr();
+            identical &= go == fo
+                && gn == fn_
+                && gl.len() == fl.len()
+                && gl.iter().zip(fl).all(|(a, b)| a.to_bits() == b.to_bits())
+                && (0..g.len() as u32).all(|s| {
+                    let s = SatIndex(s);
+                    g.is_alive(s) == fresh.is_alive(s) && g.gsl_alive(s) == fresh.gsl_alive(s)
+                });
+        }
+        prev = Some(g);
+    }
+    set_delta_override(None);
+    set_snapshot_pool_override(None);
+    assert!(identical, "delta walk diverged from fresh rebuilds");
+
+    let stats = DeltaStats {
+        delta_advances: after.delta_advances - before.delta_advances,
+        full_builds: after.full_builds - before.full_builds,
+        patched_edges: after.patched_edges - before.patched_edges,
+        repaired_vertices: after.repaired_vertices - before.repaired_vertices,
+        full_fallbacks: after.full_fallbacks - before.full_fallbacks,
+        advance_ns_total: after.advance_ns_total - before.advance_ns_total,
+    };
+    let mean_us = |steps: &[f64]| 1e6 * steps.iter().sum::<f64>() / steps.len() as f64;
+    TimelineBench {
+        epochs,
+        epoch_step_s,
+        rebuild_advance_s,
+        delta_advance_s,
+        timeline_speedup: rebuild_advance_s / delta_advance_s,
+        rebuild_step_mean_us: mean_us(&rebuild_steps),
+        delta_step_mean_us: mean_us(&delta_steps),
+        delta_step_max_us: 1e6 * delta_steps.iter().fold(0.0f64, |a, &b| a.max(b)),
+        delta_advances: stats.delta_advances,
+        full_builds: stats.full_builds,
+        patched_edges: stats.patched_edges,
+        repaired_vertices: stats.repaired_vertices,
+        full_fallbacks: stats.full_fallbacks,
+        timeline_identical: identical,
+    }
 }
 
 fn main() {
@@ -205,6 +375,30 @@ fn main() {
     println!("bfs:      nested {nested_bfs_s:7.3} s  csr {csr_bfs_s:7.3} s  ({bfs_speedup:.2}x)");
     println!("combined: {combined_speedup:.2}x   outputs identical: {identical}   [{sink:x}]");
 
+    let timeline = timeline_bench(&mut sink);
+    println!(
+        "timeline: {} epochs x {} s  rebuild {:7.3} s  delta {:7.3} s  ({:.2}x)",
+        timeline.epochs,
+        timeline.epoch_step_s,
+        timeline.rebuild_advance_s,
+        timeline.delta_advance_s,
+        timeline.timeline_speedup
+    );
+    println!(
+        "          per step: rebuild {:7.1} us  delta {:7.1} us (max {:7.1} us)",
+        timeline.rebuild_step_mean_us, timeline.delta_step_mean_us, timeline.delta_step_max_us
+    );
+    println!(
+        "          delta advances {} / full builds {}  patched edges {}  \
+         repaired vertices {}  fallbacks {}  identical: {}",
+        timeline.delta_advances,
+        timeline.full_builds,
+        timeline.patched_edges,
+        timeline.repaired_vertices,
+        timeline.full_fallbacks,
+        timeline.timeline_identical
+    );
+
     write_json(
         &results_dir().join("BENCH_routing.json"),
         &RoutingBench {
@@ -219,6 +413,7 @@ fn main() {
             bfs_speedup,
             combined_speedup,
             identical_output: identical,
+            timeline,
         },
     )
     .expect("write json");

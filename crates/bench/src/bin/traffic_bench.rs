@@ -7,18 +7,23 @@
 //!
 //! Flags: `--quick` (CI-sized run), `--shells all|0,1,...` (which
 //! Starlink 2024 shells to simulate; default all four), `--requests N`
-//! (requests per duty fraction; default 4M full / 50k quick).
+//! (requests per duty fraction; default 4M full / 50k quick),
+//! `--epoch-step SECS` (seconds between topology epochs; sub-15 s steps
+//! exercise delta advancement densely).
 
 use serde::Serialize;
 use spacecdn_bench::{banner, quick_mode, results_dir};
+use spacecdn_core::delta_stats;
 use spacecdn_engine::peak_rss_bytes;
+use spacecdn_geo::SimDuration;
 use spacecdn_measure::report::{format_table, write_json};
 use spacecdn_suite::prelude::{traffic_campaign, FaultSchedule, TrafficCampaignConfig};
 use std::time::Instant;
 
 /// Schema tag: v2 added `shells`, `per_shell` rows, `requests_per_fraction`
-/// and `peak_rss_bytes` for the constellation-scale streaming engine.
-const SCHEMA: &str = "spacecdn-traffic-v2";
+/// and `peak_rss_bytes`; v3 added `epoch_step_s` and the `advance` block
+/// (delta-vs-full epoch advancement counts and per-step advance time).
+const SCHEMA: &str = "spacecdn-traffic-v3";
 
 #[derive(Serialize)]
 struct ShellRow {
@@ -47,11 +52,25 @@ struct FractionRow {
     latency_cdf: Vec<(f64, f64)>,
 }
 
+/// How the campaign's epoch snapshots were advanced: delta patches vs
+/// full rebuilds, with the delta path's mean per-step advance time
+/// (derived from `core.routing.delta.advance_ns`).
+#[derive(Serialize)]
+struct AdvanceStats {
+    delta_advances: u64,
+    full_builds: u64,
+    patched_edges: u64,
+    repaired_vertices: u64,
+    full_fallbacks: u64,
+    delta_advance_mean_us: f64,
+}
+
 #[derive(Serialize)]
 struct TrafficBench {
     schema: &'static str,
     shells: Vec<usize>,
     epochs: usize,
+    epoch_step_s: u64,
     streams: usize,
     catalog_size: usize,
     requests_per_fraction: u64,
@@ -59,6 +78,7 @@ struct TrafficBench {
     wall_s: f64,
     requests_per_sec: f64,
     peak_rss_bytes: Option<u64>,
+    advance: AdvanceStats,
     fractions: Vec<FractionRow>,
 }
 
@@ -77,6 +97,15 @@ fn parse_shells() -> Vec<usize> {
                 .unwrap_or_else(|_| panic!("--shells expects 'all' or indices, got '{s}'"))
         })
         .collect()
+}
+
+/// `--epoch-step SECS` → seconds between topology epochs (sub-15 s steps
+/// exercise the delta advancement path densely).
+fn parse_epoch_step() -> Option<u64> {
+    flag_value("--epoch-step").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--epoch-step expects seconds, got '{v}'"))
+    })
 }
 
 /// `--requests N` → requests per duty fraction.
@@ -109,21 +138,27 @@ fn main() {
 
     let shells = parse_shells();
     let requests = parse_requests();
-    let cfg = TrafficCampaignConfig {
+    let mut cfg = TrafficCampaignConfig {
         duty_fractions: vec![1.0, 0.6, 0.3],
         requests,
         epochs: if quick_mode() { 3 } else { 4 },
         shells: shells.clone(),
         ..TrafficCampaignConfig::default()
     };
+    if let Some(step) = parse_epoch_step() {
+        cfg.epoch_step = SimDuration::from_secs(step);
+    }
+    let epoch_step_s = cfg.epoch_step.0 / 1_000_000_000;
     println!(
-        "shells {:?} · {} requests/fraction · {} epochs",
-        shells, requests, cfg.epochs
+        "shells {:?} · {} requests/fraction · {} epochs · {} s epoch step",
+        shells, requests, cfg.epochs, epoch_step_s
     );
 
+    let advance_before = delta_stats();
     let t0 = Instant::now();
     let points = traffic_campaign(&cfg, &FaultSchedule::none());
     let wall_s = t0.elapsed().as_secs_f64();
+    let advance_after = delta_stats();
     let total_requests: u64 = points.iter().map(|p| p.report.requests).sum();
     let requests_per_sec = total_requests as f64 / wall_s;
 
@@ -205,6 +240,28 @@ fn main() {
             )
         );
     }
+    let da = advance_after.delta_advances - advance_before.delta_advances;
+    let advance = AdvanceStats {
+        delta_advances: da,
+        full_builds: advance_after.full_builds - advance_before.full_builds,
+        patched_edges: advance_after.patched_edges - advance_before.patched_edges,
+        repaired_vertices: advance_after.repaired_vertices - advance_before.repaired_vertices,
+        full_fallbacks: advance_after.full_fallbacks - advance_before.full_fallbacks,
+        delta_advance_mean_us: (advance_after.advance_ns_total - advance_before.advance_ns_total)
+            as f64
+            / 1e3
+            / da.max(1) as f64,
+    };
+    println!(
+        "epoch advancement: {} delta / {} full builds · {:.1} us mean delta step \
+         ({} edges patched, {} vertices repaired, {} fallbacks)",
+        advance.delta_advances,
+        advance.full_builds,
+        advance.delta_advance_mean_us,
+        advance.patched_edges,
+        advance.repaired_vertices,
+        advance.full_fallbacks
+    );
     let peak_rss = peak_rss_bytes();
     println!("{total_requests} requests in {wall_s:.2} s — {requests_per_sec:.0} req/s sustained");
     if let Some(rss) = peak_rss {
@@ -220,6 +277,7 @@ fn main() {
             schema: SCHEMA,
             shells,
             epochs: cfg.epochs,
+            epoch_step_s,
             streams: cfg.streams,
             catalog_size: cfg.catalog_size,
             requests_per_fraction: requests,
@@ -227,6 +285,7 @@ fn main() {
             wall_s,
             requests_per_sec,
             peak_rss_bytes: peak_rss,
+            advance,
             fractions,
         },
     )

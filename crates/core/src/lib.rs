@@ -46,7 +46,10 @@ pub mod traffic;
 pub mod wormhole;
 
 pub use duty_cycle::DutyCycler;
-pub use network::{clear_graph_pool, graph_pool_stats, LsnNetwork, LsnSnapshot, PathBreakdown};
+pub use network::{
+    clear_graph_pool, delta_enabled, delta_stats, graph_pool_stats, set_delta_override, DeltaStats,
+    LsnNetwork, LsnSnapshot, PathBreakdown,
+};
 pub use placement::{popularity_copy_allocation, PlacementStrategy};
 #[allow(deprecated)] // the shims stay re-exported until the next major bump
 pub use retrieval::{retrieve, retrieve_multishell, retrieve_resilient};

@@ -18,10 +18,11 @@ use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{DetRng, Geodetic, Km, Latency, SimTime};
 use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
 use spacecdn_orbit::{Constellation, SatIndex};
-use spacecdn_telemetry::LazyCounter;
+use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
 use spacecdn_terra::fiber::FiberModel;
 use spacecdn_terra::region::Region;
 use spacecdn_terra::starlink::{gateways, home_pop, Gateway, StarlinkPop};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Snapshots frozen through [`LsnNetwork::snapshot`] (stable: campaigns
@@ -29,6 +30,103 @@ use std::sync::{Arc, OnceLock};
 /// many of those snapshots *rebuild* vs come from the pool is what's racy,
 /// and that lives in `engine.snapshot_pool.*` / `lsn.graph.builds`).
 static NETWORK_SNAPSHOTS: LazyCounter = LazyCounter::stable("core.network.snapshots");
+
+/// ISL rows rewritten by delta advancement (racy: whether an epoch takes
+/// the delta path depends on which thread's snapshot survives the pool's
+/// first-insert-wins race, so the totals wobble with scheduling; the
+/// *graphs produced* are bit-identical either way).
+static DELTA_PATCHED_EDGES: LazyCounter = LazyCounter::racy("core.routing.delta.patched_edges");
+
+/// Routing-table entries recomputed by the sparse dynamic-SSSP repair
+/// (racy, same reason as `patched_edges`).
+static DELTA_REPAIRED_VERTICES: LazyCounter =
+    LazyCounter::racy("core.routing.delta.repaired_vertices");
+
+/// Warmed source tables dropped to a cold recompute because the affected
+/// region crossed the repair threshold, or the step was not a pure removal
+/// (racy, same reason as `patched_edges`).
+static DELTA_FULL_FALLBACKS: LazyCounter = LazyCounter::racy("core.routing.delta.full_fallbacks");
+
+/// Wall-clock nanoseconds per delta-path epoch advancement (racy: timing).
+static DELTA_ADVANCE_NS: LazyHistogram =
+    LazyHistogram::racy("core.routing.delta.advance_ns", Unit::Nanos);
+
+/// Always-on mirrors of the delta counters, so benchmarks can read them
+/// even when the telemetry registry is disabled (mirrors the
+/// [`graph_pool_stats`] precedent).
+static STAT_DELTA_ADVANCES: AtomicU64 = AtomicU64::new(0);
+static STAT_FULL_BUILDS: AtomicU64 = AtomicU64::new(0);
+static STAT_PATCHED_EDGES: AtomicU64 = AtomicU64::new(0);
+static STAT_REPAIRED_VERTICES: AtomicU64 = AtomicU64::new(0);
+static STAT_FULL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static STAT_ADVANCE_NS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide delta advancement statistics (see
+/// [`delta_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Epoch advancements that patched a previous graph in place.
+    pub delta_advances: u64,
+    /// Epoch advancements that built the graph from scratch.
+    pub full_builds: u64,
+    /// ISL rows rewritten across all delta advancements.
+    pub patched_edges: u64,
+    /// Routing-table entries recomputed by the sparse repair.
+    pub repaired_vertices: u64,
+    /// Warmed tables dropped to a cold recompute instead of repaired.
+    pub full_fallbacks: u64,
+    /// Total wall-clock nanoseconds spent inside `apply_delta`.
+    pub advance_ns_total: u64,
+}
+
+/// Read the cumulative delta advancement counters. Benchmarks snapshot
+/// this before and after a timed walk and report the difference.
+pub fn delta_stats() -> DeltaStats {
+    DeltaStats {
+        delta_advances: STAT_DELTA_ADVANCES.load(Ordering::Relaxed),
+        full_builds: STAT_FULL_BUILDS.load(Ordering::Relaxed),
+        patched_edges: STAT_PATCHED_EDGES.load(Ordering::Relaxed),
+        repaired_vertices: STAT_REPAIRED_VERTICES.load(Ordering::Relaxed),
+        full_fallbacks: STAT_FULL_FALLBACKS.load(Ordering::Relaxed),
+        advance_ns_total: STAT_ADVANCE_NS_TOTAL.load(Ordering::Relaxed),
+    }
+}
+
+/// In-process delta kill switch: 0 = follow the environment, 1 = forced
+/// off, 2 = forced on.
+static DELTA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Environment default, read once: `SPACECDN_NO_DELTA=1` disables delta
+/// advancement, forcing every epoch to rebuild its graph from scratch
+/// (used to measure the rebuild baseline and as an escape hatch).
+fn env_delta_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED
+        .get_or_init(|| std::env::var("SPACECDN_NO_DELTA").is_ok_and(|v| v != "0" && !v.is_empty()))
+}
+
+/// Force delta advancement on or off for this process, overriding
+/// `SPACECDN_NO_DELTA`. `None` restores environment behaviour. Benchmarks
+/// use this to time rebuild vs delta walks in a single run.
+pub fn set_delta_override(enabled: Option<bool>) {
+    let code = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    DELTA_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// Is delta-aware epoch advancement active? Patched and rebuilt graphs are
+/// bit-identical (proven by the timeline oracle); only the advancement
+/// cost differs.
+pub fn delta_enabled() -> bool {
+    match DELTA_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => !env_delta_disabled(),
+    }
+}
 
 /// Epoch snapshots retained by the process-wide graph pool. Campaigns
 /// sweep at most a few dozen epochs; FIFO eviction beyond this bound keeps
@@ -143,6 +241,23 @@ impl LsnNetwork {
     /// build and its warmed routing cache. Pooled and freshly built graphs
     /// are identical, so results never depend on the pool.
     pub fn snapshot(&self, t: SimTime, faults: &FaultPlan) -> LsnSnapshot<'_> {
+        self.snapshot_from(t, faults, None)
+    }
+
+    /// [`Self::snapshot`], but with an optional previous epoch's graph to
+    /// advance from. When delta advancement is enabled (see
+    /// [`delta_enabled`]) and `prev` covers the same constellation, the new
+    /// graph is produced by patching `prev`'s CSR in place and repairing
+    /// its warmed routing tables instead of rebuilding — bit-identical to a
+    /// fresh build (proven by the timeline oracle), typically several times
+    /// cheaper on dense timelines. Pooled either way under the same key a
+    /// fresh build would use, so pooled lookups never see a difference.
+    pub fn snapshot_from(
+        &self,
+        t: SimTime,
+        faults: &FaultPlan,
+        prev: Option<&Arc<IslGraph>>,
+    ) -> LsnSnapshot<'_> {
         NETWORK_SNAPSHOTS.incr();
         let graph = if snapshot_pool_enabled() {
             let key = SnapshotKey {
@@ -150,9 +265,9 @@ impl LsnNetwork {
                 epoch_ms: t.0,
                 faults: faults.digest(),
             };
-            graph_pool().get_or_build(key, || IslGraph::build(&self.constellation, t, faults))
+            graph_pool().get_or_build(key, || self.build_or_patch(t, faults, prev))
         } else {
-            Arc::new(IslGraph::build(&self.constellation, t, faults))
+            Arc::new(self.build_or_patch(t, faults, prev))
         };
         let gateway_candidates = self
             .gateways
@@ -187,6 +302,34 @@ impl LsnNetwork {
             graph,
             gateway_candidates,
         }
+    }
+
+    /// Produce the graph for `(t, faults)`: the delta path when a usable
+    /// previous graph exists, a full build otherwise.
+    fn build_or_patch(
+        &self,
+        t: SimTime,
+        faults: &FaultPlan,
+        prev: Option<&Arc<IslGraph>>,
+    ) -> IslGraph {
+        let prev = prev.filter(|g| delta_enabled() && g.len() == self.constellation.len());
+        let Some(prev) = prev else {
+            STAT_FULL_BUILDS.fetch_add(1, Ordering::Relaxed);
+            return IslGraph::build(&self.constellation, t, faults);
+        };
+        let started = std::time::Instant::now();
+        let (graph, stats) = prev.apply_delta(&self.constellation, t, faults);
+        let ns = started.elapsed().as_nanos() as u64;
+        DELTA_PATCHED_EDGES.add(stats.patched_edges);
+        DELTA_REPAIRED_VERTICES.add(stats.repaired_vertices);
+        DELTA_FULL_FALLBACKS.add(stats.full_fallbacks);
+        DELTA_ADVANCE_NS.record(ns);
+        STAT_DELTA_ADVANCES.fetch_add(1, Ordering::Relaxed);
+        STAT_PATCHED_EDGES.fetch_add(stats.patched_edges, Ordering::Relaxed);
+        STAT_REPAIRED_VERTICES.fetch_add(stats.repaired_vertices, Ordering::Relaxed);
+        STAT_FULL_FALLBACKS.fetch_add(stats.full_fallbacks, Ordering::Relaxed);
+        STAT_ADVANCE_NS_TOTAL.fetch_add(ns, Ordering::Relaxed);
+        graph
     }
 }
 

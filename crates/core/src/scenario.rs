@@ -183,13 +183,17 @@ impl Scenario {
     }
 
     /// Move the session to epoch `t`: lower the fault schedule to that
-    /// instant and swap in the (pooled) topology snapshot.
+    /// instant and swap in the (pooled) topology snapshot. The outgoing
+    /// epoch's graph seeds delta advancement (patch + table repair instead
+    /// of a rebuild) unless `SPACECDN_NO_DELTA` turned that off — either
+    /// way the resulting snapshot is bit-identical.
     pub fn advance_to(&mut self, t: SimTime) {
         SCENARIO_ADVANCES.incr();
         self.epoch = t;
+        let prev = Arc::clone(&self.graph);
         self.graph = self
             .net
-            .snapshot(t, &self.schedule.plan_at(t))
+            .snapshot_from(t, &self.schedule.plan_at(t), Some(&prev))
             .graph_handle();
     }
 

@@ -35,6 +35,10 @@ static CACHE_HIT: LazyCounter = LazyCounter::racy("lsn.routing_cache.hit");
 static CACHE_MISS: LazyCounter = LazyCounter::racy("lsn.routing_cache.miss");
 static CACHE_REVERSE_HIT: LazyCounter = LazyCounter::racy("lsn.routing_cache.reverse_hit");
 static CACHE_WARMED: LazyCounter = LazyCounter::racy("lsn.routing_cache.warmed_sources");
+/// Misses answered with a carried hop table from the previous epoch's
+/// cache (the BFS half skipped; only the Dijkstra half recomputed). Racy
+/// for the same reason as the hit/miss split.
+static CACHE_HOP_SEED: LazyCounter = LazyCounter::racy("lsn.routing_cache.hop_seed_hits");
 
 /// Memoized single-source routing tables for one source satellite in one
 /// snapshot.
@@ -62,6 +66,12 @@ impl SourceTables {
 #[derive(Default)]
 pub struct RoutingCache {
     tables: RwLock<HashMap<u32, Arc<SourceTables>>>,
+    /// Hop tables inherited from the previous epoch's cache by
+    /// [`IslGraph::apply_delta`] when the step changed edge *lengths* but
+    /// not the adjacency structure. BFS levels depend only on structure,
+    /// so a miss with a seed recomputes just the Dijkstra half and clones
+    /// the seed's hop levels — bit-identical to a fresh BFS by definition.
+    hop_seeds: HashMap<u32, Arc<SourceTables>>,
     /// Pairwise hop queries answered from the *destination*'s table (the
     /// +Grid is undirected, so BFS levels read the same both ways).
     reverse_hits: AtomicU64,
@@ -71,6 +81,38 @@ impl RoutingCache {
     /// Fresh, empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cache seeded by delta advancement: `tables` are entries carried or
+    /// repaired whole (both halves exact for the new snapshot), `hop_seeds`
+    /// are entries whose *hop* half alone is still exact (see
+    /// [`Self::hop_seeds`]).
+    pub(crate) fn carried(
+        tables: HashMap<u32, Arc<SourceTables>>,
+        hop_seeds: HashMap<u32, Arc<SourceTables>>,
+    ) -> Self {
+        RoutingCache {
+            tables: RwLock::new(tables),
+            hop_seeds,
+            ..Self::default()
+        }
+    }
+
+    /// The memoized tables, for carrying into a successor cache.
+    pub(crate) fn tables_snapshot(&self) -> HashMap<u32, Arc<SourceTables>> {
+        self.tables.read().expect("cache lock poisoned").clone()
+    }
+
+    /// Every table whose *hop* half is valid for any snapshot with this
+    /// cache's adjacency structure: memoized tables plus still-unconsumed
+    /// seeds (so a chain of structure-preserving steps keeps carrying hop
+    /// tables even across epochs where nothing was queried).
+    pub(crate) fn hop_seed_snapshot(&self) -> HashMap<u32, Arc<SourceTables>> {
+        let mut seeds = self.hop_seeds.clone();
+        for (src, t) in self.tables.read().expect("cache lock poisoned").iter() {
+            seeds.insert(*src, Arc::clone(t));
+        }
+        seeds
     }
 
     /// The tables for `src`, computing and memoizing them on first use.
@@ -85,9 +127,24 @@ impl RoutingCache {
             return Arc::clone(hit);
         }
         CACHE_MISS.incr();
-        let computed = Arc::new(SourceTables::compute(graph, src));
+        let computed = Arc::new(self.compute_with_seed(graph, src));
         let mut writer = self.tables.write().expect("cache lock poisoned");
         Arc::clone(writer.entry(src.0).or_insert(computed))
+    }
+
+    /// [`SourceTables::compute`], except the BFS half is cloned from a
+    /// carried hop seed when one exists (see [`Self::hop_seeds`]).
+    fn compute_with_seed(&self, graph: &IslGraph, src: SatIndex) -> SourceTables {
+        match self.hop_seeds.get(&src.0) {
+            Some(seed) => {
+                CACHE_HOP_SEED.incr();
+                SourceTables {
+                    km: dijkstra_distances(graph, src),
+                    hops: seed.hops.clone(),
+                }
+            }
+            None => SourceTables::compute(graph, src),
+        }
     }
 
     /// Minimum hop count between `from` and `to`, exploiting
@@ -140,12 +197,20 @@ impl RoutingCache {
             return;
         }
         CACHE_WARMED.add(missing.len() as u64);
-        let computed = source_tables_many(graph, &missing);
+        let (seeded, unseeded): (Vec<SatIndex>, Vec<SatIndex>) = missing
+            .iter()
+            .copied()
+            .partition(|s| self.hop_seeds.contains_key(&s.0));
+        let computed = source_tables_many(graph, &unseeded);
         let mut writer = self.tables.write().expect("cache lock poisoned");
-        for (src, (km, hops)) in missing.iter().zip(computed) {
+        for (src, (km, hops)) in unseeded.iter().zip(computed) {
             writer
                 .entry(src.0)
                 .or_insert_with(|| Arc::new(SourceTables { km, hops }));
+        }
+        for src in seeded {
+            let tables = self.compute_with_seed(graph, src);
+            writer.entry(src.0).or_insert_with(|| Arc::new(tables));
         }
     }
 

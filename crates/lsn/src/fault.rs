@@ -138,12 +138,90 @@ impl FaultPlan {
         h
     }
 
+    /// Difference between this plan and `next`, as the sorted sets of
+    /// satellites, explicit links and GSLs that newly fail or heal when
+    /// stepping from `self` to `next`.
+    ///
+    /// The delta is *exact*: applying it to the masks derived from `self`
+    /// reproduces the masks derived from `next` member-for-member, which is
+    /// what lets [`IslGraph::apply_delta`] patch a snapshot instead of
+    /// rebuilding it. Link entries are the explicit (min, max)-keyed kills
+    /// only — edges implied by whole-satellite failures are carried by the
+    /// sat sets.
+    pub fn diff(&self, next: &FaultPlan) -> FaultPlanDelta {
+        fn sat_diff(a: &HashSet<SatIndex>, b: &HashSet<SatIndex>) -> Vec<SatIndex> {
+            let mut out: Vec<SatIndex> = b.difference(a).copied().collect();
+            out.sort_unstable_by_key(|s| s.0);
+            out
+        }
+        fn link_diff(
+            a: &HashSet<(SatIndex, SatIndex)>,
+            b: &HashSet<(SatIndex, SatIndex)>,
+        ) -> Vec<(SatIndex, SatIndex)> {
+            let mut out: Vec<(SatIndex, SatIndex)> = b.difference(a).copied().collect();
+            out.sort_unstable_by_key(|&(x, y)| (x.0, y.0));
+            out
+        }
+        FaultPlanDelta {
+            failed_sats: sat_diff(&self.failed_sats, &next.failed_sats),
+            healed_sats: sat_diff(&next.failed_sats, &self.failed_sats),
+            failed_links: link_diff(&self.failed_links, &next.failed_links),
+            healed_links: link_diff(&next.failed_links, &self.failed_links),
+            failed_gsls: sat_diff(&self.failed_gsls, &next.failed_gsls),
+            healed_gsls: sat_diff(&next.failed_gsls, &self.failed_gsls),
+        }
+    }
+
     fn key(a: SatIndex, b: SatIndex) -> (SatIndex, SatIndex) {
         if a.0 <= b.0 {
             (a, b)
         } else {
             (b, a)
         }
+    }
+}
+
+/// Exact set difference between two [`FaultPlan`]s, produced by
+/// [`FaultPlan::diff`]. All vectors are sorted by satellite index for
+/// deterministic iteration.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlanDelta {
+    /// Satellites failed in `next` but not in `prev`.
+    pub failed_sats: Vec<SatIndex>,
+    /// Satellites failed in `prev` but not in `next` (recovered).
+    pub healed_sats: Vec<SatIndex>,
+    /// Explicit (min, max)-keyed link kills added in `next`.
+    pub failed_links: Vec<(SatIndex, SatIndex)>,
+    /// Explicit link kills removed in `next`.
+    pub healed_links: Vec<(SatIndex, SatIndex)>,
+    /// Ground-link kills added in `next`.
+    pub failed_gsls: Vec<SatIndex>,
+    /// Ground-link kills removed in `next`.
+    pub healed_gsls: Vec<SatIndex>,
+}
+
+impl FaultPlanDelta {
+    /// True when the two plans are identical.
+    pub fn is_empty(&self) -> bool {
+        !self.is_structural() && self.failed_gsls.is_empty() && self.healed_gsls.is_empty()
+    }
+
+    /// True when the delta changes the ISL adjacency structure — any
+    /// satellite or explicit link change. GSL-only deltas leave the CSR
+    /// arrays untouched (only the servable mask moves).
+    pub fn is_structural(&self) -> bool {
+        !self.failed_sats.is_empty()
+            || !self.healed_sats.is_empty()
+            || !self.failed_links.is_empty()
+            || !self.healed_links.is_empty()
+    }
+
+    /// True when the structural part is pure removal: edges only disappear
+    /// (new sat/link kills), never reappear. Pure-removal deltas admit
+    /// sparse shortest-path repair; anything that adds edges forces a full
+    /// per-source recompute.
+    pub fn is_pure_removal(&self) -> bool {
+        self.healed_sats.is_empty() && self.healed_links.is_empty()
     }
 }
 

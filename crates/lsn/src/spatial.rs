@@ -25,6 +25,7 @@
 use spacecdn_geo::{Ecef, Km};
 use spacecdn_orbit::SatIndex;
 use spacecdn_telemetry::LazyCounter;
+use std::sync::Arc;
 
 /// Query counters. Stable: `nearest` is a pure function of (snapshot,
 /// query point) and campaigns issue a deterministic query sequence, so
@@ -43,6 +44,14 @@ const CELL_DEG: f64 = 15.0;
 /// these magnitudes and costs no measurable pruning power.
 const BOUND_SLACK_KM: f64 = 1e-3;
 
+/// Accumulated drift (km of bound inflation) beyond which
+/// [`SpatialIndex::advanced`] refuses to patch and demands a full rebuild.
+/// At Shell 1 altitude satellites move ~8.1 km/s in ECEF, so at 5 s epoch
+/// steps this re-tightens the bounds roughly every ten steps, keeping the
+/// inflated cones within ~3.5° of the freshly built ones — pruning stays
+/// effective while the rebuild cost is amortized ~10×.
+const REBUILD_DRIFT_KM: f64 = 400.0;
+
 #[derive(Debug, Clone)]
 struct Cell {
     /// Unit mean direction of the members.
@@ -55,14 +64,18 @@ struct Cell {
     /// Radius range of members from Earth's centre, km.
     r_min: f64,
     r_max: f64,
-    /// Member satellite indices, ascending.
-    members: Vec<u32>,
+    /// Member satellite indices, ascending. Shared between an index and
+    /// its [`SpatialIndex::advanced`] successors so a patch step clones
+    /// refcounts, not vectors.
+    members: Arc<Vec<u32>>,
 }
 
 /// Grid index over the alive satellites of one snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct SpatialIndex {
     cells: Vec<Cell>,
+    /// Total bound inflation applied since the last full build, km.
+    drift_km: f64,
 }
 
 fn norm(v: [f64; 3]) -> f64 {
@@ -134,10 +147,97 @@ impl SpatialIndex {
                 sin_rho: rho.sin(),
                 r_min,
                 r_max,
-                members,
+                members: Arc::new(members),
             });
         }
-        SpatialIndex { cells }
+        SpatialIndex {
+            cells,
+            drift_km: 0.0,
+        }
+    }
+
+    /// Advance this index to a new snapshot without rebucketing: every
+    /// cell's conservative bounds are inflated by `step_drift_km` (an upper
+    /// bound on how far any member moved since the previous snapshot),
+    /// `removed` satellites leave their cells and `added` satellites join
+    /// as fresh singleton cells built from their `positions` entry.
+    ///
+    /// Returns `None` once the drift accumulated since the last full
+    /// [`SpatialIndex::build`] would exceed `REBUILD_DRIFT_KM` (400 km) —
+    /// the caller rebuilds, resetting the inflation.
+    ///
+    /// Exactness: `nearest` answers only require that membership equals the
+    /// servable set (maintained exactly here) and that each cell's bound
+    /// never exceeds the true member distance. A member that moved by at
+    /// most `d` stays within `[r_min - d, r_max + d]` of Earth's centre
+    /// (triangle inequality) and within `asin(d / (r_min - d))` of its old
+    /// direction (the tangent-line bound from radius `≥ r_min - d`), so the
+    /// widened interval plus the angle-added cone remain valid lower-bound
+    /// inputs. Query results are therefore bit-identical to a fresh build's;
+    /// only the *pruning* (and the stable scan counters) can differ.
+    pub fn advanced(
+        &self,
+        positions: &[Ecef],
+        removed: &[u32],
+        added: &[u32],
+        step_drift_km: f64,
+    ) -> Option<SpatialIndex> {
+        let drift_km = self.drift_km + step_drift_km;
+        if drift_km > REBUILD_DRIFT_KM {
+            return None;
+        }
+        let mut cells = self.cells.clone();
+        if step_drift_km > 0.0 {
+            for cell in &mut cells {
+                cell.r_max += step_drift_km;
+                cell.r_min = (cell.r_min - step_drift_km).max(0.0);
+                let (sin_a, cos_a) = if cell.r_min > step_drift_km {
+                    let a = (step_drift_km / cell.r_min).min(1.0).asin();
+                    a.sin_cos()
+                } else {
+                    (1.0, 0.0) // degenerate geometry: open the cone fully
+                };
+                let cos_rho = cell.cos_rho * cos_a - cell.sin_rho * sin_a;
+                let sin_rho = cell.sin_rho * cos_a + cell.cos_rho * sin_a;
+                if sin_rho < 0.0 {
+                    // rho + a passed pi: the cone covers the whole sphere.
+                    cell.cos_rho = -1.0;
+                    cell.sin_rho = 0.0;
+                } else {
+                    cell.cos_rho = cos_rho;
+                    cell.sin_rho = sin_rho;
+                }
+            }
+        }
+        for &r in removed {
+            for cell in &mut cells {
+                if let Ok(at) = cell.members.binary_search(&r) {
+                    Arc::make_mut(&mut cell.members).remove(at);
+                    break;
+                }
+            }
+        }
+        cells.retain(|c| !c.members.is_empty());
+        for &a in added {
+            let p = as_array(positions[a as usize]);
+            let r = norm(p);
+            let unit = if r > 1e-12 {
+                [p[0] / r, p[1] / r, p[2] / r]
+            } else {
+                [1.0, 0.0, 0.0]
+            };
+            // Same 1e-9 angular slack a fresh singleton cell would get.
+            let rho = 1e-9f64;
+            cells.push(Cell {
+                unit,
+                cos_rho: rho.cos(),
+                sin_rho: rho.sin(),
+                r_min: r,
+                r_max: r,
+                members: Arc::new(vec![a]),
+            });
+        }
+        Some(SpatialIndex { cells, drift_km })
     }
 
     /// Lower bound on the distance from `g` (radius `gn`, unit `gu`) to
@@ -197,7 +297,7 @@ impl SpatialIndex {
 
         let mut best: Option<(SatIndex, Km)> = None;
         let scan_cell = |cell_i: usize, best: &mut Option<(SatIndex, Km)>| {
-            for &m in &self.cells[cell_i].members {
+            for &m in self.cells[cell_i].members.iter() {
                 let d = positions[m as usize].distance(ground);
                 let better = match *best {
                     None => true,
@@ -230,7 +330,7 @@ impl SpatialIndex {
     fn scan_all(&self, positions: &[Ecef], ground: Ecef) -> Option<(SatIndex, Km)> {
         let mut best: Option<(SatIndex, Km)> = None;
         for cell in &self.cells {
-            for &m in &cell.members {
+            for &m in cell.members.iter() {
                 let d = positions[m as usize].distance(ground);
                 let better = match best {
                     None => true,
@@ -326,6 +426,74 @@ mod tests {
         assert_eq!(index.cell_count(), 0);
         assert!(index
             .nearest(&positions, Geodetic::ground(0.0, 0.0).to_ecef())
+            .is_none());
+    }
+
+    #[test]
+    fn advanced_index_stays_exact() {
+        // Drift the whole ring eastward in small steps, folding removals and
+        // re-additions in, and never rebuild: the conservatively inflated
+        // bounds must keep every nearest answer identical to a linear scan.
+        let n = 300usize;
+        let step_deg = 0.5f64;
+        let positions_at = |k: usize| -> Vec<Ecef> {
+            (0..n)
+                .map(|i| {
+                    let lon = -180.0 + 360.0 * i as f64 / n as f64 + step_deg * k as f64;
+                    let lat = 50.0 * ((i as f64) * 0.7).sin();
+                    Geodetic::at_altitude(lat, lon, 550.0).to_ecef()
+                })
+                .collect()
+        };
+        let mut positions = positions_at(0);
+        let mut alive = vec![true; n];
+        let mut index = SpatialIndex::build(&positions, &alive);
+        for k in 1..=6usize {
+            let next = positions_at(k);
+            let step_drift = positions
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| a.distance(*b).0)
+                .fold(0.0f64, f64::max);
+            positions = next;
+            // Kill one member and resurrect the previous victim each step.
+            let dead = (k * 37) % n;
+            let back = ((k - 1) * 37) % n;
+            let mut removed = vec![dead as u32];
+            let mut added = Vec::new();
+            if k > 1 && back != dead {
+                alive[back] = true;
+                added.push(back as u32);
+            }
+            alive[dead] = false;
+            removed.retain(|&r| !added.contains(&r));
+            added.retain(|&a| a != dead as u32);
+            index = index
+                .advanced(&positions, &removed, &added, step_drift)
+                .expect("drift budget exhausted");
+            for lat in (-75..=75).step_by(25) {
+                for lon in (-180..180).step_by(40) {
+                    let g = Geodetic::ground(lat as f64, lon as f64).to_ecef();
+                    assert_eq!(
+                        index.nearest(&positions, g),
+                        linear_nearest(&positions, &alive, g),
+                        "mismatch at step {k} lat={lat} lon={lon}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advanced_gives_up_past_drift_budget() {
+        let positions = ring_positions(50, 550.0);
+        let alive = vec![true; positions.len()];
+        let index = SpatialIndex::build(&positions, &alive);
+        let part = index
+            .advanced(&positions, &[], &[], REBUILD_DRIFT_KM * 0.6)
+            .expect("first step within budget");
+        assert!(part
+            .advanced(&positions, &[], &[], REBUILD_DRIFT_KM * 0.6)
             .is_none());
     }
 

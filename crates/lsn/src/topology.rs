@@ -19,11 +19,13 @@
 
 use crate::cache::{routing_cache_enabled, RoutingCache, SourceTables};
 use crate::fault::FaultPlan;
+use crate::routing::{hop_distances, repair_dijkstra_table};
 use crate::spatial::SpatialIndex;
 use spacecdn_geo::propagation::{propagation_delay, Medium};
 use spacecdn_geo::{Ecef, Geodetic, Km, Latency, SimTime};
 use spacecdn_orbit::{Constellation, SatIndex};
 use spacecdn_telemetry::{LazyCounter, LazyHistogram, Unit};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Snapshot construction counters. Racy: the engine's snapshot pool
@@ -31,6 +33,16 @@ use std::sync::Arc;
 /// wall-clock is racy by nature.
 static GRAPH_BUILDS: LazyCounter = LazyCounter::racy("lsn.graph.builds");
 static GRAPH_BUILD_NS: LazyHistogram = LazyHistogram::racy("lsn.graph.build_ns", Unit::Nanos);
+/// Delta-advancement counters, same racy classification (the snapshot pool
+/// decides scheduling-dependently whether a patch happens at all).
+static GRAPH_PATCHES: LazyCounter = LazyCounter::racy("lsn.graph.patches");
+static GRAPH_PATCH_NS: LazyHistogram = LazyHistogram::racy("lsn.graph.patch_ns", Unit::Nanos);
+
+/// Fraction of the vertex count the sparse table-repair dirty region may
+/// reach before [`IslGraph::apply_delta`] abandons repair for that source
+/// and falls back to a full recompute. Past this point the seeded re-run
+/// saves too little over a fresh Dijkstra to pay for the flood.
+const REPAIR_DIRTY_FRACTION: f64 = 0.25;
 
 /// One directed adjacency entry: a neighbour and the link length.
 ///
@@ -114,10 +126,13 @@ pub struct IslGraph {
     time: SimTime,
     positions: Vec<Ecef>,
     /// CSR row starts: edges of satellite `s` live at
-    /// `offsets[s]..offsets[s+1]` in `neighbours`/`lengths_km`.
-    offsets: Vec<u32>,
+    /// `offsets[s]..offsets[s+1]` in `neighbours`/`lengths_km`. The two
+    /// structural arrays are `Arc`-shared: [`Self::apply_delta`] steps
+    /// whose fault delta leaves the adjacency unchanged reuse them
+    /// zero-copy (only `lengths_km` is re-derived per instant).
+    offsets: Arc<Vec<u32>>,
     /// Flat neighbour indices, grouped by source satellite.
-    neighbours: Vec<u32>,
+    neighbours: Arc<Vec<u32>>,
     /// Link lengths in km, parallel to `neighbours`.
     lengths_km: Vec<f64>,
     alive: Vec<bool>,
@@ -125,8 +140,116 @@ pub struct IslGraph {
     /// terminals and gateways. A GSL-failed satellite stays in `alive`
     /// (it relays ISLs) but leaves `servable`.
     servable: Vec<bool>,
+    /// The plan this snapshot was lowered from; [`Self::apply_delta`]
+    /// diffs the next epoch's plan against it.
+    faults: FaultPlan,
+    /// The phase-determined inter-plane slot offsets probed at build time
+    /// (interior pairs, seam pair). Stored so a delta step can detect the
+    /// rare near-tie flip that would change adjacency globally.
+    interior_offset: i64,
+    seam_offset: i64,
     cache: Arc<RoutingCache>,
     spatial: SpatialIndex,
+}
+
+/// What [`IslGraph::apply_delta`] did, for telemetry and the benches'
+/// delta-vs-full accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatchStats {
+    /// Directed edges in rewritten CSR rows (old edges dropped plus new
+    /// edges emitted). Zero on structure-preserving steps.
+    pub patched_edges: u64,
+    /// CSR rows copied verbatim from the previous snapshot.
+    pub carried_rows: u64,
+    /// Dijkstra-table entries re-relaxed by sparse repair across all
+    /// repaired cached sources.
+    pub repaired_vertices: u64,
+    /// Cached sources whose tables could not be repaired (dirty region
+    /// over threshold, edge additions, or an offset flip) and were dropped
+    /// for full on-demand recomputation.
+    pub full_fallbacks: u64,
+    /// Did the step change adjacency structure at all?
+    pub structural: bool,
+    /// Did the spatial index hit its drift threshold and rebuild?
+    pub spatial_rebuilt: bool,
+}
+
+/// Derive the alive/servable masks of a fresh snapshot.
+fn fault_masks(constellation: &Constellation, faults: &FaultPlan) -> (Vec<bool>, Vec<bool>) {
+    let n = constellation.len();
+    let mut alive = vec![true; n];
+    let mut servable = vec![true; n];
+    for sat in constellation.sat_indices() {
+        if faults.sat_failed(sat) {
+            alive[sat.as_usize()] = false;
+        }
+        if faults.gsl_failed(sat) {
+            servable[sat.as_usize()] = false;
+        }
+    }
+    (alive, servable)
+}
+
+/// Phase-determined slot offsets of the nearest satellite one plane over:
+/// `(interior, seam)`. See [`IslGraph::build`]. Shared by the full build
+/// and the delta path so both lower the identical adjacency; the delta
+/// path re-probes every step because a near-tie between two candidate
+/// slots could flip the argmin as geometry evolves.
+fn probe_offsets(constellation: &Constellation, positions: &[Ecef]) -> (i64, i64) {
+    let plane_count = constellation.config().plane_count as i64;
+    let sats_per_plane = constellation.config().sats_per_plane as i64;
+    let nearest_slot_offset = |from_plane: i64| -> i64 {
+        let probe = positions[constellation.sat_at(from_plane, 0).as_usize()];
+        let mut best = (f64::INFINITY, 0i64);
+        for s in 0..sats_per_plane {
+            let d = probe
+                .distance(positions[constellation.sat_at(from_plane + 1, s).as_usize()])
+                .0;
+            if d < best.0 {
+                best = (d, s);
+            }
+        }
+        best.1
+    };
+    let interior_offset = nearest_slot_offset(0);
+    // With F = 0 every plane is identically phased, so the seam pair
+    // (P-1, 0) is geometrically the same as any interior pair — no
+    // second probe needed.
+    let seam_offset = if plane_count > 1 && constellation.config().phase_factor != 0 {
+        nearest_slot_offset(plane_count - 1)
+    } else {
+        interior_offset
+    };
+    (interior_offset, seam_offset)
+}
+
+/// The ≤4 +Grid candidate neighbours of `sat` in fixed aft/fore/left/right
+/// order, given the probed inter-plane offsets. Factored out of the build
+/// loop so [`IslGraph::apply_delta`] regenerates dirty rows with literally
+/// the same code path.
+fn grid_candidates(
+    constellation: &Constellation,
+    sat: SatIndex,
+    interior_offset: i64,
+    seam_offset: i64,
+) -> [SatIndex; 4] {
+    let plane_count = constellation.config().plane_count as i64;
+    // Offset used when crossing from plane p to plane p+1.
+    let offset_from = |p: i64| -> i64 {
+        if p.rem_euclid(plane_count) == plane_count - 1 {
+            seam_offset
+        } else {
+            interior_offset
+        }
+    };
+    let plane = constellation.plane_of(sat) as i64;
+    let slot = constellation.slot_of(sat) as i64;
+    [
+        constellation.sat_at(plane, slot - 1), // aft
+        constellation.sat_at(plane, slot + 1), // fore
+        constellation.sat_at(plane - 1, slot - offset_from(plane - 1)), // left
+        constellation.sat_at(plane + 1, slot + offset_from(plane)), // right
+    ]
 }
 
 impl IslGraph {
@@ -147,16 +270,7 @@ impl IslGraph {
         let _span = GRAPH_BUILD_NS.timer();
         let n = constellation.len();
         let positions = constellation.snapshot_ecef(t);
-        let mut alive = vec![true; n];
-        let mut servable = vec![true; n];
-        for sat in constellation.sat_indices() {
-            if faults.sat_failed(sat) {
-                alive[sat.as_usize()] = false;
-            }
-            if faults.gsl_failed(sat) {
-                servable[sat.as_usize()] = false;
-            }
-        }
+        let (alive, servable) = fault_masks(constellation, faults);
 
         // Phase-determined slot offset of the nearest satellite one plane
         // over (see doc comment). The offset is uniform for all interior
@@ -164,38 +278,7 @@ impl IslGraph {
         // phasing accumulates F·360/S degrees over a full revolution of
         // planes, which lands on a (possibly non-zero) whole-slot shift at
         // the seam.
-        let plane_count = constellation.config().plane_count as i64;
-        let sats_per_plane = constellation.config().sats_per_plane as i64;
-        let nearest_slot_offset = |from_plane: i64| -> i64 {
-            let probe = positions[constellation.sat_at(from_plane, 0).as_usize()];
-            let mut best = (f64::INFINITY, 0i64);
-            for s in 0..sats_per_plane {
-                let d = probe
-                    .distance(positions[constellation.sat_at(from_plane + 1, s).as_usize()])
-                    .0;
-                if d < best.0 {
-                    best = (d, s);
-                }
-            }
-            best.1
-        };
-        let interior_offset = nearest_slot_offset(0);
-        // With F = 0 every plane is identically phased, so the seam pair
-        // (P-1, 0) is geometrically the same as any interior pair — no
-        // second probe needed.
-        let seam_offset = if plane_count > 1 && constellation.config().phase_factor != 0 {
-            nearest_slot_offset(plane_count - 1)
-        } else {
-            interior_offset
-        };
-        // Offset used when crossing from plane p to plane p+1.
-        let offset_from = |p: i64| -> i64 {
-            if p.rem_euclid(plane_count) == plane_count - 1 {
-                seam_offset
-            } else {
-                interior_offset
-            }
-        };
+        let (interior_offset, seam_offset) = probe_offsets(constellation, &positions);
 
         // One pass: evaluate each satellite's ≤4 candidate links exactly
         // once into a fixed-size stash, tracking the exact edge total.
@@ -205,14 +288,7 @@ impl IslGraph {
             if !alive[sat.as_usize()] {
                 continue;
             }
-            let plane = constellation.plane_of(sat) as i64;
-            let slot = constellation.slot_of(sat) as i64;
-            let candidates = [
-                constellation.sat_at(plane, slot - 1), // aft
-                constellation.sat_at(plane, slot + 1), // fore
-                constellation.sat_at(plane - 1, slot - offset_from(plane - 1)), // left
-                constellation.sat_at(plane + 1, slot + offset_from(plane)), // right
-            ];
+            let candidates = grid_candidates(constellation, sat, interior_offset, seam_offset);
             let row = &mut stash[sat.as_usize()];
             for nb in candidates {
                 if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
@@ -243,14 +319,300 @@ impl IslGraph {
         IslGraph {
             time: t,
             positions,
+            offsets: Arc::new(offsets),
+            neighbours: Arc::new(neighbours),
+            lengths_km,
+            alive,
+            servable,
+            faults: faults.clone(),
+            interior_offset,
+            seam_offset,
+            cache: Arc::new(RoutingCache::new()),
+            spatial,
+        }
+    }
+
+    /// Advance this snapshot to `(t, faults)` by patching instead of
+    /// rebuilding: the delta between the two fault plans determines which
+    /// CSR rows are rewritten (everything else is carried — zero-copy via
+    /// the shared `Arc`s when the structure is untouched), positions are
+    /// refreshed with the hoisted-but-bit-identical
+    /// [`Constellation::snapshot_ecef_into`], the spatial index is advanced
+    /// with conservatively inflated bounds, and the routing cache carries,
+    /// repairs, or drops the previous epoch's tables depending on what the
+    /// step invalidated.
+    ///
+    /// `constellation` must be the one this snapshot was built from. The
+    /// result is **bit-identical** to `IslGraph::build(constellation, t,
+    /// faults)` in every observable: positions, CSR adjacency order, length
+    /// mantissas, masks, routing tables and nearest-satellite answers —
+    /// the timeline oracle and the `properties.rs` proptests enforce this.
+    /// Only throughput telemetry and spatial pruning counters may differ.
+    pub fn apply_delta(
+        &self,
+        constellation: &Constellation,
+        t: SimTime,
+        faults: &FaultPlan,
+    ) -> (IslGraph, PatchStats) {
+        let n = constellation.len();
+        assert_eq!(n, self.len(), "apply_delta across different constellations");
+        GRAPH_PATCHES.incr();
+        let _span = GRAPH_PATCH_NS.timer();
+        let mut stats = PatchStats::default();
+        let delta = self.faults.diff(faults);
+        let same_time = t == self.time;
+
+        // Positions: carried bit-for-bit on a same-instant step, otherwise
+        // refreshed by the hoisted kernel (bit-identical to a fresh
+        // `snapshot_ecef` — pinned in the orbit crate's tests).
+        let mut positions = Vec::new();
+        if same_time {
+            positions.clone_from(&self.positions);
+        } else {
+            constellation.snapshot_ecef_into(t, &mut positions);
+        }
+        let step_drift_km = if same_time {
+            0.0
+        } else {
+            constellation.max_drift_km(t.as_secs_f64() - self.time.as_secs_f64())
+        };
+
+        // Masks: recompute exactly the entries the delta can have touched;
+        // everything else is unchanged by the definition of the set diff.
+        let mut alive = self.alive.clone();
+        let mut servable = self.servable.clone();
+        let mut touched: Vec<u32> = delta
+            .failed_sats
+            .iter()
+            .chain(&delta.healed_sats)
+            .chain(&delta.failed_gsls)
+            .chain(&delta.healed_gsls)
+            .map(|s| s.0)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut removed_servable: Vec<u32> = Vec::new();
+        let mut added_servable: Vec<u32> = Vec::new();
+        for &s in &touched {
+            let sat = SatIndex(s);
+            alive[s as usize] = !faults.sat_failed(sat);
+            let was = self.servable[s as usize];
+            let now = !faults.gsl_failed(sat);
+            servable[s as usize] = now;
+            if was && !now {
+                removed_servable.push(s);
+            } else if !was && now {
+                added_servable.push(s);
+            }
+        }
+
+        // Re-probe the inter-plane offsets at the new instant: the argmin
+        // over slot distances could in principle flip on a near-tie
+        // phasing, which would change adjacency globally — treat that as
+        // an all-rows-dirty patch.
+        let (interior_offset, seam_offset) = probe_offsets(constellation, &positions);
+        let offsets_flipped =
+            interior_offset != self.interior_offset || seam_offset != self.seam_offset;
+
+        let structural = delta.is_structural() || offsets_flipped;
+        stats.structural = structural;
+        let (offsets, neighbours, lengths_km) = if !structural {
+            // Structure untouched: share the flat arrays, re-derive only
+            // the lengths (every inter-plane length moves with latitude).
+            let lengths_km = if same_time {
+                self.lengths_km.clone()
+            } else {
+                let mut lengths = Vec::with_capacity(self.lengths_km.len());
+                for (sat, w) in self.offsets.windows(2).enumerate() {
+                    let (lo, hi) = (w[0] as usize, w[1] as usize);
+                    for &nb in &self.neighbours[lo..hi] {
+                        lengths.push(positions[sat].distance(positions[nb as usize]).0);
+                    }
+                }
+                lengths
+            };
+            stats.carried_rows = n as u64;
+            (
+                Arc::clone(&self.offsets),
+                Arc::clone(&self.neighbours),
+                lengths_km,
+            )
+        } else {
+            // Dirty rows: every satellite whose candidate set can have
+            // changed — the changed satellites themselves, their grid
+            // candidates (the relation is symmetric, so these are exactly
+            // the rows referencing them), and endpoints of explicit link
+            // changes. An offset flip dirties everything.
+            let mut dirty = vec![offsets_flipped; n];
+            if !offsets_flipped {
+                for &s in delta.failed_sats.iter().chain(&delta.healed_sats) {
+                    dirty[s.as_usize()] = true;
+                    for nb in grid_candidates(constellation, s, interior_offset, seam_offset) {
+                        dirty[nb.as_usize()] = true;
+                    }
+                }
+                for &(a, b) in delta.failed_links.iter().chain(&delta.healed_links) {
+                    dirty[a.as_usize()] = true;
+                    dirty[b.as_usize()] = true;
+                }
+            }
+
+            let mut offsets_new = Vec::with_capacity(n + 1);
+            let mut neighbours_new = Vec::with_capacity(self.neighbours.len() + 16);
+            let mut lengths_new = Vec::with_capacity(self.lengths_km.len() + 16);
+            offsets_new.push(0u32);
+            for s in 0..n as u32 {
+                let sat = SatIndex(s);
+                if dirty[s as usize] {
+                    let (old_row, _) = self.neighbor_row(s);
+                    stats.patched_edges += old_row.len() as u64;
+                    if alive[s as usize] {
+                        for nb in grid_candidates(constellation, sat, interior_offset, seam_offset)
+                        {
+                            if nb == sat || !alive[nb.as_usize()] || faults.link_failed(sat, nb) {
+                                continue;
+                            }
+                            neighbours_new.push(nb.0);
+                            lengths_new.push(
+                                positions[sat.as_usize()]
+                                    .distance(positions[nb.as_usize()])
+                                    .0,
+                            );
+                            stats.patched_edges += 1;
+                        }
+                    }
+                } else {
+                    stats.carried_rows += 1;
+                    let (row, old_lens) = self.neighbor_row(s);
+                    neighbours_new.extend_from_slice(row);
+                    if same_time {
+                        lengths_new.extend_from_slice(old_lens);
+                    } else {
+                        for &nb in row {
+                            lengths_new
+                                .push(positions[s as usize].distance(positions[nb as usize]).0);
+                        }
+                    }
+                }
+                offsets_new.push(neighbours_new.len() as u32);
+            }
+            (Arc::new(offsets_new), Arc::new(neighbours_new), lengths_new)
+        };
+
+        // Spatial index: advance with inflated-but-valid bounds, or rebuild
+        // once the accumulated drift hits the threshold.
+        let spatial =
+            if removed_servable.is_empty() && added_servable.is_empty() && step_drift_km == 0.0 {
+                self.spatial.clone()
+            } else {
+                match self.spatial.advanced(
+                    &positions,
+                    &removed_servable,
+                    &added_servable,
+                    step_drift_km,
+                ) {
+                    Some(s) => s,
+                    None => {
+                        stats.spatial_rebuilt = true;
+                        SpatialIndex::build(&positions, &servable)
+                    }
+                }
+            };
+
+        let mut graph = IslGraph {
+            time: t,
+            positions,
             offsets,
             neighbours,
             lengths_km,
             alive,
             servable,
+            faults: faults.clone(),
+            interior_offset,
+            seam_offset,
             cache: Arc::new(RoutingCache::new()),
             spatial,
+        };
+
+        // Routing cache succession: what survives depends on what moved.
+        if routing_cache_enabled() {
+            if !structural {
+                graph.cache = Arc::new(if same_time {
+                    // Same adjacency *and* lengths: every table is still
+                    // exact, carry them all (plus unconsumed hop seeds).
+                    RoutingCache::carried(
+                        self.cache.tables_snapshot(),
+                        self.cache.hop_seed_snapshot(),
+                    )
+                } else {
+                    // Lengths moved, structure didn't: the BFS halves stay
+                    // exact — seed them so misses skip the BFS re-run.
+                    RoutingCache::carried(HashMap::new(), self.cache.hop_seed_snapshot())
+                });
+            } else if same_time && delta.is_pure_removal() && !offsets_flipped {
+                // Dynamic SSSP: same instant, edges only removed — repair
+                // each warmed source's table sparsely over the dirty
+                // region, falling back past the threshold.
+                let removed_edges = self.removed_directed_edges(&delta);
+                let max_dirty = ((n as f64) * REPAIR_DIRTY_FRACTION) as usize;
+                let mut repaired: HashMap<u32, Arc<SourceTables>> = HashMap::new();
+                for (src, old_tables) in self.cache.tables_snapshot() {
+                    match repair_dijkstra_table(
+                        self,
+                        &graph,
+                        SatIndex(src),
+                        &removed_edges,
+                        &old_tables.km,
+                        max_dirty,
+                    ) {
+                        Some(outcome) => {
+                            stats.repaired_vertices += outcome.repaired as u64;
+                            let hops = hop_distances(&graph, SatIndex(src));
+                            repaired.insert(
+                                src,
+                                Arc::new(SourceTables {
+                                    km: outcome.table,
+                                    hops,
+                                }),
+                            );
+                        }
+                        None => stats.full_fallbacks += 1,
+                    }
+                }
+                graph.cache = Arc::new(RoutingCache::carried(repaired, HashMap::new()));
+            } else {
+                // Structure changed non-monotonically (healings, or an
+                // offset flip): nothing carries; warmed sources recompute
+                // on demand.
+                stats.full_fallbacks += self.cache.cached_sources() as u64;
+            }
         }
+
+        (graph, stats)
+    }
+
+    /// Every directed edge present in this snapshot that a pure-removal
+    /// delta deletes, with its length — the seed set for sparse table
+    /// repair.
+    fn removed_directed_edges(&self, delta: &crate::fault::FaultPlanDelta) -> Vec<(u32, u32, f64)> {
+        let mut removed = Vec::new();
+        for &s in &delta.failed_sats {
+            let (row, lens) = self.neighbor_row(s.0);
+            for (&nb, &len) in row.iter().zip(lens) {
+                // ECEF distance is symmetric in its operands bit-for-bit,
+                // so the reverse edge carries the identical length.
+                removed.push((s.0, nb, len));
+                removed.push((nb, s.0, len));
+            }
+        }
+        for &(a, b) in &delta.failed_links {
+            let (row, lens) = self.neighbor_row(a.0);
+            if let Some(k) = row.iter().position(|&nb| nb == b.0) {
+                removed.push((a.0, b.0, lens[k]));
+                removed.push((b.0, a.0, lens[k]));
+            }
+        }
+        removed
     }
 
     /// Instant this snapshot was taken.
@@ -414,6 +776,7 @@ impl IslGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::SourceTables;
     use spacecdn_orbit::shell::shells;
 
     fn graph() -> IslGraph {
@@ -594,6 +957,85 @@ mod tests {
         let (second, _) = g.nearest_alive(city).unwrap();
         assert_ne!(second, overhead);
         assert_eq!(g.nearest_alive(city), g.nearest_alive_linear(city));
+    }
+
+    #[test]
+    fn time_only_step_shares_csr_structure() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let plan = FaultPlan::none();
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &plan);
+        let (g1, stats) = g0.apply_delta(&c, SimTime::from_secs(5), &plan);
+        assert!(!stats.structural);
+        assert_eq!(stats.patched_edges, 0);
+        // The adjacency arrays are the same allocation, not a copy.
+        let (o0, n0, _) = g0.csr();
+        let (o1, n1, l1) = g1.csr();
+        assert!(std::ptr::eq(o0.as_ptr(), o1.as_ptr()));
+        assert!(std::ptr::eq(n0.as_ptr(), n1.as_ptr()));
+        // Lengths were re-derived for the new instant, bit-identical to a
+        // fresh build.
+        let fresh = IslGraph::build(&c, SimTime::from_secs(5), &plan);
+        let (_, _, lf) = fresh.csr();
+        for (a, b) in l1.iter().zip(lf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gsl_only_step_carries_warmed_tables() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let sources = [SatIndex(0), SatIndex(700)];
+        g0.warm_routing_cache(&sources);
+        let mut faults = FaultPlan::none();
+        faults.fail_gsl(SatIndex(50));
+        let (g1, stats) = g0.apply_delta(&c, SimTime::EPOCH, &faults);
+        // A GSL kill touches no ISL edge: the warmed tables ride along
+        // untouched and still match a cold compute on the patched graph.
+        assert!(!stats.structural);
+        assert_eq!(g1.cached_sources(), sources.len());
+        assert!(!g1.gsl_alive(SatIndex(50)));
+        for src in sources {
+            let got = g1.routing_tables(src);
+            let want = SourceTables::compute(&g1, src);
+            assert_eq!(got.hops, want.hops);
+            for (a, b) in got.km.iter().zip(&want.km) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_removal_step_repairs_tables_sparsely() {
+        let c = Constellation::new(shells::starlink_shell1());
+        let g0 = IslGraph::build(&c, SimTime::EPOCH, &FaultPlan::none());
+        let sources = [SatIndex(3), SatIndex(911)];
+        g0.warm_routing_cache(&sources);
+        let mut faults = FaultPlan::none();
+        faults.fail_sat(SatIndex(400));
+        let (g1, stats) = g0.apply_delta(&c, SimTime::EPOCH, &faults);
+        assert!(stats.structural);
+        assert!(stats.patched_edges > 0);
+        assert_eq!(stats.full_fallbacks, 0);
+        assert!(stats.repaired_vertices > 0);
+        // The repair touched only a small region of each table.
+        assert!(
+            (stats.repaired_vertices as usize) < sources.len() * c.len() / 4,
+            "repaired {} vertices",
+            stats.repaired_vertices
+        );
+        assert_eq!(g1.cached_sources(), sources.len());
+        let fresh = IslGraph::build(&c, SimTime::EPOCH, &faults);
+        for src in sources {
+            let got = g1.routing_tables(src);
+            let want = SourceTables::compute(&fresh, src);
+            assert_eq!(got.hops, want.hops);
+            for (a, b) in got.km.iter().zip(&want.km) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1, b.1);
+            }
+        }
     }
 
     #[test]

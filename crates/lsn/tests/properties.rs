@@ -1,10 +1,10 @@
 //! Property-based tests for ISL topology and routing invariants.
 
 use proptest::prelude::*;
-use spacecdn_geo::{DetRng, SimDuration, SimTime};
+use spacecdn_geo::{DetRng, Geodetic, SimDuration, SimTime};
 use spacecdn_lsn::{
     bfs_nearest, dijkstra, dijkstra_distances, hop_distances, FaultEvent, FaultPlan, FaultSchedule,
-    IslEdge, IslGraph,
+    IslEdge, IslGraph, SourceTables,
 };
 use spacecdn_orbit::shell::ShellConfig;
 use spacecdn_orbit::{Constellation, SatIndex};
@@ -206,8 +206,149 @@ fn random_faults(constellation: &Constellation, seed: u64, frac: f64) -> FaultPl
     faults
 }
 
+/// [`random_faults`] plus a few GSL kills, so deltas also move the
+/// servable mask (and with it the spatial index membership).
+fn random_faults_with_gsl(constellation: &Constellation, seed: u64, frac: f64) -> FaultPlan {
+    let mut faults = random_faults(constellation, seed, frac);
+    let mut rng = DetRng::new(seed ^ 0x9e37_79b9, "prop-delta-gsl");
+    for _ in 0..3 {
+        faults.fail_gsl(SatIndex(rng.index(constellation.len()) as u32));
+    }
+    faults
+}
+
+/// Assert two graphs are identical in every observable, to the bit:
+/// instant, CSR adjacency (order and length mantissas), masks, positions.
+fn assert_graphs_identical(got: &IslGraph, want: &IslGraph) {
+    assert_eq!(got.time(), want.time());
+    assert_eq!(got.len(), want.len());
+    let (go, gn, gl) = got.csr();
+    let (wo, wn, wl) = want.csr();
+    assert_eq!(go, wo, "CSR offsets differ");
+    assert_eq!(gn, wn, "CSR neighbours differ");
+    assert_eq!(gl.len(), wl.len());
+    for (k, (a, b)) in gl.iter().zip(wl).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "length bits at edge {k}");
+    }
+    for i in 0..got.len() as u32 {
+        let s = SatIndex(i);
+        assert_eq!(got.is_alive(s), want.is_alive(s), "alive mask at {i}");
+        assert_eq!(got.gsl_alive(s), want.gsl_alive(s), "servable mask at {i}");
+        let (gp, wp) = (got.position(s), want.position(s));
+        assert_eq!(gp.x.to_bits(), wp.x.to_bits(), "position x bits at {i}");
+        assert_eq!(gp.y.to_bits(), wp.y.to_bits(), "position y bits at {i}");
+        assert_eq!(gp.z.to_bits(), wp.z.to_bits(), "position z bits at {i}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_delta_matches_fresh_build(
+        shell in arb_phased_shell(),
+        t1 in 0u64..20_000,
+        dt1 in 0u64..600,
+        dt2 in 0u64..600,
+        seed in 0u64..1000,
+        frac1 in 0.0f64..0.3,
+        frac2 in 0.0f64..0.3,
+    ) {
+        // Random schedule × random step sequence: a patched graph must be
+        // edge-for-edge, bit-for-bit the freshly built one — including a
+        // dt of zero (same-instant fault step) and a step *back* to the
+        // first plan (heals mixed with fails), chained so the second patch
+        // runs on top of the first patch's output.
+        let c = Constellation::new(shell);
+        let p1 = random_faults_with_gsl(&c, seed, frac1);
+        let p2 = random_faults_with_gsl(&c, seed + 17, frac2);
+        let time1 = SimTime::from_secs(t1);
+        let time2 = SimTime::from_secs(t1 + dt1);
+        let time3 = SimTime::from_secs(t1 + dt1 + dt2);
+        let g1 = IslGraph::build(&c, time1, &p1);
+        let (g2, _) = g1.apply_delta(&c, time2, &p2);
+        assert_graphs_identical(&g2, &IslGraph::build(&c, time2, &p2));
+        let (g3, _) = g2.apply_delta(&c, time3, &p1);
+        assert_graphs_identical(&g3, &IslGraph::build(&c, time3, &p1));
+    }
+
+    #[test]
+    fn patched_nearest_alive_matches_fresh_build(
+        shell in arb_phased_shell(),
+        t0 in 0u64..20_000,
+        step in 1u64..15,
+        seed in 0u64..1000,
+        frac in 0.0f64..0.3,
+    ) {
+        // Walk a dense sub-15s timeline on one patched lineage so spatial
+        // bound inflation accumulates across steps; nearest-satellite
+        // answers must stay exactly the fresh build's the whole way.
+        let c = Constellation::new(shell);
+        let p = random_faults_with_gsl(&c, seed, frac);
+        let mut g = IslGraph::build(&c, SimTime::from_secs(t0), &p);
+        let probes = [
+            Geodetic::ground(48.1, 11.6),
+            Geodetic::ground(-33.9, 151.2),
+            Geodetic::ground(0.0, -78.5),
+            Geodetic::ground(64.1, -21.9),
+        ];
+        for k in 1..=8u64 {
+            let t = SimTime::from_secs(t0 + k * step);
+            let (next, _) = g.apply_delta(&c, t, &p);
+            let fresh = IslGraph::build(&c, t, &p);
+            for ground in probes {
+                prop_assert_eq!(
+                    next.nearest_alive(ground),
+                    fresh.nearest_alive(ground),
+                    "nearest diverges at step {} for {:?}", k, ground
+                );
+            }
+            g = next;
+        }
+    }
+
+    #[test]
+    fn repaired_tables_match_fresh_compute(
+        shell in arb_phased_shell(),
+        t in 0u64..20_000,
+        seed in 0u64..1000,
+        frac in 0.0f64..0.25,
+        kills in 1usize..4,
+    ) {
+        // Same-instant pure-removal step over a warmed cache: the sparse
+        // dynamic-SSSP repair (or its threshold fallback) must reproduce a
+        // fresh graph's tables bit-for-bit — km mantissas, route hop
+        // counts and BFS levels.
+        let c = Constellation::new(shell);
+        let p1 = random_faults(&c, seed, frac);
+        let mut p2 = p1.clone();
+        let mut rng = DetRng::new(seed, "prop-repair-kills");
+        for _ in 0..kills {
+            p2.fail_sat(SatIndex(rng.index(c.len()) as u32));
+        }
+        let a = SatIndex(rng.index(c.len()) as u32);
+        let b = SatIndex((a.0 + 1) % c.len() as u32);
+        p2.fail_link(a, b);
+        let time = SimTime::from_secs(t);
+        let g1 = IslGraph::build(&c, time, &p1);
+        let sources: Vec<SatIndex> = (0..c.len() as u32).step_by(3).map(SatIndex).collect();
+        g1.warm_routing_cache(&sources);
+        let (g2, _) = g1.apply_delta(&c, time, &p2);
+        let fresh = IslGraph::build(&c, time, &p2);
+        assert_graphs_identical(&g2, &fresh);
+        for &src in &sources {
+            let got = g2.routing_tables(src);
+            let want = SourceTables::compute(&fresh, src);
+            for (k, (a, b)) in got.km.iter().zip(&want.km).enumerate() {
+                prop_assert_eq!(
+                    a.0.to_bits(), b.0.to_bits(),
+                    "km bits diverge for src {:?} dst {}", src, k
+                );
+                prop_assert_eq!(a.1, b.1, "route hops diverge for src {:?} dst {}", src, k);
+            }
+            prop_assert_eq!(&got.hops, &want.hops, "BFS levels diverge for src {:?}", src);
+        }
+    }
 
     #[test]
     fn grid_degree_and_symmetry(shell in arb_shell(), t in 0u64..20_000) {

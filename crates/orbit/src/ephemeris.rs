@@ -139,6 +139,61 @@ impl Constellation {
             .collect()
     }
 
+    /// Refresh a position buffer to time `t`, bit-identical to
+    /// [`Self::snapshot_ecef`] but with the per-snapshot constants hoisted
+    /// out of the per-satellite loop: the inclination rotation, orbit
+    /// radius, Earth rotation angle and the per-*plane* node-longitude
+    /// sines/cosines are each computed once instead of per satellite.
+    ///
+    /// Every hoisted term is the same floating-point expression evaluated
+    /// on the same operands as in [`Self::position_ecef`], so the results
+    /// are identical to the last bit — the property the delta-aware epoch
+    /// advancement relies on (and `snapshot_into_matches_snapshot` pins).
+    /// This cuts the per-satellite work to a single `sin_cos`, which is
+    /// what makes position refresh cheap enough for sub-15 s epoch steps.
+    pub fn snapshot_ecef_into(&self, t: SimTime, out: &mut Vec<Ecef>) {
+        let tsec = t.as_secs_f64();
+        let mm_t = self.config.mean_motion_rad_s() * tsec;
+        let inc = self.config.inclination_deg.to_radians();
+        let (sin_i, cos_i) = inc.sin_cos();
+        let r = self.config.orbit_radius_km();
+        let earth_rot = std::f64::consts::TAU * tsec / SIDEREAL_DAY_S;
+
+        out.clear();
+        out.reserve(self.elements.len());
+        let s = self.config.sats_per_plane as usize;
+        for plane_elems in self.elements.chunks(s) {
+            // All satellites of one plane share the RAAN, hence the node
+            // longitude and its sine/cosine.
+            let raan = plane_elems[0].0;
+            let lon_node = raan - earth_rot;
+            let (sin_o, cos_o) = lon_node.sin_cos();
+            for &(_, phase0) in plane_elems {
+                let theta = phase0 + mm_t;
+                let (sin_t, cos_t) = theta.sin_cos();
+                let x_orb = cos_t;
+                let y_orb = sin_t * cos_i;
+                let z_orb = sin_t * sin_i;
+                out.push(Ecef {
+                    x: r * (x_orb * cos_o - y_orb * sin_o),
+                    y: r * (x_orb * sin_o + y_orb * cos_o),
+                    z: r * z_orb,
+                });
+            }
+        }
+    }
+
+    /// Conservative upper bound on how far any satellite's Earth-fixed
+    /// position can move over `dt` seconds, in km: orbital speed plus the
+    /// Earth-rotation contribution at orbit radius. Used to inflate
+    /// spatial-index bounds when a snapshot is advanced in place rather
+    /// than rebuilt.
+    pub fn max_drift_km(&self, dt_s: f64) -> f64 {
+        let r = self.config.orbit_radius_km();
+        let v = self.config.mean_motion_rad_s() * r + std::f64::consts::TAU / SIDEREAL_DAY_S * r;
+        v * dt_s.abs()
+    }
+
     /// Straight-line distance between two satellites at `t` (an ISL length).
     pub fn inter_sat_distance(&self, a: SatIndex, b: SatIndex, t: SimTime) -> Km {
         self.position_ecef(a, t).distance(self.position_ecef(b, t))
@@ -181,6 +236,46 @@ mod tests {
         let mut c = shells::test_shell();
         c.plane_count = 0;
         let _ = Constellation::new(c);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        // The hoisted kernel used by delta advancement must be bit-identical
+        // to the per-satellite path, or patched graphs diverge from fresh
+        // builds in the oracle.
+        for c in [shell1(), Constellation::new(shells::test_shell())] {
+            let mut buf = Vec::new();
+            for t in [0u64, 1, 157, 3600, 86_399] {
+                let t = SimTime::from_secs(t);
+                let want = c.snapshot_ecef(t);
+                c.snapshot_ecef_into(t, &mut buf);
+                assert_eq!(buf.len(), want.len());
+                for (i, (a, b)) in buf.iter().zip(&want).enumerate() {
+                    assert_eq!(a.x.to_bits(), b.x.to_bits(), "x bits at sat {i}");
+                    assert_eq!(a.y.to_bits(), b.y.to_bits(), "y bits at sat {i}");
+                    assert_eq!(a.z.to_bits(), b.z.to_bits(), "z bits at sat {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_drift_bounds_observed_displacement() {
+        let c = shell1();
+        for dt in [1u64, 5, 15, 60] {
+            let bound = c.max_drift_km(dt as f64);
+            let a = c.snapshot_ecef(SimTime::from_secs(1000));
+            let b = c.snapshot_ecef(SimTime::from_secs(1000 + dt));
+            let worst = a
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| p.distance(*q).0)
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst <= bound,
+                "observed {worst} km exceeds bound {bound} km over {dt}s"
+            );
+        }
     }
 
     #[test]

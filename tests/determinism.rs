@@ -224,6 +224,30 @@ fn traffic_engine_identical_at_any_thread_count() {
 }
 
 #[test]
+fn traffic_engine_identical_with_delta_on_and_off_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    // Delta-aware epoch advancement patches the previous epoch's graph in
+    // place instead of rebuilding; a full-constellation traffic report
+    // must come out byte-identical either way, at every thread count.
+    spacecdn_suite::core::set_delta_override(Some(false));
+    clear_graph_pool();
+    let canonical = with_thread_count(1, traffic_fingerprint);
+    for delta in [false, true] {
+        spacecdn_suite::core::set_delta_override(Some(delta));
+        for threads in [1, 2, 5, 8] {
+            clear_graph_pool();
+            let fp = with_thread_count(threads, traffic_fingerprint);
+            assert_eq!(
+                canonical, fp,
+                "traffic engine diverged with delta={delta} at {threads} threads"
+            );
+        }
+    }
+    spacecdn_suite::core::set_delta_override(None);
+    clear_graph_pool();
+}
+
+#[test]
 fn hop_distance_between_is_symmetric_and_reuses_tables() {
     let _guard = OVERRIDE_LOCK.lock().unwrap();
     let constellation = Constellation::new(shells::starlink_shell1());

@@ -9,10 +9,10 @@
 //! (`tests/pool_env.rs`).
 
 use spacecdn_suite::core::network::LsnNetwork;
-use spacecdn_suite::core::{clear_graph_pool, graph_pool_stats};
+use spacecdn_suite::core::{clear_graph_pool, graph_pool_stats, set_delta_override};
 use spacecdn_suite::engine::set_snapshot_pool_override;
 use spacecdn_suite::geo::{SimDuration, SimTime};
-use spacecdn_suite::lsn::{AccessModel, FaultPlan, FaultSchedule};
+use spacecdn_suite::lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
 use spacecdn_suite::orbit::shell::ShellConfig;
 use spacecdn_suite::orbit::{Constellation, SatIndex};
 use spacecdn_suite::terra::fiber::FiberModel;
@@ -175,6 +175,66 @@ fn fault_digests_key_the_pool_without_aliasing() {
         "a lowered schedule with equal membership must hit the pooled entry"
     );
 
+    set_snapshot_pool_override(None);
+    clear_graph_pool();
+}
+
+#[test]
+fn patched_and_fresh_snapshots_never_alias_different_bytes() {
+    // Delta advancement inserts *patched* graphs into the pool under the
+    // same `(config, epoch, fault digest)` key a fresh build would use. A
+    // later cold lookup of that key therefore serves the patched bytes —
+    // which must be indistinguishable, to the bit, from building from
+    // scratch.
+    let _guard = POOL_LOCK.lock().unwrap();
+    set_snapshot_pool_override(Some(true));
+    set_delta_override(Some(true));
+    clear_graph_pool();
+    let net = small_net();
+
+    let t0 = SimTime::from_secs(11);
+    let t1 = SimTime::from_secs(16);
+    let mut plan = FaultPlan::none();
+    plan.fail_sat(SatIndex(3));
+    plan.fail_gsl(SatIndex(9));
+    plan.fail_link(SatIndex(12), SatIndex(13));
+
+    // Seed an epoch, then advance through the delta path: the second
+    // snapshot is a patch of the first, pooled under t1's key.
+    let prev = net.snapshot(t0, &FaultPlan::none()).graph_handle();
+    let patched = net.snapshot_from(t1, &plan, Some(&prev)).graph_handle();
+
+    // A cold lookup of the same key must hit the pooled (patched) entry…
+    let (hits, misses) = pool_delta(|| {
+        let pooled = net.snapshot(t1, &plan).graph_handle();
+        assert!(
+            std::ptr::eq(pooled.as_ref(), patched.as_ref()),
+            "lookup must serve the pooled patched snapshot"
+        );
+    });
+    assert_eq!((hits, misses), (1, 0));
+
+    // …and the patched bytes must equal an independent fresh build's.
+    let fresh = IslGraph::build(net.constellation(), t1, &plan);
+    assert_eq!(patched.time(), fresh.time());
+    let (po, pn, pl) = patched.csr();
+    let (fo, fn_, fl) = fresh.csr();
+    assert_eq!(po, fo, "patched CSR offsets diverge from fresh build");
+    assert_eq!(pn, fn_, "patched CSR neighbours diverge from fresh build");
+    for (k, (a, b)) in pl.iter().zip(fl).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "length bits diverge at edge {k}");
+    }
+    for i in 0..patched.len() as u32 {
+        let s = SatIndex(i);
+        assert_eq!(patched.is_alive(s), fresh.is_alive(s), "alive bit {i}");
+        assert_eq!(patched.gsl_alive(s), fresh.gsl_alive(s), "servable bit {i}");
+        let (a, b) = (patched.position(s), fresh.position(s));
+        assert_eq!(a.x.to_bits(), b.x.to_bits(), "pos x bits {i}");
+        assert_eq!(a.y.to_bits(), b.y.to_bits(), "pos y bits {i}");
+        assert_eq!(a.z.to_bits(), b.z.to_bits(), "pos z bits {i}");
+    }
+
+    set_delta_override(None);
     set_snapshot_pool_override(None);
     clear_graph_pool();
 }
