@@ -1,0 +1,233 @@
+//! Serve-path benchmark: an in-process `spacecdn-serve` daemon with
+//! concurrent TCP clients, each owning a live session on the test
+//! constellation and streaming batched traffic bursts through the
+//! socket protocol. Measures sustained simulated requests/sec through
+//! the full serve path (socket framing, journaling, per-session locking,
+//! traffic engine), then replays every session journal and asserts the
+//! replayed report is byte-identical to the live one — the daemon's
+//! determinism contract, exercised at benchmark scale.
+//!
+//! Flags: `--quick` (CI-sized run), `--connections N` (concurrent client
+//! connections; default 4), `--requests N` (requests per burst; default
+//! 400k full / 20k quick), `--bursts N` (bursts per connection; default
+//! 4 full / 2 quick).
+
+use serde::Serialize;
+use spacecdn_bench::{banner, quick_mode, results_dir};
+use spacecdn_engine::peak_rss_bytes;
+use spacecdn_measure::report::write_json;
+use spacecdn_serve::server::{Daemon, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SCHEMA: &str = "spacecdn-serve-v1";
+
+#[derive(Serialize)]
+struct ConnectionRow {
+    session: String,
+    requests: u64,
+    wall_s: f64,
+    requests_per_sec: f64,
+    replay_matched: bool,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    schema: &'static str,
+    connections: usize,
+    bursts_per_connection: u64,
+    requests_per_burst: u64,
+    total_requests: u64,
+    wall_s: f64,
+    requests_per_sec: f64,
+    replay_matched: bool,
+    peak_rss_bytes: Option<u64>,
+    per_connection: Vec<ConnectionRow>,
+}
+
+/// The value following `name` on the command line, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
+}
+
+fn flag_u64(name: &str, default: u64) -> u64 {
+    flag_value(name).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} expects a count, got '{v}'"))
+    })
+}
+
+/// One request line out, one response line back; panics on `ok:false`.
+fn send(reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    reader
+        .get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write to daemon");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read from daemon");
+    let response = response.trim_end().to_string();
+    assert!(
+        response.starts_with("{\"ok\":true"),
+        "daemon rejected {line}: {response}"
+    );
+    response
+}
+
+/// Drive one client connection: create a session, stream `bursts`
+/// traffic bursts, return the live report line and requests served.
+fn drive_connection(
+    addr: SocketAddr,
+    session: &str,
+    seed: u64,
+    bursts: u64,
+    requests_per_burst: u64,
+) -> (String, u64, f64) {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let mut reader = BufReader::new(stream);
+    let t0 = Instant::now();
+    send(
+        &mut reader,
+        &format!(
+            "{{\"op\":\"create\",\"session\":\"{session}\",\"seed\":{seed},\
+             \"constellation\":\"test\",\"streams\":4,\"catalog\":5000,\"cache_mb\":16}}"
+        ),
+    );
+    let mut requests = 0u64;
+    for _ in 0..bursts {
+        send(
+            &mut reader,
+            &format!(
+                "{{\"op\":\"traffic\",\"session\":\"{session}\",\"requests\":{requests_per_burst},\
+                 \"epochs\":2,\"epoch_step_secs\":60}}"
+            ),
+        );
+        requests += requests_per_burst;
+        // A couple of single fetches per burst keep the interactive path
+        // in the measured mix.
+        send(
+            &mut reader,
+            &format!("{{\"op\":\"fetch\",\"session\":\"{session}\",\"lat\":-25.97,\"lon\":32.58}}"),
+        );
+        send(
+            &mut reader,
+            &format!("{{\"op\":\"fetch\",\"session\":\"{session}\",\"lat\":50.11,\"lon\":8.68}}"),
+        );
+    }
+    let report = send(
+        &mut reader,
+        &format!("{{\"op\":\"report\",\"session\":\"{session}\"}}"),
+    );
+    (report, requests, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    banner(
+        "Serve path — concurrent sessions through the socket protocol",
+        "(infrastructure) sustained req/s across live daemon sessions, \
+         with byte-identical journal replay as the determinism gate",
+    );
+
+    let connections = flag_u64("--connections", 4) as usize;
+    let bursts = flag_u64("--bursts", if quick_mode() { 2 } else { 4 });
+    let requests_per_burst = flag_u64("--requests", if quick_mode() { 20_000 } else { 400_000 });
+
+    let journal_dir: PathBuf = results_dir().join("serve_journals");
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let cfg = ServeConfig {
+        listen: "127.0.0.1:0".to_string(),
+        journal_dir: journal_dir.clone(),
+        port_file: None,
+    };
+    let daemon = Daemon::bind(&cfg).expect("bind daemon");
+    let addr = daemon.local_addr().expect("local addr");
+    let daemon_thread = std::thread::spawn(move || daemon.run());
+    println!(
+        "{connections} connections x {bursts} bursts x {requests_per_burst} requests on {addr}"
+    );
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|i| {
+            let session = format!("bench{i}");
+            std::thread::spawn(move || {
+                let (report, requests, wall_s) =
+                    drive_connection(addr, &session, 42 + i as u64, bursts, requests_per_burst);
+                (session, report, requests, wall_s)
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let total_requests: u64 = results.iter().map(|(_, _, r, _)| r).sum();
+    let requests_per_sec = total_requests as f64 / wall_s;
+
+    // Determinism gate: every session journal must replay to the exact
+    // bytes the live daemon returned for `report`.
+    let mut per_connection = Vec::new();
+    let mut all_matched = true;
+    for (session, live_report, requests, conn_wall) in &results {
+        let journal = journal_dir.join(format!("{session}.jsonl"));
+        let replayed = spacecdn_serve::journal::replay(&journal)
+            .unwrap_or_else(|e| panic!("replay {session}: {e}"));
+        let matched = &replayed == live_report;
+        assert!(matched, "replay of {session} diverged from live report");
+        all_matched &= matched;
+        per_connection.push(ConnectionRow {
+            session: session.clone(),
+            requests: *requests,
+            wall_s: *conn_wall,
+            requests_per_sec: *requests as f64 / conn_wall.max(1e-9),
+            replay_matched: matched,
+        });
+    }
+
+    // Shut the daemon down over the protocol and wait for a clean exit.
+    {
+        let stream = TcpStream::connect(addr).expect("connect for shutdown");
+        let mut reader = BufReader::new(stream);
+        send(&mut reader, "{\"op\":\"shutdown\"}");
+    }
+    daemon_thread
+        .join()
+        .expect("join daemon")
+        .expect("daemon exits cleanly");
+
+    let peak_rss = peak_rss_bytes();
+    println!(
+        "{total_requests} requests in {wall_s:.2} s — {requests_per_sec:.0} req/s sustained \
+         through the serve path · replay matched: {all_matched}"
+    );
+    if let Some(rss) = peak_rss {
+        println!(
+            "peak resident memory: {:.0} MiB",
+            rss as f64 / (1 << 20) as f64
+        );
+    }
+
+    write_json(
+        &results_dir().join("BENCH_serve.json"),
+        &ServeBench {
+            schema: SCHEMA,
+            connections,
+            bursts_per_connection: bursts,
+            requests_per_burst,
+            total_requests,
+            wall_s,
+            requests_per_sec,
+            replay_matched: all_matched,
+            peak_rss_bytes: peak_rss,
+            per_connection,
+        },
+    )
+    .expect("write json");
+    println!("json: results/BENCH_serve.json");
+    spacecdn_bench::emit_metrics("serve");
+}

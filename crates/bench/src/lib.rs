@@ -28,7 +28,7 @@ use std::path::PathBuf;
 /// run order. `repro_all` itself and the interactive `explore` shell are
 /// deliberately absent; `tests::bins_list_matches_bin_dir` keeps this list
 /// in sync with the directory so a new binary can't be silently forgotten.
-pub const EXPERIMENT_BINS: [&str; 24] = [
+pub const EXPERIMENT_BINS: [&str; 25] = [
     "engine_bench",
     "routing_bench",
     "table1",
@@ -53,6 +53,7 @@ pub const EXPERIMENT_BINS: [&str; 24] = [
     "isl_load",
     "fault_sweep",
     "traffic_bench",
+    "serve_bench",
 ];
 
 /// Binaries in `src/bin/` that [`EXPERIMENT_BINS`] intentionally skips:
@@ -71,8 +72,12 @@ pub fn emit_metrics(label: &str) {
         return;
     }
     let path = results_dir().join(format!("METRICS_{label}.json"));
-    let report = spacecdn_telemetry::snapshot();
-    report.write_json(&path).expect("write metrics snapshot");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create metrics dir");
+    }
+    // One serializer for every metrics surface: the same bytes the
+    // spacecdn-serve `metrics` endpoint streams to clients.
+    std::fs::write(&path, spacecdn_telemetry::snapshot_json()).expect("write metrics snapshot");
     println!("metrics snapshot -> {}", path.display());
 }
 
@@ -165,9 +170,39 @@ mod tests {
         }
     }
 
+    /// Tests that flip the process-wide telemetry override serialize on
+    /// this lock so they cannot race each other's toggles.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn emit_metrics_bytes_match_registry_serializer() {
+        // `METRICS_*.json` files written by emit_metrics must be
+        // byte-identical to `MetricsReport::write_json` output — the
+        // pre-extraction rendering path — so swapping emit_metrics onto
+        // the shared `snapshot_json()` serializer changed nothing.
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        spacecdn_telemetry::set_metrics_override(Some(true));
+        let emitted_path = results_dir().join("METRICS_test_pin.json");
+        let legacy_path = results_dir().join("METRICS_test_pin_legacy.json");
+        emit_metrics("test_pin");
+        spacecdn_telemetry::snapshot()
+            .write_json(&legacy_path)
+            .unwrap();
+        let emitted = std::fs::read_to_string(&emitted_path).unwrap();
+        let legacy = std::fs::read_to_string(&legacy_path).unwrap();
+        assert_eq!(
+            emitted, legacy,
+            "emit_metrics output drifted from MetricsReport::write_json"
+        );
+        let _ = std::fs::remove_file(&emitted_path);
+        let _ = std::fs::remove_file(&legacy_path);
+        spacecdn_telemetry::set_metrics_override(None);
+    }
+
     #[test]
     fn emit_metrics_respects_disable() {
         // With telemetry forced off, emit_metrics must not create a file.
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         spacecdn_telemetry::set_metrics_override(Some(false));
         let path = results_dir().join("METRICS_test_disabled.json");
         let _ = std::fs::remove_file(&path);

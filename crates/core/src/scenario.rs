@@ -27,6 +27,7 @@ use std::sync::Arc;
 /// Session counters (stable: pure tallies of deterministic work).
 static SCENARIO_FETCHES: LazyCounter = LazyCounter::stable("core.scenario.fetches");
 static SCENARIO_ADVANCES: LazyCounter = LazyCounter::stable("core.scenario.epoch_advances");
+static SCENARIO_MUTATIONS: LazyCounter = LazyCounter::stable("core.scenario.live_mutations");
 
 /// A retrieval session: network + fault schedule + current snapshot +
 /// copy set + default policy, reused across many requests.
@@ -204,12 +205,66 @@ impl Scenario {
     /// the `Arc`s instead of racing the snapshot pool. The scenario is
     /// left positioned at the final epoch.
     pub fn freeze_epochs(&mut self, epochs: usize, step: SimDuration) -> Vec<Arc<IslGraph>> {
+        self.freeze_epochs_from(SimTime::EPOCH, epochs, step)
+    }
+
+    /// [`Self::freeze_epochs`] from an arbitrary origin: epochs are
+    /// `start + step·e`. Long-lived sessions (the `spacecdn-serve` clock)
+    /// freeze each traffic burst from wherever their virtual clock stands
+    /// instead of rewinding to [`SimTime::EPOCH`].
+    pub fn freeze_epochs_from(
+        &mut self,
+        start: SimTime,
+        epochs: usize,
+        step: SimDuration,
+    ) -> Vec<Arc<IslGraph>> {
         (0..epochs)
             .map(|e| {
-                self.advance_to(SimTime::EPOCH + step.mul(e as u64));
+                self.advance_to(start + step.mul(e as u64));
                 self.graph_handle()
             })
             .collect()
+    }
+
+    /// Mutate the fault schedule of a live session and re-lower it at the
+    /// current epoch: the snapshot is rebuilt (through the pool, delta
+    /// path when available) against the updated plan, so subsequent
+    /// fetches see the new fault state without the clock moving. This is
+    /// the `spacecdn-serve` fault-injection hook.
+    pub fn mutate_schedule(&mut self, f: impl FnOnce(&mut FaultSchedule)) {
+        SCENARIO_MUTATIONS.incr();
+        f(&mut self.schedule);
+        self.refresh();
+    }
+
+    /// Rebuild the current epoch's snapshot from the session's (possibly
+    /// mutated) schedule. Bit-identical to a fresh build at this epoch —
+    /// the pool keys on the lowered fault plan's digest, so a changed
+    /// schedule can never alias a stale graph.
+    pub fn refresh(&mut self) {
+        let prev = Arc::clone(&self.graph);
+        self.graph = self
+            .net
+            .snapshot_from(self.epoch, &self.schedule.plan_at(self.epoch), Some(&prev))
+            .graph_handle();
+    }
+
+    /// Swap the default hop-budget escalation ladder mid-session.
+    pub fn set_escalation(&mut self, ladder: impl Into<Vec<u32>>) {
+        SCENARIO_MUTATIONS.incr();
+        self.escalation = ladder.into();
+    }
+
+    /// Swap the default ground-fallback RTT mid-session.
+    pub fn set_ground_fallback(&mut self, rtt: Latency) {
+        SCENARIO_MUTATIONS.incr();
+        self.ground_fallback_rtt = rtt;
+    }
+
+    /// Swap the default gracefulness mid-session.
+    pub fn set_graceful(&mut self, graceful: bool) {
+        SCENARIO_MUTATIONS.incr();
+        self.graceful = graceful;
     }
 
     /// A request pre-filled with the session's default policy, ready for
@@ -318,6 +373,75 @@ mod tests {
         assert_eq!(req.escalation, vec![2, 6]);
         assert_eq!(req.ground_fallback_rtt, Latency::from_ms(90.0));
         assert!(!req.graceful);
+    }
+
+    #[test]
+    fn live_schedule_mutation_matches_fresh_session() {
+        // Injecting an outage into a running session (mutate_schedule →
+        // refresh at the current epoch) must be indistinguishable from a
+        // session built with that schedule from the start.
+        let t = SimTime::from_secs(250);
+        let all: Vec<_> = small_net().constellation().sat_indices().collect();
+        let copies: BTreeSet<_> = all.iter().copied().collect();
+        let user = Geodetic::ground(10.0, 10.0);
+
+        let mut live = Scenario::builder(small_net())
+            .copies(copies.clone())
+            .build();
+        live.advance_to(t);
+        assert!(live.fetch_user(user, None).space_hit());
+        live.mutate_schedule(|schedule| {
+            for &s in &all {
+                schedule.sat_outage(s, SimTime::from_secs(200), None);
+            }
+        });
+        assert_eq!(live.epoch(), t, "mutation must not move the clock");
+
+        let mut from_scratch = FaultSchedule::none();
+        for &s in &all {
+            from_scratch.sat_outage(s, SimTime::from_secs(200), None);
+        }
+        let mut fresh = Scenario::builder(small_net())
+            .schedule(from_scratch)
+            .copies(copies)
+            .build();
+        fresh.advance_to(t);
+
+        assert_eq!(live.fetch_user(user, None), fresh.fetch_user(user, None));
+        assert_eq!(
+            live.graph().csr(),
+            fresh.graph().csr(),
+            "mutated-then-refreshed graph must equal the fresh build"
+        );
+    }
+
+    #[test]
+    fn policy_setters_mirror_builder_defaults() {
+        let mut sc = Scenario::builder(small_net()).build();
+        sc.set_escalation(vec![2u32, 6]);
+        sc.set_ground_fallback(Latency::from_ms(90.0));
+        sc.set_graceful(false);
+        let req = sc.request(Geodetic::ground(0.0, 0.0));
+        assert_eq!(req.escalation, vec![2, 6]);
+        assert_eq!(req.ground_fallback_rtt, Latency::from_ms(90.0));
+        assert!(!req.graceful);
+    }
+
+    #[test]
+    fn freeze_epochs_from_offsets_the_timeline() {
+        let step = SimDuration::from_secs(30);
+        let start = SimTime::from_secs(120);
+        let mut offset = Scenario::builder(small_net()).build();
+        let frozen = offset.freeze_epochs_from(start, 3, step);
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(offset.epoch(), start + step.mul(2));
+
+        // Each frozen snapshot equals a direct advance to the same instant.
+        let mut direct = Scenario::builder(small_net()).build();
+        for (e, graph) in frozen.iter().enumerate() {
+            direct.advance_to(start + step.mul(e as u64));
+            assert_eq!(graph.csr(), direct.graph().csr());
+        }
     }
 
     #[test]

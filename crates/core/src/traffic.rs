@@ -145,6 +145,12 @@ pub struct TrafficConfig {
     pub escalation: Vec<u32>,
     /// Experiment seed.
     pub seed: u64,
+    /// Virtual instant the run opens at: epochs freeze at
+    /// `start + epoch_step·e` and arrivals spread over
+    /// `(start, start + epoch_step·epochs]`. [`SimTime::EPOCH`] (the
+    /// default) reproduces the classic batch timeline; long-lived
+    /// sessions (`spacecdn-serve`) hand each burst their running clock.
+    pub start: SimTime,
 }
 
 impl Default for TrafficConfig {
@@ -162,6 +168,7 @@ impl Default for TrafficConfig {
             duty_slot: SimDuration::from_mins(10),
             escalation: vec![1, 3, 5, 10],
             seed: 42,
+            start: SimTime::EPOCH,
         }
     }
 }
@@ -231,7 +238,9 @@ impl TrafficReport {
         self.served_bytes as f64 / total as f64
     }
 
-    fn merge(&mut self, other: &TrafficReport) {
+    /// Fold another report into this one — shard reduction within a run,
+    /// and burst accumulation across a long-lived serve session.
+    pub fn merge(&mut self, other: &TrafficReport) {
         self.requests += other.requests;
         self.overhead_hits += other.overhead_hits;
         self.isl_hits += other.isl_hits;
@@ -302,13 +311,38 @@ impl<'a> ArrivalStream<'a> {
         horizon: SimTime,
         quota: u64,
     ) -> Self {
+        Self::starting_at(
+            seed,
+            shard,
+            weight_cdf,
+            sampler,
+            SimTime::EPOCH,
+            horizon,
+            quota,
+        )
+    }
+
+    /// [`Self::new`] from an arbitrary origin: `quota` requests spread
+    /// over `(start, horizon]`. The RNG stream and per-arrival draw order
+    /// are unchanged, so a stream starting at `start` is the `start`-shift
+    /// of the one starting at [`SimTime::EPOCH`], gap for gap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn starting_at(
+        seed: u64,
+        shard: usize,
+        weight_cdf: &'a [u64],
+        sampler: &'a ZipfSampler,
+        start: SimTime,
+        horizon: SimTime,
+        quota: u64,
+    ) -> Self {
         ArrivalStream {
             rng: DetRng::new(seed, &format!("traffic/arrivals/{shard}")),
             weight_cdf,
             sampler,
             horizon,
-            mean_interarrival_s: horizon.as_secs_f64() / quota.max(1) as f64,
-            prev: SimTime::EPOCH,
+            mean_interarrival_s: horizon.since(start).as_secs_f64() / quota.max(1) as f64,
+            prev: start,
             issued: 0,
             quota,
         }
@@ -777,7 +811,7 @@ pub fn run_traffic_multishell(
     // them across duty fractions and campaigns). Epoch-major layout.
     let per_shell: Vec<Vec<Arc<IslGraph>>> = scenarios
         .iter_mut()
-        .map(|sc| sc.freeze_epochs(cfg.epochs, cfg.epoch_step))
+        .map(|sc| sc.freeze_epochs_from(cfg.start, cfg.epochs, cfg.epoch_step))
         .collect();
     let shells = per_shell.len();
     debug_assert!(shells <= u8::MAX as usize, "shell ids are bytes");
@@ -817,7 +851,7 @@ pub fn run_traffic_multishell(
 
     let duty = DutyCycler::new(cfg.duty_fraction, cfg.duty_slot, cfg.seed);
     let cache_bytes = (cfg.cache_bytes_per_sat / cfg.streams as u64).max(1);
-    let horizon = SimTime::EPOCH + cfg.epoch_step.mul(cfg.epochs as u64);
+    let horizon = cfg.start + cfg.epoch_step.mul(cfg.epochs as u64);
     let access = scenarios[0].network().access();
 
     let reports = par_map_indices(cfg.streams, |s| {
@@ -876,8 +910,16 @@ pub fn run_traffic_multishell(
             access,
         };
 
-        let arrivals = ArrivalStream::new(cfg.seed, s, &weight_cdf, &sampler, horizon, quota);
-        let ticks = FixedTicks::new(SimTime::EPOCH, cfg.epoch_step, 1, cfg.epochs as u64);
+        let arrivals = ArrivalStream::starting_at(
+            cfg.seed,
+            s,
+            &weight_cdf,
+            &sampler,
+            cfg.start,
+            horizon,
+            quota,
+        );
+        let ticks = FixedTicks::new(cfg.start, cfg.epoch_step, 1, cfg.epochs as u64);
         // Epoch ticks are the tie-winning stream: a boundary and an
         // arrival at the same instant swap the snapshot first, matching
         // the heap scheduler's FIFO order when boundaries are scheduled

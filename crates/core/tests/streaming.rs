@@ -93,6 +93,43 @@ proptest! {
         prop_assert_eq!(stream_rng.index(1 << 30), ref_rng.index(1 << 30));
     }
 
+    /// Start offset is a pure time translation: `starting_at(start, …)`
+    /// yields exactly the EPOCH-anchored stream shifted by `start` —
+    /// same gaps (integer-nanosecond arithmetic, so the shift is exact),
+    /// same sources and ranks, same RNG consumption. This is what lets a
+    /// long-lived serve session run bursts from its running clock and
+    /// still replay byte-identically.
+    #[test]
+    fn start_offset_is_an_exact_time_shift(
+        seed in 0u64..1_000,
+        shard in 0usize..9,
+        quota in 1u64..300,
+        start_s in 1u64..100_000,
+        weights in prop::collection::vec(1u32..20, 1..6),
+    ) {
+        let cdf = weight_cdf(&weights);
+        let ranks: Vec<usize> = (0..32).collect();
+        let sampler = ZipfSampler::over_ranks(&ranks, 0.9);
+        let span = SimDuration::from_secs(314);
+        let start = SimTime::EPOCH + SimDuration::from_secs(start_s);
+
+        let mut anchored =
+            ArrivalStream::new(seed, shard, &cdf, &sampler, SimTime::EPOCH + span, quota);
+        let mut shifted = ArrivalStream::starting_at(
+            seed, shard, &cdf, &sampler, start, start + span, quota,
+        );
+        loop {
+            match (anchored.next_event(), shifted.next_event()) {
+                (None, None) => break,
+                (Some((t0, a0)), Some((t1, a1))) => {
+                    prop_assert_eq!(t1, start + t0.since(SimTime::EPOCH));
+                    prop_assert_eq!(a0, a1);
+                }
+                (a, b) => prop_assert!(false, "length mismatch: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
     /// Structural invariants the merge/drive loop relies on: times are
     /// non-decreasing, never before EPOCH, never past the horizon, and
     /// sources/ranks are in range.

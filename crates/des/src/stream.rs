@@ -133,6 +133,8 @@ impl<A: EventStream, B: EventStream> EventStream for Merged<A, B> {
 /// [`crate::run_until`]). Returns the number of events fired. The first
 /// event strictly beyond the horizon is consumed from the stream and
 /// discarded — streams are single-use run inputs, not resumable queues.
+/// When the run must be resumable (a long-lived service advancing its
+/// clock in command-sized steps), wrap the stream in a [`Stepper`].
 pub fn drive<W, S, F>(world: &mut W, stream: &mut S, horizon: SimTime, mut handler: F) -> u64
 where
     S: EventStream,
@@ -150,6 +152,184 @@ where
         fired += 1;
     }
     fired
+}
+
+/// A resumable driver over one stream: [`drive`] consumes (and discards)
+/// the first event past its horizon, so calling it twice loses an event
+/// at every boundary. `Stepper` retains that peeked event between calls,
+/// letting an external command stream advance the simulation clock in
+/// arbitrary increments — the shape `spacecdn-serve` needs, where each
+/// `advance` command moves a live session part-way through its timeline.
+#[derive(Debug)]
+pub struct Stepper<S: EventStream> {
+    stream: S,
+    pending: Option<(SimTime, S::Event)>,
+    now: SimTime,
+}
+
+impl<S: EventStream> Stepper<S> {
+    /// Wrap `stream` for incremental driving.
+    pub fn new(stream: S) -> Self {
+        Stepper {
+            stream,
+            pending: None,
+            now: SimTime::EPOCH,
+        }
+    }
+
+    /// The timestamp of the latest event fired so far ([`SimTime::EPOCH`]
+    /// before any).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Mutable access to the wrapped stream (e.g. to splice new event
+    /// sources into a [`Splice`] mid-run). The retained peeked event is
+    /// unaffected; it still fires first if it is earliest.
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Fire every event with `t <= horizon` into `handler`, retaining the
+    /// first later event for the next call. Returns the number fired.
+    /// Successive calls with non-decreasing horizons replay exactly the
+    /// sequence one [`drive`] over the union interval would.
+    pub fn step_until<W, F>(&mut self, world: &mut W, horizon: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut W, SimTime, S::Event),
+    {
+        let mut fired = 0u64;
+        loop {
+            let (t, ev) = match self.pending.take() {
+                Some(p) => p,
+                None => match self.stream.next_event() {
+                    Some(p) => p,
+                    None => break,
+                },
+            };
+            if t > horizon {
+                self.pending = Some((t, ev));
+                break;
+            }
+            debug_assert!(t >= self.now, "event streams must be time-ordered");
+            self.now = t;
+            handler(world, t, ev);
+            fired += 1;
+        }
+        fired
+    }
+}
+
+/// A dynamic k-way merge that accepts new event streams **mid-run** — the
+/// live-mutation complement to the static [`Merged`] pair.
+///
+/// Ordering contract, mirroring [`Merged`]'s first-wins rule: among heads
+/// with equal next-event times, the **earliest-spliced** stream fires
+/// first, and within one stream events keep their own order. A stream
+/// spliced after the merge has already advanced past some instant cannot
+/// time-travel: its events are clamped forward to the merge's current
+/// clock (the timestamp of the last yielded event), preserving the
+/// non-decreasing output contract [`drive`] asserts.
+///
+/// `crates/des/tests/splice.rs` pins this against a materialized
+/// reference (stable sort by clamped time then splice order) and against
+/// [`Merged`] for the static two-stream case.
+pub struct Splice<E> {
+    heads: Vec<SpliceHead<E>>,
+    now: SimTime,
+}
+
+struct SpliceHead<E> {
+    /// Next event, already clamped to the merge clock at reveal time.
+    next: (SimTime, E),
+    stream: Box<dyn EventStream<Event = E> + Send>,
+}
+
+impl<E> std::fmt::Debug for Splice<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Splice")
+            .field("live_streams", &self.heads.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl<E> Splice<E> {
+    /// An empty merge (yields nothing until a stream is spliced in).
+    pub fn new() -> Self {
+        Splice {
+            heads: Vec::new(),
+            now: SimTime::EPOCH,
+        }
+    }
+
+    /// The merge clock: the timestamp of the last yielded event
+    /// ([`SimTime::EPOCH`] before any). Events of newly spliced streams
+    /// are clamped forward to this instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Streams spliced in and not yet exhausted.
+    pub fn live_streams(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// True when every spliced stream is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Add `stream` to the merge. Events it yields before the current
+    /// merge clock are clamped forward to it; ties against existing heads
+    /// fire the earlier-spliced stream first.
+    pub fn splice(&mut self, stream: impl EventStream<Event = E> + Send + 'static) {
+        let mut stream: Box<dyn EventStream<Event = E> + Send> = Box::new(stream);
+        if let Some((t, ev)) = stream.next_event() {
+            self.heads.push(SpliceHead {
+                next: (t.max(self.now), ev),
+                stream,
+            });
+        }
+    }
+}
+
+impl<E> Default for Splice<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventStream for Splice<E> {
+    type Event = E;
+
+    fn next_event(&mut self) -> Option<(SimTime, E)> {
+        // Earliest head wins; ties go to the earliest-spliced stream.
+        // Splice order is exactly vector order (exhausted heads are
+        // removed with `remove`, preserving it), so the first strict
+        // minimum is the winner.
+        let mut win = 0usize;
+        for (i, head) in self.heads.iter().enumerate().skip(1) {
+            if head.next.0 < self.heads[win].next.0 {
+                win = i;
+            }
+        }
+        let head = self.heads.get_mut(win)?;
+        let t = head.next.0;
+        self.now = t;
+        let out = match head.stream.next_event() {
+            Some((nt, nev)) => {
+                let (yt, yev) = std::mem::replace(&mut head.next, (nt.max(t), nev));
+                debug_assert_eq!(yt, t);
+                (yt, yev)
+            }
+            None => {
+                let exhausted = self.heads.remove(win);
+                exhausted.next
+            }
+        };
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +397,116 @@ mod tests {
         });
         assert_eq!(fired, 3);
         assert_eq!(seen, vec![(s(1), 1), (s(2), 2), (s(2), 3)]);
+    }
+
+    #[test]
+    fn stepper_resumes_across_horizons_without_losing_events() {
+        // drive() would discard the t=9 event when run to horizon 2; the
+        // stepper retains it and fires it on the next call.
+        let stream = Listed(vec![(s(1), 1), (s(2), 2), (s(9), 3), (s(12), 4)].into_iter());
+        let mut stepper = Stepper::new(stream);
+        let mut seen = Vec::new();
+        assert_eq!(
+            stepper.step_until(&mut seen, s(2), |v, t, e| v.push((t, e))),
+            2
+        );
+        assert_eq!(stepper.now(), s(2));
+        assert_eq!(
+            stepper.step_until(&mut seen, s(8), |v, t, e| v.push((t, e))),
+            0
+        );
+        assert_eq!(
+            stepper.step_until(&mut seen, s(20), |v, t, e| v.push((t, e))),
+            2
+        );
+        assert_eq!(seen, vec![(s(1), 1), (s(2), 2), (s(9), 3), (s(12), 4)]);
+        assert_eq!(
+            stepper.step_until(&mut seen, s(99), |v, t, e| v.push((t, e))),
+            0,
+            "exhausted stream stays exhausted"
+        );
+    }
+
+    #[test]
+    fn stepper_stepwise_equals_one_drive() {
+        let events: Vec<(SimTime, u32)> = (0..20).map(|k| (s(k / 3), k as u32)).collect();
+        let mut all = Vec::new();
+        drive(
+            &mut all,
+            &mut Listed(events.clone().into_iter()),
+            s(1_000),
+            |v, t, e| v.push((t, e)),
+        );
+        let mut stepped = Vec::new();
+        let mut stepper = Stepper::new(Listed(events.into_iter()));
+        for h in [0u64, 1, 1, 3, 4, 1_000] {
+            stepper.step_until(&mut stepped, s(h), |v, t, e| v.push((t, e)));
+        }
+        assert_eq!(stepped, all);
+    }
+
+    #[test]
+    fn splice_merges_like_merged_for_the_static_pair() {
+        let a = vec![(s(5), 1), (s(10), 2)];
+        let b = vec![(s(3), 91), (s(5), 92), (s(11), 93)];
+        let mut m = Merged::new(Listed(a.clone().into_iter()), Listed(b.clone().into_iter()));
+        let mut via_merged = Vec::new();
+        while let Some((t, ev)) = m.next_event() {
+            via_merged.push((
+                t,
+                match ev {
+                    MergedEvent::First(e) => e,
+                    MergedEvent::Second(e) => e,
+                },
+            ));
+        }
+        let mut sp = Splice::new();
+        sp.splice(Listed(a.into_iter()));
+        sp.splice(Listed(b.into_iter()));
+        let mut via_splice = Vec::new();
+        while let Some((t, ev)) = sp.next_event() {
+            via_splice.push((t, ev));
+        }
+        assert_eq!(via_splice, via_merged);
+        assert!(sp.is_exhausted());
+    }
+
+    #[test]
+    fn splice_ties_fire_in_splice_order() {
+        let mut sp = Splice::new();
+        sp.splice(Listed(vec![(s(5), 10)].into_iter()));
+        sp.splice(Listed(vec![(s(5), 20)].into_iter()));
+        sp.splice(Listed(vec![(s(5), 30)].into_iter()));
+        let order: Vec<u32> = std::iter::from_fn(|| sp.next_event().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn mid_run_splice_clamps_stale_events_to_the_merge_clock() {
+        let mut sp = Splice::new();
+        sp.splice(Listed(vec![(s(10), 1), (s(30), 2)].into_iter()));
+        assert_eq!(sp.next_event(), Some((s(10), 1)));
+        assert_eq!(sp.now(), s(10));
+        // Spliced while the clock sits at t=10: its t=4 event cannot fire
+        // in the past, so it clamps to t=10 — and loses the tie against
+        // nothing (no other head at t=10), firing next.
+        sp.splice(Listed(vec![(s(4), 91), (s(12), 92)].into_iter()));
+        assert_eq!(sp.next_event(), Some((s(10), 91)));
+        assert_eq!(sp.next_event(), Some((s(12), 92)));
+        assert_eq!(sp.next_event(), Some((s(30), 2)));
+        assert_eq!(sp.next_event(), None);
+    }
+
+    #[test]
+    fn mid_run_splice_tie_goes_to_the_earlier_spliced_stream() {
+        let mut sp = Splice::new();
+        sp.splice(Listed(vec![(s(10), 1), (s(20), 2)].into_iter()));
+        assert_eq!(sp.next_event(), Some((s(10), 1)));
+        // New stream's first event ties the existing head at t=20: the
+        // earlier-spliced stream wins.
+        sp.splice(Listed(vec![(s(20), 91)].into_iter()));
+        assert_eq!(sp.next_event(), Some((s(20), 2)));
+        assert_eq!(sp.next_event(), Some((s(20), 91)));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Property tests for `des::stream` merge tie-breaking on the live-mutation
+//! path: event streams spliced into a running [`Splice`] mid-drive.
+//!
+//! The oracle is the *materialized reference*: collect every stream's events
+//! up front, clamp each event's timestamp to the merge clock at the instant
+//! its stream was spliced, then stable-sort by `(clamped time, splice order)`
+//! — stability preserves intra-stream order, matching the first-wins scan
+//! over heads in splice order. The static two-stream case is additionally
+//! pinned against [`Merged`], whose FIFO tie-break (`First` before `Second`)
+//! the spliced merge must reproduce.
+
+use proptest::prelude::*;
+use spacecdn_des::stream::{drive, EventStream, Merged, MergedEvent, Splice, Stepper};
+use spacecdn_geo::time::SimTime;
+
+/// A pre-materialized event stream: each event is `(time, stream_id, rank)`.
+struct Listed {
+    events: std::vec::IntoIter<(SimTime, (u32, u32))>,
+}
+
+impl Listed {
+    fn new(id: u32, times: &[u64]) -> Self {
+        let events = times
+            .iter()
+            .enumerate()
+            .map(|(rank, &t)| (SimTime(t), (id, rank as u32)))
+            .collect::<Vec<_>>()
+            .into_iter();
+        Self { events }
+    }
+}
+
+impl EventStream for Listed {
+    type Event = (u32, u32);
+    fn next_event(&mut self) -> Option<(SimTime, Self::Event)> {
+        self.events.next()
+    }
+}
+
+/// One stream in a splice plan: spliced after `after` events have been
+/// drained from the merge, carrying sorted timestamps `times`.
+#[derive(Debug, Clone)]
+struct PlannedStream {
+    after: usize,
+    times: Vec<u64>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Vec<PlannedStream>> {
+    let stream =
+        (0usize..12, prop::collection::vec(0u64..40, 0..10)).prop_map(|(after, mut times)| {
+            times.sort_unstable();
+            PlannedStream { after, times }
+        });
+    prop::collection::vec(stream, 1..6).prop_map(|mut plan| {
+        // Splice order must be non-decreasing in drain position so the plan
+        // is executable left-to-right.
+        plan.sort_by_key(|p| p.after);
+        plan
+    })
+}
+
+/// Events fired by a driven [`Splice`]: (time, (stream id, rank)).
+type Fired = Vec<(SimTime, (u32, u32))>;
+
+/// Drive a [`Splice`] according to `plan`, recording for each stream the
+/// merge clock at the instant it was spliced, and returning the full fired
+/// sequence.
+fn run_splice(plan: &[PlannedStream]) -> (Fired, Vec<SimTime>) {
+    let mut sp: Splice<(u32, u32)> = Splice::new();
+    let mut fired = Vec::new();
+    let mut clock_at_splice = vec![SimTime::EPOCH; plan.len()];
+    let mut next = 0usize;
+    loop {
+        while next < plan.len() && plan[next].after <= fired.len() {
+            clock_at_splice[next] = sp.now();
+            sp.splice(Listed::new(next as u32, &plan[next].times));
+            next += 1;
+        }
+        match sp.next_event() {
+            Some(ev) => fired.push(ev),
+            None if next < plan.len() => {
+                // Drained dry before the next splice point: the remaining
+                // streams splice at the final clock.
+                clock_at_splice[next] = sp.now();
+                sp.splice(Listed::new(next as u32, &plan[next].times));
+                next += 1;
+            }
+            None => break,
+        }
+    }
+    assert!(sp.is_exhausted());
+    assert_eq!(sp.live_streams(), 0);
+    (fired, clock_at_splice)
+}
+
+/// The materialized reference: clamp each stream's events to the clock at
+/// its splice instant, then stable-sort by (time, splice order).
+fn materialized_reference(
+    plan: &[PlannedStream],
+    clock_at_splice: &[SimTime],
+) -> Vec<(SimTime, (u32, u32))> {
+    let mut all = Vec::new();
+    for (id, p) in plan.iter().enumerate() {
+        let mut clamp = clock_at_splice[id];
+        for (rank, &t) in p.times.iter().enumerate() {
+            // Within a stream, later events are also clamped by earlier
+            // (already-clamped) siblings: the merge never goes backward.
+            clamp = clamp.max(SimTime(t));
+            all.push((clamp, (id as u32, rank as u32)));
+        }
+    }
+    // Stable sort: ties resolve by splice order, then intra-stream rank.
+    all.sort_by_key(|&(t, _)| t);
+    all
+}
+
+proptest! {
+    /// Mid-run splices fire exactly the materialized reference sequence:
+    /// same events, same (clamped) times, ties broken by splice order.
+    #[test]
+    fn splice_matches_materialized_reference(plan in arb_plan()) {
+        let (fired, clocks) = run_splice(&plan);
+        let want = materialized_reference(&plan, &clocks);
+        prop_assert_eq!(fired, want);
+    }
+
+    /// The merge clock never runs backward, no matter how stale the
+    /// spliced streams' timestamps are.
+    #[test]
+    fn splice_timestamps_are_monotone(plan in arb_plan()) {
+        let (fired, _) = run_splice(&plan);
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "clock ran backward: {:?}", w);
+        }
+    }
+
+    /// With every stream spliced up front (the static case), `Splice` is
+    /// event-for-event identical to a left-nested tower of `Merged` —
+    /// including FIFO tie-breaking, where `Merged` yields `First` before
+    /// `Second`.
+    #[test]
+    fn static_splice_equals_merged_pair(
+        a in prop::collection::vec(0u64..40, 0..12),
+        b in prop::collection::vec(0u64..40, 0..12),
+    ) {
+        let mut a = a; a.sort_unstable();
+        let mut b = b; b.sort_unstable();
+
+        let mut merged = Merged::new(Listed::new(0, &a), Listed::new(1, &b));
+        let mut via_merged = Vec::new();
+        while let Some((t, ev)) = merged.next_event() {
+            let flat = match ev {
+                MergedEvent::First(e) => e,
+                MergedEvent::Second(e) => e,
+            };
+            via_merged.push((t, flat));
+        }
+
+        let mut sp: Splice<(u32, u32)> = Splice::new();
+        sp.splice(Listed::new(0, &a));
+        sp.splice(Listed::new(1, &b));
+        let mut via_splice = Vec::new();
+        while let Some(ev) = sp.next_event() {
+            via_splice.push(ev);
+        }
+
+        prop_assert_eq!(via_splice, via_merged);
+    }
+
+    /// Driving a `Stepper<Splice>` across arbitrary horizon partitions
+    /// fires the same sequence as one uninterrupted `drive()` — the peeked
+    /// event held across horizon boundaries is never lost or reordered.
+    #[test]
+    fn stepper_partition_invariance(
+        a in prop::collection::vec(0u64..40, 0..12),
+        b in prop::collection::vec(0u64..40, 0..12),
+        cuts in prop::collection::vec(0u64..45, 0..6),
+    ) {
+        let mut a = a; a.sort_unstable();
+        let mut b = b; b.sort_unstable();
+        let mut cuts = cuts; cuts.sort_unstable();
+
+        let mut sp: Splice<(u32, u32)> = Splice::new();
+        sp.splice(Listed::new(0, &a));
+        sp.splice(Listed::new(1, &b));
+        let mut whole = Vec::new();
+        let fired_whole = drive(&mut whole, &mut sp, SimTime(1_000), |w, t, e| w.push((t, e)));
+
+        let mut sp2: Splice<(u32, u32)> = Splice::new();
+        sp2.splice(Listed::new(0, &a));
+        sp2.splice(Listed::new(1, &b));
+        let mut stepper = Stepper::new(sp2);
+        let mut parts = Vec::new();
+        let mut fired_parts = 0;
+        for &c in &cuts {
+            fired_parts += stepper.step_until(&mut parts, SimTime(c), |w, t, e| w.push((t, e)));
+        }
+        fired_parts += stepper.step_until(&mut parts, SimTime(1_000), |w, t, e| w.push((t, e)));
+
+        prop_assert_eq!(fired_parts, fired_whole);
+        prop_assert_eq!(parts, whole);
+    }
+}

@@ -102,10 +102,24 @@ pub fn covered_traffic_sources(
     epochs: usize,
     epoch_step: SimDuration,
 ) -> Vec<TrafficSource> {
+    covered_traffic_sources_from(net, schedule, SimTime::EPOCH, epochs, epoch_step)
+}
+
+/// [`covered_traffic_sources`] with the epoch timeline anchored at
+/// `start` instead of [`SimTime::EPOCH`] — the fallback table for a
+/// traffic burst whose `TrafficConfig::start` carries a long-lived
+/// session's running clock.
+pub fn covered_traffic_sources_from(
+    net: &LsnNetwork,
+    schedule: &FaultSchedule,
+    start: SimTime,
+    epochs: usize,
+    epoch_step: SimDuration,
+) -> Vec<TrafficSource> {
     let covered = covered_countries();
     let sites = cdn_sites();
     let epoch_times: Vec<SimTime> = (0..epochs)
-        .map(|e| SimTime::EPOCH + epoch_step.mul(e as u64))
+        .map(|e| start + epoch_step.mul(e as u64))
         .collect();
     let snapshots: Vec<_> = epoch_times
         .iter()

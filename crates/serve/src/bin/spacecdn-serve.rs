@@ -1,0 +1,125 @@
+//! CLI entry point for the scenario daemon.
+//!
+//! Serve mode:
+//!
+//! ```text
+//! spacecdn-serve --listen 127.0.0.1:4600 --journal-dir journals \
+//!     [--port-file PATH] [--threads N]
+//! ```
+//!
+//! Replay mode — re-execute a session journal and print (or write) the
+//! final report line, byte-identical to what the live daemon returned:
+//!
+//! ```text
+//! spacecdn-serve --replay journals/demo.jsonl [--out report.json] [--threads N]
+//! ```
+
+use spacecdn_serve::server::{Daemon, ServeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    listen: String,
+    journal_dir: PathBuf,
+    port_file: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    out: Option<PathBuf>,
+    threads: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spacecdn-serve [--listen ADDR] [--journal-dir DIR] [--port-file PATH] \
+         [--threads N] | --replay JOURNAL [--out PATH] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        listen: "127.0.0.1:4600".to_string(),
+        journal_dir: PathBuf::from("journals"),
+        port_file: None,
+        replay: None,
+        out: None,
+        threads: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => cli.listen = value("--listen"),
+            "--journal-dir" => cli.journal_dir = PathBuf::from(value("--journal-dir")),
+            "--port-file" => cli.port_file = Some(PathBuf::from(value("--port-file"))),
+            "--replay" => cli.replay = Some(PathBuf::from(value("--replay"))),
+            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
+            "--threads" => {
+                cli.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an integer");
+                    usage()
+                }))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    spacecdn_engine::set_thread_override(cli.threads);
+
+    if let Some(journal) = &cli.replay {
+        return match spacecdn_serve::journal::replay(journal) {
+            Ok(report) => {
+                match &cli.out {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+                            eprintln!("write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    None => println!("{report}"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    spacecdn_serve::signal::install_handlers();
+    let cfg = ServeConfig {
+        listen: cli.listen,
+        journal_dir: cli.journal_dir,
+        port_file: cli.port_file,
+    };
+    let daemon = match Daemon::bind(&cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bind {}: {e}", cfg.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Ok(addr) = daemon.local_addr() {
+        eprintln!("spacecdn-serve listening on {addr}");
+    }
+    match daemon.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

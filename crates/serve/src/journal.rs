@@ -1,0 +1,294 @@
+//! Write-ahead session journals and deterministic replay.
+//!
+//! Every mutating command is appended to its session's journal — one
+//! canonical JSON line, stamped with the virtual clock *before* the
+//! command executes — and flushed before execution starts. A daemon
+//! killed mid-burst therefore leaves a journal whose replay includes the
+//! interrupted command in full: replay is the authority on what the
+//! session's state *should* be, which is exactly the differential-oracle
+//! treatment the batch engines get from their slow references.
+//!
+//! Line format (schema `spacecdn-journal-v1`):
+//!
+//! ```text
+//! {"v":1,"seq":0,"clock_ns":0,"cmd":{"op":"create",...}}
+//! {"v":1,"seq":1,"clock_ns":0,"cmd":{"op":"traffic",...}}
+//! ```
+//!
+//! `seq` is strictly increasing from 0; `clock_ns` is the session clock
+//! at journaling time (informational — replay re-derives all state from
+//! the commands). A trailing line without a terminating newline is
+//! discarded as a torn write; any malformed *interior* line is an error.
+
+use crate::protocol::Command;
+use crate::session::Session;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An open write-ahead journal for one session.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+}
+
+impl Journal {
+    /// Create (truncate) the journal for `session` under `dir`.
+    pub fn create(dir: &Path, session: &str) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{session}.jsonl"));
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Journal { file, path, seq: 0 })
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append `cmd` (canonically encoded) stamped with `clock_ns`, flush
+    /// to the OS, and return the entry's sequence number. Called *before*
+    /// the command executes — the write-ahead contract.
+    pub fn record(&mut self, clock_ns: u64, cmd: &Command) -> io::Result<u64> {
+        let seq = self.seq;
+        let line = format!(
+            "{{\"v\":1,\"seq\":{},\"clock_ns\":{},\"cmd\":{}}}\n",
+            seq,
+            clock_ns,
+            cmd.canonical()
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.seq += 1;
+        Ok(seq)
+    }
+}
+
+/// One parsed journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Strictly increasing from 0.
+    pub seq: u64,
+    /// Session clock when the command was journaled.
+    pub clock_ns: u64,
+    /// The journaled command.
+    pub cmd: Command,
+}
+
+/// Parse a journal file. A torn trailing line (no terminating newline,
+/// from a killed-mid-write daemon) is dropped; anything else malformed is
+/// an error.
+pub fn read_journal(path: &Path) -> Result<Vec<JournalEntry>, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+
+    let mut entries = Vec::new();
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..=end],
+        None => "",
+    };
+    for (i, line) in complete.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = parse_entry(line).map_err(|e| format!("journal line {}: {e}", i + 1))?;
+        if entry.seq != entries.len() as u64 {
+            return Err(format!(
+                "journal line {}: seq {} out of order (expected {})",
+                i + 1,
+                entry.seq,
+                entries.len()
+            ));
+        }
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+fn parse_entry(line: &str) -> Result<JournalEntry, String> {
+    let value = serde_json::parse_value(line).map_err(|e| format!("bad json: {e:?}"))?;
+    let num = |key: &str| -> Result<u64, String> {
+        match value.get(key) {
+            Some(serde_json::Value::Number(serde_json::Number::UInt(u))) => Ok(*u),
+            other => Err(format!("field {key:?} must be a u64, got {other:?}")),
+        }
+    };
+    if num("v")? != 1 {
+        return Err("unsupported journal version".to_string());
+    }
+    let cmd_value = value.get("cmd").ok_or("missing field \"cmd\"")?;
+    // Re-encode the cmd subtree compactly and run it through the one
+    // command parser, so journal parsing can never drift from protocol
+    // parsing.
+    let cmd = Command::parse(&serde_json::to_string(cmd_value).map_err(|e| format!("{e:?}"))?)?;
+    Ok(JournalEntry {
+        seq: num("seq")?,
+        clock_ns: num("clock_ns")?,
+        cmd,
+    })
+}
+
+/// Re-execute a session journal and return the final report line —
+/// byte-identical to the `{"ok":true,"report":...}` response a live
+/// `report` command on the original session would have produced (at any
+/// worker thread count).
+///
+/// The journal must open with the session's `create`; a `drop` ends
+/// replay early (the report then reflects the state at the drop).
+pub fn replay(path: &Path) -> Result<String, String> {
+    let entries = read_journal(path)?;
+    let mut session: Option<Session> = None;
+    for entry in entries {
+        match entry.cmd {
+            Command::Create(args) => {
+                if session.is_some() {
+                    return Err("duplicate create in journal".to_string());
+                }
+                session = Some(Session::create(args)?);
+            }
+            Command::Drop { .. } => break,
+            cmd => {
+                let s = session.as_mut().ok_or("journal command before create")?;
+                match cmd {
+                    Command::Advance { secs, .. } => s.advance(secs),
+                    Command::Fetch { lat, lon, .. } => {
+                        s.fetch(lat, lon);
+                    }
+                    Command::Traffic {
+                        requests,
+                        epochs,
+                        epoch_step_secs,
+                        ..
+                    } => {
+                        s.traffic(requests, epochs, epoch_step_secs);
+                    }
+                    Command::Fault {
+                        sats,
+                        from_secs,
+                        until_secs,
+                        gsl,
+                        ..
+                    } => s.fault(&sats, from_secs, until_secs, gsl),
+                    Command::Duty { fraction, .. } => s.set_duty(fraction),
+                    Command::Cache { bytes_per_sat, .. } => s.set_cache_bytes(bytes_per_sat),
+                    other => return Err(format!("non-mutating command in journal: {other:?}")),
+                }
+            }
+        }
+    }
+    let mut session = session.ok_or("empty journal")?;
+    Ok(format!(
+        "{{\"ok\":true,\"report\":{}}}",
+        session.report_json()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CreateArgs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spacecdn-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_cmds() -> Vec<Command> {
+        vec![
+            Command::Create(CreateArgs {
+                session: "j".into(),
+                seed: 11,
+                catalog: 200,
+                streams: 2,
+                ..CreateArgs::default()
+            }),
+            Command::Traffic {
+                session: "j".into(),
+                requests: 300,
+                epochs: 2,
+                epoch_step_secs: 60,
+            },
+            Command::Fault {
+                session: "j".into(),
+                sats: vec![1, 2, 3],
+                from_secs: 90,
+                until_secs: None,
+                gsl: false,
+            },
+            Command::Advance {
+                session: "j".into(),
+                secs: 30,
+            },
+            Command::Fetch {
+                session: "j".into(),
+                lat: -25.97,
+                lon: 32.58,
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips_and_replays_deterministically() {
+        let dir = tmp_dir("roundtrip");
+        let mut journal = Journal::create(&dir, "j").unwrap();
+        for (i, cmd) in sample_cmds().iter().enumerate() {
+            let seq = journal.record(i as u64 * 1_000, cmd).unwrap();
+            assert_eq!(seq, i as u64);
+        }
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        let entries = read_journal(&path).unwrap();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[0].cmd.session(), Some("j"));
+
+        let a = replay(&path).unwrap();
+        let b = replay(&path).unwrap();
+        assert_eq!(a, b, "replay must be deterministic");
+        assert!(a.starts_with("{\"ok\":true,\"report\":{\"session\":\"j\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_discarded() {
+        let dir = tmp_dir("torn");
+        let mut journal = Journal::create(&dir, "t").unwrap();
+        let cmds = sample_cmds();
+        journal.record(0, &cmds[0]).unwrap();
+        journal.record(1, &cmds[1]).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        // Simulate a torn write: append half a line with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\":1,\"seq\":2,\"clock_ns\":5,\"cmd\":{\"op\":\"adv")
+            .unwrap();
+        drop(f);
+
+        let entries = read_journal(&path).unwrap();
+        assert_eq!(entries.len(), 2, "torn tail dropped, prefix kept");
+        assert!(replay(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("c.jsonl");
+        std::fs::write(
+            &path,
+            "garbage\n{\"v\":1,\"seq\":0,\"clock_ns\":0,\"cmd\":{\"op\":\"ping\"}}\n",
+        )
+        .unwrap();
+        assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

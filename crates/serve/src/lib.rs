@@ -1,0 +1,36 @@
+//! spacecdn-serve: a long-lived scenario service with live mutation,
+//! record/replay, and socket telemetry.
+//!
+//! The batch pipeline (`spacecdn-bench` experiments) answers "what does
+//! scenario X look like"; this crate answers "what does scenario X look
+//! like *right now*, and what happens if I break something while it
+//! runs". A daemon owns live [`session::Session`]s — each wrapping the
+//! unified `Scenario` retrieval surface plus the batched traffic engine —
+//! and advances a continuous virtual clock driven by client commands
+//! rather than a pre-materialized event list.
+//!
+//! Clients speak a line-delimited JSON protocol over TCP
+//! ([`protocol::Command`]): create/list/drop sessions, stream retrieval
+//! requests (single `fetch`es and batched `traffic` bursts), mutate the
+//! scenario mid-flight (fault injection, duty cycling, cache resizing),
+//! and pull telemetry snapshots without stopping the clock.
+//!
+//! Determinism contract: every mutating command is journaled
+//! write-ahead ([`journal::Journal`]), and replaying the journal
+//! ([`journal::replay`]) reproduces the session's final report
+//! byte-for-byte — at any worker thread count. The journal is both the
+//! crash-recovery story and a differential oracle for the live daemon.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod signal;
+
+pub use journal::{read_journal, replay, Journal, JournalEntry};
+pub use protocol::{Command, CreateArgs};
+pub use server::{Daemon, ServeConfig};
+pub use session::Session;

@@ -1,0 +1,174 @@
+//! Out-of-process daemon tests: the compiled `spacecdn-serve` binary is
+//! spawned for real, discovered through `--port-file`, and killed with
+//! actual POSIX signals — pinning the graceful-shutdown and
+//! crash-durability contracts from outside the process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_spacecdn-serve")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spacecdn-proc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the daemon on an ephemeral port and wait for the port file.
+fn spawn_daemon(dir: &Path) -> (Child, TcpStream) {
+    let port_file = dir.join("port");
+    let child = Command::new(bin())
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--journal-dir",
+            dir.join("journals").to_str().unwrap(),
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn spacecdn-serve");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(Instant::now() < deadline, "port file never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    (child, stream)
+}
+
+fn send(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+fn journal_path(dir: &Path, session: &str) -> PathBuf {
+    dir.join("journals").join(format!("{session}.jsonl"))
+}
+
+#[test]
+fn sigterm_drains_exits_zero_and_journal_replays_to_live_report() {
+    let dir = tmp_dir("sigterm");
+    let (mut child, mut stream) = spawn_daemon(&dir);
+
+    let resp = send(
+        &mut stream,
+        "{\"op\":\"create\",\"session\":\"s\",\"seed\":5,\"streams\":2,\"catalog\":300,\"cache_mb\":4}",
+    );
+    assert!(resp.starts_with("{\"ok\":true"), "{resp}");
+    let resp = send(
+        &mut stream,
+        "{\"op\":\"traffic\",\"session\":\"s\",\"requests\":1500,\"epochs\":2,\"epoch_step_secs\":60}",
+    );
+    assert!(resp.starts_with("{\"ok\":true"), "{resp}");
+    let live_report = send(&mut stream, "{\"op\":\"report\",\"session\":\"s\"}");
+    assert!(
+        live_report.starts_with("{\"ok\":true,\"report\":"),
+        "{live_report}"
+    );
+
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success());
+    let exit = child.wait().expect("wait for daemon");
+    assert!(exit.success(), "SIGTERM must exit 0, got {exit:?}");
+
+    // `--replay` on the binary reproduces the live report byte-for-byte.
+    let out = Command::new(bin())
+        .args(["--replay", journal_path(&dir, "s").to_str().unwrap()])
+        .output()
+        .expect("run replay");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim_end(), live_report);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_command_drains_and_exits_zero() {
+    let dir = tmp_dir("shutdown");
+    let (mut child, mut stream) = spawn_daemon(&dir);
+    let resp = send(
+        &mut stream,
+        "{\"op\":\"create\",\"session\":\"q\",\"streams\":2,\"catalog\":200}",
+    );
+    assert!(resp.starts_with("{\"ok\":true"), "{resp}");
+    let resp = send(&mut stream, "{\"op\":\"shutdown\"}");
+    assert!(resp.contains("\"shutting_down\":true"), "{resp}");
+    let exit = child.wait().expect("wait for daemon");
+    assert!(exit.success(), "shutdown command must exit 0, got {exit:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_burst_leaves_a_replayable_journal() {
+    let dir = tmp_dir("sigkill");
+    let (mut child, mut stream) = spawn_daemon(&dir);
+
+    let resp = send(
+        &mut stream,
+        "{\"op\":\"create\",\"session\":\"k\",\"seed\":9,\"streams\":2,\"catalog\":300,\"cache_mb\":4}",
+    );
+    assert!(resp.starts_with("{\"ok\":true"), "{resp}");
+    let resp = send(
+        &mut stream,
+        "{\"op\":\"traffic\",\"session\":\"k\",\"requests\":1000,\"epochs\":1,\"epoch_step_secs\":60}",
+    );
+    assert!(resp.starts_with("{\"ok\":true"), "{resp}");
+
+    // Fire a large burst and SIGKILL the daemon while it is (very likely
+    // still) executing. The command was journaled write-ahead, so the
+    // journal must replay cleanly whether or not execution finished —
+    // and must contain the interrupted burst.
+    stream
+        .write_all(
+            b"{\"op\":\"traffic\",\"session\":\"k\",\"requests\":600000,\"epochs\":4,\"epoch_step_secs\":60}\n",
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    child.kill().expect("SIGKILL daemon");
+    let _ = child.wait();
+
+    let journal = journal_path(&dir, "k");
+    let entries = spacecdn_serve::journal::read_journal(&journal).expect("journal parses");
+    assert_eq!(
+        entries.len(),
+        3,
+        "create + first burst + interrupted burst must all be journaled"
+    );
+    let replayed = spacecdn_serve::journal::replay(&journal).expect("journal replays");
+    assert!(
+        replayed.starts_with("{\"ok\":true,\"report\":"),
+        "{replayed}"
+    );
+    // The replayed report includes the burst the daemon never finished.
+    assert!(
+        replayed.contains("\"requests\":601000"),
+        "interrupted burst missing from replay: {replayed}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

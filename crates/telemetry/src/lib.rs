@@ -56,7 +56,9 @@ pub mod registry;
 pub use metrics::{
     Counter, Determinism, Histogram, LazyCounter, LazyHistogram, LocalHistogram, SpanTimer, Unit,
 };
-pub use registry::{snapshot, BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsReport};
+pub use registry::{
+    snapshot, snapshot_json, BucketSnapshot, CounterSnapshot, HistogramSnapshot, MetricsReport,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

@@ -184,6 +184,15 @@ pub fn snapshot() -> MetricsReport {
     report
 }
 
+/// Render the current registry state straight to `spacecdn-metrics-v1`
+/// JSON — the one serializer shared by `spacecdn_bench::emit_metrics`
+/// (writing `results/METRICS_*.json`) and the `spacecdn-serve` socket
+/// telemetry endpoint, so the two surfaces cannot drift apart.
+/// Equivalent to `snapshot().to_json()`.
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
 impl MetricsReport {
     /// Value of the counter named `name`, if registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -346,6 +355,87 @@ mod tests {
         assert!(json.starts_with("{\n  \"schema\": \"spacecdn-metrics-v1\""));
         assert!(json.contains("\"telemetry.test.json_counter\""));
         assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn snapshot_json_is_snapshot_to_json() {
+        static C: LazyCounter = LazyCounter::stable("telemetry.test.shared_serializer");
+        C.incr();
+        assert_eq!(snapshot_json(), snapshot().to_json());
+    }
+
+    /// Pins the `spacecdn-metrics-v1` byte format over a handcrafted
+    /// report. `emit_metrics` consumers diff `METRICS_*.json` files across
+    /// runs, so this rendering is a compatibility contract: changing it
+    /// requires a schema bump, not a silent edit.
+    #[test]
+    fn v1_json_format_is_pinned_byte_for_byte() {
+        let report = MetricsReport {
+            counters: vec![
+                CounterSnapshot {
+                    name: "a.first".to_string(),
+                    determinism: Determinism::Stable,
+                    value: 7,
+                },
+                CounterSnapshot {
+                    name: "b.second".to_string(),
+                    determinism: Determinism::Racy,
+                    value: 0,
+                },
+            ],
+            histograms: vec![
+                HistogramSnapshot {
+                    name: "h.empty".to_string(),
+                    unit: Unit::Count,
+                    determinism: Determinism::Racy,
+                    count: 0,
+                    sum: 0,
+                    buckets: vec![],
+                },
+                HistogramSnapshot {
+                    name: "h.hops".to_string(),
+                    unit: Unit::Hops,
+                    determinism: Determinism::Stable,
+                    count: 3,
+                    sum: 9,
+                    buckets: vec![
+                        BucketSnapshot {
+                            lo: 2,
+                            hi: 3,
+                            count: 2,
+                        },
+                        BucketSnapshot {
+                            lo: 4,
+                            hi: 7,
+                            count: 1,
+                        },
+                    ],
+                },
+            ],
+        };
+        let want = concat!(
+            "{\n",
+            "  \"schema\": \"spacecdn-metrics-v1\",\n",
+            "  \"counters\": {\n",
+            "    \"a.first\": {\"value\": 7, \"determinism\": \"stable\"},\n",
+            "    \"b.second\": {\"value\": 0, \"determinism\": \"racy\"}\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"h.empty\": {\n",
+            "      \"unit\": \"count\", \"determinism\": \"racy\", \"count\": 0, \"sum\": 0,\n",
+            "      \"buckets\": []\n",
+            "    },\n",
+            "    \"h.hops\": {\n",
+            "      \"unit\": \"hops\", \"determinism\": \"stable\", \"count\": 3, \"sum\": 9,\n",
+            "      \"buckets\": [\n",
+            "        {\"lo\": 2, \"hi\": 3, \"count\": 2},\n",
+            "        {\"lo\": 4, \"hi\": 7, \"count\": 1}\n",
+            "      ]\n",
+            "    }\n",
+            "  }\n",
+            "}\n",
+        );
+        assert_eq!(report.to_json(), want);
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! (zero-dependency metrics registry), [`engine`] (deterministic parallel
 //! experiment engine), [`lsn`] (ISL topology/routing/access + epoch-scoped
 //! routing caches), [`terra`] (cities/fibre/CDN/PoPs), [`content`]
-//! (catalogs/caches), [`core`] (SpaceCDN itself), and [`measure`] (the
-//! synthetic measurement campaigns). See `DESIGN.md` for the full
+//! (catalogs/caches), [`core`] (SpaceCDN itself), [`measure`] (the
+//! synthetic measurement campaigns), and [`serve`] (the long-lived
+//! scenario daemon with record/replay). See `DESIGN.md` for the full
 //! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
 
 #![forbid(unsafe_code)]
@@ -44,6 +45,7 @@ pub use spacecdn_geo as geo;
 pub use spacecdn_lsn as lsn;
 pub use spacecdn_measure as measure;
 pub use spacecdn_orbit as orbit;
+pub use spacecdn_serve as serve;
 pub use spacecdn_telemetry as telemetry;
 pub use spacecdn_terra as terra;
 
@@ -84,5 +86,6 @@ pub mod prelude {
         TrafficPoint,
     };
     pub use spacecdn_orbit::{Constellation, SatIndex};
+    pub use spacecdn_serve::{Daemon, ServeConfig, Session};
     pub use spacecdn_terra::fiber::FiberModel;
 }

@@ -1,0 +1,69 @@
+//! Env-knob drift test: the `SPACECDN_*` table in README.md and the
+//! variables the code actually reads must never diverge — a documented
+//! knob nobody reads is a lie, an undocumented knob is invisible.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Extract every `SPACECDN_[A-Z_]+` token from `text`.
+fn knobs_in(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let needle = b"SPACECDN_";
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("SPACECDN_") {
+        let start = i + pos;
+        let mut end = start + needle.len();
+        while end < bytes.len() && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // Trim trailing underscores left by prefix-only mentions like
+        // "SPACECDN_*" in prose.
+        let token = text[start..end].trim_end_matches('_');
+        if token.len() > needle.len() {
+            out.insert(token.to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+/// All knob tokens mentioned in `.rs` files under `dir`, recursively.
+fn knobs_in_sources(dir: &Path, out: &mut BTreeSet<String>) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        if path.is_dir() {
+            knobs_in_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path).expect("read source");
+            out.extend(knobs_in(&text));
+        }
+    }
+}
+
+#[test]
+fn readme_knob_table_matches_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README");
+    let documented = knobs_in(&readme);
+    assert!(
+        !documented.is_empty(),
+        "README lost its SPACECDN_* knob documentation entirely"
+    );
+
+    let mut read_in_code = BTreeSet::new();
+    knobs_in_sources(&root.join("crates"), &mut read_in_code);
+    knobs_in_sources(&root.join("src"), &mut read_in_code);
+
+    let undocumented: Vec<_> = read_in_code.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "knobs read in code but missing from README.md: {undocumented:?}"
+    );
+    let phantom: Vec<_> = documented.difference(&read_in_code).collect();
+    assert!(
+        phantom.is_empty(),
+        "knobs documented in README.md but read nowhere under crates/ or src/: {phantom:?}"
+    );
+}

@@ -14,9 +14,9 @@
 
 #![forbid(unsafe_code)]
 
-pub use serde::Value;
+pub use serde::{Number, Value};
 
-use serde::{Deserialize, Number, Serialize};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// JSON serialization / deserialization error.
