@@ -1,94 +1,221 @@
-//! Ablation: cache eviction policies on a regional Zipf workload — which
-//! policy should fly?
+//! Ablation: the cache policy zoo under constellation traffic — which
+//! eviction/admission policy should fly?
+//!
+//! Every policy the fleet cache supports (LRU+TTL, SIEVE, S3-FIFO,
+//! W-TinyLFU) runs the *same* steady-state traffic campaign — Zipf demand
+//! from population-weighted covered cities, pull-through per-satellite
+//! caches, topology epochs — swept across Zipf exponent × thermal
+//! duty-cycle fraction × fault schedule. The shoot-out reports hit ratio,
+//! origin offload and tail latency per policy into
+//! `results/CACHE_zoo.json` (schema `spacecdn-cache-zoo-v1`).
+//!
+//! Flags: `--quick` (CI-sized run), `--requests N` (requests per sweep
+//! cell; default 40k full / 5k quick).
 
 use serde::Serialize;
-use spacecdn_bench::{banner, results_dir, scaled};
-use spacecdn_content::cache::{Cache, FifoCache, LfuCache, LruCache};
-use spacecdn_content::catalog::{Catalog, ContentId, RegionTag};
-use spacecdn_content::popularity::RegionalPopularity;
-use spacecdn_geo::DetRng;
+use spacecdn_bench::{banner, quick_mode, results_dir};
+use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::traffic::{run_traffic_multishell, PolicyKind, TrafficConfig};
+use spacecdn_geo::{DetRng, SimDuration};
+use spacecdn_lsn::FaultSchedule;
 use spacecdn_measure::report::{format_table, write_json};
+use spacecdn_measure::traffic::{covered_traffic_sources, starlink_shell_scenarios};
+
+/// Schema tag for `results/CACHE_zoo.json`.
+const SCHEMA: &str = "spacecdn-cache-zoo-v1";
+
+/// Zipf exponents swept: flat long-tail, the paper's calibration, and a
+/// sharply skewed catalog.
+const ZIPF_ALPHAS: [f64; 3] = [0.7, 0.9, 1.1];
+
+/// Thermal duty-cycle fractions swept (Figure 8's throttling axis).
+const DUTY_FRACTIONS: [f64; 2] = [1.0, 0.5];
+
+/// Fraction of the fleet given one outage window each in the faulted
+/// timeline (mean dwell: 120 s, drawn in `main`).
+const OUTAGE_FRACTION: f64 = 0.15;
 
 #[derive(Serialize)]
-struct Row {
+struct Cell {
     policy: String,
-    cache_mb: u64,
+    zipf_alpha: f64,
+    duty_fraction: f64,
+    fault: String,
     hit_ratio: f64,
+    origin_offload: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    overhead_hits: u64,
+    isl_hits: u64,
+    origin_fetches: u64,
+    inserts: u64,
     evictions: u64,
+    ttl_expiries: u64,
+    invalidations: u64,
 }
 
-fn run_policy(
-    cache: &mut dyn Cache,
-    catalog: &Catalog,
-    pop: &RegionalPopularity,
-    trials: usize,
-    seed: u64,
-) -> (f64, u64) {
-    let mut rng = DetRng::new(seed, "cache-ablation");
-    let mut hits = 0u64;
-    for _ in 0..trials {
-        let id: ContentId = pop.sample(RegionTag(0), &mut rng);
-        if cache.get(id) {
-            hits += 1;
-        } else if let Some(obj) = catalog.get(id) {
-            cache.insert(id, obj.size_bytes);
-        }
-    }
-    (hits as f64 / trials as f64, cache.stats().evictions)
+#[derive(Serialize)]
+struct Zoo {
+    schema: &'static str,
+    requests_per_cell: u64,
+    epochs: usize,
+    epoch_step_s: u64,
+    catalog_size: usize,
+    cache_bytes_per_sat: u64,
+    ttl_s: u64,
+    shells: Vec<usize>,
+    policies: Vec<&'static str>,
+    zipf_alphas: Vec<f64>,
+    duty_fractions: Vec<f64>,
+    faults: Vec<&'static str>,
+    cells: Vec<Cell>,
+}
+
+/// `--requests N` → requests per sweep cell.
+fn parse_requests() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--requests")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--requests needs a value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("--requests expects a count"))
+        })
+        .unwrap_or(if quick_mode() { 5_000 } else { 40_000 })
 }
 
 fn main() {
     banner(
-        "Ablation — eviction policies under regional Zipf demand",
-        "pull-through caches on power-limited satellites: which policy \
-         earns its metadata updates?",
+        "Ablation — cache policy zoo under constellation traffic",
+        "pull-through caches on power-limited satellites: which \
+         eviction/admission policy earns its metadata updates?",
     );
-    let mut rng = DetRng::new(31, "cache-ablation-setup");
-    let catalog = Catalog::generate(5000, &[RegionTag(0)], 0.5, &mut rng);
-    let pop = RegionalPopularity::build(&catalog, 1, 1.0, 6.0, &mut rng);
-    let trials = scaled(40_000);
 
-    let mut rows_json = Vec::new();
+    let requests = parse_requests();
+    let epochs = 2usize;
+    let epoch_step = SimDuration::from_secs(157);
+    let catalog_size = 4_000usize;
+    // Tight enough that the hot set overflows every satellite: the sweep
+    // is about eviction choices, not cold-start warmup.
+    let cache_bytes_per_sat = 64u64 << 20;
+    let ttl = SimDuration::from_mins(30);
+    let shells = vec![0usize];
+
+    // Fault timelines: a pristine run and a 15 % random-outage run (same
+    // windows for every policy — the comparison stays paired).
+    let net = LsnNetwork::starlink();
+    let fleet = net.constellation().len();
+    let mut outages = FaultSchedule::none();
+    outages.random_sat_outages(
+        fleet,
+        OUTAGE_FRACTION,
+        epoch_step.mul(epochs as u64),
+        SimDuration::from_secs(120),
+        &mut DetRng::new(47, "cache-zoo-faults"),
+    );
+    let faults: [(&str, FaultSchedule); 2] = [("none", FaultSchedule::none()), ("outage", outages)];
+
+    println!(
+        "{} requests/cell · {} epochs · {} policies × {} alphas × {} duties × {} faults",
+        requests,
+        epochs,
+        PolicyKind::ALL.len(),
+        ZIPF_ALPHAS.len(),
+        DUTY_FRACTIONS.len(),
+        faults.len(),
+    );
+
+    let mut cells = Vec::new();
     let mut rows = Vec::new();
-    for cache_mb in [100u64, 400, 1600] {
-        let cap = cache_mb * 1_000_000;
-        let results: Vec<(String, f64, u64)> = vec![
-            {
-                let mut c = LruCache::new(cap);
-                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
-                ("LRU".into(), h, e)
-            },
-            {
-                let mut c = LfuCache::new(cap);
-                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
-                ("LFU".into(), h, e)
-            },
-            {
-                let mut c = FifoCache::new(cap);
-                let (h, e) = run_policy(&mut c, &catalog, &pop, trials, 1);
-                ("FIFO".into(), h, e)
-            },
-        ];
-        for (policy, hit, evictions) in results {
-            rows.push(vec![
-                policy.clone(),
-                format!("{cache_mb} MB"),
-                format!("{:.1}%", hit * 100.0),
-                evictions.to_string(),
-            ]);
-            rows_json.push(Row {
-                policy,
-                cache_mb,
-                hit_ratio: hit,
-                evictions,
-            });
+    for (fault_name, schedule) in &faults {
+        let sources = covered_traffic_sources(&net, schedule, epochs, epoch_step);
+        let mut scenarios = starlink_shell_scenarios(&shells, schedule);
+        for &zipf_alpha in &ZIPF_ALPHAS {
+            for &duty_fraction in &DUTY_FRACTIONS {
+                for policy in PolicyKind::ALL {
+                    let cfg = TrafficConfig {
+                        requests,
+                        streams: 8,
+                        epochs,
+                        epoch_step,
+                        catalog_size,
+                        zipf_alpha,
+                        cache_bytes_per_sat,
+                        ttl,
+                        policy,
+                        duty_fraction,
+                        seed: 42,
+                        ..TrafficConfig::default()
+                    };
+                    let mut report = run_traffic_multishell(&mut scenarios, &sources, &cfg);
+                    let p50 = report.latencies.quantile(0.5).unwrap_or(f64::NAN);
+                    let p90 = report.latencies.quantile(0.9).unwrap_or(f64::NAN);
+                    rows.push(vec![
+                        fault_name.to_string(),
+                        format!("{zipf_alpha:.1}"),
+                        format!("{:.0}%", duty_fraction * 100.0),
+                        policy.name().to_string(),
+                        format!("{:.3}", report.hit_ratio()),
+                        format!("{:.3}", report.origin_offload()),
+                        format!("{p90:.1}"),
+                        report.evictions.to_string(),
+                    ]);
+                    cells.push(Cell {
+                        policy: policy.name().to_string(),
+                        zipf_alpha,
+                        duty_fraction,
+                        fault: fault_name.to_string(),
+                        hit_ratio: report.hit_ratio(),
+                        origin_offload: report.origin_offload(),
+                        p50_ms: p50,
+                        p90_ms: p90,
+                        overhead_hits: report.overhead_hits,
+                        isl_hits: report.isl_hits,
+                        origin_fetches: report.origin_fetches,
+                        inserts: report.inserts,
+                        evictions: report.evictions,
+                        ttl_expiries: report.ttl_expiries,
+                        invalidations: report.invalidations,
+                    });
+                }
+            }
         }
     }
+
     println!(
         "{}",
-        format_table(&["policy", "cache", "hit ratio", "evictions"], &rows)
+        format_table(
+            &[
+                "fault",
+                "zipf α",
+                "duty",
+                "policy",
+                "hit ratio",
+                "offload",
+                "p90 ms",
+                "evictions",
+            ],
+            &rows,
+        )
     );
-    write_json(&results_dir().join("ablation_caches.json"), &rows_json).expect("write json");
-    println!("json: results/ablation_caches.json");
+
+    let zoo = Zoo {
+        schema: SCHEMA,
+        requests_per_cell: requests,
+        epochs,
+        epoch_step_s: epoch_step.0 / 1_000_000_000,
+        catalog_size,
+        cache_bytes_per_sat,
+        ttl_s: ttl.0 / 1_000_000_000,
+        shells,
+        policies: PolicyKind::ALL.iter().map(|p| p.name()).collect(),
+        zipf_alphas: ZIPF_ALPHAS.to_vec(),
+        duty_fractions: DUTY_FRACTIONS.to_vec(),
+        faults: faults.iter().map(|(n, _)| *n).collect(),
+        cells,
+    };
+    write_json(&results_dir().join("CACHE_zoo.json"), &zoo).expect("write json");
+    println!("json: results/CACHE_zoo.json");
     spacecdn_bench::emit_metrics("ablation_caches");
 }

@@ -8,14 +8,32 @@ use crate::catalog::ContentId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Hit/miss counters shared by all policies.
+///
+/// The departure taxonomy is unified across every policy (including the
+/// fleet policies in [`crate::policy`]): an entry leaves a cache for exactly
+/// one of three reasons — **evicted** under capacity pressure (including
+/// admission-filter rejections that drop a window candidate), **expired**
+/// when its TTL lapsed before any probe touched it, or **invalidated** by an
+/// explicit `remove`/`clear`. For policies that track all counters the books
+/// balance: `hits + misses == gets` and
+/// `evictions + expirations + invalidations == inserts - len`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found the object.
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Total lookups (incremented independently of hit/miss so the
+    /// `hits + misses == gets` reconciliation is a real check).
+    pub gets: u64,
+    /// New entries admitted (refreshes of an existing entry excluded).
+    pub inserts: u64,
     /// Objects evicted to make room.
     pub evictions: u64,
+    /// Objects dropped because their TTL lapsed (any purge path).
+    pub expirations: u64,
+    /// Objects dropped by explicit `remove` or `clear`.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -27,6 +45,11 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// All departures: `evictions + expirations + invalidations`.
+    pub fn departures(&self) -> u64 {
+        self.evictions + self.expirations + self.invalidations
     }
 }
 
@@ -122,6 +145,7 @@ impl LruCache {
 
 impl Cache for LruCache {
     fn get(&mut self, id: ContentId) -> bool {
+        self.stats.gets += 1;
         if self.entries.contains_key(&id) {
             self.touch(id);
             self.stats.hits += 1;
@@ -151,6 +175,7 @@ impl Cache for LruCache {
         self.entries.insert(id, (self.tick, size_bytes));
         self.order.insert(self.tick, id);
         self.used += size_bytes;
+        self.stats.inserts += 1;
         true
     }
 
@@ -158,6 +183,7 @@ impl Cache for LruCache {
         if let Some((tick, size)) = self.entries.remove(&id) {
             self.order.remove(&tick);
             self.used -= size;
+            self.stats.invalidations += 1;
             true
         } else {
             false
@@ -181,6 +207,7 @@ impl Cache for LruCache {
     }
 
     fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
         self.order.clear();
         self.used = 0;
@@ -241,6 +268,7 @@ impl LfuCache {
 
 impl Cache for LfuCache {
     fn get(&mut self, id: ContentId) -> bool {
+        self.stats.gets += 1;
         if self.entries.contains_key(&id) {
             self.bump(id);
             self.stats.hits += 1;
@@ -270,6 +298,7 @@ impl Cache for LfuCache {
         self.entries.insert(id, (1, self.tick, size_bytes));
         self.order.insert((1, self.tick), id);
         self.used += size_bytes;
+        self.stats.inserts += 1;
         true
     }
 
@@ -277,6 +306,7 @@ impl Cache for LfuCache {
         if let Some((freq, tick, size)) = self.entries.remove(&id) {
             self.order.remove(&(freq, tick));
             self.used -= size;
+            self.stats.invalidations += 1;
             true
         } else {
             false
@@ -300,6 +330,7 @@ impl Cache for LfuCache {
     }
 
     fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
         self.order.clear();
         self.used = 0;
@@ -348,6 +379,7 @@ impl FifoCache {
 
 impl Cache for FifoCache {
     fn get(&mut self, id: ContentId) -> bool {
+        self.stats.gets += 1;
         if self.entries.contains_key(&id) {
             self.stats.hits += 1;
             true
@@ -374,12 +406,14 @@ impl Cache for FifoCache {
         self.entries.insert(id, size_bytes);
         self.queue.push_back(id);
         self.used += size_bytes;
+        self.stats.inserts += 1;
         true
     }
 
     fn remove(&mut self, id: ContentId) -> bool {
         if let Some(size) = self.entries.remove(&id) {
             self.used -= size;
+            self.stats.invalidations += 1;
             true // stale queue entry cleaned lazily by evict_one
         } else {
             false
@@ -403,6 +437,7 @@ impl Cache for FifoCache {
     }
 
     fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
         self.entries.clear();
         self.queue.clear();
         self.used = 0;
@@ -659,6 +694,7 @@ impl LruCache {
 
 impl Cache for SlruCache {
     fn get(&mut self, id: ContentId) -> bool {
+        self.stats.gets += 1;
         if self.protected.contains(id) {
             self.protected.get(id);
             self.stats.hits += 1;
@@ -686,11 +722,20 @@ impl Cache for SlruCache {
             // rejected like any over-capacity insert.
             return false;
         }
-        self.probation.insert(id, size_bytes)
+        let admitted = self.probation.insert(id, size_bytes);
+        if admitted {
+            self.stats.inserts += 1;
+        }
+        admitted
     }
 
     fn remove(&mut self, id: ContentId) -> bool {
-        self.probation.remove(id) || self.protected.remove(id)
+        if self.probation.remove(id) || self.protected.remove(id) {
+            self.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
     }
 
     fn used_bytes(&self) -> u64 {
@@ -706,15 +751,22 @@ impl Cache for SlruCache {
     }
 
     fn stats(&self) -> CacheStats {
-        // Evictions happen inside the segments; aggregate all counters.
+        // Lookups, inserts and invalidations are counted at this level
+        // (segment-internal promotion/demotion churn must not leak into the
+        // books); evictions happen inside the segments and are aggregated.
         CacheStats {
             hits: self.stats.hits,
             misses: self.stats.misses,
+            gets: self.stats.gets,
+            inserts: self.stats.inserts,
             evictions: self.probation.stats().evictions + self.protected.stats().evictions,
+            expirations: 0,
+            invalidations: self.stats.invalidations,
         }
     }
 
     fn clear(&mut self) {
+        self.stats.invalidations += self.len() as u64;
         self.probation.clear();
         self.protected.clear();
     }

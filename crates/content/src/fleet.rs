@@ -98,7 +98,6 @@ pub struct FleetCache {
     free: Vec<u32>,
     index: SlotIndex,
     stats: CacheStats,
-    expired_purges: u64,
 }
 
 impl FleetCache {
@@ -126,7 +125,6 @@ impl FleetCache {
             free: Vec::new(),
             index: SlotIndex::default(),
             stats: CacheStats::default(),
-            expired_purges: 0,
         }
     }
 
@@ -165,14 +163,28 @@ impl FleetCache {
         self.used[sat as usize]
     }
 
-    /// Fleet-wide hit/miss/eviction counters.
+    /// Fleet-wide counters under the unified taxonomy: hits/misses/gets,
+    /// inserts, and the three departure classes (evicted under pressure,
+    /// expired on TTL lapse, invalidated by `remove`/`clear_sat`).
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
     /// Entries dropped because their TTL lapsed (from any purge path).
+    /// Alias for `stats().expirations`: fleet purges always drop a live
+    /// entry (expiry lives in the entry, so there are no stale records).
     pub fn expired_purges(&self) -> u64 {
-        self.expired_purges
+        self.stats.expirations
+    }
+
+    /// Objects cached fleet-wide (expired-but-untouched entries included).
+    pub fn len(&self) -> usize {
+        self.count.iter().map(|&n| n as usize).sum()
+    }
+
+    /// True when no satellite caches anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Satellites currently holding at least one object, as
@@ -269,7 +281,7 @@ impl FleetCache {
         match self.slot(sat, content) {
             Some(e) if self.lapsed(e) => {
                 self.release(e);
-                self.expired_purges += 1;
+                self.stats.expirations += 1;
                 false
             }
             Some(_) => true,
@@ -289,7 +301,7 @@ impl FleetCache {
         match self.slot(sat, content) {
             Some(e) if self.lapsed(e) => {
                 self.release(e);
-                self.expired_purges += 1;
+                self.stats.expirations += 1;
                 true
             }
             _ => false,
@@ -299,10 +311,11 @@ impl FleetCache {
     /// Look up an object: a fresh hit bumps recency and the hit counter;
     /// an expired entry is purged and counted as a miss.
     pub fn get(&mut self, sat: u32, content: ContentId) -> bool {
+        self.stats.gets += 1;
         match self.slot(sat, content) {
             Some(e) if self.lapsed(e) => {
                 self.release(e);
-                self.expired_purges += 1;
+                self.stats.expirations += 1;
                 self.stats.misses += 1;
                 false
             }
@@ -339,7 +352,7 @@ impl FleetCache {
         if let Some(e) = self.slot(sat, content) {
             if self.lapsed(e) {
                 self.release(e);
-                self.expired_purges += 1;
+                self.stats.expirations += 1;
             }
         }
         if size > self.sat_capacity {
@@ -365,6 +378,7 @@ impl FleetCache {
         self.push_front(e);
         self.used[sat as usize] += size;
         self.count[sat as usize] += 1;
+        self.stats.inserts += 1;
         true
     }
 
@@ -374,20 +388,23 @@ impl FleetCache {
         self.insert_collect(sat, content, size, &mut sink)
     }
 
-    /// Remove an object if present (fresh or expired), without touching
-    /// any counter; returns whether it was there.
+    /// Remove an object if present (fresh or expired), booking an
+    /// invalidation; returns whether it was there. Hit/miss counters and
+    /// recency are untouched.
     pub fn remove(&mut self, sat: u32, content: ContentId) -> bool {
         match self.slot(sat, content) {
             Some(e) => {
                 self.release(e);
+                self.stats.invalidations += 1;
                 true
             }
             None => false,
         }
     }
 
-    /// Wipe one satellite's cache (counters preserved), appending every
-    /// dropped content id to `dropped`; returns how many were dropped.
+    /// Wipe one satellite's cache (hit/miss counters preserved; each drop
+    /// books an invalidation), appending every dropped content id to
+    /// `dropped`; returns how many were dropped.
     pub fn clear_sat(&mut self, sat: u32, dropped: &mut Vec<ContentId>) -> u64 {
         let mut n = 0;
         while self.head[sat as usize] != NIL {
@@ -396,6 +413,7 @@ impl FleetCache {
             self.release(e);
             n += 1;
         }
+        self.stats.invalidations += n;
         n
     }
 }
@@ -633,15 +651,29 @@ mod tests {
                     );
                 }
             }
-            // Aggregate hit/miss/eviction counters must agree.
+            // Aggregate counters must agree — every field of the unified
+            // taxonomy, not just hits/misses/evictions. The legacy stack's
+            // `stats()` reclassifies only purges that really dropped an
+            // entry, so its expirations match the fleet's even when stale
+            // expiry records inflate its `expired_purges` attempt counter.
             let mut want = CacheStats::default();
             for c in legacy.values() {
                 let s = c.stats();
                 want.hits += s.hits;
                 want.misses += s.misses;
+                want.gets += s.gets;
+                want.inserts += s.inserts;
                 want.evictions += s.evictions;
+                want.expirations += s.expirations;
+                want.invalidations += s.invalidations;
             }
             assert_eq!(f.stats(), want, "aggregate stats");
+            // Books balance on the fleet side after every step.
+            assert_eq!(
+                f.stats().departures(),
+                f.stats().inserts - f.len() as u64,
+                "taxonomy reconciliation"
+            );
             let legacy_purges: u64 = legacy.values().map(|c| c.expired_purges()).sum();
             if exact_purges {
                 assert_eq!(f.expired_purges(), legacy_purges, "purge counter");

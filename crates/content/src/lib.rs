@@ -12,17 +12,28 @@
 //! - **cache policies** ([`cache`]): LRU, LFU, FIFO and TTL-wrapped
 //!   variants behind one trait, byte-capacity-accurate, with hit/miss
 //!   accounting;
+//! - the **fleet policy zoo** ([`policy`]): constellation-scale flat-SoA
+//!   cache fleets — LRU+TTL ([`fleet`]), SIEVE ([`sieve`]), S3-FIFO
+//!   ([`s3fifo`]) and W-TinyLFU with count-min admission ([`tinylfu`],
+//!   [`sketch`]) — behind the [`policy::CachePolicy`] trait, sharing one
+//!   entry arena and a unified evicted/expired/invalidated taxonomy;
 //! - **video objects** ([`video`]): DASH-style segment groups ("stripes")
 //!   that §4's striping design schedules across successive satellites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod cache;
 pub mod catalog;
 pub mod fleet;
 pub mod hierarchy;
+pub mod policy;
 pub mod popularity;
+pub mod s3fifo;
+pub mod sieve;
+pub mod sketch;
+pub mod tinylfu;
 pub mod ttl;
 pub mod video;
 
@@ -30,6 +41,11 @@ pub use cache::{Cache, CacheStats, FifoCache, LfuCache, LruCache, SlruCache};
 pub use catalog::{Catalog, ContentId, ContentKind, ContentObject, RegionTag};
 pub use fleet::FleetCache;
 pub use hierarchy::{CacheHierarchy, HierarchyOutcome, ServedBy, TierLatencies};
+pub use policy::{CachePolicy, PolicyFleet, PolicyKind};
 pub use popularity::{RegionalPopularity, ZipfSampler};
+pub use s3fifo::S3FifoFleet;
+pub use sieve::SieveFleet;
+pub use sketch::FrequencySketch;
+pub use tinylfu::TinyLfuFleet;
 pub use ttl::TtlCache;
 pub use video::{StripePlanInput, VideoObject};

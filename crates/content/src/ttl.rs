@@ -23,6 +23,9 @@ pub struct TtlCache<C: Cache> {
     expires: HashMap<ContentId, SimTime>,
     now: SimTime,
     expired_purges: u64,
+    /// Purges that actually dropped an inner entry (a stale expiry record —
+    /// the inner policy already evicted the object — purges nothing).
+    expired_drops: u64,
 }
 
 impl<C: Cache> TtlCache<C> {
@@ -38,6 +41,7 @@ impl<C: Cache> TtlCache<C> {
             expires: HashMap::new(),
             now: SimTime::EPOCH,
             expired_purges: 0,
+            expired_drops: 0,
         }
     }
 
@@ -58,7 +62,9 @@ impl<C: Cache> TtlCache<C> {
 
     /// Drop an expired entry from both layers.
     fn purge(&mut self, id: ContentId) {
-        self.inner.remove(id);
+        if self.inner.remove(id) {
+            self.expired_drops += 1;
+        }
         self.expires.remove(&id);
         self.expired_purges += 1;
     }
@@ -79,6 +85,11 @@ impl<C: Cache> TtlCache<C> {
 
     /// Entries dropped because their TTL lapsed (from any purge path:
     /// `get`, `insert`, or [`TtlCache::is_fresh`]).
+    ///
+    /// This counts every purge *attempt*, including stale expiry records
+    /// whose entry the inner policy had already evicted; it can therefore
+    /// exceed [`CacheStats::expirations`] in [`TtlCache::stats`], which
+    /// counts only purges that dropped a live entry.
     pub fn expired_purges(&self) -> u64 {
         self.expired_purges
     }
@@ -134,7 +145,14 @@ impl<C: Cache> Cache for TtlCache<C> {
     }
 
     fn stats(&self) -> CacheStats {
-        self.inner.stats()
+        // The inner policy saw each TTL purge as a plain `remove` and booked
+        // it under `invalidations`; reclassify those drops as expirations so
+        // the unified taxonomy (evicted / expired / invalidated) holds and
+        // per-policy stats surface TTL churn instead of hiding it.
+        let mut s = self.inner.stats();
+        s.expirations += self.expired_drops;
+        s.invalidations = s.invalidations.saturating_sub(self.expired_drops);
+        s
     }
 
     fn clear(&mut self) {
@@ -253,6 +271,49 @@ mod tests {
         // Absent id is simply not fresh, no purge counted.
         assert!(!c.is_fresh(ContentId(99)));
         assert_eq!(c.expired_purges(), 1);
+    }
+
+    #[test]
+    fn stats_surface_expirations_not_invalidations() {
+        // Regression: expired purges used to vanish from `stats()` — the
+        // inner policy booked them as plain removes and the wrapper exposed
+        // inner stats untouched, so METRICS consumers reading per-policy
+        // `CacheStats` never saw TTL churn.
+        let mut c = cache();
+        c.insert(ContentId(1), 100);
+        c.insert(ContentId(2), 100);
+        c.insert(ContentId(3), 100);
+        c.set_now(SimTime::from_secs(60));
+        assert!(!c.get(ContentId(1))); // purge via get
+        assert!(!c.is_fresh(ContentId(2))); // purge via is_fresh
+        assert!(c.remove(ContentId(3))); // explicit invalidation (expired or not)
+        let s = c.stats();
+        assert_eq!(s.expirations, 2, "both TTL purges surfaced");
+        assert_eq!(s.invalidations, 1, "explicit remove stays an invalidation");
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.hits + s.misses, s.gets);
+        // Books balance: everything that entered has left.
+        assert_eq!(s.departures(), s.inserts - c.len() as u64);
+        assert_eq!(c.expired_purges(), 2);
+    }
+
+    #[test]
+    fn stale_expiry_record_purge_is_not_an_expiration() {
+        // Tight inner cache: the inner LRU evicts id 1, but the wrapper's
+        // expiry record lingers. The later purge attempt counts in
+        // `expired_purges` (legacy semantics, pinned) yet must NOT surface
+        // as a stats expiration — nothing was dropped.
+        let mut c = TtlCache::new(LruCache::new(200), SimDuration::from_secs(60));
+        c.insert(ContentId(1), 100);
+        c.insert(ContentId(2), 100);
+        c.insert(ContentId(3), 100); // evicts 1; stale record for 1 remains
+        c.set_now(SimTime::from_secs(60));
+        assert!(!c.get(ContentId(1))); // stale purge: drops nothing
+        let s = c.stats();
+        assert_eq!(c.expired_purges(), 1);
+        assert_eq!(s.expirations, 0);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.departures(), s.inserts - c.len() as u64);
     }
 
     #[test]

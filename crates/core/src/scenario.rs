@@ -17,6 +17,7 @@
 
 use crate::network::LsnNetwork;
 use crate::retrieval::{FetchResult, RetrievalRequest};
+use spacecdn_content::policy::PolicyKind;
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
 use spacecdn_lsn::{FaultSchedule, IslGraph};
 use spacecdn_orbit::SatIndex;
@@ -45,6 +46,7 @@ pub struct Scenario {
     escalation: Vec<u32>,
     ground_fallback_rtt: Latency,
     graceful: bool,
+    cache_policy: PolicyKind,
 }
 
 /// Builder for [`Scenario`] (see [`Scenario::builder`]).
@@ -55,6 +57,7 @@ pub struct ScenarioBuilder {
     escalation: Vec<u32>,
     ground_fallback_rtt: Latency,
     graceful: bool,
+    cache_policy: PolicyKind,
     start: SimTime,
 }
 
@@ -102,6 +105,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Default cache eviction/admission policy for traffic campaigns run
+    /// over this session (default: the `SPACECDN_POLICY` knob).
+    #[must_use]
+    pub fn cache_policy(mut self, policy: PolicyKind) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
     /// Epoch the session opens at (default: [`SimTime::EPOCH`]).
     #[must_use]
     pub fn start_at(mut self, t: SimTime) -> Self {
@@ -124,6 +135,7 @@ impl ScenarioBuilder {
             escalation: self.escalation,
             ground_fallback_rtt: self.ground_fallback_rtt,
             graceful: self.graceful,
+            cache_policy: self.cache_policy,
         }
     }
 }
@@ -138,6 +150,7 @@ impl Scenario {
             escalation: vec![1, 3, 5, 10],
             ground_fallback_rtt: Latency::from_ms(160.0),
             graceful: true,
+            cache_policy: PolicyKind::from_env(),
             start: SimTime::EPOCH,
         }
     }
@@ -265,6 +278,21 @@ impl Scenario {
     pub fn set_graceful(&mut self, graceful: bool) {
         SCENARIO_MUTATIONS.incr();
         self.graceful = graceful;
+    }
+
+    /// The session's default cache eviction/admission policy (consumed by
+    /// traffic campaigns building a [`crate::traffic::TrafficConfig`]).
+    pub fn cache_policy(&self) -> PolicyKind {
+        self.cache_policy
+    }
+
+    /// Swap the default cache policy mid-session: subsequent traffic
+    /// bursts build their fleets under the new policy (cache contents are
+    /// per-burst, so no live migration is involved). This is the
+    /// `spacecdn-serve` `cache` mutation hook.
+    pub fn set_cache_policy(&mut self, policy: PolicyKind) {
+        SCENARIO_MUTATIONS.incr();
+        self.cache_policy = policy;
     }
 
     /// A request pre-filled with the session's default policy, ready for

@@ -15,9 +15,11 @@
 //!   entries. Per-shard memory is O(1) in the request count; the only
 //!   per-request retention is the latency reservoir in the report.
 //! - **Flat SoA cache state.** Per-satellite caches are one
-//!   [`FleetCache`]: parallel arrays indexed by a global satellite slot
-//!   with intrusive LRU links, replacing a `HashMap` of `TtlCache<LruCache>`
-//!   per satellite (proven behavior-identical by differential proptests
+//!   [`PolicyFleet`] (LRU+TTL, SIEVE, S3-FIFO or W-TinyLFU, selected by
+//!   [`TrafficConfig::policy`]): parallel arrays indexed by a global
+//!   satellite slot with intrusive policy links, replacing a `HashMap` of
+//!   `TtlCache<LruCache>` per satellite (each policy proven
+//!   decision-identical to a naive reference by the differential oracle
 //!   in `spacecdn-content`). Holder lists — which satellites cache each
 //!   object — are maintained *eagerly*: LRU evictions report their
 //!   victims, TTL lapses are applied by a timer queue with lazy
@@ -50,7 +52,8 @@ use crate::duty_cycle::DutyCycler;
 use crate::retrieval::space_segment_cost;
 use crate::scenario::Scenario;
 use spacecdn_content::catalog::{Catalog, ContentId};
-use spacecdn_content::fleet::FleetCache;
+use spacecdn_content::policy::PolicyFleet;
+pub use spacecdn_content::policy::PolicyKind;
 use spacecdn_content::popularity::ZipfSampler;
 use spacecdn_des::stream::{drive, EventStream, FixedTicks, Merged, MergedEvent};
 use spacecdn_des::Percentiles;
@@ -135,6 +138,9 @@ pub struct TrafficConfig {
     pub cache_bytes_per_sat: u64,
     /// Freshness lifetime of cached objects.
     pub ttl: SimDuration,
+    /// Eviction/admission policy every shard fleet runs. Defaults to the
+    /// `SPACECDN_POLICY` environment knob (LRU+TTL when unset).
+    pub policy: PolicyKind,
     /// Fraction of satellites allowed to cache at any instant (Figure
     /// 8's thermal duty cycling); inserts on inactive satellites are
     /// skipped.
@@ -164,6 +170,7 @@ impl Default for TrafficConfig {
             zipf_alpha: 0.9,
             cache_bytes_per_sat: 8 << 30,
             ttl: SimDuration::from_mins(30),
+            policy: PolicyKind::from_env(),
             duty_fraction: 1.0,
             duty_slot: SimDuration::from_mins(10),
             escalation: vec![1, 3, 5, 10],
@@ -418,7 +425,7 @@ struct BatchCtx {
 /// Mutable state of one catalog shard's simulation.
 struct ShardWorld<'a> {
     service_rng: DetRng,
-    fleet: FleetCache,
+    fleet: PolicyFleet,
     /// Shard-local rank → global satellite slots holding a live copy.
     /// Maintained eagerly: pruned on eviction, TTL lapse, and epoch
     /// invalidation, so the serve-path scan needs no freshness probes.
@@ -876,7 +883,7 @@ pub fn run_traffic_multishell(
 
         let mut world = ShardWorld {
             service_rng: DetRng::new(cfg.seed, &format!("traffic/service/{s}")),
-            fleet: FleetCache::new(total_sats as usize, cache_bytes, cfg.ttl),
+            fleet: PolicyFleet::new(cfg.policy, total_sats as usize, cache_bytes, cfg.ttl),
             holders: vec![Vec::new(); shard_ids.len()],
             holder_removals: vec![1; shard_ids.len()],
             rank_of,
@@ -943,7 +950,9 @@ pub fn run_traffic_multishell(
                 BATCH_REQUESTS.record(ctx.requests);
             }
         }
-        for (_, _, bytes) in world.fleet.occupied() {
+        let mut occupied = Vec::new();
+        world.fleet.occupied_into(&mut occupied);
+        for (_, _, bytes) in occupied {
             CACHE_OCCUPANCY.record(bytes);
         }
         world.report.evictions = world.fleet.stats().evictions;

@@ -11,7 +11,9 @@
 
 use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::scenario::Scenario;
-use spacecdn_core::traffic::{run_traffic_multishell, TrafficConfig, TrafficReport, TrafficSource};
+use spacecdn_core::traffic::{
+    run_traffic_multishell, PolicyKind, TrafficConfig, TrafficReport, TrafficSource,
+};
 use spacecdn_des::Percentiles;
 use spacecdn_geo::{Latency, SimDuration, SimTime};
 use spacecdn_lsn::{AccessModel, FaultSchedule};
@@ -47,6 +49,8 @@ pub struct TrafficCampaignConfig {
     pub cache_bytes_per_sat: u64,
     /// Object freshness lifetime.
     pub ttl: SimDuration,
+    /// Cache eviction/admission policy every satellite fleet runs.
+    pub policy: PolicyKind,
     /// Which Starlink 2024 shells to simulate (indices into
     /// [`MultiConstellation::starlink_2024`]); the default is Shell 1
     /// only, matching the pre-multishell campaign.
@@ -67,6 +71,7 @@ impl Default for TrafficCampaignConfig {
             zipf_alpha: 0.9,
             cache_bytes_per_sat: 8 << 30,
             ttl: SimDuration::from_mins(30),
+            policy: PolicyKind::from_env(),
             shells: vec![0],
             seed: 42,
         }
@@ -212,6 +217,7 @@ pub fn traffic_campaign(
             zipf_alpha: cfg.zipf_alpha,
             cache_bytes_per_sat: cfg.cache_bytes_per_sat,
             ttl: cfg.ttl,
+            policy: cfg.policy,
             duty_fraction: fraction,
             seed: cfg.seed,
             ..TrafficConfig::default()

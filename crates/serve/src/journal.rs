@@ -177,7 +177,19 @@ pub fn replay(path: &Path) -> Result<String, String> {
                         ..
                     } => s.fault(&sats, from_secs, until_secs, gsl),
                     Command::Duty { fraction, .. } => s.set_duty(fraction),
-                    Command::Cache { bytes_per_sat, .. } => s.set_cache_bytes(bytes_per_sat),
+                    Command::Cache {
+                        bytes_per_sat,
+                        policy,
+                        ..
+                    } => {
+                        s.set_cache_bytes(bytes_per_sat);
+                        if let Some(kind) = policy
+                            .as_deref()
+                            .and_then(spacecdn_core::traffic::PolicyKind::parse)
+                        {
+                            s.set_cache_policy(kind);
+                        }
+                    }
                     other => return Err(format!("non-mutating command in journal: {other:?}")),
                 }
             }

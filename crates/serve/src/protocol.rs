@@ -27,7 +27,8 @@
 //! {"op":"fault","session":S,"sats":[..],"from_secs":N,"until_secs":N|null,
 //!  "gsl":B}
 //! {"op":"duty","session":S,"fraction":F}
-//! {"op":"cache","session":S,"bytes_per_sat":N}
+//! {"op":"cache","session":S,"bytes_per_sat":N,
+//!  "policy":"lru"|"sieve"|"s3fifo"|"tinylfu"|null}
 //! {"op":"report","session":S}
 //! ```
 
@@ -140,12 +141,17 @@ pub enum Command {
         /// New active-cache fraction.
         fraction: f64,
     },
-    /// Resize per-satellite caches for subsequent bursts.
+    /// Resize per-satellite caches and/or swap their eviction policy for
+    /// subsequent bursts.
     Cache {
         /// Session name.
         session: String,
         /// New capacity in bytes.
         bytes_per_sat: u64,
+        /// New eviction/admission policy (canonical
+        /// [`spacecdn_core::traffic::PolicyKind`] name); `None` keeps the
+        /// session's current policy.
+        policy: Option<String>,
     },
     /// The session's canonical final report.
     Report {
@@ -242,10 +248,22 @@ impl Command {
                 session: str_field(&value, "session")?,
                 fraction: f64_field(&value, "fraction")?,
             }),
-            "cache" => Ok(Command::Cache {
-                session: str_field(&value, "session")?,
-                bytes_per_sat: u64_field(&value, "bytes_per_sat")?,
-            }),
+            "cache" => {
+                let policy = match str_field(&value, "policy").ok() {
+                    Some(name) => Some(
+                        spacecdn_core::traffic::PolicyKind::parse(&name)
+                            .ok_or_else(|| format!("unknown cache policy {name:?}"))?
+                            .name()
+                            .to_string(),
+                    ),
+                    None => None,
+                };
+                Ok(Command::Cache {
+                    session: str_field(&value, "session")?,
+                    bytes_per_sat: u64_field(&value, "bytes_per_sat")?,
+                    policy,
+                })
+            }
             "report" => Ok(Command::Report {
                 session: str_field(&value, "session")?,
             }),
@@ -327,10 +345,15 @@ impl Command {
             Command::Cache {
                 session,
                 bytes_per_sat,
+                policy,
             } => format!(
-                r#"{{"op":"cache","session":{},"bytes_per_sat":{}}}"#,
+                r#"{{"op":"cache","session":{},"bytes_per_sat":{},"policy":{}}}"#,
                 json_str(session),
-                bytes_per_sat
+                bytes_per_sat,
+                match policy {
+                    Some(name) => json_str(name),
+                    None => "null".to_string(),
+                }
             ),
             Command::Report { session } => {
                 format!(r#"{{"op":"report","session":{}}}"#, json_str(session))
@@ -503,6 +526,12 @@ mod tests {
         roundtrip(&Command::Cache {
             session: "s".into(),
             bytes_per_sat: 1 << 30,
+            policy: None,
+        });
+        roundtrip(&Command::Cache {
+            session: "s".into(),
+            bytes_per_sat: 1 << 30,
+            policy: Some("s3fifo".into()),
         });
         roundtrip(&Command::Report {
             session: "s".into(),
@@ -529,6 +558,34 @@ mod tests {
         assert!(Command::parse(r#"{"op":"warp"}"#).is_err());
         assert!(Command::parse(r#"{"op":"advance","session":"a"}"#).is_err());
         assert!(Command::parse(r#"{"op":"fetch","session":"a","lat":"x","lon":0}"#).is_err());
+    }
+
+    #[test]
+    fn cache_policy_is_validated_and_normalized() {
+        // Aliases normalize to the canonical policy name at parse time, so
+        // journals always store the canonical spelling.
+        let cmd = Command::parse(
+            r#"{"op":"cache","session":"s","bytes_per_sat":1024,"policy":"w-tinylfu"}"#,
+        )
+        .unwrap();
+        match cmd {
+            Command::Cache { policy, .. } => assert_eq!(policy.as_deref(), Some("tinylfu")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Absent and explicit-null both mean "keep current policy".
+        for line in [
+            r#"{"op":"cache","session":"s","bytes_per_sat":1024}"#,
+            r#"{"op":"cache","session":"s","bytes_per_sat":1024,"policy":null}"#,
+        ] {
+            match Command::parse(line).unwrap() {
+                Command::Cache { policy, .. } => assert_eq!(policy, None),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        assert!(Command::parse(
+            r#"{"op":"cache","session":"s","bytes_per_sat":1024,"policy":"belady"}"#
+        )
+        .is_err());
     }
 
     #[test]

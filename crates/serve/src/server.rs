@@ -19,6 +19,7 @@ use crate::protocol::{json_str, Command, CreateArgs};
 use crate::session::Session;
 use crate::signal;
 use spacecdn_core::retrieval::RetrievalSource;
+use spacecdn_core::traffic::PolicyKind;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -334,8 +335,19 @@ fn execute_on_session(cmd: &Command, session: &mut Session) -> String {
             session.set_duty(*fraction);
             format!("{{\"ok\":true,\"clock_ns\":{}}}", session.clock().0)
         }
-        Command::Cache { bytes_per_sat, .. } => {
+        Command::Cache {
+            bytes_per_sat,
+            policy,
+            ..
+        } => {
             session.set_cache_bytes(*bytes_per_sat);
+            if let Some(name) = policy {
+                // Parse cannot fail: the protocol layer already normalized
+                // the name to a canonical PolicyKind spelling.
+                if let Some(kind) = PolicyKind::parse(name) {
+                    session.set_cache_policy(kind);
+                }
+            }
             format!("{{\"ok\":true,\"clock_ns\":{}}}", session.clock().0)
         }
         Command::Report { .. } => {

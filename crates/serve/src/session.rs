@@ -20,7 +20,9 @@ use spacecdn_core::network::LsnNetwork;
 use spacecdn_core::placement::PlacementStrategy;
 use spacecdn_core::retrieval::FetchResult;
 use spacecdn_core::scenario::Scenario;
-use spacecdn_core::traffic::{run_traffic_multishell, TrafficConfig, TrafficReport, TrafficSource};
+use spacecdn_core::traffic::{
+    run_traffic_multishell, PolicyKind, TrafficConfig, TrafficReport, TrafficSource,
+};
 use spacecdn_des::stream::{EventStream, Splice, Stepper};
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
 use spacecdn_lsn::AccessModel;
@@ -219,6 +221,7 @@ impl Session {
             catalog_size: (self.args.catalog.max(self.args.streams.max(1))) as usize,
             zipf_alpha: self.args.zipf_alpha,
             cache_bytes_per_sat: self.cache_bytes_per_sat.max(1),
+            policy: self.scenarios[0].cache_policy(),
             duty_fraction: self.duty_fraction,
             seed,
             start,
@@ -291,6 +294,16 @@ impl Session {
         SESSION_MUTATIONS.incr();
         self.mutations += 1;
         self.cache_bytes_per_sat = bytes_per_sat.max(1);
+    }
+
+    /// Swap the cache eviction/admission policy for subsequent bursts.
+    /// Cache contents are per-burst, so the swap needs no live migration.
+    pub fn set_cache_policy(&mut self, policy: PolicyKind) {
+        SESSION_MUTATIONS.incr();
+        self.mutations += 1;
+        for sc in self.scenarios.iter_mut() {
+            sc.set_cache_policy(policy);
+        }
     }
 
     /// The per-burst source table: population-weighted covered cities for

@@ -152,6 +152,46 @@ fn scripted_session_replays_byte_identically_at_every_thread_count() {
 }
 
 #[test]
+fn live_cache_policy_mutation_journals_and_replays_byte_identically() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let daemon = start_daemon("policy");
+    let mut c = daemon.client();
+    c.ok(
+        "{\"op\":\"create\",\"session\":\"pol\",\"seed\":9,\"constellation\":\"test\",\
+         \"streams\":2,\"catalog\":400,\"cache_mb\":1,\"copies_per_plane\":1}",
+    );
+    c.ok("{\"op\":\"traffic\",\"session\":\"pol\",\"requests\":2000,\"epochs\":2,\"epoch_step_secs\":60}");
+    // Swap the eviction policy mid-session (alias spelling on the wire;
+    // the journal must store the canonical name) and burst again so the
+    // new policy shapes the report.
+    c.ok("{\"op\":\"cache\",\"session\":\"pol\",\"bytes_per_sat\":1048576,\"policy\":\"s3-fifo\"}");
+    c.ok("{\"op\":\"traffic\",\"session\":\"pol\",\"requests\":2000,\"epochs\":2,\"epoch_step_secs\":60}");
+    c.ok("{\"op\":\"cache\",\"session\":\"pol\",\"bytes_per_sat\":1048576,\"policy\":\"tinylfu\"}");
+    c.ok("{\"op\":\"traffic\",\"session\":\"pol\",\"requests\":2000,\"epochs\":2,\"epoch_step_secs\":60}");
+    let live_report = c.ok("{\"op\":\"report\",\"session\":\"pol\"}");
+
+    let journal = daemon.journal("pol");
+    let journal_text = std::fs::read_to_string(&journal).expect("journal readable");
+    assert!(
+        journal_text.contains("\"policy\":\"s3fifo\"")
+            && journal_text.contains("\"policy\":\"tinylfu\""),
+        "journal stores canonical policy names: {journal_text}"
+    );
+
+    for threads in [1usize, 2, 5, 8] {
+        spacecdn_engine::set_thread_override(Some(threads));
+        let replayed = spacecdn_serve::journal::replay(&journal)
+            .unwrap_or_else(|e| panic!("replay at {threads} threads: {e}"));
+        assert_eq!(
+            replayed, live_report,
+            "policy-mutation replay diverged from live report at {threads} threads"
+        );
+    }
+    spacecdn_engine::set_thread_override(None);
+    daemon.shutdown();
+}
+
+#[test]
 fn concurrent_clients_on_distinct_sessions_stay_isolated() {
     let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let daemon = start_daemon("concurrent");

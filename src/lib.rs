@@ -63,6 +63,7 @@ pub mod prelude {
     pub use spacecdn_content::cache::{Cache, CacheStats, LruCache};
     pub use spacecdn_content::catalog::{Catalog, ContentId};
     pub use spacecdn_content::fleet::FleetCache;
+    pub use spacecdn_content::policy::{CachePolicy, PolicyFleet, PolicyKind};
     pub use spacecdn_content::popularity::ZipfSampler;
     pub use spacecdn_content::ttl::TtlCache;
     pub use spacecdn_core::duty_cycle::DutyCycler;

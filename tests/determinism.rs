@@ -223,6 +223,90 @@ fn traffic_engine_identical_at_any_thread_count() {
     }
 }
 
+/// [`traffic_fingerprint`] under a specific cache policy, single shell,
+/// with caches tight enough that every policy's eviction path runs hot.
+fn traffic_policy_fingerprint(policy: spacecdn_suite::prelude::PolicyKind) -> String {
+    use spacecdn_suite::prelude::{
+        run_traffic_multishell, starlink_shell_scenarios, FaultSchedule, Geodetic, Latency,
+        TrafficConfig, TrafficSource,
+    };
+    let mut scenarios = starlink_shell_scenarios(&[0], &FaultSchedule::none());
+    let cfg = TrafficConfig {
+        requests: 4_000,
+        streams: 5,
+        epochs: 2,
+        catalog_size: 600,
+        cache_bytes_per_sat: 8 << 20,
+        policy,
+        ..TrafficConfig::default()
+    };
+    let sources: Vec<TrafficSource> = [
+        (40.4, -3.7, 6u32),
+        (-25.97, 32.57, 2),
+        (51.5, -0.13, 9),
+        (35.68, 139.69, 10),
+    ]
+    .into_iter()
+    .map(|(lat, lon, weight)| TrafficSource {
+        position: Geodetic::ground(lat, lon),
+        weight,
+        fallback_rtt: vec![Latency::from_ms(140.0); cfg.epochs],
+    })
+    .collect();
+    let mut r = run_traffic_multishell(&mut scenarios, &sources, &cfg);
+    let mut out = format!(
+        "req={};oh={};isl={};origin={};dead={};ins={};ev={};ttl={};inv={};served={};ob={};hops={:?};",
+        r.requests,
+        r.overhead_hits,
+        r.isl_hits,
+        r.origin_fetches,
+        r.dead_zones,
+        r.inserts,
+        r.evictions,
+        r.ttl_expiries,
+        r.invalidations,
+        r.served_bytes,
+        r.origin_bytes,
+        r.hop_histogram,
+    );
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        out.push_str(&format!(
+            "q{q}={:?};",
+            r.latencies.quantile(q).map(f64::to_bits)
+        ));
+    }
+    out
+}
+
+#[test]
+fn traffic_engine_identical_at_any_thread_count_for_every_policy() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    // Each policy's TrafficReport must be byte-identical at 1/2/5/8
+    // worker threads: shard fleets are per-stream, so policy state must
+    // never leak across the parallelism grain.
+    let mut fingerprints = Vec::new();
+    for policy in spacecdn_suite::prelude::PolicyKind::ALL {
+        let sequential = with_thread_count(1, || traffic_policy_fingerprint(policy));
+        for threads in [2, 5, 8] {
+            let parallel = with_thread_count(threads, || traffic_policy_fingerprint(policy));
+            assert_eq!(
+                sequential,
+                parallel,
+                "{} policy diverged at {threads} threads",
+                policy.name()
+            );
+        }
+        fingerprints.push(sequential);
+    }
+    // Sanity: the knob actually reaches the engine — under eviction
+    // pressure the policies cannot all tell the same story.
+    fingerprints.dedup();
+    assert!(
+        fingerprints.len() > 1,
+        "all policies produced identical reports — policy knob inert?"
+    );
+}
+
 #[test]
 fn traffic_engine_identical_with_delta_on_and_off_at_any_thread_count() {
     let _guard = OVERRIDE_LOCK.lock().unwrap();
