@@ -4,7 +4,7 @@
 //! (the full versions live in the `spacecdn-bench` binaries).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spacecdn_geo::{DetRng, Latency, SimTime};
+use spacecdn_geo::{Latency, SimTime};
 use spacecdn_lsn::{FaultPlan, FaultSchedule};
 use spacecdn_measure::aim::{AimCampaign, AimConfig};
 use spacecdn_measure::spacecdn::{duty_cycle_experiment, hop_bound_experiment};
@@ -83,12 +83,14 @@ fn bench_experiments(c: &mut Criterion) {
 
     group.bench_function("retrieval_single_fetch", |b| {
         use spacecdn_core::network::LsnNetwork;
-        use spacecdn_core::placement::PlacementStrategy;
+        use spacecdn_core::placement::{PlacementPlan, PlacementStrategy};
         use spacecdn_core::retrieval::RetrievalRequest;
         let net = LsnNetwork::starlink();
         let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
-        let mut rng = DetRng::new(1, "bench-retrieval");
-        let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+            .seed(1)
+            .build_single(net.constellation())
+            .materialize(net.constellation());
         let user = spacecdn_geo::Geodetic::ground(-25.97, 32.57);
         let req = RetrievalRequest::new(user)
             .hop_budget(10)

@@ -1,135 +1,288 @@
-//! Ablation: cache-placement strategies. The paper argues ~4 copies per
-//! plane reach any user within 5 hops; this sweep compares per-plane,
-//! random, and covering-radius placements at equal copy budgets.
+//! Ablation: the replica-placement zoo under constellation traffic — does
+//! pinning popularity-weighted copies into orbit beat pure pull-through?
+//!
+//! Every placement variant runs the *same* steady-state traffic campaign
+//! (Zipf demand from population-weighted covered cities, pull-through
+//! per-satellite caches layered over the pinned plan, topology epochs),
+//! swept across copy budget × thermal duty-cycle fraction × fault
+//! schedule. The head-to-head reports hit ratio, origin offload, mean and
+//! tail latency per variant into `results/PLACE_zoo.json` (schema
+//! `spacecdn-place-zoo-v1`), and prints the paired verdict the paper's §4
+//! placement argument predicts: at equal copy budget, an orbit-aware plan
+//! must beat the no-placement duty-cycling baseline on hit ratio AND mean
+//! RTT.
+//!
+//! Flags: `--quick` (CI-sized run), `--requests N` (requests per sweep
+//! cell; default 30k full / 4k quick).
 
 use serde::Serialize;
-use spacecdn_bench::{banner, results_dir, scaled};
+use spacecdn_bench::{banner, quick_mode, results_dir};
 use spacecdn_core::network::LsnNetwork;
-use spacecdn_core::placement::PlacementStrategy;
-use spacecdn_des::Percentiles;
-use spacecdn_geo::{DetRng, Latency, SimTime};
-use spacecdn_lsn::FaultPlan;
+use spacecdn_core::placement::PlacementSpec;
+use spacecdn_core::traffic::{run_traffic_multishell, TrafficConfig};
+use spacecdn_geo::{DetRng, SimDuration};
+use spacecdn_lsn::FaultSchedule;
 use spacecdn_measure::report::{format_table, write_json};
-use spacecdn_suite::prelude::{RetrievalRequest, RetrievalSource};
-use spacecdn_terra::city::cities;
-use spacecdn_terra::starlink::covered_countries;
+use spacecdn_measure::traffic::{covered_traffic_sources, starlink_shell_scenarios};
+
+/// Schema tag for `results/PLACE_zoo.json`.
+const SCHEMA: &str = "spacecdn-place-zoo-v1";
+
+/// Placement variants swept. The spec template's `{B}` is filled with the
+/// cell's copy budget; `none` is the pull-through duty-cycling baseline.
+/// Both orbit-aware rows share the even-spread catalog layout — the
+/// coop-less row isolates what cooperative neighbor lookup adds on top.
+const STRATEGIES: [(&str, Option<&str>, bool); 4] = [
+    ("none", None, false),
+    ("orbit", Some("perplane-4:budget-{B}:cap-64"), true),
+    (
+        "orbit+coop",
+        Some("perplane-4:budget-{B}:cap-64:coop"),
+        true,
+    ),
+    ("rand+coop", Some("rand-288:budget-{B}:cap-64:coop"), false),
+];
+
+/// Global pinned-copy budgets swept (split over the catalog by
+/// popularity).
+const COPY_BUDGETS: [usize; 2] = [1_500, 6_000];
+
+/// Thermal duty-cycle fractions swept (Figure 8's throttling axis).
+const DUTY_FRACTIONS: [f64; 2] = [1.0, 0.5];
+
+/// Fraction of the fleet given one outage window each in the faulted
+/// timeline (mean dwell: 120 s, drawn in `main`).
+const OUTAGE_FRACTION: f64 = 0.15;
 
 #[derive(Serialize)]
-struct Row {
+struct Cell {
     strategy: String,
-    copies: usize,
-    median_ms: f64,
+    spec: String,
+    orbit_aware: bool,
+    copy_budget: usize,
+    duty_fraction: f64,
+    fault: String,
+    hit_ratio: f64,
+    origin_offload: f64,
+    mean_ms: f64,
+    p50_ms: f64,
     p90_ms: f64,
-    ground_fallback_pct: f64,
-    mean_hops: f64,
+    pinned_hits: u64,
+    neighbor_hits: u64,
+    overhead_hits: u64,
+    isl_hits: u64,
+    origin_fetches: u64,
+    dead_zones: u64,
+}
+
+#[derive(Serialize)]
+struct Zoo {
+    schema: &'static str,
+    requests_per_cell: u64,
+    epochs: usize,
+    epoch_step_s: u64,
+    catalog_size: usize,
+    cache_bytes_per_sat: u64,
+    shells: Vec<usize>,
+    strategies: Vec<&'static str>,
+    copy_budgets: Vec<usize>,
+    duty_fractions: Vec<f64>,
+    faults: Vec<&'static str>,
+    cells: Vec<Cell>,
+}
+
+/// `--requests N` → requests per sweep cell.
+fn parse_requests() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--requests")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--requests needs a value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("--requests expects a count"))
+        })
+        .unwrap_or(if quick_mode() { 4_000 } else { 30_000 })
+}
+
+fn mean_ms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        f64::NAN
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
 }
 
 fn main() {
     banner(
-        "Ablation — placement strategies at matched copy budgets",
-        "§4: '~4 copies within each plane ⇒ reachable within 5 hops'",
+        "Ablation — replica-placement zoo under constellation traffic",
+        "§4: pinned popularity-weighted copies vs pure pull-through, at \
+         matched copy budgets",
     );
+
+    let requests = parse_requests();
+    let epochs = 2usize;
+    let epoch_step = SimDuration::from_secs(157);
+    let catalog_size = 4_000usize;
+    // Tight enough that the hot set overflows every satellite: the sweep
+    // is about where copies live, not cold-start warmup.
+    let cache_bytes_per_sat = 64u64 << 20;
+    let shells = vec![0usize];
+
+    // Fault timelines: a pristine run and a 15 % random-outage run (same
+    // windows for every variant — the comparison stays paired).
     let net = LsnNetwork::starlink();
-    let covered = covered_countries();
-    let pool: Vec<_> = cities()
-        .iter()
-        .filter(|c| covered.contains(&c.cc))
-        .collect();
-    let trials = scaled(800);
+    let fleet = net.constellation().len();
+    let mut outages = FaultSchedule::none();
+    outages.random_sat_outages(
+        fleet,
+        OUTAGE_FRACTION,
+        epoch_step.mul(epochs as u64),
+        SimDuration::from_secs(120),
+        &mut DetRng::new(47, "place-zoo-faults"),
+    );
+    let faults: [(&str, FaultSchedule); 2] = [("none", FaultSchedule::none()), ("outage", outages)];
 
-    let strategies: Vec<(String, PlacementStrategy)> = vec![
-        ("per-plane k=1".into(), PlacementStrategy::PerPlane { k: 1 }),
-        ("per-plane k=2".into(), PlacementStrategy::PerPlane { k: 2 }),
-        ("per-plane k=4".into(), PlacementStrategy::PerPlane { k: 4 }),
-        (
-            "random 288".into(),
-            PlacementStrategy::RandomCount { count: 288 },
-        ),
-        (
-            "cover r=3".into(),
-            PlacementStrategy::CoverRadius { hops: 3 },
-        ),
-        (
-            "cover r=5".into(),
-            PlacementStrategy::CoverRadius { hops: 5 },
-        ),
-    ];
+    println!(
+        "{} requests/cell · {} epochs · {} strategies × {} budgets × {} duties × {} faults",
+        requests,
+        epochs,
+        STRATEGIES.len(),
+        COPY_BUDGETS.len(),
+        DUTY_FRACTIONS.len(),
+        faults.len(),
+    );
 
-    let mut rows_json = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
     let mut rows = Vec::new();
-    for (name, strat) in strategies {
-        let mut lat = Percentiles::new();
-        let mut ground = 0usize;
-        let mut hops_sum = 0u64;
-        let mut hops_n = 0u64;
-        for epoch in 0..4u64 {
-            let snap = net.snapshot(SimTime::from_secs(epoch * 157), &FaultPlan::none());
-            let mut rng = DetRng::new(99, &format!("placement/{name}/{epoch}"));
-            for _ in 0..trials / 4 {
-                let city = *rng.choose(&pool).expect("pool");
-                let caches = strat.place(net.constellation(), &mut rng);
-                let out = RetrievalRequest::new(city.position())
-                    .hop_budget(10)
-                    .ground_fallback(Latency::from_ms(150.0))
-                    .graceful(false)
-                    .execute(snap.graph(), net.access(), &caches, Some(&mut rng))
-                    .outcome
-                    .expect("alive");
-                match out.source {
-                    RetrievalSource::Ground => ground += 1,
-                    RetrievalSource::Overhead => {
-                        lat.add(out.rtt.ms());
-                        hops_n += 1;
-                    }
-                    RetrievalSource::Isl { hops } => {
-                        lat.add(out.rtt.ms());
-                        hops_sum += hops as u64;
-                        hops_n += 1;
-                    }
+    for (fault_name, schedule) in &faults {
+        let sources = covered_traffic_sources(&net, schedule, epochs, epoch_step);
+        let mut scenarios = starlink_shell_scenarios(&shells, schedule);
+        for &copy_budget in &COPY_BUDGETS {
+            for &duty_fraction in &DUTY_FRACTIONS {
+                for (label, template, orbit_aware) in STRATEGIES {
+                    let spec = template.map(|t| {
+                        let text = t.replace("{B}", &copy_budget.to_string());
+                        PlacementSpec::parse(&text)
+                            .unwrap_or_else(|| panic!("bad spec template {text:?}"))
+                    });
+                    let cfg = TrafficConfig {
+                        requests,
+                        streams: 8,
+                        epochs,
+                        epoch_step,
+                        catalog_size,
+                        zipf_alpha: 0.9,
+                        cache_bytes_per_sat,
+                        placement: spec,
+                        duty_fraction,
+                        seed: 42,
+                        ..TrafficConfig::default()
+                    };
+                    let mut report = run_traffic_multishell(&mut scenarios, &sources, &cfg);
+                    let mean = mean_ms(report.latencies.samples());
+                    let p50 = report.latencies.quantile(0.5).unwrap_or(f64::NAN);
+                    let p90 = report.latencies.quantile(0.9).unwrap_or(f64::NAN);
+                    rows.push(vec![
+                        fault_name.to_string(),
+                        copy_budget.to_string(),
+                        format!("{:.0}%", duty_fraction * 100.0),
+                        label.to_string(),
+                        format!("{:.3}", report.hit_ratio()),
+                        format!("{mean:.1}"),
+                        format!("{p90:.1}"),
+                        report.pinned_hits.to_string(),
+                        report.neighbor_hits.to_string(),
+                    ]);
+                    cells.push(Cell {
+                        strategy: label.to_string(),
+                        spec: spec.map_or_else(|| "off".to_string(), |s| s.name()),
+                        orbit_aware,
+                        copy_budget,
+                        duty_fraction,
+                        fault: fault_name.to_string(),
+                        hit_ratio: report.hit_ratio(),
+                        origin_offload: report.origin_offload(),
+                        mean_ms: mean,
+                        p50_ms: p50,
+                        p90_ms: p90,
+                        pinned_hits: report.pinned_hits,
+                        neighbor_hits: report.neighbor_hits,
+                        overhead_hits: report.overhead_hits,
+                        isl_hits: report.isl_hits,
+                        origin_fetches: report.origin_fetches,
+                        dead_zones: report.dead_zones,
+                    });
                 }
             }
         }
-        let copies = strat.copy_count(net.constellation());
-        let median = lat.median().unwrap_or(f64::NAN);
-        let p90 = lat.quantile(0.9).unwrap_or(f64::NAN);
-        let gpct = 100.0 * ground as f64 / trials as f64;
-        let mean_hops = if hops_n > 0 {
-            hops_sum as f64 / hops_n as f64
-        } else {
-            f64::NAN
-        };
-        rows.push(vec![
-            name.clone(),
-            copies.to_string(),
-            format!("{median:.1}"),
-            format!("{p90:.1}"),
-            format!("{gpct:.1}%"),
-            format!("{mean_hops:.1}"),
-        ]);
-        rows_json.push(Row {
-            strategy: name,
-            copies,
-            median_ms: median,
-            p90_ms: p90,
-            ground_fallback_pct: gpct,
-            mean_hops,
-        });
     }
+
     println!(
         "{}",
         format_table(
             &[
+                "fault",
+                "budget",
+                "duty",
                 "strategy",
-                "copies",
-                "median ms",
+                "hit ratio",
+                "mean ms",
                 "p90 ms",
-                "ground",
-                "mean hops"
+                "pinned",
+                "neighbor",
             ],
             &rows,
         )
     );
-    write_json(&results_dir().join("ablation_placement.json"), &rows_json).expect("write json");
-    println!("json: results/ablation_placement.json");
+
+    // The paired verdict: for every (budget, duty, fault) column, does some
+    // orbit-aware variant beat the no-placement baseline on hit ratio AND
+    // mean RTT?
+    let mut wins = 0usize;
+    let mut columns = 0usize;
+    for (fault_name, _) in &faults {
+        for &copy_budget in &COPY_BUDGETS {
+            for &duty_fraction in &DUTY_FRACTIONS {
+                let column = |s: &Cell| {
+                    s.copy_budget == copy_budget
+                        && s.duty_fraction == duty_fraction
+                        && s.fault == *fault_name
+                };
+                let base = cells
+                    .iter()
+                    .find(|c| c.strategy == "none" && column(c))
+                    .expect("baseline cell");
+                let beats = cells.iter().any(|c| {
+                    c.orbit_aware
+                        && column(c)
+                        && c.hit_ratio > base.hit_ratio
+                        && c.mean_ms < base.mean_ms
+                });
+                columns += 1;
+                if beats {
+                    wins += 1;
+                }
+            }
+        }
+    }
+    println!("orbit-aware beats no-placement baseline in {wins}/{columns} sweep columns");
+
+    let zoo = Zoo {
+        schema: SCHEMA,
+        requests_per_cell: requests,
+        epochs,
+        epoch_step_s: epoch_step.0 / 1_000_000_000,
+        catalog_size,
+        cache_bytes_per_sat,
+        shells,
+        strategies: STRATEGIES.iter().map(|(n, _, _)| *n).collect(),
+        copy_budgets: COPY_BUDGETS.to_vec(),
+        duty_fractions: DUTY_FRACTIONS.to_vec(),
+        faults: faults.iter().map(|(n, _)| *n).collect(),
+        cells,
+    };
+    write_json(&results_dir().join("PLACE_zoo.json"), &zoo).expect("write json");
+    println!("json: results/PLACE_zoo.json");
     spacecdn_bench::emit_metrics("ablation_placement");
 }

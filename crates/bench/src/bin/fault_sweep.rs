@@ -20,7 +20,7 @@
 use serde::Serialize;
 use spacecdn_bench::{banner, results_dir, scaled};
 use spacecdn_core::network::LsnNetwork;
-use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::placement::{PlacementPlan, PlacementStrategy};
 use spacecdn_core::{delta_stats, set_delta_override};
 use spacecdn_des::Percentiles;
 use spacecdn_engine::set_snapshot_pool_override;
@@ -159,11 +159,12 @@ fn sweep_point(
         let t = SimTime::from_secs(t_secs);
         let snap = net.snapshot(t, &schedule.plan_at(t));
         let mut req = DetRng::new(19, &format!("sweep/req/{t_secs}"));
-        let mut cache_rng = DetRng::new(23, &format!("sweep/caches/{t_secs}"));
         // Copies are placed on the *intended* fleet; failures silently
         // remove them — exactly what an operator experiences.
-        let caches =
-            PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut cache_rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+            .seed(23 ^ t_secs)
+            .build_single(net.constellation())
+            .materialize(net.constellation());
         for _ in 0..trials {
             let city = *req.choose(pool).expect("pool");
             let out = RetrievalRequest::new(city.position()).execute(

@@ -9,8 +9,8 @@
 use serde::Serialize;
 use spacecdn_bench::{banner, results_dir};
 use spacecdn_core::network::LsnNetwork;
-use spacecdn_core::placement::PlacementStrategy;
-use spacecdn_geo::{DetRng, SimTime};
+use spacecdn_core::placement::{PlacementPlan, PlacementStrategy};
+use spacecdn_geo::SimTime;
 use spacecdn_lsn::{bfs_nearest, FaultPlan, LinkLoad};
 use spacecdn_measure::report::{format_table, write_json};
 use spacecdn_terra::city::cities;
@@ -36,8 +36,10 @@ fn main() {
     let graph = snap.graph();
     let covered = covered_countries();
     let gws = gateways();
-    let mut rng = DetRng::new(2, "isl-load");
-    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+        .seed(2)
+        .build_single(net.constellation())
+        .materialize(net.constellation());
 
     // Demand: each covered city offers traffic ∝ population (arbitrary
     // units; only relative loads matter).

@@ -10,7 +10,7 @@
 //! WAN-cost accounting (§2: "cache miss rates and content fetches over WANs
 //! are high for these \[LSN\] users").
 
-use crate::cache::{Cache, LruCache};
+use crate::cache::{Cache, CacheStats, LruCache};
 use crate::catalog::{Catalog, ContentId};
 use serde::Serialize;
 use spacecdn_geo::Latency;
@@ -47,6 +47,55 @@ impl TierLatencies {
             regional_to_origin: Latency::from_ms(90.0),
         }
     }
+
+    /// Builder starting from [`typical`](Self::typical); every setter
+    /// validates its latency, so an accidental negative (e.g. a subtraction
+    /// gone wrong in a campaign sweep) fails at construction instead of
+    /// silently producing time-travelling fetches.
+    pub fn builder() -> TierLatenciesBuilder {
+        TierLatenciesBuilder(Self::typical())
+    }
+}
+
+/// Validating builder for [`TierLatencies`].
+#[derive(Debug, Clone, Copy)]
+pub struct TierLatenciesBuilder(TierLatencies);
+
+impl TierLatenciesBuilder {
+    fn checked(name: &str, l: Latency) -> Latency {
+        assert!(
+            l.ms().is_finite() && l.ms() >= 0.0,
+            "{name} must be a finite non-negative latency, got {} ms",
+            l.ms()
+        );
+        l
+    }
+
+    /// Client ↔ edge RTT.
+    #[must_use]
+    pub fn to_edge(mut self, l: Latency) -> Self {
+        self.0.to_edge = Self::checked("to_edge", l);
+        self
+    }
+
+    /// Edge ↔ regional RTT.
+    #[must_use]
+    pub fn edge_to_regional(mut self, l: Latency) -> Self {
+        self.0.edge_to_regional = Self::checked("edge_to_regional", l);
+        self
+    }
+
+    /// Regional ↔ origin RTT.
+    #[must_use]
+    pub fn regional_to_origin(mut self, l: Latency) -> Self {
+        self.0.regional_to_origin = Self::checked("regional_to_origin", l);
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> TierLatencies {
+        self.0
+    }
 }
 
 /// One resolved request through the hierarchy.
@@ -59,12 +108,16 @@ pub struct HierarchyOutcome {
 }
 
 /// A two-level cache tree with an origin: many edges per regional.
+///
+/// Accounting lives entirely in the per-tier [`CacheStats`] the caches
+/// already keep (the same taxonomy as the satellite policy fleets): every
+/// request is one `get` against an edge, so edge gets = requests, edge
+/// hits = edge-served, regional hits = regional-served, and regional
+/// misses = origin fetches. There are no side counters to drift.
 pub struct CacheHierarchy {
     edges: Vec<LruCache>,
     regional: LruCache,
     latencies: TierLatencies,
-    /// Served-by counters: (edge, regional, origin).
-    counters: (u64, u64, u64),
     /// Bytes fetched over the regional↔origin WAN (the cost §2 worries
     /// about).
     wan_bytes: u64,
@@ -87,7 +140,6 @@ impl CacheHierarchy {
             edges: (0..edge_count).map(|_| LruCache::new(edge_bytes)).collect(),
             regional: LruCache::new(regional_bytes),
             latencies,
-            counters: (0, 0, 0),
             wan_bytes: 0,
         }
     }
@@ -111,21 +163,18 @@ impl CacheHierarchy {
         let l = self.latencies;
 
         if self.edges[idx].get(id) {
-            self.counters.0 += 1;
             return HierarchyOutcome {
                 served_by: ServedBy::Edge,
                 rtt: l.to_edge,
             };
         }
         if self.regional.get(id) {
-            self.counters.1 += 1;
             self.edges[idx].insert(id, size);
             return HierarchyOutcome {
                 served_by: ServedBy::Regional,
                 rtt: l.to_edge + l.edge_to_regional,
             };
         }
-        self.counters.2 += 1;
         self.wan_bytes += size;
         self.regional.insert(id, size);
         self.edges[idx].insert(id, size);
@@ -135,19 +184,46 @@ impl CacheHierarchy {
         }
     }
 
-    /// (edge hits, regional hits, origin fetches).
-    pub fn served_counts(&self) -> (u64, u64, u64) {
-        self.counters
+    /// Aggregate [`CacheStats`] over all edge caches (edge `gets` is the
+    /// total request count the hierarchy has seen).
+    pub fn edge_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for e in &self.edges {
+            let s = e.stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.gets += s.gets;
+            agg.inserts += s.inserts;
+            agg.evictions += s.evictions;
+            agg.expirations += s.expirations;
+            agg.invalidations += s.invalidations;
+        }
+        agg
+    }
+
+    /// [`CacheStats`] of the regional parent (its `misses` are exactly the
+    /// origin fetches).
+    pub fn regional_stats(&self) -> CacheStats {
+        self.regional.stats()
+    }
+
+    /// Requests ultimately served by `tier`, derived from the tier stats:
+    /// edge hits, regional hits, or regional misses (origin).
+    pub fn served(&self, tier: ServedBy) -> u64 {
+        match tier {
+            ServedBy::Edge => self.edge_stats().hits,
+            ServedBy::Regional => self.regional_stats().hits,
+            ServedBy::Origin => self.regional_stats().misses,
+        }
     }
 
     /// Fraction of requests served without touching the origin.
     pub fn cdn_hit_ratio(&self) -> f64 {
-        let (e, r, o) = self.counters;
-        let total = e + r + o;
+        let total = self.edge_stats().gets;
         if total == 0 {
             0.0
         } else {
-            (e + r) as f64 / total as f64
+            (self.served(ServedBy::Edge) + self.served(ServedBy::Regional)) as f64 / total as f64
         }
     }
 
@@ -218,7 +294,44 @@ mod tests {
         h.request(1, id, &cat);
         h.request(0, id, &cat);
         assert_eq!(h.wan_bytes(), size);
-        assert_eq!(h.served_counts(), (1, 1, 1));
+        assert_eq!(h.served(ServedBy::Edge), 1);
+        assert_eq!(h.served(ServedBy::Regional), 1);
+        assert_eq!(h.served(ServedBy::Origin), 1);
+    }
+
+    #[test]
+    fn tier_stats_reconcile_like_the_fleet_taxonomy() {
+        let cat = catalog();
+        let mut h = hierarchy();
+        let zipf = ZipfSampler::new(cat.len(), 1.0);
+        let mut rng = DetRng::new(7, "hier-stats");
+        let n = 2000u64;
+        for i in 0..n as usize {
+            let id = ContentId(zipf.sample(&mut rng) as u64);
+            h.request(i % 4, id, &cat);
+        }
+        let edge = h.edge_stats();
+        let regional = h.regional_stats();
+        // Every request is exactly one edge get.
+        assert_eq!(edge.gets, n);
+        assert_eq!(edge.hits + edge.misses, edge.gets);
+        assert_eq!(regional.hits + regional.misses, regional.gets);
+        // Edge misses are the only traffic the regional sees.
+        assert_eq!(regional.gets, edge.misses);
+        // Served-by partition covers every request.
+        assert_eq!(
+            h.served(ServedBy::Edge) + h.served(ServedBy::Regional) + h.served(ServedBy::Origin),
+            n
+        );
+        // Departures reconcile: inserts - len = departures, per tier.
+        assert_eq!(
+            edge.departures(),
+            edge.inserts - h.edges.iter().map(|e| e.len() as u64).sum::<u64>()
+        );
+        assert_eq!(
+            regional.departures(),
+            regional.inserts - h.regional.len() as u64
+        );
     }
 
     #[test]
@@ -233,7 +346,11 @@ mod tests {
         }
         let ratio = h.cdn_hit_ratio();
         assert!(ratio > 0.65, "hit ratio {ratio}");
-        let (e, r, o) = h.served_counts();
+        let (e, r, o) = (
+            h.served(ServedBy::Edge),
+            h.served(ServedBy::Regional),
+            h.served(ServedBy::Origin),
+        );
         assert!(e > r, "edges should absorb most load: {e} vs {r}");
         assert!(o < 2000, "origin fetches {o}");
     }
@@ -249,7 +366,7 @@ mod tests {
             let id = ContentId(zipf.sample(&mut rng) as u64);
             h.request(i % 4, id, &cat);
         }
-        let (e, r, _) = h.served_counts();
+        let (e, r) = (h.served(ServedBy::Edge), h.served(ServedBy::Regional));
         assert!(
             r > e / 3,
             "regional should carry real load: edge {e} regional {r}"
@@ -260,5 +377,25 @@ mod tests {
     #[should_panic(expected = "at least one edge")]
     fn zero_edges_panics() {
         let _ = CacheHierarchy::new(0, 1, 1, TierLatencies::typical());
+    }
+
+    #[test]
+    fn latency_builder_defaults_and_overrides() {
+        let l = TierLatencies::builder().build();
+        assert_eq!(l.to_edge, Latency::from_ms(8.0));
+        let l = TierLatencies::builder()
+            .to_edge(Latency::from_ms(2.0))
+            .edge_to_regional(Latency::from_ms(10.0))
+            .regional_to_origin(Latency::from_ms(0.0))
+            .build();
+        assert_eq!(l.to_edge, Latency::from_ms(2.0));
+        assert_eq!(l.edge_to_regional, Latency::from_ms(10.0));
+        assert_eq!(l.regional_to_origin, Latency::from_ms(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge_to_regional must be a finite non-negative latency")]
+    fn latency_builder_rejects_negative() {
+        let _ = TierLatencies::builder().edge_to_regional(Latency::from_ms(-1.0));
     }
 }

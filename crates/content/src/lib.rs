@@ -40,7 +40,9 @@ pub mod video;
 pub use cache::{Cache, CacheStats, FifoCache, LfuCache, LruCache, SlruCache};
 pub use catalog::{Catalog, ContentId, ContentKind, ContentObject, RegionTag};
 pub use fleet::FleetCache;
-pub use hierarchy::{CacheHierarchy, HierarchyOutcome, ServedBy, TierLatencies};
+pub use hierarchy::{
+    CacheHierarchy, HierarchyOutcome, ServedBy, TierLatencies, TierLatenciesBuilder,
+};
 pub use policy::{CachePolicy, PolicyFleet, PolicyKind};
 pub use popularity::{RegionalPopularity, ZipfSampler};
 pub use s3fifo::S3FifoFleet;

@@ -50,7 +50,7 @@ pub use network::{
     clear_graph_pool, delta_enabled, delta_stats, graph_pool_stats, set_delta_override, DeltaStats,
     LsnNetwork, LsnSnapshot, PathBreakdown,
 };
-pub use placement::{popularity_copy_allocation, PlacementStrategy};
+pub use placement::{popularity_copy_allocation, PlacementPlan, PlacementSpec, PlacementStrategy};
 #[allow(deprecated)] // the shims stay re-exported until the next major bump
 pub use retrieval::{retrieve, retrieve_multishell, retrieve_resilient};
 pub use retrieval::{

@@ -6,6 +6,13 @@
 //! also used." Placement strategies decide which satellites hold copies of
 //! an object; the retrieval layer then measures how many hops a request
 //! needs to reach one.
+//!
+//! The modern entry point is [`PlacementPlan`]: copies are computed per
+//! **orbital-position slot** — the `(plane, slot-phase)` key of a satellite
+//! within its shell. Satellites revisit the same ground track, so a plan
+//! keyed by slot is stable across epochs and re-materializes to concrete
+//! [`SatIndex`] values in O(copies) after every `advance_to`. Plans carry
+//! their own seed; callers never thread a `&mut DetRng` through.
 
 use spacecdn_geo::DetRng;
 use spacecdn_orbit::{Constellation, SatIndex};
@@ -100,48 +107,87 @@ pub fn popularity_copy_allocation(
     alloc
 }
 
+/// The strategy kernel shared by the deprecated [`PlacementStrategy::place`]
+/// shim and [`PlacementPlan`]'s single-object builder: selects slot keys for
+/// one object, consuming `rng` in exactly the draw order the seed-era
+/// `place` did (one `index` per plane for `PerPlane`, one `sample_indices`
+/// for the random family). Keeping both callers on this kernel is what
+/// makes the shim provably bit-identical.
+fn strategy_slots(
+    strategy: PlacementStrategy,
+    plane_count: u16,
+    sats_per_plane: u16,
+    rng: &mut DetRng,
+) -> Vec<(u16, u16)> {
+    let planes = plane_count as usize;
+    let per_plane = sats_per_plane as usize;
+    let total = planes * per_plane;
+    match strategy {
+        PlacementStrategy::PerPlane { k } => {
+            let k = k.min(sats_per_plane as u32).max(1) as usize;
+            let mut slots = Vec::with_capacity(planes * k);
+            // Random rotation per plane so copies don't align across
+            // planes (aligned copies waste inter-plane reachability).
+            for plane in 0..planes {
+                let rot = rng.index(per_plane);
+                for i in 0..k {
+                    let slot = (rot + i * per_plane / k) % per_plane;
+                    slots.push((plane as u16, slot as u16));
+                }
+            }
+            slots
+        }
+        PlacementStrategy::RandomFraction { fraction } => {
+            let count = ((total as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+            sample_slots(total, count, per_plane, rng)
+        }
+        PlacementStrategy::RandomCount { count } => {
+            sample_slots(total, count as usize, per_plane, rng)
+        }
+        PlacementStrategy::CoverRadius { hops } => {
+            let ball = grid_ball_size(hops) as usize;
+            let count = (2 * total).div_ceil(ball).max(1);
+            sample_slots(total, count, per_plane, rng)
+        }
+    }
+}
+
+/// Uniform sample of `count` distinct slots, keyed plane-major the same way
+/// `SatIndex` flattens `(plane, slot)`.
+fn sample_slots(total: usize, count: usize, per_plane: usize, rng: &mut DetRng) -> Vec<(u16, u16)> {
+    rng.sample_indices(total, count)
+        .into_iter()
+        .map(|i| ((i / per_plane) as u16, (i % per_plane) as u16))
+        .collect()
+}
+
 impl PlacementStrategy {
     /// Select the copy-holding satellites for one object.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a seed-carrying PlacementPlan (`PlacementPlan::builder(..).seed(..)\
+                .build_single(..)`) instead of threading a `&mut DetRng`"
+    )]
     pub fn place(&self, constellation: &Constellation, rng: &mut DetRng) -> BTreeSet<SatIndex> {
-        let total = constellation.len();
-        let planes = constellation.config().plane_count;
-        let per_plane = constellation.config().sats_per_plane;
-        match *self {
-            PlacementStrategy::PerPlane { k } => {
-                let k = k.min(per_plane).max(1);
-                let mut set = BTreeSet::new();
-                // Random rotation per plane so copies don't align across
-                // planes (aligned copies waste inter-plane reachability).
-                for plane in 0..planes {
-                    let rot = rng.index(per_plane as usize) as i64;
-                    for i in 0..k {
-                        let slot = rot + (i as i64 * per_plane as i64) / k as i64;
-                        set.insert(constellation.sat_at(plane as i64, slot));
-                    }
-                }
-                set
-            }
-            PlacementStrategy::RandomFraction { fraction } => {
-                let count = ((total as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
-                rng.sample_indices(total, count)
-                    .into_iter()
-                    .map(|i| SatIndex(i as u32))
-                    .collect()
-            }
-            PlacementStrategy::RandomCount { count } => rng
-                .sample_indices(total, count as usize)
-                .into_iter()
-                .map(|i| SatIndex(i as u32))
-                .collect(),
-            PlacementStrategy::CoverRadius { hops } => {
-                let ball = grid_ball_size(hops) as usize;
-                let count = (2 * total).div_ceil(ball).max(1);
-                rng.sample_indices(total, count)
-                    .into_iter()
-                    .map(|i| SatIndex(i as u32))
-                    .collect()
-            }
-        }
+        let cfg = constellation.config();
+        strategy_slots(
+            *self,
+            cfg.plane_count as u16,
+            cfg.sats_per_plane as u16,
+            rng,
+        )
+        .into_iter()
+        .map(|(p, s)| constellation.sat_at(p as i64, s as i64))
+        .collect()
+    }
+
+    /// True for strategies that exploit orbital structure (deterministic
+    /// slot geometry) rather than uniform-random sprinkling.
+    pub fn is_orbit_aware(&self) -> bool {
+        matches!(
+            self,
+            PlacementStrategy::PerPlane { .. } | PlacementStrategy::CoverRadius { .. }
+        )
     }
 
     /// Number of copies this strategy will produce on the given
@@ -164,7 +210,292 @@ impl PlacementStrategy {
     }
 }
 
+/// A deterministic, slot-keyed replica placement for one shell.
+///
+/// Copies are stored as `(plane, slot-phase)` keys, one list per catalog
+/// object. The plan owns its seed: building the same plan twice yields the
+/// same bytes, with no caller-supplied RNG to misuse. Because the keys are
+/// orbital positions rather than `SatIndex` values bound to one epoch, the
+/// plan survives `advance_to` unchanged and re-materializes in O(copies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPlan {
+    strategy: PlacementStrategy,
+    seed: u64,
+    plane_count: u16,
+    sats_per_plane: u16,
+    object_slots: Vec<Vec<(u16, u16)>>,
+}
+
+/// Builder for [`PlacementPlan`]. All knobs have defaults; only the
+/// strategy is mandatory.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementPlanBuilder {
+    strategy: PlacementStrategy,
+    seed: u64,
+    copy_budget: usize,
+    per_object_cap: u32,
+}
+
+impl PlacementPlanBuilder {
+    /// Seed for every random draw the plan makes (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Global copy budget split across the catalog by
+    /// [`popularity_copy_allocation`] (default 10 000). Ignored by
+    /// [`build_single`](Self::build_single).
+    #[must_use]
+    pub fn copy_budget(mut self, budget: usize) -> Self {
+        self.copy_budget = budget;
+        self
+    }
+
+    /// Per-object copy cap for the popularity split (default 64).
+    #[must_use]
+    pub fn per_object_cap(mut self, cap: u32) -> Self {
+        self.per_object_cap = cap;
+        self
+    }
+
+    /// Plan for a single object, using the strategy's legacy whole-fleet
+    /// geometry (what the deprecated `place` produced for one object). The
+    /// RNG is derived from the builder seed under a fixed stream label, so
+    /// equal seeds give bit-equal plans.
+    pub fn build_single(self, constellation: &Constellation) -> PlacementPlan {
+        let cfg = constellation.config();
+        let (planes, per_plane) = (cfg.plane_count as u16, cfg.sats_per_plane as u16);
+        let mut rng = DetRng::new(self.seed, "placement/plan");
+        PlacementPlan {
+            strategy: self.strategy,
+            seed: self.seed,
+            plane_count: planes,
+            sats_per_plane: per_plane,
+            object_slots: vec![strategy_slots(self.strategy, planes, per_plane, &mut rng)],
+        }
+    }
+
+    /// Plan for a whole catalog: the copy budget is split over `masses`
+    /// (demand weight per object, any scale) by
+    /// [`popularity_copy_allocation`], then each object's copies are laid
+    /// out by the strategy.
+    ///
+    /// Orbit-aware strategies place an object's `c` copies evenly spaced in
+    /// plane-major slot order with a per-object seeded phase — consecutive
+    /// copies land `total/c` positions apart, i.e. spread across planes the
+    /// way the paper's intra-plane scheme spreads within one. Random
+    /// strategies sample `c` distinct slots per object. Either way each
+    /// object draws from its own derived RNG stream, so plans for different
+    /// catalog sizes agree on their common prefix.
+    pub fn build_for_catalog(self, constellation: &Constellation, masses: &[f64]) -> PlacementPlan {
+        let cfg = constellation.config();
+        let (planes, per_plane) = (cfg.plane_count as u16, cfg.sats_per_plane as u16);
+        let total = planes as usize * per_plane as usize;
+        let alloc = popularity_copy_allocation(masses, self.copy_budget, self.per_object_cap);
+        let mut object_slots = Vec::with_capacity(alloc.len());
+        for (r, &copies) in alloc.iter().enumerate() {
+            let copies = (copies as usize).min(total);
+            if copies == 0 {
+                object_slots.push(Vec::new());
+                continue;
+            }
+            let mut rng = DetRng::new(self.seed, &format!("placement/obj/{r}"));
+            let slots = if self.strategy.is_orbit_aware() {
+                let phase = rng.index(total);
+                (0..copies)
+                    .map(|i| {
+                        let flat = (phase + i * total / copies) % total;
+                        (
+                            (flat / per_plane as usize) as u16,
+                            (flat % per_plane as usize) as u16,
+                        )
+                    })
+                    .collect()
+            } else {
+                sample_slots(total, copies, per_plane as usize, &mut rng)
+            };
+            object_slots.push(slots);
+        }
+        PlacementPlan {
+            strategy: self.strategy,
+            seed: self.seed,
+            plane_count: planes,
+            sats_per_plane: per_plane,
+            object_slots,
+        }
+    }
+}
+
+impl PlacementPlan {
+    /// Start a builder for `strategy`.
+    pub fn builder(strategy: PlacementStrategy) -> PlacementPlanBuilder {
+        PlacementPlanBuilder {
+            strategy,
+            seed: 0,
+            copy_budget: 10_000,
+            per_object_cap: 64,
+        }
+    }
+
+    /// The strategy this plan was built from.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// The seed carried by the plan.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of catalog objects the plan covers.
+    pub fn object_count(&self) -> usize {
+        self.object_slots.len()
+    }
+
+    /// Slot keys holding copies of object `r` (empty past the catalog or
+    /// for zero-copy tail objects).
+    pub fn slots_of(&self, r: usize) -> &[(u16, u16)] {
+        self.object_slots.get(r).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total copies across all objects (duplicates within an object's list
+    /// are possible only for the even-spread layout when `c > total`, which
+    /// the builder clamps away — so this equals the spent budget).
+    pub fn total_copies(&self) -> usize {
+        self.object_slots.iter().map(Vec::len).sum()
+    }
+
+    /// Materialize object `r`'s slot keys to concrete satellites. Cheap:
+    /// one wrap-around index computation per copy.
+    pub fn sats_of(&self, r: usize, constellation: &Constellation) -> Vec<SatIndex> {
+        self.slots_of(r)
+            .iter()
+            .map(|&(p, s)| constellation.sat_at(p as i64, s as i64))
+            .collect()
+    }
+
+    /// Materialize a single-object plan as the set the deprecated
+    /// `place` returned.
+    pub fn materialize(&self, constellation: &Constellation) -> BTreeSet<SatIndex> {
+        self.sats_of(0, constellation).into_iter().collect()
+    }
+}
+
+/// A parseable placement configuration: strategy plus budget/cap plus the
+/// engine-integration toggles. This is the value carried by
+/// `TrafficConfig::placement`, `Scenario::placement`, the
+/// `SPACECDN_PLACEMENT` env knob, and the serve-protocol `place` op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementSpec {
+    /// Copy geometry.
+    pub strategy: PlacementStrategy,
+    /// Global copy budget split by popularity.
+    pub copy_budget: usize,
+    /// Per-object copy cap.
+    pub per_object_cap: u32,
+    /// Probe the four +Grid neighbors' caches before the escalation ladder.
+    pub cooperative: bool,
+    /// Route misses through the tiered ground `CacheHierarchy` instead of a
+    /// flat fallback RTT.
+    pub ground_tiers: bool,
+}
+
+impl PlacementSpec {
+    /// Spec with default budget (10 000), cap (64), and both engine
+    /// toggles off.
+    pub fn new(strategy: PlacementStrategy) -> PlacementSpec {
+        PlacementSpec {
+            strategy,
+            copy_budget: 10_000,
+            per_object_cap: 64,
+            cooperative: false,
+            ground_tiers: false,
+        }
+    }
+
+    /// Parse a colon-separated spec: a strategy token (`perplane-K`,
+    /// `frac-F`, `rand-N`, `cover-H`) optionally followed by `budget-N`,
+    /// `cap-N`, `coop`, and `tiers` in any order. Returns `None` on any
+    /// unknown or malformed token. `parse(s.name())` round-trips.
+    pub fn parse(s: &str) -> Option<PlacementSpec> {
+        let mut parts = s.trim().split(':');
+        let strategy = match parts.next()?.trim() {
+            t if t.starts_with("perplane-") => PlacementStrategy::PerPlane {
+                k: t["perplane-".len()..].parse().ok()?,
+            },
+            t if t.starts_with("frac-") => {
+                let fraction: f64 = t["frac-".len()..].parse().ok()?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return None;
+                }
+                PlacementStrategy::RandomFraction { fraction }
+            }
+            t if t.starts_with("rand-") => PlacementStrategy::RandomCount {
+                count: t["rand-".len()..].parse().ok()?,
+            },
+            t if t.starts_with("cover-") => PlacementStrategy::CoverRadius {
+                hops: t["cover-".len()..].parse().ok()?,
+            },
+            _ => return None,
+        };
+        let mut spec = PlacementSpec::new(strategy);
+        for tok in parts {
+            match tok.trim() {
+                "coop" => spec.cooperative = true,
+                "tiers" => spec.ground_tiers = true,
+                t if t.starts_with("budget-") => {
+                    spec.copy_budget = t["budget-".len()..].parse().ok()?;
+                }
+                t if t.starts_with("cap-") => {
+                    spec.per_object_cap = t["cap-".len()..].parse().ok()?;
+                }
+                _ => return None,
+            }
+        }
+        Some(spec)
+    }
+
+    /// Canonical token form: strategy, budget, cap, then flags — the fixed
+    /// order the serve protocol journals.
+    pub fn name(&self) -> String {
+        let strat = match self.strategy {
+            PlacementStrategy::PerPlane { k } => format!("perplane-{k}"),
+            PlacementStrategy::RandomFraction { fraction } => format!("frac-{fraction}"),
+            PlacementStrategy::RandomCount { count } => format!("rand-{count}"),
+            PlacementStrategy::CoverRadius { hops } => format!("cover-{hops}"),
+        };
+        let mut name = format!(
+            "{strat}:budget-{}:cap-{}",
+            self.copy_budget, self.per_object_cap
+        );
+        if self.cooperative {
+            name.push_str(":coop");
+        }
+        if self.ground_tiers {
+            name.push_str(":tiers");
+        }
+        name
+    }
+
+    /// Read `SPACECDN_PLACEMENT`. Unset, empty, or `off` means no
+    /// placement; anything else must parse or we panic loudly rather than
+    /// silently simulate the wrong scenario.
+    pub fn from_env() -> Option<PlacementSpec> {
+        match std::env::var("SPACECDN_PLACEMENT") {
+            Ok(v) if v.is_empty() || v == "off" => None,
+            Ok(v) => Some(
+                PlacementSpec::parse(&v)
+                    .unwrap_or_else(|| panic!("SPACECDN_PLACEMENT: unparseable spec {v:?}")),
+            ),
+            Err(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the shim's bit-identity proof must call the shim
 mod tests {
     use super::*;
     use spacecdn_orbit::shell::shells;
@@ -294,6 +625,117 @@ mod tests {
         let set = PlacementStrategy::CoverRadius { hops: 3 }.place(&c, &mut rng);
         for s in set {
             assert!((s.as_usize()) < c.len());
+        }
+    }
+
+    /// The deprecated shim and the seed-carrying plan builder are
+    /// bit-identical when fed the same RNG stream: the plan is the shim's
+    /// kernel plus a slot→sat re-materialization step.
+    #[test]
+    fn plan_build_single_bit_identical_to_deprecated_place() {
+        let c = shell1();
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            for strat in [
+                PlacementStrategy::PerPlane { k: 4 },
+                PlacementStrategy::RandomFraction { fraction: 0.3 },
+                PlacementStrategy::RandomCount { count: 64 },
+                PlacementStrategy::CoverRadius { hops: 5 },
+            ] {
+                let old = strat.place(&c, &mut DetRng::new(seed, "placement/plan"));
+                let plan = PlacementPlan::builder(strat).seed(seed).build_single(&c);
+                assert_eq!(plan.materialize(&c), old, "{strat:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_slot_keyed_and_epoch_stable() {
+        let c = shell1();
+        let plan = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+            .seed(11)
+            .build_single(&c);
+        // Slot keys materialize through sat_at, so every copy's (plane,
+        // slot) round-trips.
+        for &(p, s) in plan.slots_of(0) {
+            let sat = c.sat_at(p as i64, s as i64);
+            assert_eq!(c.plane_of(sat) as u16, p);
+            assert_eq!(c.slot_of(sat) as u16, s);
+        }
+        // Rebuilding from the carried seed is reproducible.
+        let again = PlacementPlan::builder(plan.strategy())
+            .seed(plan.seed())
+            .build_single(&c);
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn catalog_plan_spends_popularity_budget() {
+        let c = shell1();
+        let masses: Vec<f64> = (0..40).map(|r| 1.0 / (r + 1) as f64).collect();
+        let plan = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+            .seed(3)
+            .copy_budget(200)
+            .per_object_cap(32)
+            .build_for_catalog(&c, &masses);
+        assert_eq!(plan.object_count(), 40);
+        assert_eq!(plan.total_copies(), 200);
+        // Head objects get more copies than the tail.
+        assert!(plan.slots_of(0).len() > plan.slots_of(39).len());
+        assert!(plan.slots_of(0).len() <= 32);
+        // Orbit-aware layout: distinct, evenly spread copies.
+        let head: BTreeSet<_> = plan.slots_of(0).iter().collect();
+        assert_eq!(head.len(), plan.slots_of(0).len(), "no duplicate slots");
+    }
+
+    #[test]
+    fn catalog_plan_random_strategy_samples_distinct_slots() {
+        let c = shell1();
+        let masses = [4.0, 2.0, 1.0];
+        let plan = PlacementPlan::builder(PlacementStrategy::RandomCount { count: 8 })
+            .seed(5)
+            .copy_budget(21)
+            .per_object_cap(12)
+            .build_for_catalog(&c, &masses);
+        assert_eq!(plan.total_copies(), 21);
+        for r in 0..3 {
+            let distinct: BTreeSet<_> = plan.slots_of(r).iter().collect();
+            assert_eq!(distinct.len(), plan.slots_of(r).len(), "object {r}");
+        }
+    }
+
+    #[test]
+    fn spec_parse_name_roundtrip() {
+        for s in [
+            "perplane-4:budget-10000:cap-64",
+            "frac-0.25:budget-500:cap-8:coop",
+            "rand-64:budget-10000:cap-64:coop:tiers",
+            "cover-5:budget-2000:cap-16:tiers",
+        ] {
+            let spec = PlacementSpec::parse(s).expect(s);
+            assert_eq!(spec.name(), s, "canonical form is the fixed order");
+            assert_eq!(PlacementSpec::parse(&spec.name()), Some(spec));
+        }
+        // Defaults fill in for omitted tokens.
+        let spec = PlacementSpec::parse("perplane-2").unwrap();
+        assert_eq!(spec.copy_budget, 10_000);
+        assert_eq!(spec.per_object_cap, 64);
+        assert!(!spec.cooperative && !spec.ground_tiers);
+    }
+
+    #[test]
+    fn spec_parse_rejects_garbage() {
+        for s in [
+            "",
+            "lru",
+            "perplane-",
+            "perplane-x",
+            "frac-1.5",
+            "frac--0.1",
+            "rand-3:bogus",
+            "cover-2:budget-",
+            "perplane-4:coop:wat",
+        ] {
+            assert_eq!(PlacementSpec::parse(s), None, "{s:?}");
         }
     }
 }

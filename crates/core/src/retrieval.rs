@@ -65,6 +65,19 @@ pub fn space_segment_cost(access: &AccessModel, dist_km: f64, route_hops: u32) -
         + access.isl_processing(route_hops as usize)
 }
 
+/// Round-trip cost of a cooperative probe to a directly-linked +Grid
+/// neighbor: two-way vacuum propagation over the single ISL edge, with
+/// *no* per-hop switching charge — the overhead satellite already holds
+/// its neighbors' cache digests, so the fetch skips route setup and store
+/// -and-forward processing. This is what makes a cooperative hit strictly
+/// cheaper than the same satellite reached through the rung-1 escalation
+/// ladder. Shared by the traffic engine and the placement oracle so the
+/// cost model cannot drift.
+#[inline]
+pub fn neighbor_probe_cost(edge_km: f64) -> Latency {
+    propagation_delay(Km(edge_km), Medium::Vacuum).round_trip()
+}
+
 /// Where a request was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetrievalSource {

@@ -16,6 +16,7 @@
 //! randomized shells, schedules, and epochs.
 
 use crate::network::LsnNetwork;
+use crate::placement::PlacementSpec;
 use crate::retrieval::{FetchResult, RetrievalRequest};
 use spacecdn_content::policy::PolicyKind;
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
@@ -47,6 +48,7 @@ pub struct Scenario {
     ground_fallback_rtt: Latency,
     graceful: bool,
     cache_policy: PolicyKind,
+    placement: Option<PlacementSpec>,
 }
 
 /// Builder for [`Scenario`] (see [`Scenario::builder`]).
@@ -58,6 +60,7 @@ pub struct ScenarioBuilder {
     ground_fallback_rtt: Latency,
     graceful: bool,
     cache_policy: PolicyKind,
+    placement: Option<PlacementSpec>,
     start: SimTime,
 }
 
@@ -113,6 +116,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Default replica-placement spec for traffic campaigns run over this
+    /// session (default: the `SPACECDN_PLACEMENT` knob; `None` disables
+    /// pinned placement).
+    #[must_use]
+    pub fn placement(mut self, spec: Option<PlacementSpec>) -> Self {
+        self.placement = spec;
+        self
+    }
+
     /// Epoch the session opens at (default: [`SimTime::EPOCH`]).
     #[must_use]
     pub fn start_at(mut self, t: SimTime) -> Self {
@@ -136,6 +148,7 @@ impl ScenarioBuilder {
             ground_fallback_rtt: self.ground_fallback_rtt,
             graceful: self.graceful,
             cache_policy: self.cache_policy,
+            placement: self.placement,
         }
     }
 }
@@ -151,6 +164,7 @@ impl Scenario {
             ground_fallback_rtt: Latency::from_ms(160.0),
             graceful: true,
             cache_policy: PolicyKind::from_env(),
+            placement: PlacementSpec::from_env(),
             start: SimTime::EPOCH,
         }
     }
@@ -295,6 +309,23 @@ impl Scenario {
         self.cache_policy = policy;
     }
 
+    /// The session's default replica-placement spec (consumed by traffic
+    /// campaigns building a [`crate::traffic::TrafficConfig`]). `None`
+    /// means no pinned placement — pure pull-through caching.
+    pub fn placement(&self) -> Option<&PlacementSpec> {
+        self.placement.as_ref()
+    }
+
+    /// Swap the default placement spec mid-session: subsequent traffic
+    /// bursts rebuild their pinned replica plans under the new spec
+    /// (pinned copies are per-burst, like cache contents, so no live
+    /// migration is involved). This is the `spacecdn-serve` `place`
+    /// mutation hook.
+    pub fn set_placement(&mut self, spec: Option<PlacementSpec>) {
+        SCENARIO_MUTATIONS.incr();
+        self.placement = spec;
+    }
+
     /// A request pre-filled with the session's default policy, ready for
     /// per-call overrides before [`Scenario::fetch`].
     pub fn request(&self, user: Geodetic) -> RetrievalRequest {
@@ -320,7 +351,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::PlacementStrategy;
+    use crate::placement::{PlacementPlan, PlacementStrategy};
     use crate::retrieval::RetrievalSource;
     use spacecdn_geo::SimDuration;
     use spacecdn_lsn::{AccessModel, FaultPlan, IslGraph};
@@ -477,12 +508,27 @@ mod tests {
         let net = small_net();
         let mut sc = Scenario::builder(net).build();
         assert!(sc.copies().is_empty());
-        let mut rng = DetRng::new(3, "scenario/place");
-        let placed =
-            PlacementStrategy::PerPlane { k: 1 }.place(sc.network().constellation(), &mut rng);
+        let placed = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 1 })
+            .seed(3)
+            .build_single(sc.network().constellation())
+            .materialize(sc.network().constellation());
         sc.set_copies(placed.clone());
         assert_eq!(sc.copies(), &placed);
         sc.copies_mut().clear();
         assert!(sc.copies().is_empty());
+    }
+
+    #[test]
+    fn placement_setter_mirrors_builder_default() {
+        let spec = PlacementSpec::parse("perplane-2:budget-64:coop").unwrap();
+        let via_builder = Scenario::builder(small_net()).placement(Some(spec)).build();
+        assert_eq!(via_builder.placement(), Some(&spec));
+
+        let mut sc = Scenario::builder(small_net()).placement(None).build();
+        assert_eq!(sc.placement(), None);
+        sc.set_placement(Some(spec));
+        assert_eq!(sc.placement(), Some(&spec));
+        sc.set_placement(None);
+        assert_eq!(sc.placement(), None);
     }
 }

@@ -49,9 +49,11 @@
 //! for the full constellation, proven by `tests/determinism.rs`.
 
 use crate::duty_cycle::DutyCycler;
-use crate::retrieval::space_segment_cost;
+use crate::placement::{PlacementPlan, PlacementSpec};
+use crate::retrieval::{neighbor_probe_cost, space_segment_cost};
 use crate::scenario::Scenario;
 use spacecdn_content::catalog::{Catalog, ContentId};
+use spacecdn_content::hierarchy::{CacheHierarchy, ServedBy, TierLatencies};
 use spacecdn_content::policy::PolicyFleet;
 pub use spacecdn_content::policy::PolicyKind;
 use spacecdn_content::popularity::ZipfSampler;
@@ -72,6 +74,8 @@ use std::sync::Arc;
 static REQUESTS: LazyCounter = LazyCounter::stable("core.traffic.requests");
 static HITS_OVERHEAD: LazyCounter = LazyCounter::stable("core.traffic.hits.overhead");
 static HITS_ISL: LazyCounter = LazyCounter::stable("core.traffic.hits.isl");
+static HITS_PINNED: LazyCounter = LazyCounter::stable("core.traffic.hits.pinned");
+static HITS_NEIGHBOR: LazyCounter = LazyCounter::stable("core.traffic.hits.neighbor");
 static ORIGIN_FETCHES: LazyCounter = LazyCounter::stable("core.traffic.origin_fetches");
 static DEAD_ZONES: LazyCounter = LazyCounter::stable("core.traffic.dead_zones");
 static INSERTS: LazyCounter = LazyCounter::stable("core.traffic.inserts");
@@ -99,6 +103,14 @@ static BATCH_REQUESTS: LazyHistogram =
 /// deterministic and slots are visited in slot order).
 static CACHE_OCCUPANCY: LazyHistogram =
     LazyHistogram::stable("core.traffic.cache.occupancy_bytes", Unit::Bytes);
+
+/// Ground-hierarchy sizing for the tiered fallback (placement spec
+/// `tiers`): a handful of metro edges under one regional, the classic §2
+/// tree. Capacities are per run and split across streams like the
+/// satellite caches, so the partition is workload-invariant.
+const GROUND_EDGES: usize = 8;
+const GROUND_EDGE_BYTES: u64 = 16 << 30;
+const GROUND_REGIONAL_BYTES: u64 = 256 << 30;
 
 /// One demand source: a population point issuing requests.
 #[derive(Debug, Clone)]
@@ -149,6 +161,12 @@ pub struct TrafficConfig {
     pub duty_slot: SimDuration,
     /// Hop-budget escalation ladder for every fetch.
     pub escalation: Vec<u32>,
+    /// Orbit-aware replica placement: when set, a slot-keyed
+    /// [`PlacementPlan`] pre-seeds pinned copies across the shells,
+    /// optionally with cooperative +Grid neighbor lookup and a tiered
+    /// ground fallback (see [`PlacementSpec`]). Defaults to the
+    /// `SPACECDN_PLACEMENT` environment knob (`None` when unset).
+    pub placement: Option<PlacementSpec>,
     /// Experiment seed.
     pub seed: u64,
     /// Virtual instant the run opens at: epochs freeze at
@@ -174,6 +192,7 @@ impl Default for TrafficConfig {
             duty_fraction: 1.0,
             duty_slot: SimDuration::from_mins(10),
             escalation: vec![1, 3, 5, 10],
+            placement: PlacementSpec::from_env(),
             seed: 42,
             start: SimTime::EPOCH,
         }
@@ -212,6 +231,26 @@ pub struct TrafficReport {
     pub ttl_expiries: u64,
     /// Objects wiped because their satellite failed at an epoch boundary.
     pub invalidations: u64,
+    /// Requests served from a plan-pinned replica (a subset of
+    /// `overhead_hits + isl_hits`; zero without placement).
+    pub pinned_hits: u64,
+    /// Requests served by the cooperative +Grid neighbor rung (a subset
+    /// of `isl_hits`; zero unless the placement spec enables `coop`).
+    pub neighbor_hits: u64,
+    /// Ground fetches absorbed by the hierarchy's edge tier (only when
+    /// the placement spec enables `tiers`).
+    pub ground_edge_hits: u64,
+    /// Ground fetches absorbed by the regional tier.
+    pub ground_regional_hits: u64,
+    /// Ground fetches that went all the way to the origin over the WAN.
+    pub ground_origin_hits: u64,
+    /// Order-dependent FNV-1a fold of every request's decision tuple —
+    /// (source, serving slot or `u32::MAX`, hops or `u32::MAX`, served
+    /// RTT bits) — in arrival order per shard, combined in shard order.
+    /// One u64 pins the full per-request decision trace for the
+    /// differential oracle and the determinism suite without retaining
+    /// per-request samples.
+    pub decision_digest: u64,
     /// Bytes served from satellite caches.
     pub served_bytes: u64,
     /// Bytes fetched from the terrestrial origin.
@@ -257,6 +296,14 @@ impl TrafficReport {
         self.evictions += other.evictions;
         self.ttl_expiries += other.ttl_expiries;
         self.invalidations += other.invalidations;
+        self.pinned_hits += other.pinned_hits;
+        self.neighbor_hits += other.neighbor_hits;
+        self.ground_edge_hits += other.ground_edge_hits;
+        self.ground_regional_hits += other.ground_regional_hits;
+        self.ground_origin_hits += other.ground_origin_hits;
+        // Order-dependent: shard reduction and burst accumulation both
+        // merge in a fixed order, so the combined digest stays pinned.
+        self.decision_digest = self.decision_digest.rotate_left(17) ^ other.decision_digest;
         self.served_bytes += other.served_bytes;
         self.origin_bytes += other.origin_bytes;
         self.latencies.merge(&other.latencies);
@@ -381,6 +428,27 @@ impl EventStream for ArrivalStream<'_> {
     }
 }
 
+/// Marks a memoized serving candidate as a plan-pinned replica (bit 31 of
+/// the stored global slot — slot counts stay far below 2³¹). Pinned
+/// copies live outside the policy fleet, so the serve path must not
+/// consult (or debug-assert against) the fleet for them.
+const PIN_FLAG: u32 = 1 << 31;
+
+/// FNV-1a fold of one request's decision tuple into the running digest.
+/// Cheap enough for the ≥1M req/s hot path (four xor-multiplies).
+#[inline]
+fn fold_decision(digest: &mut u64, source: u32, slot: u32, hops: u32, rtt: Latency) {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = *digest;
+    for w in [source as u64, slot as u64, hops as u64, rtt.ms().to_bits()] {
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    *digest = h;
+}
+
+/// FNV-1a offset basis: each shard's digest starts here.
+const DIGEST_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// Per-shell retrieval geometry of one (source, epoch) batch: the
 /// overhead satellite (as a global slot), its user-link propagation
 /// round trip, and the routing tables rooted at it.
@@ -388,6 +456,11 @@ struct ShellCtx {
     overhead_slot: u32,
     user_prop: Latency,
     tables: Arc<SourceTables>,
+    /// Cooperative-lookup targets: the overhead satellite's live +Grid
+    /// neighbors as (global slot, full probe RTT = user link + two-way
+    /// edge propagation, no switching charge). Empty unless the placement
+    /// spec enables `coop`. At most four entries, scanned linearly.
+    neighbors: Vec<(u32, Latency)>,
 }
 
 /// Memoized candidate scan for one (source, rank): the best base RTT
@@ -430,6 +503,22 @@ struct ShardWorld<'a> {
     /// Maintained eagerly: pruned on eviction, TTL lapse, and epoch
     /// invalidation, so the serve-path scan needs no freshness probes.
     holders: Vec<Vec<u32>>,
+    /// Shard-local rank → plan-pinned replica slots. Pinned copies live
+    /// outside the policy fleet: they never evict, never expire, and
+    /// survive outages (a dead pinned satellite is simply unreachable —
+    /// its routing-table hops are `u32::MAX` — until it returns). Folded
+    /// into a memo only on rebuild, since the lists never change.
+    pinned: Vec<Vec<u32>>,
+    /// Cooperative +Grid neighbor lookup enabled (placement spec `coop`).
+    coop: bool,
+    /// Tiered ground fallback (placement spec `tiers`): misses route
+    /// through a per-shard [`CacheHierarchy`] and pay the tier surcharge
+    /// on top of the source's flat fallback RTT.
+    ground: Option<CacheHierarchy>,
+    /// Latency surcharge over the flat fallback per serving tier
+    /// (edge, regional, origin): the edge tier is the PoP the flat
+    /// fallback already models, deeper tiers add their extra round trips.
+    tier_surcharge: [Latency; 3],
     /// Per-rank count of holder *removals* (evictions, TTL lapses,
     /// invalidations), starting at 1; appends are tracked by list length
     /// instead, so scan memos survive them (see [`RankMemo`]).
@@ -479,6 +568,7 @@ struct ShardWorld<'a> {
     // Shard demand model.
     shard_ids: &'a [ContentId],
     sizes: &'a [u64],
+    catalog: &'a Catalog,
     // Shared read-only context.
     graphs: &'a [Vec<Arc<IslGraph>>],
     shell_offsets: &'a [u32],
@@ -523,6 +613,32 @@ impl ShardWorld<'_> {
         }
     }
 
+    /// Resolve a ground-served request: flat fallback RTT, plus the tier
+    /// surcharge when the hierarchy fallback is enabled. Requests enter
+    /// the hierarchy at the edge their source maps to (`si` mod edges),
+    /// warming it by pull-through like any terrestrial CDN.
+    fn ground_latency(&mut self, si: usize, content: ContentId, fallback: Latency) -> Latency {
+        let Some(ground) = self.ground.as_mut() else {
+            return fallback;
+        };
+        let outcome = ground.request(si, content, self.catalog);
+        let tier = match outcome.served_by {
+            ServedBy::Edge => {
+                self.report.ground_edge_hits += 1;
+                0
+            }
+            ServedBy::Regional => {
+                self.report.ground_regional_hits += 1;
+                1
+            }
+            ServedBy::Origin => {
+                self.report.ground_origin_hits += 1;
+                2
+            }
+        };
+        fallback + self.tier_surcharge[tier]
+    }
+
     /// Resolve the retrieval geometry of `source` at the current epoch.
     fn build_ctx(&self, si: usize, gen: u32) -> BatchCtx {
         let pos = self.sources[si].position;
@@ -536,10 +652,29 @@ impl ShardWorld<'_> {
                     if fill.is_none_or(|(_, s)| slant.0 < s) {
                         fill = Some((slot, slant.0));
                     }
+                    let user_prop = propagation_delay(slant, Medium::Vacuum).round_trip();
+                    // Cooperative probe targets: the CSR row already
+                    // excludes dead neighbors and failed links, so every
+                    // entry is a live one-hop fetch.
+                    let neighbors = if self.coop {
+                        let (row, kms) = graph.neighbor_row(sat.0);
+                        row.iter()
+                            .zip(kms)
+                            .map(|(&nb, &km)| {
+                                (
+                                    self.shell_offsets[k] + nb,
+                                    user_prop + neighbor_probe_cost(km),
+                                )
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
                     shells.push(Some(ShellCtx {
                         overhead_slot: slot,
-                        user_prop: propagation_delay(slant, Medium::Vacuum).round_trip(),
+                        user_prop,
                         tables: graph.routing_tables(sat),
+                        neighbors,
                     }));
                 }
                 None => shells.push(None),
@@ -577,12 +712,21 @@ impl ShardWorld<'_> {
 
         if ctx.fill.is_none() {
             // Total dead zone: no shell has a visible satellite. Ground
-            // serve at the fallback RTT, no jitter draw.
+            // serve at the fallback RTT (tiered when enabled), no jitter
+            // draw.
             self.report.origin_fetches += 1;
             self.report.dead_zones += 1;
             self.report.origin_bytes += size;
-            self.report.latencies.add_latency(fallback);
-            self.latency_local.record((fallback.ms() * 1000.0) as u64);
+            let latency = self.ground_latency(si, content, fallback);
+            fold_decision(
+                &mut self.report.decision_digest,
+                a.source,
+                u32::MAX,
+                u32::MAX,
+                latency,
+            );
+            self.report.latencies.add_latency(latency);
+            self.latency_local.record((latency.ms() * 1000.0) as u64);
             self.ctxs[si] = Some(ctx);
             return;
         }
@@ -599,24 +743,37 @@ impl ShardWorld<'_> {
         // holder list changes under this batch, which Zipf demand makes
         // rare exactly where requests concentrate.
         let ladder = &self.cfg.escalation;
+        // With cooperative lookup on, rung 0 probes the overhead
+        // satellite and its four +Grid neighbors (at digest-probe cost,
+        // cheaper than the same hop through the ladder) *before* the
+        // hop-budget escalation ladder, which follows shifted by one.
+        let rungs0 = self.coop as usize;
         let hs = &self.holders[rank];
         let memo = &mut self.memo[si * self.shard_ids.len() + rank];
-        if memo.gen != ctx.gen || memo.removals != self.holder_removals[rank] {
+        let rebuilt = memo.gen != ctx.gen || memo.removals != self.holder_removals[rank];
+        if rebuilt {
             memo.bests.clear();
-            memo.bests.resize(ladder.len(), None);
+            memo.bests.resize(rungs0 + ladder.len(), None);
             memo.gen = ctx.gen;
             memo.removals = self.holder_removals[rank];
             memo.seen = 0;
         }
-        if (memo.seen as usize) < hs.len() {
-            // Fold unseen holders into the per-rung bests, in list order.
-            // `bests` is non-increasing in RTT across rungs (wider
-            // budgets admit supersets), so a candidate cascades upward
-            // until it stops improving; strict `<` keeps the earliest
-            // candidate on exact ties, making the scan order part of the
+        if rebuilt || (memo.seen as usize) < hs.len() {
+            // Fold candidates into the per-rung bests, in list order:
+            // plan-pinned replicas first (only on a rebuild — their list
+            // never changes, so a surviving memo already folded them),
+            // then the unseen dynamic-holder tail. `bests` is
+            // non-increasing in RTT across ladder rungs (wider budgets
+            // admit supersets), so a candidate cascades upward until it
+            // stops improving; strict `<` keeps the earliest candidate
+            // on exact ties, making the scan order part of the
             // deterministic contract. Folding the tail of an unchanged
             // prefix is exactly a full scan of the whole list.
-            for &g in &hs[memo.seen as usize..] {
+            let pinned_part: &[u32] = if rebuilt { &self.pinned[rank] } else { &[] };
+            let tail = &hs[memo.seen as usize..];
+            for (i, &g) in pinned_part.iter().chain(tail.iter()).enumerate() {
+                let is_pinned = i < pinned_part.len();
+                let gstore = if is_pinned { g | PIN_FLAG } else { g };
                 let dense = self.dense_of[g as usize] as usize;
                 debug_assert_ne!(dense, u16::MAX as usize, "holder without a dense id");
                 let cached = &mut self.slot_cost[si * self.dense_cap + dense];
@@ -641,13 +798,34 @@ impl ShardWorld<'_> {
                 if hops == u32::MAX {
                     continue;
                 }
+                if rungs0 == 1 {
+                    // Cooperative rung: overhead at its ladder cost, a
+                    // +Grid neighbor at probe cost (no switching charge).
+                    let cand = if hops == 0 {
+                        Some((rtt, 0u32))
+                    } else {
+                        let shell = self.shell_of[g as usize] as usize;
+                        ctx.shells[shell].as_ref().and_then(|sc| {
+                            sc.neighbors
+                                .iter()
+                                .find(|&&(n, _)| n == g)
+                                .map(|&(_, probe)| (probe, 1))
+                        })
+                    };
+                    if let Some((crtt, chops)) = cand {
+                        match memo.bests[0] {
+                            Some((brtt, _, _)) if crtt >= brtt => {}
+                            _ => memo.bests[0] = Some((crtt, chops, gstore)),
+                        }
+                    }
+                }
                 let Some(j0) = ladder.iter().position(|&budget| hops <= budget) else {
                     continue;
                 };
-                for j in j0..ladder.len() {
+                for j in (rungs0 + j0)..memo.bests.len() {
                     match memo.bests[j] {
                         Some((brtt, _, _)) if rtt >= brtt => break,
-                        _ => memo.bests[j] = Some((rtt, hops, g)),
+                        _ => memo.bests[j] = Some((rtt, hops, gstore)),
                     }
                 }
             }
@@ -655,18 +833,29 @@ impl ShardWorld<'_> {
         }
 
         // Serve at the first rung whose best beats the bent pipe —
-        // exactly the resilient escalation ladder, collapsed to one scan.
+        // exactly the resilient escalation ladder, collapsed to one scan
+        // (with the cooperative neighborhood probed first when enabled).
         let served = memo
             .bests
             .iter()
-            .flatten()
-            .map(|&(base, hops, g)| (base + jitter, hops, g))
-            .find(|&(rtt, _, _)| rtt <= fallback);
+            .enumerate()
+            .filter_map(|(j, b)| b.map(|(base, hops, g)| (j, base + jitter, hops, g)))
+            .find(|&(_, rtt, _, _)| rtt <= fallback);
 
         let latency = match served {
-            Some((rtt, hops, slot)) => {
-                let hit = self.fleet.get(slot, content);
-                debug_assert!(hit, "holder index out of sync with the fleet");
+            Some((rung, rtt, hops, gstore)) => {
+                let slot = gstore & !PIN_FLAG;
+                if gstore & PIN_FLAG != 0 {
+                    // Pinned replicas live outside the policy fleet: no
+                    // lookup, no recency touch, nothing to evict.
+                    self.report.pinned_hits += 1;
+                } else {
+                    let hit = self.fleet.get(slot, content);
+                    debug_assert!(hit, "holder index out of sync with the fleet");
+                }
+                if rungs0 == 1 && rung == 0 && hops == 1 {
+                    self.report.neighbor_hits += 1;
+                }
 
                 let shell = self.shell_of[slot as usize] as usize;
                 if hops == 0 {
@@ -682,6 +871,7 @@ impl ShardWorld<'_> {
                     self.report.hop_histogram[h] += 1;
                 }
                 self.report.served_bytes += size;
+                fold_decision(&mut self.report.decision_digest, a.source, slot, hops, rtt);
                 rtt
             }
             None => {
@@ -689,9 +879,11 @@ impl ShardWorld<'_> {
                 self.report.origin_bytes += size;
                 // Pull-through fill: the lowest-slant overhead satellite
                 // caches the object on the way down — when the duty
-                // cycle lets it.
+                // cycle lets it, and unless the plan already pins this
+                // object there (a pinned copy never needs a dynamic
+                // shadow).
                 let fill = ctx.fill.expect("non-dead-zone batch has a fill target");
-                if self.duty.is_active(SatIndex(fill), t) {
+                if self.duty.is_active(SatIndex(fill), t) && !self.pinned[rank].contains(&fill) {
                     self.dropped.clear();
                     if self
                         .fleet
@@ -721,7 +913,15 @@ impl ShardWorld<'_> {
                         );
                     }
                 }
-                fallback
+                let latency = self.ground_latency(si, content, fallback);
+                fold_decision(
+                    &mut self.report.decision_digest,
+                    a.source,
+                    u32::MAX,
+                    u32::MAX,
+                    latency,
+                );
+                latency
             }
         };
 
@@ -848,6 +1048,71 @@ pub fn run_traffic_multishell(
     let mut by_rank: Vec<ContentId> = catalog.objects().iter().map(|o| o.id).collect();
     DetRng::new(cfg.seed, "traffic/ranks").shuffle(&mut by_rank);
 
+    // Orbit-aware placement: one slot-keyed plan per shell, materialized
+    // to pinned global slots per popularity rank. An object belongs to
+    // shell `rank % shells`; the copy budget is split across shells in
+    // proportion to their demand mass (largest remainder, deterministic
+    // ties by shell index), so equal budgets stay comparable across shell
+    // counts. Built once on the calling thread and shared read-only.
+    let pinned_global: Vec<Vec<u32>> = if let Some(spec) = &cfg.placement {
+        let mass: Vec<f64> = (0..cfg.catalog_size)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_alpha))
+            .collect();
+        let shell_mass: Vec<f64> = (0..shells)
+            .map(|k| mass.iter().skip(k).step_by(shells).sum())
+            .collect();
+        let total_mass: f64 = shell_mass.iter().sum();
+        let share = |k: usize| spec.copy_budget as f64 * shell_mass[k] / total_mass;
+        let mut budgets: Vec<usize> = (0..shells).map(|k| share(k).floor() as usize).collect();
+        let mut left = spec.copy_budget.saturating_sub(budgets.iter().sum());
+        let mut order: Vec<usize> = (0..shells).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (share(a) - share(a).floor(), share(b) - share(b).floor());
+            fb.partial_cmp(&fa).expect("finite shares").then(a.cmp(&b))
+        });
+        for k in order {
+            if left == 0 {
+                break;
+            }
+            budgets[k] += 1;
+            left -= 1;
+        }
+        let mut pinned: Vec<Vec<u32>> = vec![Vec::new(); cfg.catalog_size];
+        for (k, sc) in scenarios.iter().enumerate() {
+            let constellation = sc.network().constellation();
+            let mut shell_masses = vec![0.0; cfg.catalog_size];
+            for r in (k..cfg.catalog_size).step_by(shells) {
+                shell_masses[r] = mass[r];
+            }
+            let plan = PlacementPlan::builder(spec.strategy)
+                .seed(cfg.seed)
+                .copy_budget(budgets[k])
+                .per_object_cap(spec.per_object_cap)
+                .build_for_catalog(constellation, &shell_masses);
+            for r in (k..cfg.catalog_size).step_by(shells) {
+                let mut slots: Vec<u32> = plan
+                    .sats_of(r, constellation)
+                    .into_iter()
+                    .map(|sat| shell_offsets[k] + sat.0)
+                    .collect();
+                slots.sort_unstable();
+                slots.dedup();
+                pinned[r] = slots;
+            }
+        }
+        pinned
+    } else {
+        Vec::new()
+    };
+    let coop = cfg.placement.as_ref().is_some_and(|s| s.cooperative);
+    let ground_tiers = cfg.placement.as_ref().is_some_and(|s| s.ground_tiers);
+    let tier_latencies = TierLatencies::typical();
+    let tier_surcharge = [
+        Latency::ZERO,
+        tier_latencies.edge_to_regional,
+        tier_latencies.edge_to_regional + tier_latencies.regional_to_origin,
+    ];
+
     let weight_cdf: Vec<u64> = sources
         .iter()
         .scan(0u64, |acc, s| {
@@ -881,26 +1146,60 @@ pub fn run_traffic_multishell(
         let quota = cfg.requests / cfg.streams as u64
             + u64::from((s as u64) < cfg.requests % cfg.streams as u64);
 
+        // This shard's slice of the pinned plan, in shard-rank order, and
+        // dense candidate ids pre-assigned to every distinct pinned slot
+        // (pinned replicas are serving candidates from request one, before
+        // any pull-through fill would have minted their ids).
+        let pinned: Vec<Vec<u32>> = if pinned_global.is_empty() {
+            vec![Vec::new(); shard_ids.len()]
+        } else {
+            ranks.iter().map(|&r| pinned_global[r].clone()).collect()
+        };
+        let mut dense_of = vec![u16::MAX; total_sats as usize];
+        let mut next_dense: u16 = 0;
+        for list in &pinned {
+            for &g in list {
+                if dense_of[g as usize] == u16::MAX {
+                    dense_of[g as usize] = next_dense;
+                    next_dense += 1;
+                }
+            }
+        }
+        let dense_cap = sources.len() * cfg.epochs + next_dense as usize;
+        assert!(
+            dense_cap < u16::MAX as usize,
+            "dense candidate ids must fit u16"
+        );
+
         let mut world = ShardWorld {
             service_rng: DetRng::new(cfg.seed, &format!("traffic/service/{s}")),
             fleet: PolicyFleet::new(cfg.policy, total_sats as usize, cache_bytes, cfg.ttl),
             holders: vec![Vec::new(); shard_ids.len()],
+            pinned,
+            coop,
+            ground: ground_tiers.then(|| {
+                CacheHierarchy::new(
+                    GROUND_EDGES,
+                    (GROUND_EDGE_BYTES / cfg.streams as u64).max(1),
+                    (GROUND_REGIONAL_BYTES / cfg.streams as u64).max(1),
+                    tier_latencies,
+                )
+            }),
+            tier_surcharge,
             holder_removals: vec![1; shard_ids.len()],
             rank_of,
             expiries: VecDeque::new(),
             ctxs: (0..sources.len()).map(|_| None).collect(),
             memo: vec![RankMemo::default(); sources.len() * shard_ids.len()],
             next_gen: 1,
-            slot_cost: vec![
-                (0, Latency::ZERO, u32::MAX);
-                sources.len() * sources.len() * cfg.epochs
-            ],
-            dense_of: vec![u16::MAX; total_sats as usize],
-            next_dense: 0,
-            dense_cap: sources.len() * cfg.epochs,
+            slot_cost: vec![(0, Latency::ZERO, u32::MAX); sources.len() * dense_cap],
+            dense_of,
+            next_dense,
+            dense_cap,
             epoch: 0,
             report: TrafficReport {
                 per_shell: vec![ShellTraffic::default(); shells],
+                decision_digest: DIGEST_BASIS,
                 ..TrafficReport::default()
             },
             batches_formed: 0,
@@ -908,6 +1207,7 @@ pub fn run_traffic_multishell(
             dropped: Vec::new(),
             shard_ids: &shard_ids,
             sizes: &sizes,
+            catalog: &catalog,
             graphs: &graphs,
             shell_offsets: &shell_offsets,
             shell_of: &shell_of,
@@ -965,6 +1265,8 @@ pub fn run_traffic_multishell(
         REQUESTS.add(r.requests);
         HITS_OVERHEAD.add(r.overhead_hits);
         HITS_ISL.add(r.isl_hits);
+        HITS_PINNED.add(r.pinned_hits);
+        HITS_NEIGHBOR.add(r.neighbor_hits);
         ORIGIN_FETCHES.add(r.origin_fetches);
         DEAD_ZONES.add(r.dead_zones);
         INSERTS.add(r.inserts);
@@ -1262,5 +1564,159 @@ mod tests {
         let mut sc = small_scenario(FaultSchedule::none());
         let sources = test_sources(cfg.epochs + 1);
         run_traffic(&mut sc, &sources, &cfg);
+    }
+
+    use crate::placement::{PlacementSpec, PlacementStrategy};
+
+    fn placed_cfg(spec: &str) -> TrafficConfig {
+        TrafficConfig {
+            placement: Some(PlacementSpec::parse(spec).expect("valid spec")),
+            ..quick_cfg()
+        }
+    }
+
+    #[test]
+    fn pinned_replicas_serve_from_request_one() {
+        let base = TrafficConfig {
+            placement: None,
+            ..quick_cfg()
+        };
+        let mut sc = small_scenario(FaultSchedule::none());
+        let baseline = run_traffic(&mut sc, &test_sources(base.epochs), &base);
+
+        let cfg = placed_cfg("perplane-4:budget-4000:cap-64");
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let placed = run_traffic(&mut sc2, &test_sources(cfg.epochs), &cfg);
+
+        assert!(placed.pinned_hits > 0, "plan copies must serve");
+        assert_eq!(
+            placed.overhead_hits + placed.isl_hits + placed.origin_fetches,
+            placed.requests
+        );
+        assert!(
+            placed.pinned_hits <= placed.overhead_hits + placed.isl_hits,
+            "pinned hits are a subset of space hits"
+        );
+        assert!(
+            placed.hit_ratio() > baseline.hit_ratio(),
+            "pre-seeded copies must beat a cold start: {} vs {}",
+            placed.hit_ratio(),
+            baseline.hit_ratio()
+        );
+        assert_eq!(baseline.pinned_hits, 0);
+        assert_eq!(baseline.neighbor_hits, 0);
+    }
+
+    #[test]
+    fn cooperative_lookup_serves_neighbor_probes() {
+        let plain = placed_cfg("perplane-4:budget-4000:cap-64");
+        let mut sc = small_scenario(FaultSchedule::none());
+        let without = run_traffic(&mut sc, &test_sources(plain.epochs), &plain);
+
+        let coop = placed_cfg("perplane-4:budget-4000:cap-64:coop");
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let with = run_traffic(&mut sc2, &test_sources(coop.epochs), &coop);
+
+        assert_eq!(without.neighbor_hits, 0);
+        assert!(with.neighbor_hits > 0, "the +Grid probe must serve");
+        assert!(
+            with.neighbor_hits <= with.isl_hits,
+            "neighbor hits ride the ISL accounting"
+        );
+        // The probe only reprices one-hop fetches cheaper and reorders
+        // nothing else, so space service cannot degrade.
+        assert!(
+            with.hit_ratio() >= without.hit_ratio(),
+            "coop cannot lose hits: {} vs {}",
+            with.hit_ratio(),
+            without.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn ground_tiers_partition_origin_fetches() {
+        let cfg = placed_cfg("perplane-2:budget-500:cap-16:tiers");
+        let mut sc = small_scenario(FaultSchedule::none());
+        let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        assert!(report.origin_fetches > 0);
+        assert_eq!(
+            report.ground_edge_hits + report.ground_regional_hits + report.ground_origin_hits,
+            report.origin_fetches,
+            "every ground serve lands on exactly one tier"
+        );
+        assert!(
+            report.ground_edge_hits > 0,
+            "warm ground edges must absorb repeats"
+        );
+        // Tier surcharges only ever add latency over the flat fallback.
+        let flat = TrafficConfig {
+            placement: Some(PlacementSpec::parse("perplane-2:budget-500:cap-16").unwrap()),
+            ..quick_cfg()
+        };
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let flat_report = run_traffic(&mut sc2, &test_sources(flat.epochs), &flat);
+        let (mut a, mut b) = (report.latencies.clone(), flat_report.latencies.clone());
+        assert!(
+            a.quantile(1.0).unwrap() >= b.quantile(1.0).unwrap(),
+            "tiers cannot serve faster than the flat fallback"
+        );
+    }
+
+    #[test]
+    fn decision_digest_pins_the_trace() {
+        let cfg = placed_cfg("cover-3:budget-2000:cap-32:coop");
+        let mut sc = small_scenario(FaultSchedule::none());
+        let a = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+        let mut sc2 = small_scenario(FaultSchedule::none());
+        let b = run_traffic(&mut sc2, &test_sources(cfg.epochs), &cfg);
+        assert_eq!(a.decision_digest, b.decision_digest, "same run, same trace");
+        assert_ne!(a.decision_digest, 0);
+
+        let other = placed_cfg("cover-3:budget-2000:cap-32");
+        let mut sc3 = small_scenario(FaultSchedule::none());
+        let c = run_traffic(&mut sc3, &test_sources(other.epochs), &other);
+        assert_ne!(
+            a.decision_digest, c.decision_digest,
+            "different decisions, different digest"
+        );
+    }
+
+    #[test]
+    fn placement_spec_strategies_all_run() {
+        for strat in [
+            PlacementStrategy::PerPlane { k: 2 },
+            PlacementStrategy::RandomFraction { fraction: 0.1 },
+            PlacementStrategy::RandomCount { count: 100 },
+            PlacementStrategy::CoverRadius { hops: 4 },
+        ] {
+            let cfg = TrafficConfig {
+                placement: Some(PlacementSpec {
+                    copy_budget: 1_000,
+                    ..PlacementSpec::new(strat)
+                }),
+                requests: 1_000,
+                ..quick_cfg()
+            };
+            let mut sc = small_scenario(FaultSchedule::none());
+            let report = run_traffic(&mut sc, &test_sources(cfg.epochs), &cfg);
+            assert_eq!(report.requests, 1_000, "{strat:?}");
+            assert!(report.pinned_hits > 0, "{strat:?} must serve pinned copies");
+        }
+    }
+
+    #[test]
+    fn multishell_placement_splits_budget_across_shells() {
+        let cfg = TrafficConfig {
+            placement: Some(PlacementSpec::parse("perplane-4:budget-6000:cap-64:coop").unwrap()),
+            ..quick_cfg()
+        };
+        let mut scs = shell_scenarios();
+        let report = run_traffic_multishell(&mut scs, &test_sources(cfg.epochs), &cfg);
+        assert_eq!(report.requests, cfg.requests);
+        assert!(report.pinned_hits > 0);
+        assert_eq!(
+            report.overhead_hits + report.isl_hits + report.origin_fetches,
+            report.requests
+        );
     }
 }

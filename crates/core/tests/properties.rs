@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use spacecdn_core::duty_cycle::DutyCycler;
-use spacecdn_core::placement::{grid_ball_size, PlacementStrategy};
+use spacecdn_core::placement::{grid_ball_size, PlacementPlan, PlacementStrategy};
 use spacecdn_core::retrieval::{RetrievalRequest, RetrievalSource};
 use spacecdn_geo::{DetRng, Geodetic, Latency, SimDuration, SimTime};
 use spacecdn_lsn::{AccessModel, FaultPlan, FaultSchedule, IslGraph};
@@ -27,13 +27,15 @@ proptest! {
     #[test]
     fn placements_always_valid_and_sized(seed in 0u64..500, k in 1u32..8) {
         let c = shell1();
-        let mut rng = DetRng::new(seed, "prop-place");
         for strat in [
             PlacementStrategy::PerPlane { k },
             PlacementStrategy::RandomCount { count: k * 37 },
             PlacementStrategy::CoverRadius { hops: k },
         ] {
-            let set = strat.place(c, &mut rng);
+            let set = PlacementPlan::builder(strat)
+                .seed(seed)
+                .build_single(c)
+                .materialize(c);
             prop_assert_eq!(set.len(), strat.copy_count(c));
             prop_assert!(set.iter().all(|s| s.as_usize() < c.len()));
         }
@@ -51,8 +53,10 @@ proptest! {
         lon in -180.0f64..180.0,
         budget in 0u32..12,
     ) {
-        let mut rng = DetRng::new(seed, "prop-retrieve");
-        let caches = PlacementStrategy::RandomCount { count: 8 }.place(shell1(), &mut rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::RandomCount { count: 8 })
+            .seed(seed)
+            .build_single(shell1())
+            .materialize(shell1());
         let fallback = Latency::from_ms(140.0);
         let out = RetrievalRequest::new(Geodetic::ground(lat, lon))
             .hop_budget(budget)
@@ -84,8 +88,10 @@ proptest! {
         lat in -55.0f64..55.0,
         lon in -180.0f64..180.0,
     ) {
-        let mut rng = DetRng::new(seed, "prop-budget");
-        let caches = PlacementStrategy::RandomCount { count: 16 }.place(shell1(), &mut rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::RandomCount { count: 16 })
+            .seed(seed)
+            .build_single(shell1())
+            .materialize(shell1());
         let user = Geodetic::ground(lat, lon);
         let fallback = Latency::from_ms(140.0);
         let mut last = f64::INFINITY;
@@ -153,8 +159,10 @@ proptest! {
             return Ok(()); // terminal re-homed; fetches not comparable
         }
 
-        let mut cache_rng = DetRng::new(seed ^ 0x5eed, "prop-monotone-caches");
-        let caches = PlacementStrategy::RandomCount { count: 12 }.place(c, &mut cache_rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::RandomCount { count: 12 })
+            .seed(seed ^ 0x5eed)
+            .build_single(c)
+            .materialize(c);
         let req = RetrievalRequest::new(user)
             .escalation(vec![1, 3, 5, 10])
             .ground_fallback(Latency(f64::INFINITY));
@@ -231,7 +239,10 @@ proptest! {
 
         let rebuilt = IslGraph::build(c, SimTime::EPOCH, &plan);
         let user = Geodetic::ground(lat, lon);
-        let caches = PlacementStrategy::RandomCount { count: 10 }.place(c, &mut rng);
+        let caches = PlacementPlan::builder(PlacementStrategy::RandomCount { count: 10 })
+            .seed(seed)
+            .build_single(c)
+            .materialize(c);
         let access = AccessModel::default();
         let plain = RetrievalRequest::new(user)
             .hop_budget(budget)

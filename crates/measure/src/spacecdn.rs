@@ -3,7 +3,7 @@
 
 use spacecdn_core::duty_cycle::DutyCycler;
 use spacecdn_core::network::{LsnNetwork, LsnSnapshot};
-use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::placement::{PlacementPlan, PlacementStrategy};
 use spacecdn_core::retrieval::{RetrievalRequest, RetrievalSource};
 use spacecdn_des::Percentiles;
 use spacecdn_engine::par_map;
@@ -145,8 +145,13 @@ pub fn hop_bound_experiment(
         let mut rng = DetRng::new(seed, &format!("fig7/{max_hops}/{epoch}"));
         for _ in 0..trials_per_bound.div_ceil(epochs) {
             let city = *rng.choose(&pool).expect("pool non-empty");
-            let caches = PlacementStrategy::CoverRadius { hops: max_hops }
-                .place(net.constellation(), &mut rng);
+            // Per-trial plan seed drawn from the task stream, so each trial
+            // samples a fresh covering placement deterministically.
+            let plan_seed = rng.index(u32::MAX as usize) as u64;
+            let caches = PlacementPlan::builder(PlacementStrategy::CoverRadius { hops: max_hops })
+                .seed(plan_seed)
+                .build_single(net.constellation())
+                .materialize(net.constellation());
             // Ground fallback: the regular Starlink-CDN path.
             let pop = home_pop(city.cc, city.position());
             let fallback = snap

@@ -10,6 +10,7 @@
 //! thermal duty-cycle fraction throttles which satellites may cache.
 
 use spacecdn_core::network::LsnNetwork;
+use spacecdn_core::placement::PlacementSpec;
 use spacecdn_core::scenario::Scenario;
 use spacecdn_core::traffic::{
     run_traffic_multishell, PolicyKind, TrafficConfig, TrafficReport, TrafficSource,
@@ -51,6 +52,9 @@ pub struct TrafficCampaignConfig {
     pub ttl: SimDuration,
     /// Cache eviction/admission policy every satellite fleet runs.
     pub policy: PolicyKind,
+    /// Pinned replica placement layered under the pull-through fleets
+    /// (`None` = pure pull-through).
+    pub placement: Option<PlacementSpec>,
     /// Which Starlink 2024 shells to simulate (indices into
     /// [`MultiConstellation::starlink_2024`]); the default is Shell 1
     /// only, matching the pre-multishell campaign.
@@ -72,6 +76,7 @@ impl Default for TrafficCampaignConfig {
             cache_bytes_per_sat: 8 << 30,
             ttl: SimDuration::from_mins(30),
             policy: PolicyKind::from_env(),
+            placement: PlacementSpec::from_env(),
             shells: vec![0],
             seed: 42,
         }
@@ -218,6 +223,7 @@ pub fn traffic_campaign(
             cache_bytes_per_sat: cfg.cache_bytes_per_sat,
             ttl: cfg.ttl,
             policy: cfg.policy,
+            placement: cfg.placement,
             duty_fraction: fraction,
             seed: cfg.seed,
             ..TrafficConfig::default()

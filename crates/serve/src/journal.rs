@@ -190,6 +190,10 @@ pub fn replay(path: &Path) -> Result<String, String> {
                             s.set_cache_policy(kind);
                         }
                     }
+                    Command::Place { spec, .. } => s.set_placement(
+                        spec.as_deref()
+                            .and_then(spacecdn_core::placement::PlacementSpec::parse),
+                    ),
                     other => return Err(format!("non-mutating command in journal: {other:?}")),
                 }
             }
@@ -267,6 +271,57 @@ mod tests {
         let b = replay(&path).unwrap();
         assert_eq!(a, b, "replay must be deterministic");
         assert!(a.starts_with("{\"ok\":true,\"report\":{\"session\":\"j\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn place_op_replays_byte_identically() {
+        // A journaled `place` mutation must reproduce, on replay, the
+        // exact report bytes the live session produced — including the
+        // placement-sensitive decision digest.
+        let args = CreateArgs {
+            session: "p".into(),
+            seed: 11,
+            catalog: 200,
+            streams: 2,
+            ..CreateArgs::default()
+        };
+        let spec = "perplane-2:budget-400:cap-8:coop";
+
+        let dir = tmp_dir("place");
+        let mut journal = Journal::create(&dir, "p").unwrap();
+        let cmds = [
+            Command::Create(args.clone()),
+            Command::Traffic {
+                session: "p".into(),
+                requests: 300,
+                epochs: 1,
+                epoch_step_secs: 60,
+            },
+            Command::Place {
+                session: "p".into(),
+                spec: Some(spec.into()),
+            },
+            Command::Traffic {
+                session: "p".into(),
+                requests: 300,
+                epochs: 1,
+                epoch_step_secs: 60,
+            },
+        ];
+        for (i, cmd) in cmds.iter().enumerate() {
+            journal.record(i as u64, cmd).unwrap();
+        }
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        let mut live = Session::create(args).unwrap();
+        live.traffic(300, 1, 60);
+        live.set_placement(spacecdn_core::placement::PlacementSpec::parse(spec));
+        live.traffic(300, 1, 60);
+        let live_line = format!("{{\"ok\":true,\"report\":{}}}", live.report_json());
+
+        assert_eq!(replay(&path).unwrap(), live_line);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -29,6 +29,7 @@
 //! {"op":"duty","session":S,"fraction":F}
 //! {"op":"cache","session":S,"bytes_per_sat":N,
 //!  "policy":"lru"|"sieve"|"s3fifo"|"tinylfu"|null}
+//! {"op":"place","session":S,"spec":"perplane-2:budget-500:coop"|"off"|null}
 //! {"op":"report","session":S}
 //! ```
 
@@ -153,6 +154,15 @@ pub enum Command {
         /// session's current policy.
         policy: Option<String>,
     },
+    /// Swap (or disable) the replica-placement spec for subsequent bursts.
+    Place {
+        /// Session name.
+        session: String,
+        /// Canonical [`spacecdn_core::PlacementSpec`] name; `None` (or the
+        /// wire spellings `"off"` / `null` / absent) disables pinned
+        /// placement.
+        spec: Option<String>,
+    },
     /// The session's canonical final report.
     Report {
         /// Session name.
@@ -174,6 +184,7 @@ impl Command {
                 | Command::Fault { .. }
                 | Command::Duty { .. }
                 | Command::Cache { .. }
+                | Command::Place { .. }
         )
     }
 
@@ -188,6 +199,7 @@ impl Command {
             | Command::Fault { session, .. }
             | Command::Duty { session, .. }
             | Command::Cache { session, .. }
+            | Command::Place { session, .. }
             | Command::Report { session } => Some(session),
             _ => None,
         }
@@ -262,6 +274,21 @@ impl Command {
                     session: str_field(&value, "session")?,
                     bytes_per_sat: u64_field(&value, "bytes_per_sat")?,
                     policy,
+                })
+            }
+            "place" => {
+                let spec = match str_field(&value, "spec").ok() {
+                    Some(name) if name == "off" => None,
+                    Some(name) => Some(
+                        spacecdn_core::PlacementSpec::parse(&name)
+                            .ok_or_else(|| format!("unparseable placement spec {name:?}"))?
+                            .name(),
+                    ),
+                    None => None,
+                };
+                Ok(Command::Place {
+                    session: str_field(&value, "session")?,
+                    spec,
                 })
             }
             "report" => Ok(Command::Report {
@@ -351,6 +378,14 @@ impl Command {
                 json_str(session),
                 bytes_per_sat,
                 match policy {
+                    Some(name) => json_str(name),
+                    None => "null".to_string(),
+                }
+            ),
+            Command::Place { session, spec } => format!(
+                r#"{{"op":"place","session":{},"spec":{}}}"#,
+                json_str(session),
+                match spec {
                     Some(name) => json_str(name),
                     None => "null".to_string(),
                 }
@@ -533,6 +568,14 @@ mod tests {
             bytes_per_sat: 1 << 30,
             policy: Some("s3fifo".into()),
         });
+        roundtrip(&Command::Place {
+            session: "s".into(),
+            spec: None,
+        });
+        roundtrip(&Command::Place {
+            session: "s".into(),
+            spec: Some("perplane-2:budget-500:cap-64:coop".into()),
+        });
         roundtrip(&Command::Report {
             session: "s".into(),
         });
@@ -586,6 +629,37 @@ mod tests {
             r#"{"op":"cache","session":"s","bytes_per_sat":1024,"policy":"belady"}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn place_spec_is_validated_and_normalized() {
+        // Shorthand specs normalize to the canonical full name at parse
+        // time, so journals always store the explicit spelling.
+        let cmd =
+            Command::parse(r#"{"op":"place","session":"s","spec":"perplane-2:coop"}"#).unwrap();
+        match cmd {
+            Command::Place { spec, .. } => {
+                assert_eq!(spec.as_deref(), Some("perplane-2:budget-10000:cap-64:coop"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // "off", null, and absent all disable placement.
+        for line in [
+            r#"{"op":"place","session":"s","spec":"off"}"#,
+            r#"{"op":"place","session":"s","spec":null}"#,
+            r#"{"op":"place","session":"s"}"#,
+        ] {
+            match Command::parse(line).unwrap() {
+                Command::Place { spec, .. } => assert_eq!(spec, None),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        assert!(Command::parse(r#"{"op":"place","session":"s","spec":"hotspot-7"}"#).is_err());
+        assert!(Command::Place {
+            session: "s".into(),
+            spec: None
+        }
+        .is_mutating());
     }
 
     #[test]

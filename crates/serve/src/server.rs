@@ -18,6 +18,7 @@ use crate::journal::Journal;
 use crate::protocol::{json_str, Command, CreateArgs};
 use crate::session::Session;
 use crate::signal;
+use spacecdn_core::placement::PlacementSpec;
 use spacecdn_core::retrieval::RetrievalSource;
 use spacecdn_core::traffic::PolicyKind;
 use std::collections::BTreeMap;
@@ -348,6 +349,12 @@ fn execute_on_session(cmd: &Command, session: &mut Session) -> String {
                     session.set_cache_policy(kind);
                 }
             }
+            format!("{{\"ok\":true,\"clock_ns\":{}}}", session.clock().0)
+        }
+        Command::Place { spec, .. } => {
+            // Parse cannot fail: the protocol layer already normalized the
+            // spec to a canonical PlacementSpec name (or None for "off").
+            session.set_placement(spec.as_deref().and_then(PlacementSpec::parse));
             format!("{{\"ok\":true,\"clock_ns\":{}}}", session.clock().0)
         }
         Command::Report { .. } => {

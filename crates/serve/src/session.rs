@@ -17,7 +17,7 @@
 
 use crate::protocol::{json_f64, json_str, CreateArgs};
 use spacecdn_core::network::LsnNetwork;
-use spacecdn_core::placement::PlacementStrategy;
+use spacecdn_core::placement::{PlacementPlan, PlacementSpec, PlacementStrategy};
 use spacecdn_core::retrieval::FetchResult;
 use spacecdn_core::scenario::Scenario;
 use spacecdn_core::traffic::{
@@ -106,12 +106,16 @@ impl Session {
 
         let mut scenarios = scenarios;
         if args.copies_per_plane > 0 {
-            let mut rng = DetRng::new(args.seed, "serve/place");
-            for sc in scenarios.iter_mut() {
-                let copies = PlacementStrategy::PerPlane {
+            for (i, sc) in scenarios.iter_mut().enumerate() {
+                // Per-shell seed offset decorrelates the plans the way the
+                // old shared-RNG sweep did, while keeping each shell's plan
+                // a pure function of (seed, shell index).
+                let plan = PlacementPlan::builder(PlacementStrategy::PerPlane {
                     k: args.copies_per_plane,
-                }
-                .place(sc.network().constellation(), &mut rng);
+                })
+                .seed(args.seed.wrapping_add(i as u64))
+                .build_single(sc.network().constellation());
+                let copies = plan.materialize(sc.network().constellation());
                 sc.set_copies(copies);
             }
         }
@@ -222,6 +226,7 @@ impl Session {
             zipf_alpha: self.args.zipf_alpha,
             cache_bytes_per_sat: self.cache_bytes_per_sat.max(1),
             policy: self.scenarios[0].cache_policy(),
+            placement: self.scenarios[0].placement().copied(),
             duty_fraction: self.duty_fraction,
             seed,
             start,
@@ -306,6 +311,17 @@ impl Session {
         }
     }
 
+    /// Swap (or disable) the replica-placement spec for subsequent bursts.
+    /// Pinned replica plans are per-burst, like cache contents, so the
+    /// swap needs no live migration.
+    pub fn set_placement(&mut self, spec: Option<PlacementSpec>) {
+        SESSION_MUTATIONS.incr();
+        self.mutations += 1;
+        for sc in self.scenarios.iter_mut() {
+            sc.set_placement(spec);
+        }
+    }
+
     /// The per-burst source table: population-weighted covered cities for
     /// starlink sessions, a fixed synthetic grid for the test shell.
     fn sources_for(&self, start: SimTime, epochs: usize, step: SimDuration) -> Vec<TrafficSource> {
@@ -360,6 +376,7 @@ impl Session {
                 r#""traffic":{{"requests":{},"overhead_hits":{},"isl_hits":{},"#,
                 r#""origin_fetches":{},"dead_zones":{},"inserts":{},"evictions":{},"#,
                 r#""ttl_expiries":{},"invalidations":{},"served_bytes":{},"origin_bytes":{},"#,
+                r#""pinned_hits":{},"neighbor_hits":{},"decision_digest":{},"#,
                 r#""p50_ms":{},"p90_ms":{},"p99_ms":{}}}}}"#
             ),
             json_str(self.name()),
@@ -382,6 +399,9 @@ impl Session {
             t.invalidations,
             t.served_bytes,
             t.origin_bytes,
+            t.pinned_hits,
+            t.neighbor_hits,
+            t.decision_digest,
             json_f64(p50),
             json_f64(p90),
             json_f64(p99),
@@ -470,6 +490,22 @@ mod tests {
             s.report_json()
         };
         assert_ne!(baseline, faulted, "a fleet-wide outage must show up");
+    }
+
+    #[test]
+    fn placement_mutation_changes_subsequent_bursts() {
+        let baseline = {
+            let mut s = Session::create(quick_args("pl")).unwrap();
+            s.traffic(400, 1, 60);
+            s.report_json()
+        };
+        let placed = {
+            let mut s = Session::create(quick_args("pl")).unwrap();
+            s.set_placement(PlacementSpec::parse("perplane-2:budget-400:cap-8:coop"));
+            s.traffic(400, 1, 60);
+            s.report_json()
+        };
+        assert_ne!(baseline, placed, "pinned placement must show up");
     }
 
     #[test]

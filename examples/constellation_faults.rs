@@ -11,8 +11,10 @@ use spacecdn_suite::terra::city::city_by_name;
 fn main() {
     let net = LsnNetwork::starlink();
     let nairobi = city_by_name("Nairobi").expect("city in dataset");
-    let mut rng = DetRng::new(7, "faults-example");
-    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+        .seed(7)
+        .build_single(net.constellation())
+        .materialize(net.constellation());
     let req = RetrievalRequest::new(nairobi.position())
         .hop_budget(8)
         .ground_fallback(Latency::from_ms(150.0))

@@ -40,8 +40,10 @@ fn main() {
     drop(snap); // release the borrow so the session can own the network
 
     // 4. SpaceCDN: 4 copies per orbital plane, fetched through a session.
-    let mut rng = DetRng::new(42, "quickstart");
-    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+        .seed(42)
+        .build_single(net.constellation())
+        .materialize(net.constellation());
     let scenario = Scenario::builder(net)
         .copies(caches)
         .hop_budget(5)

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use spacecdn_content::ttl::TtlCache;
     pub use spacecdn_core::duty_cycle::DutyCycler;
     pub use spacecdn_core::network::{LsnNetwork, LsnSnapshot, PathBreakdown};
-    pub use spacecdn_core::placement::PlacementStrategy;
+    pub use spacecdn_core::placement::{PlacementPlan, PlacementSpec, PlacementStrategy};
     pub use spacecdn_core::retrieval::{
         DegradeReason, FetchResult, ResilientOutcome, RetrievalOutcome, RetrievalRequest,
         RetrievalSource,

@@ -1,8 +1,10 @@
 //! API-drift guard: the deprecated free functions (`retrieve`,
-//! `retrieve_resilient`, `retrieve_multishell`) exist only as
-//! compatibility shims. New code must go through [`RetrievalRequest`]
-//! or [`Scenario`]; this test scans every `.rs` file in the workspace
-//! and fails if a call site appears outside the explicit allowlist.
+//! `retrieve_resilient`, `retrieve_multishell`) and the deprecated
+//! placement method (`PlacementStrategy::place`) exist only as
+//! compatibility shims. New code must go through [`RetrievalRequest`],
+//! [`Scenario`] or [`PlacementPlan`]; this test scans every `.rs` file
+//! in the workspace and fails if a call site appears outside the
+//! explicit allowlist.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -13,12 +15,20 @@ use std::path::{Path, PathBuf};
 const ALLOWLIST: &[&str] = &[
     "crates/core/src/retrieval.rs",
     "crates/core/tests/equivalence.rs",
+    // The `PlacementStrategy::place` shim definition plus the test
+    // proving it bit-identical to `PlacementPlan::build_single`.
+    "crates/core/src/placement.rs",
     // This guard itself: the self-test below embeds call-shaped string
     // literals so the scanner can prove it still fires.
     "tests/api_drift.rs",
 ];
 
-const DEPRECATED: &[&str] = &["retrieve", "retrieve_resilient", "retrieve_multishell"];
+const DEPRECATED: &[&str] = &[
+    "retrieve",
+    "retrieve_resilient",
+    "retrieve_multishell",
+    "place",
+];
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in fs::read_dir(dir).expect("readable workspace dir") {
@@ -137,6 +147,10 @@ fn drift_guard_detects_a_planted_call() {
         deprecated_call_on("retrieve_multishell(&graphs, &access, user, &sets, &cfg, None)"),
         Some("retrieve_multishell")
     );
+    assert_eq!(
+        deprecated_call_on("    let set = strat.place(&constellation, &mut rng);"),
+        Some("place")
+    );
     // …and must NOT fire on definitions, prefixed identifiers, or imports.
     assert_eq!(deprecated_call_on("pub fn retrieve("), None);
     assert_eq!(deprecated_call_on("    ref_retrieve(graph, user)"), None);
@@ -146,6 +160,18 @@ fn drift_guard_detects_a_planted_call() {
     );
     assert_eq!(
         deprecated_call_on("// call retrieve(...) for the old way"),
+        None
+    );
+    // The replacement API and ordinary string methods share the stem:
+    // none of these are calls to the deprecated method.
+    assert_eq!(deprecated_call_on("pub fn place("), None);
+    assert_eq!(
+        deprecated_call_on("let text = template.replace(\"{B}\", &budget);"),
+        None
+    );
+    assert_eq!(deprecated_call_on("builder.placement(spec).build()"), None);
+    assert_eq!(
+        deprecated_call_on("session.set_placement(Some(spec));"),
         None
     );
 }

@@ -223,6 +223,96 @@ fn traffic_engine_identical_at_any_thread_count() {
     }
 }
 
+/// [`traffic_fingerprint`] with an orbit-aware placement plan pinned
+/// under the pull-through fleets and cooperative neighbor lookup on:
+/// covers the pre-seeded holder lists, the pinned/neighbor hit split,
+/// the ground-tier counters and the per-request decision digest across
+/// the parallelism grain.
+fn traffic_placement_fingerprint() -> String {
+    use spacecdn_suite::prelude::{
+        run_traffic_multishell, starlink_shell_scenarios, FaultSchedule, Geodetic, Latency,
+        PlacementSpec, TrafficConfig, TrafficSource,
+    };
+    let mut scenarios = starlink_shell_scenarios(&[0, 1], &FaultSchedule::none());
+    let cfg = TrafficConfig {
+        requests: 4_000,
+        streams: 5,
+        epochs: 2,
+        catalog_size: 600,
+        cache_bytes_per_sat: 256 << 20,
+        placement: Some(
+            PlacementSpec::parse("perplane-4:budget-4000:cap-64:coop").expect("valid spec"),
+        ),
+        ..TrafficConfig::default()
+    };
+    let sources: Vec<TrafficSource> = [
+        (40.4, -3.7, 6u32),
+        (-25.97, 32.57, 2),
+        (51.5, -0.13, 9),
+        (35.68, 139.69, 10),
+    ]
+    .into_iter()
+    .map(|(lat, lon, weight)| TrafficSource {
+        position: Geodetic::ground(lat, lon),
+        weight,
+        fallback_rtt: vec![Latency::from_ms(140.0); cfg.epochs],
+    })
+    .collect();
+    let mut r = run_traffic_multishell(&mut scenarios, &sources, &cfg);
+    let mut out = format!(
+        "req={};oh={};isl={};origin={};dead={};ins={};ev={};ttl={};inv={};pin={};nb={};ge={};gr={};go={};digest={:#018x};served={};ob={};hops={:?};shells={:?};",
+        r.requests,
+        r.overhead_hits,
+        r.isl_hits,
+        r.origin_fetches,
+        r.dead_zones,
+        r.inserts,
+        r.evictions,
+        r.ttl_expiries,
+        r.invalidations,
+        r.pinned_hits,
+        r.neighbor_hits,
+        r.ground_edge_hits,
+        r.ground_regional_hits,
+        r.ground_origin_hits,
+        r.decision_digest,
+        r.served_bytes,
+        r.origin_bytes,
+        r.hop_histogram,
+        r.per_shell,
+    );
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        out.push_str(&format!(
+            "q{q}={:?};",
+            r.latencies.quantile(q).map(f64::to_bits)
+        ));
+    }
+    out
+}
+
+#[test]
+fn placement_traffic_identical_at_any_thread_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let sequential = with_thread_count(1, traffic_placement_fingerprint);
+    // The pin only means something if the placement path actually ran:
+    // pinned replicas and the coop rung must both serve requests here.
+    assert!(
+        sequential.contains("pin=") && !sequential.contains("pin=0;"),
+        "placement fingerprint served no pinned hits:\n{sequential}"
+    );
+    assert!(
+        !sequential.contains("nb=0;"),
+        "placement fingerprint served no cooperative neighbor hits:\n{sequential}"
+    );
+    for threads in [2, 5, 8] {
+        let parallel = with_thread_count(threads, traffic_placement_fingerprint);
+        assert_eq!(
+            sequential, parallel,
+            "placement-enabled traffic diverged at {threads} threads"
+        );
+    }
+}
+
 /// [`traffic_fingerprint`] under a specific cache policy, single shell,
 /// with caches tight enough that every policy's eviction path runs hot.
 fn traffic_policy_fingerprint(policy: spacecdn_suite::prelude::PolicyKind) -> String {

@@ -112,13 +112,15 @@ fn geoblock_survey_consistent_with_homing() {
 
 #[test]
 fn backbone_relief_is_an_order_of_magnitude() {
-    use spacecdn_suite::core::placement::PlacementStrategy;
+    use spacecdn_suite::core::placement::{PlacementPlan, PlacementStrategy};
     use spacecdn_suite::lsn::{bfs_nearest, FaultPlan};
     let net = LsnNetwork::starlink();
     let snap = net.snapshot(SimTime::EPOCH, &FaultPlan::none());
     let graph = snap.graph();
-    let mut rng = DetRng::new(3, "ext-load");
-    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+        .seed(3)
+        .build_single(net.constellation())
+        .materialize(net.constellation());
 
     let mut bent = LinkLoad::new();
     let mut space = LinkLoad::new();

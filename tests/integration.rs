@@ -5,7 +5,7 @@ use spacecdn_suite::content::cache::{Cache, LruCache};
 use spacecdn_suite::content::catalog::{Catalog, RegionTag};
 use spacecdn_suite::content::popularity::RegionalPopularity;
 use spacecdn_suite::core::network::LsnNetwork;
-use spacecdn_suite::core::placement::PlacementStrategy;
+use spacecdn_suite::core::placement::{PlacementPlan, PlacementStrategy};
 use spacecdn_suite::des::{run_until, Scheduler};
 use spacecdn_suite::geo::{DetRng, Latency, SimDuration, SimTime};
 use spacecdn_suite::lsn::{FaultPlan, IslGraph};
@@ -20,8 +20,10 @@ fn full_stack_fetch_pipeline() {
     // Orbit → topology → placement → retrieval, end to end.
     let net = LsnNetwork::starlink();
     let snap = net.snapshot(SimTime::from_secs(300), &FaultPlan::none());
-    let mut rng = DetRng::new(1, "integration");
-    let caches = PlacementStrategy::PerPlane { k: 4 }.place(net.constellation(), &mut rng);
+    let caches = PlacementPlan::builder(PlacementStrategy::PerPlane { k: 4 })
+        .seed(1)
+        .build_single(net.constellation())
+        .materialize(net.constellation());
     let mut served_from_space = 0;
     for city in ["Maputo", "London", "Tokyo", "Sao Paulo", "Nairobi"] {
         let c = city_by_name(city).unwrap();
